@@ -1,0 +1,654 @@
+//! The single-pass per-volume analyzer: [`VolumeAnalyzer`] and
+//! [`analyze_trace`].
+
+use std::collections::HashMap;
+
+use cbs_cache::ReuseDistances;
+use cbs_stats::LogHistogram;
+use cbs_trace::{IoRequest, OpKind, Timestamp, Trace, VolumeId, VolumeView};
+
+use crate::config::AnalysisConfig;
+use crate::metrics::VolumeMetrics;
+
+/// Per-block running state shared by the spatial and temporal metrics.
+#[derive(Debug, Clone, Copy)]
+struct BlockState {
+    read_bytes: u64,
+    write_bytes: u64,
+    write_count: u32,
+    last_op: OpKind,
+    last_ts: Timestamp,
+    /// Timestamp of the previous write, if any (update intervals).
+    last_write_ts: Option<Timestamp>,
+}
+
+/// Streaming analyzer for one volume.
+///
+/// Feed time-sorted requests via [`observe`](VolumeAnalyzer::observe)
+/// (or run a whole [`VolumeView`] with
+/// [`analyze_volume`](VolumeAnalyzer::analyze_volume)), then call
+/// [`finish`](VolumeAnalyzer::finish).
+///
+/// # Panics
+///
+/// `observe` panics in debug builds if requests arrive out of timestamp
+/// order or target a different volume.
+#[derive(Debug)]
+pub struct VolumeAnalyzer {
+    config: AnalysisConfig,
+    epoch: Timestamp,
+    id: VolumeId,
+
+    reads: u64,
+    writes: u64,
+    read_bytes: u64,
+    write_bytes: u64,
+    updated_bytes: u64,
+    first_ts: Option<Timestamp>,
+    last_ts: Option<Timestamp>,
+
+    read_size_hist: LogHistogram,
+    write_size_hist: LogHistogram,
+    interarrival_hist: LogHistogram,
+
+    /// Current peak-interval index and its running count.
+    peak_bin: u64,
+    peak_bin_count: u64,
+    peak_max: u64,
+
+    active_intervals: Vec<u32>,
+    read_active_intervals: Vec<u32>,
+    write_active_intervals: Vec<u32>,
+    active_days: Vec<u32>,
+
+    /// Ring buffer of the previous `randomness_window` request offsets.
+    offset_window: Vec<u64>,
+    offset_cursor: usize,
+    random_requests: u64,
+
+    blocks: HashMap<u64, BlockState>,
+
+    raw_hist: LogHistogram,
+    waw_hist: LogHistogram,
+    rar_hist: LogHistogram,
+    war_hist: LogHistogram,
+    update_interval_hist: LogHistogram,
+
+    reuse: ReuseDistances,
+    /// Finite reuse-distance histograms split by op kind, plus cold
+    /// counts — everything needed for per-op LRU miss-ratio curves.
+    read_distance_hist: Vec<u64>,
+    write_distance_hist: Vec<u64>,
+    read_cold: u64,
+    write_cold: u64,
+}
+
+impl VolumeAnalyzer {
+    /// Creates an analyzer for `id`. `epoch` anchors interval and day
+    /// indices (pass the corpus start so indices are comparable across
+    /// volumes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`AnalysisConfig::validate`].
+    pub fn new(id: VolumeId, epoch: Timestamp, config: AnalysisConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid analysis config: {e}");
+        }
+        let bits = config.hist_precision_bits;
+        let hist = || LogHistogram::new(bits);
+        VolumeAnalyzer {
+            offset_window: Vec::with_capacity(config.randomness_window),
+            config,
+            epoch,
+            id,
+            reads: 0,
+            writes: 0,
+            read_bytes: 0,
+            write_bytes: 0,
+            updated_bytes: 0,
+            first_ts: None,
+            last_ts: None,
+            read_size_hist: hist(),
+            write_size_hist: hist(),
+            interarrival_hist: hist(),
+            peak_bin: 0,
+            peak_bin_count: 0,
+            peak_max: 0,
+            active_intervals: Vec::new(),
+            read_active_intervals: Vec::new(),
+            write_active_intervals: Vec::new(),
+            active_days: Vec::new(),
+            offset_cursor: 0,
+            random_requests: 0,
+            blocks: HashMap::new(),
+            raw_hist: hist(),
+            waw_hist: hist(),
+            rar_hist: hist(),
+            war_hist: hist(),
+            update_interval_hist: hist(),
+            reuse: ReuseDistances::new(),
+            read_distance_hist: Vec::new(),
+            write_distance_hist: Vec::new(),
+            read_cold: 0,
+            write_cold: 0,
+        }
+    }
+
+    /// Runs a whole volume view through a fresh analyzer.
+    pub fn analyze_volume(
+        view: VolumeView<'_>,
+        epoch: Timestamp,
+        config: &AnalysisConfig,
+    ) -> VolumeMetrics {
+        let mut analyzer = VolumeAnalyzer::new(view.id(), epoch, config.clone());
+        for req in view.requests() {
+            analyzer.observe(req);
+        }
+        analyzer.finish()
+    }
+
+    /// Processes one request.
+    pub fn observe(&mut self, req: &IoRequest) {
+        debug_assert_eq!(req.volume(), self.id, "request targets another volume");
+        debug_assert!(
+            self.last_ts.map_or(true, |t| req.ts() >= t),
+            "requests must arrive in timestamp order"
+        );
+        let ts = req.ts();
+        let rel = ts.saturating_duration_since(self.epoch).as_micros();
+
+        // --- counts, traffic, sizes ---
+        match req.op() {
+            OpKind::Read => {
+                self.reads += 1;
+                self.read_bytes += u64::from(req.len());
+                self.read_size_hist.record(u64::from(req.len()));
+            }
+            OpKind::Write => {
+                self.writes += 1;
+                self.write_bytes += u64::from(req.len());
+                self.write_size_hist.record(u64::from(req.len()));
+            }
+        }
+
+        // --- inter-arrival & span ---
+        if let Some(prev) = self.last_ts {
+            self.interarrival_hist.record((ts - prev).as_micros());
+        }
+        self.first_ts.get_or_insert(ts);
+        self.last_ts = Some(ts);
+
+        // --- peak intensity (streaming max over peak intervals) ---
+        let bin = rel / self.config.peak_interval.as_micros();
+        if bin != self.peak_bin {
+            self.peak_max = self.peak_max.max(self.peak_bin_count);
+            self.peak_bin = bin;
+            self.peak_bin_count = 0;
+        }
+        self.peak_bin_count += 1;
+
+        // --- activeness (sorted-unique push: requests arrive in order) ---
+        let interval =
+            u32::try_from(rel / self.config.active_interval.as_micros()).unwrap_or(u32::MAX);
+        push_unique(&mut self.active_intervals, interval);
+        match req.op() {
+            OpKind::Read => push_unique(&mut self.read_active_intervals, interval),
+            OpKind::Write => push_unique(&mut self.write_active_intervals, interval),
+        }
+        let day = u32::try_from(rel / cbs_trace::time::MICROS_PER_DAY).unwrap_or(u32::MAX);
+        push_unique(&mut self.active_days, day);
+
+        // --- randomness (min distance to previous window offsets) ---
+        let min_distance = self
+            .offset_window
+            .iter()
+            .map(|&o| req.offset_distance(o))
+            .min()
+            .unwrap_or(u64::MAX);
+        if min_distance > self.config.randomness_threshold {
+            self.random_requests += 1;
+        }
+        if self.offset_window.len() < self.config.randomness_window {
+            self.offset_window.push(req.offset());
+        } else {
+            self.offset_window[self.offset_cursor] = req.offset();
+            self.offset_cursor = (self.offset_cursor + 1) % self.config.randomness_window;
+        }
+
+        // --- block-granular state: adjacency, updates, WSS, reuse ---
+        let bs = self.config.block_size;
+        for block in bs.span_of(req) {
+            let block_start = bs.offset_of(block);
+            let block_end = block_start + u64::from(bs.bytes());
+            let overlap = req.end_offset().min(block_end) - req.offset().max(block_start);
+
+            // reuse distance over the unified stream, split per op
+            let distance = self.reuse.access(block);
+            let (hist, cold) = match req.op() {
+                OpKind::Read => (&mut self.read_distance_hist, &mut self.read_cold),
+                OpKind::Write => (&mut self.write_distance_hist, &mut self.write_cold),
+            };
+            match distance {
+                Some(d) => {
+                    let d = d as usize;
+                    if d >= hist.len() {
+                        hist.resize(d + 1, 0);
+                    }
+                    hist[d] += 1;
+                }
+                None => *cold += 1,
+            }
+
+            match self.blocks.get_mut(&block.get()) {
+                Some(state) => {
+                    let elapsed = (ts - state.last_ts).as_micros();
+                    match (state.last_op, req.op()) {
+                        (OpKind::Write, OpKind::Read) => self.raw_hist.record(elapsed),
+                        (OpKind::Write, OpKind::Write) => self.waw_hist.record(elapsed),
+                        (OpKind::Read, OpKind::Read) => self.rar_hist.record(elapsed),
+                        (OpKind::Read, OpKind::Write) => self.war_hist.record(elapsed),
+                    }
+                    match req.op() {
+                        OpKind::Read => state.read_bytes += overlap,
+                        OpKind::Write => {
+                            if let Some(prev_write) = state.last_write_ts {
+                                self.update_interval_hist.record((ts - prev_write).as_micros());
+                            }
+                            self.updated_bytes += overlap;
+                            state.write_bytes += overlap;
+                            state.write_count += 1;
+                            state.last_write_ts = Some(ts);
+                        }
+                    }
+                    state.last_op = req.op();
+                    state.last_ts = ts;
+                }
+                None => {
+                    let (read_bytes, write_bytes, write_count, last_write_ts) = match req.op() {
+                        OpKind::Read => (overlap, 0, 0, None),
+                        OpKind::Write => (0, overlap, 1, Some(ts)),
+                    };
+                    self.blocks.insert(
+                        block.get(),
+                        BlockState {
+                            read_bytes,
+                            write_bytes,
+                            write_count,
+                            last_op: req.op(),
+                            last_ts: ts,
+                            last_write_ts,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Completes the analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no request was observed (empty volumes carry no
+    /// metrics; [`analyze_trace`] never produces them).
+    pub fn finish(mut self) -> VolumeMetrics {
+        let first_ts = self.first_ts.expect("analyzer observed no requests");
+        let last_ts = self.last_ts.expect("analyzer observed no requests");
+        self.peak_max = self.peak_max.max(self.peak_bin_count);
+
+        // --- aggregate block-level results ---
+        let mut wss_read_blocks = 0u64;
+        let mut wss_write_blocks = 0u64;
+        let mut wss_update_blocks = 0u64;
+        let mut read_bytes_to_read_mostly = 0u64;
+        let mut write_bytes_to_write_mostly = 0u64;
+        let mut read_traffic: Vec<u64> = Vec::new();
+        let mut write_traffic: Vec<u64> = Vec::new();
+        let threshold = self.config.rw_mostly_threshold;
+        for state in self.blocks.values() {
+            if state.read_bytes > 0 {
+                wss_read_blocks += 1;
+                read_traffic.push(state.read_bytes);
+            }
+            if state.write_bytes > 0 {
+                wss_write_blocks += 1;
+                write_traffic.push(state.write_bytes);
+            }
+            if state.write_count >= 2 {
+                wss_update_blocks += 1;
+            }
+            let total = state.read_bytes + state.write_bytes;
+            if total > 0 {
+                let read_share = state.read_bytes as f64 / total as f64;
+                if read_share > threshold {
+                    read_bytes_to_read_mostly += state.read_bytes;
+                }
+                if 1.0 - read_share > threshold {
+                    write_bytes_to_write_mostly += state.write_bytes;
+                }
+            }
+        }
+        let (f1, f10) = self.config.top_fractions;
+        let top_read_shares = top_shares(&mut read_traffic, f1, f10);
+        let top_write_shares = top_shares(&mut write_traffic, f1, f10);
+
+        VolumeMetrics {
+            id: self.id,
+            reads: self.reads,
+            writes: self.writes,
+            read_bytes: self.read_bytes,
+            write_bytes: self.write_bytes,
+            updated_bytes: self.updated_bytes,
+            first_ts,
+            last_ts,
+            peak_interval_requests: self.peak_max,
+            read_size_hist: self.read_size_hist,
+            write_size_hist: self.write_size_hist,
+            interarrival_hist: self.interarrival_hist,
+            active_intervals: self.active_intervals,
+            read_active_intervals: self.read_active_intervals,
+            write_active_intervals: self.write_active_intervals,
+            active_days: self.active_days,
+            random_requests: self.random_requests,
+            wss_blocks: self.blocks.len() as u64,
+            wss_read_blocks,
+            wss_write_blocks,
+            wss_update_blocks,
+            top_read_shares,
+            top_write_shares,
+            read_bytes_to_read_mostly,
+            write_bytes_to_write_mostly,
+            raw_hist: self.raw_hist,
+            waw_hist: self.waw_hist,
+            rar_hist: self.rar_hist,
+            war_hist: self.war_hist,
+            update_interval_hist: self.update_interval_hist,
+            read_mrc: cbs_cache::MissRatioCurve::from_histogram(
+                self.read_distance_hist,
+                self.read_cold,
+            ),
+            write_mrc: cbs_cache::MissRatioCurve::from_histogram(
+                self.write_distance_hist,
+                self.write_cold,
+            ),
+        }
+    }
+}
+
+/// Appends `value` to a sorted-unique vector fed with non-decreasing
+/// values.
+fn push_unique(sorted: &mut Vec<u32>, value: u32) {
+    if sorted.last() != Some(&value) {
+        debug_assert!(sorted.last().map_or(true, |&l| l < value));
+        sorted.push(value);
+    }
+}
+
+/// Shares of total traffic carried by the top-`f1` and top-`f10`
+/// fractions of blocks (by per-block traffic). `None` for no traffic.
+fn top_shares(traffic: &mut [u64], f1: f64, f10: f64) -> Option<(f64, f64)> {
+    if traffic.is_empty() {
+        return None;
+    }
+    traffic.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = traffic.iter().sum();
+    let share = |fraction: f64| {
+        let k = ((traffic.len() as f64 * fraction).ceil() as usize).clamp(1, traffic.len());
+        let top: u64 = traffic[..k].iter().sum();
+        top as f64 / total as f64
+    };
+    Some((share(f1), share(f10)))
+}
+
+/// Analyzes every volume of a trace sequentially, returning metrics in
+/// volume-id order. Interval/day indices are anchored at the trace
+/// start.
+pub fn analyze_trace(trace: &Trace, config: &AnalysisConfig) -> Vec<VolumeMetrics> {
+    let epoch = trace.start().unwrap_or(Timestamp::ZERO);
+    trace
+        .volumes()
+        .map(|view| VolumeAnalyzer::analyze_volume(view, epoch, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_trace::TimeDelta;
+
+    fn req(op: OpKind, offset: u64, len: u32, secs: u64) -> IoRequest {
+        IoRequest::new(VolumeId::new(0), op, offset, len, Timestamp::from_secs(secs))
+    }
+
+    fn analyze(requests: Vec<IoRequest>) -> VolumeMetrics {
+        let trace = Trace::from_requests(requests);
+        analyze_trace(&trace, &AnalysisConfig::default())
+            .into_iter()
+            .next()
+            .expect("one volume")
+    }
+
+    #[test]
+    fn counts_and_traffic() {
+        let m = analyze(vec![
+            req(OpKind::Write, 0, 4096, 0),
+            req(OpKind::Write, 4096, 8192, 1),
+            req(OpKind::Read, 0, 4096, 2),
+        ]);
+        assert_eq!(m.reads, 1);
+        assert_eq!(m.writes, 2);
+        assert_eq!(m.read_bytes, 4096);
+        assert_eq!(m.write_bytes, 12288);
+        assert_eq!(m.requests(), 3);
+        assert_eq!(m.span(), TimeDelta::from_secs(2));
+    }
+
+    #[test]
+    fn wss_and_update_blocks() {
+        let m = analyze(vec![
+            req(OpKind::Write, 0, 4096, 0),      // block 0
+            req(OpKind::Write, 0, 4096, 1),      // block 0 again → update
+            req(OpKind::Write, 4096, 4096, 2),   // block 1
+            req(OpKind::Read, 8192, 4096, 3),    // block 2 (read only)
+        ]);
+        assert_eq!(m.wss_blocks, 3);
+        assert_eq!(m.wss_read_blocks, 1);
+        assert_eq!(m.wss_write_blocks, 2);
+        assert_eq!(m.wss_update_blocks, 1);
+        assert_eq!(m.updated_bytes, 4096);
+        assert!((m.update_coverage() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_block_requests_touch_every_block() {
+        let m = analyze(vec![req(OpKind::Write, 0, 16384, 0)]);
+        assert_eq!(m.wss_blocks, 4);
+        assert_eq!(m.wss_write_blocks, 4);
+        assert_eq!(m.wss_update_blocks, 0);
+    }
+
+    #[test]
+    fn adjacency_pair_classification() {
+        let m = analyze(vec![
+            req(OpKind::Write, 0, 4096, 0),
+            req(OpKind::Read, 0, 4096, 10),   // RAW, 10 s
+            req(OpKind::Read, 0, 4096, 15),   // RAR, 5 s
+            req(OpKind::Write, 0, 4096, 75),  // WAR, 60 s
+            req(OpKind::Write, 0, 4096, 76),  // WAW, 1 s
+        ]);
+        assert_eq!(m.raw_hist.total(), 1);
+        assert_eq!(m.rar_hist.total(), 1);
+        assert_eq!(m.war_hist.total(), 1);
+        assert_eq!(m.waw_hist.total(), 1);
+        // RAW time ~10 s (within histogram error)
+        let raw = m.raw_hist.quantile(0.5).unwrap() as f64;
+        assert!((raw - 10e6).abs() / 10e6 < 0.02, "raw={raw}");
+    }
+
+    #[test]
+    fn update_interval_allows_reads_between() {
+        let m = analyze(vec![
+            req(OpKind::Write, 0, 4096, 0),
+            req(OpKind::Read, 0, 4096, 50),   // read between the writes
+            req(OpKind::Write, 0, 4096, 100), // update interval = 100 s
+        ]);
+        assert_eq!(m.update_interval_hist.total(), 1);
+        let ui = m.update_interval_hist.quantile(0.5).unwrap() as f64;
+        assert!((ui - 100e6).abs() / 100e6 < 0.02, "ui={ui}");
+        // while WAW counts only the adjacent write pair — here none
+        assert_eq!(m.waw_hist.total(), 0);
+        assert_eq!(m.war_hist.total(), 1);
+    }
+
+    #[test]
+    fn randomness_window_classification() {
+        // first request: no window → random; second at distance 4 KiB:
+        // not random; third at 10 MiB: random.
+        let m = analyze(vec![
+            req(OpKind::Read, 0, 4096, 0),
+            req(OpKind::Read, 4096, 4096, 1),
+            req(OpKind::Read, 10 << 20, 4096, 2),
+        ]);
+        assert_eq!(m.random_requests, 2);
+        assert!((m.randomness_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn randomness_window_is_bounded() {
+        // 40 requests at the same offset, then one far away: the far
+        // one is random even though offset 0 left the window long ago.
+        let mut reqs: Vec<IoRequest> =
+            (0..40).map(|i| req(OpKind::Read, 4096 * (i % 2), 4096, i)).collect();
+        reqs.push(req(OpKind::Read, 1 << 30, 4096, 50));
+        let m = analyze(reqs);
+        // request 0 (no window) + the last one
+        assert_eq!(m.random_requests, 2);
+    }
+
+    #[test]
+    fn peak_and_average_intensity() {
+        // 10 requests in minute 0, 1 request in minute 10
+        let mut reqs: Vec<IoRequest> =
+            (0..10).map(|i| req(OpKind::Write, 0, 512, i)).collect();
+        reqs.push(req(OpKind::Write, 0, 512, 600));
+        let m = analyze(reqs);
+        let config = AnalysisConfig::default();
+        assert_eq!(m.peak_interval_requests, 10);
+        assert!((m.avg_intensity() - 11.0 / 600.0).abs() < 1e-9);
+        assert!((m.peak_intensity(&config) - 10.0 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activeness_intervals_and_days() {
+        let m = analyze(vec![
+            req(OpKind::Write, 0, 512, 0),           // interval 0, day 0
+            req(OpKind::Read, 0, 512, 60),           // interval 0
+            req(OpKind::Write, 0, 512, 601),         // interval 1
+            req(OpKind::Write, 0, 512, 86_400 + 5),  // day 1
+        ]);
+        assert_eq!(m.active_intervals, vec![0, 1, 144]);
+        assert_eq!(m.read_active_intervals, vec![0]);
+        assert_eq!(m.write_active_intervals, vec![0, 1, 144]);
+        assert_eq!(m.active_days, vec![0, 1]);
+    }
+
+    #[test]
+    fn epoch_anchors_indices() {
+        // volume starting at day 3 of the corpus
+        let trace = Trace::from_requests(vec![
+            IoRequest::new(
+                VolumeId::new(0),
+                OpKind::Write,
+                0,
+                512,
+                Timestamp::from_secs(0),
+            ),
+            IoRequest::new(
+                VolumeId::new(1),
+                OpKind::Write,
+                0,
+                512,
+                Timestamp::from_days(3),
+            ),
+        ]);
+        let metrics = analyze_trace(&trace, &AnalysisConfig::default());
+        assert_eq!(metrics[0].active_days, vec![0]);
+        assert_eq!(metrics[1].active_days, vec![3]);
+    }
+
+    #[test]
+    fn read_write_mostly_attribution() {
+        // block 0: write-only; block 1: read-only; block 2: mixed 50/50
+        let m = analyze(vec![
+            req(OpKind::Write, 0, 4096, 0),
+            req(OpKind::Read, 4096, 4096, 1),
+            req(OpKind::Write, 8192, 4096, 2),
+            req(OpKind::Read, 8192, 4096, 3),
+        ]);
+        assert_eq!(m.write_bytes_to_write_mostly, 4096); // block 0 only
+        assert_eq!(m.read_bytes_to_read_mostly, 4096); // block 1 only
+    }
+
+    #[test]
+    fn top_shares_concentrate_on_hot_blocks() {
+        // 100 blocks once + block 0 hammered 100 more times
+        let mut reqs: Vec<IoRequest> = (0..100u64)
+            .map(|i| req(OpKind::Write, i * 4096, 4096, i))
+            .collect();
+        for i in 0..100u64 {
+            reqs.push(req(OpKind::Write, 0, 4096, 100 + i));
+        }
+        let m = analyze(reqs);
+        let (top1, top10) = m.top_write_shares.unwrap();
+        // block 0 carries 101/200 of write traffic
+        assert!((top1 - 101.0 / 200.0).abs() < 1e-9, "top1={top1}");
+        assert!(top10 > top1);
+        assert_eq!(m.top_read_shares, None);
+    }
+
+    #[test]
+    fn mrc_split_by_op_kind() {
+        // writes churn 2 blocks; reads always re-hit block 0
+        let m = analyze(vec![
+            req(OpKind::Write, 0, 4096, 0),
+            req(OpKind::Write, 4096, 4096, 1),
+            req(OpKind::Read, 0, 4096, 2),  // distance 1
+            req(OpKind::Read, 0, 4096, 3),  // distance 0
+        ]);
+        // read MRC: 2 accesses, distances {1, 0} → at capacity 2 all hit
+        assert_eq!(m.read_mrc.total_accesses(), 2);
+        assert_eq!(m.read_mrc.miss_ratio_at(2), 0.0);
+        assert_eq!(m.read_mrc.miss_ratio_at(1), 0.5);
+        // write MRC: both cold
+        assert_eq!(m.write_mrc.total_accesses(), 2);
+        assert_eq!(m.write_mrc.miss_ratio_at(100), 1.0);
+    }
+
+    #[test]
+    fn interarrival_histogram() {
+        let m = analyze(vec![
+            req(OpKind::Write, 0, 512, 0),
+            req(OpKind::Write, 0, 512, 1),
+            req(OpKind::Write, 0, 512, 3),
+        ]);
+        assert_eq!(m.interarrival_hist.total(), 2);
+    }
+
+    #[test]
+    fn analyze_trace_orders_by_volume() {
+        let trace = Trace::from_requests(vec![
+            IoRequest::new(VolumeId::new(5), OpKind::Read, 0, 512, Timestamp::ZERO),
+            IoRequest::new(VolumeId::new(1), OpKind::Read, 0, 512, Timestamp::ZERO),
+        ]);
+        let metrics = analyze_trace(&trace, &AnalysisConfig::default());
+        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics[0].id, VolumeId::new(1));
+        assert_eq!(metrics[1].id, VolumeId::new(5));
+    }
+
+    #[test]
+    fn empty_trace_yields_no_metrics() {
+        let metrics = analyze_trace(&Trace::new(), &AnalysisConfig::default());
+        assert!(metrics.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Analysis parameters: [`AnalysisConfig`].
+
+use cbs_trace::{BlockSize, TimeDelta};
+
+/// Parameters of the trace analysis, defaulting to the paper's choices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisConfig {
+    /// Block unit for all block-granular metrics (4 KiB).
+    pub block_size: BlockSize,
+    /// Number of preceding requests inspected by the randomness metric
+    /// (32, following DiskAccel / VMware's characterization).
+    pub randomness_window: usize,
+    /// Minimum-distance threshold in bytes beyond which a request is
+    /// *random* (128 KiB).
+    pub randomness_threshold: u64,
+    /// Interval defining fine-grained activeness (10 minutes).
+    pub active_interval: TimeDelta,
+    /// Interval defining peak intensity (1 minute).
+    pub peak_interval: TimeDelta,
+    /// Traffic share above which a block is read-mostly / write-mostly
+    /// (0.95).
+    pub rw_mostly_threshold: f64,
+    /// The two "top blocks" fractions of the aggregation analysis
+    /// (1 % and 10 %).
+    pub top_fractions: (f64, f64),
+    /// The two cache sizes of the LRU analysis, as fractions of a
+    /// volume's WSS (1 % and 10 %).
+    pub cache_fractions: (f64, f64),
+    /// Precision of the elapsed-time histograms (relative error
+    /// `2^-bits`).
+    pub hist_precision_bits: u32,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            block_size: BlockSize::DEFAULT,
+            randomness_window: 32,
+            randomness_threshold: 128 * 1024,
+            active_interval: TimeDelta::from_mins(10),
+            peak_interval: TimeDelta::from_mins(1),
+            rw_mostly_threshold: 0.95,
+            top_fractions: (0.01, 0.10),
+            cache_fractions: (0.01, 0.10),
+            hist_precision_bits: 6,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.randomness_window == 0 {
+            return Err("randomness_window must be non-zero".to_owned());
+        }
+        if self.active_interval.is_zero() || self.peak_interval.is_zero() {
+            return Err("intervals must be non-zero".to_owned());
+        }
+        if !(0.0..=1.0).contains(&self.rw_mostly_threshold) {
+            return Err(format!(
+                "rw_mostly_threshold must be in [0,1], got {}",
+                self.rw_mostly_threshold
+            ));
+        }
+        for (name, f) in [
+            ("top_fractions.0", self.top_fractions.0),
+            ("top_fractions.1", self.top_fractions.1),
+            ("cache_fractions.0", self.cache_fractions.0),
+            ("cache_fractions.1", self.cache_fractions.1),
+        ] {
+            if !(f > 0.0 && f <= 1.0) {
+                return Err(format!("{name} must be in (0,1], got {f}"));
+            }
+        }
+        if !(1..=16).contains(&self.hist_precision_bits) {
+            return Err(format!(
+                "hist_precision_bits must be in 1..=16, got {}",
+                self.hist_precision_bits
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let c = AnalysisConfig::default();
+        assert_eq!(c.block_size.bytes(), 4096);
+        assert_eq!(c.randomness_window, 32);
+        assert_eq!(c.randomness_threshold, 128 * 1024);
+        assert_eq!(c.active_interval, TimeDelta::from_mins(10));
+        assert_eq!(c.peak_interval, TimeDelta::from_mins(1));
+        assert_eq!(c.rw_mostly_threshold, 0.95);
+        assert_eq!(c.top_fractions, (0.01, 0.10));
+        assert_eq!(c.cache_fractions, (0.01, 0.10));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_names_offenders() {
+        let mut c = AnalysisConfig::default();
+        c.randomness_window = 0;
+        assert!(c.validate().unwrap_err().contains("randomness_window"));
+        let mut c = AnalysisConfig::default();
+        c.active_interval = TimeDelta::ZERO;
+        assert!(c.validate().unwrap_err().contains("intervals"));
+        let mut c = AnalysisConfig::default();
+        c.rw_mostly_threshold = 1.5;
+        assert!(c.validate().unwrap_err().contains("rw_mostly_threshold"));
+        let mut c = AnalysisConfig::default();
+        c.top_fractions = (0.0, 0.1);
+        assert!(c.validate().unwrap_err().contains("top_fractions.0"));
+        let mut c = AnalysisConfig::default();
+        c.cache_fractions = (0.01, 1.5);
+        assert!(c.validate().unwrap_err().contains("cache_fractions.1"));
+        let mut c = AnalysisConfig::default();
+        c.hist_precision_bits = 0;
+        assert!(c.validate().unwrap_err().contains("hist_precision_bits"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Findings 5-7 — volume activeness (Figs. 3, 8, 9).
+
+use cbs_stats::Cdf;
+
+use crate::config::AnalysisConfig;
+use crate::metrics::VolumeMetrics;
+
+/// Fig. 3 — the distribution of active-day counts across volumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveDays {
+    /// Empirical CDF of per-volume active-day counts.
+    pub cdf: Cdf,
+}
+
+impl ActiveDays {
+    /// Builds the distribution.
+    pub fn from_metrics(metrics: &[VolumeMetrics]) -> Self {
+        ActiveDays {
+            cdf: metrics.iter().map(|m| m.active_days.len() as f64).collect(),
+        }
+    }
+
+    /// Fraction of volumes active on at most `days` days
+    /// (paper: 15.7 % of AliCloud volumes active one day).
+    pub fn fraction_at_most(&self, days: u64) -> f64 {
+        self.cdf.fraction_at_or_below(days as f64)
+    }
+}
+
+/// Fig. 8 — numbers of active / read-active / write-active volumes per
+/// 10-minute interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivenessSeries {
+    /// Volumes active in each interval (index = interval since corpus
+    /// start).
+    pub active: Vec<u32>,
+    /// Volumes with ≥ 1 read in each interval.
+    pub read_active: Vec<u32>,
+    /// Volumes with ≥ 1 write in each interval.
+    pub write_active: Vec<u32>,
+}
+
+impl ActivenessSeries {
+    /// Accumulates per-interval volume counts.
+    pub fn from_metrics(metrics: &[VolumeMetrics]) -> Self {
+        let max_interval = metrics
+            .iter()
+            .flat_map(|m| m.active_intervals.last().copied())
+            .max()
+            .map_or(0, |m| m as usize + 1);
+        let mut series = ActivenessSeries {
+            active: vec![0; max_interval],
+            read_active: vec![0; max_interval],
+            write_active: vec![0; max_interval],
+        };
+        for m in metrics {
+            for &i in &m.active_intervals {
+                series.active[i as usize] += 1;
+            }
+            for &i in &m.read_active_intervals {
+                series.read_active[i as usize] += 1;
+            }
+            for &i in &m.write_active_intervals {
+                series.write_active[i as usize] += 1;
+            }
+        }
+        series
+    }
+
+    /// Relative reduction in active volumes when only reads count,
+    /// over the intervals where any volume is active:
+    /// `(min, max)` of `1 − read_active/active`
+    /// (paper, Finding 7: 58.3-73.6 % in AliCloud).
+    pub fn read_only_reduction(&self) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (a, r) in self.active.iter().zip(&self.read_active) {
+            if *a == 0 {
+                continue;
+            }
+            let reduction = 1.0 - f64::from(*r) / f64::from(*a);
+            lo = lo.min(reduction);
+            hi = hi.max(reduction);
+        }
+        (lo.is_finite()).then_some((lo, hi))
+    }
+}
+
+/// Fig. 9 — distributions of per-volume active time (days at 10-minute
+/// granularity), for all requests, reads only, and writes only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivePeriods {
+    /// CDF of active time in days.
+    pub active_days: Cdf,
+    /// CDF of read-active time in days.
+    pub read_active_days: Cdf,
+    /// CDF of write-active time in days.
+    pub write_active_days: Cdf,
+}
+
+impl ActivePeriods {
+    /// Builds the three distributions.
+    pub fn from_metrics(metrics: &[VolumeMetrics], config: &AnalysisConfig) -> Self {
+        ActivePeriods {
+            active_days: metrics
+                .iter()
+                .map(|m| m.active_period(config).as_days_f64())
+                .collect(),
+            read_active_days: metrics
+                .iter()
+                .map(|m| m.read_active_period(config).as_days_f64())
+                .collect(),
+            write_active_days: metrics
+                .iter()
+                .map(|m| m.write_active_period(config).as_days_f64())
+                .collect(),
+        }
+    }
+
+    /// Fraction of volumes active at least `fraction` of a trace of
+    /// `trace_days` days (paper: 72.2 % / 55.6 % active ≥ 95 % of the
+    /// trace).
+    pub fn fraction_active_at_least(&self, fraction: f64, trace_days: f64) -> f64 {
+        1.0 - self
+            .active_days
+            .fraction_at_or_below(fraction * trace_days - 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::testutil::fixture;
+
+    #[test]
+    fn active_days_cdf() {
+        let (_, metrics) = fixture();
+        let d = ActiveDays::from_metrics(&metrics);
+        // vols 0 and 1 are active on day 0 only; vol 2 on day 1 only
+        assert_eq!(d.fraction_at_most(1), 1.0);
+        assert_eq!(d.fraction_at_most(0), 0.0);
+    }
+
+    #[test]
+    fn series_counts_volumes_per_interval() {
+        let (_, metrics) = fixture();
+        let s = ActivenessSeries::from_metrics(&metrics);
+        // interval 0: vol 0 (writes+reads) and vol 1 (reads+writes)
+        assert_eq!(s.active[0], 2);
+        assert_eq!(s.read_active[0], 2);
+        assert_eq!(s.write_active[0], 1, "vol 1 writes at t=1000s (interval 1)");
+        // vol 2 wakes on day 1 → interval 144
+        assert_eq!(s.active[144], 1);
+        // read_active ≤ active everywhere
+        assert!(s.read_active.iter().zip(&s.active).all(|(r, a)| r <= a));
+        assert!(s.write_active.iter().zip(&s.active).all(|(w, a)| w <= a));
+    }
+
+    #[test]
+    fn reduction_bounds() {
+        let (_, metrics) = fixture();
+        let s = ActivenessSeries::from_metrics(&metrics);
+        let (lo, hi) = s.read_only_reduction().unwrap();
+        assert!((0.0..=1.0).contains(&lo));
+        assert!(hi >= lo);
+    }
+
+    #[test]
+    fn active_periods() {
+        let (_, metrics) = fixture();
+        let config = AnalysisConfig::default();
+        let p = ActivePeriods::from_metrics(&metrics, &config);
+        assert_eq!(p.active_days.len(), 3);
+        // write-active ≤ active per volume ⇒ CDF dominates
+        for q in [0.25, 0.5, 0.75] {
+            assert!(
+                p.write_active_days.value_at(q).unwrap()
+                    <= p.active_days.value_at(q).unwrap() + 1e-12
+            );
+        }
+        // everything is active for at least a sliver of the trace
+        assert_eq!(p.fraction_active_at_least(0.0, 2.0), 1.0);
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let s = ActivenessSeries::from_metrics(&[]);
+        assert!(s.active.is_empty());
+        assert_eq!(s.read_only_reduction(), None);
+        let d = ActiveDays::from_metrics(&[]);
+        assert_eq!(d.fraction_at_most(5), 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Findings 12-13 — same-block adjacency times (Figs. 14-15, Table V).
+
+use cbs_stats::LogHistogram;
+use cbs_trace::TimeDelta;
+
+use crate::metrics::VolumeMetrics;
+
+/// The four adjacency pair kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairKind {
+    /// Read after write.
+    Raw,
+    /// Write after write.
+    Waw,
+    /// Read after read.
+    Rar,
+    /// Write after read.
+    War,
+}
+
+impl PairKind {
+    /// All kinds in Table V order.
+    pub const ALL: [PairKind; 4] = [PairKind::Raw, PairKind::Waw, PairKind::Rar, PairKind::War];
+
+    /// Short upper-case label (`"RAW"`, ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            PairKind::Raw => "RAW",
+            PairKind::Waw => "WAW",
+            PairKind::Rar => "RAR",
+            PairKind::War => "WAR",
+        }
+    }
+}
+
+/// Figs. 14-15 + Table V — corpus-merged elapsed-time distributions of
+/// the four adjacency pair kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdjacencyTimes {
+    /// Merged RAW histogram (µs).
+    pub raw: LogHistogram,
+    /// Merged WAW histogram (µs).
+    pub waw: LogHistogram,
+    /// Merged RAR histogram (µs).
+    pub rar: LogHistogram,
+    /// Merged WAR histogram (µs).
+    pub war: LogHistogram,
+}
+
+impl AdjacencyTimes {
+    /// Merges every volume's adjacency histograms.
+    pub fn from_metrics(metrics: &[VolumeMetrics]) -> Self {
+        let bits = metrics
+            .first()
+            .map_or(6, |m| m.raw_hist.precision_bits());
+        let mut t = AdjacencyTimes {
+            raw: LogHistogram::new(bits),
+            waw: LogHistogram::new(bits),
+            rar: LogHistogram::new(bits),
+            war: LogHistogram::new(bits),
+        };
+        for m in metrics {
+            t.raw.merge(&m.raw_hist);
+            t.waw.merge(&m.waw_hist);
+            t.rar.merge(&m.rar_hist);
+            t.war.merge(&m.war_hist);
+        }
+        t
+    }
+
+    /// The histogram of one kind.
+    pub fn hist(&self, kind: PairKind) -> &LogHistogram {
+        match kind {
+            PairKind::Raw => &self.raw,
+            PairKind::Waw => &self.waw,
+            PairKind::Rar => &self.rar,
+            PairKind::War => &self.war,
+        }
+    }
+
+    /// Table V — the pair count of one kind.
+    pub fn count(&self, kind: PairKind) -> u64 {
+        self.hist(kind).total()
+    }
+
+    /// Median elapsed time of one kind.
+    pub fn median(&self, kind: PairKind) -> Option<TimeDelta> {
+        self.hist(kind).quantile(0.5).map(TimeDelta::from_micros)
+    }
+
+    /// Fraction of pairs of `kind` with elapsed time at most `delta`
+    /// (e.g. the paper's "50.6 % of MSRC WAW times are under 1 minute").
+    pub fn fraction_within(&self, kind: PairKind, delta: TimeDelta) -> f64 {
+        self.hist(kind).fraction_at_or_below(delta.as_micros())
+    }
+
+    /// WAW-to-RAW count ratio (paper: 8.4× in AliCloud, ≈ 1 in MSRC);
+    /// `None` without RAW pairs.
+    pub fn waw_to_raw_ratio(&self) -> Option<f64> {
+        let raw = self.count(PairKind::Raw);
+        (raw > 0).then(|| self.count(PairKind::Waw) as f64 / raw as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::testutil::fixture;
+
+    #[test]
+    fn counts_merge_across_volumes() {
+        let (_, metrics) = fixture();
+        let t = AdjacencyTimes::from_metrics(&metrics);
+        for kind in PairKind::ALL {
+            let manual: u64 = metrics
+                .iter()
+                .map(|m| match kind {
+                    PairKind::Raw => m.raw_hist.total(),
+                    PairKind::Waw => m.waw_hist.total(),
+                    PairKind::Rar => m.rar_hist.total(),
+                    PairKind::War => m.war_hist.total(),
+                })
+                .sum();
+            assert_eq!(t.count(kind), manual, "{}", kind.label());
+        }
+        // vol 0 hammers block 0 with writes → WAW dominates
+        assert!(t.count(PairKind::Waw) >= 59);
+        assert!(t.waw_to_raw_ratio().is_none() || t.waw_to_raw_ratio().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn waw_times_are_the_write_cadence() {
+        let (_, metrics) = fixture();
+        let t = AdjacencyTimes::from_metrics(&metrics);
+        // vol 0 writes block 0 every minute
+        let median = t.median(PairKind::Waw).unwrap();
+        let err = (median.as_secs_f64() - 60.0).abs() / 60.0;
+        assert!(err < 0.05, "median {median}");
+        assert!(t.fraction_within(PairKind::Waw, TimeDelta::from_mins(2)) > 0.99);
+    }
+
+    #[test]
+    fn labels_and_order() {
+        assert_eq!(
+            PairKind::ALL.map(PairKind::label),
+            ["RAW", "WAW", "RAR", "WAR"]
+        );
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let t = AdjacencyTimes::from_metrics(&[]);
+        for kind in PairKind::ALL {
+            assert_eq!(t.count(kind), 0);
+            assert_eq!(t.median(kind), None);
+        }
+        assert_eq!(t.waw_to_raw_ratio(), None);
+    }
+}

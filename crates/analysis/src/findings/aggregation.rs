@@ -1,0 +1,98 @@
+//! Finding 9 — traffic aggregation in top blocks (Fig. 11).
+
+use cbs_stats::BoxplotSummary;
+
+use crate::metrics::VolumeMetrics;
+
+/// Fig. 11 — distributions across volumes of the share of traffic
+/// carried by the top-1 % and top-10 % blocks, for reads and writes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregationBoxplots {
+    /// Per-volume top-1 % read-traffic shares.
+    pub read_top1: Vec<f64>,
+    /// Per-volume top-10 % read-traffic shares.
+    pub read_top10: Vec<f64>,
+    /// Per-volume top-1 % write-traffic shares.
+    pub write_top1: Vec<f64>,
+    /// Per-volume top-10 % write-traffic shares.
+    pub write_top10: Vec<f64>,
+}
+
+impl AggregationBoxplots {
+    /// Collects the four share sets (volumes without the respective
+    /// traffic are skipped).
+    pub fn from_metrics(metrics: &[VolumeMetrics]) -> Self {
+        let mut agg = AggregationBoxplots {
+            read_top1: Vec::new(),
+            read_top10: Vec::new(),
+            write_top1: Vec::new(),
+            write_top10: Vec::new(),
+        };
+        for m in metrics {
+            if let Some((t1, t10)) = m.top_read_shares {
+                agg.read_top1.push(t1);
+                agg.read_top10.push(t10);
+            }
+            if let Some((t1, t10)) = m.top_write_shares {
+                agg.write_top1.push(t1);
+                agg.write_top10.push(t10);
+            }
+        }
+        agg
+    }
+
+    /// Boxplot of one share set.
+    pub fn boxplot(values: &[f64]) -> Option<BoxplotSummary> {
+        BoxplotSummary::from_unsorted(values.to_vec())
+    }
+
+    /// 25th percentile of a share set — the paper quotes these
+    /// (e.g. "75 % of volumes have at least 13.0 % of write traffic in
+    /// the top-1 % write blocks").
+    pub fn p25(values: &[f64]) -> Option<f64> {
+        cbs_stats::Quantiles::from_unsorted(values.to_vec()).percentile(25.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::testutil::fixture;
+
+    #[test]
+    fn shares_are_ordered_and_bounded() {
+        let (_, metrics) = fixture();
+        let a = AggregationBoxplots::from_metrics(&metrics);
+        assert_eq!(a.read_top1.len(), a.read_top10.len());
+        for (t1, t10) in a.read_top1.iter().zip(&a.read_top10) {
+            assert!(t1 <= t10, "top1 {t1} > top10 {t10}");
+            assert!((0.0..=1.0).contains(t1) && (0.0..=1.0).contains(t10));
+        }
+        for (t1, t10) in a.write_top1.iter().zip(&a.write_top10) {
+            assert!(t1 <= t10);
+        }
+    }
+
+    #[test]
+    fn hot_write_volume_aggregates() {
+        let (_, metrics) = fixture();
+        // vol 0 writes one block only → its top-1% share is 1.0
+        let v0 = metrics
+            .iter()
+            .find(|m| m.id == cbs_trace::VolumeId::new(0))
+            .unwrap();
+        assert_eq!(v0.top_write_shares, Some((1.0, 1.0)));
+    }
+
+    #[test]
+    fn boxplot_and_p25_helpers() {
+        let (_, metrics) = fixture();
+        let a = AggregationBoxplots::from_metrics(&metrics);
+        let b = AggregationBoxplots::boxplot(&a.write_top1).unwrap();
+        assert!(b.median() > 0.0);
+        let p = AggregationBoxplots::p25(&a.write_top10).unwrap();
+        assert!((0.0..=1.0).contains(&p));
+        assert!(AggregationBoxplots::boxplot(&[]).is_none());
+        assert!(AggregationBoxplots::p25(&[]).is_none());
+    }
+}

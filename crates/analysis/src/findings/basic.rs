@@ -1,0 +1,129 @@
+//! Table I — basic corpus statistics.
+
+use crate::metrics::VolumeMetrics;
+
+/// One gibibyte.
+pub const GIB: f64 = (1u64 << 30) as f64;
+/// One tebibyte.
+pub const TIB: f64 = (1u64 << 40) as f64;
+
+/// The rows of the paper's Table I for one corpus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceTotals {
+    /// Number of volumes with at least one request.
+    pub volumes: usize,
+    /// Number of read requests.
+    pub reads: u64,
+    /// Number of write requests.
+    pub writes: u64,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Bytes written to already-written blocks.
+    pub updated_bytes: u64,
+    /// Unique blocks read, in bytes (read WSS).
+    pub read_wss_bytes: u64,
+    /// Unique blocks written, in bytes (write WSS).
+    pub write_wss_bytes: u64,
+    /// Blocks written more than once, in bytes (update WSS).
+    pub update_wss_bytes: u64,
+    /// Unique blocks touched, in bytes (total WSS).
+    pub total_wss_bytes: u64,
+}
+
+impl TraceTotals {
+    /// Aggregates per-volume metrics into corpus totals.
+    /// `block_bytes` converts WSS block counts into bytes.
+    pub fn from_metrics(metrics: &[VolumeMetrics], block_bytes: u64) -> Self {
+        let mut t = TraceTotals {
+            volumes: metrics.len(),
+            reads: 0,
+            writes: 0,
+            read_bytes: 0,
+            write_bytes: 0,
+            updated_bytes: 0,
+            read_wss_bytes: 0,
+            write_wss_bytes: 0,
+            update_wss_bytes: 0,
+            total_wss_bytes: 0,
+        };
+        for m in metrics {
+            t.reads += m.reads;
+            t.writes += m.writes;
+            t.read_bytes += m.read_bytes;
+            t.write_bytes += m.write_bytes;
+            t.updated_bytes += m.updated_bytes;
+            t.read_wss_bytes += m.wss_read_blocks * block_bytes;
+            t.write_wss_bytes += m.wss_write_blocks * block_bytes;
+            t.update_wss_bytes += m.wss_update_blocks * block_bytes;
+            t.total_wss_bytes += m.wss_blocks * block_bytes;
+        }
+        t
+    }
+
+    /// Total requests.
+    pub fn requests(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Corpus write-to-read request ratio; `None` without reads.
+    pub fn write_read_ratio(&self) -> Option<f64> {
+        (self.reads > 0).then(|| self.writes as f64 / self.reads as f64)
+    }
+
+    /// Read WSS as a fraction of total WSS (the paper: 34.3 % AliCloud,
+    /// 98.4 % MSRC).
+    pub fn read_wss_fraction(&self) -> Option<f64> {
+        (self.total_wss_bytes > 0)
+            .then(|| self.read_wss_bytes as f64 / self.total_wss_bytes as f64)
+    }
+
+    /// Write WSS as a fraction of total WSS (89.4 % in AliCloud).
+    pub fn write_wss_fraction(&self) -> Option<f64> {
+        (self.total_wss_bytes > 0)
+            .then(|| self.write_wss_bytes as f64 / self.total_wss_bytes as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::testutil::fixture;
+
+    #[test]
+    fn totals_add_up_across_volumes() {
+        let (_, metrics) = fixture();
+        let t = TraceTotals::from_metrics(&metrics, 4096);
+        assert_eq!(t.volumes, 3);
+        assert_eq!(t.reads, 6 + 64 + 10);
+        assert_eq!(t.writes, 60 + 4 + 10);
+        assert_eq!(t.requests(), t.reads + t.writes);
+        let sum_read_bytes: u64 = metrics.iter().map(|m| m.read_bytes).sum();
+        assert_eq!(t.read_bytes, sum_read_bytes);
+        // total WSS ≥ read + update WSS components are internally consistent
+        assert!(t.total_wss_bytes >= t.read_wss_bytes.max(t.write_wss_bytes));
+        assert!(t.update_wss_bytes <= t.write_wss_bytes);
+    }
+
+    #[test]
+    fn fractions() {
+        let (_, metrics) = fixture();
+        let t = TraceTotals::from_metrics(&metrics, 4096);
+        let ratio = t.write_read_ratio().unwrap();
+        assert!((ratio - 74.0 / 80.0).abs() < 1e-12);
+        let rf = t.read_wss_fraction().unwrap();
+        let wf = t.write_wss_fraction().unwrap();
+        assert!(rf > 0.0 && rf <= 1.0);
+        assert!(wf > 0.0 && wf <= 1.0);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let t = TraceTotals::from_metrics(&[], 4096);
+        assert_eq!(t.volumes, 0);
+        assert_eq!(t.requests(), 0);
+        assert_eq!(t.write_read_ratio(), None);
+        assert_eq!(t.read_wss_fraction(), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! Finding 4 — inter-arrival time percentiles (Fig. 7).
+
+use cbs_stats::BoxplotSummary;
+
+use crate::findings::PAPER_PERCENTILES;
+use crate::metrics::VolumeMetrics;
+
+/// Fig. 7 — for each percentile group (25/50/75/90/95), the
+/// distribution across volumes of that percentile of the volume's
+/// inter-arrival times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterarrivalBoxplots {
+    /// The percentile each entry describes.
+    pub percentiles: [f64; 5],
+    /// Per-group raw values (µs), one per volume with ≥ 2 requests.
+    pub values_us: [Vec<f64>; 5],
+    /// Per-group boxplot summaries (`None` when no volume qualifies).
+    pub boxplots: [Option<BoxplotSummary>; 5],
+}
+
+impl InterarrivalBoxplots {
+    /// Builds the five groups.
+    pub fn from_metrics(metrics: &[VolumeMetrics]) -> Self {
+        let mut values_us: [Vec<f64>; 5] = Default::default();
+        for m in metrics {
+            if m.interarrival_hist.is_empty() {
+                continue;
+            }
+            for (slot, &p) in PAPER_PERCENTILES.iter().enumerate() {
+                let v = m
+                    .interarrival_hist
+                    .quantile(p / 100.0)
+                    .expect("non-empty histogram");
+                values_us[slot].push(v as f64);
+            }
+        }
+        let boxplots = std::array::from_fn(|i| {
+            BoxplotSummary::from_unsorted(values_us[i].clone())
+        });
+        InterarrivalBoxplots {
+            percentiles: PAPER_PERCENTILES,
+            values_us,
+            boxplots,
+        }
+    }
+
+    /// The median across volumes of one percentile group (µs).
+    pub fn median_of_group(&self, group: usize) -> Option<f64> {
+        self.boxplots[group].as_ref().map(BoxplotSummary::median)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::testutil::fixture;
+
+    #[test]
+    fn groups_are_monotone_in_percentile() {
+        let (_, metrics) = fixture();
+        let b = InterarrivalBoxplots::from_metrics(&metrics);
+        // every volume contributes to every group
+        assert!(b.values_us.iter().all(|v| v.len() == 3));
+        // per-volume percentiles grow with the percentile, so medians do
+        let medians: Vec<f64> = (0..5)
+            .map(|g| b.median_of_group(g).unwrap())
+            .collect();
+        assert!(medians.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{medians:?}");
+    }
+
+    #[test]
+    fn burst_volume_has_small_interarrivals() {
+        let (_, metrics) = fixture();
+        let b = InterarrivalBoxplots::from_metrics(&metrics);
+        // vol 2's burst has ~1 ms gaps, so the group minimum is ms-scale
+        let min_median = b.values_us[1]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_median <= 1100.0, "min median {min_median}us");
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let b = InterarrivalBoxplots::from_metrics(&[]);
+        assert!(b.boxplots.iter().all(Option::is_none));
+        assert_eq!(b.median_of_group(0), None);
+    }
+}

@@ -1,0 +1,124 @@
+//! Fig. 2 — request-size distributions.
+
+use cbs_stats::{Cdf, LogHistogram};
+
+use crate::metrics::VolumeMetrics;
+
+/// Fig. 2(a) — corpus-wide request-size distributions (all requests of
+/// all volumes merged), per op kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSizeDistribution {
+    /// Merged read-size histogram (bytes).
+    pub read_hist: LogHistogram,
+    /// Merged write-size histogram (bytes).
+    pub write_hist: LogHistogram,
+}
+
+impl RequestSizeDistribution {
+    /// Merges per-volume histograms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if volumes were analyzed with different histogram
+    /// precisions.
+    pub fn from_metrics(metrics: &[VolumeMetrics]) -> Self {
+        let mut read_hist = metrics
+            .first()
+            .map(|m| LogHistogram::new(m.read_size_hist.precision_bits()))
+            .unwrap_or_default();
+        let mut write_hist = read_hist.clone();
+        for m in metrics {
+            read_hist.merge(&m.read_size_hist);
+            write_hist.merge(&m.write_size_hist);
+        }
+        RequestSizeDistribution {
+            read_hist,
+            write_hist,
+        }
+    }
+
+    /// The 75th-percentile read size in bytes (paper: ≤ 32 KiB AliCloud,
+    /// ≤ 64 KiB MSRC).
+    pub fn read_p75(&self) -> Option<u64> {
+        self.read_hist.quantile(0.75)
+    }
+
+    /// The 75th-percentile write size in bytes (paper: ≤ 16 KiB / 20 KiB).
+    pub fn write_p75(&self) -> Option<u64> {
+        self.write_hist.quantile(0.75)
+    }
+
+    /// Fraction of reads at most `bytes` large.
+    pub fn reads_at_most(&self, bytes: u64) -> f64 {
+        self.read_hist.fraction_at_or_below(bytes)
+    }
+
+    /// Fraction of writes at most `bytes` large.
+    pub fn writes_at_most(&self, bytes: u64) -> f64 {
+        self.write_hist.fraction_at_or_below(bytes)
+    }
+}
+
+/// Fig. 2(b) — distributions of per-volume *mean* request sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeanSizeDistribution {
+    /// CDF of per-volume mean read sizes (bytes; volumes with reads).
+    pub read_means: Cdf,
+    /// CDF of per-volume mean write sizes (bytes; volumes with writes).
+    pub write_means: Cdf,
+}
+
+impl MeanSizeDistribution {
+    /// Builds both CDFs.
+    pub fn from_metrics(metrics: &[VolumeMetrics]) -> Self {
+        MeanSizeDistribution {
+            read_means: metrics.iter().filter_map(VolumeMetrics::mean_read_size).collect(),
+            write_means: metrics.iter().filter_map(VolumeMetrics::mean_write_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::testutil::fixture;
+
+    #[test]
+    fn merged_totals_match_request_counts() {
+        let (_, metrics) = fixture();
+        let d = RequestSizeDistribution::from_metrics(&metrics);
+        let reads: u64 = metrics.iter().map(|m| m.reads).sum();
+        let writes: u64 = metrics.iter().map(|m| m.writes).sum();
+        assert_eq!(d.read_hist.total(), reads);
+        assert_eq!(d.write_hist.total(), writes);
+    }
+
+    #[test]
+    fn small_io_dominates_fixture() {
+        let (_, metrics) = fixture();
+        let d = RequestSizeDistribution::from_metrics(&metrics);
+        // fixture sizes are 4-16 KiB
+        assert!(d.write_p75().unwrap() <= 17 * 1024);
+        assert!(d.read_p75().unwrap() <= 17 * 1024);
+        assert!((d.reads_at_most(1 << 20) - 1.0).abs() < 1e-12);
+        assert!(d.writes_at_most(1024) < 1e-12);
+    }
+
+    #[test]
+    fn mean_size_distribution_counts_qualifying_volumes() {
+        let (_, metrics) = fixture();
+        let d = MeanSizeDistribution::from_metrics(&metrics);
+        assert_eq!(d.read_means.len(), 3);
+        assert_eq!(d.write_means.len(), 3);
+        // vol 0 reads are 8 KiB
+        assert!(d.read_means.fraction_at_or_below(8192.0) > 0.0);
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let d = RequestSizeDistribution::from_metrics(&[]);
+        assert_eq!(d.read_p75(), None);
+        let m = MeanSizeDistribution::from_metrics(&[]);
+        assert!(m.read_means.is_empty());
+    }
+}

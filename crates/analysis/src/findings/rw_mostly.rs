@@ -1,0 +1,103 @@
+//! Finding 10 — read-mostly / write-mostly block aggregation
+//! (Table III, Fig. 12).
+
+use cbs_stats::Cdf;
+
+use crate::metrics::VolumeMetrics;
+
+/// Table III — corpus-wide shares of traffic going to dominance-class
+/// blocks, plus the per-volume distributions of Fig. 12.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RwMostly {
+    /// Corpus share of read traffic to read-mostly blocks
+    /// (paper: 59.2 % AliCloud, 75.9 % MSRC).
+    pub overall_read_share: Option<f64>,
+    /// Corpus share of write traffic to write-mostly blocks
+    /// (paper: 80.7 % AliCloud, 33.5 % MSRC).
+    pub overall_write_share: Option<f64>,
+    /// Fig. 12 — CDF of per-volume read shares.
+    pub read_share_cdf: Cdf,
+    /// Fig. 12 — CDF of per-volume write shares.
+    pub write_share_cdf: Cdf,
+}
+
+impl RwMostly {
+    /// Aggregates the dominance-class traffic shares.
+    pub fn from_metrics(metrics: &[VolumeMetrics]) -> Self {
+        let read_total: u64 = metrics.iter().map(|m| m.read_bytes).sum();
+        let write_total: u64 = metrics.iter().map(|m| m.write_bytes).sum();
+        let read_mostly: u64 = metrics.iter().map(|m| m.read_bytes_to_read_mostly).sum();
+        let write_mostly: u64 = metrics.iter().map(|m| m.write_bytes_to_write_mostly).sum();
+        RwMostly {
+            overall_read_share: (read_total > 0)
+                .then(|| read_mostly as f64 / read_total as f64),
+            overall_write_share: (write_total > 0)
+                .then(|| write_mostly as f64 / write_total as f64),
+            read_share_cdf: metrics
+                .iter()
+                .filter_map(VolumeMetrics::read_mostly_share)
+                .collect(),
+            write_share_cdf: metrics
+                .iter()
+                .filter_map(VolumeMetrics::write_mostly_share)
+                .collect(),
+        }
+    }
+
+    /// Median per-volume read share (paper: 83 % / 90 %).
+    pub fn median_read_share(&self) -> Option<f64> {
+        self.read_share_cdf.value_at(0.5)
+    }
+
+    /// Median per-volume write share (paper: 99 % / 75 %).
+    pub fn median_write_share(&self) -> Option<f64> {
+        self.write_share_cdf.value_at(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::testutil::fixture;
+
+    #[test]
+    fn overall_shares_match_manual_sum() {
+        let (_, metrics) = fixture();
+        let r = RwMostly::from_metrics(&metrics);
+        let read_total: u64 = metrics.iter().map(|m| m.read_bytes).sum();
+        let read_mostly: u64 = metrics.iter().map(|m| m.read_bytes_to_read_mostly).sum();
+        assert!(
+            (r.overall_read_share.unwrap() - read_mostly as f64 / read_total as f64).abs()
+                < 1e-12
+        );
+        assert!((0.0..=1.0).contains(&r.overall_write_share.unwrap()));
+    }
+
+    #[test]
+    fn fixture_separated_volumes_have_full_shares() {
+        let (_, metrics) = fixture();
+        // vol 1: reads and writes target disjoint regions → both shares 1.0
+        let v1 = metrics
+            .iter()
+            .find(|m| m.id == cbs_trace::VolumeId::new(1))
+            .unwrap();
+        assert_eq!(v1.read_mostly_share(), Some(1.0));
+        assert_eq!(v1.write_mostly_share(), Some(1.0));
+    }
+
+    #[test]
+    fn medians_exist_for_fixture() {
+        let (_, metrics) = fixture();
+        let r = RwMostly::from_metrics(&metrics);
+        assert!(r.median_read_share().unwrap() > 0.0);
+        assert!(r.median_write_share().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let r = RwMostly::from_metrics(&[]);
+        assert_eq!(r.overall_read_share, None);
+        assert_eq!(r.overall_write_share, None);
+        assert_eq!(r.median_read_share(), None);
+    }
+}

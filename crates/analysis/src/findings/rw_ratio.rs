@@ -1,0 +1,100 @@
+//! Fig. 4 — per-volume write-to-read ratios.
+
+use cbs_stats::Cdf;
+
+use crate::metrics::VolumeMetrics;
+
+/// Fig. 4 — the distribution of write-to-read request ratios across
+/// volumes. Volumes with zero reads have an infinite ratio and are
+/// counted as write-dominant (and above any finite threshold) but are
+/// excluded from the plottable CDF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteReadRatios {
+    /// CDF of finite per-volume W:R ratios.
+    pub cdf: Cdf,
+    /// Volumes with no reads at all (infinite ratio).
+    pub infinite_ratio_volumes: usize,
+    /// Total volumes considered.
+    pub volumes: usize,
+    write_dominant: usize,
+}
+
+impl WriteReadRatios {
+    /// Builds the distribution.
+    pub fn from_metrics(metrics: &[VolumeMetrics]) -> Self {
+        let mut finite = Vec::new();
+        let mut infinite = 0usize;
+        let mut write_dominant = 0usize;
+        for m in metrics {
+            if m.is_write_dominant() {
+                write_dominant += 1;
+            }
+            match m.write_read_ratio() {
+                Some(r) => finite.push(r),
+                None => infinite += 1,
+            }
+        }
+        WriteReadRatios {
+            cdf: Cdf::from_unsorted(finite),
+            infinite_ratio_volumes: infinite,
+            volumes: metrics.len(),
+            write_dominant,
+        }
+    }
+
+    /// Fraction of volumes that are write-dominant (W:R > 1; paper:
+    /// 91.5 % AliCloud, 53 % MSRC).
+    pub fn fraction_write_dominant(&self) -> f64 {
+        if self.volumes == 0 {
+            return 0.0;
+        }
+        self.write_dominant as f64 / self.volumes as f64
+    }
+
+    /// Fraction of volumes with W:R above `threshold` (infinite ratios
+    /// count; paper: 42.4 % above 100 in AliCloud).
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.volumes == 0 {
+            return 0.0;
+        }
+        let finite_above = self.cdf.len() as f64
+            * (1.0 - self.cdf.fraction_at_or_below(threshold));
+        (finite_above + self.infinite_ratio_volumes as f64) / self.volumes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::testutil::fixture;
+
+    #[test]
+    fn fixture_ratios() {
+        let (_, metrics) = fixture();
+        let r = WriteReadRatios::from_metrics(&metrics);
+        assert_eq!(r.volumes, 3);
+        assert_eq!(r.infinite_ratio_volumes, 0);
+        // vol 0: 60/6 = 10 (write-dominant); vol 1: 4/64 (read-dominant);
+        // vol 2: 10/10 = 1 (not write-dominant: not strictly more writes)
+        assert!((r.fraction_write_dominant() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.fraction_above(5.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.fraction_above(1e9), 0.0);
+    }
+
+    #[test]
+    fn infinite_ratios_count_above_any_threshold() {
+        let (_, metrics) = fixture();
+        let mut metrics = metrics;
+        metrics[0].reads = 0; // vol 0 now has no reads
+        let r = WriteReadRatios::from_metrics(&metrics);
+        assert_eq!(r.infinite_ratio_volumes, 1);
+        assert!(r.fraction_above(1e12) >= 1.0 / 3.0 - 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let r = WriteReadRatios::from_metrics(&[]);
+        assert_eq!(r.fraction_write_dominant(), 0.0);
+        assert_eq!(r.fraction_above(1.0), 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Finding 11 — update coverage (Table IV, Fig. 13).
+
+use cbs_stats::{Cdf, Quantiles};
+
+use crate::metrics::VolumeMetrics;
+
+/// Table IV + Fig. 13 — per-volume update coverage (update WSS over
+/// total WSS).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateCoverage {
+    /// CDF of per-volume coverage values in `[0, 1]`.
+    pub cdf: Cdf,
+}
+
+impl UpdateCoverage {
+    /// Builds the distribution.
+    pub fn from_metrics(metrics: &[VolumeMetrics]) -> Self {
+        UpdateCoverage {
+            cdf: metrics.iter().map(VolumeMetrics::update_coverage).collect(),
+        }
+    }
+
+    /// Mean coverage (paper: 76.6 % AliCloud, 36.2 % MSRC).
+    pub fn mean(&self) -> Option<f64> {
+        let q = self.cdf.quantiles();
+        if q.is_empty() {
+            return None;
+        }
+        Some(q.as_sorted().iter().sum::<f64>() / q.len() as f64)
+    }
+
+    /// Median coverage (paper: 61.2 % / 9.4 %).
+    pub fn median(&self) -> Option<f64> {
+        self.cdf.value_at(0.5)
+    }
+
+    /// 90th-percentile coverage (paper: 92.1 % / 63.0 %).
+    pub fn p90(&self) -> Option<f64> {
+        self.cdf.value_at(0.9)
+    }
+
+    /// Fraction of volumes with coverage above `x`
+    /// (paper: 45.2 % of AliCloud volumes above 0.65).
+    pub fn fraction_above(&self, x: f64) -> f64 {
+        1.0 - self.cdf.fraction_at_or_below(x)
+    }
+
+    /// All three Table IV statistics at once.
+    pub fn table_row(&self) -> Option<(f64, f64, f64)> {
+        Some((self.mean()?, self.median()?, self.p90()?))
+    }
+}
+
+impl From<&[VolumeMetrics]> for UpdateCoverage {
+    fn from(metrics: &[VolumeMetrics]) -> Self {
+        Self::from_metrics(metrics)
+    }
+}
+
+/// Convenience: exact quantiles of coverage values.
+pub fn coverage_quantiles(metrics: &[VolumeMetrics]) -> Quantiles {
+    metrics.iter().map(VolumeMetrics::update_coverage).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::testutil::fixture;
+
+    #[test]
+    fn coverage_statistics() {
+        let (_, metrics) = fixture();
+        let c = UpdateCoverage::from_metrics(&metrics);
+        let (mean, median, p90) = c.table_row().unwrap();
+        assert!((0.0..=1.0).contains(&mean));
+        assert!(median <= p90 + 1e-12);
+        // vol 0 overwrites block 0 sixty times over a 3-block WSS
+        let v0 = &metrics[0];
+        assert!((v0.update_coverage() - 1.0 / 3.0).abs() < 1e-12);
+        // vols 1 and 2 never overwrite
+        assert_eq!(metrics[1].update_coverage(), 0.0);
+        assert_eq!(metrics[2].update_coverage(), 0.0);
+        assert!((c.fraction_above(0.1) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_agree_with_cdf() {
+        let (_, metrics) = fixture();
+        let q = coverage_quantiles(&metrics);
+        let c = UpdateCoverage::from_metrics(&metrics);
+        assert_eq!(q.median(), c.median());
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let c = UpdateCoverage::from_metrics(&[]);
+        assert_eq!(c.mean(), None);
+        assert_eq!(c.table_row(), None);
+        assert_eq!(c.fraction_above(0.5), 1.0 - 0.0); // vacuous CDF
+    }
+}

@@ -1,0 +1,216 @@
+//! Finding 14 — update intervals (Table VI, Figs. 16-17).
+
+use cbs_stats::{BoxplotSummary, LogHistogram};
+use cbs_trace::TimeDelta;
+
+use crate::findings::PAPER_PERCENTILES;
+use crate::metrics::VolumeMetrics;
+
+/// The paper's four update-interval duration groups (Fig. 17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntervalGroup {
+    /// Less than 5 minutes.
+    Under5Min,
+    /// 5 to 30 minutes.
+    Min5To30,
+    /// 30 to 240 minutes.
+    Min30To240,
+    /// More than 240 minutes.
+    Over240Min,
+}
+
+impl IntervalGroup {
+    /// All groups in ascending duration order.
+    pub const ALL: [IntervalGroup; 4] = [
+        IntervalGroup::Under5Min,
+        IntervalGroup::Min5To30,
+        IntervalGroup::Min30To240,
+        IntervalGroup::Over240Min,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            IntervalGroup::Under5Min => "<5min",
+            IntervalGroup::Min5To30 => "5-30min",
+            IntervalGroup::Min30To240 => "30-240min",
+            IntervalGroup::Over240Min => ">240min",
+        }
+    }
+}
+
+/// Table VI — overall percentiles of the corpus-merged update-interval
+/// distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverallUpdateIntervals {
+    /// The merged histogram (µs).
+    pub hist: LogHistogram,
+}
+
+impl OverallUpdateIntervals {
+    /// Merges every volume's update-interval histogram.
+    pub fn from_metrics(metrics: &[VolumeMetrics]) -> Self {
+        let bits = metrics
+            .first()
+            .map_or(6, |m| m.update_interval_hist.precision_bits());
+        let mut hist = LogHistogram::new(bits);
+        for m in metrics {
+            hist.merge(&m.update_interval_hist);
+        }
+        OverallUpdateIntervals { hist }
+    }
+
+    /// Table VI's row: the 25/50/75/90/95th percentiles, in hours.
+    pub fn percentiles_hours(&self) -> Option<[f64; 5]> {
+        if self.hist.is_empty() {
+            return None;
+        }
+        Some(PAPER_PERCENTILES.map(|p| {
+            TimeDelta::from_micros(self.hist.quantile(p / 100.0).expect("non-empty"))
+                .as_hours_f64()
+        }))
+    }
+}
+
+/// Fig. 16 — boxplots across volumes of per-volume update-interval
+/// percentiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateIntervalBoxplots {
+    /// The percentile each group describes.
+    pub percentiles: [f64; 5],
+    /// Per-group raw per-volume values (hours).
+    pub values_hours: [Vec<f64>; 5],
+    /// Per-group boxplot summaries.
+    pub boxplots: [Option<BoxplotSummary>; 5],
+}
+
+impl UpdateIntervalBoxplots {
+    /// Builds the groups over volumes with at least one update
+    /// interval.
+    pub fn from_metrics(metrics: &[VolumeMetrics]) -> Self {
+        let mut values_hours: [Vec<f64>; 5] = Default::default();
+        for m in metrics {
+            if m.update_interval_hist.is_empty() {
+                continue;
+            }
+            for (slot, &p) in PAPER_PERCENTILES.iter().enumerate() {
+                let us = m
+                    .update_interval_hist
+                    .quantile(p / 100.0)
+                    .expect("non-empty");
+                values_hours[slot].push(TimeDelta::from_micros(us).as_hours_f64());
+            }
+        }
+        let boxplots =
+            std::array::from_fn(|i| BoxplotSummary::from_unsorted(values_hours[i].clone()));
+        UpdateIntervalBoxplots {
+            percentiles: PAPER_PERCENTILES,
+            values_hours,
+            boxplots,
+        }
+    }
+}
+
+/// Fig. 17 — per-volume proportions of update intervals in the four
+/// duration groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalGroupProportions {
+    /// Per-group proportion vectors (one value per volume with
+    /// updates), in [`IntervalGroup::ALL`] order.
+    pub proportions: [Vec<f64>; 4],
+}
+
+impl IntervalGroupProportions {
+    /// Computes each volume's proportion of update intervals per group.
+    pub fn from_metrics(metrics: &[VolumeMetrics]) -> Self {
+        let m5 = TimeDelta::from_mins(5).as_micros();
+        let m30 = TimeDelta::from_mins(30).as_micros();
+        let m240 = TimeDelta::from_mins(240).as_micros();
+        let mut proportions: [Vec<f64>; 4] = Default::default();
+        for m in metrics {
+            let h = &m.update_interval_hist;
+            if h.is_empty() {
+                continue;
+            }
+            let under5 = h.fraction_at_or_below(m5);
+            let under30 = h.fraction_at_or_below(m30);
+            let under240 = h.fraction_at_or_below(m240);
+            proportions[0].push(under5);
+            proportions[1].push(under30 - under5);
+            proportions[2].push(under240 - under30);
+            proportions[3].push(1.0 - under240);
+        }
+        IntervalGroupProportions { proportions }
+    }
+
+    /// Boxplot of one group's proportions.
+    pub fn boxplot(&self, group: IntervalGroup) -> Option<BoxplotSummary> {
+        let idx = IntervalGroup::ALL
+            .iter()
+            .position(|&g| g == group)
+            .expect("group in ALL");
+        BoxplotSummary::from_unsorted(self.proportions[idx].clone())
+    }
+
+    /// Median proportion of one group (paper: half the AliCloud
+    /// volumes have > 35.2 % of intervals under 5 minutes and > 38.2 %
+    /// over 240 minutes).
+    pub fn median(&self, group: IntervalGroup) -> Option<f64> {
+        self.boxplot(group).map(|b| b.median())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::testutil::fixture;
+
+    #[test]
+    fn overall_percentiles_are_monotone() {
+        let (_, metrics) = fixture();
+        let o = OverallUpdateIntervals::from_metrics(&metrics);
+        let p = o.percentiles_hours().unwrap();
+        assert!(p.windows(2).all(|w| w[0] <= w[1] + 1e-12), "{p:?}");
+        // fixture: updates every minute → all percentiles ≈ 1/60 h
+        assert!((p[2] - 1.0 / 60.0).abs() / (1.0 / 60.0) < 0.05, "{p:?}");
+    }
+
+    #[test]
+    fn boxplots_only_cover_updating_volumes() {
+        let (_, metrics) = fixture();
+        let b = UpdateIntervalBoxplots::from_metrics(&metrics);
+        // only vol 0 has update intervals
+        assert!(b.values_hours.iter().all(|v| v.len() == 1));
+        assert!(b.boxplots[0].is_some());
+    }
+
+    #[test]
+    fn group_proportions_sum_to_one() {
+        let (_, metrics) = fixture();
+        let g = IntervalGroupProportions::from_metrics(&metrics);
+        let volumes = g.proportions[0].len();
+        for v in 0..volumes {
+            let sum: f64 = (0..4).map(|k| g.proportions[k][v]).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "volume {v} sums to {sum}");
+        }
+        // fixture's 1-minute cadence lands fully in <5min
+        assert!((g.median(IntervalGroup::Under5Min).unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(g.median(IntervalGroup::Over240Min), Some(0.0));
+    }
+
+    #[test]
+    fn group_labels() {
+        assert_eq!(
+            IntervalGroup::ALL.map(IntervalGroup::label),
+            ["<5min", "5-30min", "30-240min", ">240min"]
+        );
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let o = OverallUpdateIntervals::from_metrics(&[]);
+        assert_eq!(o.percentiles_hours(), None);
+        let g = IntervalGroupProportions::from_metrics(&[]);
+        assert_eq!(g.median(IntervalGroup::Under5Min), None);
+    }
+}

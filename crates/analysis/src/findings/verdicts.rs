@@ -1,0 +1,400 @@
+//! Machine-checked verdicts for the 15 findings.
+//!
+//! Each of the paper's findings reduces to a *directional claim* — who
+//! is burstier, which distribution sits to the left, which counts
+//! dominate. [`evaluate_pair`] checks every claim against a pair of
+//! analyzed corpora (a cloud-like corpus vs. an enterprise/MSRC-like
+//! one) and returns structured verdicts, so a reproduction can state
+//! precisely which findings hold rather than eyeballing figures.
+
+use cbs_trace::TimeDelta;
+
+use crate::config::AnalysisConfig;
+use crate::findings::activeness::{ActiveDays, ActivePeriods, ActivenessSeries};
+use crate::findings::adjacency::{AdjacencyTimes, PairKind};
+use crate::findings::aggregation::AggregationBoxplots;
+use crate::findings::cache::LruMissRatios;
+use crate::findings::intensity::{BurstinessDistribution, IntensitySeries};
+use crate::findings::interarrival::InterarrivalBoxplots;
+use crate::findings::randomness::RandomnessDistribution;
+use crate::findings::rw_mostly::RwMostly;
+use crate::findings::update_coverage::UpdateCoverage;
+use crate::findings::update_interval::{IntervalGroup, IntervalGroupProportions};
+use crate::metrics::VolumeMetrics;
+
+/// The verdict for one finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FindingVerdict {
+    /// Finding number (1-15) as in the paper's Section IV.
+    pub finding: u8,
+    /// The directional claim being checked.
+    pub claim: &'static str,
+    /// Whether the claim holds on the analyzed pair.
+    pub holds: bool,
+    /// The measured quantities behind the verdict.
+    pub evidence: String,
+}
+
+impl std::fmt::Display for FindingVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Finding {:>2}: [{}] {} ({})",
+            self.finding,
+            if self.holds { "HOLDS" } else { "DIVERGES" },
+            self.claim,
+            self.evidence
+        )
+    }
+}
+
+/// Evaluates all 15 findings on a (cloud-like, enterprise-like) corpus
+/// pair, in paper order.
+///
+/// `cloud` plays AliCloud's role and `enterprise` MSRC's; both must
+/// have been analyzed with the same `config`.
+pub fn evaluate_pair(
+    cloud: &[VolumeMetrics],
+    enterprise: &[VolumeMetrics],
+    config: &AnalysisConfig,
+) -> Vec<FindingVerdict> {
+    let mut verdicts = Vec::with_capacity(15);
+
+    // Finding 1: similar load intensities of volumes.
+    {
+        let c = IntensitySeries::from_metrics(cloud, config);
+        let e = IntensitySeries::from_metrics(enterprise, config);
+        let (cm, em) = (
+            c.median_avg().unwrap_or(0.0),
+            e.median_avg().unwrap_or(0.0),
+        );
+        let ratio = if em > 0.0 { cm / em } else { f64::INFINITY };
+        verdicts.push(FindingVerdict {
+            finding: 1,
+            claim: "both corpora have similar per-volume load intensities",
+            holds: (0.1..=10.0).contains(&ratio),
+            evidence: format!("median avg intensity cloud {cm:.4} vs enterprise {em:.4} req/s"),
+        });
+    }
+
+    // Finding 2: a non-negligible fraction of volumes is highly bursty.
+    {
+        let c = BurstinessDistribution::from_metrics(cloud, config);
+        let e = BurstinessDistribution::from_metrics(enterprise, config);
+        let (ca, ea) = (c.fraction_above(100.0), e.fraction_above(100.0));
+        verdicts.push(FindingVerdict {
+            finding: 2,
+            claim: "a non-negligible fraction of volumes has burstiness > 100",
+            holds: ca > 0.05 && ea > 0.05,
+            evidence: format!("ratio>100: cloud {:.1}% / enterprise {:.1}%", ca * 100.0, ea * 100.0),
+        });
+    }
+
+    // Finding 3: the cloud corpus has more diverse burstiness.
+    {
+        let c = BurstinessDistribution::from_metrics(cloud, config);
+        let e = BurstinessDistribution::from_metrics(enterprise, config);
+        let c_spread = c.fraction_below(10.0) + c.fraction_above(1000.0);
+        let e_spread = e.fraction_below(10.0) + e.fraction_above(1000.0);
+        verdicts.push(FindingVerdict {
+            finding: 3,
+            claim: "the cloud corpus spans a wider burstiness range",
+            holds: c_spread > e_spread,
+            evidence: format!(
+                "mass outside [10,1000]: cloud {:.1}% vs enterprise {:.1}%",
+                c_spread * 100.0,
+                e_spread * 100.0
+            ),
+        });
+    }
+
+    // Finding 4: short-term burstiness — µs/ms-scale inter-arrivals.
+    {
+        let c = InterarrivalBoxplots::from_metrics(cloud);
+        let e = InterarrivalBoxplots::from_metrics(enterprise);
+        let cm = c.median_of_group(1).unwrap_or(f64::INFINITY);
+        let em = e.median_of_group(1).unwrap_or(f64::INFINITY);
+        verdicts.push(FindingVerdict {
+            finding: 4,
+            claim: "median per-volume median inter-arrival is sub-5ms in both",
+            holds: cm < 5_000.0 && em < 5_000.0,
+            evidence: format!("cloud {cm:.0}us vs enterprise {em:.0}us"),
+        });
+    }
+
+    // Finding 5: most volumes are active throughout the trace.
+    {
+        let c = ActiveDays::from_metrics(cloud);
+        let e = ActiveDays::from_metrics(enterprise);
+        let c_all = 1.0 - c.fraction_at_most(max_days(cloud).saturating_sub(1));
+        let e_all = 1.0 - e.fraction_at_most(max_days(enterprise).saturating_sub(1));
+        verdicts.push(FindingVerdict {
+            finding: 5,
+            claim: "the majority of volumes is active on every trace day",
+            holds: c_all > 0.5 && e_all > 0.5,
+            evidence: format!(
+                "all-days-active: cloud {:.1}% / enterprise {:.1}%",
+                c_all * 100.0,
+                e_all * 100.0
+            ),
+        });
+    }
+
+    // Finding 6: writes determine activeness.
+    {
+        let holds = [cloud, enterprise].iter().all(|metrics| {
+            let p = ActivePeriods::from_metrics(metrics, config);
+            match (p.active_days.value_at(0.5), p.write_active_days.value_at(0.5)) {
+                (Some(active), Some(write)) => write >= 0.75 * active,
+                _ => false,
+            }
+        });
+        verdicts.push(FindingVerdict {
+            finding: 6,
+            claim: "write-active time tracks total active time",
+            holds,
+            evidence: "median write-active >= 75% of median active in both".to_owned(),
+        });
+    }
+
+    // Finding 7: removing writes collapses activeness.
+    {
+        let c = ActivenessSeries::from_metrics(cloud).read_only_reduction();
+        let e = ActivenessSeries::from_metrics(enterprise).read_only_reduction();
+        let (c_hi, e_hi) = (
+            c.map_or(0.0, |(_, hi)| hi),
+            e.map_or(0.0, |(_, hi)| hi),
+        );
+        verdicts.push(FindingVerdict {
+            finding: 7,
+            claim: "dropping writes sharply reduces the number of active volumes",
+            holds: c_hi > 0.2 && e_hi > 0.2,
+            evidence: format!(
+                "max interval reduction: cloud {:.1}% / enterprise {:.1}%",
+                c_hi * 100.0,
+                e_hi * 100.0
+            ),
+        });
+    }
+
+    // Finding 8: random I/O is common; the cloud corpus is more random.
+    {
+        let c = RandomnessDistribution::from_metrics(cloud);
+        let e = RandomnessDistribution::from_metrics(enterprise);
+        let (cmax, emax) = (c.max().unwrap_or(0.0), e.max().unwrap_or(0.0));
+        verdicts.push(FindingVerdict {
+            finding: 8,
+            claim: "the cloud corpus sees more random I/O than the enterprise one",
+            holds: cmax > emax && c.fraction_above(0.4) > e.fraction_above(0.4),
+            evidence: format!(
+                "max randomness cloud {:.1}% vs enterprise {:.1}%",
+                cmax * 100.0,
+                emax * 100.0
+            ),
+        });
+    }
+
+    // Finding 9: traffic aggregates in top blocks; writes more than reads.
+    {
+        let holds = [cloud, enterprise].iter().all(|metrics| {
+            let a = AggregationBoxplots::from_metrics(metrics);
+            match (
+                AggregationBoxplots::p25(&a.write_top10),
+                AggregationBoxplots::p25(&a.read_top10),
+            ) {
+                (Some(w), Some(r)) => w > 0.1 && w >= r * 0.8,
+                _ => false,
+            }
+        });
+        verdicts.push(FindingVerdict {
+            finding: 9,
+            claim: "top-10% blocks absorb substantial traffic, writes at least as much as reads",
+            holds,
+            evidence: "p25 of write top-10% share > 10% and >= 0.8x read share".to_owned(),
+        });
+    }
+
+    // Finding 10: reads/writes aggregate in read-/write-mostly blocks.
+    {
+        let c = RwMostly::from_metrics(cloud);
+        verdicts.push(FindingVerdict {
+            finding: 10,
+            claim: "cloud reads/writes aggregate in read-mostly/write-mostly blocks",
+            holds: c.overall_read_share.unwrap_or(0.0) > 0.4
+                && c.overall_write_share.unwrap_or(0.0) > 0.5,
+            evidence: format!(
+                "cloud reads->RM {:.1}%, writes->WM {:.1}%",
+                c.overall_read_share.unwrap_or(0.0) * 100.0,
+                c.overall_write_share.unwrap_or(0.0) * 100.0
+            ),
+        });
+    }
+
+    // Finding 11: cloud update coverage is much higher and diverse.
+    {
+        let c = UpdateCoverage::from_metrics(cloud);
+        let e = UpdateCoverage::from_metrics(enterprise);
+        let (cm, em) = (c.median().unwrap_or(0.0), e.median().unwrap_or(0.0));
+        verdicts.push(FindingVerdict {
+            finding: 11,
+            claim: "cloud update coverage exceeds the enterprise corpus's",
+            holds: cm > em,
+            evidence: format!("median coverage cloud {:.1}% vs enterprise {:.1}%", cm * 100.0, em * 100.0),
+        });
+    }
+
+    // Finding 12: WAW times are short, RAW times long; WAW >> RAW in cloud.
+    {
+        let c = AdjacencyTimes::from_metrics(cloud);
+        let e = AdjacencyTimes::from_metrics(enterprise);
+        let cloud_ok = match (c.median(PairKind::Waw), c.median(PairKind::Raw)) {
+            (Some(waw), Some(raw)) => waw <= raw,
+            _ => false,
+        };
+        let ratio_ok = match (c.waw_to_raw_ratio(), e.waw_to_raw_ratio()) {
+            (Some(cr), Some(er)) => cr > 2.0 && cr > er,
+            _ => false,
+        };
+        verdicts.push(FindingVerdict {
+            finding: 12,
+            claim: "rewrites come sooner than read-backs; cloud WAW count dominates RAW",
+            holds: cloud_ok && ratio_ok,
+            evidence: format!(
+                "cloud WAW:RAW {:.2} vs enterprise {:.2}",
+                c.waw_to_raw_ratio().unwrap_or(f64::NAN),
+                e.waw_to_raw_ratio().unwrap_or(f64::NAN)
+            ),
+        });
+    }
+
+    // Finding 13: WAR time exceeds RAR time.
+    {
+        let holds = [cloud, enterprise].iter().all(|metrics| {
+            let a = AdjacencyTimes::from_metrics(metrics);
+            match (a.median(PairKind::War), a.median(PairKind::Rar)) {
+                (Some(war), Some(rar)) => war >= rar,
+                _ => false,
+            }
+        });
+        let c = AdjacencyTimes::from_metrics(cloud);
+        verdicts.push(FindingVerdict {
+            finding: 13,
+            claim: "a read is re-read sooner than it is overwritten (WAR time > RAR time)",
+            holds,
+            evidence: format!(
+                "cloud RAR median {} vs WAR median {}",
+                c.median(PairKind::Rar).unwrap_or(TimeDelta::ZERO),
+                c.median(PairKind::War).unwrap_or(TimeDelta::ZERO)
+            ),
+        });
+    }
+
+    // Finding 14: update intervals vary; both very-short and very-long
+    // groups carry weight.
+    {
+        let g = IntervalGroupProportions::from_metrics(cloud);
+        let short = g.median(IntervalGroup::Under5Min).unwrap_or(0.0);
+        let long = g.median(IntervalGroup::Over240Min).unwrap_or(0.0);
+        verdicts.push(FindingVerdict {
+            finding: 14,
+            claim: "update intervals are bimodal: much mass below 5min and above 240min",
+            holds: short > 0.05 && long > 0.05,
+            evidence: format!(
+                "cloud median shares: <5min {:.1}%, >240min {:.1}%",
+                short * 100.0,
+                long * 100.0
+            ),
+        });
+    }
+
+    // Finding 15: growing the cache 1%→10% of WSS cuts miss ratios,
+    // more in the cloud corpus.
+    {
+        let c = LruMissRatios::from_metrics(cloud, config);
+        let e = LruMissRatios::from_metrics(enterprise, config);
+        let (cr, er) = (
+            c.mean_read_reduction().unwrap_or(0.0),
+            e.mean_read_reduction().unwrap_or(0.0),
+        );
+        verdicts.push(FindingVerdict {
+            finding: 15,
+            claim: "a 10x larger cache cuts miss ratios; more so for the cloud corpus",
+            holds: cr > 0.0 && cr >= er * 0.8,
+            evidence: format!(
+                "mean read-miss reduction: cloud {:.1} pts vs enterprise {:.1} pts",
+                cr * 100.0,
+                er * 100.0
+            ),
+        });
+    }
+
+    verdicts
+}
+
+/// Number of findings that hold.
+pub fn holds_count(verdicts: &[FindingVerdict]) -> usize {
+    verdicts.iter().filter(|v| v.holds).count()
+}
+
+fn max_days(metrics: &[VolumeMetrics]) -> u64 {
+    metrics
+        .iter()
+        .flat_map(|m| m.active_days.last().copied())
+        .max()
+        .map_or(0, |d| u64::from(d) + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::testutil::fixture;
+
+    #[test]
+    fn evaluates_all_fifteen_findings() {
+        let (_, metrics) = fixture();
+        let config = AnalysisConfig::default();
+        let verdicts = evaluate_pair(&metrics, &metrics, &config);
+        assert_eq!(verdicts.len(), 15);
+        for (i, v) in verdicts.iter().enumerate() {
+            assert_eq!(v.finding as usize, i + 1);
+            assert!(!v.claim.is_empty());
+            assert!(!v.evidence.is_empty());
+        }
+        assert!(holds_count(&verdicts) <= 15);
+    }
+
+    #[test]
+    fn self_comparison_fails_asymmetric_claims() {
+        // comparing a corpus against itself cannot satisfy the strictly
+        // comparative findings (3, 8, 11 require cloud > enterprise)
+        let (_, metrics) = fixture();
+        let config = AnalysisConfig::default();
+        let verdicts = evaluate_pair(&metrics, &metrics, &config);
+        assert!(!verdicts[2].holds, "finding 3 is strict");
+        assert!(!verdicts[7].holds, "finding 8 is strict");
+        assert!(!verdicts[10].holds, "finding 11 is strict");
+    }
+
+    #[test]
+    fn display_formats_verdict() {
+        let v = FindingVerdict {
+            finding: 8,
+            claim: "more random",
+            holds: true,
+            evidence: "42% vs 13%".to_owned(),
+        };
+        let text = v.to_string();
+        assert!(text.contains("Finding  8"));
+        assert!(text.contains("HOLDS"));
+        assert!(text.contains("more random"));
+        let v = FindingVerdict { holds: false, ..v };
+        assert!(v.to_string().contains("DIVERGES"));
+    }
+
+    #[test]
+    fn empty_corpora_produce_verdicts_without_panicking() {
+        let verdicts = evaluate_pair(&[], &[], &AnalysisConfig::default());
+        assert_eq!(verdicts.len(), 15);
+        assert!(holds_count(&verdicts) < 15);
+    }
+}

@@ -1,0 +1,282 @@
+//! Time-evolving characterization: [`WindowedAnalysis`].
+//!
+//! The paper's metrics are mostly trace-global; operators additionally
+//! want to see how a workload *evolves* — does the working set grow
+//! without bound (one-shot writes) or plateau (a circular log)? Does
+//! the write share drift? This module slices a volume's stream into
+//! fixed windows and reports per-window counters plus the cumulative
+//! working-set growth curve, the raw material for cache *re*-sizing
+//! decisions that a single global WSS hides.
+
+use std::collections::HashSet;
+
+use cbs_trace::{IoRequest, TimeDelta, Timestamp, VolumeView};
+
+use crate::config::AnalysisConfig;
+
+/// Counters for one time window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Read requests in the window.
+    pub reads: u64,
+    /// Write requests in the window.
+    pub writes: u64,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Distinct blocks touched within this window alone.
+    pub window_wss_blocks: u64,
+    /// Distinct blocks touched since the start of the trace (cumulative
+    /// WSS at the window's end).
+    pub cumulative_wss_blocks: u64,
+    /// Blocks touched in this window that were never touched before
+    /// (the window's contribution to WSS growth).
+    pub new_blocks: u64,
+}
+
+impl WindowStats {
+    /// Total requests in the window.
+    pub fn requests(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Per-window statistics for one volume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedAnalysis {
+    window: TimeDelta,
+    windows: Vec<WindowStats>,
+}
+
+impl WindowedAnalysis {
+    /// Slices `view` into windows of length `window`, anchored at
+    /// `epoch`, and accumulates per-window statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn analyze(
+        view: VolumeView<'_>,
+        epoch: Timestamp,
+        window: TimeDelta,
+        config: &AnalysisConfig,
+    ) -> Self {
+        assert!(!window.is_zero(), "window must be non-zero");
+        let mut windows: Vec<WindowStats> = Vec::new();
+        let mut ever_seen: HashSet<u64> = HashSet::new();
+        let mut in_window: HashSet<u64> = HashSet::new();
+        let mut current: Option<(u64, WindowStats)> = None;
+
+        let flush =
+            |current: &mut Option<(u64, WindowStats)>,
+             in_window: &mut HashSet<u64>,
+             windows: &mut Vec<WindowStats>,
+             ever: &HashSet<u64>| {
+                if let Some((idx, mut stats)) = current.take() {
+                    stats.window_wss_blocks = in_window.len() as u64;
+                    stats.cumulative_wss_blocks = ever.len() as u64;
+                    // pad empty windows so indices stay aligned to time
+                    while windows.len() < idx as usize {
+                        let mut empty = WindowStats::default();
+                        empty.cumulative_wss_blocks =
+                            windows.last().map_or(0, |w: &WindowStats| w.cumulative_wss_blocks);
+                        windows.push(empty);
+                    }
+                    windows.push(stats);
+                    in_window.clear();
+                }
+            };
+
+        for req in view.requests() {
+            let rel = req.ts().saturating_duration_since(epoch);
+            let idx = rel.as_micros() / window.as_micros();
+            match &mut current {
+                Some((current_idx, stats)) if *current_idx == idx => {
+                    Self::record(stats, req, config, &mut ever_seen, &mut in_window);
+                }
+                _ => {
+                    flush(&mut current, &mut in_window, &mut windows, &ever_seen);
+                    let mut stats = WindowStats::default();
+                    Self::record(&mut stats, req, config, &mut ever_seen, &mut in_window);
+                    current = Some((idx, stats));
+                }
+            }
+        }
+        flush(&mut current, &mut in_window, &mut windows, &ever_seen);
+        WindowedAnalysis { window, windows }
+    }
+
+    fn record(
+        stats: &mut WindowStats,
+        req: &IoRequest,
+        config: &AnalysisConfig,
+        ever: &mut HashSet<u64>,
+        in_window: &mut HashSet<u64>,
+    ) {
+        if req.is_read() {
+            stats.reads += 1;
+            stats.read_bytes += u64::from(req.len());
+        } else {
+            stats.writes += 1;
+            stats.write_bytes += u64::from(req.len());
+        }
+        for block in config.block_size.span_of(req) {
+            if ever.insert(block.get()) {
+                stats.new_blocks += 1;
+            }
+            in_window.insert(block.get());
+        }
+    }
+
+    /// The window length.
+    pub fn window(&self) -> TimeDelta {
+        self.window
+    }
+
+    /// Per-window statistics, index = window number since the epoch
+    /// (gaps appear as zero windows carrying the running WSS).
+    pub fn windows(&self) -> &[WindowStats] {
+        &self.windows
+    }
+
+    /// The cumulative WSS growth curve (one point per window).
+    pub fn wss_growth(&self) -> Vec<u64> {
+        self.windows
+            .iter()
+            .map(|w| w.cumulative_wss_blocks)
+            .collect()
+    }
+
+    /// Index of the window after which WSS growth slowed below
+    /// `fraction` of the average growth — `None` if growth never
+    /// plateaus. A plateau signals a bounded (cacheable) working set.
+    pub fn plateau_window(&self, fraction: f64) -> Option<usize> {
+        let total: u64 = self.windows.iter().map(|w| w.new_blocks).sum();
+        if total == 0 || self.windows.len() < 2 {
+            return None;
+        }
+        let avg = total as f64 / self.windows.len() as f64;
+        let threshold = avg * fraction;
+        // the first window from which every later window grows slowly
+        let mut candidate = None;
+        for (i, w) in self.windows.iter().enumerate() {
+            if (w.new_blocks as f64) <= threshold {
+                candidate.get_or_insert(i);
+            } else {
+                candidate = None;
+            }
+        }
+        candidate.filter(|&i| i > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_trace::{OpKind, Trace, VolumeId};
+
+    fn req(op: OpKind, block: u64, secs: u64) -> IoRequest {
+        IoRequest::new(
+            VolumeId::new(0),
+            op,
+            block * 4096,
+            4096,
+            Timestamp::from_secs(secs),
+        )
+    }
+
+    fn analyze(reqs: Vec<IoRequest>, window_secs: u64) -> WindowedAnalysis {
+        let trace = Trace::from_requests(reqs);
+        let view = trace
+            .volume(VolumeId::new(0))
+            .unwrap_or_else(|| cbs_trace::VolumeView::new(VolumeId::new(0), &[]));
+        WindowedAnalysis::analyze(
+            view,
+            Timestamp::ZERO,
+            TimeDelta::from_secs(window_secs),
+            &AnalysisConfig::default(),
+        )
+    }
+
+    #[test]
+    fn windows_partition_time() {
+        let a = analyze(
+            vec![
+                req(OpKind::Write, 0, 0),
+                req(OpKind::Write, 1, 5),
+                req(OpKind::Read, 0, 10),
+                req(OpKind::Write, 2, 25),
+            ],
+            10,
+        );
+        assert_eq!(a.windows().len(), 3);
+        let w0 = a.windows()[0];
+        assert_eq!(w0.writes, 2);
+        assert_eq!(w0.reads, 0);
+        assert_eq!(w0.window_wss_blocks, 2);
+        assert_eq!(w0.new_blocks, 2);
+        let w1 = a.windows()[1];
+        assert_eq!(w1.reads, 1);
+        assert_eq!(w1.new_blocks, 0, "block 0 already seen");
+        assert_eq!(w1.cumulative_wss_blocks, 2);
+        let w2 = a.windows()[2];
+        assert_eq!(w2.cumulative_wss_blocks, 3);
+        assert_eq!(w2.requests(), 1);
+    }
+
+    #[test]
+    fn gaps_become_zero_windows_with_carried_wss() {
+        let a = analyze(vec![req(OpKind::Write, 0, 0), req(OpKind::Write, 1, 35)], 10);
+        assert_eq!(a.windows().len(), 4);
+        assert_eq!(a.windows()[1].requests(), 0);
+        assert_eq!(a.windows()[1].cumulative_wss_blocks, 1);
+        assert_eq!(a.windows()[2].requests(), 0);
+        assert_eq!(a.wss_growth(), vec![1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn circular_log_plateaus() {
+        // writes cycle over 10 blocks for 100 windows
+        let reqs: Vec<_> = (0..1000)
+            .map(|i| req(OpKind::Write, i % 10, i))
+            .collect();
+        let a = analyze(reqs, 10);
+        let plateau = a.plateau_window(0.5).expect("bounded working set");
+        assert!(plateau <= 2, "plateau at window {plateau}");
+        let growth = a.wss_growth();
+        assert_eq!(*growth.last().unwrap(), 10);
+    }
+
+    #[test]
+    fn one_shot_writer_never_plateaus() {
+        // every request touches a fresh block
+        let reqs: Vec<_> = (0..200).map(|i| req(OpKind::Write, i, i)).collect();
+        let a = analyze(reqs, 10);
+        assert_eq!(a.plateau_window(0.5), None);
+        let growth = a.wss_growth();
+        assert!(growth.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-zero")]
+    fn rejects_zero_window() {
+        let trace = Trace::from_requests(vec![req(OpKind::Read, 0, 0)]);
+        let view = trace.volume(VolumeId::new(0)).unwrap();
+        let _ = WindowedAnalysis::analyze(
+            view,
+            Timestamp::ZERO,
+            TimeDelta::ZERO,
+            &AnalysisConfig::default(),
+        );
+    }
+
+    #[test]
+    fn empty_volume_yields_no_windows() {
+        let a = analyze(vec![], 10);
+        assert!(a.windows().is_empty());
+        assert!(a.wss_growth().is_empty());
+        assert_eq!(a.plateau_window(0.5), None);
+        assert_eq!(a.window(), TimeDelta::from_secs(10));
+    }
+}

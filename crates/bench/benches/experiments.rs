@@ -1,0 +1,110 @@
+//! One Criterion group per paper table/figure: the cost of computing
+//! each artifact's data from the per-volume metrics (and, where the
+//! artifact needs it, from the trace).
+//!
+//! The heavy lifting — the single-pass volume analysis — is measured
+//! once in `analyze_corpus`; the per-figure builders then show what
+//! each artifact adds on top.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cbs_bench::{alicloud_analysis, alicloud_trace};
+
+
+/// Bounds every group's runtime for the single-core CI box: small
+/// sample counts and short measurement windows — these benches exist to
+/// catch regressions of 2x, not 2%.
+fn configure<M: criterion::measurement::Measurement>(
+    group: &mut criterion::BenchmarkGroup<'_, M>,
+) {
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+}
+
+fn bench_analyze_corpus(c: &mut Criterion) {
+    let trace = alicloud_trace();
+    let mut group = c.benchmark_group("analyze_corpus");
+    configure(&mut group);
+    group.throughput(criterion::Throughput::Elements(trace.request_count() as u64));
+    group.bench_function("single_pass_all_volumes", |b| {
+        b.iter(|| {
+            cbs_analysis::analyze_trace(
+                black_box(&trace),
+                &cbs_analysis::AnalysisConfig::default(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let analysis = alicloud_analysis();
+
+    let mut group = c.benchmark_group("experiments");
+    configure(&mut group);
+    group.bench_function("table1_basic", |b| {
+        b.iter(|| black_box(analysis.totals()));
+    });
+    group.bench_function("fig2_sizes", |b| {
+        b.iter(|| (black_box(analysis.request_sizes()), black_box(analysis.mean_sizes())));
+    });
+    group.bench_function("fig3_active_days", |b| {
+        b.iter(|| black_box(analysis.active_days()));
+    });
+    group.bench_function("fig4_wr_ratio", |b| {
+        b.iter(|| black_box(analysis.write_read_ratios()));
+    });
+    group.bench_function("fig5_intensity", |b| {
+        b.iter(|| black_box(analysis.intensity_series()));
+    });
+    group.bench_function("fig5_table2_overall_intensity", |b| {
+        b.iter(|| black_box(analysis.overall_intensity()));
+    });
+    group.bench_function("fig6_burstiness", |b| {
+        b.iter(|| black_box(analysis.burstiness()));
+    });
+    group.bench_function("fig7_interarrival", |b| {
+        b.iter(|| black_box(analysis.interarrival_boxplots()));
+    });
+    group.bench_function("fig8_activeness", |b| {
+        b.iter(|| {
+            (
+                black_box(analysis.activeness_series()),
+                black_box(analysis.active_periods()),
+            )
+        });
+    });
+    group.bench_function("fig10_randomness", |b| {
+        b.iter(|| (black_box(analysis.randomness()), black_box(analysis.top_traffic(10))));
+    });
+    group.bench_function("fig11_aggregation", |b| {
+        b.iter(|| black_box(analysis.aggregation()));
+    });
+    group.bench_function("fig12_rwmostly", |b| {
+        b.iter(|| black_box(analysis.rw_mostly()));
+    });
+    group.bench_function("fig13_coverage", |b| {
+        b.iter(|| black_box(analysis.update_coverage()));
+    });
+    group.bench_function("fig14_raw_waw", |b| {
+        b.iter(|| black_box(analysis.adjacency()));
+    });
+    group.bench_function("fig16_update_intervals", |b| {
+        b.iter(|| {
+            (
+                black_box(analysis.update_intervals()),
+                black_box(analysis.update_interval_boxplots()),
+                black_box(analysis.interval_groups()),
+            )
+        });
+    });
+    group.bench_function("fig18_lru", |b| {
+        b.iter(|| black_box(analysis.lru_miss_ratios()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyze_corpus, bench_experiments);
+criterion_main!(benches);

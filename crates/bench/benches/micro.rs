@@ -1,0 +1,184 @@
+//! Substrate micro-benchmarks: codec parsing, cache policies, reuse
+//! distances, histograms, and generation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cbs_cache::{Arc, CachePolicy, Clock, Fifo, Lfu, Lru, ReuseDistances};
+use cbs_stats::LogHistogram;
+use cbs_synth::presets::{self, CorpusConfig};
+use cbs_trace::codec::alicloud;
+use cbs_trace::{BlockId, MergeByTime};
+
+
+/// Bounds every group's runtime for the single-core CI box: small
+/// sample counts and short measurement windows — these benches exist to
+/// catch regressions of 2x, not 2%.
+fn configure<M: criterion::measurement::Measurement>(
+    group: &mut criterion::BenchmarkGroup<'_, M>,
+) {
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let trace = cbs_bench::alicloud_trace();
+    let lines: Vec<String> = trace
+        .requests()
+        .iter()
+        .take(10_000)
+        .map(alicloud::format_record)
+        .collect();
+    let mut group = c.benchmark_group("codec");
+    configure(&mut group);
+    group.throughput(criterion::Throughput::Elements(lines.len() as u64));
+    group.bench_function("alicloud_parse_10k_records", |b| {
+        b.iter(|| {
+            for line in &lines {
+                black_box(alicloud::parse_record(line).unwrap());
+            }
+        });
+    });
+    group.bench_function("alicloud_format_10k_records", |b| {
+        let reqs: Vec<_> = trace.requests().iter().take(10_000).collect();
+        b.iter(|| {
+            for req in &reqs {
+                black_box(alicloud::format_record(req));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn access_pattern(n: usize) -> Vec<BlockId> {
+    // zipf-ish synthetic pattern: mix of hot and cold blocks
+    (0..n)
+        .map(|i| {
+            let x = (i * 2654435761) % 1000;
+            BlockId::new(if x < 700 { x % 50 } else { x } as u64)
+        })
+        .collect()
+}
+
+fn bench_cache_policies(c: &mut Criterion) {
+    let pattern = access_pattern(100_000);
+    let mut group = c.benchmark_group("cache_policies");
+    configure(&mut group);
+    group.throughput(criterion::Throughput::Elements(pattern.len() as u64));
+    group.bench_function("lru_100k_accesses", |b| {
+        b.iter(|| {
+            let mut cache = Lru::new(128);
+            for &blk in &pattern {
+                black_box(cache.access(blk));
+            }
+        });
+    });
+    group.bench_function("fifo_100k_accesses", |b| {
+        b.iter(|| {
+            let mut cache = Fifo::new(128);
+            for &blk in &pattern {
+                black_box(cache.access(blk));
+            }
+        });
+    });
+    group.bench_function("clock_100k_accesses", |b| {
+        b.iter(|| {
+            let mut cache = Clock::new(128);
+            for &blk in &pattern {
+                black_box(cache.access(blk));
+            }
+        });
+    });
+    group.bench_function("lfu_100k_accesses", |b| {
+        b.iter(|| {
+            let mut cache = Lfu::new(128);
+            for &blk in &pattern {
+                black_box(cache.access(blk));
+            }
+        });
+    });
+    group.bench_function("arc_100k_accesses", |b| {
+        b.iter(|| {
+            let mut cache = Arc::new(128);
+            for &blk in &pattern {
+                black_box(cache.access(blk));
+            }
+        });
+    });
+    group.bench_function("reuse_distance_100k_accesses", |b| {
+        b.iter(|| {
+            let mut rd = ReuseDistances::new();
+            for &blk in &pattern {
+                black_box(rd.access(blk));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let values: Vec<u64> = (0..100_000u64).map(|i| (i * 48271) % 10_000_000 + 1).collect();
+    let mut group = c.benchmark_group("stats");
+    configure(&mut group);
+    group.throughput(criterion::Throughput::Elements(values.len() as u64));
+    group.bench_function("log_histogram_record_100k", |b| {
+        b.iter(|| {
+            let mut h = LogHistogram::with_default_precision();
+            for &v in &values {
+                h.record(v);
+            }
+            black_box(h)
+        });
+    });
+    group.bench_function("log_histogram_quantiles", |b| {
+        let mut h = LogHistogram::with_default_precision();
+        for &v in &values {
+            h.record(v);
+        }
+        b.iter(|| {
+            for q in [0.25, 0.5, 0.75, 0.9, 0.95, 0.99] {
+                black_box(h.quantile(q));
+            }
+        });
+    });
+    group.bench_function("exact_quantiles_100k", |b| {
+        let floats: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        b.iter(|| {
+            let q = cbs_stats::Quantiles::from_unsorted(floats.clone());
+            black_box(q.paper_percentiles())
+        });
+    });
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    configure(&mut group);
+    group.bench_function("alicloud_like_corpus", |b| {
+        let config = CorpusConfig::new(8, 1, 7).with_intensity_scale(0.002);
+        b.iter(|| black_box(presets::alicloud_like(&config).generate()));
+    });
+    group.bench_function("merge_by_time", |b| {
+        let trace = cbs_bench::alicloud_trace();
+        let runs: Vec<Vec<_>> = trace
+            .volumes()
+            .map(|v| v.requests().to_vec())
+            .collect();
+        b.iter(|| {
+            let merged: usize =
+                MergeByTime::new(runs.iter().map(|r| r.iter().copied()).collect()).count();
+            black_box(merged)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_cache_policies,
+    bench_stats,
+    bench_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,264 @@
+//! Adaptive Replacement Cache: [`Arc`].
+
+use cbs_trace::BlockId;
+
+use crate::list::LinkedSet;
+use crate::policy::{AccessResult, CachePolicy};
+
+/// ARC (Megiddo & Modha, FAST'03): a scan-resistant policy that adapts
+/// between recency and frequency.
+///
+/// The cache is split into a recency list `T1` and a frequency list
+/// `T2`, shadowed by ghost lists `B1`/`B2` of recently evicted block
+/// ids. Ghost hits steer the adaptation target `p` (the desired size of
+/// `T1`). Included as an ablation baseline for the paper's Finding 15:
+/// cloud volumes whose writes aggregate in small hot sets reward
+/// frequency-awareness, while scan-like volumes reward recency.
+///
+/// # Example
+///
+/// ```
+/// use cbs_cache::{Arc, CachePolicy};
+/// use cbs_trace::BlockId;
+///
+/// let mut arc = Arc::new(2);
+/// arc.access(BlockId::new(1));
+/// arc.access(BlockId::new(1)); // promoted to the frequency list
+/// arc.access(BlockId::new(2));
+/// arc.access(BlockId::new(3)); // scan: evicts from the recency side
+/// assert!(arc.contains(BlockId::new(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Arc {
+    t1: LinkedSet,
+    t2: LinkedSet,
+    b1: LinkedSet,
+    b2: LinkedSet,
+    /// Adaptation target for |T1|, in `0..=capacity`.
+    p: usize,
+    capacity: usize,
+}
+
+impl Arc {
+    /// Creates an ARC cache holding at most `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be non-zero");
+        Arc {
+            t1: LinkedSet::new(),
+            t2: LinkedSet::new(),
+            b1: LinkedSet::new(),
+            b2: LinkedSet::new(),
+            p: 0,
+            capacity,
+        }
+    }
+
+    /// The current adaptation target for the recency list size.
+    pub fn target_t1(&self) -> usize {
+        self.p
+    }
+
+    /// Sizes of `(T1, T2, B1, B2)` — exposed for tests and diagnostics.
+    pub fn list_sizes(&self) -> (usize, usize, usize, usize) {
+        (self.t1.len(), self.t2.len(), self.b1.len(), self.b2.len())
+    }
+
+    /// The REPLACE subroutine: evicts one resident block from T1 or T2
+    /// into the corresponding ghost list and returns it.
+    fn replace(&mut self, in_b2: bool) -> BlockId {
+        let from_t1 = !self.t1.is_empty()
+            && (self.t1.len() > self.p || (in_b2 && self.t1.len() == self.p));
+        if from_t1 {
+            let victim = self.t1.pop_lru().expect("t1 non-empty");
+            self.b1.push_mru(victim);
+            victim
+        } else {
+            let victim = self
+                .t2
+                .pop_lru()
+                .expect("replace invariant: t2 non-empty when t1 side not chosen");
+            self.b2.push_mru(victim);
+            victim
+        }
+    }
+}
+
+impl CachePolicy for Arc {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.t1.len() + self.t2.len()
+    }
+
+    fn contains(&self, block: BlockId) -> bool {
+        self.t1.contains(block) || self.t2.contains(block)
+    }
+
+    fn access(&mut self, block: BlockId) -> AccessResult {
+        // Case I: hit in T1 or T2 → promote to T2 MRU.
+        if self.t1.remove(block) || self.t2.contains(block) {
+            self.t2.push_mru(block);
+            return AccessResult::HIT;
+        }
+
+        // Case II: ghost hit in B1 → grow p, replace, admit into T2.
+        if self.b1.contains(block) {
+            let delta = (self.b2.len() / self.b1.len().max(1)).max(1);
+            self.p = (self.p + delta).min(self.capacity);
+            let victim = self.replace(false);
+            self.b1.remove(block);
+            self.t2.push_mru(block);
+            return AccessResult::miss_evicting(victim);
+        }
+
+        // Case III: ghost hit in B2 → shrink p, replace, admit into T2.
+        if self.b2.contains(block) {
+            let delta = (self.b1.len() / self.b2.len().max(1)).max(1);
+            self.p = self.p.saturating_sub(delta);
+            let victim = self.replace(true);
+            self.b2.remove(block);
+            self.t2.push_mru(block);
+            return AccessResult::miss_evicting(victim);
+        }
+
+        // Case IV: full miss.
+        let l1 = self.t1.len() + self.b1.len();
+        let evicted = if l1 == self.capacity {
+            if self.t1.len() < self.capacity {
+                self.b1.pop_lru();
+                Some(self.replace(false))
+            } else {
+                // B1 empty and T1 full: discard T1's LRU outright.
+                Some(self.t1.pop_lru().expect("t1 full"))
+            }
+        } else {
+            let total = l1 + self.t2.len() + self.b2.len();
+            if total >= self.capacity {
+                if total == 2 * self.capacity {
+                    self.b2.pop_lru();
+                }
+                Some(self.replace(false))
+            } else {
+                None
+            }
+        };
+        self.t1.push_mru(block);
+        AccessResult {
+            hit: false,
+            evicted,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "arc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::conformance;
+
+    fn b(i: u64) -> BlockId {
+        BlockId::new(i)
+    }
+
+    #[test]
+    fn conforms_to_policy_contract() {
+        conformance::check_policy(Arc::new(8), 8);
+        conformance::check_policy(Arc::new(1), 1);
+        conformance::check_eviction_discipline(Arc::new(4), 4);
+    }
+
+    #[test]
+    fn repeated_access_promotes_to_t2() {
+        let mut arc = Arc::new(4);
+        arc.access(b(1));
+        let (t1, t2, _, _) = arc.list_sizes();
+        assert_eq!((t1, t2), (1, 0));
+        arc.access(b(1));
+        let (t1, t2, _, _) = arc.list_sizes();
+        assert_eq!((t1, t2), (0, 1));
+    }
+
+    #[test]
+    fn scan_resistance() {
+        // A hot set of 2 blocks, then a long cold scan. ARC keeps the
+        // hot blocks in T2 while the scan churns through T1.
+        let mut arc = Arc::new(4);
+        for _ in 0..4 {
+            arc.access(b(1));
+            arc.access(b(2));
+        }
+        for i in 100..130 {
+            arc.access(b(i));
+        }
+        assert!(arc.contains(b(1)), "hot block 1 survives the scan");
+        assert!(arc.contains(b(2)), "hot block 2 survives the scan");
+    }
+
+    #[test]
+    fn ghost_hit_in_b1_grows_p() {
+        let mut arc = Arc::new(2);
+        arc.access(b(1));
+        arc.access(b(1)); // 1 → T2
+        arc.access(b(2)); // T1=[2], T2=[1]
+        let out = arc.access(b(3)); // REPLACE evicts 2 from T1 into B1
+        assert_eq!(out.evicted, Some(b(2)));
+        assert_eq!(arc.target_t1(), 0);
+        arc.access(b(2)); // ghost hit in B1
+        assert!(arc.target_t1() >= 1, "p grew after B1 ghost hit");
+        assert!(arc.contains(b(2)));
+    }
+
+    #[test]
+    fn t1_overflow_discards_without_ghost() {
+        // With only cold misses, T1 fills to capacity; the next miss
+        // discards T1's LRU outright (case IV, |T1| = c, B1 empty).
+        let mut arc = Arc::new(2);
+        arc.access(b(1));
+        arc.access(b(2));
+        let out = arc.access(b(3));
+        assert_eq!(out.evicted, Some(b(1)));
+        let (_, _, b1, _) = arc.list_sizes();
+        assert_eq!(b1, 0, "discarded block does not enter B1");
+    }
+
+    #[test]
+    fn directory_bounded_by_2c() {
+        let mut arc = Arc::new(8);
+        for i in 0..1000u64 {
+            arc.access(b(i * 3 % 64));
+        }
+        let (t1, t2, b1, b2) = arc.list_sizes();
+        assert!(t1 + t2 <= 8);
+        assert!(t1 + b1 <= 8, "L1 bounded by c");
+        assert!(t1 + t2 + b1 + b2 <= 16, "directory bounded by 2c");
+    }
+
+    #[test]
+    fn p_stays_in_range() {
+        let mut arc = Arc::new(6);
+        for i in 0..2000u64 {
+            arc.access(b((i * 7) % 23));
+        }
+        assert!(arc.target_t1() <= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_zero_capacity() {
+        let _ = Arc::new(0);
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(Arc::new(1).name(), "arc");
+    }
+}

@@ -1,0 +1,155 @@
+//! Least-frequently-used replacement: [`Lfu`].
+
+use std::collections::{BTreeSet, HashMap};
+
+use cbs_trace::BlockId;
+
+use crate::policy::{AccessResult, CachePolicy};
+
+/// LFU replacement with LRU tie-breaking (evicts the least-frequently
+/// used block; among equal frequencies, the least recently inserted).
+///
+/// O(log n) per access via an ordered set keyed by
+/// `(frequency, sequence, block)`. Included as an ablation baseline:
+/// workloads whose traffic aggregates in a small set of hot blocks
+/// (the paper's Finding 9) favour frequency over recency.
+#[derive(Debug, Clone, Default)]
+pub struct Lfu {
+    /// `(freq, seq)` per resident block; `seq` is the admission/touch
+    /// sequence used to break frequency ties (older evicts first).
+    meta: HashMap<BlockId, (u64, u64)>,
+    /// Eviction order: ascending `(freq, seq, block)`.
+    order: BTreeSet<(u64, u64, BlockId)>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl Lfu {
+    /// Creates an LFU cache holding at most `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be non-zero");
+        Lfu {
+            capacity,
+            ..Default::default()
+        }
+    }
+
+    /// The reference count recorded for a resident block.
+    pub fn frequency(&self, block: BlockId) -> Option<u64> {
+        self.meta.get(&block).map(|&(f, _)| f)
+    }
+}
+
+impl CachePolicy for Lfu {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    fn contains(&self, block: BlockId) -> bool {
+        self.meta.contains_key(&block)
+    }
+
+    fn access(&mut self, block: BlockId) -> AccessResult {
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        if let Some(&(freq, old_seq)) = self.meta.get(&block) {
+            self.order.remove(&(freq, old_seq, block));
+            self.order.insert((freq + 1, seq, block));
+            self.meta.insert(block, (freq + 1, seq));
+            return AccessResult::HIT;
+        }
+        let evicted = if self.meta.len() == self.capacity {
+            let &victim_key = self.order.iter().next().expect("full cache is non-empty");
+            self.order.remove(&victim_key);
+            self.meta.remove(&victim_key.2);
+            Some(victim_key.2)
+        } else {
+            None
+        };
+        self.meta.insert(block, (1, seq));
+        self.order.insert((1, seq, block));
+        AccessResult {
+            hit: false,
+            evicted,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "lfu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::conformance;
+
+    fn b(i: u64) -> BlockId {
+        BlockId::new(i)
+    }
+
+    #[test]
+    fn conforms_to_policy_contract() {
+        conformance::check_policy(Lfu::new(8), 8);
+        conformance::check_policy(Lfu::new(1), 1);
+        conformance::check_eviction_discipline(Lfu::new(4), 4);
+    }
+
+    #[test]
+    fn evicts_least_frequent() {
+        let mut lfu = Lfu::new(2);
+        lfu.access(b(1));
+        lfu.access(b(1));
+        lfu.access(b(1)); // freq(1) = 3
+        lfu.access(b(2)); // freq(2) = 1
+        assert_eq!(lfu.frequency(b(1)), Some(3));
+        let out = lfu.access(b(3));
+        assert_eq!(out.evicted, Some(b(2)), "block 2 is least frequent");
+        assert!(lfu.contains(b(1)));
+    }
+
+    #[test]
+    fn frequency_ties_break_by_age() {
+        let mut lfu = Lfu::new(2);
+        lfu.access(b(1)); // freq 1, older
+        lfu.access(b(2)); // freq 1, newer
+        let out = lfu.access(b(3));
+        assert_eq!(out.evicted, Some(b(1)), "older block evicts first on tie");
+    }
+
+    #[test]
+    fn hit_increments_frequency() {
+        let mut lfu = Lfu::new(4);
+        lfu.access(b(9));
+        assert_eq!(lfu.frequency(b(9)), Some(1));
+        assert!(lfu.access(b(9)).hit);
+        assert_eq!(lfu.frequency(b(9)), Some(2));
+        assert_eq!(lfu.frequency(b(404)), None);
+    }
+
+    #[test]
+    fn scan_does_not_flush_hot_block() {
+        let mut lfu = Lfu::new(3);
+        for _ in 0..10 {
+            lfu.access(b(1)); // very hot
+        }
+        for i in 100..120 {
+            lfu.access(b(i)); // cold scan
+        }
+        assert!(lfu.contains(b(1)), "LFU retains the hot block through scans");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_zero_capacity() {
+        let _ = Lfu::new(0);
+    }
+}

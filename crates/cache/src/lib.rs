@@ -1,0 +1,64 @@
+//! Cache simulation substrate.
+//!
+//! Finding 15 of the IISWC'20 cloud block storage study evaluates LRU
+//! miss ratios at cache sizes of 1 % and 10 % of each volume's working
+//! set. `cbs-cache` provides that simulation plus the surrounding
+//! machinery a storage-caching study needs:
+//!
+//! * [`policy`] — the object-safe [`CachePolicy`] trait;
+//! * [`lru`], [`fifo`], [`lfu`], [`clock`], [`arc`], [`slru`], [`twoq`] —
+//!   replacement policies (LRU is the paper's; the rest are ablation
+//!   baselines);
+//! * [`sim`] — [`CacheSim`], which drives a policy over a block-access
+//!   stream and tallies read/write hit ratios as the paper reports them;
+//! * [`reuse`] — exact reuse-distance computation (Mattson stack
+//!   distances via a Fenwick tree) and SHARDS-style sampled
+//!   approximation;
+//! * [`mrc`] — miss-ratio curves derived from reuse distances, after
+//!   Counter Stacks / SHARDS (both cited by the paper);
+//! * [`opt`] — Belady's offline-optimal MIN as the unbeatable baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use cbs_cache::{CachePolicy, Lru};
+//! use cbs_trace::BlockId;
+//!
+//! let mut lru = Lru::new(2);
+//! assert!(!lru.access(BlockId::new(1)).hit);
+//! assert!(!lru.access(BlockId::new(2)).hit);
+//! assert!(lru.access(BlockId::new(1)).hit);     // 1 is MRU now
+//! let out = lru.access(BlockId::new(3));        // evicts 2 (LRU)
+//! assert_eq!(out.evicted, Some(BlockId::new(2)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arc;
+pub mod clock;
+pub mod fifo;
+pub mod lfu;
+pub mod list;
+pub mod lru;
+pub mod mrc;
+pub mod opt;
+pub mod policy;
+pub mod reuse;
+pub mod sim;
+pub mod slru;
+pub mod twoq;
+
+pub use arc::Arc;
+pub use clock::Clock;
+pub use fifo::Fifo;
+pub use lfu::Lfu;
+pub use lru::Lru;
+pub use mrc::MissRatioCurve;
+pub use opt::{simulate_opt, OptResult};
+pub use policy::{AccessResult, CachePolicy};
+pub use reuse::{ReuseDistances, ShardsSampler};
+pub use sim::{CacheSim, CacheStats};
+pub use slru::Slru;
+pub use twoq::TwoQ;

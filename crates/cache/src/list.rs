@@ -1,0 +1,251 @@
+//! An ordered set of blocks with O(1) recency operations: [`LinkedSet`].
+//!
+//! This is the shared backbone of the recency-based policies (LRU and
+//! ARC's four lists): a doubly-linked list threaded through a hash map,
+//! supporting O(1) push-to-MRU, pop-from-LRU, and removal from the
+//! middle, with no unsafe code (links are keys, not pointers).
+
+use std::collections::HashMap;
+
+use cbs_trace::BlockId;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    prev: Option<BlockId>,
+    next: Option<BlockId>,
+}
+
+/// A set of blocks ordered from LRU (front) to MRU (back).
+///
+/// # Example
+///
+/// ```
+/// use cbs_cache::list::LinkedSet;
+/// use cbs_trace::BlockId;
+///
+/// let mut set = LinkedSet::new();
+/// set.push_mru(BlockId::new(1));
+/// set.push_mru(BlockId::new(2));
+/// set.push_mru(BlockId::new(1)); // move 1 to MRU
+/// assert_eq!(set.pop_lru(), Some(BlockId::new(2)));
+/// assert_eq!(set.pop_lru(), Some(BlockId::new(1)));
+/// assert!(set.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LinkedSet {
+    nodes: HashMap<BlockId, Node>,
+    lru: Option<BlockId>,
+    mru: Option<BlockId>,
+}
+
+impl LinkedSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty set with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        LinkedSet {
+            nodes: HashMap::with_capacity(capacity),
+            lru: None,
+            mru: None,
+        }
+    }
+
+    /// Number of blocks in the set.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Returns `true` if `block` is in the set.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.nodes.contains_key(&block)
+    }
+
+    /// The least-recently inserted/promoted block, if any.
+    pub fn lru(&self) -> Option<BlockId> {
+        self.lru
+    }
+
+    /// The most-recently inserted/promoted block, if any.
+    pub fn mru(&self) -> Option<BlockId> {
+        self.mru
+    }
+
+    /// Inserts `block` at the MRU end, or moves it there if present.
+    pub fn push_mru(&mut self, block: BlockId) {
+        if self.nodes.contains_key(&block) {
+            self.unlink(block);
+        }
+        let old_mru = self.mru;
+        self.nodes.insert(
+            block,
+            Node {
+                prev: old_mru,
+                next: None,
+            },
+        );
+        if let Some(m) = old_mru {
+            self.nodes.get_mut(&m).expect("mru node exists").next = Some(block);
+        }
+        self.mru = Some(block);
+        if self.lru.is_none() {
+            self.lru = Some(block);
+        }
+    }
+
+    /// Removes and returns the LRU block, if any.
+    pub fn pop_lru(&mut self) -> Option<BlockId> {
+        let victim = self.lru?;
+        self.remove(victim);
+        Some(victim)
+    }
+
+    /// Removes `block` from anywhere in the set; returns `true` if it
+    /// was present.
+    pub fn remove(&mut self, block: BlockId) -> bool {
+        if !self.nodes.contains_key(&block) {
+            return false;
+        }
+        self.unlink(block);
+        self.nodes.remove(&block);
+        true
+    }
+
+    /// Detaches `block`'s links, repairing its neighbours and the ends.
+    /// The node itself stays in the map (callers re-insert or remove).
+    fn unlink(&mut self, block: BlockId) {
+        let node = self.nodes[&block];
+        match node.prev {
+            Some(p) => self.nodes.get_mut(&p).expect("prev exists").next = node.next,
+            None => self.lru = node.next,
+        }
+        match node.next {
+            Some(n) => self.nodes.get_mut(&n).expect("next exists").prev = node.prev,
+            None => self.mru = node.prev,
+        }
+    }
+
+    /// Iterates from LRU to MRU. O(n); intended for tests and debugging.
+    pub fn iter(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let mut cursor = self.lru;
+        std::iter::from_fn(move || {
+            let current = cursor?;
+            cursor = self.nodes[&current].next;
+            Some(current)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u64) -> BlockId {
+        BlockId::new(i)
+    }
+
+    #[test]
+    fn empty_set() {
+        let mut s = LinkedSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.lru(), None);
+        assert_eq!(s.mru(), None);
+        assert_eq!(s.pop_lru(), None);
+        assert!(!s.remove(b(1)));
+    }
+
+    #[test]
+    fn push_orders_lru_to_mru() {
+        let mut s = LinkedSet::new();
+        for i in 1..=3 {
+            s.push_mru(b(i));
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![b(1), b(2), b(3)]);
+        assert_eq!(s.lru(), Some(b(1)));
+        assert_eq!(s.mru(), Some(b(3)));
+    }
+
+    #[test]
+    fn push_existing_promotes() {
+        let mut s = LinkedSet::new();
+        for i in 1..=3 {
+            s.push_mru(b(i));
+        }
+        s.push_mru(b(1));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![b(2), b(3), b(1)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn remove_middle_front_back() {
+        let mut s = LinkedSet::new();
+        for i in 1..=4 {
+            s.push_mru(b(i));
+        }
+        assert!(s.remove(b(2))); // middle
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![b(1), b(3), b(4)]);
+        assert!(s.remove(b(1))); // front
+        assert_eq!(s.lru(), Some(b(3)));
+        assert!(s.remove(b(4))); // back
+        assert_eq!(s.mru(), Some(b(3)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn pop_lru_drains_in_order() {
+        let mut s = LinkedSet::new();
+        for i in 0..10 {
+            s.push_mru(b(i));
+        }
+        let drained: Vec<_> = std::iter::from_fn(|| s.pop_lru()).collect();
+        assert_eq!(drained, (0..10).map(b).collect::<Vec<_>>());
+        assert!(s.is_empty());
+        assert_eq!(s.lru(), None);
+        assert_eq!(s.mru(), None);
+    }
+
+    #[test]
+    fn single_element_edge_cases() {
+        let mut s = LinkedSet::new();
+        s.push_mru(b(7));
+        assert_eq!(s.lru(), Some(b(7)));
+        assert_eq!(s.mru(), Some(b(7)));
+        s.push_mru(b(7)); // self-promotion must not corrupt links
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop_lru(), Some(b(7)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn interleaved_stress_against_vec_model() {
+        // model: Vec kept in LRU..MRU order
+        let mut s = LinkedSet::new();
+        let mut model: Vec<BlockId> = Vec::new();
+        let ops: Vec<u64> = (0..500).map(|i| (i * 31 + 7) % 40).collect();
+        for (step, &x) in ops.iter().enumerate() {
+            let block = b(x);
+            if step % 7 == 3 {
+                let was = model.iter().position(|&m| m == block);
+                assert_eq!(s.remove(block), was.is_some());
+                if let Some(pos) = was {
+                    model.remove(pos);
+                }
+            } else {
+                if let Some(pos) = model.iter().position(|&m| m == block) {
+                    model.remove(pos);
+                }
+                model.push(block);
+                s.push_mru(block);
+            }
+            assert_eq!(s.iter().collect::<Vec<_>>(), model, "step {step}");
+        }
+    }
+}

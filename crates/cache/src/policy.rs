@@ -1,0 +1,139 @@
+//! The replacement-policy abstraction: [`CachePolicy`] and
+//! [`AccessResult`].
+
+use cbs_trace::BlockId;
+
+/// Outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// `true` if the block was resident before the access.
+    pub hit: bool,
+    /// The block evicted to make room, if any.
+    pub evicted: Option<BlockId>,
+}
+
+impl AccessResult {
+    /// A hit (nothing evicted).
+    pub const HIT: AccessResult = AccessResult {
+        hit: true,
+        evicted: None,
+    };
+
+    /// A miss that fit without eviction.
+    pub const MISS: AccessResult = AccessResult {
+        hit: false,
+        evicted: None,
+    };
+
+    /// A miss that evicted `victim`.
+    pub fn miss_evicting(victim: BlockId) -> AccessResult {
+        AccessResult {
+            hit: false,
+            evicted: Some(victim),
+        }
+    }
+}
+
+/// A block-granular cache replacement policy.
+///
+/// Semantics shared by every implementation in this crate:
+///
+/// * the cache holds at most [`capacity`](CachePolicy::capacity) blocks,
+///   all of equal size (analyses choose the block unit);
+/// * [`access`](CachePolicy::access) performs the policy's full
+///   bookkeeping for one reference: on a miss the block is admitted,
+///   evicting at most one victim; on a hit the recency/frequency state is
+///   updated;
+/// * reads and writes are treated identically (the paper's Finding 15
+///   simulates a unified read/write cache; the split accounting lives in
+///   [`crate::CacheSim`]).
+///
+/// The trait is object-safe so simulations can switch policies at
+/// runtime (`Box<dyn CachePolicy>`).
+pub trait CachePolicy {
+    /// Maximum number of resident blocks.
+    fn capacity(&self) -> usize;
+
+    /// Current number of resident blocks.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if no block is resident.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` if `block` is resident.
+    fn contains(&self, block: BlockId) -> bool;
+
+    /// References `block`, updating policy state.
+    fn access(&mut self, block: BlockId) -> AccessResult;
+
+    /// A short human-readable policy name (`"lru"`, `"arc"`, ...).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod conformance {
+    //! Shared conformance checks run against every policy.
+
+    use super::*;
+
+    /// Exercises the invariants every policy must uphold.
+    pub(crate) fn check_policy<P: CachePolicy>(mut cache: P, capacity: usize) {
+        assert_eq!(cache.capacity(), capacity);
+        assert!(cache.is_empty());
+        assert_eq!(cache.len(), 0);
+        assert!(!cache.contains(BlockId::new(0)));
+
+        // deterministic access pattern with reuse
+        let pattern: Vec<u64> = (0..200u64).map(|i| (i * 7) % 50).collect();
+        let mut resident: std::collections::HashSet<BlockId> = Default::default();
+        for &b in &pattern {
+            let block = BlockId::new(b);
+            let was_resident = resident.contains(&block);
+            let out = cache.access(block);
+            // hit report must agree with residency
+            assert_eq!(out.hit, was_resident, "block {b}");
+            if let Some(victim) = out.evicted {
+                assert!(resident.remove(&victim), "evicted non-resident {victim}");
+                assert!(!cache.contains(victim), "victim still resident");
+            }
+            resident.insert(block);
+            assert!(cache.contains(block), "accessed block must be resident");
+            assert!(cache.len() <= capacity, "capacity exceeded");
+            assert_eq!(cache.len(), resident.len(), "len mismatch");
+        }
+        assert!(!cache.is_empty());
+    }
+
+    /// A hit never evicts; a miss at full capacity always evicts.
+    pub(crate) fn check_eviction_discipline<P: CachePolicy>(mut cache: P, capacity: usize) {
+        for i in 0..capacity as u64 {
+            let out = cache.access(BlockId::new(i));
+            assert!(!out.hit);
+            assert_eq!(out.evicted, None, "no eviction before full");
+        }
+        let out = cache.access(BlockId::new(0));
+        assert!(out.hit);
+        assert_eq!(out.evicted, None, "hits never evict");
+        let out = cache.access(BlockId::new(capacity as u64 + 10));
+        assert!(!out.hit);
+        assert!(out.evicted.is_some(), "miss at capacity must evict");
+        assert_eq!(cache.len(), capacity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_result_constructors() {
+        assert!(AccessResult::HIT.hit);
+        assert_eq!(AccessResult::HIT.evicted, None);
+        assert!(!AccessResult::MISS.hit);
+        let e = AccessResult::miss_evicting(BlockId::new(3));
+        assert!(!e.hit);
+        assert_eq!(e.evicted, Some(BlockId::new(3)));
+    }
+}

@@ -1,0 +1,406 @@
+//! Reuse (stack) distance computation: [`ReuseDistances`] and
+//! [`ShardsSampler`].
+//!
+//! The *reuse distance* of an access is the number of **distinct** blocks
+//! referenced since the previous access to the same block (∞ for a first
+//! access). Under LRU, an access hits a cache of capacity `c` iff its
+//! reuse distance is `< c` — so one pass over a trace yields the whole
+//! miss-ratio curve ([`crate::MissRatioCurve`]). The paper cites Counter
+//! Stacks (OSDI'14) and SHARDS (FAST'15) for exactly this machinery.
+//!
+//! The exact computation is Mattson's algorithm with a Fenwick tree over
+//! access positions: O(log n) per access. [`ShardsSampler`] implements
+//! fixed-rate SHARDS spatial sampling for approximate curves at a small
+//! fraction of the cost.
+
+use std::collections::HashMap;
+
+use cbs_trace::BlockId;
+
+/// A Fenwick (binary indexed) tree over access positions, supporting
+/// point updates and prefix sums; grows by appending zeros.
+#[derive(Debug, Clone, Default)]
+struct Fenwick {
+    /// 1-based implicit tree.
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Appends one new position with initial value `delta`.
+    ///
+    /// Appending is the only way the tree grows: the new cell's covered
+    /// range `(i − lowbit(i), i]` reaches back over existing positions,
+    /// so its initial value is computed from existing prefix sums.
+    fn append(&mut self, delta: i64) {
+        let i = self.tree.len() + 1; // 1-based index of the new cell
+        let lowbit = i & i.wrapping_neg();
+        let range_sum = self
+            .prefix1(i - 1)
+            .wrapping_sub(self.prefix1(i - lowbit));
+        self.tree.push(range_sum.wrapping_add(delta as u64));
+    }
+
+    /// Adds `delta` at 0-based position `pos`, appending zero-valued
+    /// positions first if `pos` is past the end.
+    fn add(&mut self, pos: usize, delta: i64) {
+        while self.tree.len() < pos {
+            self.append(0);
+        }
+        if self.tree.len() == pos {
+            self.append(delta);
+            return;
+        }
+        let mut i = pos + 1; // 1-based
+        while i <= self.tree.len() {
+            let cell = &mut self.tree[i - 1];
+            *cell = cell.wrapping_add(delta as u64);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of 1-based positions `1..=i`; `i` must be ≤ `len`.
+    fn prefix1(&self, mut i: usize) -> u64 {
+        debug_assert!(i <= self.tree.len());
+        let mut sum = 0u64;
+        while i > 0 {
+            sum = sum.wrapping_add(self.tree[i - 1]);
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Sum of 0-based positions `0..=pos`; positions past the end count
+    /// as zero.
+    fn prefix(&self, pos: usize) -> u64 {
+        self.prefix1((pos + 1).min(self.tree.len()))
+    }
+}
+
+/// Exact reuse-distance histogram of a block-access stream.
+///
+/// # Example
+///
+/// ```
+/// use cbs_cache::ReuseDistances;
+/// use cbs_trace::BlockId;
+///
+/// let mut rd = ReuseDistances::new();
+/// for &b in &[1u64, 2, 3, 1, 2, 3] {
+///     rd.access(BlockId::new(b));
+/// }
+/// // second round: each access has distance 2 (two distinct blocks
+/// // touched since the previous access to the same block)
+/// assert_eq!(rd.cold_misses(), 3);
+/// assert_eq!(rd.histogram().get(2).copied(), Some(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReuseDistances {
+    fenwick: Fenwick,
+    /// block → position of its most recent access.
+    last_pos: HashMap<BlockId, usize>,
+    /// histogram\[d\] = number of accesses with finite reuse distance d.
+    histogram: Vec<u64>,
+    cold_misses: u64,
+    accesses: u64,
+}
+
+impl ReuseDistances {
+    /// Creates an empty computation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Processes one access and returns its reuse distance
+    /// (`None` = cold / infinite).
+    pub fn access(&mut self, block: BlockId) -> Option<u64> {
+        let pos = self.accesses as usize;
+        self.accesses += 1;
+        let distance = match self.last_pos.insert(block, pos) {
+            Some(prev) => {
+                // distinct blocks touched strictly between prev and pos:
+                // each distinct block contributes a 1 at its last position.
+                let between = self.fenwick.prefix(pos - 1) - self.fenwick.prefix(prev);
+                self.fenwick.add(prev, -1);
+                Some(between)
+            }
+            None => {
+                self.cold_misses += 1;
+                None
+            }
+        };
+        self.fenwick.add(pos, 1);
+        if let Some(d) = distance {
+            let d = d as usize;
+            if d >= self.histogram.len() {
+                self.histogram.resize(d + 1, 0);
+            }
+            self.histogram[d] += 1;
+        }
+        distance
+    }
+
+    /// Processes a whole access stream.
+    pub fn run<I: IntoIterator<Item = BlockId>>(&mut self, accesses: I) {
+        for b in accesses {
+            self.access(b);
+        }
+    }
+
+    /// Total accesses processed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Number of first-touch (infinite-distance) accesses — equals the
+    /// number of distinct blocks seen.
+    pub fn cold_misses(&self) -> u64 {
+        self.cold_misses
+    }
+
+    /// The finite-distance histogram: `histogram()[d]` accesses had
+    /// reuse distance exactly `d`.
+    pub fn histogram(&self) -> &[u64] {
+        &self.histogram
+    }
+
+    /// Builds the LRU miss-ratio curve implied by these distances.
+    pub fn to_mrc(&self) -> crate::MissRatioCurve {
+        crate::MissRatioCurve::from_histogram(self.histogram.clone(), self.cold_misses)
+    }
+}
+
+/// Fixed-rate SHARDS spatial sampling (Waldspurger et al., FAST'15).
+///
+/// Only blocks whose hash falls below a threshold are fed to the exact
+/// computation; distances are re-scaled by the sampling rate. With rate
+/// `R`, cost drops by ~`1/R` while the curve stays accurate for
+/// reasonably large working sets.
+///
+/// # Example
+///
+/// ```
+/// use cbs_cache::ShardsSampler;
+/// use cbs_trace::BlockId;
+///
+/// let mut sampler = ShardsSampler::new(0.5);
+/// for i in 0..10_000u64 {
+///     sampler.access(BlockId::new(i % 500));
+/// }
+/// let mrc = sampler.to_mrc();
+/// // cyclic scan over 500 blocks: a 500-block cache captures everything
+/// assert!(mrc.miss_ratio_at(600) < 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardsSampler {
+    inner: ReuseDistances,
+    /// Sampling threshold over the full 64-bit hash space.
+    threshold: u64,
+    rate: f64,
+    total_accesses: u64,
+}
+
+impl ShardsSampler {
+    /// Creates a sampler keeping roughly `rate` of blocks
+    /// (`0 < rate <= 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < rate <= 1`.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate > 0.0 && rate <= 1.0,
+            "sampling rate must be in (0, 1], got {rate}"
+        );
+        let threshold = if rate >= 1.0 {
+            u64::MAX
+        } else {
+            (rate * u64::MAX as f64) as u64
+        };
+        ShardsSampler {
+            inner: ReuseDistances::new(),
+            threshold,
+            rate,
+            total_accesses: 0,
+        }
+    }
+
+    /// The configured sampling rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    #[inline]
+    fn hash(block: BlockId) -> u64 {
+        // splitmix64 — well-mixed for sequential block ids.
+        let mut z = block.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Offers one access; sampled-out blocks are counted but not traced.
+    pub fn access(&mut self, block: BlockId) {
+        self.total_accesses += 1;
+        if Self::hash(block) <= self.threshold {
+            self.inner.access(block);
+        }
+    }
+
+    /// Total accesses offered (sampled or not).
+    pub fn total_accesses(&self) -> u64 {
+        self.total_accesses
+    }
+
+    /// Accesses that passed the spatial filter.
+    pub fn sampled_accesses(&self) -> u64 {
+        self.inner.accesses()
+    }
+
+    /// Builds the re-scaled miss-ratio curve: sampled distances are
+    /// multiplied by `1/rate` to estimate true stack depths.
+    pub fn to_mrc(&self) -> crate::MissRatioCurve {
+        let scale = 1.0 / self.rate;
+        let sampled = self.inner.histogram();
+        let mut scaled: Vec<u64> = Vec::new();
+        for (d, &count) in sampled.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let scaled_d = (d as f64 * scale).round() as usize;
+            if scaled_d >= scaled.len() {
+                scaled.resize(scaled_d + 1, 0);
+            }
+            scaled[scaled_d] += count;
+        }
+        crate::MissRatioCurve::from_histogram(scaled, self.inner.cold_misses())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u64) -> BlockId {
+        BlockId::new(i)
+    }
+
+    #[test]
+    fn fenwick_prefix_sums() {
+        let mut f = Fenwick::default();
+        f.add(0, 1);
+        f.add(3, 2);
+        f.add(7, 5);
+        assert_eq!(f.prefix(0), 1);
+        assert_eq!(f.prefix(2), 1);
+        assert_eq!(f.prefix(3), 3);
+        assert_eq!(f.prefix(100), 8);
+        f.add(3, -2);
+        assert_eq!(f.prefix(6), 1);
+        assert_eq!(f.len(), 8);
+    }
+
+    #[test]
+    fn cold_accesses_have_no_distance() {
+        let mut rd = ReuseDistances::new();
+        assert_eq!(rd.access(b(1)), None);
+        assert_eq!(rd.access(b(2)), None);
+        assert_eq!(rd.cold_misses(), 2);
+        assert_eq!(rd.accesses(), 2);
+        assert!(rd.histogram().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn immediate_reuse_is_distance_zero() {
+        let mut rd = ReuseDistances::new();
+        rd.access(b(5));
+        assert_eq!(rd.access(b(5)), Some(0));
+        assert_eq!(rd.histogram()[0], 1);
+    }
+
+    #[test]
+    fn classic_example_distances() {
+        // stream: a b c b a → distances: ∞ ∞ ∞ 1 2
+        let mut rd = ReuseDistances::new();
+        assert_eq!(rd.access(b(0)), None);
+        assert_eq!(rd.access(b(1)), None);
+        assert_eq!(rd.access(b(2)), None);
+        assert_eq!(rd.access(b(1)), Some(1));
+        assert_eq!(rd.access(b(0)), Some(2));
+    }
+
+    #[test]
+    fn repeated_touches_do_not_inflate_distance() {
+        // a b b b a: distinct blocks between the two a's is 1
+        let mut rd = ReuseDistances::new();
+        rd.access(b(0));
+        rd.access(b(1));
+        rd.access(b(1));
+        rd.access(b(1));
+        assert_eq!(rd.access(b(0)), Some(1));
+    }
+
+    #[test]
+    fn distances_match_naive_model_on_random_stream() {
+        // naive model: LRU stack as a Vec
+        let stream: Vec<u64> = (0..500).map(|i| (i * 37 + 11) % 60).collect();
+        let mut rd = ReuseDistances::new();
+        let mut stack: Vec<u64> = Vec::new();
+        for &x in &stream {
+            let expected = stack.iter().rev().position(|&s| s == x).map(|d| d as u64);
+            let got = rd.access(b(x));
+            assert_eq!(got, expected, "block {x}");
+            if let Some(pos) = stack.iter().position(|&s| s == x) {
+                stack.remove(pos);
+            }
+            stack.push(x);
+        }
+    }
+
+    #[test]
+    fn run_consumes_stream() {
+        let mut rd = ReuseDistances::new();
+        rd.run((0..10u64).map(b));
+        assert_eq!(rd.accesses(), 10);
+        assert_eq!(rd.cold_misses(), 10);
+    }
+
+    #[test]
+    fn full_rate_shards_equals_exact() {
+        let stream: Vec<u64> = (0..400).map(|i| (i * 13) % 47).collect();
+        let mut exact = ReuseDistances::new();
+        let mut sampler = ShardsSampler::new(1.0);
+        for &x in &stream {
+            exact.access(b(x));
+            sampler.access(b(x));
+        }
+        assert_eq!(sampler.sampled_accesses(), exact.accesses());
+        let m_exact = exact.to_mrc();
+        let m_shards = sampler.to_mrc();
+        for c in [1usize, 10, 47, 100] {
+            assert!((m_exact.miss_ratio_at(c) - m_shards.miss_ratio_at(c)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_reduces_cost() {
+        let mut sampler = ShardsSampler::new(0.25);
+        for i in 0..10_000u64 {
+            sampler.access(b(i % 1000));
+        }
+        assert_eq!(sampler.total_accesses(), 10_000);
+        let frac = sampler.sampled_accesses() as f64 / 10_000.0;
+        assert!(frac > 0.1 && frac < 0.4, "sampled fraction {frac}");
+        assert!((sampler.rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate")]
+    fn rejects_bad_rate() {
+        let _ = ShardsSampler::new(0.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Segmented LRU replacement: [`Slru`].
+
+use cbs_trace::BlockId;
+
+use crate::list::LinkedSet;
+use crate::policy::{AccessResult, CachePolicy};
+
+/// Segmented LRU (Karedla et al.): the cache is split into a
+/// *probationary* and a *protected* segment.
+///
+/// A missing block is admitted to the probationary segment; a hit on a
+/// probationary block promotes it to the protected segment (demoting
+/// the protected LRU back to probationary when the segment is full).
+/// Eviction always takes the probationary LRU. One-touch scan traffic
+/// therefore can never displace the twice-touched working set — the
+/// property the paper's write-hot cloud volumes reward.
+///
+/// # Example
+///
+/// ```
+/// use cbs_cache::{CachePolicy, Slru};
+/// use cbs_trace::BlockId;
+///
+/// let mut cache = Slru::new(4);
+/// cache.access(BlockId::new(1));
+/// cache.access(BlockId::new(1)); // promoted to the protected segment
+/// for i in 10..14 {
+///     cache.access(BlockId::new(i)); // scan churns probation only
+/// }
+/// assert!(cache.contains(BlockId::new(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Slru {
+    probation: LinkedSet,
+    protected: LinkedSet,
+    capacity: usize,
+    protected_capacity: usize,
+}
+
+impl Slru {
+    /// Default protected share of the capacity (the classic 80/20 is
+    /// aggressive; 2/3 works well for mixed workloads).
+    const PROTECTED_SHARE_NUM: usize = 2;
+    const PROTECTED_SHARE_DEN: usize = 3;
+
+    /// Creates an SLRU cache with `capacity` total blocks and the
+    /// default protected share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be non-zero");
+        let protected_capacity =
+            (capacity * Self::PROTECTED_SHARE_NUM / Self::PROTECTED_SHARE_DEN).max(1);
+        Slru {
+            probation: LinkedSet::new(),
+            protected: LinkedSet::new(),
+            capacity,
+            protected_capacity: protected_capacity.min(capacity.saturating_sub(1).max(1)),
+        }
+    }
+
+    /// Creates an SLRU with an explicit protected-segment capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < protected_capacity < capacity`.
+    pub fn with_protected_capacity(capacity: usize, protected_capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be non-zero");
+        assert!(
+            protected_capacity > 0 && protected_capacity < capacity,
+            "protected capacity must be in 1..capacity"
+        );
+        Slru {
+            probation: LinkedSet::new(),
+            protected: LinkedSet::new(),
+            capacity,
+            protected_capacity,
+        }
+    }
+
+    /// Sizes of `(probationary, protected)` segments.
+    pub fn segment_sizes(&self) -> (usize, usize) {
+        (self.probation.len(), self.protected.len())
+    }
+}
+
+impl CachePolicy for Slru {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.probation.len() + self.protected.len()
+    }
+
+    fn contains(&self, block: BlockId) -> bool {
+        self.probation.contains(block) || self.protected.contains(block)
+    }
+
+    fn access(&mut self, block: BlockId) -> AccessResult {
+        if self.protected.contains(block) {
+            self.protected.push_mru(block);
+            return AccessResult::HIT;
+        }
+        if self.probation.remove(block) {
+            // promote; overflow of the protected segment demotes its LRU
+            self.protected.push_mru(block);
+            if self.protected.len() > self.protected_capacity {
+                let demoted = self.protected.pop_lru().expect("over-full protected");
+                self.probation.push_mru(demoted);
+            }
+            return AccessResult::HIT;
+        }
+        // miss: admit to probation, evicting the probationary LRU when
+        // the cache is full
+        let evicted = if self.len() == self.capacity {
+            let victim = match self.probation.pop_lru() {
+                Some(v) => v,
+                // pathological: everything is protected — evict there
+                None => self.protected.pop_lru().expect("full cache is non-empty"),
+            };
+            Some(victim)
+        } else {
+            None
+        };
+        self.probation.push_mru(block);
+        AccessResult {
+            hit: false,
+            evicted,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "slru"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::conformance;
+
+    fn b(i: u64) -> BlockId {
+        BlockId::new(i)
+    }
+
+    #[test]
+    fn conforms_to_policy_contract() {
+        conformance::check_policy(Slru::new(8), 8);
+        conformance::check_policy(Slru::new(1), 1);
+        conformance::check_eviction_discipline(Slru::new(4), 4);
+    }
+
+    #[test]
+    fn hit_promotes_to_protected() {
+        let mut cache = Slru::new(6);
+        cache.access(b(1));
+        assert_eq!(cache.segment_sizes(), (1, 0));
+        assert!(cache.access(b(1)).hit);
+        assert_eq!(cache.segment_sizes(), (0, 1));
+    }
+
+    #[test]
+    fn scan_resistance() {
+        let mut cache = Slru::new(6);
+        cache.access(b(1));
+        cache.access(b(1));
+        cache.access(b(2));
+        cache.access(b(2)); // 1, 2 protected
+        for i in 100..140 {
+            cache.access(b(i)); // long one-touch scan
+        }
+        assert!(cache.contains(b(1)));
+        assert!(cache.contains(b(2)));
+    }
+
+    #[test]
+    fn protected_overflow_demotes() {
+        let mut cache = Slru::with_protected_capacity(4, 2);
+        for i in 1..=3 {
+            cache.access(b(i));
+            cache.access(b(i)); // promote each
+        }
+        // protected holds 2; one was demoted back to probation
+        let (probation, protected) = cache.segment_sizes();
+        assert_eq!(protected, 2);
+        assert_eq!(probation, 1);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn eviction_prefers_probation() {
+        let mut cache = Slru::with_protected_capacity(3, 1);
+        cache.access(b(1));
+        cache.access(b(1)); // protected
+        cache.access(b(2));
+        cache.access(b(3)); // cache full: {1 prot, 2, 3 prob}
+        let out = cache.access(b(4));
+        assert_eq!(out.evicted, Some(b(2)), "probationary LRU evicts first");
+        assert!(cache.contains(b(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "protected capacity")]
+    fn rejects_bad_protected_capacity() {
+        let _ = Slru::with_protected_capacity(4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_zero_capacity() {
+        let _ = Slru::new(0);
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(Slru::new(2).name(), "slru");
+    }
+}

@@ -1,0 +1,203 @@
+//! 2Q replacement: [`TwoQ`].
+
+use cbs_trace::BlockId;
+
+use crate::list::LinkedSet;
+use crate::policy::{AccessResult, CachePolicy};
+
+/// The 2Q policy (Johnson & Shasha, VLDB'94), "full version".
+///
+/// Three queues: `A1in` (FIFO of recent first-timers, resident),
+/// `A1out` (FIFO of ghosts recently evicted from `A1in`), and `Am`
+/// (LRU of proven-warm blocks). A miss found in `A1out` goes straight
+/// to `Am` — the block has demonstrated re-reference beyond the
+/// short-term window — while a cold miss enters `A1in`. Like
+/// [`crate::Arc`], 2Q resists scans, with fixed (non-adaptive) tuning:
+/// `Kin = 25 %` of capacity, `Kout = 50 %` of capacity (the paper's
+/// recommended settings).
+#[derive(Debug, Clone)]
+pub struct TwoQ {
+    a1in: LinkedSet,
+    a1out: LinkedSet,
+    am: LinkedSet,
+    capacity: usize,
+    kin: usize,
+    kout: usize,
+}
+
+impl TwoQ {
+    /// Creates a 2Q cache holding at most `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be non-zero");
+        TwoQ {
+            a1in: LinkedSet::new(),
+            a1out: LinkedSet::new(),
+            am: LinkedSet::new(),
+            capacity,
+            kin: (capacity / 4).max(1),
+            kout: (capacity / 2).max(1),
+        }
+    }
+
+    /// Sizes of `(A1in, A1out ghosts, Am)`.
+    pub fn queue_sizes(&self) -> (usize, usize, usize) {
+        (self.a1in.len(), self.a1out.len(), self.am.len())
+    }
+
+    /// Makes room for one admission, returning the victim if the cache
+    /// is full.
+    fn reclaim(&mut self) -> Option<BlockId> {
+        if self.len() < self.capacity {
+            return None;
+        }
+        if self.a1in.len() > self.kin || self.am.is_empty() {
+            let victim = self
+                .a1in
+                .pop_lru()
+                .or_else(|| self.am.pop_lru())
+                .expect("full cache is non-empty");
+            // A1in victims get a ghost entry
+            self.a1out.push_mru(victim);
+            if self.a1out.len() > self.kout {
+                self.a1out.pop_lru();
+            }
+            Some(victim)
+        } else {
+            Some(self.am.pop_lru().expect("am non-empty"))
+        }
+    }
+}
+
+impl CachePolicy for TwoQ {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.a1in.len() + self.am.len()
+    }
+
+    fn contains(&self, block: BlockId) -> bool {
+        self.a1in.contains(block) || self.am.contains(block)
+    }
+
+    fn access(&mut self, block: BlockId) -> AccessResult {
+        if self.am.contains(block) {
+            self.am.push_mru(block);
+            return AccessResult::HIT;
+        }
+        if self.a1in.contains(block) {
+            // 2Q leaves A1in order untouched on hit (FIFO semantics)
+            return AccessResult::HIT;
+        }
+        if self.a1out.contains(block) {
+            // proven warm: promote into Am
+            let evicted = self.reclaim();
+            self.a1out.remove(block);
+            self.am.push_mru(block);
+            return AccessResult {
+                hit: false,
+                evicted,
+            };
+        }
+        // cold miss → A1in
+        let evicted = self.reclaim();
+        self.a1in.push_mru(block);
+        AccessResult {
+            hit: false,
+            evicted,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "2q"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::conformance;
+
+    fn b(i: u64) -> BlockId {
+        BlockId::new(i)
+    }
+
+    #[test]
+    fn conforms_to_policy_contract() {
+        conformance::check_policy(TwoQ::new(8), 8);
+        conformance::check_policy(TwoQ::new(1), 1);
+        conformance::check_eviction_discipline(TwoQ::new(4), 4);
+    }
+
+    #[test]
+    fn ghost_hit_promotes_to_am() {
+        // capacity 4 → Kin = 1, Kout = 2
+        let mut cache = TwoQ::new(4);
+        for i in 1..=4 {
+            cache.access(b(i)); // fill A1in
+        }
+        let out = cache.access(b(5)); // evicts 1 into A1out
+        assert_eq!(out.evicted, Some(b(1)));
+        let (_, ghosts, _) = cache.queue_sizes();
+        assert_eq!(ghosts, 1, "1 is a ghost");
+        // touching the ghost promotes it straight into Am
+        let out = cache.access(b(1));
+        assert!(!out.hit, "ghost hits are still misses");
+        let (_, _, am) = cache.queue_sizes();
+        assert_eq!(am, 1, "ghost hit promoted into Am");
+        assert!(cache.contains(b(1)));
+    }
+
+    #[test]
+    fn scan_does_not_flush_am() {
+        let mut cache = TwoQ::new(8);
+        // warm block 1 into Am via a ghost hit
+        for i in 1..=12 {
+            cache.access(b(i));
+        }
+        let warm = (1u64..=12).find(|&i| !cache.contains(b(i))).unwrap();
+        cache.access(b(warm)); // → Am
+        assert!(cache.contains(b(warm)));
+        for i in 100..160 {
+            cache.access(b(i)); // long scan
+        }
+        assert!(cache.contains(b(warm)), "Am member survives the scan");
+    }
+
+    #[test]
+    fn a1in_hits_do_not_reorder() {
+        let mut cache = TwoQ::new(3);
+        cache.access(b(1));
+        cache.access(b(2));
+        cache.access(b(3));
+        assert!(cache.access(b(1)).hit); // A1in hit, stays FIFO-ordered
+        let out = cache.access(b(4));
+        assert_eq!(out.evicted, Some(b(1)), "A1in FIFO evicts oldest");
+    }
+
+    #[test]
+    fn ghost_list_is_bounded() {
+        let mut cache = TwoQ::new(8);
+        for i in 0..1000u64 {
+            cache.access(b(i));
+        }
+        let (_, ghosts, _) = cache.queue_sizes();
+        assert!(ghosts <= 4, "Kout bound respected, got {ghosts}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_zero_capacity() {
+        let _ = TwoQ::new(0);
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(TwoQ::new(2).name(), "2q");
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the cache substrate.
+
+use proptest::prelude::*;
+
+use cbs_cache::{
+    Arc, CachePolicy, Clock, Fifo, Lfu, Lru, MissRatioCurve, ReuseDistances, ShardsSampler,
+    Slru, TwoQ,
+};
+use cbs_trace::BlockId;
+
+fn arb_stream() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..48, 1..400)
+}
+
+/// Replays `stream` through `cache`, asserting the universal policy
+/// invariants at every step, and returns the number of hits.
+fn replay<P: CachePolicy>(mut cache: P, stream: &[u64]) -> u64 {
+    let mut resident = std::collections::HashSet::new();
+    let mut hits = 0u64;
+    for &x in stream {
+        let block = BlockId::new(x);
+        let was_resident = resident.contains(&block);
+        let out = cache.access(block);
+        assert_eq!(out.hit, was_resident);
+        hits += u64::from(out.hit);
+        if let Some(v) = out.evicted {
+            assert!(resident.remove(&v));
+        }
+        resident.insert(block);
+        assert!(cache.len() <= cache.capacity());
+        assert_eq!(cache.len(), resident.len());
+        assert!(cache.contains(block));
+    }
+    hits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every policy upholds residency/eviction/capacity invariants on
+    /// arbitrary streams.
+    #[test]
+    fn policies_uphold_invariants(stream in arb_stream(), cap in 1usize..32) {
+        replay(Lru::new(cap), &stream);
+        replay(Fifo::new(cap), &stream);
+        replay(Lfu::new(cap), &stream);
+        replay(Clock::new(cap), &stream);
+        replay(Arc::new(cap), &stream);
+        replay(Slru::new(cap), &stream);
+        replay(TwoQ::new(cap), &stream);
+    }
+
+    /// LRU hit counts predicted by reuse distances match simulation
+    /// exactly (the stack property).
+    #[test]
+    fn reuse_distances_predict_lru(stream in arb_stream(), cap in 1usize..32) {
+        let mut rd = ReuseDistances::new();
+        let mut predicted_hits = 0u64;
+        for &x in &stream {
+            if let Some(d) = rd.access(BlockId::new(x)) {
+                if (d as usize) < cap {
+                    predicted_hits += 1;
+                }
+            }
+        }
+        let actual_hits = replay(Lru::new(cap), &stream);
+        prop_assert_eq!(predicted_hits, actual_hits);
+        // and the MRC agrees at this capacity
+        let mrc = rd.to_mrc();
+        let expected_ratio = 1.0 - actual_hits as f64 / stream.len() as f64;
+        prop_assert!((mrc.miss_ratio_at(cap) - expected_ratio).abs() < 1e-12);
+    }
+
+    /// The LRU inclusion property: a larger cache always hits at least
+    /// as often as a smaller one on the same stream.
+    #[test]
+    fn lru_is_inclusion_monotone(stream in arb_stream(), small in 1usize..16, extra in 1usize..16) {
+        let small_hits = replay(Lru::new(small), &stream);
+        let large_hits = replay(Lru::new(small + extra), &stream);
+        prop_assert!(large_hits >= small_hits);
+    }
+
+    /// Miss-ratio curves are monotone non-increasing in capacity.
+    #[test]
+    fn mrc_monotone(hist in proptest::collection::vec(0u64..50, 0..40), cold in 0u64..50) {
+        let mrc = MissRatioCurve::from_histogram(hist, cold);
+        let mut prev = f64::INFINITY;
+        for c in 0..45 {
+            let m = mrc.miss_ratio_at(c);
+            prop_assert!(m <= prev + 1e-12);
+            prev = m;
+        }
+    }
+
+    /// SHARDS at rate 1.0 equals the exact curve everywhere.
+    #[test]
+    fn shards_full_rate_exact(stream in arb_stream()) {
+        let mut exact = ReuseDistances::new();
+        let mut shards = ShardsSampler::new(1.0);
+        for &x in &stream {
+            exact.access(BlockId::new(x));
+            shards.access(BlockId::new(x));
+        }
+        let me = exact.to_mrc();
+        let ms = shards.to_mrc();
+        for c in 0..64 {
+            prop_assert!((me.miss_ratio_at(c) - ms.miss_ratio_at(c)).abs() < 1e-12);
+        }
+    }
+
+    /// Cold misses equal the number of distinct blocks; histogram totals
+    /// account for every access.
+    #[test]
+    fn reuse_distance_accounting(stream in arb_stream()) {
+        let mut rd = ReuseDistances::new();
+        for &x in &stream {
+            rd.access(BlockId::new(x));
+        }
+        let distinct = stream.iter().collect::<std::collections::HashSet<_>>().len() as u64;
+        prop_assert_eq!(rd.cold_misses(), distinct);
+        let finite: u64 = rd.histogram().iter().sum();
+        prop_assert_eq!(finite + rd.cold_misses(), rd.accesses());
+        prop_assert_eq!(rd.accesses(), stream.len() as u64);
+    }
+
+    /// Belady's OPT never loses to any online demand policy.
+    #[test]
+    fn opt_dominates_online_policies(stream in arb_stream(), cap in 1usize..24) {
+        let accesses: Vec<BlockId> = stream.iter().map(|&x| BlockId::new(x)).collect();
+        let opt = cbs_cache::simulate_opt(&accesses, cap);
+        prop_assert_eq!(opt.accesses, stream.len() as u64);
+        let lru_hits = replay(Lru::new(cap), &stream);
+        let arc_hits = replay(Arc::new(cap), &stream);
+        let twoq_hits = replay(TwoQ::new(cap), &stream);
+        prop_assert!(opt.hits >= lru_hits, "OPT {} < LRU {lru_hits}", opt.hits);
+        prop_assert!(opt.hits >= arc_hits, "OPT {} < ARC {arc_hits}", opt.hits);
+        prop_assert!(opt.hits >= twoq_hits, "OPT {} < 2Q {twoq_hits}", opt.hits);
+    }
+}

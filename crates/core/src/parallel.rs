@@ -1,0 +1,128 @@
+//! Parallel per-volume analysis driver.
+
+use cbs_analysis::{AnalysisConfig, VolumeAnalyzer, VolumeMetrics};
+use cbs_trace::{Timestamp, Trace};
+use parking_lot::Mutex;
+
+/// Analyzes every volume of `trace` using up to `threads` worker
+/// threads (volumes are independent, so the fan-out is embarrassingly
+/// parallel; results are returned in volume-id order regardless of
+/// scheduling).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or the config is invalid.
+pub fn analyze_trace_parallel(
+    trace: &Trace,
+    config: &AnalysisConfig,
+    threads: usize,
+) -> Vec<VolumeMetrics> {
+    assert!(threads > 0, "need at least one worker thread");
+    if let Err(e) = config.validate() {
+        panic!("invalid analysis config: {e}");
+    }
+    let epoch = trace.start().unwrap_or(Timestamp::ZERO);
+    let views: Vec<_> = trace.volumes().collect();
+    if views.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.min(views.len());
+
+    // Work-stealing over a shared index; each worker owns its output
+    // slots (index-tagged) and the results are re-assembled in order.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<VolumeMetrics>>> =
+        Mutex::new((0..views.len()).map(|_| None).collect());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= views.len() {
+                    break;
+                }
+                let metrics = VolumeAnalyzer::analyze_volume(views[idx], epoch, config);
+                results.lock()[idx] = Some(metrics);
+            });
+        }
+    })
+    .expect("analysis workers do not panic");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|m| m.expect("every slot filled"))
+        .collect()
+}
+
+/// The default worker count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_analysis::analyze_trace;
+    use cbs_trace::{IoRequest, OpKind, VolumeId};
+
+    fn sample_trace(volumes: u32, per_volume: u64) -> Trace {
+        let mut reqs = Vec::new();
+        for v in 0..volumes {
+            for i in 0..per_volume {
+                reqs.push(IoRequest::new(
+                    VolumeId::new(v),
+                    if (i + u64::from(v)) % 3 == 0 { OpKind::Read } else { OpKind::Write },
+                    (i % 50) * 4096,
+                    4096,
+                    Timestamp::from_secs(i * (u64::from(v) + 1)),
+                ));
+            }
+        }
+        Trace::from_requests(reqs)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let trace = sample_trace(8, 200);
+        let config = AnalysisConfig::default();
+        let seq = analyze_trace(&trace, &config);
+        let par = analyze_trace_parallel(&trace, &config, 4);
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.id, p.id);
+            assert_eq!(s.reads, p.reads);
+            assert_eq!(s.writes, p.writes);
+            assert_eq!(s.wss_blocks, p.wss_blocks);
+            assert_eq!(s.random_requests, p.random_requests);
+            assert_eq!(s.active_intervals, p.active_intervals);
+            assert_eq!(s.raw_hist, p.raw_hist);
+            assert_eq!(s.waw_hist, p.waw_hist);
+            assert_eq!(s.update_interval_hist, p.update_interval_hist);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_volumes() {
+        let trace = sample_trace(2, 10);
+        let out = analyze_trace_parallel(&trace, &AnalysisConfig::default(), 16);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let out = analyze_trace_parallel(&Trace::new(), &AnalysisConfig::default(), 4);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread")]
+    fn zero_threads_rejected() {
+        let _ = analyze_trace_parallel(&Trace::new(), &AnalysisConfig::default(), 0);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,302 @@
+//! The high-level API: [`Workbench`] and [`Analysis`].
+
+use cbs_analysis::findings::{
+    activeness::{ActiveDays, ActivePeriods, ActivenessSeries},
+    adjacency::AdjacencyTimes,
+    aggregation::AggregationBoxplots,
+    basic::TraceTotals,
+    cache::LruMissRatios,
+    intensity::{BurstinessDistribution, IntensitySeries, OverallIntensity},
+    interarrival::InterarrivalBoxplots,
+    randomness::{top_traffic_volumes, RandomnessDistribution, TrafficRandomnessPoint},
+    request_size::{MeanSizeDistribution, RequestSizeDistribution},
+    rw_mostly::RwMostly,
+    rw_ratio::WriteReadRatios,
+    update_coverage::UpdateCoverage,
+    update_interval::{
+        IntervalGroupProportions, OverallUpdateIntervals, UpdateIntervalBoxplots,
+    },
+};
+use cbs_analysis::{AnalysisConfig, VolumeMetrics};
+use cbs_trace::Trace;
+
+use crate::parallel::{analyze_trace_parallel, default_threads};
+
+/// A trace plus an analysis configuration — the session object of the
+/// workbench.
+///
+/// # Example
+///
+/// ```
+/// use cbs_core::Workbench;
+/// use cbs_trace::{IoRequest, OpKind, Timestamp, Trace, VolumeId};
+///
+/// let trace = Trace::from_requests(vec![IoRequest::new(
+///     VolumeId::new(0), OpKind::Write, 0, 4096, Timestamp::ZERO,
+/// )]);
+/// let analysis = Workbench::new(trace).analyze();
+/// assert_eq!(analysis.totals().writes, 1);
+/// ```
+#[derive(Debug)]
+pub struct Workbench {
+    trace: Trace,
+    config: AnalysisConfig,
+}
+
+impl Workbench {
+    /// Creates a workbench with the paper's default analysis
+    /// parameters.
+    pub fn new(trace: Trace) -> Self {
+        Workbench {
+            trace,
+            config: AnalysisConfig::default(),
+        }
+    }
+
+    /// Creates a workbench with custom parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid.
+    pub fn with_config(trace: Trace, config: AnalysisConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid analysis config: {e}");
+        }
+        Workbench { trace, config }
+    }
+
+    /// The trace under analysis.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The analysis parameters.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// Characterizes every volume, fanning out across all available
+    /// cores.
+    pub fn analyze(self) -> Analysis {
+        self.analyze_with_threads(default_threads())
+    }
+
+    /// Characterizes every volume with an explicit worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn analyze_with_threads(self, threads: usize) -> Analysis {
+        let metrics = analyze_trace_parallel(&self.trace, &self.config, threads);
+        Analysis {
+            trace: self.trace,
+            config: self.config,
+            metrics,
+        }
+    }
+}
+
+/// A completed analysis: the per-volume metrics plus accessors building
+/// every table/figure data set of the paper.
+#[derive(Debug)]
+pub struct Analysis {
+    trace: Trace,
+    config: AnalysisConfig,
+    metrics: Vec<VolumeMetrics>,
+}
+
+impl Analysis {
+    /// The per-volume metric records, ascending by volume id.
+    pub fn metrics(&self) -> &[VolumeMetrics] {
+        &self.metrics
+    }
+
+    /// The analyzed trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The analysis parameters used.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// Table I — corpus totals.
+    pub fn totals(&self) -> TraceTotals {
+        TraceTotals::from_metrics(&self.metrics, u64::from(self.config.block_size.bytes()))
+    }
+
+    /// Fig. 2(a) — corpus-wide request-size distributions.
+    pub fn request_sizes(&self) -> RequestSizeDistribution {
+        RequestSizeDistribution::from_metrics(&self.metrics)
+    }
+
+    /// Fig. 2(b) — per-volume mean request-size distributions.
+    pub fn mean_sizes(&self) -> MeanSizeDistribution {
+        MeanSizeDistribution::from_metrics(&self.metrics)
+    }
+
+    /// Fig. 3 — active-day distribution.
+    pub fn active_days(&self) -> ActiveDays {
+        ActiveDays::from_metrics(&self.metrics)
+    }
+
+    /// Fig. 4 — write-to-read ratios.
+    pub fn write_read_ratios(&self) -> WriteReadRatios {
+        WriteReadRatios::from_metrics(&self.metrics)
+    }
+
+    /// Fig. 5 — sorted per-volume intensities.
+    pub fn intensity_series(&self) -> IntensitySeries {
+        IntensitySeries::from_metrics(&self.metrics, &self.config)
+    }
+
+    /// Table II — aggregate intensities (one extra pass over the
+    /// trace).
+    pub fn overall_intensity(&self) -> Option<OverallIntensity> {
+        OverallIntensity::from_trace(&self.trace, &self.config)
+    }
+
+    /// Fig. 6 — burstiness-ratio distribution.
+    pub fn burstiness(&self) -> BurstinessDistribution {
+        BurstinessDistribution::from_metrics(&self.metrics, &self.config)
+    }
+
+    /// Fig. 7 — inter-arrival percentile boxplots.
+    pub fn interarrival_boxplots(&self) -> InterarrivalBoxplots {
+        InterarrivalBoxplots::from_metrics(&self.metrics)
+    }
+
+    /// Fig. 8 — active-volume time series.
+    pub fn activeness_series(&self) -> ActivenessSeries {
+        ActivenessSeries::from_metrics(&self.metrics)
+    }
+
+    /// Fig. 9 — active-period distributions.
+    pub fn active_periods(&self) -> ActivePeriods {
+        ActivePeriods::from_metrics(&self.metrics, &self.config)
+    }
+
+    /// Fig. 10(a) — randomness-ratio distribution.
+    pub fn randomness(&self) -> RandomnessDistribution {
+        RandomnessDistribution::from_metrics(&self.metrics)
+    }
+
+    /// Fig. 10(b) — the top-`k` traffic volumes with their randomness.
+    pub fn top_traffic(&self, k: usize) -> Vec<TrafficRandomnessPoint> {
+        top_traffic_volumes(&self.metrics, k)
+    }
+
+    /// Fig. 11 — traffic-aggregation boxplots.
+    pub fn aggregation(&self) -> AggregationBoxplots {
+        AggregationBoxplots::from_metrics(&self.metrics)
+    }
+
+    /// Table III + Fig. 12 — read-/write-mostly traffic shares.
+    pub fn rw_mostly(&self) -> RwMostly {
+        RwMostly::from_metrics(&self.metrics)
+    }
+
+    /// Table IV + Fig. 13 — update coverage.
+    pub fn update_coverage(&self) -> UpdateCoverage {
+        UpdateCoverage::from_metrics(&self.metrics)
+    }
+
+    /// Figs. 14-15 + Table V — adjacency times and counts.
+    pub fn adjacency(&self) -> AdjacencyTimes {
+        AdjacencyTimes::from_metrics(&self.metrics)
+    }
+
+    /// Table VI — overall update-interval percentiles.
+    pub fn update_intervals(&self) -> OverallUpdateIntervals {
+        OverallUpdateIntervals::from_metrics(&self.metrics)
+    }
+
+    /// Fig. 16 — per-volume update-interval percentile boxplots.
+    pub fn update_interval_boxplots(&self) -> UpdateIntervalBoxplots {
+        UpdateIntervalBoxplots::from_metrics(&self.metrics)
+    }
+
+    /// Fig. 17 — update-interval duration-group proportions.
+    pub fn interval_groups(&self) -> IntervalGroupProportions {
+        IntervalGroupProportions::from_metrics(&self.metrics)
+    }
+
+    /// Fig. 18 — LRU miss-ratio boxplots.
+    pub fn lru_miss_ratios(&self) -> LruMissRatios {
+        LruMissRatios::from_metrics(&self.metrics, &self.config)
+    }
+
+    /// Section V — per-volume design recommendations with default
+    /// thresholds.
+    pub fn assessments(&self) -> Vec<cbs_analysis::recommend::VolumeAssessment> {
+        cbs_analysis::recommend::assess_all(&self.metrics, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_trace::{IoRequest, OpKind, Timestamp, VolumeId};
+
+    fn workbench() -> Workbench {
+        let mut reqs = Vec::new();
+        for v in 0..4u32 {
+            for i in 0..100u64 {
+                reqs.push(IoRequest::new(
+                    VolumeId::new(v),
+                    if i % 4 == 0 { OpKind::Read } else { OpKind::Write },
+                    (i % 20) * 4096,
+                    4096,
+                    Timestamp::from_secs(i * 30),
+                ));
+            }
+        }
+        Workbench::new(Trace::from_requests(reqs))
+    }
+
+    #[test]
+    fn end_to_end_accessors() {
+        let analysis = workbench().analyze_with_threads(2);
+        assert_eq!(analysis.metrics().len(), 4);
+        let totals = analysis.totals();
+        assert_eq!(totals.volumes, 4);
+        assert_eq!(totals.requests(), 400);
+        assert!(analysis.overall_intensity().is_some());
+        assert_eq!(analysis.intensity_series().avg.len(), 4);
+        assert_eq!(analysis.burstiness().cdf.len(), 4);
+        assert_eq!(analysis.active_days().cdf.len(), 4);
+        assert!(analysis.write_read_ratios().fraction_write_dominant() > 0.9);
+        assert_eq!(analysis.randomness().cdf.len(), 4);
+        assert_eq!(analysis.top_traffic(2).len(), 2);
+        assert!(analysis.update_coverage().median().is_some());
+        assert!(analysis.adjacency().count(
+            cbs_analysis::findings::adjacency::PairKind::Waw
+        ) > 0);
+        assert!(analysis.update_intervals().percentiles_hours().is_some());
+        assert!(!analysis.lru_miss_ratios().write_small.is_empty());
+        assert!(!analysis.aggregation().write_top1.is_empty());
+        assert!(analysis.rw_mostly().overall_write_share.is_some());
+        assert!(!analysis.activeness_series().active.is_empty());
+        assert_eq!(analysis.active_periods().active_days.len(), 4);
+        assert!(analysis.interarrival_boxplots().boxplots[0].is_some());
+        assert!(analysis.request_sizes().write_p75().is_some());
+        assert_eq!(analysis.mean_sizes().write_means.len(), 4);
+        assert!(analysis.update_interval_boxplots().boxplots[0].is_some());
+        assert!(analysis
+            .interval_groups()
+            .median(cbs_analysis::findings::update_interval::IntervalGroup::Under5Min)
+            .is_some());
+        assert_eq!(analysis.config().randomness_window, 32);
+        assert_eq!(analysis.trace().volume_count(), 4);
+        assert_eq!(analysis.assessments().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid analysis config")]
+    fn with_config_validates() {
+        let mut config = AnalysisConfig::default();
+        config.rw_mostly_threshold = 2.0;
+        let _ = Workbench::with_config(Trace::new(), config);
+    }
+}

@@ -1,0 +1,391 @@
+//! The numbers the paper reports, transcribed as constants.
+//!
+//! Every experiment prints these next to the measured values. Counts
+//! and traffic scale with corpus size, so the comparisons the harness
+//! makes are mostly *ratios, percentages, and medians* — the
+//! scale-free quantities the findings are actually about.
+
+/// Paper-reported values for one corpus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperCorpus {
+    /// Corpus name as used in the paper.
+    pub name: &'static str,
+    /// Table I.
+    pub totals: Totals,
+    /// Findings 1-3 (Figs. 5-6, Table II).
+    pub intensity: Intensity,
+    /// Finding 4 (Fig. 7): medians across volumes of the 25th/50th/75th
+    /// inter-arrival percentiles, in microseconds.
+    pub interarrival_group_medians_us: [f64; 3],
+    /// Findings 5-7 (Figs. 3, 8, 9).
+    pub activeness: Activeness,
+    /// Finding 8 (Fig. 10).
+    pub randomness: Randomness,
+    /// Finding 9 (Fig. 11): 25th percentiles of top-block traffic
+    /// shares.
+    pub aggregation: Aggregation,
+    /// Finding 10 (Table III, Fig. 12).
+    pub rw_mostly: RwMostly,
+    /// Finding 11 (Table IV): mean, median, p90 of update coverage.
+    pub update_coverage: [f64; 3],
+    /// Findings 12-13 (Figs. 14-15, Table V).
+    pub adjacency: Adjacency,
+    /// Finding 14 (Table VI): update-interval percentiles
+    /// (25/50/75/90/95), hours.
+    pub update_interval_percentiles_h: [f64; 5],
+    /// Finding 14 (Fig. 17): median per-volume proportion of update
+    /// intervals under 5 minutes / over 240 minutes.
+    pub interval_group_medians: (f64, f64),
+    /// Finding 15 (Fig. 18).
+    pub lru: Lru,
+}
+
+/// Table I rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Totals {
+    /// Number of volumes.
+    pub volumes: u64,
+    /// Trace duration in days.
+    pub days: u64,
+    /// Read requests, millions.
+    pub reads_m: f64,
+    /// Write requests, millions.
+    pub writes_m: f64,
+    /// Data read, TiB.
+    pub read_tib: f64,
+    /// Data written, TiB.
+    pub write_tib: f64,
+    /// Data updated, TiB.
+    pub updated_tib: f64,
+    /// Total WSS, TiB.
+    pub wss_tib: f64,
+    /// Read WSS, TiB.
+    pub wss_read_tib: f64,
+    /// Write WSS, TiB.
+    pub wss_write_tib: f64,
+    /// Update WSS, TiB.
+    pub wss_update_tib: f64,
+}
+
+impl Totals {
+    /// Write-to-read request ratio.
+    pub fn write_read_ratio(&self) -> f64 {
+        self.writes_m / self.reads_m
+    }
+
+    /// Read WSS share of total WSS.
+    pub fn read_wss_fraction(&self) -> f64 {
+        self.wss_read_tib / self.wss_tib
+    }
+
+    /// Write WSS share of total WSS.
+    pub fn write_wss_fraction(&self) -> f64 {
+        self.wss_write_tib / self.wss_tib
+    }
+}
+
+/// Findings 1-3 values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Intensity {
+    /// Fraction of volumes with average intensity above 100 req/s.
+    pub frac_avg_above_100: f64,
+    /// Fraction below 10 req/s.
+    pub frac_avg_below_10: f64,
+    /// Median average intensity, req/s.
+    pub median_avg_rps: f64,
+    /// Maximum peak intensity, req/s.
+    pub max_peak_rps: f64,
+    /// Table II: overall peak, req/s.
+    pub overall_peak_rps: f64,
+    /// Table II: overall average, req/s.
+    pub overall_avg_rps: f64,
+    /// Table II: overall burstiness ratio.
+    pub overall_burstiness: f64,
+    /// Fig. 6: fraction of volumes with burstiness ratio < 10.
+    pub frac_burst_below_10: f64,
+    /// Fraction with ratio > 100.
+    pub frac_burst_above_100: f64,
+    /// Fraction with ratio > 1000.
+    pub frac_burst_above_1000: f64,
+}
+
+/// Findings 5-7 values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Activeness {
+    /// Fig. 3: fraction of volumes active on exactly one day.
+    pub frac_one_day: f64,
+    /// Fig. 9: fraction of volumes active ≥ 95 % of the trace.
+    pub frac_active_95pct: f64,
+    /// Finding 7: read-only active-volume reduction range (lo, hi).
+    pub read_reduction_range: (f64, f64),
+    /// Finding 7: median read-active time, days.
+    pub median_read_active_days: f64,
+}
+
+/// Finding 8 values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Randomness {
+    /// Fraction of volumes with randomness ratio above 0.5.
+    pub frac_above_half: f64,
+    /// Maximum randomness ratio across volumes.
+    pub max_ratio: f64,
+    /// Randomness-ratio range over the top-10 traffic volumes.
+    pub top10_ratio_range: (f64, f64),
+}
+
+/// Finding 9 values: 25th percentiles of traffic shares.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregation {
+    /// 25th percentile of read traffic in top-1 % read blocks.
+    pub read_top1_p25: f64,
+    /// ... in top-10 % read blocks.
+    pub read_top10_p25: f64,
+    /// 25th percentile of write traffic in top-1 % write blocks.
+    pub write_top1_p25: f64,
+    /// ... in top-10 % write blocks.
+    pub write_top10_p25: f64,
+}
+
+/// Finding 10 values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RwMostly {
+    /// Table III: corpus share of read traffic to read-mostly blocks.
+    pub overall_read_share: f64,
+    /// Table III: corpus share of write traffic to write-mostly blocks.
+    pub overall_write_share: f64,
+    /// Fig. 12: median per-volume read share.
+    pub median_read_share: f64,
+    /// Fig. 12: median per-volume write share.
+    pub median_write_share: f64,
+}
+
+/// Findings 12-13 values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adjacency {
+    /// Pair counts in millions: RAW, WAW, RAR, WAR (Table V).
+    pub counts_m: [f64; 4],
+    /// Median elapsed times in hours: RAW, WAW, RAR, WAR.
+    pub median_hours: [f64; 4],
+    /// Fraction of WAW times under one minute.
+    pub waw_under_1min: f64,
+    /// Fraction of WAR times above one hour.
+    pub war_above_1h: f64,
+}
+
+impl Adjacency {
+    /// WAW-to-RAW count ratio.
+    pub fn waw_to_raw_ratio(&self) -> f64 {
+        self.counts_m[1] / self.counts_m[0]
+    }
+}
+
+/// Finding 15 values (all at the 25th percentile across volumes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lru {
+    /// Read miss ratio at a 1 % WSS cache.
+    pub read_p25_small: f64,
+    /// Read miss ratio at a 10 % WSS cache.
+    pub read_p25_large: f64,
+    /// Write miss ratio at a 1 % WSS cache.
+    pub write_p25_small: f64,
+    /// Write miss ratio at a 10 % WSS cache.
+    pub write_p25_large: f64,
+}
+
+/// The AliCloud corpus as reported in the paper.
+pub const ALICLOUD: PaperCorpus = PaperCorpus {
+    name: "AliCloud",
+    totals: Totals {
+        volumes: 1000,
+        days: 31,
+        reads_m: 5058.6,
+        writes_m: 15174.4,
+        read_tib: 161.6,
+        write_tib: 455.5,
+        updated_tib: 429.2,
+        wss_tib: 29.5,
+        wss_read_tib: 10.1,
+        wss_write_tib: 26.3,
+        wss_update_tib: 18.6,
+    },
+    intensity: Intensity {
+        frac_avg_above_100: 0.019,
+        frac_avg_below_10: 0.816,
+        median_avg_rps: 2.55,
+        max_peak_rps: 4926.8,
+        overall_peak_rps: 15_965.8,
+        overall_avg_rps: 7_554.1,
+        overall_burstiness: 2.11,
+        frac_burst_below_10: 0.258,
+        frac_burst_above_100: 0.207,
+        frac_burst_above_1000: 0.026,
+    },
+    interarrival_group_medians_us: [31.0, 145.0, 735.0],
+    activeness: Activeness {
+        frac_one_day: 0.157,
+        frac_active_95pct: 0.722,
+        read_reduction_range: (0.583, 0.736),
+        median_read_active_days: 1.28,
+    },
+    randomness: Randomness {
+        frac_above_half: 0.20,
+        max_ratio: 1.0,
+        top10_ratio_range: (0.139, 0.834),
+    },
+    aggregation: Aggregation {
+        read_top1_p25: 0.025,
+        read_top10_p25: 0.136,
+        write_top1_p25: 0.130,
+        write_top10_p25: 0.312,
+    },
+    rw_mostly: RwMostly {
+        overall_read_share: 0.592,
+        overall_write_share: 0.807,
+        median_read_share: 0.83,
+        median_write_share: 0.99,
+    },
+    update_coverage: [0.766, 0.612, 0.921],
+    adjacency: Adjacency {
+        counts_m: [12_432.7, 103_708.4, 29_845.0, 11_760.6],
+        median_hours: [3.0, 1.4, 2.0 / 60.0, 18.3],
+        waw_under_1min: 0.224,
+        war_above_1h: 0.888,
+    },
+    update_interval_percentiles_h: [0.03, 1.59, 15.5, 50.3, 120.2],
+    interval_group_medians: (0.352, 0.382),
+    lru: Lru {
+        read_p25_small: 0.961,
+        read_p25_large: 0.594,
+        write_p25_small: 0.528,
+        write_p25_large: 0.307,
+    },
+};
+
+/// The MSRC corpus as reported in the paper.
+pub const MSRC: PaperCorpus = PaperCorpus {
+    name: "MSRC",
+    totals: Totals {
+        volumes: 36,
+        days: 7,
+        reads_m: 304.9,
+        writes_m: 128.9,
+        read_tib: 9.04,
+        write_tib: 2.39,
+        updated_tib: 2.01,
+        wss_tib: 2.87,
+        wss_read_tib: 2.82,
+        wss_write_tib: 0.38,
+        wss_update_tib: 0.17,
+    },
+    intensity: Intensity {
+        frac_avg_above_100: 0.0278,
+        frac_avg_below_10: 0.722,
+        median_avg_rps: 3.36,
+        max_peak_rps: 4633.6,
+        overall_peak_rps: 5296.8,
+        overall_avg_rps: 717.0,
+        overall_burstiness: 7.39,
+        frac_burst_below_10: 0.0278,
+        frac_burst_above_100: 0.389,
+        frac_burst_above_1000: 0.0,
+    },
+    interarrival_group_medians_us: [3.5, 30.5, 1300.0],
+    activeness: Activeness {
+        frac_one_day: 0.0,
+        frac_active_95pct: 0.556,
+        read_reduction_range: (0.246, 0.658),
+        median_read_active_days: 2.66,
+    },
+    randomness: Randomness {
+        frac_above_half: 0.0,
+        max_ratio: 0.46,
+        top10_ratio_range: (0.113, 0.408),
+    },
+    aggregation: Aggregation {
+        read_top1_p25: 0.031,
+        read_top10_p25: 0.196,
+        write_top1_p25: 0.10,
+        write_top10_p25: 0.25,
+    },
+    rw_mostly: RwMostly {
+        overall_read_share: 0.759,
+        overall_write_share: 0.335,
+        median_read_share: 0.90,
+        median_write_share: 0.75,
+    },
+    update_coverage: [0.362, 0.094, 0.630],
+    adjacency: Adjacency {
+        counts_m: [297.2, 289.8, 1382.6, 330.0],
+        median_hours: [16.2, 0.2, 5.0 / 60.0, 5.5],
+        waw_under_1min: 0.506,
+        war_above_1h: 0.667,
+    },
+    update_interval_percentiles_h: [0.02, 0.03, 24.0, 24.0, 24.1],
+    interval_group_medians: (0.472, 0.189),
+    lru: Lru {
+        read_p25_small: 0.869,
+        read_p25_large: 0.641,
+        write_p25_small: 0.462,
+        write_p25_large: 0.320,
+    },
+};
+
+/// Fig. 4 reference points shared by the write-to-read experiment.
+pub mod wr_ratio {
+    /// Fraction of write-dominant AliCloud volumes.
+    pub const ALICLOUD_WRITE_DOMINANT: f64 = 0.915;
+    /// Fraction of AliCloud volumes with W:R > 100.
+    pub const ALICLOUD_ABOVE_100: f64 = 0.424;
+    /// Fraction of write-dominant MSRC volumes (19 of 36).
+    pub const MSRC_WRITE_DOMINANT: f64 = 0.53;
+}
+
+/// Fig. 2 reference points (75th percentiles, bytes).
+pub mod sizes {
+    /// AliCloud read p75.
+    pub const ALICLOUD_READ_P75: u64 = 32 * 1024;
+    /// AliCloud write p75.
+    pub const ALICLOUD_WRITE_P75: u64 = 16 * 1024;
+    /// MSRC read p75.
+    pub const MSRC_READ_P75: u64 = 64 * 1024;
+    /// MSRC write p75.
+    pub const MSRC_WRITE_P75: u64 = 20 * 1024;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transcription_self_checks() {
+        // cross-checks the paper states explicitly
+        assert!((ALICLOUD.totals.write_read_ratio() - 3.0).abs() < 0.01);
+        assert!((MSRC.totals.write_read_ratio() - 0.42).abs() < 0.01);
+        assert!((ALICLOUD.totals.read_wss_fraction() - 0.343).abs() < 0.01);
+        assert!((MSRC.totals.read_wss_fraction() - 0.984).abs() < 0.01);
+        assert!((ALICLOUD.totals.write_wss_fraction() - 0.894).abs() < 0.01);
+        assert!((ALICLOUD.adjacency.waw_to_raw_ratio() - 8.34).abs() < 0.1);
+        // request totals: 20.2B AliCloud ≈ 46.6 × 433.8M MSRC
+        let ali = ALICLOUD.totals.reads_m + ALICLOUD.totals.writes_m;
+        let msrc = MSRC.totals.reads_m + MSRC.totals.writes_m;
+        assert!((ali / msrc - 46.6).abs() < 0.2);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        for corpus in [&ALICLOUD, &MSRC] {
+            let p = corpus.update_interval_percentiles_h;
+            assert!(p.windows(2).all(|w| w[0] <= w[1]), "{}", corpus.name);
+            let g = corpus.interarrival_group_medians_us;
+            assert!(g.windows(2).all(|w| w[0] <= w[1]), "{}", corpus.name);
+        }
+    }
+
+    #[test]
+    fn lru_large_cache_beats_small() {
+        for corpus in [&ALICLOUD, &MSRC] {
+            assert!(corpus.lru.read_p25_large < corpus.lru.read_p25_small);
+            assert!(corpus.lru.write_p25_large < corpus.lru.write_p25_small);
+        }
+    }
+}

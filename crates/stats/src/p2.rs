@@ -1,0 +1,240 @@
+//! The P² streaming quantile estimator: [`P2Quantile`].
+//!
+//! Jain & Chlamtac's P² algorithm estimates a single quantile of a
+//! stream in O(1) memory (five markers) without storing observations.
+//! It complements the crate's other quantile back-ends: use
+//! [`crate::Quantiles`] when the sample fits in memory,
+//! [`crate::LogHistogram`] for non-negative integers with a known error
+//! bound, and `P2Quantile` for real-valued streams where even a
+//! histogram is too much state (e.g. one estimator per tracked entity).
+
+/// Streaming estimator of one quantile (Jain & Chlamtac, CACM 1985).
+///
+/// # Example
+///
+/// ```
+/// use cbs_stats::P2Quantile;
+///
+/// let mut median = P2Quantile::new(0.5).unwrap();
+/// for x in 1..=1001 {
+///     median.observe(f64::from(x));
+/// }
+/// let est = median.estimate().unwrap();
+/// assert!((est - 501.0).abs() < 25.0, "estimate {est}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimates of the quantile curve).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q ∈ (0, 1)`.
+    ///
+    /// Returns `None` for out-of-range or non-finite `q`.
+    pub fn new(q: f64) -> Option<Self> {
+        if !(q.is_finite() && q > 0.0 && q < 1.0) {
+            return None;
+        }
+        Some(P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        })
+    }
+
+    /// The quantile being estimated.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations seen.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn observe(&mut self, x: f64) {
+        assert!(!x.is_nan(), "cannot observe NaN");
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // locate the cell containing x and clamp extreme markers
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+
+        for position in self.positions.iter_mut().skip(k + 1) {
+            *position += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // adjust interior markers toward their desired positions
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] = if self.heights[i - 1] < candidate
+                    && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic (P²) height prediction.
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    /// Linear fallback when the parabola escapes its bracket.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i])
+                / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current estimate, or `None` before any observation.
+    ///
+    /// With fewer than five observations the exact sample quantile is
+    /// returned.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n @ 1..=4 => {
+                let mut sorted = self.heights[..n].to_vec();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected"));
+                let rank = (self.q * (n - 1) as f64).round() as usize;
+                Some(sorted[rank])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(q: f64, values: impl IntoIterator<Item = f64>) -> f64 {
+        let mut est = P2Quantile::new(q).unwrap();
+        for v in values {
+            est.observe(v);
+        }
+        est.estimate().unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_quantiles() {
+        assert!(P2Quantile::new(0.0).is_none());
+        assert!(P2Quantile::new(1.0).is_none());
+        assert!(P2Quantile::new(-0.5).is_none());
+        assert!(P2Quantile::new(f64::NAN).is_none());
+        assert!(P2Quantile::new(0.5).is_some());
+    }
+
+    #[test]
+    fn empty_estimator() {
+        let est = P2Quantile::new(0.5).unwrap();
+        assert_eq!(est.estimate(), None);
+        assert_eq!(est.count(), 0);
+        assert_eq!(est.q(), 0.5);
+    }
+
+    #[test]
+    fn small_samples_are_exact_ranks() {
+        assert_eq!(feed(0.5, [3.0]), 3.0);
+        // n=2: rank = round(0.5 · 1) = 1 → the larger sample
+        assert_eq!(feed(0.5, [3.0, 1.0]), 3.0);
+        // n=3: rank = round(0.5 · 2) = 1 → the middle sample
+        assert_eq!(feed(0.5, [9.0, 1.0, 5.0]), 5.0);
+        assert_eq!(feed(0.25, [9.0, 1.0, 5.0, 7.0]), 5.0);
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let est = feed(0.5, (1..=10_001).map(f64::from));
+        assert!((est - 5001.0).abs() / 5001.0 < 0.02, "estimate {est}");
+    }
+
+    #[test]
+    fn p95_of_uniform_stream() {
+        let est = feed(0.95, (1..=10_001).map(f64::from));
+        assert!((est - 9501.0).abs() / 9501.0 < 0.03, "estimate {est}");
+    }
+
+    #[test]
+    fn skewed_stream() {
+        // exponential-ish: x^2 over uniform ranks
+        let values = (1..=20_000).map(|i| {
+            let u = i as f64 / 20_000.0;
+            u * u * 1000.0
+        });
+        let est = feed(0.5, values);
+        // true median of u² on [0,1000] is 0.25 * 1000 = 250
+        assert!((est - 250.0).abs() / 250.0 < 0.05, "estimate {est}");
+    }
+
+    #[test]
+    fn adversarial_order_is_tolerated() {
+        // descending input
+        let est = feed(0.5, (1..=5001).rev().map(f64::from));
+        assert!((est - 2501.0).abs() / 2501.0 < 0.05, "estimate {est}");
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan_observation() {
+        P2Quantile::new(0.5).unwrap().observe(f64::NAN);
+    }
+}

@@ -1,0 +1,188 @@
+//! Deterministic uniform reservoir sampling: [`Reservoir`].
+
+/// A fixed-capacity uniform sample of a stream (Vitter's Algorithm R),
+/// with a small embedded xorshift64* generator so the crate carries no
+/// RNG dependency and samples are reproducible from the seed.
+///
+/// Used where an analysis wants *exact* quantiles over a bounded subset
+/// of an unbounded stream (e.g. per-volume request-size samples feeding
+/// a figure), trading the [`crate::LogHistogram`]'s deterministic error
+/// bound for sampling error.
+///
+/// # Example
+///
+/// ```
+/// use cbs_stats::Reservoir;
+///
+/// let mut r = Reservoir::new(100, 42);
+/// for x in 0..10_000 {
+///     r.offer(f64::from(x));
+/// }
+/// assert_eq!(r.len(), 100);
+/// assert_eq!(r.seen(), 10_000);
+/// // the sample median is near the stream median
+/// let q = r.to_quantiles();
+/// assert!((q.median().unwrap() - 5_000.0).abs() < 1_500.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reservoir {
+    capacity: usize,
+    seen: u64,
+    samples: Vec<f64>,
+    rng_state: u64,
+}
+
+impl Reservoir {
+    /// Creates a reservoir holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        Reservoir {
+            capacity,
+            seen: 0,
+            samples: Vec::with_capacity(capacity.min(1024)),
+            // xorshift64* must not start at 0
+            rng_state: seed | 1,
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64* (Vigna); adequate statistical quality for sampling.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Offers one observation to the reservoir.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn offer(&mut self, x: f64) {
+        assert!(!x.is_nan(), "cannot sample NaN");
+        self.seen += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(x);
+        } else {
+            // replace with probability capacity / seen
+            let j = self.next_u64() % self.seen;
+            if (j as usize) < self.capacity {
+                self.samples[j as usize] = x;
+            }
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of samples currently held (`min(seen, capacity)`).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if nothing has been offered.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total number of observations offered.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The current sample set (unordered).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Builds exact quantiles over the current sample.
+    pub fn to_quantiles(&self) -> crate::Quantiles {
+        crate::Quantiles::from_unsorted(self.samples.clone())
+    }
+
+    /// Consumes the reservoir, returning the sample set.
+    pub fn into_samples(self) -> Vec<f64> {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_everything_below_capacity() {
+        let mut r = Reservoir::new(10, 1);
+        for x in 0..5 {
+            r.offer(f64::from(x));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.seen(), 5);
+        let mut s = r.into_samples();
+        s.sort_by(f64::total_cmp);
+        assert_eq!(s, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn caps_at_capacity() {
+        let mut r = Reservoir::new(16, 7);
+        for x in 0..1000 {
+            r.offer(f64::from(x));
+        }
+        assert_eq!(r.len(), 16);
+        assert_eq!(r.seen(), 1000);
+        assert_eq!(r.capacity(), 16);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let run = |seed| {
+            let mut r = Reservoir::new(8, seed);
+            for x in 0..500 {
+                r.offer(f64::from(x));
+            }
+            r.into_samples()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // mean of a uniform sample of 0..100_000 should be near 50_000
+        let mut r = Reservoir::new(1000, 99);
+        for x in 0..100_000 {
+            r.offer(f64::from(x));
+        }
+        let mean: f64 = r.samples().iter().sum::<f64>() / r.len() as f64;
+        assert!((mean - 50_000.0).abs() < 5_000.0, "mean={mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_zero_capacity() {
+        let _ = Reservoir::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        Reservoir::new(1, 1).offer(f64::NAN);
+    }
+
+    #[test]
+    fn empty_reservoir() {
+        let r = Reservoir::new(4, 2);
+        assert!(r.is_empty());
+        assert!(r.to_quantiles().is_empty());
+    }
+}

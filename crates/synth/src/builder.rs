@@ -1,0 +1,302 @@
+//! Custom corpus composition: [`CorpusBuilder`].
+//!
+//! The presets ([`crate::presets`]) reproduce the paper's two corpora;
+//! `CorpusBuilder` lets downstream users compose their own mixes from
+//! the same volume-class vocabulary — e.g. "20 write-heavy loggers, 5
+//! read-cached web servers, 2 bursty analytics jobs" — without touching
+//! raw [`VolumeProfile`]s.
+
+use cbs_trace::{Timestamp, VolumeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::arrival::ArrivalModel;
+use crate::dist::log_uniform;
+use crate::generator::CorpusGenerator;
+use crate::profile::VolumeProfile;
+use crate::size::SizeModel;
+use crate::spatial::SpatialModel;
+
+const MIB: u64 = 1 << 20;
+const GIB: u64 = 1 << 30;
+const BLOCK: u64 = 4096;
+
+/// A named volume archetype with paper-motivated parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VolumeClass {
+    /// Journal/backup style: almost pure sequential-ish small writes,
+    /// heavy overwrites (the paper's W:R > 100 class).
+    WriteHeavyLogger,
+    /// Balanced virtual-machine disk: write-dominant mixed I/O.
+    MixedVm,
+    /// Application with a warm read cache upstream: few reads reach the
+    /// block layer.
+    CacheBackedService,
+    /// Read-dominant file/web server (the MSRC-style minority).
+    ReadHeavyServer,
+    /// Spiky analytics job: long idle stretches, intense bursts.
+    BurstyAnalytics,
+}
+
+impl VolumeClass {
+    /// All classes.
+    pub const ALL: [VolumeClass; 5] = [
+        VolumeClass::WriteHeavyLogger,
+        VolumeClass::MixedVm,
+        VolumeClass::CacheBackedService,
+        VolumeClass::ReadHeavyServer,
+        VolumeClass::BurstyAnalytics,
+    ];
+}
+
+/// Builder composing a corpus from class counts.
+///
+/// # Example
+///
+/// ```
+/// use cbs_synth::builder::{CorpusBuilder, VolumeClass};
+///
+/// let trace = CorpusBuilder::new(7)
+///     .days(2)
+///     .intensity_scale(0.01)
+///     .add(VolumeClass::WriteHeavyLogger, 3)
+///     .add(VolumeClass::ReadHeavyServer, 2)
+///     .build()
+///     .generate();
+/// assert_eq!(trace.volume_count(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CorpusBuilder {
+    seed: u64,
+    days: u64,
+    intensity_scale: f64,
+    classes: Vec<(VolumeClass, usize)>,
+}
+
+impl CorpusBuilder {
+    /// Creates a builder with the given master seed (1 day, full
+    /// intensity, no volumes).
+    pub fn new(seed: u64) -> Self {
+        CorpusBuilder {
+            seed,
+            days: 1,
+            intensity_scale: 1.0,
+            classes: Vec::new(),
+        }
+    }
+
+    /// Sets the trace duration in days.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days` is zero.
+    pub fn days(mut self, days: u64) -> Self {
+        assert!(days > 0, "trace needs at least one day");
+        self.days = days;
+        self
+    }
+
+    /// Scales every volume's request rate (see
+    /// [`crate::presets::CorpusConfig::intensity_scale`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is positive and finite.
+    pub fn intensity_scale(mut self, scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "intensity scale must be positive"
+        );
+        self.intensity_scale = scale;
+        self
+    }
+
+    /// Adds `count` volumes of `class`.
+    pub fn add(mut self, class: VolumeClass, count: usize) -> Self {
+        self.classes.push((class, count));
+        self
+    }
+
+    /// Total volumes configured so far.
+    pub fn volume_count(&self) -> usize {
+        self.classes.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Builds the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no volumes were added.
+    pub fn build(&self) -> CorpusGenerator {
+        assert!(self.volume_count() > 0, "corpus needs at least one volume");
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xB01D_E12B);
+        let mut profiles = Vec::with_capacity(self.volume_count());
+        let mut id = 0u32;
+        for &(class, count) in &self.classes {
+            for _ in 0..count {
+                profiles.push(self.volume(class, id, &mut rng));
+                id += 1;
+            }
+        }
+        CorpusGenerator::new(profiles)
+    }
+
+    fn volume(&self, class: VolumeClass, id: u32, rng: &mut SmallRng) -> VolumeProfile {
+        let seed = rng.gen();
+        let live_end = Timestamp::from_days(self.days);
+        let scale = self.intensity_scale;
+
+        // per-class knobs: (write_fraction, base rate rps, on-fraction,
+        // burst size, seq prob, writes-per-block)
+        let (write_fraction, rate, on_fraction, burst, seq, wpb) = match class {
+            VolumeClass::WriteHeavyLogger => (0.995, 4.0, 0.15, 12.0, 0.55, 25.0),
+            VolumeClass::MixedVm => (0.75, 2.5, 0.25, 6.0, 0.15, 6.0),
+            VolumeClass::CacheBackedService => (0.9, 3.0, 0.2, 8.0, 0.1, 10.0),
+            VolumeClass::ReadHeavyServer => (0.3, 5.0, 0.3, 8.0, 0.5, 1.0),
+            VolumeClass::BurstyAnalytics => (0.6, 1.5, 0.004, 120.0, 0.2, 3.0),
+        };
+        let avg_rate_rps = rate * scale * log_uniform(rng, 0.5, 2.0);
+        let arrival = ArrivalModel {
+            avg_rate_rps,
+            on_fraction,
+            mean_on_secs: 180.0,
+            burst_size_mean: burst,
+            intra_gap_median_us: log_uniform(rng, 50.0, 400.0),
+            intra_gap_sigma: 1.2,
+            diurnal_amplitude: rng.gen_range(0.2..0.6),
+            diurnal_phase: rng.gen_range(0.0..std::f64::consts::TAU),
+            background_fraction: 0.3,
+        };
+
+        let span_secs = (live_end - Timestamp::ZERO).as_secs_f64();
+        let expected = avg_rate_rps * span_secs;
+        let writes = expected * write_fraction;
+        let reads = expected - writes;
+        let region = |ops: f64, per_block: f64| -> u64 {
+            (((ops / per_block.max(0.1)).ceil() as u64).max(256) * BLOCK).min(512 * GIB)
+        };
+        let write_len = region(writes.max(1.0), wpb);
+        let read_len = region(reads.max(1.0), 2.0).max(64 * MIB);
+
+        let write_spatial = SpatialModel {
+            region_start: 0,
+            region_len: write_len,
+            seq_prob: seq,
+            hot_prob: 0.5,
+            hot_fraction: 0.01,
+            hot_zipf_s: 1.2,
+            block_size: cbs_trace::BlockSize::DEFAULT,
+        };
+        let read_spatial = SpatialModel {
+            region_start: write_len,
+            region_len: read_len,
+            seq_prob: seq * 0.8,
+            hot_prob: 0.5,
+            hot_fraction: 0.01,
+            hot_zipf_s: 1.1,
+            block_size: cbs_trace::BlockSize::DEFAULT,
+        };
+
+        VolumeProfile {
+            id: VolumeId::new(id),
+            capacity_bytes: write_len + read_len + GIB,
+            live_start: Timestamp::ZERO,
+            live_end,
+            write_fraction,
+            arrival,
+            read_spatial,
+            write_spatial,
+            read_size: SizeModel::small_reads(),
+            write_size: SizeModel::small_writes(),
+            daily_rewrite: None,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_requested_mix() {
+        let builder = CorpusBuilder::new(1)
+            .days(1)
+            .intensity_scale(0.02)
+            .add(VolumeClass::WriteHeavyLogger, 2)
+            .add(VolumeClass::ReadHeavyServer, 3);
+        assert_eq!(builder.volume_count(), 5);
+        let corpus = builder.build();
+        assert_eq!(corpus.profiles().len(), 5);
+        for p in corpus.profiles() {
+            assert_eq!(p.validate(), Ok(()), "{}", p.id);
+        }
+        // loggers first (ids 0-1), write-dominant
+        assert!(corpus.profiles()[0].write_fraction > 0.9);
+        assert!(corpus.profiles()[4].write_fraction < 0.5);
+    }
+
+    #[test]
+    fn classes_shape_the_traffic() {
+        let trace = CorpusBuilder::new(5)
+            .days(1)
+            .intensity_scale(0.05)
+            .add(VolumeClass::WriteHeavyLogger, 1)
+            .add(VolumeClass::ReadHeavyServer, 1)
+            .build()
+            .generate();
+        let logger = trace.volume(VolumeId::new(0)).unwrap();
+        let server = trace.volume(VolumeId::new(1)).unwrap();
+        let wf = |reqs: &[cbs_trace::IoRequest]| {
+            reqs.iter().filter(|r| r.is_write()).count() as f64 / reqs.len() as f64
+        };
+        assert!(wf(logger.requests()) > 0.9);
+        assert!(wf(server.requests()) < 0.5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let build = |seed| {
+            CorpusBuilder::new(seed)
+                .days(1)
+                .intensity_scale(0.02)
+                .add(VolumeClass::MixedVm, 3)
+                .build()
+                .generate()
+                .request_count()
+        };
+        assert_eq!(build(9), build(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one volume")]
+    fn rejects_empty_corpus() {
+        let _ = CorpusBuilder::new(1).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one day")]
+    fn rejects_zero_days() {
+        let _ = CorpusBuilder::new(1).days(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "intensity scale")]
+    fn rejects_bad_scale() {
+        let _ = CorpusBuilder::new(1).intensity_scale(0.0);
+    }
+
+    #[test]
+    fn all_classes_generate() {
+        for class in VolumeClass::ALL {
+            let trace = CorpusBuilder::new(3)
+                .days(1)
+                .intensity_scale(0.02)
+                .add(class, 1)
+                .build()
+                .generate();
+            assert!(trace.request_count() > 0, "{class:?}");
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! Self-contained distribution samplers.
+//!
+//! Implemented here rather than pulling `rand_distr`: the generator is a
+//! substrate this reproduction is expected to own, the set needed is
+//! small, and each sampler is property-tested against its analytic
+//! moments. All samplers draw from any [`rand::Rng`].
+
+use rand::Rng;
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+///
+/// # Example
+///
+/// ```
+/// use cbs_synth::dist::Exponential;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let exp = Exponential::new(2.0).unwrap();
+/// let x = exp.sample(&mut rng);
+/// assert!(x >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates the distribution; `None` unless `lambda` is finite and
+    /// positive.
+    pub fn new(lambda: f64) -> Option<Self> {
+        (lambda.is_finite() && lambda > 0.0).then_some(Exponential { lambda })
+    }
+
+    /// The rate parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The mean (`1/lambda`).
+    pub fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+
+    /// Draws one sample (inverse transform).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Uniform in (0, 1]: avoid ln(0).
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / self.lambda
+    }
+}
+
+/// Standard normal via Box–Muller (one value per call; the pair's twin
+/// is discarded for simplicity — samplers here are not hot paths).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Log-normal distribution: `exp(mu + sigma · N(0,1))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates the distribution; `None` unless `mu` is finite and
+    /// `sigma` is finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Option<Self> {
+        (mu.is_finite() && sigma.is_finite() && sigma >= 0.0)
+            .then_some(LogNormal { mu, sigma })
+    }
+
+    /// Creates the distribution from its median (`exp(mu)`) and sigma.
+    ///
+    /// The median parameterization reads naturally when calibrating to
+    /// reported medians ("median average intensity 2.55 req/s").
+    pub fn from_median(median: f64, sigma: f64) -> Option<Self> {
+        (median > 0.0).then(|| Self::new(median.ln(), sigma)).flatten()
+    }
+
+    /// The median (`exp(mu)`).
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Zipf distribution over ranks `0..n` (rank 0 is the hottest), with
+/// exponent `s ≥ 0` (s = 0 degenerates to uniform).
+///
+/// Uses an exact precomputed inverse CDF — hot sets in this workbench
+/// are small (at most a few hundred thousand blocks), where exactness
+/// beats rejection sampling in both simplicity and speed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[k]` = P(rank ≤ k).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Maximum supported support size.
+    pub const MAX_N: usize = 1 << 22;
+
+    /// Creates the distribution; `None` if `n` is 0 or exceeds
+    /// [`Self::MAX_N`], or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Option<Self> {
+        if n == 0 || n > Self::MAX_N || !s.is_finite() || s < 0.0 {
+            return None;
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Some(Zipf { cdf })
+    }
+
+    /// The support size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Geometric distribution on `{1, 2, ...}` with success probability `p`
+/// (mean `1/p`) — burst sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Creates the distribution; `None` unless `0 < p <= 1`.
+    pub fn new(p: f64) -> Option<Self> {
+        (p > 0.0 && p <= 1.0).then_some(Geometric { p })
+    }
+
+    /// Creates a geometric with the given mean (`p = 1/mean`).
+    ///
+    /// Means below 1 are clamped to 1 (a burst has at least one
+    /// request).
+    pub fn from_mean(mean: f64) -> Option<Self> {
+        if !mean.is_finite() {
+            return None;
+        }
+        Self::new((1.0 / mean.max(1.0)).min(1.0))
+    }
+
+    /// The mean (`1/p`).
+    pub fn mean(&self) -> f64 {
+        1.0 / self.p
+    }
+
+    /// Draws one sample ≥ 1 (inverse transform).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p >= 1.0 {
+            return 1;
+        }
+        let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+        let k = (u.ln() / (1.0 - self.p).ln()).floor() as u64 + 1;
+        k.max(1)
+    }
+}
+
+/// Bounded Pareto (power-law) distribution on `[min, max]` with shape
+/// `alpha` — heavy-tailed sizes and durations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    min: f64,
+    max: f64,
+    alpha: f64,
+}
+
+impl BoundedPareto {
+    /// Creates the distribution; `None` unless
+    /// `0 < min < max` and `alpha > 0`.
+    pub fn new(min: f64, max: f64, alpha: f64) -> Option<Self> {
+        (min > 0.0 && max > min && alpha > 0.0 && alpha.is_finite())
+            .then_some(BoundedPareto { min, max, alpha })
+    }
+
+    /// Draws one sample in `[min, max]` (inverse transform).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        let (l, h, a) = (self.min, self.max, self.alpha);
+        let la = l.powf(a);
+        let ha = h.powf(a);
+        // inverse CDF of the bounded Pareto
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / a)
+    }
+}
+
+/// A discrete distribution over arbitrary items with explicit weights.
+///
+/// # Example
+///
+/// ```
+/// use cbs_synth::dist::Discrete;
+/// use rand::SeedableRng;
+///
+/// let sizes = Discrete::new(vec![(4096u32, 0.7), (65536, 0.3)]).unwrap();
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+/// let s = *sizes.sample(&mut rng);
+/// assert!(s == 4096 || s == 65536);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discrete<T> {
+    items: Vec<T>,
+    cdf: Vec<f64>,
+}
+
+impl<T> Discrete<T> {
+    /// Creates the distribution; `None` if `weighted` is empty or any
+    /// weight is negative/non-finite or all weights are zero.
+    pub fn new(weighted: Vec<(T, f64)>) -> Option<Self> {
+        if weighted.is_empty() {
+            return None;
+        }
+        let mut items = Vec::with_capacity(weighted.len());
+        let mut cdf = Vec::with_capacity(weighted.len());
+        let mut acc = 0.0;
+        for (item, w) in weighted {
+            if !w.is_finite() || w < 0.0 {
+                return None;
+            }
+            acc += w;
+            items.push(item);
+            cdf.push(acc);
+        }
+        if acc <= 0.0 {
+            return None;
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        Some(Discrete { items, cdf })
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if there are no items (never: construction
+    /// requires at least one).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Draws one item.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &T {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u).min(self.items.len() - 1);
+        &self.items[idx]
+    }
+}
+
+/// Samples log-uniformly from `[lo, hi]` — the natural spread for
+/// parameters spanning orders of magnitude (volume capacities,
+/// ON-fractions).
+///
+/// # Panics
+///
+/// Panics unless `0 < lo <= hi`.
+pub fn log_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0 && hi >= lo, "log_uniform requires 0 < lo <= hi");
+    let u: f64 = rng.gen();
+    (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xC0FFEE)
+    }
+
+    fn mean_of(samples: &[f64]) -> f64 {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = rng();
+        let exp = Exponential::new(0.5).unwrap();
+        assert_eq!(exp.lambda(), 0.5);
+        assert_eq!(exp.mean(), 2.0);
+        let samples: Vec<f64> = (0..20_000).map(|_| exp.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&x| x >= 0.0));
+        assert!((mean_of(&samples) - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn exponential_rejects_bad_lambda() {
+        assert!(Exponential::new(0.0).is_none());
+        assert!(Exponential::new(-1.0).is_none());
+        assert!(Exponential::new(f64::NAN).is_none());
+        assert!(Exponential::new(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut r)).collect();
+        let mean = mean_of(&samples);
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!(mean.abs() < 0.05, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut r = rng();
+        let ln = LogNormal::from_median(2.55, 1.0).unwrap();
+        assert!((ln.median() - 2.55).abs() < 1e-12);
+        let mut samples: Vec<f64> = (0..20_001).map(|_| ln.sample(&mut r)).collect();
+        samples.sort_by(f64::total_cmp);
+        let med = samples[samples.len() / 2];
+        assert!((med - 2.55).abs() < 0.15, "med={med}");
+    }
+
+    #[test]
+    fn lognormal_rejects_bad_params() {
+        assert!(LogNormal::new(f64::NAN, 1.0).is_none());
+        assert!(LogNormal::new(0.0, -1.0).is_none());
+        assert!(LogNormal::from_median(0.0, 1.0).is_none());
+        assert!(LogNormal::from_median(-2.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn zipf_rank_zero_is_hottest() {
+        let mut r = rng();
+        let z = Zipf::new(100, 1.0).unwrap();
+        assert_eq!(z.n(), 100);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // rank-0 share for Zipf(1.0, n=100) ≈ 1/H_100 ≈ 0.193
+        let share0 = counts[0] as f64 / 50_000.0;
+        assert!((share0 - 0.193).abs() < 0.02, "share0={share0}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let mut r = rng();
+        let z = Zipf::new(10, 0.0).unwrap();
+        let mut counts = vec![0u64; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 20_000.0;
+            assert!((frac - 0.1).abs() < 0.02, "frac={frac}");
+        }
+    }
+
+    #[test]
+    fn zipf_rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_none());
+        assert!(Zipf::new(10, -1.0).is_none());
+        assert!(Zipf::new(10, f64::NAN).is_none());
+        assert!(Zipf::new(Zipf::MAX_N + 1, 1.0).is_none());
+    }
+
+    #[test]
+    fn geometric_mean_and_support() {
+        let mut r = rng();
+        let g = Geometric::from_mean(20.0).unwrap();
+        assert!((g.mean() - 20.0).abs() < 1e-9);
+        let samples: Vec<f64> = (0..20_000).map(|_| g.sample(&mut r) as f64).collect();
+        assert!(samples.iter().all(|&x| x >= 1.0));
+        assert!((mean_of(&samples) - 20.0).abs() < 0.6);
+    }
+
+    #[test]
+    fn geometric_mean_one_is_constant() {
+        let mut r = rng();
+        let g = Geometric::from_mean(0.5).unwrap(); // clamped to 1
+        for _ in 0..100 {
+            assert_eq!(g.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_range() {
+        let mut r = rng();
+        let p = BoundedPareto::new(1.0, 1000.0, 1.2).unwrap();
+        for _ in 0..10_000 {
+            let x = p.sample(&mut r);
+            assert!((1.0..=1000.0 + 1e-9).contains(&x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_rejects_bad_params() {
+        assert!(BoundedPareto::new(0.0, 10.0, 1.0).is_none());
+        assert!(BoundedPareto::new(10.0, 10.0, 1.0).is_none());
+        assert!(BoundedPareto::new(1.0, 10.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn discrete_respects_weights() {
+        let mut r = rng();
+        let d = Discrete::new(vec![("a", 3.0), ("b", 1.0)]).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        let mut a = 0;
+        for _ in 0..20_000 {
+            if *d.sample(&mut r) == "a" {
+                a += 1;
+            }
+        }
+        let frac = a as f64 / 20_000.0;
+        assert!((frac - 0.75).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn discrete_zero_weight_item_never_sampled() {
+        let mut r = rng();
+        let d = Discrete::new(vec![(1, 1.0), (2, 0.0)]).unwrap();
+        for _ in 0..1000 {
+            assert_eq!(*d.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn discrete_rejects_bad_weights() {
+        assert!(Discrete::<u8>::new(vec![]).is_none());
+        assert!(Discrete::new(vec![(1, -1.0)]).is_none());
+        assert!(Discrete::new(vec![(1, 0.0)]).is_none());
+        assert!(Discrete::new(vec![(1, f64::NAN)]).is_none());
+    }
+
+    #[test]
+    fn log_uniform_range_and_spread() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..10_000).map(|_| log_uniform(&mut r, 1.0, 10_000.0)).collect();
+        assert!(samples.iter().all(|&x| (1.0..=10_000.0).contains(&x)));
+        // median of log-uniform [1, 10^4] is 10^2
+        let mut s = samples.clone();
+        s.sort_by(f64::total_cmp);
+        let med = s[s.len() / 2];
+        assert!((med.log10() - 2.0).abs() < 0.1, "med={med}");
+    }
+
+    #[test]
+    #[should_panic(expected = "log_uniform")]
+    fn log_uniform_rejects_bad_range() {
+        let _ = log_uniform(&mut rng(), 0.0, 1.0);
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let sample_all = |seed: u64| {
+            let mut r = SmallRng::seed_from_u64(seed);
+            let e = Exponential::new(1.0).unwrap().sample(&mut r);
+            let l = LogNormal::new(0.0, 1.0).unwrap().sample(&mut r);
+            let z = Zipf::new(50, 1.0).unwrap().sample(&mut r);
+            let g = Geometric::new(0.25).unwrap().sample(&mut r);
+            (e, l, z, g)
+        };
+        assert_eq!(sample_all(7), sample_all(7));
+        assert_ne!(sample_all(7), sample_all(8));
+    }
+}

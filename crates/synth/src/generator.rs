@@ -1,0 +1,336 @@
+//! Trace generation from profiles: [`VolumeGenerator`] and
+//! [`CorpusGenerator`].
+
+use cbs_trace::{IoRequest, OpKind, TimeDelta, Timestamp, Trace};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::arrival::ArrivalGen;
+use crate::dist::Exponential;
+use crate::profile::VolumeProfile;
+use crate::spatial::AddressGen;
+
+/// Steady Poisson stream of single-request arrivals — the background
+/// ("heartbeat") component of a volume's traffic.
+#[derive(Debug)]
+struct BackgroundGen {
+    rng: SmallRng,
+    gap: Exponential,
+    next_ts: Timestamp,
+    end: Timestamp,
+}
+
+impl BackgroundGen {
+    fn new(rate_rps: f64, start: Timestamp, end: Timestamp, mut rng: SmallRng) -> Option<Self> {
+        let gap = Exponential::new(rate_rps)?;
+        let first = start + TimeDelta::from_secs_f64(gap.sample(&mut rng).min(1e9));
+        Some(BackgroundGen {
+            rng,
+            gap,
+            next_ts: first,
+            end,
+        })
+    }
+}
+
+impl Iterator for BackgroundGen {
+    type Item = Timestamp;
+
+    fn next(&mut self) -> Option<Timestamp> {
+        if self.next_ts >= self.end {
+            return None;
+        }
+        let ts = self.next_ts;
+        let delta = TimeDelta::from_secs_f64(self.gap.sample(&mut self.rng).min(1e9));
+        self.next_ts = self.next_ts.checked_add(delta).unwrap_or(Timestamp::MAX);
+        Some(ts)
+    }
+}
+
+/// Merges two sorted timestamp streams.
+fn merge_sorted(a: Vec<Timestamp>, b: Vec<Timestamp>) -> Vec<Timestamp> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Generates one volume's time-sorted request stream from its profile.
+#[derive(Debug)]
+pub struct VolumeGenerator {
+    profile: VolumeProfile,
+}
+
+impl VolumeGenerator {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`VolumeProfile::validate`].
+    pub fn new(profile: VolumeProfile) -> Self {
+        if let Err(e) = profile.validate() {
+            panic!("invalid volume profile for {}: {e}", profile.id);
+        }
+        VolumeGenerator { profile }
+    }
+
+    /// The profile being generated.
+    pub fn profile(&self) -> &VolumeProfile {
+        &self.profile
+    }
+
+    /// Generates the volume's full request stream, sorted by timestamp.
+    pub fn generate(&self) -> Vec<IoRequest> {
+        let p = &self.profile;
+        let mut rng = SmallRng::seed_from_u64(p.seed);
+        let arrival_rng = SmallRng::seed_from_u64(rng.gen());
+        let mut read_addr = AddressGen::new(p.read_spatial.clone());
+        let mut write_addr = AddressGen::new(p.write_spatial.clone());
+
+        let mut requests: Vec<IoRequest> = Vec::new();
+        let burst_times: Vec<Timestamp> =
+            ArrivalGen::new(&p.arrival, p.live_start, p.live_end, arrival_rng).collect();
+        let bg_rate = p.arrival.avg_rate_rps * p.arrival.background_fraction;
+        let background: Vec<Timestamp> = if bg_rate > 0.0 {
+            BackgroundGen::new(
+                bg_rate,
+                p.live_start,
+                p.live_end,
+                SmallRng::seed_from_u64(rng.gen()),
+            )
+            .map(Iterator::collect)
+            .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        let arrivals = merge_sorted(burst_times, background);
+        for ts in arrivals {
+            let is_write = rng.gen::<f64>() < p.write_fraction;
+            let (op, size, addr) = if is_write {
+                (OpKind::Write, p.write_size.sample(&mut rng), &mut write_addr)
+            } else {
+                (OpKind::Read, p.read_size.sample(&mut rng), &mut read_addr)
+            };
+            let offset = addr.next_offset(&mut rng, size);
+            requests.push(IoRequest::new(p.id, op, offset, size, ts));
+        }
+
+        if let Some(job) = &p.daily_rewrite {
+            let mut job_requests = self.generate_daily_rewrites(job);
+            requests.append(&mut job_requests);
+            requests.sort_by_key(IoRequest::ts);
+        }
+        requests
+    }
+
+    /// Emits the daily sequential rewrite runs that fall inside the
+    /// live window.
+    fn generate_daily_rewrites(&self, job: &crate::profile::DailyRewrite) -> Vec<IoRequest> {
+        let p = &self.profile;
+        let mut out = Vec::new();
+        let first_day = p.live_start.day_index();
+        let last_day = p.live_end.day_index();
+        for day in first_day..=last_day {
+            let start_us = day * cbs_trace::time::MICROS_PER_DAY
+                + (job.at_hour * cbs_trace::time::MICROS_PER_HOUR as f64) as u64;
+            let mut ts = Timestamp::from_micros(start_us);
+            if ts < p.live_start {
+                continue;
+            }
+            let mut offset = job.region_start;
+            let end = job.region_start + job.region_len;
+            while offset < end && ts < p.live_end {
+                let len = u32::try_from((end - offset).min(u64::from(job.request_size)))
+                    .expect("request_size fits u32");
+                out.push(IoRequest::new(p.id, OpKind::Write, offset, len, ts));
+                offset += u64::from(len);
+                ts = ts + TimeDelta::from_micros(job.gap_us);
+            }
+        }
+        out
+    }
+}
+
+/// Generates a whole corpus from a set of profiles.
+#[derive(Debug)]
+pub struct CorpusGenerator {
+    profiles: Vec<VolumeProfile>,
+}
+
+impl CorpusGenerator {
+    /// Creates a generator over `profiles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any profile fails validation.
+    pub fn new(profiles: Vec<VolumeProfile>) -> Self {
+        for p in &profiles {
+            if let Err(e) = p.validate() {
+                panic!("invalid volume profile for {}: {e}", p.id);
+            }
+        }
+        CorpusGenerator { profiles }
+    }
+
+    /// The profiles in the corpus.
+    pub fn profiles(&self) -> &[VolumeProfile] {
+        &self.profiles
+    }
+
+    /// Generates the full corpus trace.
+    pub fn generate(&self) -> Trace {
+        let mut all: Vec<IoRequest> = Vec::new();
+        for profile in &self.profiles {
+            all.extend(VolumeGenerator::new(profile.clone()).generate());
+        }
+        Trace::from_requests(all)
+    }
+
+    /// Generates only the volume at `index` (for incremental /
+    /// parallel drivers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn generate_volume(&self, index: usize) -> Vec<IoRequest> {
+        VolumeGenerator::new(self.profiles[index].clone()).generate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DailyRewrite;
+    use crate::size::SizeModel;
+    use crate::spatial::SpatialModel;
+    use cbs_trace::VolumeId;
+
+    const MIB: u64 = 1 << 20;
+
+    fn profile(id: u32, seed: u64) -> VolumeProfile {
+        VolumeProfile {
+            id: VolumeId::new(id),
+            capacity_bytes: 1024 * MIB,
+            live_start: Timestamp::ZERO,
+            live_end: Timestamp::from_hours(4),
+            write_fraction: 0.75,
+            arrival: crate::arrival::ArrivalModel::steady(2.0),
+            read_spatial: SpatialModel::uniform(512 * MIB, 128 * MIB),
+            write_spatial: SpatialModel::uniform(0, 64 * MIB),
+            read_size: SizeModel::small_reads(),
+            write_size: SizeModel::small_writes(),
+            daily_rewrite: None,
+            seed,
+        }
+    }
+
+    #[test]
+    fn stream_is_sorted_and_windowed() {
+        let reqs = VolumeGenerator::new(profile(3, 1)).generate();
+        assert!(!reqs.is_empty());
+        assert!(reqs.windows(2).all(|w| w[0].ts() <= w[1].ts()));
+        assert!(reqs.iter().all(|r| r.ts() < Timestamp::from_hours(4)));
+        assert!(reqs.iter().all(|r| r.volume() == VolumeId::new(3)));
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let reqs = VolumeGenerator::new(profile(0, 2)).generate();
+        let writes = reqs.iter().filter(|r| r.is_write()).count();
+        let frac = writes as f64 / reqs.len() as f64;
+        assert!((frac - 0.75).abs() < 0.03, "write fraction {frac}");
+    }
+
+    #[test]
+    fn reads_and_writes_target_their_regions() {
+        let reqs = VolumeGenerator::new(profile(0, 3)).generate();
+        for r in &reqs {
+            if r.is_write() {
+                assert!(r.end_offset() <= 64 * MIB, "{r}");
+            } else {
+                assert!(r.offset() >= 512 * MIB && r.end_offset() <= 640 * MIB, "{r}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = VolumeGenerator::new(profile(0, 42)).generate();
+        let b = VolumeGenerator::new(profile(0, 42)).generate();
+        assert_eq!(a, b);
+        let c = VolumeGenerator::new(profile(0, 43)).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn daily_rewrite_runs_every_day() {
+        let mut p = profile(0, 4);
+        p.live_end = Timestamp::from_days(3);
+        p.write_fraction = 1.0;
+        p.daily_rewrite = Some(DailyRewrite {
+            at_hour: 2.0,
+            region_start: 900 * MIB,
+            region_len: MIB,
+            request_size: 64 * 1024,
+            gap_us: 500,
+        });
+        let reqs = VolumeGenerator::new(p).generate();
+        let job_reqs: Vec<_> = reqs
+            .iter()
+            .filter(|r| r.offset() >= 900 * MIB && r.offset() < 901 * MIB)
+            .collect();
+        // 3 full days × 16 requests per run
+        assert_eq!(job_reqs.len(), 3 * 16);
+        // each run covers the whole region sequentially
+        let day0: Vec<_> = job_reqs
+            .iter()
+            .filter(|r| r.ts().day_index() == 0)
+            .collect();
+        assert_eq!(day0.len(), 16);
+        assert!(day0.windows(2).all(|w| w[1].offset() == w[0].end_offset()));
+        // runs are 24h apart on the same blocks
+        let first_of_day: Vec<_> = job_reqs
+            .iter()
+            .filter(|r| r.offset() == 900 * MIB)
+            .collect();
+        assert_eq!(first_of_day.len(), 3);
+        let gap = first_of_day[1].ts() - first_of_day[0].ts();
+        assert_eq!(gap, TimeDelta::from_hours(24));
+        // the merged stream stays sorted
+        assert!(reqs.windows(2).all(|w| w[0].ts() <= w[1].ts()));
+    }
+
+    #[test]
+    fn corpus_combines_volumes() {
+        let corpus = CorpusGenerator::new(vec![profile(0, 1), profile(1, 2), profile(7, 3)]);
+        assert_eq!(corpus.profiles().len(), 3);
+        let trace = corpus.generate();
+        assert_eq!(trace.volume_count(), 3);
+        let ids: Vec<u32> = trace.volume_ids().map(|v| v.get()).collect();
+        assert_eq!(ids, vec![0, 1, 7]);
+        // per-volume generation matches the combined trace
+        let v7 = corpus.generate_volume(2);
+        assert_eq!(
+            trace.volume(VolumeId::new(7)).unwrap().requests(),
+            v7.as_slice()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid volume profile")]
+    fn rejects_invalid_profile() {
+        let mut p = profile(0, 1);
+        p.write_fraction = 2.0;
+        let _ = VolumeGenerator::new(p);
+    }
+}

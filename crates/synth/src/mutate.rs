@@ -1,0 +1,223 @@
+//! What-if trace transformations.
+//!
+//! Characterization studies routinely ask counterfactuals: *what if the
+//! read cache upstream disappeared* (more reads reach the block layer)?
+//! *What if time ran twice as fast* (denser arrivals)? These helpers
+//! derive new traces from existing ones — synthetic or real — so the
+//! same analysis pipeline can answer such questions. All
+//! transformations are deterministic given their seed.
+
+use cbs_trace::{IoRequest, OpKind, TimeDelta, Timestamp, Trace};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Compresses or stretches trace time by `factor` around the trace
+/// start: `factor = 2.0` makes everything arrive twice as fast
+/// (halving all gaps), `0.5` slows it down.
+///
+/// # Panics
+///
+/// Panics unless `factor` is positive and finite.
+///
+/// # Example
+///
+/// ```
+/// use cbs_synth::mutate::scale_time;
+/// use cbs_trace::{IoRequest, OpKind, Timestamp, Trace, VolumeId};
+///
+/// let mk = |s| IoRequest::new(VolumeId::new(0), OpKind::Read, 0, 512, Timestamp::from_secs(s));
+/// let trace = Trace::from_requests(vec![mk(0), mk(100)]);
+/// let fast = scale_time(&trace, 2.0);
+/// assert_eq!(fast.span().unwrap().as_secs(), 50);
+/// ```
+pub fn scale_time(trace: &Trace, factor: f64) -> Trace {
+    assert!(
+        factor.is_finite() && factor > 0.0,
+        "time factor must be positive"
+    );
+    let Some(start) = trace.start() else {
+        return Trace::new();
+    };
+    trace
+        .requests()
+        .iter()
+        .map(|r| {
+            let rel = (r.ts() - start).as_micros() as f64 / factor;
+            IoRequest::new(
+                r.volume(),
+                r.op(),
+                r.offset(),
+                r.len(),
+                start + TimeDelta::from_micros(rel.round() as u64),
+            )
+        })
+        .collect()
+}
+
+/// Converts a fraction of writes into reads of the same blocks — the
+/// "upstream read cache removed" counterfactual in reverse, or models
+/// a replication layer that reads back what it wrote.
+///
+/// Each write flips independently with probability `fraction`
+/// (seeded, deterministic).
+///
+/// # Panics
+///
+/// Panics unless `fraction` is in `[0, 1]`.
+pub fn flip_writes_to_reads(trace: &Trace, fraction: f64, seed: u64) -> Trace {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    trace
+        .requests()
+        .iter()
+        .map(|r| {
+            if r.is_write() && rng.gen::<f64>() < fraction {
+                IoRequest::new(r.volume(), OpKind::Read, r.offset(), r.len(), r.ts())
+            } else {
+                *r
+            }
+        })
+        .collect()
+}
+
+/// Amplifies write traffic: each write is followed by `copies`
+/// duplicate writes to the same block at `gap` intervals — a crude
+/// replication/journaling model that inflates WAW pairs and update
+/// coverage the way replicated block stores do.
+pub fn amplify_writes(trace: &Trace, copies: u32, gap: TimeDelta) -> Trace {
+    let mut out: Vec<IoRequest> = Vec::with_capacity(trace.request_count());
+    for r in trace.requests() {
+        out.push(*r);
+        if r.is_write() {
+            let mut ts = r.ts();
+            for _ in 0..copies {
+                ts = ts + gap;
+                out.push(IoRequest::new(r.volume(), r.op(), r.offset(), r.len(), ts));
+            }
+        }
+    }
+    Trace::from_requests(out)
+}
+
+/// Thins the trace by keeping each request independently with
+/// probability `rate` — cheap load-scaling for quick what-ifs (unlike
+/// [`crate::presets::CorpusConfig::intensity_scale`], this preserves
+/// nothing about burst structure; it is a sampling tool, not a model).
+///
+/// # Panics
+///
+/// Panics unless `rate` is in `(0, 1]`.
+pub fn sample_requests(trace: &Trace, rate: f64, seed: u64) -> Trace {
+    assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    trace
+        .requests()
+        .iter()
+        .filter(|_| rng.gen::<f64>() < rate)
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_trace::VolumeId;
+
+    fn mk(op: OpKind, secs: u64) -> IoRequest {
+        IoRequest::new(VolumeId::new(0), op, 4096, 4096, Timestamp::from_secs(secs))
+    }
+
+    fn sample_trace() -> Trace {
+        Trace::from_requests(vec![
+            mk(OpKind::Write, 10),
+            mk(OpKind::Read, 20),
+            mk(OpKind::Write, 30),
+            mk(OpKind::Write, 40),
+        ])
+    }
+
+    #[test]
+    fn scale_time_compresses_gaps() {
+        let fast = scale_time(&sample_trace(), 2.0);
+        assert_eq!(fast.request_count(), 4);
+        assert_eq!(fast.start(), Some(Timestamp::from_secs(10)), "anchored at start");
+        assert_eq!(fast.span().unwrap().as_secs(), 15);
+        let slow = scale_time(&sample_trace(), 0.5);
+        assert_eq!(slow.span().unwrap().as_secs(), 60);
+    }
+
+    #[test]
+    fn scale_time_empty_trace() {
+        assert!(scale_time(&Trace::new(), 2.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "time factor")]
+    fn scale_time_rejects_zero() {
+        let _ = scale_time(&sample_trace(), 0.0);
+    }
+
+    #[test]
+    fn flip_extremes() {
+        let none = flip_writes_to_reads(&sample_trace(), 0.0, 1);
+        assert_eq!(none.requests().iter().filter(|r| r.is_write()).count(), 3);
+        let all = flip_writes_to_reads(&sample_trace(), 1.0, 1);
+        assert_eq!(all.requests().iter().filter(|r| r.is_write()).count(), 0);
+        assert_eq!(all.request_count(), 4, "flips never drop requests");
+        // offsets and timestamps untouched
+        for (a, b) in sample_trace().requests().iter().zip(all.requests()) {
+            assert_eq!(a.offset(), b.offset());
+            assert_eq!(a.ts(), b.ts());
+        }
+    }
+
+    #[test]
+    fn flip_is_deterministic() {
+        let a = flip_writes_to_reads(&sample_trace(), 0.5, 7);
+        let b = flip_writes_to_reads(&sample_trace(), 0.5, 7);
+        assert_eq!(a.requests(), b.requests());
+    }
+
+    #[test]
+    fn amplify_adds_waw_pairs() {
+        let amplified = amplify_writes(&sample_trace(), 2, TimeDelta::from_millis(1));
+        // 3 writes × 2 copies added
+        assert_eq!(amplified.request_count(), 4 + 6);
+        // duplicates target the same block shortly after the original
+        let writes: Vec<_> = amplified
+            .requests()
+            .iter()
+            .filter(|r| r.is_write())
+            .collect();
+        assert_eq!(writes.len(), 9);
+        assert!(writes.iter().all(|r| r.offset() == 4096));
+    }
+
+    #[test]
+    fn amplify_zero_copies_is_identity() {
+        let same = amplify_writes(&sample_trace(), 0, TimeDelta::from_millis(1));
+        assert_eq!(same.requests(), sample_trace().requests());
+    }
+
+    #[test]
+    fn sampling_keeps_roughly_rate() {
+        let reqs: Vec<_> = (0..10_000)
+            .map(|i| mk(OpKind::Write, i))
+            .collect();
+        let trace = Trace::from_requests(reqs);
+        let thinned = sample_requests(&trace, 0.25, 3);
+        let frac = thinned.request_count() as f64 / 10_000.0;
+        assert!((frac - 0.25).abs() < 0.03, "kept {frac}");
+        let full = sample_requests(&trace, 1.0, 3);
+        assert_eq!(full.request_count(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be")]
+    fn sampling_rejects_zero_rate() {
+        let _ = sample_requests(&sample_trace(), 0.0, 1);
+    }
+}

@@ -1,0 +1,253 @@
+//! Per-volume workload description: [`VolumeProfile`].
+
+use cbs_trace::{Timestamp, VolumeId};
+
+use crate::arrival::ArrivalModel;
+use crate::size::SizeModel;
+use crate::spatial::SpatialModel;
+
+/// Everything needed to generate one volume's request stream.
+///
+/// A profile is *pure data*: two volumes with equal profiles (including
+/// `seed`) generate identical streams. Presets build profiles by
+/// sampling class mixtures; custom workloads can construct them
+/// directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VolumeProfile {
+    /// The volume's id in the generated trace.
+    pub id: VolumeId,
+    /// Raw capacity in bytes (regions must fit inside).
+    pub capacity_bytes: u64,
+    /// First instant the volume may issue requests.
+    pub live_start: Timestamp,
+    /// End of the live window (exclusive).
+    pub live_end: Timestamp,
+    /// Probability that a request is a write.
+    pub write_fraction: f64,
+    /// The arrival process.
+    pub arrival: ArrivalModel,
+    /// Address model for reads.
+    pub read_spatial: SpatialModel,
+    /// Address model for writes.
+    pub write_spatial: SpatialModel,
+    /// Request-size model for reads.
+    pub read_size: SizeModel,
+    /// Request-size model for writes.
+    pub write_size: SizeModel,
+    /// Optional daily sequential rewrite job (the MSRC `src1_0`
+    /// source-control pattern behind Finding 14's bimodal update
+    /// intervals).
+    pub daily_rewrite: Option<DailyRewrite>,
+    /// Per-volume RNG seed (presets derive it from the corpus seed and
+    /// the volume index).
+    pub seed: u64,
+}
+
+impl VolumeProfile {
+    /// Validates cross-field constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.live_start >= self.live_end {
+            return Err(format!(
+                "live window is empty: {} >= {}",
+                self.live_start, self.live_end
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.write_fraction) {
+            return Err(format!(
+                "write_fraction must be in [0,1], got {}",
+                self.write_fraction
+            ));
+        }
+        self.arrival.validate().map_err(|e| format!("arrival: {e}"))?;
+        self.read_spatial
+            .validate()
+            .map_err(|e| format!("read_spatial: {e}"))?;
+        self.write_spatial
+            .validate()
+            .map_err(|e| format!("write_spatial: {e}"))?;
+        for (name, m) in [
+            ("read_spatial", &self.read_spatial),
+            ("write_spatial", &self.write_spatial),
+        ] {
+            if m.region_end() > self.capacity_bytes {
+                return Err(format!(
+                    "{name} region [{}, {}) exceeds capacity {}",
+                    m.region_start,
+                    m.region_end(),
+                    self.capacity_bytes
+                ));
+            }
+        }
+        if let Some(job) = &self.daily_rewrite {
+            job.validate().map_err(|e| format!("daily_rewrite: {e}"))?;
+            if job.region_start + job.region_len > self.capacity_bytes {
+                return Err("daily_rewrite region exceeds capacity".to_owned());
+            }
+        }
+        Ok(())
+    }
+
+    /// Expected number of requests over the live window (rate × span).
+    pub fn expected_requests(&self) -> f64 {
+        let span = (self.live_end - self.live_start).as_secs_f64();
+        self.arrival.avg_rate_rps * span
+    }
+}
+
+/// A daily sequential rewrite of a fixed region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DailyRewrite {
+    /// Hour of day (0-24) the job starts.
+    pub at_hour: f64,
+    /// First byte of the rewritten region.
+    pub region_start: u64,
+    /// Region length in bytes.
+    pub region_len: u64,
+    /// Size of each sequential write request, bytes.
+    pub request_size: u32,
+    /// Gap between consecutive job requests, microseconds.
+    pub gap_us: u64,
+}
+
+impl DailyRewrite {
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..24.0).contains(&self.at_hour) {
+            return Err(format!("at_hour must be in [0,24), got {}", self.at_hour));
+        }
+        if self.request_size == 0 {
+            return Err("request_size must be non-zero".to_owned());
+        }
+        if self.region_len < u64::from(self.request_size) {
+            return Err(format!(
+                "region_len {} smaller than one request ({})",
+                self.region_len, self.request_size
+            ));
+        }
+        if self.gap_us == 0 {
+            return Err("gap_us must be non-zero".to_owned());
+        }
+        Ok(())
+    }
+
+    /// Number of write requests one job run issues.
+    pub fn requests_per_run(&self) -> u64 {
+        self.region_len.div_ceil(u64::from(self.request_size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::size::SizeModel;
+    use crate::spatial::SpatialModel;
+
+    pub(crate) fn small_profile(id: u32, seed: u64) -> VolumeProfile {
+        const MIB: u64 = 1 << 20;
+        VolumeProfile {
+            id: VolumeId::new(id),
+            capacity_bytes: 1024 * MIB,
+            live_start: Timestamp::ZERO,
+            live_end: Timestamp::from_hours(6),
+            write_fraction: 0.8,
+            arrival: ArrivalModel::steady(2.0),
+            read_spatial: SpatialModel::uniform(512 * MIB, 128 * MIB),
+            write_spatial: SpatialModel::uniform(0, 64 * MIB),
+            read_size: SizeModel::small_reads(),
+            write_size: SizeModel::small_writes(),
+            daily_rewrite: None,
+            seed,
+        }
+    }
+
+    #[test]
+    fn valid_profile_passes() {
+        assert_eq!(small_profile(0, 1).validate(), Ok(()));
+    }
+
+    #[test]
+    fn expected_requests_is_rate_times_span() {
+        let p = small_profile(0, 1);
+        assert!((p.expected_requests() - 2.0 * 6.0 * 3600.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_empty_window() {
+        let mut p = small_profile(0, 1);
+        p.live_end = p.live_start;
+        assert!(p.validate().unwrap_err().contains("live window"));
+    }
+
+    #[test]
+    fn rejects_bad_write_fraction() {
+        let mut p = small_profile(0, 1);
+        p.write_fraction = 1.5;
+        assert!(p.validate().unwrap_err().contains("write_fraction"));
+    }
+
+    #[test]
+    fn rejects_region_past_capacity() {
+        let mut p = small_profile(0, 1);
+        p.capacity_bytes = 1 << 20;
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("exceeds capacity"), "{err}");
+    }
+
+    #[test]
+    fn rejects_invalid_nested_models() {
+        let mut p = small_profile(0, 1);
+        p.arrival.avg_rate_rps = 0.0;
+        assert!(p.validate().unwrap_err().starts_with("arrival:"));
+        let mut p = small_profile(0, 1);
+        p.read_spatial.seq_prob = 7.0;
+        assert!(p.validate().unwrap_err().starts_with("read_spatial:"));
+    }
+
+    #[test]
+    fn daily_rewrite_validation() {
+        let ok = DailyRewrite {
+            at_hour: 2.0,
+            region_start: 0,
+            region_len: 1 << 20,
+            request_size: 16384,
+            gap_us: 200,
+        };
+        assert_eq!(ok.validate(), Ok(()));
+        assert_eq!(ok.requests_per_run(), 64);
+
+        let mut bad = ok;
+        bad.at_hour = 24.0;
+        assert!(bad.validate().unwrap_err().contains("at_hour"));
+        let mut bad = ok;
+        bad.request_size = 0;
+        assert!(bad.validate().unwrap_err().contains("request_size"));
+        let mut bad = ok;
+        bad.region_len = 100;
+        assert!(bad.validate().unwrap_err().contains("region_len"));
+        let mut bad = ok;
+        bad.gap_us = 0;
+        assert!(bad.validate().unwrap_err().contains("gap_us"));
+    }
+
+    #[test]
+    fn daily_rewrite_region_checked_against_capacity() {
+        let mut p = small_profile(0, 1);
+        p.daily_rewrite = Some(DailyRewrite {
+            at_hour: 1.0,
+            region_start: p.capacity_bytes - 4096,
+            region_len: 1 << 20,
+            request_size: 16384,
+            gap_us: 100,
+        });
+        assert!(p.validate().unwrap_err().contains("daily_rewrite"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests for the synthetic workload generator.
+
+use proptest::prelude::*;
+
+use cbs_synth::arrival::ArrivalModel;
+use cbs_synth::generator::VolumeGenerator;
+use cbs_synth::presets::{self, CorpusConfig};
+use cbs_synth::profile::VolumeProfile;
+use cbs_synth::size::SizeModel;
+use cbs_synth::spatial::SpatialModel;
+use cbs_trace::{Timestamp, VolumeId};
+
+const MIB: u64 = 1 << 20;
+
+prop_compose! {
+    /// A random-but-valid volume profile.
+    fn arb_profile()(
+        seed in 0u64..10_000,
+        rate in 0.05f64..5.0,
+        write_fraction in 0.0f64..=1.0,
+        hours in 1u64..12,
+        on_fraction in 0.005f64..=1.0,
+        burst in 1.0f64..50.0,
+        seq in 0.0f64..=1.0,
+        hot in 0.0f64..=1.0,
+        bg in 0.0f64..0.6,
+        write_mib in 8u64..256,
+        read_mib in 8u64..256,
+        read_start_mib in 0u64..512,
+    ) -> VolumeProfile {
+        VolumeProfile {
+            id: VolumeId::new(7),
+            capacity_bytes: 4096 * MIB,
+            live_start: Timestamp::ZERO,
+            live_end: Timestamp::from_hours(hours),
+            write_fraction,
+            arrival: ArrivalModel {
+                avg_rate_rps: rate,
+                on_fraction,
+                mean_on_secs: 120.0,
+                burst_size_mean: burst,
+                intra_gap_median_us: 150.0,
+                intra_gap_sigma: 1.0,
+                diurnal_amplitude: 0.4,
+                diurnal_phase: 1.0,
+                background_fraction: bg,
+            },
+            read_spatial: SpatialModel {
+                region_start: read_start_mib * MIB,
+                region_len: read_mib * MIB,
+                seq_prob: seq,
+                hot_prob: hot,
+                hot_fraction: 0.01,
+                hot_zipf_s: 1.1,
+                block_size: cbs_trace::BlockSize::DEFAULT,
+            },
+            write_spatial: SpatialModel {
+                region_start: 1024 * MIB,
+                region_len: write_mib * MIB,
+                seq_prob: seq * 0.5,
+                hot_prob: hot,
+                hot_fraction: 0.01,
+                hot_zipf_s: 1.2,
+                block_size: cbs_trace::BlockSize::DEFAULT,
+            },
+            read_size: SizeModel::small_reads(),
+            write_size: SizeModel::small_writes(),
+            daily_rewrite: None,
+            seed,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any valid profile generates a well-formed stream: time-sorted,
+    /// inside the live window, inside the regions, correct volume id.
+    #[test]
+    fn generated_streams_are_well_formed(profile in arb_profile()) {
+        prop_assert_eq!(profile.validate(), Ok(()));
+        let reqs = VolumeGenerator::new(profile.clone()).generate();
+        prop_assert!(reqs.windows(2).all(|w| w[0].ts() <= w[1].ts()), "sorted");
+        for r in &reqs {
+            prop_assert_eq!(r.volume(), profile.id);
+            prop_assert!(r.ts() >= profile.live_start && r.ts() < profile.live_end);
+            let spatial = if r.is_write() {
+                &profile.write_spatial
+            } else {
+                &profile.read_spatial
+            };
+            prop_assert!(r.offset() >= spatial.region_start, "{r}");
+            prop_assert!(r.end_offset() <= spatial.region_end(), "{r}");
+            prop_assert!(r.len() > 0);
+        }
+    }
+
+    /// The stream honours the write fraction (when enough requests).
+    #[test]
+    fn write_fraction_is_respected(profile in arb_profile()) {
+        let reqs = VolumeGenerator::new(profile.clone()).generate();
+        if reqs.len() >= 500 {
+            let writes = reqs.iter().filter(|r| r.is_write()).count() as f64;
+            let frac = writes / reqs.len() as f64;
+            prop_assert!(
+                (frac - profile.write_fraction).abs() < 0.08,
+                "target {} got {frac}",
+                profile.write_fraction
+            );
+        }
+    }
+
+    /// Identical profiles generate identical streams; different seeds
+    /// differ (when the stream is non-trivial).
+    #[test]
+    fn generation_is_seed_deterministic(profile in arb_profile()) {
+        let a = VolumeGenerator::new(profile.clone()).generate();
+        let b = VolumeGenerator::new(profile.clone()).generate();
+        prop_assert_eq!(&a, &b);
+        let mut other = profile;
+        other.seed ^= 0xDEAD_BEEF;
+        let c = VolumeGenerator::new(other).generate();
+        if a.len() > 20 {
+            prop_assert_ne!(&a, &c);
+        }
+    }
+
+    /// The long-run request rate tracks the configured average.
+    #[test]
+    fn average_rate_is_tracked(
+        seed in 0u64..1000,
+        rate in 0.5f64..8.0,
+    ) {
+        let mut profile = VolumeProfile {
+            arrival: ArrivalModel {
+                avg_rate_rps: rate,
+                background_fraction: 0.3,
+                ..ArrivalModel::steady(rate)
+            },
+            ..base_profile(seed)
+        };
+        profile.arrival.avg_rate_rps = rate;
+        let reqs = VolumeGenerator::new(profile).generate();
+        let measured = reqs.len() as f64 / (12.0 * 3600.0);
+        prop_assert!(
+            (measured - rate).abs() / rate < 0.35,
+            "target {rate} got {measured}"
+        );
+    }
+
+    /// Corpus presets always produce valid profiles for any seed and
+    /// reasonable shape.
+    #[test]
+    fn presets_always_validate(
+        seed in 0u64..5000,
+        volumes in 1usize..30,
+        days in 1u64..10,
+    ) {
+        let config = CorpusConfig::new(volumes, days, seed).with_intensity_scale(0.001);
+        for p in presets::alicloud_like(&config).profiles() {
+            prop_assert_eq!(p.validate(), Ok(()));
+        }
+        for p in presets::msrc_like(&config).profiles() {
+            prop_assert_eq!(p.validate(), Ok(()));
+        }
+    }
+}
+
+fn base_profile(seed: u64) -> VolumeProfile {
+    VolumeProfile {
+        id: VolumeId::new(0),
+        capacity_bytes: 4096 * MIB,
+        live_start: Timestamp::ZERO,
+        live_end: Timestamp::from_hours(12),
+        write_fraction: 0.7,
+        arrival: ArrivalModel::steady(1.0),
+        read_spatial: SpatialModel::uniform(0, 64 * MIB),
+        write_spatial: SpatialModel::uniform(1024 * MIB, 64 * MIB),
+        read_size: SizeModel::small_reads(),
+        write_size: SizeModel::small_writes(),
+        daily_rewrite: None,
+        seed,
+    }
+}

@@ -1,0 +1,307 @@
+//! Fixed-size block decomposition of byte-addressed requests.
+//!
+//! The paper's spatial and temporal analyses (working sets, read-/write-
+//! mostly classification, update coverage, RAW/WAW/RAR/WAR adjacency,
+//! update intervals, LRU simulation) all operate on fixed-size *blocks*
+//! rather than raw byte ranges. [`BlockSize`] captures the unit (4 KiB by
+//! default, the sector-aligned unit used by the released traces) and
+//! [`BlockSpan`] enumerates the blocks a request touches.
+
+use core::fmt;
+
+use crate::IoRequest;
+
+/// The default block unit used by the workbench: 4 KiB.
+pub const DEFAULT_BLOCK_BYTES: u32 = 4096;
+
+/// A validated, power-of-two block size in bytes.
+///
+/// # Example
+///
+/// ```
+/// use cbs_trace::BlockSize;
+///
+/// let bs = BlockSize::new(4096).unwrap();
+/// assert_eq!(bs.bytes(), 4096);
+/// assert_eq!(bs.block_of(8191), cbs_trace::BlockId::new(1));
+/// assert!(BlockSize::new(3000).is_none()); // not a power of two
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BlockSize(u32);
+
+impl BlockSize {
+    /// The 4 KiB default unit.
+    pub const DEFAULT: BlockSize = BlockSize(DEFAULT_BLOCK_BYTES);
+
+    /// Creates a block size, returning `None` unless `bytes` is a
+    /// power of two (and non-zero).
+    #[inline]
+    pub const fn new(bytes: u32) -> Option<Self> {
+        if bytes.is_power_of_two() {
+            Some(BlockSize(bytes))
+        } else {
+            None
+        }
+    }
+
+    /// The size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u32 {
+        self.0
+    }
+
+    /// log2 of the size; block ids are offsets shifted right by this.
+    #[inline]
+    pub const fn shift(self) -> u32 {
+        self.0.trailing_zeros()
+    }
+
+    /// Returns the id of the block containing byte `offset`.
+    #[inline]
+    pub const fn block_of(self, offset: u64) -> BlockId {
+        BlockId(offset >> self.shift())
+    }
+
+    /// Returns the first byte offset of `block`.
+    #[inline]
+    pub const fn offset_of(self, block: BlockId) -> u64 {
+        block.0 << self.shift()
+    }
+
+    /// Enumerates the blocks touched by the byte range
+    /// `[offset, offset + len)`.
+    ///
+    /// A zero-length range touches no blocks.
+    #[inline]
+    pub const fn span(self, offset: u64, len: u32) -> BlockSpan {
+        let first = offset >> self.shift();
+        let end = if len == 0 {
+            first // empty: next == end
+        } else {
+            ((offset + len as u64 - 1) >> self.shift()) + 1
+        };
+        BlockSpan { next: first, end }
+    }
+
+    /// Enumerates the blocks touched by a request.
+    #[inline]
+    pub const fn span_of(self, req: &IoRequest) -> BlockSpan {
+        self.span(req.offset(), req.len())
+    }
+
+    /// Number of blocks touched by the byte range `[offset, offset+len)`.
+    #[inline]
+    pub const fn count(self, offset: u64, len: u32) -> u64 {
+        let span = self.span(offset, len);
+        span.end - span.next
+    }
+}
+
+impl Default for BlockSize {
+    fn default() -> Self {
+        BlockSize::DEFAULT
+    }
+}
+
+impl fmt::Display for BlockSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % 1024 == 0 {
+            write!(f, "{}KiB", self.0 / 1024)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+/// Identifier of one fixed-size block within a volume.
+///
+/// Block ids are dense: block *k* covers bytes
+/// `[k * block_size, (k + 1) * block_size)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BlockId(u64);
+
+impl BlockId {
+    /// Creates a block id from its dense index.
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        BlockId(index)
+    }
+
+    /// Returns the dense index.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk-{}", self.0)
+    }
+}
+
+impl From<u64> for BlockId {
+    #[inline]
+    fn from(index: u64) -> Self {
+        BlockId(index)
+    }
+}
+
+impl From<BlockId> for u64 {
+    #[inline]
+    fn from(b: BlockId) -> u64 {
+        b.0
+    }
+}
+
+/// Iterator over the [`BlockId`]s touched by a byte range.
+///
+/// Produced by [`BlockSize::span`] / [`BlockSize::span_of`].
+#[derive(Debug, Clone)]
+pub struct BlockSpan {
+    next: u64,
+    end: u64,
+}
+
+impl BlockSpan {
+    /// Number of blocks remaining in the span.
+    #[inline]
+    pub const fn remaining(&self) -> u64 {
+        self.end - self.next
+    }
+
+    /// Returns `true` if the span covers no blocks.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.next == self.end
+    }
+
+    /// The first block of the span, if any (without consuming it).
+    #[inline]
+    pub const fn first(&self) -> Option<BlockId> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(BlockId(self.next))
+        }
+    }
+}
+
+impl Iterator for BlockSpan {
+    type Item = BlockId;
+
+    #[inline]
+    fn next(&mut self) -> Option<BlockId> {
+        if self.next < self.end {
+            let id = BlockId(self.next);
+            self.next += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end - self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for BlockSpan {}
+
+impl std::iter::FusedIterator for BlockSpan {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OpKind, Timestamp, VolumeId};
+
+    const BS: BlockSize = BlockSize::DEFAULT;
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(BlockSize::new(0).is_none());
+        assert!(BlockSize::new(4095).is_none());
+        assert!(BlockSize::new(4096).is_some());
+        assert!(BlockSize::new(1).is_some());
+    }
+
+    #[test]
+    fn block_of_and_offset_of_roundtrip() {
+        assert_eq!(BS.block_of(0), BlockId::new(0));
+        assert_eq!(BS.block_of(4095), BlockId::new(0));
+        assert_eq!(BS.block_of(4096), BlockId::new(1));
+        assert_eq!(BS.offset_of(BlockId::new(3)), 12288);
+        assert_eq!(BS.block_of(BS.offset_of(BlockId::new(77))), BlockId::new(77));
+    }
+
+    #[test]
+    fn aligned_span() {
+        let blocks: Vec<_> = BS.span(4096, 8192).collect();
+        assert_eq!(blocks, vec![BlockId::new(1), BlockId::new(2)]);
+    }
+
+    #[test]
+    fn unaligned_span_touches_partial_blocks() {
+        // [4000, 4000 + 200) straddles blocks 0 and... no, stays in block 0.
+        let blocks: Vec<_> = BS.span(4000, 90).collect();
+        assert_eq!(blocks, vec![BlockId::new(0)]);
+        // [4000, 4300) straddles blocks 0 and 1.
+        let blocks: Vec<_> = BS.span(4000, 300).collect();
+        assert_eq!(blocks, vec![BlockId::new(0), BlockId::new(1)]);
+    }
+
+    #[test]
+    fn single_byte_span() {
+        let blocks: Vec<_> = BS.span(8192, 1).collect();
+        assert_eq!(blocks, vec![BlockId::new(2)]);
+    }
+
+    #[test]
+    fn zero_length_span_is_empty() {
+        let mut span = BS.span(4096, 0);
+        assert!(span.is_empty());
+        assert_eq!(span.first(), None);
+        assert_eq!(span.next(), None);
+        assert_eq!(BS.count(4096, 0), 0);
+    }
+
+    #[test]
+    fn count_matches_span_len() {
+        for (off, len) in [(0u64, 1u32), (1, 4096), (4095, 2), (0, 65536), (12345, 9999)] {
+            let expected = BS.span(off, len).count() as u64;
+            assert_eq!(BS.count(off, len), expected, "off={off} len={len}");
+        }
+    }
+
+    #[test]
+    fn span_of_request() {
+        let r = IoRequest::new(VolumeId::new(0), OpKind::Read, 4095, 2, Timestamp::ZERO);
+        let blocks: Vec<_> = BS.span_of(&r).collect();
+        assert_eq!(blocks, vec![BlockId::new(0), BlockId::new(1)]);
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let span = BS.span(0, 16384);
+        assert_eq!(span.len(), 4);
+        assert_eq!(span.remaining(), 4);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(BlockSize::DEFAULT.to_string(), "4KiB");
+        assert_eq!(BlockSize::new(512).unwrap().to_string(), "512B");
+        assert_eq!(BlockId::new(5).to_string(), "blk-5");
+    }
+
+    #[test]
+    fn other_block_sizes() {
+        let bs = BlockSize::new(16384).unwrap();
+        assert_eq!(bs.block_of(16383), BlockId::new(0));
+        assert_eq!(bs.block_of(16384), BlockId::new(1));
+        assert_eq!(bs.span(0, 65536).count(), 4);
+    }
+}

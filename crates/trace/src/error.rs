@@ -1,0 +1,173 @@
+//! Error types for trace parsing and I/O.
+
+use core::fmt;
+use std::io;
+
+/// The reason a single trace record failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseRecordError {
+    /// The row had fewer fields than the format requires.
+    MissingField {
+        /// Zero-based index of the missing field.
+        index: usize,
+        /// Human-readable name of the field.
+        name: &'static str,
+    },
+    /// A numeric field failed to parse.
+    InvalidNumber {
+        /// Human-readable name of the field.
+        name: &'static str,
+        /// The offending text.
+        text: String,
+    },
+    /// The operation-kind field was not recognized.
+    InvalidOp {
+        /// The offending text.
+        text: String,
+    },
+    /// A field was out of the representable range (e.g. a request length
+    /// exceeding `u32::MAX` bytes).
+    OutOfRange {
+        /// Human-readable name of the field.
+        name: &'static str,
+        /// The offending text.
+        text: String,
+    },
+}
+
+impl fmt::Display for ParseRecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseRecordError::MissingField { index, name } => {
+                write!(f, "missing field #{index} ({name})")
+            }
+            ParseRecordError::InvalidNumber { name, text } => {
+                write!(f, "invalid number {text:?} in field {name}")
+            }
+            ParseRecordError::InvalidOp { text } => {
+                write!(f, "invalid operation kind {text:?}")
+            }
+            ParseRecordError::OutOfRange { name, text } => {
+                write!(f, "value {text:?} out of range for field {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseRecordError {}
+
+/// Error produced while reading a trace stream.
+///
+/// Wraps either an I/O failure or a per-record parse failure annotated
+/// with its one-based line number.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// A record failed to parse.
+    Parse {
+        /// One-based line number of the bad record.
+        line: u64,
+        /// What went wrong.
+        source: ParseRecordError,
+    },
+}
+
+impl TraceError {
+    /// Creates a parse error at `line`.
+    pub fn parse(line: u64, source: ParseRecordError) -> Self {
+        TraceError::Parse { line, source }
+    }
+
+    /// Returns the line number for parse errors.
+    pub fn line(&self) -> Option<u64> {
+        match self {
+            TraceError::Parse { line, .. } => Some(*line),
+            TraceError::Io(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse { line, source } => {
+                write!(f, "trace parse error at line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Parse { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn parse_error_carries_line() {
+        let e = TraceError::parse(
+            17,
+            ParseRecordError::InvalidOp {
+                text: "X".to_owned(),
+            },
+        );
+        assert_eq!(e.line(), Some(17));
+        let msg = e.to_string();
+        assert!(msg.contains("line 17"), "{msg}");
+        assert!(msg.contains("\"X\""), "{msg}");
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn io_error_wraps() {
+        let e = TraceError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        assert_eq!(e.line(), None);
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn record_error_messages() {
+        let cases: Vec<(ParseRecordError, &str)> = vec![
+            (
+                ParseRecordError::MissingField { index: 2, name: "offset" },
+                "missing field #2",
+            ),
+            (
+                ParseRecordError::InvalidNumber {
+                    name: "length",
+                    text: "abc".into(),
+                },
+                "invalid number",
+            ),
+            (
+                ParseRecordError::OutOfRange {
+                    name: "length",
+                    text: "99999999999".into(),
+                },
+                "out of range",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Iterator adapters over request streams.
+//!
+//! The central adapter is [`MergeByTime`], a k-way merge that stitches
+//! per-volume (or per-file) streams — each already sorted by timestamp —
+//! into one globally time-ordered stream. This mirrors how both trace
+//! corpora are stored (one file per volume / per day) and how the
+//! synthetic generator produces them (one stream per volume).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{IoRequest, Timestamp};
+
+/// K-way merge of timestamp-sorted request streams.
+///
+/// Ties on timestamp are broken by source index, making the merge
+/// deterministic and stable (all requests of source 0 precede those of
+/// source 1 at equal timestamps).
+///
+/// Inputs that are not internally sorted produce an unspecified (but
+/// still complete) output order; use
+/// [`is_sorted_by_time`] to validate inputs when in doubt.
+///
+/// # Example
+///
+/// ```
+/// use cbs_trace::{IoRequest, MergeByTime, OpKind, Timestamp, VolumeId};
+///
+/// let mk = |v: u32, us: u64| {
+///     IoRequest::new(VolumeId::new(v), OpKind::Read, 0, 512, Timestamp::from_micros(us))
+/// };
+/// let a = vec![mk(0, 10), mk(0, 30)];
+/// let b = vec![mk(1, 20), mk(1, 40)];
+/// let merged: Vec<_> = MergeByTime::new(vec![a.into_iter(), b.into_iter()]).collect();
+/// let times: Vec<u64> = merged.iter().map(|r| r.ts().as_micros()).collect();
+/// assert_eq!(times, vec![10, 20, 30, 40]);
+/// ```
+#[derive(Debug)]
+pub struct MergeByTime<I> {
+    sources: Vec<I>,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct HeapEntry {
+    ts: Timestamp,
+    source: usize,
+    req: IoRequest,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ts, self.source).cmp(&(other.ts, other.source))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<I> MergeByTime<I>
+where
+    I: Iterator<Item = IoRequest>,
+{
+    /// Creates a merge over `sources`; each source must already be
+    /// sorted by timestamp.
+    pub fn new(sources: Vec<I>) -> Self {
+        let mut merge = MergeByTime {
+            heap: BinaryHeap::with_capacity(sources.len()),
+            sources,
+        };
+        for idx in 0..merge.sources.len() {
+            merge.refill(idx);
+        }
+        merge
+    }
+
+    fn refill(&mut self, source: usize) {
+        if let Some(req) = self.sources[source].next() {
+            self.heap.push(Reverse(HeapEntry {
+                ts: req.ts(),
+                source,
+                req,
+            }));
+        }
+    }
+}
+
+impl<I> Iterator for MergeByTime<I>
+where
+    I: Iterator<Item = IoRequest>,
+{
+    type Item = IoRequest;
+
+    fn next(&mut self) -> Option<IoRequest> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.refill(entry.source);
+        Some(entry.req)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let (mut lo, mut hi) = (self.heap.len(), Some(self.heap.len()));
+        for s in &self.sources {
+            let (slo, shi) = s.size_hint();
+            lo += slo;
+            hi = match (hi, shi) {
+                (Some(a), Some(b)) => a.checked_add(b),
+                _ => None,
+            };
+        }
+        (lo, hi)
+    }
+}
+
+/// Returns `true` if `requests` is non-decreasing in timestamp.
+///
+/// # Example
+///
+/// ```
+/// use cbs_trace::iter::is_sorted_by_time;
+/// use cbs_trace::{IoRequest, OpKind, Timestamp, VolumeId};
+///
+/// let mk = |us| IoRequest::new(VolumeId::new(0), OpKind::Read, 0, 1, Timestamp::from_micros(us));
+/// assert!(is_sorted_by_time(&[mk(1), mk(1), mk(2)]));
+/// assert!(!is_sorted_by_time(&[mk(2), mk(1)]));
+/// ```
+pub fn is_sorted_by_time(requests: &[IoRequest]) -> bool {
+    requests.windows(2).all(|w| w[0].ts() <= w[1].ts())
+}
+
+/// Sorts requests by `(timestamp, volume)` — a stable total order used
+/// to normalize traces before analysis.
+pub fn sort_by_time(requests: &mut [IoRequest]) {
+    requests.sort_by_key(|r| (r.ts(), r.volume()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OpKind, VolumeId};
+
+    fn mk(v: u32, us: u64) -> IoRequest {
+        IoRequest::new(
+            VolumeId::new(v),
+            OpKind::Write,
+            0,
+            512,
+            Timestamp::from_micros(us),
+        )
+    }
+
+    #[test]
+    fn merges_empty_inputs() {
+        let merged: Vec<_> = MergeByTime::new(Vec::<std::vec::IntoIter<IoRequest>>::new()).collect();
+        assert!(merged.is_empty());
+        let merged: Vec<_> =
+            MergeByTime::new(vec![Vec::new().into_iter(), Vec::new().into_iter()]).collect();
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn merges_single_source() {
+        let src = vec![mk(0, 1), mk(0, 2), mk(0, 3)];
+        let merged: Vec<_> = MergeByTime::new(vec![src.clone().into_iter()]).collect();
+        assert_eq!(merged, src);
+    }
+
+    #[test]
+    fn ties_break_by_source_index() {
+        let a = vec![mk(0, 10)];
+        let b = vec![mk(1, 10)];
+        let merged: Vec<_> = MergeByTime::new(vec![a.into_iter(), b.into_iter()]).collect();
+        assert_eq!(merged[0].volume(), VolumeId::new(0));
+        assert_eq!(merged[1].volume(), VolumeId::new(1));
+    }
+
+    #[test]
+    fn merge_is_complete_and_sorted() {
+        let a: Vec<_> = (0..50).map(|i| mk(0, i * 3)).collect();
+        let b: Vec<_> = (0..50).map(|i| mk(1, i * 5)).collect();
+        let c: Vec<_> = (0..50).map(|i| mk(2, i * 7 + 1)).collect();
+        let merged: Vec<_> =
+            MergeByTime::new(vec![a.into_iter(), b.into_iter(), c.into_iter()]).collect();
+        assert_eq!(merged.len(), 150);
+        assert!(is_sorted_by_time(&merged));
+    }
+
+    #[test]
+    fn size_hint_is_exact_for_vec_sources() {
+        let a = vec![mk(0, 1), mk(0, 2)];
+        let b = vec![mk(1, 3)];
+        let merge = MergeByTime::new(vec![a.into_iter(), b.into_iter()]);
+        assert_eq!(merge.size_hint(), (3, Some(3)));
+    }
+
+    #[test]
+    fn sort_by_time_normalizes() {
+        let mut reqs = vec![mk(1, 5), mk(0, 5), mk(2, 1)];
+        sort_by_time(&mut reqs);
+        assert_eq!(
+            reqs.iter().map(|r| r.volume().get()).collect::<Vec<_>>(),
+            vec![2, 0, 1]
+        );
+        assert!(is_sorted_by_time(&reqs));
+    }
+}

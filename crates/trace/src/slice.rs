@@ -1,0 +1,174 @@
+//! Trace slicing and filtering: time windows, volume subsets, and
+//! op-kind projections.
+//!
+//! Field studies routinely analyze sub-traces — one day of a corpus,
+//! the top-k volumes, reads only (the paper's Finding 7 removes writes
+//! entirely). These helpers produce new [`Trace`]s without touching
+//! the originals.
+
+use std::collections::HashSet;
+
+use crate::{IoRequest, OpKind, Timestamp, Trace, VolumeId};
+
+impl Trace {
+    /// Returns the sub-trace of requests with `start <= ts < end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cbs_trace::{IoRequest, OpKind, Timestamp, Trace, VolumeId};
+    ///
+    /// let mk = |s| IoRequest::new(VolumeId::new(0), OpKind::Read, 0, 512, Timestamp::from_secs(s));
+    /// let trace = Trace::from_requests(vec![mk(10), mk(20), mk(30)]);
+    /// let window = trace.slice_time(Timestamp::from_secs(15), Timestamp::from_secs(30));
+    /// assert_eq!(window.request_count(), 1);
+    /// ```
+    pub fn slice_time(&self, start: Timestamp, end: Timestamp) -> Trace {
+        assert!(start < end, "empty time window");
+        self.requests()
+            .iter()
+            .filter(|r| r.ts() >= start && r.ts() < end)
+            .copied()
+            .collect()
+    }
+
+    /// Returns the sub-trace of one day (day `index`, midnight to
+    /// midnight relative to the trace epoch).
+    pub fn slice_day(&self, index: u64) -> Trace {
+        self.slice_time(Timestamp::from_days(index), Timestamp::from_days(index + 1))
+    }
+
+    /// Returns the sub-trace containing only the given volumes.
+    pub fn filter_volumes<I>(&self, volumes: I) -> Trace
+    where
+        I: IntoIterator<Item = VolumeId>,
+    {
+        let keep: HashSet<VolumeId> = volumes.into_iter().collect();
+        self.requests()
+            .iter()
+            .filter(|r| keep.contains(&r.volume()))
+            .copied()
+            .collect()
+    }
+
+    /// Returns the sub-trace of one operation kind — e.g.
+    /// `filter_op(OpKind::Read)` is the paper's "removing write
+    /// requests" experiment (Finding 7).
+    pub fn filter_op(&self, op: OpKind) -> Trace {
+        self.requests()
+            .iter()
+            .filter(|r| r.op() == op)
+            .copied()
+            .collect()
+    }
+
+    /// Returns the sub-trace matching an arbitrary predicate.
+    pub fn filter<F>(&self, mut predicate: F) -> Trace
+    where
+        F: FnMut(&IoRequest) -> bool,
+    {
+        self.requests()
+            .iter()
+            .filter(|r| predicate(r))
+            .copied()
+            .collect()
+    }
+
+    /// The `k` volumes with the most requests, descending; useful for
+    /// top-traffic analyses (Fig. 10(b)).
+    pub fn top_volumes_by_requests(&self, k: usize) -> Vec<VolumeId> {
+        let mut counts: Vec<(VolumeId, usize)> = self
+            .volumes()
+            .map(|v| (v.id(), v.len()))
+            .collect();
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        counts.truncate(k);
+        counts.into_iter().map(|(id, _)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(v: u32, op: OpKind, secs: u64) -> IoRequest {
+        IoRequest::new(
+            VolumeId::new(v),
+            op,
+            u64::from(v) * 4096,
+            512,
+            Timestamp::from_secs(secs),
+        )
+    }
+
+    fn sample() -> Trace {
+        Trace::from_requests(vec![
+            mk(0, OpKind::Read, 10),
+            mk(0, OpKind::Write, 90_000), // day 1
+            mk(1, OpKind::Write, 20),
+            mk(1, OpKind::Write, 30),
+            mk(2, OpKind::Read, 100_000), // day 1
+        ])
+    }
+
+    #[test]
+    fn time_slice_is_half_open() {
+        let t = sample();
+        let w = t.slice_time(Timestamp::from_secs(20), Timestamp::from_secs(30));
+        assert_eq!(w.request_count(), 1);
+        assert_eq!(w.requests()[0].ts(), Timestamp::from_secs(20));
+    }
+
+    #[test]
+    fn day_slice() {
+        let t = sample();
+        assert_eq!(t.slice_day(0).request_count(), 3);
+        assert_eq!(t.slice_day(1).request_count(), 2);
+        assert_eq!(t.slice_day(2).request_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty time window")]
+    fn rejects_empty_window() {
+        let _ = sample().slice_time(Timestamp::from_secs(5), Timestamp::from_secs(5));
+    }
+
+    #[test]
+    fn volume_filter() {
+        let t = sample();
+        let sub = t.filter_volumes([VolumeId::new(0), VolumeId::new(2)]);
+        assert_eq!(sub.volume_count(), 2);
+        assert_eq!(sub.request_count(), 3);
+        assert!(sub.volume(VolumeId::new(1)).is_none());
+    }
+
+    #[test]
+    fn op_filter_reproduces_finding7_setup() {
+        let t = sample();
+        let reads_only = t.filter_op(OpKind::Read);
+        assert_eq!(reads_only.request_count(), 2);
+        assert!(reads_only.requests().iter().all(IoRequest::is_read));
+        // volume 1 disappears entirely without writes
+        assert!(reads_only.volume(VolumeId::new(1)).is_none());
+    }
+
+    #[test]
+    fn arbitrary_predicate() {
+        let t = sample();
+        let big_offsets = t.filter(|r| r.offset() >= 4096);
+        assert_eq!(big_offsets.request_count(), 3);
+    }
+
+    #[test]
+    fn top_volumes_ranking() {
+        let t = sample();
+        let top = t.top_volumes_by_requests(2);
+        assert_eq!(top[0], VolumeId::new(0)); // 2 requests, lowest id tie-break
+        assert_eq!(top[1], VolumeId::new(1));
+        assert_eq!(t.top_volumes_by_requests(100).len(), 3);
+    }
+}

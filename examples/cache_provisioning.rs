@@ -1,0 +1,114 @@
+//! Cache provisioning: use miss-ratio curves to size per-volume caches
+//! and compare replacement policies — the engineering question behind
+//! Finding 15.
+//!
+//! For each volume of a synthetic corpus this example:
+//!
+//! 1. derives the exact LRU miss-ratio curve from reuse distances
+//!    (no simulation sweep needed — one pass gives every cache size);
+//! 2. finds the smallest cache reaching a target miss ratio;
+//! 3. cross-checks LRU against FIFO / CLOCK / ARC with explicit
+//!    simulations at that size.
+//!
+//! ```sh
+//! cargo run --release --example cache_provisioning
+//! ```
+
+use cbs_cache::{Arc, CachePolicy, CacheSim, Clock, Fifo, Lru};
+use cbs_core::prelude::*;
+
+const TARGET_MISS_RATIO: f64 = 0.4;
+
+fn main() {
+    let config = CorpusConfig::new(12, 2, 7).with_intensity_scale(0.004);
+    let corpus = cbs_synth::presets::alicloud_like(&config);
+    let trace = corpus.generate();
+    let analysis = Workbench::new(trace).analyze();
+
+    println!(
+        "target: overall miss ratio <= {:.0}%\n",
+        TARGET_MISS_RATIO * 100.0
+    );
+    println!(
+        "{:<8} {:>10} {:>12} {:>8} {:>8} {:>8} {:>8}",
+        "volume", "WSS(blk)", "cache(blk)", "lru", "fifo", "clock", "arc"
+    );
+
+    for m in analysis.metrics() {
+        // combined curve over reads+writes: merge the per-op curves by
+        // simulating? No need — the analyzer's curves are per-op; use
+        // the write curve for write-heavy volumes and read otherwise.
+        let curve = if m.writes >= m.reads {
+            &m.write_mrc
+        } else {
+            &m.read_mrc
+        };
+        let Some(capacity) = curve.capacity_for_miss_ratio(TARGET_MISS_RATIO) else {
+            println!(
+                "{:<8} {:>10} {:>12}",
+                m.id.to_string(),
+                m.wss_blocks,
+                "unreachable"
+            );
+            continue;
+        };
+        let capacity = capacity.max(1);
+
+        // cross-check with explicit simulations
+        let volume_requests = analysis
+            .trace()
+            .volume(m.id)
+            .expect("metrics come from the trace")
+            .requests()
+            .to_vec();
+        let simulate = |policy: Box<dyn CachePolicy>| -> f64 {
+            let mut sim = CacheSim::new(PolicyBox(policy), BlockSize::DEFAULT);
+            sim.run(&volume_requests);
+            sim.stats().overall_miss_ratio().unwrap_or(1.0)
+        };
+        let lru = simulate(Box::new(Lru::new(capacity)));
+        let fifo = simulate(Box::new(Fifo::new(capacity)));
+        let clock = simulate(Box::new(Clock::new(capacity)));
+        let arc = simulate(Box::new(Arc::new(capacity)));
+
+        println!(
+            "{:<8} {:>10} {:>12} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+            m.id.to_string(),
+            m.wss_blocks,
+            capacity,
+            lru * 100.0,
+            fifo * 100.0,
+            clock * 100.0,
+            arc * 100.0,
+        );
+    }
+
+    println!(
+        "\nThe cache column is the smallest LRU size whose predicted miss \
+         ratio meets the target;\nthe policy columns are independent \
+         simulations at that size (ARC usually matches or beats LRU)."
+    );
+}
+
+/// Adapter: `CacheSim` is generic over `P: CachePolicy`, and a
+/// `Box<dyn CachePolicy>` does not itself implement the trait — this
+/// newtype forwards it.
+struct PolicyBox(Box<dyn CachePolicy>);
+
+impl CachePolicy for PolicyBox {
+    fn capacity(&self) -> usize {
+        self.0.capacity()
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn contains(&self, block: BlockId) -> bool {
+        self.0.contains(block)
+    }
+    fn access(&mut self, block: BlockId) -> cbs_cache::AccessResult {
+        self.0.access(block)
+    }
+    fn name(&self) -> &'static str {
+        "boxed"
+    }
+}

@@ -1,0 +1,79 @@
+//! Quickstart: synthesize a small cloud block storage workload,
+//! characterize it, and read out a few of the paper's findings.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cbs_core::prelude::*;
+
+fn main() {
+    // 1. Synthesize a miniature AliCloud-like corpus: 30 volumes over
+    //    3 days, request rates scaled down for a sub-second run.
+    let config = CorpusConfig::new(30, 3, 2024).with_intensity_scale(0.002);
+    let trace = cbs_synth::presets::alicloud_like(&config).generate();
+    println!(
+        "synthesized {} requests across {} volumes ({} days)",
+        trace.request_count(),
+        trace.volume_count(),
+        config.days
+    );
+
+    // 2. Characterize every volume (single pass per volume, in
+    //    parallel across cores).
+    let analysis = Workbench::new(trace).analyze();
+
+    // 3. Read out findings.
+    let totals = analysis.totals();
+    println!("\n--- corpus totals (Table I style) ---");
+    println!("reads: {}, writes: {}", totals.reads, totals.writes);
+    if let Some(ratio) = totals.write_read_ratio() {
+        println!("write-to-read ratio: {ratio:.2}");
+    }
+
+    let ratios = analysis.write_read_ratios();
+    println!("\n--- write dominance (Fig. 4 / Finding 5) ---");
+    println!(
+        "{:.1}% of volumes are write-dominant",
+        ratios.fraction_write_dominant() * 100.0
+    );
+    println!(
+        "{:.1}% of volumes have W:R > 100",
+        ratios.fraction_above(100.0) * 100.0
+    );
+
+    let burstiness = analysis.burstiness();
+    println!("\n--- burstiness (Findings 2-3) ---");
+    println!(
+        "{:.1}% of volumes have burstiness ratio > 100",
+        burstiness.fraction_above(100.0) * 100.0
+    );
+
+    let coverage = analysis.update_coverage();
+    println!("\n--- update coverage (Finding 11) ---");
+    if let Some((mean, median, p90)) = coverage.table_row() {
+        println!("mean {mean:.1}%, median {median:.1}%, p90 {p90:.1}%",
+            mean = mean * 100.0, median = median * 100.0, p90 = p90 * 100.0);
+    }
+
+    let lru = analysis.lru_miss_ratios();
+    println!("\n--- LRU caching (Finding 15) ---");
+    if let Some(reduction) = lru.mean_read_reduction() {
+        println!(
+            "growing the cache from 1% to 10% of WSS cuts read miss \
+             ratios by {:.1} points on average",
+            reduction * 100.0
+        );
+    }
+
+    // 4. Per-volume drill-down: the most traffic-intensive volume.
+    if let Some(top) = analysis.top_traffic(1).first() {
+        println!("\n--- busiest volume (Fig. 10(b) style) ---");
+        println!(
+            "{}: {:.2} GiB of traffic, randomness ratio {:.1}%",
+            top.id,
+            top.traffic_bytes as f64 / (1u64 << 30) as f64,
+            top.randomness_ratio * 100.0
+        );
+    }
+}

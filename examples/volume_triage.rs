@@ -1,0 +1,65 @@
+//! Volume triage: classify every volume of a corpus against the
+//! paper's Section V design considerations — load balancing, cache
+//! efficiency, and storage cluster management — and print a fleet
+//! summary an operator could act on.
+//!
+//! ```sh
+//! cargo run --release --example volume_triage
+//! ```
+
+use cbs_analysis::recommend::VolumeTrait;
+use cbs_core::prelude::*;
+
+fn main() {
+    let config = CorpusConfig::new(40, 3, 17).with_intensity_scale(0.003);
+    let trace = cbs_synth::presets::alicloud_like(&config).generate();
+    let analysis = Workbench::new(trace).analyze();
+    let assessments = analysis.assessments();
+
+    println!("per-volume triage ({} volumes):\n", assessments.len());
+    for a in &assessments {
+        println!("  {a}");
+    }
+
+    // Fleet-level counts per trait.
+    let count = |probe: fn(&VolumeTrait) -> bool| {
+        assessments.iter().filter(|a| a.has(probe)).count()
+    };
+    let total = assessments.len().max(1);
+    let pct = |n: usize| n as f64 / total as f64 * 100.0;
+
+    println!("\nfleet summary:");
+    let bursty = count(|t| matches!(t, VolumeTrait::Bursty { .. }));
+    println!(
+        "  load balancing: {bursty} volumes ({:.0}%) are bursty (ratio > 100) — \
+         spread them across nodes",
+        pct(bursty)
+    );
+    let cache_w = count(|t| matches!(t, VolumeTrait::CacheFriendlyWrites { .. }));
+    let cache_r = count(|t| matches!(t, VolumeTrait::CacheFriendlyReads { .. }));
+    println!(
+        "  cache efficiency: {cache_w} volumes ({:.0}%) reward a write cache, \
+         {cache_r} ({:.0}%) a read cache (10% of WSS)",
+        pct(cache_w),
+        pct(cache_r)
+    );
+    let offload = count(|t| matches!(t, VolumeTrait::OffloadCandidate { .. }));
+    println!(
+        "  power: {offload} volumes ({:.0}%) are nearly read-idle — write \
+         off-loading would idle them",
+        pct(offload)
+    );
+    let hostile = count(|t| matches!(t, VolumeTrait::FlashHostile { .. }));
+    let update_heavy = count(|t| matches!(t, VolumeTrait::UpdateHeavy { .. }));
+    println!(
+        "  flash management: {hostile} volumes ({:.0}%) issue mostly random I/O, \
+         {update_heavy} ({:.0}%) are update-heavy (GC pressure)",
+        pct(hostile),
+        pct(update_heavy)
+    );
+    let short = count(|t| matches!(t, VolumeTrait::ShortLived { .. }));
+    println!(
+        "  provisioning: {short} volumes ({:.0}%) are short-lived batch jobs",
+        pct(short)
+    );
+}
