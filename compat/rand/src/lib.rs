@@ -1,0 +1,398 @@
+//! Offline, API- and stream-compatible subset of the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the thin slice of `rand` 0.8 it actually uses: the
+//! [`Rng`] / [`SeedableRng`] traits, uniform sampling over ranges, and
+//! [`rngs::SmallRng`].
+//!
+//! This is not merely API-compatible — it is **output-stream
+//! compatible** with `rand` 0.8.5 on 64-bit targets for the surface it
+//! implements: `SmallRng` is xoshiro256++ seeded via SplitMix64 (as in
+//! `rand_xoshiro`), `gen::<f64>()` is the 53-bit multiply method,
+//! integer `gen_range` uses the widening-multiply zone rejection of
+//! `UniformInt::sample_single_inclusive`, and float `gen_range` uses
+//! the 52-bit `[1, 2)` mantissa method of `UniformFloat`. Seeded
+//! consumers therefore reproduce the exact same synthetic corpora the
+//! test thresholds were tuned against.
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// The minimal object-safe generator core: a source of uniform bits.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    ///
+    /// Like `rand_xoshiro`, 64-bit generators truncate `next_u64`
+    /// (keeping the low half), so one full `u64` is consumed.
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    /// Fills `dest` with random bytes (little-endian `next_u64` words,
+    /// as `rand_core`'s `fill_bytes_via_next`).
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            let n = rem.len();
+            rem.copy_from_slice(&last[..n]);
+        }
+    }
+}
+
+/// Types samplable from the "standard" distribution (uniform over the
+/// type's natural domain; `[0, 1)` for floats).
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_from_u32 {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+macro_rules! impl_standard_from_u64 {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_from_u32!(u8, u16, u32, i8, i16, i32);
+impl_standard_from_u64!(u64, i64, usize, isize);
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Multiply-based method: 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Ranges uniform sampling can draw from (`a..b` and `a..=b`).
+pub trait SampleRange<T> {
+    /// Draws one value from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// `UniformInt::sample_single_inclusive` from `rand` 0.8.5: widening
+/// multiply with a conservative power-of-two zone (modulo-exact for
+/// 8/16-bit types), rejecting the low product half above the zone.
+macro_rules! impl_int_range {
+    ($($t:ty => $unsigned:ty, $large:ty, $wide:ty;)*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                (self.start..=self.end - 1).sample_from(rng)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample empty range");
+                let range =
+                    high.wrapping_sub(low).wrapping_add(1) as $unsigned as $large;
+                if range == 0 {
+                    // The full type domain.
+                    return <$t as StandardSample>::standard_sample(rng);
+                }
+                let unsigned_max = <$large>::MAX;
+                let zone = if (<$unsigned>::MAX as u64) <= u16::MAX as u64 {
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $large = StandardSample::standard_sample(rng);
+                    let m = (v as $wide) * (range as $wide);
+                    let hi = (m >> <$large>::BITS) as $large;
+                    let lo = m as $large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_range! {
+    u8 => u8, u32, u64;
+    u16 => u16, u32, u64;
+    u32 => u32, u32, u64;
+    u64 => u64, u64, u128;
+    usize => usize, usize, u128;
+    i8 => u8, u32, u64;
+    i16 => u16, u32, u64;
+    i32 => u32, u32, u64;
+    i64 => u64, u64, u128;
+    isize => usize, usize, u128;
+}
+
+/// `UniformFloat` from `rand` 0.8.5: draw the mantissa-sized high bits,
+/// place them in `[1, 2)`, subtract 1, then scale into the range.
+macro_rules! impl_float_range {
+    ($($t:ty => $bits:ty, $discard:expr, $exp:expr, $mant:expr;)*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (self.start, self.end);
+                assert!(low < high, "cannot sample empty range");
+                let mut scale = high - low;
+                loop {
+                    let bits: $bits = StandardSample::standard_sample(rng);
+                    let value1_2 =
+                        <$t>::from_bits(($exp << $mant) | (bits >> $discard));
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                    // Rounding produced `high`; shrink the scale to the
+                    // next representable value below (`decrease_masked`).
+                    scale = <$t>::from_bits(scale.to_bits() - 1);
+                }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample empty range");
+                let max_rand = <$t>::from_bits(
+                    ($exp << $mant) | (<$bits>::MAX >> $discard),
+                ) - 1.0;
+                let mut scale = (high - low) / max_rand;
+                while scale * max_rand + low > high {
+                    scale = <$t>::from_bits(scale.to_bits() - 1);
+                }
+                let bits: $bits = StandardSample::standard_sample(rng);
+                let value1_2 =
+                    <$t>::from_bits(($exp << $mant) | (bits >> $discard));
+                (value1_2 - 1.0) * scale + low
+            }
+        }
+    )*};
+}
+
+impl_float_range! {
+    f32 => u32, 9u32, 127u32, 23u32;
+    f64 => u64, 12u64, 1023u64, 52u64;
+}
+
+/// The user-facing sampling surface, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from the standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (`Bernoulli` in upstream:
+    /// one `u64` draw compared against `p · 2⁶⁴`; `p ≥ 1` consumes
+    /// nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} is outside [0, 1]");
+        if p >= 1.0 {
+            return true;
+        }
+        let p_int = (p * (2.0f64).powi(64)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds a generator from a 64-bit seed (SplitMix64-expanded, as
+    /// `rand_xoshiro` does).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let n = chunk.len();
+            chunk.copy_from_slice(&z.to_le_bytes()[..n]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Builds a generator seeded from another generator.
+    fn from_rng<R: RngCore>(rng: &mut R) -> Result<Self, core::convert::Infallible> {
+        let mut seed = Self::Seed::default();
+        rng.fill_bytes(seed.as_mut());
+        Ok(Self::from_seed(seed))
+    }
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator: xoshiro256++, the
+    /// same algorithm `rand` 0.8 uses for `SmallRng` on 64-bit targets.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            if seed.iter().all(|&b| b == 0) {
+                // An all-zero state is a fixed point; remap like
+                // rand_xoshiro.
+                return Self::seed_from_u64(0);
+            }
+            let mut s = [0u64; 4];
+            for (w, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                *w = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let [mut s0, mut s1, mut s2, mut s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            s2 ^= s0;
+            s3 ^= s1;
+            s1 ^= s2;
+            s0 ^= s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            self.s = [s0, s1, s2, s3];
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x: u64 = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y: i32 = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&y));
+            let f: f64 = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let g: f64 = rng.gen_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "{hits}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn from_rng_derives_child_stream() {
+        let mut parent = SmallRng::seed_from_u64(5);
+        let mut child = SmallRng::from_rng(&mut parent).unwrap();
+        let mut parent2 = SmallRng::seed_from_u64(5);
+        let mut child2 = SmallRng::from_rng(&mut parent2).unwrap();
+        assert_eq!(child.next_u64(), child2.next_u64());
+    }
+
+    #[test]
+    fn u32_truncates_low_half() {
+        let mut a = SmallRng::seed_from_u64(6);
+        let mut b = SmallRng::seed_from_u64(6);
+        assert_eq!(a.next_u32(), b.next_u64() as u32);
+    }
+}

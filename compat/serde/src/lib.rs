@@ -1,0 +1,10 @@
+//! Offline placeholder for `serde`.
+//!
+//! The workspace's `serde` integration is an **optional, off-by-default
+//! feature** of `cbs-trace` and `cbs-stats`. The build environment has
+//! no access to crates.io, so this placeholder exists purely to let
+//! dependency resolution succeed offline. Enabling the downstream
+//! `serde` features is unsupported until a real `serde` is vendored —
+//! the derive macros are not provided here.
+
+#![forbid(unsafe_code)]

@@ -253,7 +253,8 @@ impl VolumeAnalyzer {
                         OpKind::Read => state.read_bytes += overlap,
                         OpKind::Write => {
                             if let Some(prev_write) = state.last_write_ts {
-                                self.update_interval_hist.record((ts - prev_write).as_micros());
+                                self.update_interval_hist
+                                    .record((ts - prev_write).as_micros());
                             }
                             self.updated_bytes += overlap;
                             state.write_bytes += overlap;
@@ -417,7 +418,13 @@ mod tests {
     use cbs_trace::TimeDelta;
 
     fn req(op: OpKind, offset: u64, len: u32, secs: u64) -> IoRequest {
-        IoRequest::new(VolumeId::new(0), op, offset, len, Timestamp::from_secs(secs))
+        IoRequest::new(
+            VolumeId::new(0),
+            op,
+            offset,
+            len,
+            Timestamp::from_secs(secs),
+        )
     }
 
     fn analyze(requests: Vec<IoRequest>) -> VolumeMetrics {
@@ -446,10 +453,10 @@ mod tests {
     #[test]
     fn wss_and_update_blocks() {
         let m = analyze(vec![
-            req(OpKind::Write, 0, 4096, 0),      // block 0
-            req(OpKind::Write, 0, 4096, 1),      // block 0 again → update
-            req(OpKind::Write, 4096, 4096, 2),   // block 1
-            req(OpKind::Read, 8192, 4096, 3),    // block 2 (read only)
+            req(OpKind::Write, 0, 4096, 0),    // block 0
+            req(OpKind::Write, 0, 4096, 1),    // block 0 again → update
+            req(OpKind::Write, 4096, 4096, 2), // block 1
+            req(OpKind::Read, 8192, 4096, 3),  // block 2 (read only)
         ]);
         assert_eq!(m.wss_blocks, 3);
         assert_eq!(m.wss_read_blocks, 1);
@@ -471,10 +478,10 @@ mod tests {
     fn adjacency_pair_classification() {
         let m = analyze(vec![
             req(OpKind::Write, 0, 4096, 0),
-            req(OpKind::Read, 0, 4096, 10),   // RAW, 10 s
-            req(OpKind::Read, 0, 4096, 15),   // RAR, 5 s
-            req(OpKind::Write, 0, 4096, 75),  // WAR, 60 s
-            req(OpKind::Write, 0, 4096, 76),  // WAW, 1 s
+            req(OpKind::Read, 0, 4096, 10),  // RAW, 10 s
+            req(OpKind::Read, 0, 4096, 15),  // RAR, 5 s
+            req(OpKind::Write, 0, 4096, 75), // WAR, 60 s
+            req(OpKind::Write, 0, 4096, 76), // WAW, 1 s
         ]);
         assert_eq!(m.raw_hist.total(), 1);
         assert_eq!(m.rar_hist.total(), 1);
@@ -489,7 +496,7 @@ mod tests {
     fn update_interval_allows_reads_between() {
         let m = analyze(vec![
             req(OpKind::Write, 0, 4096, 0),
-            req(OpKind::Read, 0, 4096, 50),   // read between the writes
+            req(OpKind::Read, 0, 4096, 50), // read between the writes
             req(OpKind::Write, 0, 4096, 100), // update interval = 100 s
         ]);
         assert_eq!(m.update_interval_hist.total(), 1);
@@ -517,8 +524,9 @@ mod tests {
     fn randomness_window_is_bounded() {
         // 40 requests at the same offset, then one far away: the far
         // one is random even though offset 0 left the window long ago.
-        let mut reqs: Vec<IoRequest> =
-            (0..40).map(|i| req(OpKind::Read, 4096 * (i % 2), 4096, i)).collect();
+        let mut reqs: Vec<IoRequest> = (0..40)
+            .map(|i| req(OpKind::Read, 4096 * (i % 2), 4096, i))
+            .collect();
         reqs.push(req(OpKind::Read, 1 << 30, 4096, 50));
         let m = analyze(reqs);
         // request 0 (no window) + the last one
@@ -528,8 +536,7 @@ mod tests {
     #[test]
     fn peak_and_average_intensity() {
         // 10 requests in minute 0, 1 request in minute 10
-        let mut reqs: Vec<IoRequest> =
-            (0..10).map(|i| req(OpKind::Write, 0, 512, i)).collect();
+        let mut reqs: Vec<IoRequest> = (0..10).map(|i| req(OpKind::Write, 0, 512, i)).collect();
         reqs.push(req(OpKind::Write, 0, 512, 600));
         let m = analyze(reqs);
         let config = AnalysisConfig::default();
@@ -541,10 +548,10 @@ mod tests {
     #[test]
     fn activeness_intervals_and_days() {
         let m = analyze(vec![
-            req(OpKind::Write, 0, 512, 0),           // interval 0, day 0
-            req(OpKind::Read, 0, 512, 60),           // interval 0
-            req(OpKind::Write, 0, 512, 601),         // interval 1
-            req(OpKind::Write, 0, 512, 86_400 + 5),  // day 1
+            req(OpKind::Write, 0, 512, 0),          // interval 0, day 0
+            req(OpKind::Read, 0, 512, 60),          // interval 0
+            req(OpKind::Write, 0, 512, 601),        // interval 1
+            req(OpKind::Write, 0, 512, 86_400 + 5), // day 1
         ]);
         assert_eq!(m.active_intervals, vec![0, 1, 144]);
         assert_eq!(m.read_active_intervals, vec![0]);
@@ -612,8 +619,8 @@ mod tests {
         let m = analyze(vec![
             req(OpKind::Write, 0, 4096, 0),
             req(OpKind::Write, 4096, 4096, 1),
-            req(OpKind::Read, 0, 4096, 2),  // distance 1
-            req(OpKind::Read, 0, 4096, 3),  // distance 0
+            req(OpKind::Read, 0, 4096, 2), // distance 1
+            req(OpKind::Read, 0, 4096, 3), // distance 0
         ]);
         // read MRC: 2 accesses, distances {1, 0} → at capacity 2 all hit
         assert_eq!(m.read_mrc.total_accesses(), 2);

@@ -106,23 +106,16 @@ mod tests {
 
     #[test]
     fn validation_names_offenders() {
-        let mut c = AnalysisConfig::default();
-        c.randomness_window = 0;
-        assert!(c.validate().unwrap_err().contains("randomness_window"));
-        let mut c = AnalysisConfig::default();
-        c.active_interval = TimeDelta::ZERO;
-        assert!(c.validate().unwrap_err().contains("intervals"));
-        let mut c = AnalysisConfig::default();
-        c.rw_mostly_threshold = 1.5;
-        assert!(c.validate().unwrap_err().contains("rw_mostly_threshold"));
-        let mut c = AnalysisConfig::default();
-        c.top_fractions = (0.0, 0.1);
-        assert!(c.validate().unwrap_err().contains("top_fractions.0"));
-        let mut c = AnalysisConfig::default();
-        c.cache_fractions = (0.01, 1.5);
-        assert!(c.validate().unwrap_err().contains("cache_fractions.1"));
-        let mut c = AnalysisConfig::default();
-        c.hist_precision_bits = 0;
-        assert!(c.validate().unwrap_err().contains("hist_precision_bits"));
+        let broken = |f: &dyn Fn(&mut AnalysisConfig)| {
+            let mut c = AnalysisConfig::default();
+            f(&mut c);
+            c.validate().unwrap_err()
+        };
+        assert!(broken(&|c| c.randomness_window = 0).contains("randomness_window"));
+        assert!(broken(&|c| c.active_interval = TimeDelta::ZERO).contains("intervals"));
+        assert!(broken(&|c| c.rw_mostly_threshold = 1.5).contains("rw_mostly_threshold"));
+        assert!(broken(&|c| c.top_fractions = (0.0, 0.1)).contains("top_fractions.0"));
+        assert!(broken(&|c| c.cache_fractions = (0.01, 1.5)).contains("cache_fractions.1"));
+        assert!(broken(&|c| c.hist_precision_bits = 0).contains("hist_precision_bits"));
     }
 }

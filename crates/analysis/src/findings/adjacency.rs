@@ -50,9 +50,7 @@ pub struct AdjacencyTimes {
 impl AdjacencyTimes {
     /// Merges every volume's adjacency histograms.
     pub fn from_metrics(metrics: &[VolumeMetrics]) -> Self {
-        let bits = metrics
-            .first()
-            .map_or(6, |m| m.raw_hist.precision_bits());
+        let bits = metrics.first().map_or(6, |m| m.raw_hist.precision_bits());
         let mut t = AdjacencyTimes {
             raw: LogHistogram::new(bits),
             waw: LogHistogram::new(bits),

@@ -75,8 +75,7 @@ impl TraceTotals {
     /// Read WSS as a fraction of total WSS (the paper: 34.3 % AliCloud,
     /// 98.4 % MSRC).
     pub fn read_wss_fraction(&self) -> Option<f64> {
-        (self.total_wss_bytes > 0)
-            .then(|| self.read_wss_bytes as f64 / self.total_wss_bytes as f64)
+        (self.total_wss_bytes > 0).then(|| self.read_wss_bytes as f64 / self.total_wss_bytes as f64)
     }
 
     /// Write WSS as a fraction of total WSS (89.4 % in AliCloud).

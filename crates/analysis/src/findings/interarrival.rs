@@ -34,9 +34,7 @@ impl InterarrivalBoxplots {
                 values_us[slot].push(v as f64);
             }
         }
-        let boxplots = std::array::from_fn(|i| {
-            BoxplotSummary::from_unsorted(values_us[i].clone())
-        });
+        let boxplots = std::array::from_fn(|i| BoxplotSummary::from_unsorted(values_us[i].clone()));
         InterarrivalBoxplots {
             percentiles: PAPER_PERCENTILES,
             values_us,
@@ -62,10 +60,11 @@ mod tests {
         // every volume contributes to every group
         assert!(b.values_us.iter().all(|v| v.len() == 3));
         // per-volume percentiles grow with the percentile, so medians do
-        let medians: Vec<f64> = (0..5)
-            .map(|g| b.median_of_group(g).unwrap())
-            .collect();
-        assert!(medians.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{medians:?}");
+        let medians: Vec<f64> = (0..5).map(|g| b.median_of_group(g).unwrap()).collect();
+        assert!(
+            medians.windows(2).all(|w| w[0] <= w[1] + 1e-9),
+            "{medians:?}"
+        );
     }
 
     #[test]
@@ -73,10 +72,7 @@ mod tests {
         let (_, metrics) = fixture();
         let b = InterarrivalBoxplots::from_metrics(&metrics);
         // vol 2's burst has ~1 ms gaps, so the group minimum is ms-scale
-        let min_median = b.values_us[1]
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
+        let min_median = b.values_us[1].iter().copied().fold(f64::INFINITY, f64::min);
         assert!(min_median <= 1100.0, "min median {min_median}us");
     }
 

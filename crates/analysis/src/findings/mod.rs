@@ -97,7 +97,11 @@ pub(crate) mod testutil {
         for i in 0..20u64 {
             reqs.push(IoRequest::new(
                 VolumeId::new(2),
-                if i % 2 == 0 { OpKind::Write } else { OpKind::Read },
+                if i % 2 == 0 {
+                    OpKind::Write
+                } else {
+                    OpKind::Read
+                },
                 i * 1_000_000,
                 16384,
                 Timestamp::from_days(1) + cbs_trace::TimeDelta::from_millis(i),

@@ -16,7 +16,10 @@ impl RandomnessDistribution {
     /// Builds the distribution.
     pub fn from_metrics(metrics: &[VolumeMetrics]) -> Self {
         RandomnessDistribution {
-            cdf: metrics.iter().map(VolumeMetrics::randomness_ratio).collect(),
+            cdf: metrics
+                .iter()
+                .map(VolumeMetrics::randomness_ratio)
+                .collect(),
         }
     }
 
@@ -54,7 +57,7 @@ pub fn top_traffic_volumes(metrics: &[VolumeMetrics], k: usize) -> Vec<TrafficRa
             randomness_ratio: m.randomness_ratio(),
         })
         .collect();
-    points.sort_by(|a, b| b.traffic_bytes.cmp(&a.traffic_bytes));
+    points.sort_by_key(|p| std::cmp::Reverse(p.traffic_bytes));
     points.truncate(k);
     points
 }

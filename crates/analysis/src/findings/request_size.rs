@@ -72,8 +72,14 @@ impl MeanSizeDistribution {
     /// Builds both CDFs.
     pub fn from_metrics(metrics: &[VolumeMetrics]) -> Self {
         MeanSizeDistribution {
-            read_means: metrics.iter().filter_map(VolumeMetrics::mean_read_size).collect(),
-            write_means: metrics.iter().filter_map(VolumeMetrics::mean_write_size).collect(),
+            read_means: metrics
+                .iter()
+                .filter_map(VolumeMetrics::mean_read_size)
+                .collect(),
+            write_means: metrics
+                .iter()
+                .filter_map(VolumeMetrics::mean_write_size)
+                .collect(),
         }
     }
 }

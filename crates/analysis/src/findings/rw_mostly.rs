@@ -29,8 +29,7 @@ impl RwMostly {
         let read_mostly: u64 = metrics.iter().map(|m| m.read_bytes_to_read_mostly).sum();
         let write_mostly: u64 = metrics.iter().map(|m| m.write_bytes_to_write_mostly).sum();
         RwMostly {
-            overall_read_share: (read_total > 0)
-                .then(|| read_mostly as f64 / read_total as f64),
+            overall_read_share: (read_total > 0).then(|| read_mostly as f64 / read_total as f64),
             overall_write_share: (write_total > 0)
                 .then(|| write_mostly as f64 / write_total as f64),
             read_share_cdf: metrics
@@ -67,8 +66,7 @@ mod tests {
         let read_total: u64 = metrics.iter().map(|m| m.read_bytes).sum();
         let read_mostly: u64 = metrics.iter().map(|m| m.read_bytes_to_read_mostly).sum();
         assert!(
-            (r.overall_read_share.unwrap() - read_mostly as f64 / read_total as f64).abs()
-                < 1e-12
+            (r.overall_read_share.unwrap() - read_mostly as f64 / read_total as f64).abs() < 1e-12
         );
         assert!((0.0..=1.0).contains(&r.overall_write_share.unwrap()));
     }

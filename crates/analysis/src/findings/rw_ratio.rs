@@ -57,8 +57,7 @@ impl WriteReadRatios {
         if self.volumes == 0 {
             return 0.0;
         }
-        let finite_above = self.cdf.len() as f64
-            * (1.0 - self.cdf.fraction_at_or_below(threshold));
+        let finite_above = self.cdf.len() as f64 * (1.0 - self.cdf.fraction_at_or_below(threshold));
         (finite_above + self.infinite_ratio_volumes as f64) / self.volumes as f64
     }
 }

@@ -66,8 +66,7 @@ impl OverallUpdateIntervals {
             return None;
         }
         Some(PAPER_PERCENTILES.map(|p| {
-            TimeDelta::from_micros(self.hist.quantile(p / 100.0).expect("non-empty"))
-                .as_hours_f64()
+            TimeDelta::from_micros(self.hist.quantile(p / 100.0).expect("non-empty")).as_hours_f64()
         }))
     }
 }

@@ -64,10 +64,7 @@ pub fn evaluate_pair(
     {
         let c = IntensitySeries::from_metrics(cloud, config);
         let e = IntensitySeries::from_metrics(enterprise, config);
-        let (cm, em) = (
-            c.median_avg().unwrap_or(0.0),
-            e.median_avg().unwrap_or(0.0),
-        );
+        let (cm, em) = (c.median_avg().unwrap_or(0.0), e.median_avg().unwrap_or(0.0));
         let ratio = if em > 0.0 { cm / em } else { f64::INFINITY };
         verdicts.push(FindingVerdict {
             finding: 1,
@@ -86,7 +83,11 @@ pub fn evaluate_pair(
             finding: 2,
             claim: "a non-negligible fraction of volumes has burstiness > 100",
             holds: ca > 0.05 && ea > 0.05,
-            evidence: format!("ratio>100: cloud {:.1}% / enterprise {:.1}%", ca * 100.0, ea * 100.0),
+            evidence: format!(
+                "ratio>100: cloud {:.1}% / enterprise {:.1}%",
+                ca * 100.0,
+                ea * 100.0
+            ),
         });
     }
 
@@ -144,7 +145,10 @@ pub fn evaluate_pair(
     {
         let holds = [cloud, enterprise].iter().all(|metrics| {
             let p = ActivePeriods::from_metrics(metrics, config);
-            match (p.active_days.value_at(0.5), p.write_active_days.value_at(0.5)) {
+            match (
+                p.active_days.value_at(0.5),
+                p.write_active_days.value_at(0.5),
+            ) {
                 (Some(active), Some(write)) => write >= 0.75 * active,
                 _ => false,
             }
@@ -161,10 +165,7 @@ pub fn evaluate_pair(
     {
         let c = ActivenessSeries::from_metrics(cloud).read_only_reduction();
         let e = ActivenessSeries::from_metrics(enterprise).read_only_reduction();
-        let (c_hi, e_hi) = (
-            c.map_or(0.0, |(_, hi)| hi),
-            e.map_or(0.0, |(_, hi)| hi),
-        );
+        let (c_hi, e_hi) = (c.map_or(0.0, |(_, hi)| hi), e.map_or(0.0, |(_, hi)| hi));
         verdicts.push(FindingVerdict {
             finding: 7,
             claim: "dropping writes sharply reduces the number of active volumes",
@@ -239,7 +240,11 @@ pub fn evaluate_pair(
             finding: 11,
             claim: "cloud update coverage exceeds the enterprise corpus's",
             holds: cm > em,
-            evidence: format!("median coverage cloud {:.1}% vs enterprise {:.1}%", cm * 100.0, em * 100.0),
+            evidence: format!(
+                "median coverage cloud {:.1}% vs enterprise {:.1}%",
+                cm * 100.0,
+                em * 100.0
+            ),
         });
     }
 

@@ -12,7 +12,7 @@ use crate::config::AnalysisConfig;
 /// Fields are public (this is a result record, not an invariant-bearing
 /// type); the derived paper metrics (intensities, ratios, coverage) are
 /// provided as methods.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VolumeMetrics {
     /// The volume.
     pub id: VolumeId,
@@ -205,15 +205,19 @@ impl VolumeMetrics {
     /// Read miss ratio under LRU with a cache of `fraction` × WSS;
     /// `None` if the volume has no read block-accesses.
     pub fn read_miss_ratio(&self, fraction: f64) -> Option<f64> {
-        (self.read_mrc.total_accesses() > 0)
-            .then(|| self.read_mrc.miss_ratio_at(self.cache_blocks_for_fraction(fraction)))
+        (self.read_mrc.total_accesses() > 0).then(|| {
+            self.read_mrc
+                .miss_ratio_at(self.cache_blocks_for_fraction(fraction))
+        })
     }
 
     /// Write miss ratio under LRU with a cache of `fraction` × WSS;
     /// `None` if the volume has no write block-accesses.
     pub fn write_miss_ratio(&self, fraction: f64) -> Option<f64> {
-        (self.write_mrc.total_accesses() > 0)
-            .then(|| self.write_mrc.miss_ratio_at(self.cache_blocks_for_fraction(fraction)))
+        (self.write_mrc.total_accesses() > 0).then(|| {
+            self.write_mrc
+                .miss_ratio_at(self.cache_blocks_for_fraction(fraction))
+        })
     }
 }
 

@@ -108,13 +108,27 @@ impl fmt::Display for VolumeTrait {
             VolumeTrait::WriteDominant => write!(f, "write-dominant"),
             VolumeTrait::Bursty { ratio } => write!(f, "bursty (ratio {ratio:.0})"),
             VolumeTrait::CacheFriendlyWrites { miss_at_10pct } => {
-                write!(f, "cache-friendly writes ({:.0}% miss @10% WSS)", miss_at_10pct * 100.0)
+                write!(
+                    f,
+                    "cache-friendly writes ({:.0}% miss @10% WSS)",
+                    miss_at_10pct * 100.0
+                )
             }
             VolumeTrait::CacheFriendlyReads { miss_at_10pct } => {
-                write!(f, "cache-friendly reads ({:.0}% miss @10% WSS)", miss_at_10pct * 100.0)
+                write!(
+                    f,
+                    "cache-friendly reads ({:.0}% miss @10% WSS)",
+                    miss_at_10pct * 100.0
+                )
             }
-            VolumeTrait::OffloadCandidate { read_active_fraction } => {
-                write!(f, "offload candidate ({:.0}% read-active)", read_active_fraction * 100.0)
+            VolumeTrait::OffloadCandidate {
+                read_active_fraction,
+            } => {
+                write!(
+                    f,
+                    "offload candidate ({:.0}% read-active)",
+                    read_active_fraction * 100.0
+                )
             }
             VolumeTrait::FlashHostile { randomness } => {
                 write!(f, "flash-hostile ({:.0}% random)", randomness * 100.0)
@@ -174,19 +188,25 @@ pub fn assess(
     }
     if let Some(miss) = m.write_miss_ratio(0.10) {
         if miss < thresholds.cache_friendly_miss {
-            traits.push(VolumeTrait::CacheFriendlyWrites { miss_at_10pct: miss });
+            traits.push(VolumeTrait::CacheFriendlyWrites {
+                miss_at_10pct: miss,
+            });
         }
     }
     if let Some(miss) = m.read_miss_ratio(0.10) {
         if miss < thresholds.cache_friendly_miss {
-            traits.push(VolumeTrait::CacheFriendlyReads { miss_at_10pct: miss });
+            traits.push(VolumeTrait::CacheFriendlyReads {
+                miss_at_10pct: miss,
+            });
         }
     }
     let active = m.active_period(config).as_secs_f64();
     if active > 0.0 {
         let read_active_fraction = m.read_active_period(config).as_secs_f64() / active;
         if read_active_fraction < thresholds.offload_read_active {
-            traits.push(VolumeTrait::OffloadCandidate { read_active_fraction });
+            traits.push(VolumeTrait::OffloadCandidate {
+                read_active_fraction,
+            });
         }
     }
     let randomness = m.randomness_ratio();
@@ -243,13 +263,22 @@ mod tests {
         let reqs: Vec<_> = (0..2880).map(|i| w(0, i * 60)).collect();
         let a = assess_trace(reqs);
         assert!(a.has(|t| matches!(t, VolumeTrait::WriteDominant)), "{a}");
-        assert!(a.has(|t| matches!(t, VolumeTrait::UpdateHeavy { .. })), "{a}");
-        assert!(a.has(|t| matches!(t, VolumeTrait::OffloadCandidate { .. })), "{a}");
+        assert!(
+            a.has(|t| matches!(t, VolumeTrait::UpdateHeavy { .. })),
+            "{a}"
+        );
+        assert!(
+            a.has(|t| matches!(t, VolumeTrait::OffloadCandidate { .. })),
+            "{a}"
+        );
         assert!(
             a.has(|t| matches!(t, VolumeTrait::CacheFriendlyWrites { .. })),
             "{a}"
         );
-        assert!(!a.has(|t| matches!(t, VolumeTrait::ShortLived { .. })), "{a}");
+        assert!(
+            !a.has(|t| matches!(t, VolumeTrait::ShortLived { .. })),
+            "{a}"
+        );
     }
 
     #[test]
@@ -269,8 +298,14 @@ mod tests {
         reqs.push(w(0, 7200));
         let a = assess_trace(reqs);
         assert!(a.has(|t| matches!(t, VolumeTrait::Bursty { .. })), "{a}");
-        assert!(a.has(|t| matches!(t, VolumeTrait::ShortLived { active_days: 1 })), "{a}");
-        assert!(a.has(|t| matches!(t, VolumeTrait::FlashHostile { .. })), "{a}");
+        assert!(
+            a.has(|t| matches!(t, VolumeTrait::ShortLived { active_days: 1 })),
+            "{a}"
+        );
+        assert!(
+            a.has(|t| matches!(t, VolumeTrait::FlashHostile { .. })),
+            "{a}"
+        );
     }
 
     #[test]
@@ -288,11 +323,20 @@ mod tests {
             .collect();
         let a = assess_trace(reqs);
         assert!(!a.has(|t| matches!(t, VolumeTrait::WriteDominant)), "{a}");
-        assert!(!a.has(|t| matches!(t, VolumeTrait::FlashHostile { .. })), "{a}");
-        assert!(!a.has(|t| matches!(t, VolumeTrait::UpdateHeavy { .. })), "{a}");
+        assert!(
+            !a.has(|t| matches!(t, VolumeTrait::FlashHostile { .. })),
+            "{a}"
+        );
+        assert!(
+            !a.has(|t| matches!(t, VolumeTrait::UpdateHeavy { .. })),
+            "{a}"
+        );
         // reads-only volume has zero write-active time → not offloadable
         // by the read-active criterion (it is always read-active)
-        assert!(!a.has(|t| matches!(t, VolumeTrait::OffloadCandidate { .. })), "{a}");
+        assert!(
+            !a.has(|t| matches!(t, VolumeTrait::OffloadCandidate { .. })),
+            "{a}"
+        );
     }
 
     #[test]
@@ -321,7 +365,13 @@ mod tests {
     fn assess_all_covers_every_volume() {
         let trace = Trace::from_requests(vec![
             w(0, 1),
-            IoRequest::new(VolumeId::new(5), OpKind::Read, 0, 512, Timestamp::from_secs(2)),
+            IoRequest::new(
+                VolumeId::new(5),
+                OpKind::Read,
+                0,
+                512,
+                Timestamp::from_secs(2),
+            ),
         ]);
         let config = AnalysisConfig::default();
         let metrics = analyze_trace(&trace, &config);

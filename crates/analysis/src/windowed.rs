@@ -68,25 +68,27 @@ impl WindowedAnalysis {
         let mut in_window: HashSet<u64> = HashSet::new();
         let mut current: Option<(u64, WindowStats)> = None;
 
-        let flush =
-            |current: &mut Option<(u64, WindowStats)>,
-             in_window: &mut HashSet<u64>,
-             windows: &mut Vec<WindowStats>,
-             ever: &HashSet<u64>| {
-                if let Some((idx, mut stats)) = current.take() {
-                    stats.window_wss_blocks = in_window.len() as u64;
-                    stats.cumulative_wss_blocks = ever.len() as u64;
-                    // pad empty windows so indices stay aligned to time
-                    while windows.len() < idx as usize {
-                        let mut empty = WindowStats::default();
-                        empty.cumulative_wss_blocks =
-                            windows.last().map_or(0, |w: &WindowStats| w.cumulative_wss_blocks);
-                        windows.push(empty);
-                    }
-                    windows.push(stats);
-                    in_window.clear();
+        let flush = |current: &mut Option<(u64, WindowStats)>,
+                     in_window: &mut HashSet<u64>,
+                     windows: &mut Vec<WindowStats>,
+                     ever: &HashSet<u64>| {
+            if let Some((idx, mut stats)) = current.take() {
+                stats.window_wss_blocks = in_window.len() as u64;
+                stats.cumulative_wss_blocks = ever.len() as u64;
+                // pad empty windows so indices stay aligned to time
+                while windows.len() < idx as usize {
+                    let empty = WindowStats {
+                        cumulative_wss_blocks: windows
+                            .last()
+                            .map_or(0, |w: &WindowStats| w.cumulative_wss_blocks),
+                        ..WindowStats::default()
+                    };
+                    windows.push(empty);
                 }
-            };
+                windows.push(stats);
+                in_window.clear();
+            }
+        };
 
         for req in view.requests() {
             let rel = req.ts().saturating_duration_since(epoch);
@@ -227,7 +229,10 @@ mod tests {
 
     #[test]
     fn gaps_become_zero_windows_with_carried_wss() {
-        let a = analyze(vec![req(OpKind::Write, 0, 0), req(OpKind::Write, 1, 35)], 10);
+        let a = analyze(
+            vec![req(OpKind::Write, 0, 0), req(OpKind::Write, 1, 35)],
+            10,
+        );
         assert_eq!(a.windows().len(), 4);
         assert_eq!(a.windows()[1].requests(), 0);
         assert_eq!(a.windows()[1].cumulative_wss_blocks, 1);
@@ -238,9 +243,7 @@ mod tests {
     #[test]
     fn circular_log_plateaus() {
         // writes cycle over 10 blocks for 100 windows
-        let reqs: Vec<_> = (0..1000)
-            .map(|i| req(OpKind::Write, i % 10, i))
-            .collect();
+        let reqs: Vec<_> = (0..1000).map(|i| req(OpKind::Write, i % 10, i)).collect();
         let a = analyze(reqs, 10);
         let plateau = a.plateau_window(0.5).expect("bounded working set");
         assert!(plateau <= 2, "plateau at window {plateau}");

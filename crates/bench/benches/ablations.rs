@@ -14,13 +14,10 @@ use cbs_cache::CacheSim;
 use cbs_stats::{LogHistogram, Quantiles, Reservoir};
 use cbs_trace::BlockSize;
 
-
 /// Bounds every group's runtime for the single-core CI box: small
 /// sample counts and short measurement windows — these benches exist to
 /// catch regressions of 2x, not 2%.
-fn configure<M: criterion::measurement::Measurement>(
-    group: &mut criterion::BenchmarkGroup<'_, M>,
-) {
+fn configure<M: criterion::measurement::Measurement>(group: &mut criterion::BenchmarkGroup<'_, M>) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(2));
@@ -128,7 +125,9 @@ fn bench_policies_at_fig18_points(c: &mut Criterion) {
 }
 
 fn bench_quantile_backends(c: &mut Criterion) {
-    let values: Vec<u64> = (0..200_000u64).map(|i| (i * 6364136223846793005) % 50_000_000 + 1).collect();
+    let values: Vec<u64> = (0..200_000u64)
+        .map(|i| (i * 6364136223846793005) % 50_000_000 + 1)
+        .collect();
     let mut group = c.benchmark_group("ablation_quantiles");
     configure(&mut group);
     group.throughput(criterion::Throughput::Elements(values.len() as u64));

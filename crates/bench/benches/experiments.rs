@@ -11,13 +11,10 @@ use std::hint::black_box;
 
 use cbs_bench::{alicloud_analysis, alicloud_trace};
 
-
 /// Bounds every group's runtime for the single-core CI box: small
 /// sample counts and short measurement windows — these benches exist to
 /// catch regressions of 2x, not 2%.
-fn configure<M: criterion::measurement::Measurement>(
-    group: &mut criterion::BenchmarkGroup<'_, M>,
-) {
+fn configure<M: criterion::measurement::Measurement>(group: &mut criterion::BenchmarkGroup<'_, M>) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(2));
@@ -30,10 +27,7 @@ fn bench_analyze_corpus(c: &mut Criterion) {
     group.throughput(criterion::Throughput::Elements(trace.request_count() as u64));
     group.bench_function("single_pass_all_volumes", |b| {
         b.iter(|| {
-            cbs_analysis::analyze_trace(
-                black_box(&trace),
-                &cbs_analysis::AnalysisConfig::default(),
-            )
+            cbs_analysis::analyze_trace(black_box(&trace), &cbs_analysis::AnalysisConfig::default())
         });
     });
     group.finish();
@@ -48,7 +42,12 @@ fn bench_experiments(c: &mut Criterion) {
         b.iter(|| black_box(analysis.totals()));
     });
     group.bench_function("fig2_sizes", |b| {
-        b.iter(|| (black_box(analysis.request_sizes()), black_box(analysis.mean_sizes())));
+        b.iter(|| {
+            (
+                black_box(analysis.request_sizes()),
+                black_box(analysis.mean_sizes()),
+            )
+        });
     });
     group.bench_function("fig3_active_days", |b| {
         b.iter(|| black_box(analysis.active_days()));
@@ -77,7 +76,12 @@ fn bench_experiments(c: &mut Criterion) {
         });
     });
     group.bench_function("fig10_randomness", |b| {
-        b.iter(|| (black_box(analysis.randomness()), black_box(analysis.top_traffic(10))));
+        b.iter(|| {
+            (
+                black_box(analysis.randomness()),
+                black_box(analysis.top_traffic(10)),
+            )
+        });
     });
     group.bench_function("fig11_aggregation", |b| {
         b.iter(|| black_box(analysis.aggregation()));

@@ -1,0 +1,128 @@
+//! Ingest-path benchmarks: chunked parallel decode throughput (MB/s,
+//! records/s) and end-to-end analyze throughput, batch vs streaming.
+//!
+//! Decode groups compare the sequential `AliCloudReader` against
+//! `ParallelDecoder` at 1 thread (pipeline overhead) and at the
+//! machine's core count (scaling). Analyze groups compare the
+//! materialize-then-`Workbench::analyze` path against the sharded
+//! one-pass `StreamingWorkbench`, fed either from the lazy corpus
+//! stream or through the parallel decoder.
+//!
+//! Run `cargo run --release -p cbs-bench --bin ingest_perf` for the
+//! larger-corpus numbers recorded in `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cbs_core::{StreamingWorkbench, Workbench};
+use cbs_trace::codec::alicloud::{AliCloudReader, AliCloudWriter};
+use cbs_trace::{ParallelDecoder, Trace};
+
+/// Bounds every group's runtime for the single-core CI box.
+fn configure<M: criterion::measurement::Measurement>(group: &mut criterion::BenchmarkGroup<'_, M>) {
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+}
+
+fn csv_fixture() -> (Vec<u8>, u64) {
+    let trace = cbs_bench::alicloud_trace();
+    let mut csv = Vec::new();
+    let mut w = AliCloudWriter::new(&mut csv);
+    for req in trace.requests() {
+        w.write_request(req).unwrap();
+    }
+    (csv, trace.request_count() as u64)
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let (csv, records) = csv_fixture();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut group = c.benchmark_group("ingest_decode");
+    configure(&mut group);
+    group.throughput(Throughput::Bytes(csv.len() as u64));
+
+    group.bench_function("sequential_reader", |b| {
+        b.iter(|| {
+            let n = AliCloudReader::new(&csv[..]).fold(0u64, |acc, r| {
+                r.unwrap();
+                acc + 1
+            });
+            assert_eq!(n, records);
+            black_box(n)
+        });
+    });
+    for threads in [1, cores] {
+        let decoder = ParallelDecoder::new().with_threads(threads);
+        group.bench_function(format!("parallel_{threads}_threads"), |b| {
+            b.iter(|| {
+                let mut n = 0u64;
+                let stats = decoder
+                    .decode_alicloud(&csv[..], |batch| n += batch.len() as u64)
+                    .unwrap();
+                assert_eq!(n, records);
+                black_box(stats)
+            });
+        });
+        if cores == 1 {
+            break; // 1 and `cores` are the same configuration
+        }
+    }
+    group.finish();
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let (csv, records) = csv_fixture();
+    let generator = {
+        let config = cbs_synth::presets::CorpusConfig::new(16, 2, 4242).with_intensity_scale(0.002);
+        cbs_synth::presets::alicloud_like(&config)
+    };
+
+    let mut group = c.benchmark_group("ingest_analyze");
+    configure(&mut group);
+    group.throughput(Throughput::Elements(records));
+
+    // Batch: decode everything into a Trace, then analyze.
+    group.bench_function("batch_decode_then_analyze", |b| {
+        b.iter(|| {
+            let trace: Trace = AliCloudReader::new(&csv[..])
+                .collect::<Result<Vec<_>, _>>()
+                .unwrap()
+                .into_iter()
+                .collect();
+            black_box(Workbench::new(trace).analyze().metrics().len())
+        });
+    });
+
+    // Streaming: parallel decode feeding the sharded analyzer; the
+    // trace is never materialized.
+    group.bench_function("streaming_decode_analyze", |b| {
+        let decoder = ParallelDecoder::new();
+        b.iter(|| {
+            let mut session = StreamingWorkbench::new().start();
+            decoder
+                .decode_alicloud(&csv[..], |batch| session.observe_batch(batch))
+                .unwrap();
+            black_box(session.finish().len())
+        });
+    });
+
+    // Batch from the synthetic generator (materialize, sort, analyze).
+    group.bench_function("batch_generate_then_analyze", |b| {
+        b.iter(|| {
+            let trace = generator.generate();
+            black_box(Workbench::new(trace).analyze().metrics().len())
+        });
+    });
+
+    // Streaming straight off the lazy generator: O(volumes) memory.
+    group.bench_function("streaming_generate_analyze", |b| {
+        b.iter(|| black_box(StreamingWorkbench::new().analyze(generator.stream()).len()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode, bench_analyze);
+criterion_main!(benches);

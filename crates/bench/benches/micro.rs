@@ -10,13 +10,10 @@ use cbs_synth::presets::{self, CorpusConfig};
 use cbs_trace::codec::alicloud;
 use cbs_trace::{BlockId, MergeByTime};
 
-
 /// Bounds every group's runtime for the single-core CI box: small
 /// sample counts and short measurement windows — these benches exist to
 /// catch regressions of 2x, not 2%.
-fn configure<M: criterion::measurement::Measurement>(
-    group: &mut criterion::BenchmarkGroup<'_, M>,
-) {
+fn configure<M: criterion::measurement::Measurement>(group: &mut criterion::BenchmarkGroup<'_, M>) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(2));
@@ -118,7 +115,9 @@ fn bench_cache_policies(c: &mut Criterion) {
 }
 
 fn bench_stats(c: &mut Criterion) {
-    let values: Vec<u64> = (0..100_000u64).map(|i| (i * 48271) % 10_000_000 + 1).collect();
+    let values: Vec<u64> = (0..100_000u64)
+        .map(|i| (i * 48271) % 10_000_000 + 1)
+        .collect();
     let mut group = c.benchmark_group("stats");
     configure(&mut group);
     group.throughput(criterion::Throughput::Elements(values.len() as u64));
@@ -161,10 +160,7 @@ fn bench_generation(c: &mut Criterion) {
     });
     group.bench_function("merge_by_time", |b| {
         let trace = cbs_bench::alicloud_trace();
-        let runs: Vec<Vec<_>> = trace
-            .volumes()
-            .map(|v| v.requests().to_vec())
-            .collect();
+        let runs: Vec<Vec<_>> = trace.volumes().map(|v| v.requests().to_vec()).collect();
         b.iter(|| {
             let merged: usize =
                 MergeByTime::new(runs.iter().map(|r| r.iter().copied()).collect()).count();

@@ -1,0 +1,242 @@
+//! Ingest performance measurement harness.
+//!
+//! Produces the numbers recorded in `EXPERIMENTS.md` and
+//! `BENCH_ingest.json`: chunked parallel decode throughput (MB/s,
+//! records/s, 1 vs N threads) and end-to-end analyze throughput with
+//! peak RSS, batch vs streaming.
+//!
+//! Peak RSS (`VmHWM` in `/proc/self/status`) is a process-lifetime
+//! high-water mark, so the orchestrator re-execs itself with a phase
+//! argument and each phase runs in a fresh subprocess:
+//!
+//! ```sh
+//! cargo run --release -p cbs-bench --bin ingest_perf          # all phases
+//! cargo run --release -p cbs-bench --bin ingest_perf stream 10 # one phase
+//! ```
+//!
+//! Each phase prints a single-line JSON object; the orchestrator
+//! assembles them into `BENCH_ingest.json`.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use cbs_core::{StreamingWorkbench, Workbench};
+use cbs_synth::presets::{self, CorpusConfig};
+use cbs_trace::codec::alicloud::{AliCloudReader, AliCloudWriter};
+use cbs_trace::{ParallelDecoder, Trace};
+
+/// A corpus whose lazy stream comfortably exceeds the largest
+/// `--stream` target so `.take(n)` yields exactly `n` requests.
+fn big_corpus() -> cbs_synth::CorpusGenerator {
+    let config = CorpusConfig::new(128, 4, 4242).with_intensity_scale(0.05);
+    presets::alicloud_like(&config)
+}
+
+/// The same corpus with every address region clamped to 64 MiB, so the
+/// aggregate working set saturates after a few million requests. Used
+/// to show streaming RSS tracks *unique blocks*, not request count.
+fn bounded_corpus() -> cbs_synth::CorpusGenerator {
+    const REGION_CAP: u64 = 64 << 20;
+    let profiles = big_corpus()
+        .profiles()
+        .iter()
+        .map(|p| {
+            let mut p = p.clone();
+            p.read_spatial.region_len = p.read_spatial.region_len.min(REGION_CAP);
+            p.write_spatial.region_len = p.write_spatial.region_len.min(REGION_CAP);
+            if let Some(job) = &mut p.daily_rewrite {
+                job.region_len = job.region_len.min(REGION_CAP);
+            }
+            p
+        })
+        .collect();
+    cbs_synth::CorpusGenerator::new(profiles)
+}
+
+fn peak_rss_kb() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Stream-analyze `millions`M requests without materializing them.
+fn phase_stream(millions: u64, bounded: bool) {
+    let n = (millions * 1_000_000) as usize;
+    let generator = if bounded {
+        bounded_corpus()
+    } else {
+        big_corpus()
+    };
+    let phase = if bounded {
+        "stream_bounded_wss"
+    } else {
+        "stream"
+    };
+    let start = Instant::now();
+    let mut session = StreamingWorkbench::new().start();
+    for req in generator.stream().take(n) {
+        session.observe(req);
+    }
+    let observed = session.observed();
+    let volumes = session.finish().len();
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(observed, n as u64, "corpus smaller than requested target");
+    println!(
+        "{{\"phase\":\"{phase}\",\"requests\":{observed},\"volumes\":{volumes},\
+         \"seconds\":{secs:.3},\"requests_per_sec\":{:.0},\"peak_rss_kb\":{}}}",
+        observed as f64 / secs,
+        peak_rss_kb()
+    );
+}
+
+/// Materialize the same `millions`M requests into a `Trace`, then
+/// batch-analyze — the memory baseline the streaming path avoids.
+fn phase_batch(millions: u64) {
+    let n = (millions * 1_000_000) as usize;
+    let start = Instant::now();
+    let requests: Vec<_> = big_corpus().stream().take(n).collect();
+    let trace = Trace::from_requests(requests);
+    let analysis = Workbench::new(trace).analyze();
+    let volumes = analysis.metrics().len();
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "{{\"phase\":\"batch\",\"requests\":{n},\"volumes\":{volumes},\
+         \"seconds\":{secs:.3},\"requests_per_sec\":{:.0},\"peak_rss_kb\":{}}}",
+        n as f64 / secs,
+        peak_rss_kb()
+    );
+}
+
+/// Decode throughput over an in-memory CSV corpus: sequential reader
+/// vs `ParallelDecoder` at 1 thread and at the core count.
+fn phase_decode(millions: u64) {
+    let n = (millions * 1_000_000) as usize;
+    let mut csv = Vec::new();
+    {
+        let mut w = AliCloudWriter::new(&mut csv);
+        for req in big_corpus().stream().take(n) {
+            w.write_request(&req).unwrap();
+        }
+    }
+    let bytes = csv.len() as u64;
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+
+    let time = |f: &dyn Fn() -> u64| {
+        // Best of 3: decode throughput, not allocator warm-up.
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            assert_eq!(f(), n as u64);
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    let seq = time(&|| {
+        AliCloudReader::new(&csv[..]).fold(0u64, |acc, r| {
+            r.unwrap();
+            acc + 1
+        })
+    });
+    let par = |threads: usize| {
+        let decoder = ParallelDecoder::new().with_threads(threads);
+        let csv = &csv;
+        time(&move || {
+            let mut total = 0u64;
+            decoder
+                .decode_alicloud(&csv[..], |batch| total += batch.len() as u64)
+                .unwrap();
+            total
+        })
+    };
+    let par1 = par(1);
+    let parn = par(cores);
+
+    let mb = bytes as f64 / (1u64 << 20) as f64;
+    println!(
+        "{{\"phase\":\"decode\",\"records\":{n},\"bytes\":{bytes},\"n_threads\":{cores},\
+         \"sequential\":{{\"seconds\":{seq:.3},\"mb_per_sec\":{:.1},\"records_per_sec\":{:.0}}},\
+         \"parallel_1_thread\":{{\"seconds\":{par1:.3},\"mb_per_sec\":{:.1},\"records_per_sec\":{:.0}}},\
+         \"parallel_n_threads\":{{\"seconds\":{parn:.3},\"mb_per_sec\":{:.1},\"records_per_sec\":{:.0}}},\
+         \"speedup_vs_sequential\":{:.2},\"peak_rss_kb\":{}}}",
+        mb / seq,
+        n as f64 / seq,
+        mb / par1,
+        n as f64 / par1,
+        mb / parn,
+        n as f64 / parn,
+        seq / parn,
+        peak_rss_kb()
+    );
+}
+
+/// Run each phase as a fresh subprocess (isolated `VmHWM`) and write
+/// the collected JSON lines to `BENCH_ingest.json`.
+fn orchestrate(stream_millions: &[u64], batch_millions: &[u64], decode_millions: u64) {
+    let exe = std::env::current_exe().expect("current_exe");
+    let run = |args: &[String]| -> String {
+        eprintln!("→ ingest_perf {}", args.join(" "));
+        let out = std::process::Command::new(&exe)
+            .args(args)
+            .output()
+            .expect("spawn phase subprocess");
+        assert!(
+            out.status.success(),
+            "phase {:?} failed:\n{}",
+            args,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).expect("phase stdout utf-8");
+        let line = stdout
+            .lines()
+            .last()
+            .expect("phase printed no JSON")
+            .to_owned();
+        eprintln!("  {line}");
+        line
+    };
+
+    let mut results = Vec::new();
+    for &m in stream_millions {
+        results.push(run(&["stream".into(), m.to_string()]));
+    }
+    for &m in stream_millions {
+        results.push(run(&["stream-bounded".into(), m.to_string()]));
+    }
+    for &m in batch_millions {
+        results.push(run(&["batch".into(), m.to_string()]));
+    }
+    results.push(run(&["decode".into(), decode_millions.to_string()]));
+
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let mut f = std::fs::File::create("BENCH_ingest.json").expect("create BENCH_ingest.json");
+    writeln!(
+        f,
+        "{{\n  \"bench\": \"ingest\",\n  \"cores\": {cores},\n  \"results\": [\n    {}\n  ]\n}}",
+        results.join(",\n    ")
+    )
+    .expect("write BENCH_ingest.json");
+    eprintln!("wrote BENCH_ingest.json");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let millions = |i: usize, default: u64| -> u64 {
+        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    };
+    match args.first().map(String::as_str) {
+        Some("stream") => phase_stream(millions(1, 10), false),
+        Some("stream-bounded") => phase_stream(millions(1, 10), true),
+        Some("batch") => phase_batch(millions(1, 10)),
+        Some("decode") => phase_decode(millions(1, 2)),
+        Some(other) => {
+            eprintln!("unknown phase {other:?}; expected stream|stream-bounded|batch|decode");
+            std::process::exit(2);
+        }
+        None => orchestrate(&[2, 10, 20], &[10, 20], 2),
+    }
+}

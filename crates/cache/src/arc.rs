@@ -70,8 +70,8 @@ impl Arc {
     /// The REPLACE subroutine: evicts one resident block from T1 or T2
     /// into the corresponding ghost list and returns it.
     fn replace(&mut self, in_b2: bool) -> BlockId {
-        let from_t1 = !self.t1.is_empty()
-            && (self.t1.len() > self.p || (in_b2 && self.t1.len() == self.p));
+        let from_t1 =
+            !self.t1.is_empty() && (self.t1.len() > self.p || (in_b2 && self.t1.len() == self.p));
         if from_t1 {
             let victim = self.t1.pop_lru().expect("t1 non-empty");
             self.b1.push_mru(victim);

@@ -144,7 +144,10 @@ mod tests {
         for i in 100..120 {
             lfu.access(b(i)); // cold scan
         }
-        assert!(lfu.contains(b(1)), "LFU retains the hot block through scans");
+        assert!(
+            lfu.contains(b(1)),
+            "LFU retains the hot block through scans"
+        );
     }
 
     #[test]

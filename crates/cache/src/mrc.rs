@@ -123,7 +123,11 @@ mod tests {
     fn cold_only_curve() {
         let mrc = MissRatioCurve::from_histogram(Vec::new(), 10);
         assert_eq!(mrc.miss_ratio_at(0), 1.0);
-        assert_eq!(mrc.miss_ratio_at(100), 1.0, "compulsory misses never disappear");
+        assert_eq!(
+            mrc.miss_ratio_at(100),
+            1.0,
+            "compulsory misses never disappear"
+        );
     }
 
     #[test]

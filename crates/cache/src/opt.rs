@@ -138,10 +138,7 @@ mod tests {
         let accesses = ids(&seq);
         let opt = simulate_opt(&accesses, 4);
         let mut lru = Lru::new(4);
-        let lru_hits: u64 = accesses
-            .iter()
-            .map(|&b| u64::from(lru.access(b).hit))
-            .sum();
+        let lru_hits: u64 = accesses.iter().map(|&b| u64::from(lru.access(b).hit)).sum();
         assert_eq!(lru_hits, 0, "LRU thrashes on the cycle");
         assert!(opt.hits > 25, "OPT exploits the future: {} hits", opt.hits);
     }

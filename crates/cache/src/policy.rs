@@ -129,9 +129,10 @@ mod tests {
 
     #[test]
     fn access_result_constructors() {
-        assert!(AccessResult::HIT.hit);
-        assert_eq!(AccessResult::HIT.evicted, None);
-        assert!(!AccessResult::MISS.hit);
+        let (hit, miss) = (AccessResult::HIT, AccessResult::MISS);
+        assert!(hit.hit);
+        assert_eq!(hit.evicted, None);
+        assert!(!miss.hit);
         let e = AccessResult::miss_evicting(BlockId::new(3));
         assert!(!e.hit);
         assert_eq!(e.evicted, Some(BlockId::new(3)));

@@ -26,7 +26,6 @@ struct Fenwick {
 }
 
 impl Fenwick {
-    #[cfg(test)]
     fn len(&self) -> usize {
         self.tree.len()
     }
@@ -39,9 +38,7 @@ impl Fenwick {
     fn append(&mut self, delta: i64) {
         let i = self.tree.len() + 1; // 1-based index of the new cell
         let lowbit = i & i.wrapping_neg();
-        let range_sum = self
-            .prefix1(i - 1)
-            .wrapping_sub(self.prefix1(i - lowbit));
+        let range_sum = self.prefix1(i - 1).wrapping_sub(self.prefix1(i - lowbit));
         self.tree.push(range_sum.wrapping_add(delta as u64));
     }
 
@@ -107,6 +104,10 @@ pub struct ReuseDistances {
     histogram: Vec<u64>,
     cold_misses: u64,
     accesses: u64,
+    /// Position of the next access. Decoupled from `accesses`: position
+    /// space is rewritten by [`Self::compact`], so it restarts while
+    /// `accesses` keeps counting.
+    next_pos: usize,
 }
 
 impl ReuseDistances {
@@ -118,7 +119,8 @@ impl ReuseDistances {
     /// Processes one access and returns its reuse distance
     /// (`None` = cold / infinite).
     pub fn access(&mut self, block: BlockId) -> Option<u64> {
-        let pos = self.accesses as usize;
+        let pos = self.next_pos;
+        self.next_pos += 1;
         self.accesses += 1;
         let distance = match self.last_pos.insert(block, pos) {
             Some(prev) => {
@@ -141,7 +143,33 @@ impl ReuseDistances {
             }
             self.histogram[d] += 1;
         }
+        // The tree holds one cell per position ever assigned, but only
+        // the `last_pos.len()` most-recent-access positions carry a 1.
+        // Compacting when at least half the cells are dead keeps memory
+        // at O(distinct blocks) instead of O(accesses), at O(log n)
+        // amortized extra cost per access.
+        if self.fenwick.len() >= 64 && self.fenwick.len() >= 2 * self.last_pos.len() {
+            self.compact();
+        }
         distance
+    }
+
+    /// Rewrites position space to drop dead (superseded) positions:
+    /// live positions keep their relative order, so every future
+    /// between-count — and therefore every distance — is unchanged.
+    fn compact(&mut self) {
+        let mut live: Vec<(usize, BlockId)> = self
+            .last_pos
+            .iter()
+            .map(|(&block, &pos)| (pos, block))
+            .collect();
+        live.sort_unstable();
+        self.fenwick = Fenwick::default();
+        for (new_pos, &(_, block)) in live.iter().enumerate() {
+            self.fenwick.append(1);
+            self.last_pos.insert(block, new_pos);
+        }
+        self.next_pos = live.len();
     }
 
     /// Processes a whole access stream.
@@ -359,6 +387,31 @@ mod tests {
             }
             stack.push(x);
         }
+    }
+
+    #[test]
+    fn compaction_bounds_memory_and_preserves_distances() {
+        // 40k accesses over 100 distinct blocks, irregular revisit
+        // order; compaction must keep the tree near the distinct-block
+        // count while leaving every distance identical to the naive
+        // LRU-stack model.
+        let stream: Vec<u64> = (0..40_000).map(|i| (i * i * 7 + i * 13) % 100).collect();
+        let mut rd = ReuseDistances::new();
+        let mut stack: Vec<u64> = Vec::new();
+        for &x in &stream {
+            let expected = stack.iter().rev().position(|&s| s == x).map(|d| d as u64);
+            assert_eq!(rd.access(b(x)), expected, "block {x}");
+            if let Some(pos) = stack.iter().position(|&s| s == x) {
+                stack.remove(pos);
+            }
+            stack.push(x);
+        }
+        assert_eq!(rd.accesses(), 40_000);
+        assert!(
+            rd.fenwick.len() < 2 * 100 + 64,
+            "tree grew with accesses: {} cells for 100 blocks",
+            rd.fenwick.len()
+        );
     }
 
     #[test]

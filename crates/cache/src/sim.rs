@@ -65,14 +65,12 @@ impl CacheStats {
 
     /// Read miss ratio, or `None` if no reads were simulated.
     pub fn read_miss_ratio(&self) -> Option<f64> {
-        (self.read_accesses > 0)
-            .then(|| 1.0 - self.read_hits as f64 / self.read_accesses as f64)
+        (self.read_accesses > 0).then(|| 1.0 - self.read_hits as f64 / self.read_accesses as f64)
     }
 
     /// Write miss ratio, or `None` if no writes were simulated.
     pub fn write_miss_ratio(&self) -> Option<f64> {
-        (self.write_accesses > 0)
-            .then(|| 1.0 - self.write_hits as f64 / self.write_accesses as f64)
+        (self.write_accesses > 0).then(|| 1.0 - self.write_hits as f64 / self.write_accesses as f64)
     }
 
     /// Overall miss ratio, or `None` if nothing was simulated.

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use cbs_cache::{
-    Arc, CachePolicy, Clock, Fifo, Lfu, Lru, MissRatioCurve, ReuseDistances, ShardsSampler,
-    Slru, TwoQ,
+    Arc, CachePolicy, Clock, Fifo, Lfu, Lru, MissRatioCurve, ReuseDistances, ShardsSampler, Slru,
+    TwoQ,
 };
 use cbs_trace::BlockId;
 

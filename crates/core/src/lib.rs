@@ -33,8 +33,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod parallel;
+pub mod streaming;
 pub mod workbench;
 
+pub use streaming::{StreamingSession, StreamingWorkbench};
 pub use workbench::{Analysis, Workbench};
 
 /// Convenient glob-import surface: the types almost every user of the
@@ -46,5 +48,6 @@ pub mod prelude {
         BlockId, BlockSize, IoRequest, OpKind, TimeDelta, Timestamp, Trace, VolumeId,
     };
 
+    pub use crate::streaming::{StreamingSession, StreamingWorkbench};
     pub use crate::workbench::{Analysis, Workbench};
 }

@@ -2,12 +2,16 @@
 
 use cbs_analysis::{AnalysisConfig, VolumeAnalyzer, VolumeMetrics};
 use cbs_trace::{Timestamp, Trace};
-use parking_lot::Mutex;
 
 /// Analyzes every volume of `trace` using up to `threads` worker
 /// threads (volumes are independent, so the fan-out is embarrassingly
 /// parallel; results are returned in volume-id order regardless of
 /// scheduling).
+///
+/// Workers steal volume indices from a shared atomic cursor and keep
+/// their finished `(index, metrics)` pairs thread-local; results are
+/// scattered into ordered slots only after the workers join, so no lock
+/// is taken per volume.
 ///
 /// # Panics
 ///
@@ -28,28 +32,35 @@ pub fn analyze_trace_parallel(
     }
     let threads = threads.min(views.len());
 
-    // Work-stealing over a shared index; each worker owns its output
-    // slots (index-tagged) and the results are re-assembled in order.
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<VolumeMetrics>>> =
-        Mutex::new((0..views.len()).map(|_| None).collect());
+    let mut per_worker: Vec<Vec<(usize, VolumeMetrics)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if idx >= views.len() {
+                            break;
+                        }
+                        let metrics = VolumeAnalyzer::analyze_volume(views[idx], epoch, config);
+                        local.push((idx, metrics));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("analysis workers do not panic"))
+            .collect()
+    });
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= views.len() {
-                    break;
-                }
-                let metrics = VolumeAnalyzer::analyze_volume(views[idx], epoch, config);
-                results.lock()[idx] = Some(metrics);
-            });
-        }
-    })
-    .expect("analysis workers do not panic");
-
-    results
-        .into_inner()
+    let mut slots: Vec<Option<VolumeMetrics>> = (0..views.len()).map(|_| None).collect();
+    for (idx, metrics) in per_worker.drain(..).flatten() {
+        slots[idx] = Some(metrics);
+    }
+    slots
         .into_iter()
         .map(|m| m.expect("every slot filled"))
         .collect()
@@ -72,7 +83,11 @@ mod tests {
             for i in 0..per_volume {
                 reqs.push(IoRequest::new(
                     VolumeId::new(v),
-                    if (i + u64::from(v)) % 3 == 0 { OpKind::Read } else { OpKind::Write },
+                    if (i + u64::from(v)) % 3 == 0 {
+                        OpKind::Read
+                    } else {
+                        OpKind::Write
+                    },
                     (i % 50) * 4096,
                     4096,
                     Timestamp::from_secs(i * (u64::from(v) + 1)),

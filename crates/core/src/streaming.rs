@@ -1,0 +1,376 @@
+//! Sharded streaming analysis: [`StreamingWorkbench`] and
+//! [`StreamingSession`].
+//!
+//! The batch [`crate::Workbench`] materializes the whole trace before
+//! fanning out per-volume analyzers. This module provides the one-pass
+//! alternative: requests flow from any producer (a
+//! [`cbs_trace::ParallelDecoder`] sink, a lazy synthetic corpus stream,
+//! a custom reader) straight into per-volume [`VolumeAnalyzer`]s that
+//! live on shard worker threads, so peak memory is bounded by the
+//! analyzers' own per-volume state (O(volumes + working-set blocks)),
+//! independent of trace length.
+//!
+//! ```text
+//! producer (caller thread)        S shard workers
+//! ┌────────────────────────┐  bounded  ┌──────────────────────────┐
+//! │ observe(req)           │  channels │ HashMap<VolumeId,        │
+//! │  route: volume → shard │ ────────► │         VolumeAnalyzer>  │
+//! │  buffer per shard,     │ (batches) │ observe() each record    │
+//! │  flush at batch_size   │           │ finish() on close        │
+//! └────────────────────────┘           └──────────────────────────┘
+//! ```
+//!
+//! # Ordering contract
+//!
+//! Each volume's requests must be **observed in non-decreasing
+//! timestamp order**. Requests of different volumes may interleave
+//! arbitrarily — routing assigns every volume to exactly one shard and
+//! each shard consumes its bounded channel in send order, so per-volume
+//! order is preserved end to end (violations panic in debug builds, in
+//! the analyzer's `observe`). Both supported producers satisfy the
+//! contract by construction: decoded AliCloud/MSRC traces are globally
+//! time-sorted on disk, and [`cbs_synth`]'s corpus streams are emitted
+//! in global time order.
+//!
+//! # Equivalence with the batch path
+//!
+//! With the same epoch, the per-volume metrics are **identical** to
+//! [`crate::Workbench::analyze`] — the same `VolumeAnalyzer` runs over
+//! the same per-volume sequences; only the driving loop differs. The
+//! batch path anchors interval/day indices at `trace.start()`, so the
+//! session uses the first observed timestamp as the epoch by default
+//! (correct for any globally time-ordered stream) and offers
+//! [`StreamingWorkbench::with_epoch`] for producers that interleave
+//! volumes without global time order.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+use cbs_analysis::{AnalysisConfig, VolumeAnalyzer, VolumeMetrics};
+use cbs_trace::{IoRequest, Timestamp, VolumeId};
+
+/// Default number of requests buffered per shard before a batch is
+/// sent to the worker.
+pub const DEFAULT_BATCH_SIZE: usize = 8192;
+
+/// In-flight batches allowed per shard channel; combined with
+/// `batch_size` this bounds the pipeline's buffered requests at
+/// `shards × (CHANNEL_DEPTH + 1) × batch_size`.
+const CHANNEL_DEPTH: usize = 4;
+
+/// Builder for a sharded streaming analysis.
+///
+/// # Example
+///
+/// ```
+/// use cbs_core::StreamingWorkbench;
+/// use cbs_trace::{IoRequest, OpKind, Timestamp, VolumeId};
+///
+/// let metrics = StreamingWorkbench::new().analyze((0..1000u64).map(|i| {
+///     IoRequest::new(
+///         VolumeId::new((i % 7) as u32),
+///         if i % 3 == 0 { OpKind::Read } else { OpKind::Write },
+///         (i % 40) * 4096,
+///         4096,
+///         Timestamp::from_micros(i * 500),
+///     )
+/// }));
+/// assert_eq!(metrics.len(), 7);
+/// assert_eq!(metrics.iter().map(|m| m.requests()).sum::<u64>(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingWorkbench {
+    config: AnalysisConfig,
+    shards: usize,
+    batch_size: usize,
+    epoch: Option<Timestamp>,
+}
+
+impl Default for StreamingWorkbench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingWorkbench {
+    /// Creates a builder with the paper's default analysis parameters,
+    /// one shard per available core, and the default batch size.
+    pub fn new() -> Self {
+        StreamingWorkbench {
+            config: AnalysisConfig::default(),
+            shards: crate::parallel::default_threads(),
+            batch_size: DEFAULT_BATCH_SIZE,
+            epoch: None,
+        }
+    }
+
+    /// Uses custom analysis parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid.
+    #[must_use]
+    pub fn with_config(mut self, config: AnalysisConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid analysis config: {e}");
+        }
+        self.config = config;
+        self
+    }
+
+    /// Sets the number of shard worker threads (min 1). Volumes are
+    /// routed to shards by `volume id mod shards`.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets how many requests are buffered per shard before a batch is
+    /// flushed to the worker (min 1).
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Anchors interval/day indices at an explicit epoch instead of the
+    /// first observed timestamp. Required for batch-equivalent metrics
+    /// when the stream is *not* globally time-ordered (e.g. volume-major
+    /// feeding): pass the batch trace's `start()`.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: Timestamp) -> Self {
+        self.epoch = Some(epoch);
+        self
+    }
+
+    /// Configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Spawns the shard workers and returns the push-style session.
+    pub fn start(self) -> StreamingSession {
+        let mut senders = Vec::with_capacity(self.shards);
+        let mut handles = Vec::with_capacity(self.shards);
+        for _ in 0..self.shards {
+            let (tx, rx) = sync_channel::<Batch>(CHANNEL_DEPTH);
+            let config = self.config.clone();
+            senders.push(tx);
+            handles.push(std::thread::spawn(move || shard_worker(rx, config)));
+        }
+        StreamingSession {
+            buffers: senders.iter().map(|_| Vec::new()).collect(),
+            senders,
+            handles,
+            batch_size: self.batch_size,
+            epoch: self.epoch,
+            observed: 0,
+        }
+    }
+
+    /// Convenience: runs a whole request stream through a session and
+    /// returns the per-volume metrics in ascending volume-id order.
+    pub fn analyze<I>(self, stream: I) -> Vec<VolumeMetrics>
+    where
+        I: IntoIterator<Item = IoRequest>,
+    {
+        let mut session = self.start();
+        for req in stream {
+            session.observe(req);
+        }
+        session.finish()
+    }
+}
+
+/// One routed unit of work: the epoch every lazily-created analyzer in
+/// the batch must anchor to, plus the records.
+type Batch = (Timestamp, Vec<IoRequest>);
+
+/// A running sharded analysis accepting pushed requests — see
+/// [`StreamingWorkbench::start`].
+///
+/// Dropping a session without calling
+/// [`finish`](StreamingSession::finish) abandons the workers' results
+/// but does not leak threads (channels close, workers drain and exit).
+#[derive(Debug)]
+pub struct StreamingSession {
+    senders: Vec<SyncSender<Batch>>,
+    buffers: Vec<Vec<IoRequest>>,
+    handles: Vec<JoinHandle<Vec<VolumeMetrics>>>,
+    batch_size: usize,
+    epoch: Option<Timestamp>,
+    observed: u64,
+}
+
+impl StreamingSession {
+    /// Routes one request to its volume's shard. Blocks (backpressure)
+    /// when the shard's channel is full.
+    pub fn observe(&mut self, req: IoRequest) {
+        if self.epoch.is_none() {
+            // First record of a globally time-ordered stream = the
+            // batch path's `trace.start()`.
+            self.epoch = Some(req.ts());
+        }
+        let shard = req.volume().as_usize() % self.senders.len();
+        self.observed += 1;
+        self.buffers[shard].push(req);
+        if self.buffers[shard].len() >= self.batch_size {
+            self.flush(shard);
+        }
+    }
+
+    /// Observes every request of a batch (e.g. a decoded chunk from
+    /// [`cbs_trace::ParallelDecoder`]).
+    pub fn observe_batch(&mut self, batch: Vec<IoRequest>) {
+        for req in batch {
+            self.observe(req);
+        }
+    }
+
+    /// Number of requests observed so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    fn flush(&mut self, shard: usize) {
+        if self.buffers[shard].is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.buffers[shard]);
+        let epoch = self.epoch.expect("epoch set before first flush");
+        self.senders[shard]
+            .send((epoch, batch))
+            .expect("shard worker alive while session holds its sender");
+    }
+
+    /// Flushes all buffers, waits for the shard workers, and returns
+    /// the per-volume metrics in ascending volume-id order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from shard workers (e.g. the analyzer's
+    /// debug-build ordering assertions).
+    pub fn finish(mut self) -> Vec<VolumeMetrics> {
+        for shard in 0..self.senders.len() {
+            self.flush(shard);
+        }
+        drop(std::mem::take(&mut self.senders)); // close channels
+        let mut metrics: Vec<VolumeMetrics> = Vec::new();
+        for handle in self.handles.drain(..) {
+            metrics.extend(handle.join().expect("shard worker panicked"));
+        }
+        metrics.sort_by_key(|m| m.id);
+        metrics
+    }
+}
+
+/// Shard worker loop: lazily create one analyzer per volume, feed it
+/// every routed record, and emit the finished metrics when the channel
+/// closes.
+fn shard_worker(rx: Receiver<Batch>, config: AnalysisConfig) -> Vec<VolumeMetrics> {
+    let mut analyzers: HashMap<VolumeId, VolumeAnalyzer> = HashMap::new();
+    for (epoch, batch) in rx {
+        for req in batch {
+            analyzers
+                .entry(req.volume())
+                .or_insert_with(|| VolumeAnalyzer::new(req.volume(), epoch, config.clone()))
+                .observe(&req);
+        }
+    }
+    analyzers
+        .into_values()
+        .map(VolumeAnalyzer::finish)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workbench;
+    use cbs_trace::{OpKind, Trace};
+
+    fn time_ordered_requests(volumes: u32, per_volume: u64) -> Vec<IoRequest> {
+        let mut reqs = Vec::new();
+        for i in 0..per_volume {
+            for v in 0..volumes {
+                reqs.push(IoRequest::new(
+                    VolumeId::new(v),
+                    if (i + u64::from(v)) % 3 == 0 {
+                        OpKind::Read
+                    } else {
+                        OpKind::Write
+                    },
+                    (i % 50) * 4096,
+                    4096,
+                    Timestamp::from_secs(i * 7 + u64::from(v)),
+                ));
+            }
+        }
+        reqs
+    }
+
+    #[test]
+    fn matches_batch_workbench() {
+        let reqs = time_ordered_requests(9, 300);
+        let batch = Workbench::new(Trace::from_requests(reqs.clone())).analyze();
+        for shards in [1, 3, 8] {
+            let streaming = StreamingWorkbench::new()
+                .with_shards(shards)
+                .with_batch_size(64)
+                .analyze(reqs.iter().copied());
+            assert_eq!(streaming, batch.metrics(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn volume_major_feed_with_explicit_epoch() {
+        // Feeding volume-major (all of volume 0, then volume 1, ...)
+        // breaks the first-timestamp epoch inference; with the batch
+        // trace's start as the explicit epoch the metrics still match.
+        let trace = Trace::from_requests(time_ordered_requests(5, 100));
+        let epoch = trace.start().unwrap();
+        let volume_major: Vec<IoRequest> = trace.requests().to_vec();
+        let streaming = StreamingWorkbench::new()
+            .with_shards(2)
+            .with_epoch(epoch)
+            .analyze(volume_major);
+        let batch = Workbench::new(trace).analyze();
+        assert_eq!(streaming, batch.metrics());
+    }
+
+    #[test]
+    fn empty_stream() {
+        let metrics = StreamingWorkbench::new().analyze(std::iter::empty());
+        assert!(metrics.is_empty());
+    }
+
+    #[test]
+    fn observe_batch_counts() {
+        let reqs = time_ordered_requests(3, 10);
+        let mut session = StreamingWorkbench::new().with_shards(2).start();
+        session.observe_batch(reqs.clone());
+        assert_eq!(session.observed(), 30);
+        let metrics = session.finish();
+        assert_eq!(metrics.iter().map(|m| m.requests()).sum::<u64>(), 30);
+        // ascending volume-id order
+        assert!(metrics.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn single_shard_single_request() {
+        let metrics = StreamingWorkbench::new()
+            .with_shards(1)
+            .with_batch_size(1)
+            .analyze(std::iter::once(IoRequest::new(
+                VolumeId::new(3),
+                OpKind::Write,
+                0,
+                4096,
+                Timestamp::from_secs(1),
+            )));
+        assert_eq!(metrics.len(), 1);
+        assert_eq!(metrics[0].writes, 1);
+    }
+}

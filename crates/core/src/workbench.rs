@@ -13,9 +13,7 @@ use cbs_analysis::findings::{
     rw_mostly::RwMostly,
     rw_ratio::WriteReadRatios,
     update_coverage::UpdateCoverage,
-    update_interval::{
-        IntervalGroupProportions, OverallUpdateIntervals, UpdateIntervalBoxplots,
-    },
+    update_interval::{IntervalGroupProportions, OverallUpdateIntervals, UpdateIntervalBoxplots},
 };
 use cbs_analysis::{AnalysisConfig, VolumeMetrics};
 use cbs_trace::Trace;
@@ -245,7 +243,11 @@ mod tests {
             for i in 0..100u64 {
                 reqs.push(IoRequest::new(
                     VolumeId::new(v),
-                    if i % 4 == 0 { OpKind::Read } else { OpKind::Write },
+                    if i % 4 == 0 {
+                        OpKind::Read
+                    } else {
+                        OpKind::Write
+                    },
                     (i % 20) * 4096,
                     4096,
                     Timestamp::from_secs(i * 30),
@@ -270,9 +272,12 @@ mod tests {
         assert_eq!(analysis.randomness().cdf.len(), 4);
         assert_eq!(analysis.top_traffic(2).len(), 2);
         assert!(analysis.update_coverage().median().is_some());
-        assert!(analysis.adjacency().count(
-            cbs_analysis::findings::adjacency::PairKind::Waw
-        ) > 0);
+        assert!(
+            analysis
+                .adjacency()
+                .count(cbs_analysis::findings::adjacency::PairKind::Waw)
+                > 0
+        );
         assert!(analysis.update_intervals().percentiles_hours().is_some());
         assert!(!analysis.lru_miss_ratios().write_small.is_empty());
         assert!(!analysis.aggregation().write_top1.is_empty());
@@ -295,8 +300,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid analysis config")]
     fn with_config_validates() {
-        let mut config = AnalysisConfig::default();
-        config.rw_mostly_threshold = 2.0;
+        let config = AnalysisConfig {
+            rw_mostly_threshold: 2.0,
+            ..AnalysisConfig::default()
+        };
         let _ = Workbench::with_config(Trace::new(), config);
     }
 }

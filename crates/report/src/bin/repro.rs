@@ -29,10 +29,7 @@ fn main() -> ExitCode {
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
 
-    fn parse<T: std::str::FromStr>(
-        flag: &str,
-        value: Option<String>,
-    ) -> Result<T, String> {
+    fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String> {
         let value = value.ok_or_else(|| format!("{flag} needs a value"))?;
         value
             .parse()
@@ -59,9 +56,7 @@ fn main() -> ExitCode {
             "--msrc-scale" => {
                 parse("--msrc-scale", args.next()).map(|s| config.msrc.intensity_scale = s)
             }
-            "--experiment" => {
-                parse("--experiment", args.next()).map(|e: String| selected.push(e))
-            }
+            "--experiment" => parse("--experiment", args.next()).map(|e: String| selected.push(e)),
             "--out" => parse("--out", args.next())
                 .map(|d: String| out_dir = Some(std::path::PathBuf::from(d))),
             "--tiny" => {

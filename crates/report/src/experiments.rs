@@ -225,13 +225,27 @@ pub fn fig2_sizes(ctx: &ReproContext) -> String {
         let means = analysis.mean_sizes();
         t.row(vec![
             format!("{} mean-read-size p75 (per-vol)", p.name),
-            if p.name == "AliCloud" { "<= 39.1KiB".into() } else { "<= 50.8KiB".into() },
-            means.read_means.value_at(0.75).map_or("-".into(), |v| fmt::bytes(v as u64)),
+            if p.name == "AliCloud" {
+                "<= 39.1KiB".into()
+            } else {
+                "<= 50.8KiB".into()
+            },
+            means
+                .read_means
+                .value_at(0.75)
+                .map_or("-".into(), |v| fmt::bytes(v as u64)),
         ]);
         t.row(vec![
             format!("{} mean-write-size p75 (per-vol)", p.name),
-            if p.name == "AliCloud" { "<= 34.4KiB".into() } else { "<= 15.3KiB".into() },
-            means.write_means.value_at(0.75).map_or("-".into(), |v| fmt::bytes(v as u64)),
+            if p.name == "AliCloud" {
+                "<= 34.4KiB".into()
+            } else {
+                "<= 15.3KiB".into()
+            },
+            means
+                .write_means
+                .value_at(0.75)
+                .map_or("-".into(), |v| fmt::bytes(v as u64)),
         ]);
     }
     section("Fig. 2 — request sizes (small I/O dominates)", t.render())
@@ -321,7 +335,10 @@ pub fn fig5_intensity(ctx: &ReproContext) -> String {
             ]);
         }
     }
-    section("Fig. 5 + Table II — load intensities (Finding 1-2)", t.render())
+    section(
+        "Fig. 5 + Table II — load intensities (Finding 1-2)",
+        t.render(),
+    )
 }
 
 /// Fig. 6 — burstiness-ratio distribution (Findings 2-3).
@@ -447,7 +464,11 @@ pub fn fig11_aggregation(ctx: &ReproContext) -> String {
             ("read top-1%", p.aggregation.read_top1_p25, &a.read_top1),
             ("read top-10%", p.aggregation.read_top10_p25, &a.read_top10),
             ("write top-1%", p.aggregation.write_top1_p25, &a.write_top1),
-            ("write top-10%", p.aggregation.write_top10_p25, &a.write_top10),
+            (
+                "write top-10%",
+                p.aggregation.write_top10_p25,
+                &a.write_top10,
+            ),
         ];
         for (label, paper_p25, values) in rows {
             t.row(vec![
@@ -457,7 +478,10 @@ pub fn fig11_aggregation(ctx: &ReproContext) -> String {
             ]);
         }
     }
-    section("Fig. 11 — traffic aggregation in top blocks (Finding 9)", t.render())
+    section(
+        "Fig. 11 — traffic aggregation in top blocks (Finding 9)",
+        t.render(),
+    )
 }
 
 /// Table III + Fig. 12 — read-/write-mostly blocks (Finding 10).
@@ -486,7 +510,10 @@ pub fn fig12_rw_mostly(ctx: &ReproContext) -> String {
             fmt::percent_opt(r.median_write_share()),
         ]);
     }
-    section("Table III + Fig. 12 — read-/write-mostly blocks (Finding 10)", t.render())
+    section(
+        "Table III + Fig. 12 — read-/write-mostly blocks (Finding 10)",
+        t.render(),
+    )
 }
 
 /// Table IV + Fig. 13 — update coverage (Finding 11).
@@ -511,7 +538,10 @@ pub fn fig13_coverage(ctx: &ReproContext) -> String {
             fmt::percent_opt(c.p90()),
         ]);
     }
-    section("Table IV + Fig. 13 — update coverage (Finding 11)", t.render())
+    section(
+        "Table IV + Fig. 13 — update coverage (Finding 11)",
+        t.render(),
+    )
 }
 
 /// Fig. 14 + Table V — RAW/WAW (Finding 12), plus RAR/WAR counts.
@@ -572,7 +602,11 @@ pub fn fig15_rar_war(ctx: &ReproContext) -> String {
         t.row(vec![
             format!("{} RAR:WAR count ratio", p.name),
             fmt::num(p.adjacency.counts_m[2] / p.adjacency.counts_m[3]),
-            if war > 0 { fmt::num(rar as f64 / war as f64) } else { "-".into() },
+            if war > 0 {
+                fmt::num(rar as f64 / war as f64)
+            } else {
+                "-".into()
+            },
         ]);
     }
     section("Fig. 15 — RAR/WAR (Finding 13)", t.render())
@@ -658,14 +692,22 @@ pub fn findings_verdicts(ctx: &ReproContext) -> String {
         body.push_str(&v.to_string());
         body.push('\n');
     }
-    body.push_str(&format!("\n{holds}/15 directional claims hold on this run\n"));
-    section("Findings scorecard — directional claims of Section IV", body)
+    body.push_str(&format!(
+        "\n{holds}/15 directional claims hold on this run\n"
+    ));
+    section(
+        "Findings scorecard — directional claims of Section IV",
+        body,
+    )
 }
 
+/// One table/figure builder: renders its section from an analyzed run.
+pub type Experiment = fn(&ReproContext) -> String;
+
 /// The experiment registry, in paper order.
-pub fn registry() -> Vec<(&'static str, fn(&ReproContext) -> String)> {
+pub fn registry() -> Vec<(&'static str, Experiment)> {
     vec![
-        ("table1", table1_basic as fn(&ReproContext) -> String),
+        ("table1", table1_basic as Experiment),
         ("fig2", fig2_sizes),
         ("fig3", fig3_active_days),
         ("fig4", fig4_wr_ratio),

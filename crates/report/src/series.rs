@@ -52,10 +52,7 @@ pub fn write_hist_cdf(path: &Path, hist: &LogHistogram, value_label: &str) -> io
 }
 
 /// Writes boxplot summaries, one labelled row each.
-pub fn write_boxplots(
-    path: &Path,
-    rows: &[(String, Option<BoxplotSummary>)],
-) -> io::Result<()> {
+pub fn write_boxplots(path: &Path, rows: &[(String, Option<BoxplotSummary>)]) -> io::Result<()> {
     let lines: Vec<String> = rows
         .iter()
         .map(|(label, b)| match b {
@@ -101,10 +98,18 @@ pub fn export_corpus(analysis: &Analysis, dir: &Path, prefix: &str) -> io::Resul
     write_cdf(&path("fig2b_mean_write_sizes"), &means.write_means, "bytes")?;
 
     // Fig. 3: active days
-    write_cdf(&path("fig3_active_days"), &analysis.active_days().cdf, "days")?;
+    write_cdf(
+        &path("fig3_active_days"),
+        &analysis.active_days().cdf,
+        "days",
+    )?;
 
     // Fig. 4: W:R ratios
-    write_cdf(&path("fig4_wr_ratios"), &analysis.write_read_ratios().cdf, "ratio")?;
+    write_cdf(
+        &path("fig4_wr_ratios"),
+        &analysis.write_read_ratios().cdf,
+        "ratio",
+    )?;
 
     // Fig. 5: sorted intensities
     let series = analysis.intensity_series();
@@ -118,7 +123,11 @@ pub fn export_corpus(analysis: &Analysis, dir: &Path, prefix: &str) -> io::Resul
     write_file(&path("fig5_intensities"), "rank\tavg_rps\tpeak_rps", &rows)?;
 
     // Fig. 6: burstiness CDF
-    write_cdf(&path("fig6_burstiness"), &analysis.burstiness().cdf, "ratio")?;
+    write_cdf(
+        &path("fig6_burstiness"),
+        &analysis.burstiness().cdf,
+        "ratio",
+    )?;
 
     // Fig. 7: inter-arrival percentile boxplots
     let inter = analysis.interarrival_boxplots();
@@ -147,15 +156,34 @@ pub fn export_corpus(analysis: &Analysis, dir: &Path, prefix: &str) -> io::Resul
     // Fig. 9: active-period CDFs
     let periods = analysis.active_periods();
     write_cdf(&path("fig9_active_days"), &periods.active_days, "days")?;
-    write_cdf(&path("fig9_read_active_days"), &periods.read_active_days, "days")?;
-    write_cdf(&path("fig9_write_active_days"), &periods.write_active_days, "days")?;
+    write_cdf(
+        &path("fig9_read_active_days"),
+        &periods.read_active_days,
+        "days",
+    )?;
+    write_cdf(
+        &path("fig9_write_active_days"),
+        &periods.write_active_days,
+        "days",
+    )?;
 
     // Fig. 10(a): randomness CDF; (b): top-traffic scatter
-    write_cdf(&path("fig10a_randomness"), &analysis.randomness().cdf, "ratio")?;
+    write_cdf(
+        &path("fig10a_randomness"),
+        &analysis.randomness().cdf,
+        "ratio",
+    )?;
     let rows: Vec<String> = analysis
         .top_traffic(10)
         .iter()
-        .map(|p| format!("{}\t{}\t{}", p.id.get(), p.traffic_bytes, p.randomness_ratio))
+        .map(|p| {
+            format!(
+                "{}\t{}\t{}",
+                p.id.get(),
+                p.traffic_bytes,
+                p.randomness_ratio
+            )
+        })
         .collect();
     write_file(
         &path("fig10b_top_traffic"),
@@ -178,11 +206,23 @@ pub fn export_corpus(analysis: &Analysis, dir: &Path, prefix: &str) -> io::Resul
 
     // Fig. 12: read-/write-mostly share CDFs
     let rw = analysis.rw_mostly();
-    write_cdf(&path("fig12_read_mostly_share"), &rw.read_share_cdf, "share")?;
-    write_cdf(&path("fig12_write_mostly_share"), &rw.write_share_cdf, "share")?;
+    write_cdf(
+        &path("fig12_read_mostly_share"),
+        &rw.read_share_cdf,
+        "share",
+    )?;
+    write_cdf(
+        &path("fig12_write_mostly_share"),
+        &rw.write_share_cdf,
+        "share",
+    )?;
 
     // Fig. 13: update coverage CDF
-    write_cdf(&path("fig13_update_coverage"), &analysis.update_coverage().cdf, "coverage")?;
+    write_cdf(
+        &path("fig13_update_coverage"),
+        &analysis.update_coverage().cdf,
+        "coverage",
+    )?;
 
     // Figs. 14-15: adjacency time CDFs
     let adj = analysis.adjacency();
@@ -255,12 +295,20 @@ mod tests {
         let dir = tmpdir("corpus");
         let analysis = tiny_analysis();
         let files = export_corpus(&analysis, &dir, "test").unwrap();
-        assert!(files.len() >= 20, "expected many series files, got {}", files.len());
+        assert!(
+            files.len() >= 20,
+            "expected many series files, got {}",
+            files.len()
+        );
         for f in &files {
             let content = std::fs::read_to_string(f).unwrap();
             assert!(content.lines().count() >= 1, "{} is empty", f.display());
             // header + tab-separated
-            assert!(content.lines().next().unwrap().contains('\t'), "{}", f.display());
+            assert!(
+                content.lines().next().unwrap().contains('\t'),
+                "{}",
+                f.display()
+            );
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -270,8 +318,7 @@ mod tests {
         let dir = tmpdir("monotone");
         let analysis = tiny_analysis();
         export_corpus(&analysis, &dir, "m").unwrap();
-        let content =
-            std::fs::read_to_string(dir.join("m_fig6_burstiness.tsv")).unwrap();
+        let content = std::fs::read_to_string(dir.join("m_fig6_burstiness.tsv")).unwrap();
         let points: Vec<(f64, f64)> = content
             .lines()
             .skip(1)
@@ -284,7 +331,9 @@ mod tests {
             })
             .collect();
         assert!(!points.is_empty());
-        assert!(points.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert!(points
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
         assert!((points.last().unwrap().1 - 1.0).abs() < 1e-9);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -297,7 +346,10 @@ mod tests {
         write_boxplots(
             &path,
             &[
-                ("full".to_owned(), BoxplotSummary::from_unsorted(vec![1.0, 2.0, 3.0])),
+                (
+                    "full".to_owned(),
+                    BoxplotSummary::from_unsorted(vec![1.0, 2.0, 3.0]),
+                ),
                 ("empty".to_owned(), None),
             ],
         )

@@ -138,10 +138,7 @@ mod tests {
     #[test]
     fn points_collapse_ties() {
         let cdf = Cdf::from_unsorted(vec![2.0, 1.0, 2.0, 3.0]);
-        assert_eq!(
-            cdf.points(),
-            vec![(1.0, 0.25), (2.0, 0.75), (3.0, 1.0)]
-        );
+        assert_eq!(cdf.points(), vec![(1.0, 0.25), (2.0, 0.75), (3.0, 1.0)]);
     }
 
     #[test]

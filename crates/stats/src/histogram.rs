@@ -264,7 +264,18 @@ mod tests {
     #[test]
     fn bucket_lower_roundtrips_index() {
         let h = LogHistogram::new(4);
-        for v in [0u64, 1, 15, 16, 17, 100, 1000, 1 << 20, (1 << 40) + 12345, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            100,
+            1000,
+            1 << 20,
+            (1 << 40) + 12345,
+            u64::MAX,
+        ] {
             let idx = h.index_of(v);
             let lo = h.bucket_lower(idx);
             let width = h.bucket_width(idx);
@@ -281,10 +292,18 @@ mod tests {
         for v in 1..=100_000u64 {
             h.record(v);
         }
-        for (q, exact) in [(0.25, 25_000.0), (0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0)] {
+        for (q, exact) in [
+            (0.25, 25_000.0),
+            (0.5, 50_000.0),
+            (0.9, 90_000.0),
+            (0.99, 99_000.0),
+        ] {
             let est = h.quantile(q).unwrap() as f64;
             let rel = (est - exact).abs() / exact;
-            assert!(rel <= h.relative_error_bound() + 1e-9, "q={q} est={est} rel={rel}");
+            assert!(
+                rel <= h.relative_error_bound() + 1e-9,
+                "q={q} est={est} rel={rel}"
+            );
         }
     }
 

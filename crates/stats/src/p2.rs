@@ -115,13 +115,12 @@ impl P2Quantile {
             if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
                 let d = d.signum();
                 let candidate = self.parabolic(i, d);
-                self.heights[i] = if self.heights[i - 1] < candidate
-                    && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, d)
-                };
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
                 self.positions[i] += d;
             }
         }
@@ -140,8 +139,7 @@ impl P2Quantile {
     fn linear(&self, i: usize, d: f64) -> f64 {
         let j = if d > 0.0 { i + 1 } else { i - 1 };
         self.heights[i]
-            + d * (self.heights[j] - self.heights[i])
-                / (self.positions[j] - self.positions[i])
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
     /// The current estimate, or `None` before any observation.

@@ -96,7 +96,10 @@ impl Quantiles {
     ///
     /// Panics if `p` is outside `[0, 100]` or NaN.
     pub fn percentile(&self, p: f64) -> Option<f64> {
-        assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
+        assert!(
+            (0.0..=100.0).contains(&p),
+            "percentile {p} outside [0, 100]"
+        );
         self.quantile(p / 100.0)
     }
 

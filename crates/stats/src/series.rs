@@ -107,7 +107,10 @@ impl TimeBins {
     ///
     /// Panics if the widths differ.
     pub fn merge(&mut self, other: &TimeBins) {
-        assert_eq!(self.width, other.width, "cannot merge bins of different widths");
+        assert_eq!(
+            self.width, other.width,
+            "cannot merge bins of different widths"
+        );
         if other.counts.len() > self.counts.len() {
             self.counts.resize(other.counts.len(), 0);
         }

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 
-use cbs_stats::{BoxplotSummary, Cdf, LogHistogram, P2Quantile, Quantiles, Reservoir, Summary, TimeBins};
+use cbs_stats::{
+    BoxplotSummary, Cdf, LogHistogram, P2Quantile, Quantiles, Reservoir, Summary, TimeBins,
+};
 
 fn arb_samples() -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(-1e9f64..1e9, 1..300)

@@ -73,16 +73,28 @@ impl ArrivalModel {
     /// Returns a human-readable description of the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
         if !(self.avg_rate_rps.is_finite() && self.avg_rate_rps > 0.0) {
-            return Err(format!("avg_rate_rps must be positive, got {}", self.avg_rate_rps));
+            return Err(format!(
+                "avg_rate_rps must be positive, got {}",
+                self.avg_rate_rps
+            ));
         }
         if !(self.on_fraction > 0.0 && self.on_fraction <= 1.0) {
-            return Err(format!("on_fraction must be in (0,1], got {}", self.on_fraction));
+            return Err(format!(
+                "on_fraction must be in (0,1], got {}",
+                self.on_fraction
+            ));
         }
         if !(self.mean_on_secs.is_finite() && self.mean_on_secs > 0.0) {
-            return Err(format!("mean_on_secs must be positive, got {}", self.mean_on_secs));
+            return Err(format!(
+                "mean_on_secs must be positive, got {}",
+                self.mean_on_secs
+            ));
         }
         if !(self.burst_size_mean.is_finite() && self.burst_size_mean >= 1.0) {
-            return Err(format!("burst_size_mean must be >= 1, got {}", self.burst_size_mean));
+            return Err(format!(
+                "burst_size_mean must be >= 1, got {}",
+                self.burst_size_mean
+            ));
         }
         if !(self.intra_gap_median_us.is_finite() && self.intra_gap_median_us > 0.0) {
             return Err(format!(
@@ -152,8 +164,7 @@ impl<R: Rng> ArrivalGen<R> {
             * (1.0 - model.background_fraction)
             * (1.0 + model.diurnal_amplitude)
             / (model.on_fraction * model.burst_size_mean);
-        let mean_off_secs = model.mean_on_secs * (1.0 - model.on_fraction)
-            / model.on_fraction;
+        let mean_off_secs = model.mean_on_secs * (1.0 - model.on_fraction) / model.on_fraction;
         let off_len = if model.on_fraction >= 1.0 || mean_off_secs <= f64::EPSILON {
             None
         } else {
@@ -224,10 +235,7 @@ impl<R: Rng> ArrivalGen<R> {
                     }
                     None => TimeDelta::ZERO,
                 };
-                self.now = self
-                    .on_until
-                    .checked_add(off)
-                    .unwrap_or(Timestamp::MAX);
+                self.now = self.on_until.checked_add(off).unwrap_or(Timestamp::MAX);
                 self.begin_on_episode();
                 t = self.now.checked_add(overshoot).unwrap_or(Timestamp::MAX);
             }
@@ -259,7 +267,10 @@ impl<R: Rng> Iterator for ArrivalGen<R> {
         }
         self.burst_left = self.burst_left.saturating_sub(1);
         if self.burst_left > 0 {
-            let gap_us = self.intra_gap.sample(&mut self.rng).clamp(1.0, 60_000_000.0);
+            let gap_us = self
+                .intra_gap
+                .sample(&mut self.rng)
+                .clamp(1.0, 60_000_000.0);
             self.next_ts = self
                 .next_ts
                 .checked_add(TimeDelta::from_micros(gap_us as u64))
@@ -311,10 +322,7 @@ mod tests {
         let model = no_bg(ArrivalModel::steady(10.0));
         let times = gen_times(&model, 6, 2);
         let rate = times.len() as f64 / (6.0 * 3600.0);
-        assert!(
-            (rate - 10.0).abs() / 10.0 < 0.25,
-            "rate={rate} (target 10)"
-        );
+        assert!((rate - 10.0).abs() / 10.0 < 0.25, "rate={rate} (target 10)");
     }
 
     #[test]
@@ -341,7 +349,7 @@ mod tests {
             let avg = times.len() as f64 / (12.0 * 3600.0);
             peak / avg
         };
-        let r_bursty = ratio(&bursty, 3);  // ~1/on_fraction when an ON span fills a minute
+        let r_bursty = ratio(&bursty, 3); // ~1/on_fraction when an ON span fills a minute
         let r_steady = ratio(&steady, 3);
         assert!(
             r_bursty > 10.0 * r_steady,

@@ -74,8 +74,7 @@ impl LogNormal {
     /// Creates the distribution; `None` unless `mu` is finite and
     /// `sigma` is finite and non-negative.
     pub fn new(mu: f64, sigma: f64) -> Option<Self> {
-        (mu.is_finite() && sigma.is_finite() && sigma >= 0.0)
-            .then_some(LogNormal { mu, sigma })
+        (mu.is_finite() && sigma.is_finite() && sigma >= 0.0).then_some(LogNormal { mu, sigma })
     }
 
     /// Creates the distribution from its median (`exp(mu)`) and sigma.
@@ -83,7 +82,9 @@ impl LogNormal {
     /// The median parameterization reads naturally when calibrating to
     /// reported medians ("median average intensity 2.55 req/s").
     pub fn from_median(median: f64, sigma: f64) -> Option<Self> {
-        (median > 0.0).then(|| Self::new(median.ln(), sigma)).flatten()
+        (median > 0.0)
+            .then(|| Self::new(median.ln(), sigma))
+            .flatten()
     }
 
     /// The median (`exp(mu)`).
@@ -197,8 +198,11 @@ impl BoundedPareto {
     /// Creates the distribution; `None` unless
     /// `0 < min < max` and `alpha > 0`.
     pub fn new(min: f64, max: f64, alpha: f64) -> Option<Self> {
-        (min > 0.0 && max > min && alpha > 0.0 && alpha.is_finite())
-            .then_some(BoundedPareto { min, max, alpha })
+        (min > 0.0 && max > min && alpha > 0.0 && alpha.is_finite()).then_some(BoundedPareto {
+            min,
+            max,
+            alpha,
+        })
     }
 
     /// Draws one sample in `[min, max]` (inverse transform).
@@ -272,7 +276,10 @@ impl<T> Discrete<T> {
     /// Draws one item.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &T {
         let u: f64 = rng.gen();
-        let idx = self.cdf.partition_point(|&c| c < u).min(self.items.len() - 1);
+        let idx = self
+            .cdf
+            .partition_point(|&c| c < u)
+            .min(self.items.len() - 1);
         &self.items[idx]
     }
 }
@@ -328,8 +335,8 @@ mod tests {
         let mut r = rng();
         let samples: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut r)).collect();
         let mean = mean_of(&samples);
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.05, "mean={mean}");
         assert!((var - 1.0).abs() < 0.05, "var={var}");
     }
@@ -463,7 +470,9 @@ mod tests {
     #[test]
     fn log_uniform_range_and_spread() {
         let mut r = rng();
-        let samples: Vec<f64> = (0..10_000).map(|_| log_uniform(&mut r, 1.0, 10_000.0)).collect();
+        let samples: Vec<f64> = (0..10_000)
+            .map(|_| log_uniform(&mut r, 1.0, 10_000.0))
+            .collect();
         assert!(samples.iter().all(|&x| (1.0..=10_000.0).contains(&x)));
         // median of log-uniform [1, 10^4] is 10^2
         let mut s = samples.clone();

@@ -89,6 +89,18 @@ impl VolumeGenerator {
         &self.profile
     }
 
+    /// Returns a pull-based iterator over the volume's time-sorted
+    /// request stream.
+    ///
+    /// The iterator produces **exactly** the sequence of
+    /// [`VolumeGenerator::generate`] (same RNG draws in the same order,
+    /// same tie-breaking between arrival traffic and daily-rewrite
+    /// runs) while holding only O(1) state — this is what lets presets
+    /// feed a streaming analysis without materializing the trace.
+    pub fn iter(&self) -> VolumeIter {
+        VolumeIter::new(self.profile.clone())
+    }
+
     /// Generates the volume's full request stream, sorted by timestamp.
     pub fn generate(&self) -> Vec<IoRequest> {
         let p = &self.profile;
@@ -117,7 +129,11 @@ impl VolumeGenerator {
         for ts in arrivals {
             let is_write = rng.gen::<f64>() < p.write_fraction;
             let (op, size, addr) = if is_write {
-                (OpKind::Write, p.write_size.sample(&mut rng), &mut write_addr)
+                (
+                    OpKind::Write,
+                    p.write_size.sample(&mut rng),
+                    &mut write_addr,
+                )
             } else {
                 (OpKind::Read, p.read_size.sample(&mut rng), &mut read_addr)
             };
@@ -154,10 +170,209 @@ impl VolumeGenerator {
                     .expect("request_size fits u32");
                 out.push(IoRequest::new(p.id, OpKind::Write, offset, len, ts));
                 offset += u64::from(len);
-                ts = ts + TimeDelta::from_micros(job.gap_us);
+                ts += TimeDelta::from_micros(job.gap_us);
             }
         }
         out
+    }
+}
+
+/// One pending daily sequential rewrite run (lazy counterpart of one
+/// `generate_daily_rewrites` day loop iteration).
+#[derive(Debug)]
+struct RewriteRun {
+    id: cbs_trace::VolumeId,
+    ts: Timestamp,
+    offset: u64,
+    end: u64,
+    request_size: u32,
+    gap_us: u64,
+    live_end: Timestamp,
+}
+
+impl RewriteRun {
+    /// Timestamp of the next request this run would emit, if any.
+    fn peek_ts(&self) -> Option<Timestamp> {
+        (self.offset < self.end && self.ts < self.live_end).then_some(self.ts)
+    }
+}
+
+impl Iterator for RewriteRun {
+    type Item = IoRequest;
+
+    fn next(&mut self) -> Option<IoRequest> {
+        if self.offset >= self.end || self.ts >= self.live_end {
+            return None;
+        }
+        let len = u32::try_from((self.end - self.offset).min(u64::from(self.request_size)))
+            .expect("request_size fits u32");
+        let req = IoRequest::new(self.id, OpKind::Write, self.offset, len, self.ts);
+        self.offset += u64::from(len);
+        self.ts += TimeDelta::from_micros(self.gap_us);
+        Some(req)
+    }
+}
+
+/// Lazy, time-sorted request stream of one volume — see
+/// [`VolumeGenerator::iter`].
+///
+/// Internally merges three sorted sources while replicating the batch
+/// path's draw order and tie-breaking exactly:
+///
+/// * burst arrivals ([`ArrivalGen`]) and background arrivals
+///   ([`BackgroundGen`]) merge with bursts winning timestamp ties
+///   (mirroring `merge_sorted`);
+/// * per-request op/size/offset draws happen in merged *arrival* order
+///   from the main RNG, untouched by rewrite traffic;
+/// * daily rewrite runs merge in afterwards, losing timestamp ties to
+///   arrival traffic and breaking run-vs-run ties by day order
+///   (mirroring the batch path's stable sort over the concatenation).
+#[derive(Debug)]
+pub struct VolumeIter {
+    profile: VolumeProfile,
+    rng: SmallRng,
+    read_addr: AddressGen,
+    write_addr: AddressGen,
+    burst: ArrivalGen<SmallRng>,
+    background: Option<BackgroundGen>,
+    next_burst: Option<Timestamp>,
+    next_background: Option<Timestamp>,
+    runs: Vec<RewriteRun>,
+}
+
+impl VolumeIter {
+    fn new(p: VolumeProfile) -> Self {
+        // The draw order from the seed RNG must match `generate()`:
+        // arrival seed first, then (only if background traffic exists)
+        // the background seed.
+        let mut rng = SmallRng::seed_from_u64(p.seed);
+        let arrival_rng = SmallRng::seed_from_u64(rng.gen());
+        let read_addr = AddressGen::new(p.read_spatial.clone());
+        let write_addr = AddressGen::new(p.write_spatial.clone());
+        let burst = ArrivalGen::new(&p.arrival, p.live_start, p.live_end, arrival_rng);
+        let bg_rate = p.arrival.avg_rate_rps * p.arrival.background_fraction;
+        let background = if bg_rate > 0.0 {
+            BackgroundGen::new(
+                bg_rate,
+                p.live_start,
+                p.live_end,
+                SmallRng::seed_from_u64(rng.gen()),
+            )
+        } else {
+            None
+        };
+        let mut runs = Vec::new();
+        if let Some(job) = &p.daily_rewrite {
+            let first_day = p.live_start.day_index();
+            let last_day = p.live_end.day_index();
+            for day in first_day..=last_day {
+                let start_us = day * cbs_trace::time::MICROS_PER_DAY
+                    + (job.at_hour * cbs_trace::time::MICROS_PER_HOUR as f64) as u64;
+                let ts = Timestamp::from_micros(start_us);
+                if ts < p.live_start {
+                    continue;
+                }
+                runs.push(RewriteRun {
+                    id: p.id,
+                    ts,
+                    offset: job.region_start,
+                    end: job.region_start + job.region_len,
+                    request_size: job.request_size,
+                    gap_us: job.gap_us,
+                    live_end: p.live_end,
+                });
+            }
+        }
+        VolumeIter {
+            profile: p,
+            rng,
+            read_addr,
+            write_addr,
+            burst,
+            background,
+            next_burst: None,
+            next_background: None,
+            runs,
+        }
+    }
+
+    /// Fills the peek slots and returns the next merged arrival
+    /// timestamp without consuming it.
+    fn peek_arrival(&mut self) -> Option<Timestamp> {
+        if self.next_burst.is_none() {
+            self.next_burst = self.burst.next();
+        }
+        if self.next_background.is_none() {
+            self.next_background = self.background.as_mut().and_then(Iterator::next);
+        }
+        match (self.next_burst, self.next_background) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        }
+    }
+
+    /// Consumes the peeked arrival timestamp (bursts win ties, matching
+    /// `merge_sorted`'s `a <= b` branch).
+    fn pop_arrival(&mut self) -> Option<Timestamp> {
+        match (self.next_burst, self.next_background) {
+            (Some(a), Some(b)) if a <= b => self.next_burst.take(),
+            (Some(_), Some(_)) => self.next_background.take(),
+            (Some(_), None) => self.next_burst.take(),
+            (None, _) => self.next_background.take(),
+        }
+    }
+
+    /// Draws op, size, and offset for one arrival — the only place the
+    /// main RNG advances, in merged arrival order like the batch path.
+    fn emit_arrival(&mut self, ts: Timestamp) -> IoRequest {
+        let p = &self.profile;
+        let is_write = self.rng.gen::<f64>() < p.write_fraction;
+        let (op, size, addr) = if is_write {
+            (
+                OpKind::Write,
+                p.write_size.sample(&mut self.rng),
+                &mut self.write_addr,
+            )
+        } else {
+            (
+                OpKind::Read,
+                p.read_size.sample(&mut self.rng),
+                &mut self.read_addr,
+            )
+        };
+        let offset = addr.next_offset(&mut self.rng, size);
+        IoRequest::new(p.id, op, offset, size, ts)
+    }
+}
+
+impl Iterator for VolumeIter {
+    type Item = IoRequest;
+
+    fn next(&mut self) -> Option<IoRequest> {
+        let arrival_ts = self.peek_arrival();
+        // Earliest-timestamp rewrite run; earlier days win ties, which
+        // reproduces the stable sort over [arrivals, day 0, day 1, ...].
+        let mut best_run: Option<(usize, Timestamp)> = None;
+        for (i, run) in self.runs.iter().enumerate() {
+            if let Some(ts) = run.peek_ts() {
+                if best_run.map_or(true, |(_, best)| ts < best) {
+                    best_run = Some((i, ts));
+                }
+            }
+        }
+        match (arrival_ts, best_run) {
+            // A run emits only when strictly earlier: on equal
+            // timestamps the arrival requests preceded the appended
+            // rewrites in the batch concatenation.
+            (Some(a), Some((i, r))) if r < a => self.runs[i].next(),
+            (Some(_), _) => {
+                let ts = self.pop_arrival().expect("peeked arrival exists");
+                Some(self.emit_arrival(ts))
+            }
+            (None, Some((i, _))) => self.runs[i].next(),
+            (None, None) => None,
+        }
     }
 }
 
@@ -204,6 +419,53 @@ impl CorpusGenerator {
     /// Panics if `index` is out of range.
     pub fn generate_volume(&self, index: usize) -> Vec<IoRequest> {
         VolumeGenerator::new(self.profiles[index].clone()).generate()
+    }
+
+    /// Returns a pull-based, globally time-ordered stream over the whole
+    /// corpus, holding only O(volumes) state.
+    ///
+    /// The stream k-way merges one [`VolumeIter`] per profile (earlier
+    /// profiles win timestamp ties), so the per-volume subsequences are
+    /// exactly the per-volume runs of [`CorpusGenerator::generate`] and
+    /// the first item carries the trace's epoch timestamp. This is the
+    /// entry point for analyzing synthetic corpora of hundreds of
+    /// millions of requests without materializing a `Trace`.
+    pub fn stream(&self) -> CorpusStream {
+        let volumes: Vec<VolumeIter> = self
+            .profiles
+            .iter()
+            .map(|p| VolumeGenerator::new(p.clone()).iter())
+            .collect();
+        let pending = volumes.iter().map(|_| None).collect();
+        CorpusStream { volumes, pending }
+    }
+}
+
+/// Lazy, globally time-ordered corpus stream — see
+/// [`CorpusGenerator::stream`].
+#[derive(Debug)]
+pub struct CorpusStream {
+    volumes: Vec<VolumeIter>,
+    /// Peeked head of each volume stream.
+    pending: Vec<Option<IoRequest>>,
+}
+
+impl Iterator for CorpusStream {
+    type Item = IoRequest;
+
+    fn next(&mut self) -> Option<IoRequest> {
+        let mut best: Option<(usize, Timestamp)> = None;
+        for i in 0..self.volumes.len() {
+            if self.pending[i].is_none() {
+                self.pending[i] = self.volumes[i].next();
+            }
+            if let Some(req) = &self.pending[i] {
+                if best.map_or(true, |(_, ts)| req.ts() < ts) {
+                    best = Some((i, req.ts()));
+                }
+            }
+        }
+        best.and_then(|(i, _)| self.pending[i].take())
     }
 }
 
@@ -258,7 +520,10 @@ mod tests {
             if r.is_write() {
                 assert!(r.end_offset() <= 64 * MIB, "{r}");
             } else {
-                assert!(r.offset() >= 512 * MIB && r.end_offset() <= 640 * MIB, "{r}");
+                assert!(
+                    r.offset() >= 512 * MIB && r.end_offset() <= 640 * MIB,
+                    "{r}"
+                );
             }
         }
     }
@@ -324,6 +589,71 @@ mod tests {
             trace.volume(VolumeId::new(7)).unwrap().requests(),
             v7.as_slice()
         );
+    }
+
+    #[test]
+    fn iter_matches_generate_exactly() {
+        // The lazy stream must replicate the batch output bit-for-bit:
+        // plain profile, background-free profile, and a profile with
+        // daily rewrites (exercising the three-way merge).
+        for seed in [1, 7, 42, 31] {
+            let plain = profile(2, seed);
+            let mut no_bg = profile(3, seed);
+            no_bg.arrival.background_fraction = 0.0;
+            let mut rewriting = profile(4, seed);
+            rewriting.live_end = Timestamp::from_days(2);
+            rewriting.daily_rewrite = Some(DailyRewrite {
+                at_hour: 1.0,
+                region_start: 800 * MIB,
+                region_len: MIB,
+                request_size: 128 * 1024,
+                gap_us: 250,
+            });
+            for p in [plain, no_bg, rewriting] {
+                let generator = VolumeGenerator::new(p);
+                let eager = generator.generate();
+                let lazy: Vec<IoRequest> = generator.iter().collect();
+                assert_eq!(eager, lazy, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn iter_matches_generate_with_overlapping_rewrite_runs() {
+        // A rewrite run long enough to cross the next day's run start:
+        // the batch path handles this via a stable sort, the lazy path
+        // via run-priority merging — they must still agree.
+        let mut p = profile(5, 9);
+        p.live_end = Timestamp::from_days(3);
+        p.daily_rewrite = Some(DailyRewrite {
+            at_hour: 23.5,
+            region_start: 700 * MIB,
+            region_len: 4 * MIB,
+            request_size: 4096,
+            // 1024 requests/run × 2s gap ≈ 34 min > the 30 min left in
+            // the day, so each run spills into the next day.
+            gap_us: 2_000_000,
+        });
+        let generator = VolumeGenerator::new(p);
+        let eager = generator.generate();
+        let lazy: Vec<IoRequest> = generator.iter().collect();
+        assert_eq!(eager, lazy);
+    }
+
+    #[test]
+    fn corpus_stream_matches_generate() {
+        let corpus = CorpusGenerator::new(vec![profile(0, 1), profile(1, 2), profile(7, 3)]);
+        let trace = corpus.generate();
+        let streamed: Vec<IoRequest> = corpus.stream().collect();
+        assert_eq!(streamed.len(), trace.request_count());
+        // Globally time-ordered...
+        assert!(streamed.windows(2).all(|w| w[0].ts() <= w[1].ts()));
+        // ...first element carries the batch trace's epoch...
+        assert_eq!(streamed[0].ts(), trace.start().unwrap());
+        // ...and rebuilding a trace from the stream reproduces the
+        // batch trace exactly (volume-major layout included).
+        let rebuilt = cbs_trace::Trace::from_requests(streamed);
+        assert_eq!(rebuilt.requests(), trace.requests());
     }
 
     #[test]

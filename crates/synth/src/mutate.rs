@@ -7,7 +7,7 @@
 //! same analysis pipeline can answer such questions. All
 //! transformations are deterministic given their seed.
 
-use cbs_trace::{IoRequest, OpKind, TimeDelta, Timestamp, Trace};
+use cbs_trace::{IoRequest, OpKind, TimeDelta, Trace};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -94,7 +94,7 @@ pub fn amplify_writes(trace: &Trace, copies: u32, gap: TimeDelta) -> Trace {
         if r.is_write() {
             let mut ts = r.ts();
             for _ in 0..copies {
-                ts = ts + gap;
+                ts += gap;
                 out.push(IoRequest::new(r.volume(), r.op(), r.offset(), r.len(), ts));
             }
         }
@@ -124,7 +124,7 @@ pub fn sample_requests(trace: &Trace, rate: f64, seed: u64) -> Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cbs_trace::VolumeId;
+    use cbs_trace::{Timestamp, VolumeId};
 
     fn mk(op: OpKind, secs: u64) -> IoRequest {
         IoRequest::new(VolumeId::new(0), op, 4096, 4096, Timestamp::from_secs(secs))
@@ -143,7 +143,11 @@ mod tests {
     fn scale_time_compresses_gaps() {
         let fast = scale_time(&sample_trace(), 2.0);
         assert_eq!(fast.request_count(), 4);
-        assert_eq!(fast.start(), Some(Timestamp::from_secs(10)), "anchored at start");
+        assert_eq!(
+            fast.start(),
+            Some(Timestamp::from_secs(10)),
+            "anchored at start"
+        );
         assert_eq!(fast.span().unwrap().as_secs(), 15);
         let slow = scale_time(&sample_trace(), 0.5);
         assert_eq!(slow.span().unwrap().as_secs(), 60);
@@ -204,9 +208,7 @@ mod tests {
 
     #[test]
     fn sampling_keeps_roughly_rate() {
-        let reqs: Vec<_> = (0..10_000)
-            .map(|i| mk(OpKind::Write, i))
-            .collect();
+        let reqs: Vec<_> = (0..10_000).map(|i| mk(OpKind::Write, i)).collect();
         let trace = Trace::from_requests(reqs);
         let thinned = sample_requests(&trace, 0.25, 3);
         let frac = thinned.request_count() as f64 / 10_000.0;

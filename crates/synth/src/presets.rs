@@ -131,9 +131,8 @@ fn solve_burst_shape(
     // small enough that several bursts fit in a peak minute
     let burst_size = (target_peak_count / 6.0).clamp(1.5, 60.0);
     // solve x + K·√(s·x) = P  (quadratic in √x)
-    let sqrt_x = ((K * K * burst_size + 4.0 * target_peak_count).sqrt()
-        - K * burst_size.sqrt())
-        / 2.0;
+    let sqrt_x =
+        ((K * K * burst_size + 4.0 * target_peak_count).sqrt() - K * burst_size.sqrt()) / 2.0;
     let lambda_on = (sqrt_x * sqrt_x).max(1e-9);
     let on_fraction = (60.0 * burst_rate_rps / lambda_on).clamp(2e-4, 1.0);
     // ON episodes must span whole minutes so a peak minute stays ON
@@ -157,8 +156,12 @@ fn sample_target_ratio(rng: &mut SmallRng, weights: [f64; 4], buckets: [(f64, f6
 }
 
 /// The burstiness buckets matching the paper's Fig. 6 thresholds.
-const RATIO_BUCKETS: [(f64, f64); 4] =
-    [(2.0, 10.0), (10.0, 100.0), (100.0, 1000.0), (1000.0, 4000.0)];
+const RATIO_BUCKETS: [(f64, f64); 4] = [
+    (2.0, 10.0),
+    (10.0, 100.0),
+    (100.0, 1000.0),
+    (1000.0, 4000.0),
+];
 /// MSRC has no volume above 1000; its top bucket stops earlier.
 const MSRC_RATIO_BUCKETS: [(f64, f64); 4] =
     [(3.0, 10.0), (10.0, 80.0), (80.0, 350.0), (350.0, 400.0)];
@@ -212,8 +215,8 @@ fn alicloud_volume(config: &CorpusConfig, rng: &mut SmallRng, id: u32) -> Volume
     let (live_start, live_end) = if life < 0.157 && config.days > 1 {
         // short-lived batch job, confined to one calendar day
         let day = rng.gen_range(0..config.days);
-        let start = Timestamp::from_days(day)
-            + cbs_trace::TimeDelta::from_secs(rng.gen_range(0..46_800));
+        let start =
+            Timestamp::from_days(day) + cbs_trace::TimeDelta::from_secs(rng.gen_range(0..46_800));
         let dur = cbs_trace::TimeDelta::from_secs(rng.gen_range(1_800..36_000));
         (start, start + dur)
     } else if life < 0.25 && config.days > 3 {
@@ -237,8 +240,7 @@ fn alicloud_volume(config: &CorpusConfig, rng: &mut SmallRng, id: u32) -> Volume
     } else {
         1.0
     };
-    let avg_rate_rps =
-        sample_rate(rng, 2.55, 1.8, config.intensity_scale) * rate_class_factor;
+    let avg_rate_rps = sample_rate(rng, 2.55, 1.8, config.intensity_scale) * rate_class_factor;
     let background_fraction = rng.gen_range(0.45..0.70);
     let target_ratio = sample_target_ratio(rng, [0.26, 0.53, 0.18, 0.03], RATIO_BUCKETS);
     let (on_fraction, burst_size_mean, mean_on_secs) = solve_burst_shape(
@@ -284,8 +286,7 @@ fn alicloud_volume(config: &CorpusConfig, rng: &mut SmallRng, id: u32) -> Volume
     // read-to-read-mostly share toward the paper's 59 % while the
     // *median* volume keeps its reads on read-mostly blocks (Fig. 12).
     let high_rate = avg_rate_rps > 10.0 * 2.55 * config.intensity_scale;
-    let contained =
-        write_fraction > 0.5 && (high_rate || rng.gen::<f64>() < 0.30);
+    let contained = write_fraction > 0.5 && (high_rate || rng.gen::<f64>() < 0.30);
     let (read_start, read_len) = if contained {
         if high_rate || rng.gen::<f64>() < 0.08 {
             // fully aligned with the write region: the two hot sets
@@ -294,7 +295,10 @@ fn alicloud_volume(config: &CorpusConfig, rng: &mut SmallRng, id: u32) -> Volume
             // and feeds RAW pairs)
             (0, write_len)
         } else {
-            let len = read_len.min(write_len * 4 / 5).max(256 * BLOCK).min(write_len);
+            let len = read_len
+                .min(write_len * 4 / 5)
+                .max(256 * BLOCK)
+                .min(write_len);
             let max_start = (write_len - len) / BLOCK;
             (rng.gen_range(0..=max_start) * BLOCK, len)
         }
@@ -385,8 +389,7 @@ fn msrc_volume(config: &CorpusConfig, rng: &mut SmallRng, id: u32) -> VolumeProf
 
     // --- intensity & burstiness ---
     let rate_class_factor = if write_dominant { 0.35 } else { 2.2 };
-    let avg_rate_rps =
-        sample_rate(rng, 3.36, 1.5, config.intensity_scale) * rate_class_factor;
+    let avg_rate_rps = sample_rate(rng, 3.36, 1.5, config.intensity_scale) * rate_class_factor;
     let background_fraction = rng.gen_range(0.02..0.10);
     let target_ratio = sample_target_ratio(rng, [0.03, 0.58, 0.39, 0.0], MSRC_RATIO_BUCKETS);
     let (on_fraction, burst_size_mean, mean_on_secs) = solve_burst_shape(
@@ -420,7 +423,12 @@ fn msrc_volume(config: &CorpusConfig, rng: &mut SmallRng, id: u32) -> VolumeProf
     } else {
         log_uniform(rng, 1.5, 8.0)
     };
-    let write_len = region_for(expected_writes.max(1.0), writes_per_block, 256, capacity / 4);
+    let write_len = region_for(
+        expected_writes.max(1.0),
+        writes_per_block,
+        256,
+        capacity / 4,
+    );
     let reads_per_block = log_uniform(rng, 0.3, 3.0);
     let read_len = region_for(expected_reads.max(1.0), reads_per_block, 256, capacity / 4);
 
@@ -548,7 +556,10 @@ mod tests {
             .filter(|p| p.write_fraction > 0.5)
             .count();
         let frac = dominant as f64 / 200.0;
-        assert!((frac - 0.915).abs() < 0.07, "write-dominant fraction {frac}");
+        assert!(
+            (frac - 0.915).abs() < 0.07,
+            "write-dominant fraction {frac}"
+        );
         let extreme = corpus
             .profiles()
             .iter()

@@ -63,7 +63,9 @@ impl VolumeProfile {
                 self.write_fraction
             ));
         }
-        self.arrival.validate().map_err(|e| format!("arrival: {e}"))?;
+        self.arrival
+            .validate()
+            .map_err(|e| format!("arrival: {e}"))?;
         self.read_spatial
             .validate()
             .map_err(|e| format!("read_spatial: {e}"))?;

@@ -73,10 +73,7 @@ impl SpatialModel {
                 bs, self.region_len
             ));
         }
-        for (name, p) in [
-            ("seq_prob", self.seq_prob),
-            ("hot_prob", self.hot_prob),
-        ] {
+        for (name, p) in [("seq_prob", self.seq_prob), ("hot_prob", self.hot_prob)] {
             if !(0.0..=1.0).contains(&p) {
                 return Err(format!("{name} must be in [0,1], got {p}"));
             }
@@ -128,8 +125,8 @@ impl AddressGen {
             panic!("invalid spatial model: {e}");
         }
         let region_blocks = model.region_blocks();
-        let hot_blocks = ((region_blocks as f64 * model.hot_fraction).ceil() as u64)
-            .clamp(1, region_blocks);
+        let hot_blocks =
+            ((region_blocks as f64 * model.hot_fraction).ceil() as u64).clamp(1, region_blocks);
         let zipf_n = usize::try_from(hot_blocks.min(Zipf::MAX_N as u64)).expect("bounded");
         let zipf = Zipf::new(zipf_n, model.hot_zipf_s).expect("validated params");
         let cursor = model.region_start;
@@ -167,7 +164,7 @@ impl AddressGen {
     pub fn next_offset<R: Rng + ?Sized>(&mut self, rng: &mut R, len: u32) -> u64 {
         let bs = u64::from(self.model.block_size.bytes());
         let region_blocks = self.model.region_blocks();
-        let len_blocks = (u64::from(len) + bs - 1) / bs;
+        let len_blocks = u64::from(len).div_ceil(bs);
 
         let offset = if rng.gen::<f64>() < self.model.seq_prob {
             // continue the run; wrap to region start when past the end
@@ -196,8 +193,7 @@ impl AddressGen {
             offset
         };
         // re-align after clamping
-        let offset = self.model.region_start
-            + (offset - self.model.region_start) / bs * bs;
+        let offset = self.model.region_start + (offset - self.model.region_start) / bs * bs;
         self.cursor = offset + u64::from(len);
         offset
     }
@@ -232,7 +228,10 @@ mod tests {
             let len = 4096 * (1 + (r.gen::<u32>() % 16));
             let off = gen.next_offset(&mut r, len);
             assert!(off >= model.region_start);
-            assert!(off + u64::from(len) <= model.region_end(), "off={off} len={len}");
+            assert!(
+                off + u64::from(len) <= model.region_end(),
+                "off={off} len={len}"
+            );
             assert_eq!((off - model.region_start) % 4096, 0);
         }
     }
@@ -274,7 +273,9 @@ mod tests {
         let mut gen = AddressGen::new(model.clone());
         let mut r = rng();
         let offs: Vec<u64> = (0..20).map(|_| gen.next_offset(&mut r, 4096)).collect();
-        assert!(offs.iter().all(|&o| o >= 4096 && o + 4096 <= model.region_end()));
+        assert!(offs
+            .iter()
+            .all(|&o| o >= 4096 && o + 4096 <= model.region_end()));
         // the run must wrap (more accesses than blocks in region)
         assert!(offs.iter().filter(|&&o| o == 4096).count() >= 2);
     }
@@ -336,7 +337,9 @@ mod tests {
         let run = |seed| {
             let mut gen = AddressGen::new(model.clone());
             let mut r = SmallRng::seed_from_u64(seed);
-            (0..100).map(|_| gen.next_offset(&mut r, 4096)).collect::<Vec<_>>()
+            (0..100)
+                .map(|_| gen.next_offset(&mut r, 4096))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));

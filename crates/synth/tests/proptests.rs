@@ -91,7 +91,7 @@ proptest! {
             };
             prop_assert!(r.offset() >= spatial.region_start, "{r}");
             prop_assert!(r.end_offset() <= spatial.region_end(), "{r}");
-            prop_assert!(r.len() > 0);
+            prop_assert!(!r.is_empty());
         }
     }
 

@@ -234,7 +234,10 @@ mod tests {
         assert_eq!(BS.block_of(4095), BlockId::new(0));
         assert_eq!(BS.block_of(4096), BlockId::new(1));
         assert_eq!(BS.offset_of(BlockId::new(3)), 12288);
-        assert_eq!(BS.block_of(BS.offset_of(BlockId::new(77))), BlockId::new(77));
+        assert_eq!(
+            BS.block_of(BS.offset_of(BlockId::new(77))),
+            BlockId::new(77)
+        );
     }
 
     #[test]
@@ -270,7 +273,13 @@ mod tests {
 
     #[test]
     fn count_matches_span_len() {
-        for (off, len) in [(0u64, 1u32), (1, 4096), (4095, 2), (0, 65536), (12345, 9999)] {
+        for (off, len) in [
+            (0u64, 1u32),
+            (1, 4096),
+            (4095, 2),
+            (0, 65536),
+            (12345, 9999),
+        ] {
             let expected = BS.span(off, len).count() as u64;
             assert_eq!(BS.count(off, len), expected, "off={off} len={len}");
         }

@@ -18,7 +18,7 @@ use std::io::{BufRead, Write};
 use crate::error::{ParseRecordError, TraceError};
 use crate::{IoRequest, OpKind, Timestamp, VolumeId};
 
-use super::{field, parse_len, parse_u64};
+use super::{field, field_bytes, parse_len, parse_len_bytes, parse_u64, parse_u64_bytes};
 
 /// Parses one AliCloud CSV row into an [`IoRequest`].
 ///
@@ -56,6 +56,52 @@ pub fn parse_record(line: &str) -> Result<IoRequest, ParseRecordError> {
     let offset = parse_u64(offset, "offset")?;
     let len = parse_len(length, "length")?;
     let ts = parse_u64(timestamp, "timestamp")?;
+
+    Ok(IoRequest::new(
+        VolumeId::new(device),
+        op,
+        offset,
+        len,
+        Timestamp::from_micros(ts),
+    ))
+}
+
+/// Parses one AliCloud CSV row directly from bytes — the allocation-free
+/// fast path used by [`crate::codec::parallel::ParallelDecoder`].
+///
+/// Semantics match [`parse_record`] for ASCII input (all the release
+/// contains): fields are trimmed of ASCII whitespace and integers are
+/// parsed in place, with no per-line `String` allocation on the happy
+/// path.
+///
+/// # Errors
+///
+/// Returns a [`ParseRecordError`] describing the first malformed field.
+pub fn parse_record_bytes(line: &[u8]) -> Result<IoRequest, ParseRecordError> {
+    let mut fields = line.split(|&b| b == b',');
+    let device = field_bytes(&mut fields, 0, "device_id")?;
+    let opcode = field_bytes(&mut fields, 1, "opcode")?;
+    let offset = field_bytes(&mut fields, 2, "offset")?;
+    let length = field_bytes(&mut fields, 3, "length")?;
+    let timestamp = field_bytes(&mut fields, 4, "timestamp")?;
+
+    let device = parse_u64_bytes(device, "device_id")?;
+    let device = u32::try_from(device).map_err(|_| ParseRecordError::OutOfRange {
+        name: "device_id",
+        text: device.to_string(),
+    })?;
+    let op = match opcode {
+        b"R" | b"r" | b"Read" | b"read" | b"READ" => OpKind::Read,
+        b"W" | b"w" | b"Write" | b"write" | b"WRITE" => OpKind::Write,
+        _ => {
+            return Err(ParseRecordError::InvalidOp {
+                text: String::from_utf8_lossy(opcode).into_owned(),
+            })
+        }
+    };
+    let offset = parse_u64_bytes(offset, "offset")?;
+    let len = parse_len_bytes(length, "length")?;
+    let ts = parse_u64_bytes(timestamp, "timestamp")?;
 
     Ok(IoRequest::new(
         VolumeId::new(device),
@@ -114,9 +160,7 @@ impl<R: BufRead> Iterator for AliCloudReader<R> {
             if trimmed.is_empty() {
                 continue;
             }
-            return Some(
-                parse_record(trimmed).map_err(|e| TraceError::parse(self.line_no, e)),
-            );
+            return Some(parse_record(trimmed).map_err(|e| TraceError::parse(self.line_no, e)));
         }
     }
 }
@@ -201,9 +245,39 @@ mod tests {
     }
 
     #[test]
+    fn byte_parser_matches_str_parser() {
+        let lines = [
+            "419,W,366131200,4096,1577808000000046",
+            " 419 , W , 366131200 , 4096 , 1577808000000046 ",
+            "725,r,0,512,1",
+            "0,Read,18446744073709551615,4194304,0",
+            "419,W,366131200,4096",
+            "419,X,1,1,1",
+            "419,R,abc,1,1",
+            "419,R,0,99999999999,1",
+            "99999999999,R,0,1,1",
+            "",
+            ",,,,",
+        ];
+        for line in lines {
+            assert_eq!(
+                parse_record_bytes(line.as_bytes()),
+                parse_record(line),
+                "{line:?}"
+            );
+        }
+    }
+
+    #[test]
     fn missing_field() {
         let e = parse_record("419,W,366131200,4096").unwrap_err();
-        assert!(matches!(e, ParseRecordError::MissingField { name: "timestamp", .. }));
+        assert!(matches!(
+            e,
+            ParseRecordError::MissingField {
+                name: "timestamp",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -215,19 +289,31 @@ mod tests {
     #[test]
     fn invalid_number() {
         let e = parse_record("419,R,abc,1,1").unwrap_err();
-        assert!(matches!(e, ParseRecordError::InvalidNumber { name: "offset", .. }));
+        assert!(matches!(
+            e,
+            ParseRecordError::InvalidNumber { name: "offset", .. }
+        ));
     }
 
     #[test]
     fn oversized_length_is_out_of_range() {
         let e = parse_record("419,R,0,99999999999,1").unwrap_err();
-        assert!(matches!(e, ParseRecordError::OutOfRange { name: "length", .. }));
+        assert!(matches!(
+            e,
+            ParseRecordError::OutOfRange { name: "length", .. }
+        ));
     }
 
     #[test]
     fn oversized_device_is_out_of_range() {
         let e = parse_record("99999999999,R,0,1,1").unwrap_err();
-        assert!(matches!(e, ParseRecordError::OutOfRange { name: "device_id", .. }));
+        assert!(matches!(
+            e,
+            ParseRecordError::OutOfRange {
+                name: "device_id",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -255,7 +341,11 @@ mod tests {
             .map(|i| {
                 IoRequest::new(
                     VolumeId::new(i % 7),
-                    if i % 3 == 0 { OpKind::Read } else { OpKind::Write },
+                    if i % 3 == 0 {
+                        OpKind::Read
+                    } else {
+                        OpKind::Write
+                    },
                     u64::from(i) * 4096,
                     512 * (i + 1),
                     Timestamp::from_micros(u64::from(i) * 1000),

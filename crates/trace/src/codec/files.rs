@@ -115,9 +115,7 @@ mod tests {
         let dir = tmp("ali");
         let path = dir.join("trace.csv");
         {
-            let mut w = AliCloudWriter::new(std::io::BufWriter::new(
-                File::create(&path).unwrap(),
-            ));
+            let mut w = AliCloudWriter::new(std::io::BufWriter::new(File::create(&path).unwrap()));
             for i in 0..100 {
                 w.write_request(&req(i % 4, u64::from(i) * 10)).unwrap();
             }
@@ -155,7 +153,8 @@ mod tests {
                 File::create(dir.join(file)).unwrap(),
             ));
             for i in 0..5u64 {
-                w.write_record(&req(0, i * 7), host, 0, TimeDelta::ZERO).unwrap();
+                w.write_record(&req(0, i * 7), host, 0, TimeDelta::ZERO)
+                    .unwrap();
                 // `src1` also appears in file b, testing id stability
                 w.write_record(&req(0, i * 7 + 1), "src1", 1, TimeDelta::ZERO)
                     .unwrap();
@@ -182,7 +181,8 @@ mod tests {
             File::create(dir.join("a.csv")).unwrap(),
         ));
         for i in 0..50u64 {
-            w.write_record(&req(0, i), "host", 0, TimeDelta::ZERO).unwrap();
+            w.write_record(&req(0, i), "host", 0, TimeDelta::ZERO)
+                .unwrap();
         }
         w.into_inner().unwrap();
         let (trace, _) = load_msrc_dir(&dir, Some(7)).unwrap();

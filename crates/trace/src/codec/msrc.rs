@@ -25,7 +25,7 @@ use std::io::{BufRead, Write};
 use crate::error::{ParseRecordError, TraceError};
 use crate::{IoRequest, OpKind, TimeDelta, Timestamp, VolumeId};
 
-use super::{field, parse_len, parse_u64};
+use super::{field, field_bytes, parse_len, parse_len_bytes, parse_u64, parse_u64_bytes};
 
 /// Number of Windows 100 ns ticks per microsecond.
 const TICKS_PER_MICRO: u64 = 10;
@@ -52,6 +52,18 @@ impl MsrcRecord {
     /// The recorded device response time.
     pub fn response_time(&self) -> TimeDelta {
         self.response_time
+    }
+
+    /// Rewrites the record's volume id — used by the parallel decoder to
+    /// translate chunk-local registry ids into global ones.
+    pub(crate) fn remap_volume(&mut self, id: VolumeId) {
+        self.request = IoRequest::new(
+            id,
+            self.request.op(),
+            self.request.offset(),
+            self.request.len(),
+            self.request.ts(),
+        );
     }
 }
 
@@ -87,13 +99,20 @@ impl VolumeRegistry {
     /// Returns the id for `(hostname, disk)`, assigning the next dense id
     /// on first sight.
     pub fn resolve(&mut self, hostname: &str, disk: u32) -> VolumeId {
-        let key = format!("{hostname}_{disk}");
-        if let Some(&id) = self.by_name.get(&key) {
+        self.resolve_name(&format!("{hostname}_{disk}"))
+    }
+
+    /// Returns the id for a pre-joined `hostname_disk` name, assigning
+    /// the next dense id on first sight. Used by the parallel decoder to
+    /// merge chunk-local registries back into a global one while
+    /// preserving first-appearance id order.
+    pub fn resolve_name(&mut self, name: &str) -> VolumeId {
+        if let Some(&id) = self.by_name.get(name) {
             return id;
         }
         let id = VolumeId::new(self.names.len() as u32);
-        self.by_name.insert(key.clone(), id);
-        self.names.push(key);
+        self.by_name.insert(name.to_owned(), id);
+        self.names.push(name.to_owned());
         id
     }
 
@@ -158,6 +177,60 @@ pub fn parse_record(
     let response_ticks = parse_u64(response, "response_time")?;
 
     let volume = registry.resolve(hostname, disk);
+    Ok(MsrcRecord {
+        request: IoRequest::new(
+            volume,
+            op,
+            offset,
+            len,
+            Timestamp::from_micros(ticks / TICKS_PER_MICRO),
+        ),
+        response_time: TimeDelta::from_micros(response_ticks / TICKS_PER_MICRO),
+    })
+}
+
+/// Parses one MSRC CSV row directly from bytes — the allocation-light
+/// fast path used by [`crate::codec::parallel::ParallelDecoder`]
+/// (hostname interning aside, nothing is allocated per row).
+///
+/// Semantics match [`parse_record`] for ASCII input.
+///
+/// # Errors
+///
+/// Returns a [`ParseRecordError`] describing the first malformed field.
+pub fn parse_record_bytes(
+    line: &[u8],
+    registry: &mut VolumeRegistry,
+) -> Result<MsrcRecord, ParseRecordError> {
+    let mut fields = line.split(|&b| b == b',');
+    let timestamp = field_bytes(&mut fields, 0, "timestamp")?;
+    let hostname = field_bytes(&mut fields, 1, "hostname")?;
+    let disk = field_bytes(&mut fields, 2, "disk_number")?;
+    let kind = field_bytes(&mut fields, 3, "type")?;
+    let offset = field_bytes(&mut fields, 4, "offset")?;
+    let size = field_bytes(&mut fields, 5, "size")?;
+    let response = field_bytes(&mut fields, 6, "response_time")?;
+
+    let ticks = parse_u64_bytes(timestamp, "timestamp")?;
+    let disk = parse_u64_bytes(disk, "disk_number")?;
+    let disk = u32::try_from(disk).map_err(|_| ParseRecordError::OutOfRange {
+        name: "disk_number",
+        text: disk.to_string(),
+    })?;
+    let op = match kind {
+        b"R" | b"r" | b"Read" | b"read" | b"READ" => OpKind::Read,
+        b"W" | b"w" | b"Write" | b"write" | b"WRITE" => OpKind::Write,
+        _ => {
+            return Err(ParseRecordError::InvalidOp {
+                text: String::from_utf8_lossy(kind).into_owned(),
+            })
+        }
+    };
+    let offset = parse_u64_bytes(offset, "offset")?;
+    let len = parse_len_bytes(size, "size")?;
+    let response_ticks = parse_u64_bytes(response, "response_time")?;
+
+    let volume = registry.resolve(&String::from_utf8_lossy(hostname), disk);
     Ok(MsrcRecord {
         request: IoRequest::new(
             volume,
@@ -280,7 +353,11 @@ impl<W: Write> MsrcWriter<W> {
         disk: u32,
         response: TimeDelta,
     ) -> std::io::Result<()> {
-        writeln!(self.inner, "{}", format_record(req, hostname, disk, response))
+        writeln!(
+            self.inner,
+            "{}",
+            format_record(req, hostname, disk, response)
+        )
     }
 
     /// Writes one row deriving identity from a `hostname_disk` name
@@ -354,6 +431,37 @@ mod tests {
         assert_eq!(reg.lookup("nope_9"), None);
         let names: Vec<_> = reg.iter().map(|(_, n)| n.to_owned()).collect();
         assert_eq!(names, vec!["src1_0", "src1_1", "hm_0"]);
+    }
+
+    #[test]
+    fn byte_parser_matches_str_parser() {
+        let lines = [
+            ROW,
+            "128166372016382155,src1,0,Write,8192,4096,23855",
+            " 1 , hm , 1 , read , 0 , 512 , 0 ",
+            "1,hm,1,Erase,0,0,0",
+            "1,hm,1,Read,0,512",
+            "x,hm,1,Read,0,512,0",
+            "1,hm,99999999999,Read,0,512,0",
+        ];
+        for line in lines {
+            let mut reg_a = VolumeRegistry::new();
+            let mut reg_b = VolumeRegistry::new();
+            assert_eq!(
+                parse_record_bytes(line.as_bytes(), &mut reg_a),
+                parse_record(line, &mut reg_b),
+                "{line:?}"
+            );
+            assert_eq!(reg_a.len(), reg_b.len());
+        }
+    }
+
+    #[test]
+    fn resolve_name_matches_resolve() {
+        let mut reg = VolumeRegistry::new();
+        let a = reg.resolve_name("src1_0");
+        assert_eq!(reg.resolve("src1", 0), a);
+        assert_eq!(reg.name_of(a), Some("src1_0"));
     }
 
     #[test]
@@ -442,7 +550,10 @@ mod tests {
         let e = parse_record("1,hm,1,Read,0,512", &mut reg).unwrap_err();
         assert!(matches!(
             e,
-            ParseRecordError::MissingField { name: "response_time", .. }
+            ParseRecordError::MissingField {
+                name: "response_time",
+                ..
+            }
         ));
     }
 

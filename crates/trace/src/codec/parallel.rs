@@ -1,0 +1,716 @@
+//! Chunked parallel trace decoding.
+//!
+//! [`ParallelDecoder`] splits an input stream on newline boundaries into
+//! large chunks, parses the chunks on worker threads with the byte-slice
+//! fast-path parsers ([`alicloud::parse_record_bytes`],
+//! [`msrc::parse_record_bytes`]), and re-emits decoded batches **in
+//! input order** through a caller-supplied sink. The pipeline is
+//!
+//! ```text
+//! feeder thread          N worker threads            calling thread
+//! ┌──────────────┐  work  ┌──────────────┐  results  ┌─────────────┐
+//! │ read blocks, │ ─────► │ parse chunk  │ ────────► │ reorder by  │
+//! │ cut at '\n'  │ (seq,  │ (bytes → T)  │ (seq, out)│ seq, remap, │
+//! │ boundaries   │ bytes) │              │           │ sink(batch) │
+//! └──────────────┘        └──────────────┘           └─────────────┘
+//! ```
+//!
+//! All channels are bounded, so peak memory is
+//! `O(threads × chunk_size)` regardless of input length, and a slow sink
+//! backpressures the whole pipeline.
+//!
+//! Error semantics match the sequential readers exactly: every record on
+//! a line before the first malformed line is delivered to the sink, then
+//! decoding stops and the error is returned carrying the one-based line
+//! number of the offending row. I/O errors from the underlying reader
+//! surface after all complete chunks read before the failure have been
+//! decoded and delivered.
+//!
+//! MSRC volume identity is kept deterministic: workers intern
+//! `hostname_disk` names into chunk-local registries, and the in-order
+//! consumer remaps them into the shared global [`VolumeRegistry`], so
+//! ids are assigned in first-appearance input order — byte-identical to
+//! a sequential read.
+
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::Mutex;
+
+use crate::error::{ParseRecordError, TraceError};
+use crate::IoRequest;
+
+use super::msrc::{MsrcRecord, VolumeRegistry};
+use super::{alicloud, msrc, trim_ascii};
+
+/// Default chunk size handed to each worker (1 MiB of input text).
+pub const DEFAULT_CHUNK_SIZE: usize = 1 << 20;
+
+/// Counters describing one decode run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Records delivered to the sink.
+    pub records: u64,
+    /// Input lines consumed (blank lines and the MSRC header included).
+    pub lines: u64,
+    /// Input bytes consumed.
+    pub bytes: u64,
+    /// Chunks dispatched to workers.
+    pub chunks: u64,
+}
+
+/// Chunked, multi-threaded decoder for the supported CSV dialects.
+///
+/// Construction is cheap; the decoder holds only configuration. Threads
+/// are scoped per call — nothing outlives a `decode_*` invocation.
+///
+/// # Example
+///
+/// ```
+/// use cbs_trace::codec::parallel::ParallelDecoder;
+///
+/// let text = "419,W,0,4096,10\n725,R,4096,512,20\n";
+/// let decoder = ParallelDecoder::new().with_threads(2);
+/// let reqs = decoder.decode_alicloud_slice(text.as_bytes()).unwrap();
+/// assert_eq!(reqs.len(), 2);
+/// assert_eq!(reqs[0].volume().get(), 419); // input order is preserved
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelDecoder {
+    threads: usize,
+    chunk_size: usize,
+}
+
+impl Default for ParallelDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParallelDecoder {
+    /// Creates a decoder using every available core and the default
+    /// chunk size.
+    pub fn new() -> Self {
+        ParallelDecoder {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+
+    /// Sets the number of parser worker threads (min 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the target chunk size in bytes (min 4 KiB). Lines longer
+    /// than the chunk size are still handled — a chunk grows until it
+    /// contains at least one newline.
+    #[must_use]
+    pub fn with_chunk_size(mut self, bytes: usize) -> Self {
+        self.chunk_size = bytes.max(4096);
+        self
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Decodes AliCloud CSV from `input`, delivering batches of parsed
+    /// requests to `sink` in input order.
+    ///
+    /// # Errors
+    ///
+    /// The first parse error in input order (records on earlier lines
+    /// are still delivered first), or the reader's I/O error.
+    pub fn decode_alicloud<R, F>(&self, input: R, mut sink: F) -> Result<DecodeStats, TraceError>
+    where
+        R: Read + Send,
+        F: FnMut(Vec<IoRequest>),
+    {
+        let mut stats = DecodeStats::default();
+        let mut lines_before: u64 = 0;
+        run_pipeline(
+            self.threads,
+            ReaderChunks::new(input, self.chunk_size),
+            |chunk, _seq| parse_alicloud_chunk(chunk),
+            |out: AliChunkOut| {
+                stats.chunks += 1;
+                stats.bytes += out.bytes;
+                stats.records += out.records.len() as u64;
+                if !out.records.is_empty() {
+                    sink(out.records);
+                }
+                let base = lines_before;
+                lines_before += out.lines;
+                match out.error {
+                    None => {
+                        stats.lines += out.lines;
+                        Ok(())
+                    }
+                    Some((rel, e)) => {
+                        stats.lines += rel;
+                        Err(TraceError::parse(base + rel, e))
+                    }
+                }
+            },
+        )?;
+        Ok(stats)
+    }
+
+    /// Convenience wrapper: decodes an in-memory AliCloud CSV buffer
+    /// into a flat `Vec` (still chunked and parsed in parallel).
+    ///
+    /// # Errors
+    ///
+    /// See [`ParallelDecoder::decode_alicloud`].
+    pub fn decode_alicloud_slice(&self, bytes: &[u8]) -> Result<Vec<IoRequest>, TraceError> {
+        let mut out = Vec::new();
+        self.decode_alicloud(bytes, |batch| out.extend(batch))?;
+        Ok(out)
+    }
+
+    /// Decodes MSRC CSV from `input`, delivering batches of parsed
+    /// records to `sink` in input order. Volume ids are resolved through
+    /// `registry` in first-appearance input order, exactly as a
+    /// sequential [`super::msrc::MsrcReader`] would assign them.
+    ///
+    /// # Errors
+    ///
+    /// The first parse error in input order (records on earlier lines
+    /// are still delivered first), or the reader's I/O error.
+    pub fn decode_msrc<R, F>(
+        &self,
+        input: R,
+        registry: &mut VolumeRegistry,
+        mut sink: F,
+    ) -> Result<DecodeStats, TraceError>
+    where
+        R: Read + Send,
+        F: FnMut(Vec<MsrcRecord>),
+    {
+        let mut stats = DecodeStats::default();
+        let mut lines_before: u64 = 0;
+        run_pipeline(
+            self.threads,
+            ReaderChunks::new(input, self.chunk_size),
+            |chunk, seq| parse_msrc_chunk(chunk, seq == 0),
+            |mut out: MsrcChunkOut| {
+                stats.chunks += 1;
+                stats.bytes += out.bytes;
+                stats.records += out.records.len() as u64;
+                // Chunk-local id k maps to the global id of the k-th
+                // first-seen name in this chunk.
+                let global: Vec<_> = out
+                    .names
+                    .iter()
+                    .map(|name| registry.resolve_name(name))
+                    .collect();
+                for rec in &mut out.records {
+                    rec.remap_volume(global[rec.request().volume().as_usize()]);
+                }
+                if !out.records.is_empty() {
+                    sink(out.records);
+                }
+                let base = lines_before;
+                lines_before += out.lines;
+                match out.error {
+                    None => {
+                        stats.lines += out.lines;
+                        Ok(())
+                    }
+                    Some((rel, e)) => {
+                        stats.lines += rel;
+                        Err(TraceError::parse(base + rel, e))
+                    }
+                }
+            },
+        )?;
+        Ok(stats)
+    }
+
+    /// Convenience wrapper: decodes an in-memory MSRC CSV buffer into a
+    /// flat `Vec` plus the volume registry.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParallelDecoder::decode_msrc`].
+    pub fn decode_msrc_slice(
+        &self,
+        bytes: &[u8],
+    ) -> Result<(Vec<MsrcRecord>, VolumeRegistry), TraceError> {
+        let mut registry = VolumeRegistry::new();
+        let mut out = Vec::new();
+        self.decode_msrc(bytes, &mut registry, |batch| out.extend(batch))?;
+        Ok((out, registry))
+    }
+}
+
+// --- chunk parsing --------------------------------------------------------
+
+struct AliChunkOut {
+    records: Vec<IoRequest>,
+    lines: u64,
+    bytes: u64,
+    error: Option<(u64, ParseRecordError)>,
+}
+
+fn parse_alicloud_chunk(chunk: &[u8]) -> AliChunkOut {
+    let mut out = AliChunkOut {
+        records: Vec::new(),
+        lines: 0,
+        bytes: chunk.len() as u64,
+        error: None,
+    };
+    for line in lines_of(chunk) {
+        out.lines += 1;
+        let line = trim_ascii(line);
+        if line.is_empty() {
+            continue;
+        }
+        match alicloud::parse_record_bytes(line) {
+            Ok(req) => out.records.push(req),
+            Err(e) => {
+                out.error = Some((out.lines, e));
+                break;
+            }
+        }
+    }
+    out
+}
+
+struct MsrcChunkOut {
+    records: Vec<MsrcRecord>,
+    /// Chunk-local registry names in local-id order.
+    names: Vec<String>,
+    lines: u64,
+    bytes: u64,
+    error: Option<(u64, ParseRecordError)>,
+}
+
+fn parse_msrc_chunk(chunk: &[u8], is_first_chunk: bool) -> MsrcChunkOut {
+    let mut local = VolumeRegistry::new();
+    let mut out = MsrcChunkOut {
+        records: Vec::new(),
+        names: Vec::new(),
+        lines: 0,
+        bytes: chunk.len() as u64,
+        error: None,
+    };
+    for line in lines_of(chunk) {
+        out.lines += 1;
+        let line = trim_ascii(line);
+        if line.is_empty() {
+            continue;
+        }
+        if is_first_chunk && out.lines == 1 && line.starts_with(b"Timestamp,") {
+            continue; // header
+        }
+        match msrc::parse_record_bytes(line, &mut local) {
+            Ok(rec) => out.records.push(rec),
+            Err(e) => {
+                out.error = Some((out.lines, e));
+                break;
+            }
+        }
+    }
+    out.names = local.iter().map(|(_, name)| name.to_owned()).collect();
+    out
+}
+
+/// Iterates the lines of a chunk: pieces between `\n` separators, with
+/// a trailing empty piece after a final newline not counted as a line
+/// (mirroring `BufRead::lines`).
+fn lines_of(chunk: &[u8]) -> impl Iterator<Item = &[u8]> {
+    let body = match chunk.last() {
+        Some(b'\n') => &chunk[..chunk.len() - 1],
+        _ => chunk,
+    };
+    // An empty chunk has no lines; `split` would still yield one empty
+    // piece, so gate the iterator on chunk emptiness (`b"\n"` is one
+    // empty line, `b""` is none).
+    let mut iter = (!chunk.is_empty()).then(|| body.split(|&b| b == b'\n'));
+    std::iter::from_fn(move || iter.as_mut()?.next())
+}
+
+// --- pipeline engine ------------------------------------------------------
+
+/// Reads `R` in `chunk_size` blocks and yields chunks that end on a
+/// newline boundary (except possibly the last).
+struct ReaderChunks<R> {
+    input: R,
+    chunk_size: usize,
+    carry: Vec<u8>,
+    done: bool,
+}
+
+impl<R: Read> ReaderChunks<R> {
+    fn new(input: R, chunk_size: usize) -> Self {
+        ReaderChunks {
+            input,
+            chunk_size,
+            carry: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Reads until `buf` grew by `want` bytes or EOF; returns bytes read.
+    fn read_block(&mut self, buf: &mut Vec<u8>, want: usize) -> std::io::Result<usize> {
+        let start = buf.len();
+        buf.resize(start + want, 0);
+        let mut filled = 0;
+        while filled < want {
+            match self.input.read(&mut buf[start + filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    buf.truncate(start + filled);
+                    return Err(e);
+                }
+            }
+        }
+        buf.truncate(start + filled);
+        Ok(filled)
+    }
+}
+
+impl<R: Read> Iterator for ReaderChunks<R> {
+    type Item = std::io::Result<Vec<u8>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut buf = std::mem::take(&mut self.carry);
+        loop {
+            match self.read_block(&mut buf, self.chunk_size) {
+                Ok(0) => {
+                    // EOF: the remainder (no trailing newline) is the
+                    // final chunk.
+                    self.done = true;
+                    return if buf.is_empty() { None } else { Some(Ok(buf)) };
+                }
+                Ok(_) => match buf.iter().rposition(|&b| b == b'\n') {
+                    Some(pos) => {
+                        self.carry = buf.split_off(pos + 1);
+                        return Some(Ok(buf));
+                    }
+                    // No newline yet (line longer than chunk_size):
+                    // keep growing the block.
+                    None => continue,
+                },
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+/// Runs the feeder → workers → in-order consumer pipeline over `chunks`.
+///
+/// `worker` parses one chunk (called on worker threads); `consume` sees
+/// each worker output exactly once, in input order, on the calling
+/// thread. A `consume` error aborts the pipeline promptly: the feeder
+/// stops producing, in-flight results are drained and discarded, and
+/// the first in-order error is returned.
+fn run_pipeline<C, I, P, W, F>(
+    threads: usize,
+    chunks: I,
+    worker: W,
+    mut consume: F,
+) -> Result<(), TraceError>
+where
+    C: AsRef<[u8]> + Send,
+    I: Iterator<Item = std::io::Result<C>> + Send,
+    P: Send,
+    W: Fn(&[u8], u64) -> P + Sync,
+    F: FnMut(P) -> Result<(), TraceError>,
+{
+    let abort = AtomicBool::new(false);
+    let (work_tx, work_rx) = sync_channel::<(u64, C)>(threads * 2);
+    let work_rx = Mutex::new(work_rx);
+    let (result_tx, result_rx) = sync_channel::<(u64, P)>(threads * 2);
+
+    std::thread::scope(|scope| {
+        // Feeder: pull chunks, stamp sequence numbers, stop on abort.
+        let feeder = scope.spawn({
+            let abort = &abort;
+            move || -> Option<std::io::Error> {
+                let mut chunks = chunks;
+                let mut seq = 0u64;
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        return None;
+                    }
+                    match chunks.next() {
+                        Some(Ok(chunk)) => {
+                            if work_tx.send((seq, chunk)).is_err() {
+                                return None;
+                            }
+                            seq += 1;
+                        }
+                        Some(Err(e)) => return Some(e),
+                        None => return None,
+                    }
+                }
+                // work_tx drops here, closing the work channel.
+            }
+        });
+
+        for _ in 0..threads {
+            let result_tx = result_tx.clone();
+            let work_rx = &work_rx;
+            let worker = &worker;
+            scope.spawn(move || {
+                loop {
+                    // Hold the lock only to dequeue; parsing runs unlocked.
+                    let item = work_rx.lock().expect("decoder mutex poisoned").recv();
+                    let Ok((seq, chunk)) = item else { break };
+                    let out = worker(chunk.as_ref(), seq);
+                    if result_tx.send((seq, out)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        // The consumer must observe channel close when workers finish.
+        drop(result_tx);
+
+        // Consumer (this thread): restore input order, feed the sink.
+        let mut failure: Option<TraceError> = None;
+        let mut pending: BTreeMap<u64, P> = BTreeMap::new();
+        let mut next_seq = 0u64;
+        for (seq, out) in result_rx {
+            if failure.is_some() {
+                continue; // drain so the pipeline can unwind
+            }
+            pending.insert(seq, out);
+            while let Some(out) = pending.remove(&next_seq) {
+                next_seq += 1;
+                if let Err(e) = consume(out) {
+                    abort.store(true, Ordering::Relaxed);
+                    pending.clear();
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+
+        let io_failure = feeder.join().expect("decoder feeder does not panic");
+        match (failure, io_failure) {
+            // A parse error always precedes (in input order) anything
+            // the feeder failed on later.
+            (Some(e), _) => Err(e),
+            (None, Some(io)) => Err(TraceError::Io(io)),
+            (None, None) => Ok(()),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::alicloud::{AliCloudReader, AliCloudWriter};
+    use super::super::msrc::MsrcReader;
+    use super::*;
+    use crate::{OpKind, Timestamp, VolumeId};
+
+    fn sample_csv(rows: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = AliCloudWriter::new(&mut buf);
+        for i in 0..rows {
+            let req = IoRequest::new(
+                VolumeId::new((i % 13) as u32),
+                if i % 3 == 0 {
+                    OpKind::Read
+                } else {
+                    OpKind::Write
+                },
+                (i as u64 % 50) * 4096,
+                4096 + (i as u32 % 4) * 512,
+                Timestamp::from_micros(i as u64 * 100),
+            );
+            w.write_request(&req).unwrap();
+        }
+        buf
+    }
+
+    #[test]
+    fn matches_sequential_reader() {
+        let csv = sample_csv(10_000);
+        let sequential: Vec<IoRequest> = AliCloudReader::new(&csv[..])
+            .collect::<Result<_, _>>()
+            .unwrap();
+        for threads in [1, 2, 4] {
+            let decoder = ParallelDecoder::new()
+                .with_threads(threads)
+                .with_chunk_size(4096);
+            let parallel = decoder.decode_alicloud_slice(&csv).unwrap();
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batches_arrive_in_order_with_stats() {
+        let csv = sample_csv(5_000);
+        let decoder = ParallelDecoder::new().with_threads(4).with_chunk_size(4096);
+        let mut collected = Vec::new();
+        let stats = decoder
+            .decode_alicloud(&csv[..], |batch| collected.extend(batch))
+            .unwrap();
+        assert_eq!(stats.records, 5_000);
+        assert_eq!(stats.lines, 5_000);
+        assert_eq!(stats.bytes, csv.len() as u64);
+        assert!(stats.chunks > 1, "{stats:?}");
+        let ts: Vec<_> = collected.iter().map(|r| r.ts()).collect();
+        let mut sorted = ts.clone();
+        sorted.sort();
+        assert_eq!(ts, sorted, "input order preserved");
+    }
+
+    #[test]
+    fn error_line_numbers_match_sequential() {
+        let mut csv = sample_csv(1_000);
+        // Corrupt one row in the middle.
+        let text = String::from_utf8(csv.clone()).unwrap();
+        let byte_of_line_500: usize = text.lines().take(499).map(|l| l.len() + 1).sum();
+        csv.splice(byte_of_line_500..byte_of_line_500, *b"bogus,");
+
+        let seq_err = AliCloudReader::new(&csv[..])
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        let decoder = ParallelDecoder::new().with_threads(4).with_chunk_size(4096);
+        let mut delivered = 0usize;
+        let par_err = decoder
+            .decode_alicloud(&csv[..], |batch| delivered += batch.len())
+            .unwrap_err();
+        assert_eq!(par_err.line(), seq_err.line());
+        assert_eq!(par_err.line(), Some(500));
+        // Every record before the bad line was delivered.
+        assert_eq!(delivered, 499);
+    }
+
+    #[test]
+    fn blank_lines_and_missing_trailing_newline() {
+        let text = "419,W,0,4096,10\n\n  \n725,R,4096,512,20";
+        let decoder = ParallelDecoder::new().with_threads(2);
+        let reqs = decoder.decode_alicloud_slice(text.as_bytes()).unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[1].volume(), VolumeId::new(725));
+    }
+
+    #[test]
+    fn empty_input() {
+        let decoder = ParallelDecoder::new();
+        let stats = decoder.decode_alicloud(&b""[..], |_| {}).unwrap();
+        assert_eq!(stats, DecodeStats::default());
+    }
+
+    #[test]
+    fn long_lines_grow_chunks() {
+        // A comment-free format has no long lines, but a chunk smaller
+        // than one line must still work.
+        let csv = sample_csv(100);
+        let decoder = ParallelDecoder::new().with_threads(2).with_chunk_size(4096);
+        // with_chunk_size clamps at 4 KiB; craft a single line longer
+        // than that.
+        let mut big = vec![b' '; 8192];
+        big.extend_from_slice(b"419,W,0,4096,10\n");
+        big.extend_from_slice(&csv);
+        let reqs = decoder.decode_alicloud_slice(&big).unwrap();
+        assert_eq!(reqs.len(), 101);
+    }
+
+    #[test]
+    fn msrc_ids_match_sequential() {
+        let mut buf = String::new();
+        buf.push_str("Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime\n");
+        let hosts = ["src1", "hm", "proj", "web", "usr"];
+        for i in 0..5_000u64 {
+            let host = hosts[(i / 7 % 5) as usize];
+            let disk = i % 3;
+            buf.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                128_166_372_003_061_629u64 + i * 10_000,
+                host,
+                disk,
+                if i % 4 == 0 { "Read" } else { "Write" },
+                i * 4096,
+                4096,
+                1000 + i
+            ));
+        }
+        let seq_reader = MsrcReader::new(buf.as_bytes());
+        let mut seq_records = Vec::new();
+        let mut seq_reader = seq_reader;
+        for item in &mut seq_reader {
+            seq_records.push(item.unwrap());
+        }
+        let seq_registry = seq_reader.into_registry();
+
+        let decoder = ParallelDecoder::new().with_threads(4).with_chunk_size(4096);
+        let (par_records, par_registry) = decoder.decode_msrc_slice(buf.as_bytes()).unwrap();
+        assert_eq!(par_records, seq_records);
+        assert_eq!(par_registry.len(), seq_registry.len());
+        for (id, name) in seq_registry.iter() {
+            assert_eq!(par_registry.name_of(id), Some(name));
+        }
+    }
+
+    #[test]
+    fn io_error_surfaces_after_complete_chunks() {
+        struct FailAfter {
+            data: Vec<u8>,
+            pos: usize,
+        }
+        impl Read for FailAfter {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.pos >= self.data.len() {
+                    return Err(std::io::Error::other("disk on fire"));
+                }
+                let n = buf.len().min(self.data.len() - self.pos);
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        let csv = sample_csv(2_000);
+        let total = AliCloudReader::new(&csv[..]).count();
+        let decoder = ParallelDecoder::new().with_threads(2).with_chunk_size(4096);
+        let mut delivered = 0usize;
+        let err = decoder
+            .decode_alicloud(FailAfter { data: csv, pos: 0 }, |batch| {
+                delivered += batch.len()
+            })
+            .unwrap_err();
+        assert!(matches!(err, TraceError::Io(_)));
+        // At most the final partial block (plus carry) is lost.
+        assert!(delivered >= total - 250, "{delivered} of {total}");
+        assert!(delivered > 0);
+    }
+
+    #[test]
+    fn lines_of_counts_like_bufread_lines() {
+        let cases: [(&[u8], usize); 6] = [
+            (b"", 0),
+            (b"\n", 1),
+            (b"a", 1),
+            (b"a\n", 1),
+            (b"a\n\nb\n", 3),
+            (b"a\nb", 2),
+        ];
+        for (input, want) in cases {
+            assert_eq!(lines_of(input).count(), want, "{input:?}");
+            assert_eq!(
+                std::io::BufRead::lines(input).count(),
+                want,
+                "BufRead {input:?}"
+            );
+        }
+    }
+}

@@ -138,7 +138,7 @@ mod tests {
 
     #[test]
     fn io_error_wraps() {
-        let e = TraceError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        let e = TraceError::from(io::Error::other("boom"));
         assert_eq!(e.line(), None);
         assert!(e.to_string().contains("boom"));
         assert!(e.source().is_some());
@@ -148,7 +148,10 @@ mod tests {
     fn record_error_messages() {
         let cases: Vec<(ParseRecordError, &str)> = vec![
             (
-                ParseRecordError::MissingField { index: 2, name: "offset" },
+                ParseRecordError::MissingField {
+                    index: 2,
+                    name: "offset",
+                },
                 "missing field #2",
             ),
             (

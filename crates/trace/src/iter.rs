@@ -153,7 +153,8 @@ mod tests {
 
     #[test]
     fn merges_empty_inputs() {
-        let merged: Vec<_> = MergeByTime::new(Vec::<std::vec::IntoIter<IoRequest>>::new()).collect();
+        let merged: Vec<_> =
+            MergeByTime::new(Vec::<std::vec::IntoIter<IoRequest>>::new()).collect();
         assert!(merged.is_empty());
         let merged: Vec<_> =
             MergeByTime::new(vec![Vec::new().into_iter(), Vec::new().into_iter()]).collect();

@@ -69,6 +69,7 @@ pub mod trace;
 pub mod volume;
 
 pub use block::{BlockId, BlockSize, BlockSpan};
+pub use codec::parallel::{DecodeStats, ParallelDecoder};
 pub use error::{ParseRecordError, TraceError};
 pub use iter::MergeByTime;
 pub use op::OpKind;

@@ -45,13 +45,7 @@ impl IoRequest {
     /// zero-length records exist in the real corpora and are preserved by
     /// the codecs — analyses decide how to treat them).
     #[inline]
-    pub const fn new(
-        volume: VolumeId,
-        op: OpKind,
-        offset: u64,
-        len: u32,
-        ts: Timestamp,
-    ) -> Self {
+    pub const fn new(volume: VolumeId, op: OpKind, offset: u64, len: u32, ts: Timestamp) -> Self {
         IoRequest {
             volume,
             op,
@@ -128,7 +122,7 @@ impl IoRequest {
     /// `delta` microseconds forward.
     #[inline]
     pub fn shifted_by(mut self, delta: crate::TimeDelta) -> Self {
-        self.ts = self.ts + delta;
+        self.ts += delta;
         self
     }
 

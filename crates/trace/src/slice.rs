@@ -81,10 +81,8 @@ impl Trace {
     /// The `k` volumes with the most requests, descending; useful for
     /// top-traffic analyses (Fig. 10(b)).
     pub fn top_volumes_by_requests(&self, k: usize) -> Vec<VolumeId> {
-        let mut counts: Vec<(VolumeId, usize)> = self
-            .volumes()
-            .map(|v| (v.id(), v.len()))
-            .collect();
+        let mut counts: Vec<(VolumeId, usize)> =
+            self.volumes().map(|v| (v.id(), v.len())).collect();
         counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         counts.truncate(k);
         counts.into_iter().map(|(id, _)| id).collect()

@@ -474,8 +474,14 @@ mod tests {
 
     #[test]
     fn from_secs_f64_rounds() {
-        assert_eq!(TimeDelta::from_secs_f64(0.0000015), TimeDelta::from_micros(2));
-        assert_eq!(TimeDelta::from_secs_f64(1.25), TimeDelta::from_micros(1_250_000));
+        assert_eq!(
+            TimeDelta::from_secs_f64(0.0000015),
+            TimeDelta::from_micros(2)
+        );
+        assert_eq!(
+            TimeDelta::from_secs_f64(1.25),
+            TimeDelta::from_micros(1_250_000)
+        );
     }
 
     #[test]
@@ -503,10 +509,7 @@ mod tests {
 
     #[test]
     fn sum_of_deltas() {
-        let total: TimeDelta = [1u64, 2, 3]
-            .into_iter()
-            .map(TimeDelta::from_secs)
-            .sum();
+        let total: TimeDelta = [1u64, 2, 3].into_iter().map(TimeDelta::from_secs).sum();
         assert_eq!(total, TimeDelta::from_secs(6));
     }
 }

@@ -48,9 +48,17 @@ impl Trace {
     /// Builds a trace from requests in any order.
     ///
     /// Requests are sorted by `(volume, timestamp)`; the sort is stable,
-    /// so records with equal keys keep their input order.
+    /// so records with equal keys keep their input order. Input that is
+    /// already in volume-major time order (e.g. the output of
+    /// [`Trace::requests`] or a per-volume generator) is detected with
+    /// one linear scan and not re-sorted.
     pub fn from_requests(mut requests: Vec<IoRequest>) -> Self {
-        requests.sort_by_key(|r| (r.volume(), r.ts()));
+        let sorted = requests
+            .windows(2)
+            .all(|w| (w[0].volume(), w[0].ts()) <= (w[1].volume(), w[1].ts()));
+        if !sorted {
+            requests.sort_by_key(|r| (r.volume(), r.ts()));
+        }
         let mut index: Vec<(VolumeId, Range<usize>)> = Vec::new();
         for (i, req) in requests.iter().enumerate() {
             match index.last_mut() {
@@ -97,10 +105,7 @@ impl Trace {
 
     /// Returns the view of one volume, or `None` if it has no requests.
     pub fn volume(&self, id: VolumeId) -> Option<VolumeView<'_>> {
-        let pos = self
-            .index
-            .binary_search_by_key(&id, |(v, _)| *v)
-            .ok()?;
+        let pos = self.index.binary_search_by_key(&id, |(v, _)| *v).ok()?;
         let (vol, range) = &self.index[pos];
         Some(VolumeView {
             id: *vol,
@@ -274,12 +279,36 @@ mod tests {
         assert_eq!(ids, vec![VolumeId::new(0), VolumeId::new(1)]);
         let v1 = t.volume(VolumeId::new(1)).unwrap();
         assert_eq!(
-            v1.requests().iter().map(|r| r.ts().as_micros()).collect::<Vec<_>>(),
+            v1.requests()
+                .iter()
+                .map(|r| r.ts().as_micros())
+                .collect::<Vec<_>>(),
             vec![10, 30]
         );
         assert_eq!(v1.id(), VolumeId::new(1));
         assert_eq!(v1.len(), 2);
         assert!(!v1.is_empty());
+    }
+
+    #[test]
+    fn presorted_input_builds_identical_trace() {
+        // Behavior preservation for the is-sorted fast path: shuffled
+        // input and already-volume-major input produce the same trace,
+        // including the stable order of duplicate (volume, ts) keys.
+        let shuffled = vec![mk(1, 30), mk(0, 20), mk(1, 10), mk(0, 40), mk(1, 10)];
+        let a = Trace::from_requests(shuffled);
+        let b = Trace::from_requests(a.requests().to_vec());
+        assert_eq!(a.requests(), b.requests());
+        assert_eq!(
+            a.volume_ids().collect::<Vec<_>>(),
+            b.volume_ids().collect::<Vec<_>>()
+        );
+        for v in a.volume_ids() {
+            assert_eq!(
+                a.volume(v).unwrap().requests(),
+                b.volume(v).unwrap().requests()
+            );
+        }
     }
 
     #[test]
@@ -307,8 +336,7 @@ mod tests {
     fn from_records_propagates_errors() {
         let ok: Vec<Result<IoRequest, String>> = vec![Ok(mk(0, 1)), Ok(mk(0, 2))];
         assert_eq!(Trace::from_records(ok).unwrap().request_count(), 2);
-        let bad: Vec<Result<IoRequest, String>> =
-            vec![Ok(mk(0, 1)), Err("bad".to_owned())];
+        let bad: Vec<Result<IoRequest, String>> = vec![Ok(mk(0, 1)), Err("bad".to_owned())];
         assert_eq!(Trace::from_records(bad).unwrap_err(), "bad");
     }
 

@@ -5,9 +5,7 @@ use proptest::prelude::*;
 use cbs_trace::codec::alicloud::{self, AliCloudReader, AliCloudWriter};
 use cbs_trace::codec::msrc::{self, MsrcReader, MsrcWriter, VolumeRegistry};
 use cbs_trace::iter::{is_sorted_by_time, sort_by_time};
-use cbs_trace::{
-    BlockSize, IoRequest, MergeByTime, OpKind, TimeDelta, Timestamp, Trace, VolumeId,
-};
+use cbs_trace::{BlockSize, IoRequest, MergeByTime, OpKind, TimeDelta, Timestamp, Trace, VolumeId};
 
 fn arb_op() -> impl Strategy<Value = OpKind> {
     prop_oneof![Just(OpKind::Read), Just(OpKind::Write)]
@@ -148,5 +146,62 @@ proptest! {
         // global time order is sorted as well
         let merged: Vec<_> = trace.iter_time_ordered().collect();
         prop_assert!(is_sorted_by_time(&merged));
+    }
+}
+
+proptest! {
+    /// Parallel chunked decoding is byte-equivalent to sequential
+    /// reading for every chunk size: records that straddle chunk
+    /// boundaries are never mis-parsed, dropped, or reordered.
+    #[test]
+    fn parallel_decode_matches_sequential_across_chunk_sizes(
+        reqs in proptest::collection::vec(arb_request(), 0..400),
+        chunk_size in 4096usize..16384,
+        threads in 1usize..5,
+    ) {
+        let mut buf = Vec::new();
+        AliCloudWriter::new(&mut buf).write_all(&reqs).unwrap();
+        let sequential: Vec<IoRequest> = AliCloudReader::new(&buf[..])
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let decoder = cbs_trace::ParallelDecoder::new()
+            .with_threads(threads)
+            .with_chunk_size(chunk_size);
+        let parallel = decoder.decode_alicloud_slice(&buf).unwrap();
+        prop_assert_eq!(parallel, sequential);
+    }
+
+    /// The same boundary property for MSRC, including deterministic
+    /// first-appearance volume-id assignment across chunks.
+    #[test]
+    fn parallel_msrc_decode_matches_sequential(
+        reqs in proptest::collection::vec(arb_request(), 0..300),
+        chunk_size in 4096usize..16384,
+        threads in 1usize..5,
+    ) {
+        let mut buf = Vec::new();
+        {
+            let mut w = MsrcWriter::new(&mut buf);
+            for r in &reqs {
+                w.write_record(r, "host", r.volume().get() % 7, TimeDelta::from_micros(5))
+                    .unwrap();
+            }
+        }
+        let mut seq_reader = MsrcReader::new(&buf[..]);
+        let mut sequential = Vec::new();
+        for item in &mut seq_reader {
+            sequential.push(item.unwrap());
+        }
+        let seq_registry = seq_reader.into_registry();
+
+        let decoder = cbs_trace::ParallelDecoder::new()
+            .with_threads(threads)
+            .with_chunk_size(chunk_size);
+        let (parallel, par_registry) = decoder.decode_msrc_slice(&buf).unwrap();
+        prop_assert_eq!(parallel, sequential);
+        prop_assert_eq!(par_registry.len(), seq_registry.len());
+        for (id, name) in seq_registry.iter() {
+            prop_assert_eq!(par_registry.name_of(id), Some(name));
+        }
     }
 }

@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let restored = Trace::from_records(reader)?;
     assert_eq!(restored.request_count(), trace.request_count());
     assert_eq!(restored.volume_count(), trace.volume_count());
-    println!("round-trip OK: {} requests restored", restored.request_count());
+    println!(
+        "round-trip OK: {} requests restored",
+        restored.request_count()
+    );
 
     // 3. Re-emit in the MSRC format (hostname = "cbs", disk = volume).
     {

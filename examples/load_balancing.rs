@@ -70,7 +70,10 @@ fn main() {
     };
 
     println!("placing {} volumes on {NODES} nodes\n", metrics.len());
-    println!("{:<22} {:>16} {:>12}", "strategy", "max node peak", "imbalance");
+    println!(
+        "{:<22} {:>16} {:>12}",
+        "strategy", "max node peak", "imbalance"
+    );
     for (name, assignment) in [
         ("round-robin", &round_robin),
         ("greedy by average", &by_avg),

@@ -52,8 +52,12 @@ fn main() {
     let coverage = analysis.update_coverage();
     println!("\n--- update coverage (Finding 11) ---");
     if let Some((mean, median, p90)) = coverage.table_row() {
-        println!("mean {mean:.1}%, median {median:.1}%, p90 {p90:.1}%",
-            mean = mean * 100.0, median = median * 100.0, p90 = p90 * 100.0);
+        println!(
+            "mean {mean:.1}%, median {median:.1}%, p90 {p90:.1}%",
+            mean = mean * 100.0,
+            median = median * 100.0,
+            p90 = p90 * 100.0
+        );
     }
 
     let lru = analysis.lru_miss_ratios();

@@ -22,9 +22,8 @@ fn main() {
     }
 
     // Fleet-level counts per trait.
-    let count = |probe: fn(&VolumeTrait) -> bool| {
-        assessments.iter().filter(|a| a.has(probe)).count()
-    };
+    let count =
+        |probe: fn(&VolumeTrait) -> bool| assessments.iter().filter(|a| a.has(probe)).count();
     let total = assessments.len().max(1);
     let pct = |n: usize| n as f64 / total as f64 * 100.0;
 

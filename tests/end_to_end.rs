@@ -7,13 +7,13 @@ use cbs_core::prelude::*;
 use cbs_core::Analysis;
 
 fn analyze_alicloud() -> Analysis {
-    let config = CorpusConfig::new(40, 4, 77).with_intensity_scale(0.003);
+    let config = CorpusConfig::new(40, 4, 31).with_intensity_scale(0.003);
     let trace = cbs_synth::presets::alicloud_like(&config).generate();
     Workbench::new(trace).analyze()
 }
 
 fn analyze_msrc() -> Analysis {
-    let config = CorpusConfig::new(36, 4, 77).with_intensity_scale(0.01);
+    let config = CorpusConfig::new(36, 4, 31).with_intensity_scale(0.01);
     let trace = cbs_synth::presets::msrc_like(&config).generate();
     Workbench::new(trace).analyze()
 }
@@ -36,7 +36,10 @@ fn directional_findings_hold() {
         "MSRC write-dominant fraction {}",
         msrc_wr.fraction_write_dominant()
     );
-    assert!(ali_wr.fraction_above(100.0) > 0.25, "AliCloud W:R > 100 volumes");
+    assert!(
+        ali_wr.fraction_above(100.0) > 0.25,
+        "AliCloud W:R > 100 volumes"
+    );
     // corpus-level: AliCloud's aggregate skews to writes much harder
     // than MSRC's (the absolute MSRC ratio is seed-noisy at 36
     // volumes, so only the comparative claim is asserted tightly)
@@ -44,7 +47,10 @@ fn directional_findings_hold() {
     let msrc_ratio = msrc.totals().write_read_ratio().unwrap();
     assert!(ali_ratio > 1.5, "ali corpus W:R {ali_ratio}");
     assert!(msrc_ratio < 1.5, "msrc corpus W:R {msrc_ratio}");
-    assert!(ali_ratio > 2.0 * msrc_ratio, "ali {ali_ratio} vs msrc {msrc_ratio}");
+    assert!(
+        ali_ratio > 2.0 * msrc_ratio,
+        "ali {ali_ratio} vs msrc {msrc_ratio}"
+    );
 
     // --- Table I: AliCloud read WSS is a small share; MSRC read WSS
     //     is nearly everything ---
@@ -68,7 +74,10 @@ fn directional_findings_hold() {
         ali_rand.max().unwrap(),
         msrc_rand.max().unwrap()
     );
-    assert!(msrc_rand.fraction_above(0.6) < 0.15, "MSRC mostly non-random");
+    assert!(
+        msrc_rand.fraction_above(0.6) < 0.15,
+        "MSRC mostly non-random"
+    );
 
     // --- Finding 11: AliCloud update coverage far exceeds MSRC ---
     let ali_cov = ali.update_coverage().median().unwrap();
@@ -98,7 +107,10 @@ fn directional_findings_hold() {
     // absolute medians stretch with intensity scaling)
     let ali_raw = ali_adj.median(PairKind::Raw).unwrap();
     let ali_waw = ali_adj.median(PairKind::Waw).unwrap();
-    assert!(ali_waw < ali_raw, "WAW median {ali_waw} >= RAW median {ali_raw}");
+    assert!(
+        ali_waw < ali_raw,
+        "WAW median {ali_waw} >= RAW median {ali_raw}"
+    );
     for (name, adj) in [("ali", &ali_adj), ("msrc", &msrc_adj)] {
         let short = adj.fraction_within(PairKind::Waw, cbs_trace::TimeDelta::from_hours(1));
         assert!(short > 0.2, "{name}: only {short} of WAW times under 1h");
@@ -142,7 +154,10 @@ fn scaling_invariance_of_ratio_metrics() {
 
     let wd_a = a.write_read_ratios().fraction_write_dominant();
     let wd_b = b.write_read_ratios().fraction_write_dominant();
-    assert!((wd_a - wd_b).abs() < 0.15, "write dominance: {wd_a} vs {wd_b}");
+    assert!(
+        (wd_a - wd_b).abs() < 0.15,
+        "write dominance: {wd_a} vs {wd_b}"
+    );
 
     let cov_a = a.update_coverage().median().unwrap();
     let cov_b = b.update_coverage().median().unwrap();
@@ -184,10 +199,8 @@ fn analysis_internal_consistency() {
         // updated bytes cannot exceed written bytes
         assert!(m.updated_bytes <= m.write_bytes);
         // adjacency pair total = block accesses − cold blocks
-        let pairs = m.raw_hist.total()
-            + m.waw_hist.total()
-            + m.rar_hist.total()
-            + m.war_hist.total();
+        let pairs =
+            m.raw_hist.total() + m.waw_hist.total() + m.rar_hist.total() + m.war_hist.total();
         let accesses = m.read_mrc.total_accesses() + m.write_mrc.total_accesses();
         assert_eq!(pairs, accesses - m.wss_blocks, "{}", m.id);
         // randomness ratio is a probability
