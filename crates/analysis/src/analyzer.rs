@@ -7,7 +7,7 @@ use cbs_cache::ReuseDistances;
 use cbs_stats::LogHistogram;
 use cbs_trace::{IoRequest, OpKind, Timestamp, Trace, VolumeId, VolumeView};
 
-use crate::config::AnalysisConfig;
+use crate::config::{AnalysisConfig, InvalidConfig};
 use crate::metrics::VolumeMetrics;
 
 /// Per-block running state shared by the spatial and temporal metrics.
@@ -88,16 +88,19 @@ impl VolumeAnalyzer {
     /// indices (pass the corpus start so indices are comparable across
     /// volumes).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config` fails [`AnalysisConfig::validate`].
-    pub fn new(id: VolumeId, epoch: Timestamp, config: AnalysisConfig) -> Self {
-        if let Err(e) = config.validate() {
-            panic!("invalid analysis config: {e}");
-        }
+    /// Returns [`InvalidConfig`] if `config` fails
+    /// [`AnalysisConfig::validate`].
+    pub fn new(
+        id: VolumeId,
+        epoch: Timestamp,
+        config: AnalysisConfig,
+    ) -> Result<Self, InvalidConfig> {
+        config.validate()?;
         let bits = config.hist_precision_bits;
         let hist = || LogHistogram::new(bits);
-        VolumeAnalyzer {
+        Ok(VolumeAnalyzer {
             offset_window: Vec::with_capacity(config.randomness_window),
             config,
             epoch,
@@ -132,20 +135,24 @@ impl VolumeAnalyzer {
             write_distance_hist: Vec::new(),
             read_cold: 0,
             write_cold: 0,
-        }
+        })
     }
 
     /// Runs a whole volume view through a fresh analyzer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidConfig`] if `config` fails validation.
     pub fn analyze_volume(
         view: VolumeView<'_>,
         epoch: Timestamp,
         config: &AnalysisConfig,
-    ) -> VolumeMetrics {
-        let mut analyzer = VolumeAnalyzer::new(view.id(), epoch, config.clone());
+    ) -> Result<VolumeMetrics, InvalidConfig> {
+        let mut analyzer = VolumeAnalyzer::new(view.id(), epoch, config.clone())?;
         for req in view.requests() {
             analyzer.observe(req);
         }
-        analyzer.finish()
+        Ok(analyzer.finish())
     }
 
     /// Processes one request.
@@ -288,13 +295,12 @@ impl VolumeAnalyzer {
 
     /// Completes the analysis.
     ///
-    /// # Panics
-    ///
-    /// Panics if no request was observed (empty volumes carry no
-    /// metrics; [`analyze_trace`] never produces them).
+    /// An analyzer that observed no requests yields all-zero metrics
+    /// spanning `[epoch, epoch]` ([`analyze_trace`] never produces
+    /// empty volumes, so this only matters for hand-driven sessions).
     pub fn finish(mut self) -> VolumeMetrics {
-        let first_ts = self.first_ts.expect("analyzer observed no requests");
-        let last_ts = self.last_ts.expect("analyzer observed no requests");
+        let first_ts = self.first_ts.unwrap_or(self.epoch);
+        let last_ts = self.last_ts.unwrap_or(self.epoch);
         self.peak_max = self.peak_max.max(self.peak_bin_count);
 
         // --- aggregate block-level results ---
@@ -404,7 +410,15 @@ fn top_shares(traffic: &mut [u64], f1: f64, f10: f64) -> Option<(f64, f64)> {
 /// Analyzes every volume of a trace sequentially, returning metrics in
 /// volume-id order. Interval/day indices are anchored at the trace
 /// start.
-pub fn analyze_trace(trace: &Trace, config: &AnalysisConfig) -> Vec<VolumeMetrics> {
+///
+/// # Errors
+///
+/// Returns [`InvalidConfig`] if `config` fails validation.
+pub fn analyze_trace(
+    trace: &Trace,
+    config: &AnalysisConfig,
+) -> Result<Vec<VolumeMetrics>, InvalidConfig> {
+    config.validate()?;
     let epoch = trace.start().unwrap_or(Timestamp::ZERO);
     trace
         .volumes()
@@ -430,6 +444,7 @@ mod tests {
     fn analyze(requests: Vec<IoRequest>) -> VolumeMetrics {
         let trace = Trace::from_requests(requests);
         analyze_trace(&trace, &AnalysisConfig::default())
+            .expect("valid config")
             .into_iter()
             .next()
             .expect("one volume")
@@ -578,7 +593,7 @@ mod tests {
                 Timestamp::from_days(3),
             ),
         ]);
-        let metrics = analyze_trace(&trace, &AnalysisConfig::default());
+        let metrics = analyze_trace(&trace, &AnalysisConfig::default()).expect("valid config");
         assert_eq!(metrics[0].active_days, vec![0]);
         assert_eq!(metrics[1].active_days, vec![3]);
     }
@@ -647,7 +662,7 @@ mod tests {
             IoRequest::new(VolumeId::new(5), OpKind::Read, 0, 512, Timestamp::ZERO),
             IoRequest::new(VolumeId::new(1), OpKind::Read, 0, 512, Timestamp::ZERO),
         ]);
-        let metrics = analyze_trace(&trace, &AnalysisConfig::default());
+        let metrics = analyze_trace(&trace, &AnalysisConfig::default()).expect("valid config");
         assert_eq!(metrics.len(), 2);
         assert_eq!(metrics[0].id, VolumeId::new(1));
         assert_eq!(metrics[1].id, VolumeId::new(5));
@@ -655,7 +670,8 @@ mod tests {
 
     #[test]
     fn empty_trace_yields_no_metrics() {
-        let metrics = analyze_trace(&Trace::new(), &AnalysisConfig::default());
+        let metrics =
+            analyze_trace(&Trace::new(), &AnalysisConfig::default()).expect("valid config");
         assert!(metrics.is_empty());
     }
 }

@@ -47,24 +47,46 @@ impl Default for AnalysisConfig {
     }
 }
 
+/// A rejected [`AnalysisConfig`]: the typed error every constructor
+/// taking a config propagates instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidConfig(String);
+
+impl InvalidConfig {
+    /// Human-readable description of the first invalid field.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for InvalidConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid analysis config: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidConfig {}
+
 impl AnalysisConfig {
     /// Validates parameter ranges.
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns an [`InvalidConfig`] naming the first invalid field.
+    pub fn validate(&self) -> Result<(), InvalidConfig> {
         if self.randomness_window == 0 {
-            return Err("randomness_window must be non-zero".to_owned());
+            return Err(InvalidConfig(
+                "randomness_window must be non-zero".to_owned(),
+            ));
         }
         if self.active_interval.is_zero() || self.peak_interval.is_zero() {
-            return Err("intervals must be non-zero".to_owned());
+            return Err(InvalidConfig("intervals must be non-zero".to_owned()));
         }
         if !(0.0..=1.0).contains(&self.rw_mostly_threshold) {
-            return Err(format!(
+            return Err(InvalidConfig(format!(
                 "rw_mostly_threshold must be in [0,1], got {}",
                 self.rw_mostly_threshold
-            ));
+            )));
         }
         for (name, f) in [
             ("top_fractions.0", self.top_fractions.0),
@@ -73,14 +95,14 @@ impl AnalysisConfig {
             ("cache_fractions.1", self.cache_fractions.1),
         ] {
             if !(f > 0.0 && f <= 1.0) {
-                return Err(format!("{name} must be in (0,1], got {f}"));
+                return Err(InvalidConfig(format!("{name} must be in (0,1], got {f}")));
             }
         }
         if !(1..=16).contains(&self.hist_precision_bits) {
-            return Err(format!(
+            return Err(InvalidConfig(format!(
                 "hist_precision_bits must be in 1..=16, got {}",
                 self.hist_precision_bits
-            ));
+            )));
         }
         Ok(())
     }
@@ -109,7 +131,7 @@ mod tests {
         let broken = |f: &dyn Fn(&mut AnalysisConfig)| {
             let mut c = AnalysisConfig::default();
             f(&mut c);
-            c.validate().unwrap_err()
+            c.validate().unwrap_err().message().to_owned()
         };
         assert!(broken(&|c| c.randomness_window = 0).contains("randomness_window"));
         assert!(broken(&|c| c.active_interval = TimeDelta::ZERO).contains("intervals"));

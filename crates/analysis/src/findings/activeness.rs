@@ -1,4 +1,4 @@
-//! Findings 5-7 — volume activeness (Figs. 3, 8, 9).
+//! Findings 5-7 (F5, F6, F7) — volume activeness (Figs. 3, 8, 9).
 
 use cbs_stats::Cdf;
 

@@ -1,4 +1,5 @@
-//! Findings 12-13 — same-block adjacency times (Figs. 14-15, Table V).
+//! Findings 12-13 (F12, F13) — same-block adjacency times
+//! (Figs. 14-15, Table V).
 
 use cbs_stats::LogHistogram;
 use cbs_trace::TimeDelta;

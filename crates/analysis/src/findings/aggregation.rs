@@ -1,4 +1,4 @@
-//! Finding 9 — traffic aggregation in top blocks (Fig. 11).
+//! Finding 9 (F9) — traffic aggregation in top blocks (Fig. 11).
 
 use cbs_stats::BoxplotSummary;
 

@@ -1,4 +1,5 @@
-//! Table I — basic corpus statistics.
+//! Table I — basic corpus statistics (corpus context shared by all
+//! findings, F1-F15).
 
 use crate::metrics::VolumeMetrics;
 

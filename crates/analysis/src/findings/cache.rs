@@ -1,4 +1,4 @@
-//! Finding 15 — LRU miss ratios (Fig. 18).
+//! Finding 15 (F15) — LRU miss ratios (Fig. 18).
 
 use cbs_stats::BoxplotSummary;
 

@@ -1,5 +1,5 @@
-//! Findings 1-3 — load intensities and burstiness (Fig. 5, Table II,
-//! Fig. 6).
+//! Findings 1-3 (F1, F2, F3) — load intensities and burstiness
+//! (Fig. 5, Table II, Fig. 6).
 
 use cbs_stats::{Cdf, TimeBins};
 use cbs_trace::Trace;
@@ -24,7 +24,7 @@ impl IntensitySeries {
             .iter()
             .map(|m| (m.avg_intensity(), m.peak_intensity(config)))
             .collect();
-        pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("intensities are finite"));
+        pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
         IntensitySeries {
             avg: pairs.iter().map(|p| p.0).collect(),
             peak: pairs.iter().map(|p| p.1).collect(),

@@ -1,4 +1,4 @@
-//! Finding 4 — inter-arrival time percentiles (Fig. 7).
+//! Finding 4 (F4) — inter-arrival time percentiles (Fig. 7).
 
 use cbs_stats::BoxplotSummary;
 
@@ -27,11 +27,11 @@ impl InterarrivalBoxplots {
                 continue;
             }
             for (slot, &p) in PAPER_PERCENTILES.iter().enumerate() {
-                let v = m
-                    .interarrival_hist
-                    .quantile(p / 100.0)
-                    .expect("non-empty histogram");
-                values_us[slot].push(v as f64);
+                // The histogram is non-empty (checked above), so every
+                // quantile resolves.
+                if let Some(v) = m.interarrival_hist.quantile(p / 100.0) {
+                    values_us[slot].push(v as f64);
+                }
             }
         }
         let boxplots = std::array::from_fn(|i| BoxplotSummary::from_unsorted(values_us[i].clone()));

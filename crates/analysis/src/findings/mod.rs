@@ -1,4 +1,5 @@
-//! Per-finding data builders.
+//! Per-finding data builders, keyed to the paper's numbered findings
+//! F1-F15 (each submodule cites the IDs it reproduces).
 //!
 //! Each submodule turns `&[VolumeMetrics]` (and, where the paper
 //! aggregates across volumes in time, the trace itself) into the exact
@@ -108,7 +109,7 @@ pub(crate) mod testutil {
             ));
         }
         let trace = Trace::from_requests(reqs);
-        let metrics = analyze_trace(&trace, &AnalysisConfig::default());
+        let metrics = analyze_trace(&trace, &AnalysisConfig::default()).expect("valid config");
         (trace, metrics)
     }
 }

@@ -1,4 +1,4 @@
-//! Finding 8 — randomness ratios (Fig. 10).
+//! Finding 8 (F8) — randomness ratios (Fig. 10).
 
 use cbs_stats::Cdf;
 use cbs_trace::VolumeId;

@@ -1,4 +1,5 @@
-//! Fig. 2 — request-size distributions.
+//! Fig. 2 — request-size distributions (corpus context shared by all
+//! findings, F1-F15).
 
 use cbs_stats::{Cdf, LogHistogram};
 

@@ -1,4 +1,4 @@
-//! Finding 10 — read-mostly / write-mostly block aggregation
+//! Finding 10 (F10) — read-mostly / write-mostly block aggregation
 //! (Table III, Fig. 12).
 
 use cbs_stats::Cdf;

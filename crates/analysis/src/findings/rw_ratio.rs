@@ -1,4 +1,5 @@
-//! Fig. 4 — per-volume write-to-read ratios.
+//! Fig. 4 — per-volume write-to-read ratios (the write-dominance
+//! context behind F6 and F7).
 
 use cbs_stats::Cdf;
 

@@ -1,4 +1,4 @@
-//! Finding 11 — update coverage (Table IV, Fig. 13).
+//! Finding 11 (F11) — update coverage (Table IV, Fig. 13).
 
 use cbs_stats::{Cdf, Quantiles};
 

@@ -1,4 +1,4 @@
-//! Finding 14 — update intervals (Table VI, Figs. 16-17).
+//! Finding 14 (F14) — update intervals (Table VI, Figs. 16-17).
 
 use cbs_stats::{BoxplotSummary, LogHistogram};
 use cbs_trace::TimeDelta;
@@ -65,8 +65,12 @@ impl OverallUpdateIntervals {
         if self.hist.is_empty() {
             return None;
         }
+        // The histogram is non-empty (checked above), so every quantile
+        // resolves; 0.0 is a dead fallback.
         Some(PAPER_PERCENTILES.map(|p| {
-            TimeDelta::from_micros(self.hist.quantile(p / 100.0).expect("non-empty")).as_hours_f64()
+            self.hist
+                .quantile(p / 100.0)
+                .map_or(0.0, |us| TimeDelta::from_micros(us).as_hours_f64())
         }))
     }
 }
@@ -93,11 +97,11 @@ impl UpdateIntervalBoxplots {
                 continue;
             }
             for (slot, &p) in PAPER_PERCENTILES.iter().enumerate() {
-                let us = m
-                    .update_interval_hist
-                    .quantile(p / 100.0)
-                    .expect("non-empty");
-                values_hours[slot].push(TimeDelta::from_micros(us).as_hours_f64());
+                // The histogram is non-empty (checked above), so every
+                // quantile resolves.
+                if let Some(us) = m.update_interval_hist.quantile(p / 100.0) {
+                    values_hours[slot].push(TimeDelta::from_micros(us).as_hours_f64());
+                }
             }
         }
         let boxplots =
@@ -144,10 +148,7 @@ impl IntervalGroupProportions {
 
     /// Boxplot of one group's proportions.
     pub fn boxplot(&self, group: IntervalGroup) -> Option<BoxplotSummary> {
-        let idx = IntervalGroup::ALL
-            .iter()
-            .position(|&g| g == group)
-            .expect("group in ALL");
+        let idx = IntervalGroup::ALL.iter().position(|&g| g == group)?;
         BoxplotSummary::from_unsorted(self.proportions[idx].clone())
     }
 

@@ -1,4 +1,4 @@
-//! Machine-checked verdicts for the 15 findings.
+//! Machine-checked verdicts for the 15 findings (F1-F15).
 //!
 //! Each of the paper's findings reduces to a *directional claim* — who
 //! is burstier, which distribution sits to the left, which counts

@@ -30,7 +30,7 @@
 //!     IoRequest::new(VolumeId::new(0), OpKind::Write, 0, 4096, Timestamp::from_secs(60)),
 //!     IoRequest::new(VolumeId::new(0), OpKind::Read, 4096, 4096, Timestamp::from_secs(90)),
 //! ]);
-//! let metrics = analyze_trace(&trace, &AnalysisConfig::default());
+//! let metrics = analyze_trace(&trace, &AnalysisConfig::default()).unwrap();
 //! let v = &metrics[0];
 //! assert_eq!(v.writes, 2);
 //! assert_eq!(v.wss_blocks, 2);
@@ -49,5 +49,5 @@ pub mod recommend;
 pub mod windowed;
 
 pub use analyzer::{analyze_trace, VolumeAnalyzer};
-pub use config::AnalysisConfig;
+pub use config::{AnalysisConfig, InvalidConfig};
 pub use metrics::VolumeMetrics;

@@ -69,7 +69,7 @@ fn bench_policies_at_fig18_points(c: &mut Criterion) {
     // volume of the corpus.
     let trace = cbs_bench::alicloud_trace();
     let config = AnalysisConfig::default();
-    let metrics = analyze_trace(&trace, &config);
+    let metrics = analyze_trace(&trace, &config).expect("valid config");
     let busiest = metrics
         .iter()
         .max_by_key(|m| m.requests())

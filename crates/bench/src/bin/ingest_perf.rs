@@ -50,7 +50,7 @@ fn bounded_corpus() -> cbs_synth::CorpusGenerator {
             p
         })
         .collect();
-    cbs_synth::CorpusGenerator::new(profiles)
+    cbs_synth::CorpusGenerator::new(profiles).expect("clamped profiles stay valid")
 }
 
 fn peak_rss_kb() -> u64 {

@@ -68,21 +68,20 @@ impl Arc {
     }
 
     /// The REPLACE subroutine: evicts one resident block from T1 or T2
-    /// into the corresponding ghost list and returns it.
-    fn replace(&mut self, in_b2: bool) -> BlockId {
+    /// into the corresponding ghost list and returns it. `None` only if
+    /// both lists are empty, which REPLACE's callers never allow.
+    fn replace(&mut self, in_b2: bool) -> Option<BlockId> {
         let from_t1 =
             !self.t1.is_empty() && (self.t1.len() > self.p || (in_b2 && self.t1.len() == self.p));
         if from_t1 {
-            let victim = self.t1.pop_lru().expect("t1 non-empty");
+            let victim = self.t1.pop_lru()?;
             self.b1.push_mru(victim);
-            victim
+            Some(victim)
         } else {
-            let victim = self
-                .t2
-                .pop_lru()
-                .expect("replace invariant: t2 non-empty when t1 side not chosen");
+            debug_assert!(!self.t2.is_empty(), "REPLACE called on an empty cache");
+            let victim = self.t2.pop_lru()?;
             self.b2.push_mru(victim);
-            victim
+            Some(victim)
         }
     }
 }
@@ -111,20 +110,26 @@ impl CachePolicy for Arc {
         if self.b1.contains(block) {
             let delta = (self.b2.len() / self.b1.len().max(1)).max(1);
             self.p = (self.p + delta).min(self.capacity);
-            let victim = self.replace(false);
+            let evicted = self.replace(false);
             self.b1.remove(block);
             self.t2.push_mru(block);
-            return AccessResult::miss_evicting(victim);
+            return AccessResult {
+                hit: false,
+                evicted,
+            };
         }
 
         // Case III: ghost hit in B2 → shrink p, replace, admit into T2.
         if self.b2.contains(block) {
             let delta = (self.b1.len() / self.b2.len().max(1)).max(1);
             self.p = self.p.saturating_sub(delta);
-            let victim = self.replace(true);
+            let evicted = self.replace(true);
             self.b2.remove(block);
             self.t2.push_mru(block);
-            return AccessResult::miss_evicting(victim);
+            return AccessResult {
+                hit: false,
+                evicted,
+            };
         }
 
         // Case IV: full miss.
@@ -132,10 +137,10 @@ impl CachePolicy for Arc {
         let evicted = if l1 == self.capacity {
             if self.t1.len() < self.capacity {
                 self.b1.pop_lru();
-                Some(self.replace(false))
+                self.replace(false)
             } else {
                 // B1 empty and T1 full: discard T1's LRU outright.
-                Some(self.t1.pop_lru().expect("t1 full"))
+                self.t1.pop_lru()
             }
         } else {
             let total = l1 + self.t2.len() + self.b2.len();
@@ -143,7 +148,7 @@ impl CachePolicy for Arc {
                 if total == 2 * self.capacity {
                     self.b2.pop_lru();
                 }
-                Some(self.replace(false))
+                self.replace(false)
             } else {
                 None
             }

@@ -58,9 +58,12 @@ impl CachePolicy for Fifo {
             return AccessResult::HIT;
         }
         let evicted = if self.resident.len() == self.capacity {
-            let victim = self.queue.pop_front().expect("full cache has a front");
-            self.resident.remove(&victim);
-            Some(victim)
+            // A full cache always has a front to pop.
+            let victim = self.queue.pop_front();
+            if let Some(v) = victim {
+                self.resident.remove(&v);
+            }
+            victim
         } else {
             None
         };

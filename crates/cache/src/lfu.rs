@@ -67,10 +67,11 @@ impl CachePolicy for Lfu {
             return AccessResult::HIT;
         }
         let evicted = if self.meta.len() == self.capacity {
-            let &victim_key = self.order.iter().next().expect("full cache is non-empty");
-            self.order.remove(&victim_key);
-            self.meta.remove(&victim_key.2);
-            Some(victim_key.2)
+            // A full cache has a non-empty order set.
+            self.order.pop_first().map(|(_, _, victim)| {
+                self.meta.remove(&victim);
+                victim
+            })
         } else {
             None
         };

@@ -91,8 +91,8 @@ impl LinkedSet {
                 next: None,
             },
         );
-        if let Some(m) = old_mru {
-            self.nodes.get_mut(&m).expect("mru node exists").next = Some(block);
+        if let Some(node) = old_mru.and_then(|m| self.nodes.get_mut(&m)) {
+            node.next = Some(block);
         }
         self.mru = Some(block);
         if self.lru.is_none() {
@@ -122,12 +122,25 @@ impl LinkedSet {
     /// The node itself stays in the map (callers re-insert or remove).
     fn unlink(&mut self, block: BlockId) {
         let node = self.nodes[&block];
+        // Neighbour links always resolve: `prev`/`next` are keys of
+        // nodes in the same map. The `if let`s keep the structure
+        // panic-free; the debug asserts document the invariant.
         match node.prev {
-            Some(p) => self.nodes.get_mut(&p).expect("prev exists").next = node.next,
+            Some(p) => {
+                debug_assert!(self.nodes.contains_key(&p), "prev link dangles");
+                if let Some(prev) = self.nodes.get_mut(&p) {
+                    prev.next = node.next;
+                }
+            }
             None => self.lru = node.next,
         }
         match node.next {
-            Some(n) => self.nodes.get_mut(&n).expect("next exists").prev = node.prev,
+            Some(n) => {
+                debug_assert!(self.nodes.contains_key(&n), "next link dangles");
+                if let Some(next) = self.nodes.get_mut(&n) {
+                    next.prev = node.prev;
+                }
+            }
             None => self.mru = node.prev,
         }
     }

@@ -81,8 +81,11 @@ impl CachePolicy for Lru {
             return AccessResult::HIT;
         }
         if self.set.len() > self.capacity {
-            let victim = self.set.pop_lru().expect("over-full cache has an LRU");
-            AccessResult::miss_evicting(victim)
+            // An over-full set always has an LRU to pop.
+            match self.set.pop_lru() {
+                Some(victim) => AccessResult::miss_evicting(victim),
+                None => AccessResult::MISS,
+            }
         } else {
             AccessResult::MISS
         }

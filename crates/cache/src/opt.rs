@@ -83,9 +83,10 @@ pub fn simulate_opt(accesses: &[BlockId], capacity: usize) -> OptResult {
             hits += 1;
             by_next_use.remove(&(key, block));
         } else if resident.len() == capacity {
-            let &(victim_key, victim) = by_next_use.iter().next_back().expect("full cache");
-            by_next_use.remove(&(victim_key, victim));
-            resident.remove(&victim);
+            // A full cache has a non-empty next-use set.
+            if let Some((_, victim)) = by_next_use.pop_last() {
+                resident.remove(&victim);
+            }
         }
         resident.insert(block, next_use[i]);
         by_next_use.insert((next_use[i], block));

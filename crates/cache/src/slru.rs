@@ -108,20 +108,20 @@ impl CachePolicy for Slru {
             // promote; overflow of the protected segment demotes its LRU
             self.protected.push_mru(block);
             if self.protected.len() > self.protected_capacity {
-                let demoted = self.protected.pop_lru().expect("over-full protected");
-                self.probation.push_mru(demoted);
+                // An over-full protected segment always has an LRU.
+                if let Some(demoted) = self.protected.pop_lru() {
+                    self.probation.push_mru(demoted);
+                }
             }
             return AccessResult::HIT;
         }
         // miss: admit to probation, evicting the probationary LRU when
         // the cache is full
         let evicted = if self.len() == self.capacity {
-            let victim = match self.probation.pop_lru() {
-                Some(v) => v,
+            self.probation
+                .pop_lru()
                 // pathological: everything is protected — evict there
-                None => self.protected.pop_lru().expect("full cache is non-empty"),
-            };
-            Some(victim)
+                .or_else(|| self.protected.pop_lru())
         } else {
             None
         };

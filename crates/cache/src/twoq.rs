@@ -55,11 +55,8 @@ impl TwoQ {
             return None;
         }
         if self.a1in.len() > self.kin || self.am.is_empty() {
-            let victim = self
-                .a1in
-                .pop_lru()
-                .or_else(|| self.am.pop_lru())
-                .expect("full cache is non-empty");
+            // A full cache is non-empty, so one of the pops succeeds.
+            let victim = self.a1in.pop_lru().or_else(|| self.am.pop_lru())?;
             // A1in victims get a ghost entry
             self.a1out.push_mru(victim);
             if self.a1out.len() > self.kout {
@@ -67,7 +64,7 @@ impl TwoQ {
             }
             Some(victim)
         } else {
-            Some(self.am.pop_lru().expect("am non-empty"))
+            self.am.pop_lru()
         }
     }
 }

@@ -1,36 +1,38 @@
 //! Parallel per-volume analysis driver.
 
-use cbs_analysis::{AnalysisConfig, VolumeAnalyzer, VolumeMetrics};
+use cbs_analysis::{AnalysisConfig, InvalidConfig, VolumeAnalyzer, VolumeMetrics};
 use cbs_trace::{Timestamp, Trace};
 
 /// Analyzes every volume of `trace` using up to `threads` worker
 /// threads (volumes are independent, so the fan-out is embarrassingly
 /// parallel; results are returned in volume-id order regardless of
-/// scheduling).
+/// scheduling). `threads` is clamped to at least one worker.
 ///
 /// Workers steal volume indices from a shared atomic cursor and keep
 /// their finished `(index, metrics)` pairs thread-local; results are
 /// scattered into ordered slots only after the workers join, so no lock
 /// is taken per volume.
 ///
+/// # Errors
+///
+/// Returns [`InvalidConfig`] if `config` fails validation.
+///
 /// # Panics
 ///
-/// Panics if `threads` is zero or the config is invalid.
+/// Propagates panics from worker threads (e.g. the analyzer's
+/// debug-build ordering assertions).
 pub fn analyze_trace_parallel(
     trace: &Trace,
     config: &AnalysisConfig,
     threads: usize,
-) -> Vec<VolumeMetrics> {
-    assert!(threads > 0, "need at least one worker thread");
-    if let Err(e) = config.validate() {
-        panic!("invalid analysis config: {e}");
-    }
+) -> Result<Vec<VolumeMetrics>, InvalidConfig> {
+    config.validate()?;
     let epoch = trace.start().unwrap_or(Timestamp::ZERO);
     let views: Vec<_> = trace.volumes().collect();
     if views.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
-    let threads = threads.min(views.len());
+    let threads = threads.clamp(1, views.len());
 
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut per_worker: Vec<Vec<(usize, VolumeMetrics)>> = std::thread::scope(|scope| {
@@ -43,8 +45,13 @@ pub fn analyze_trace_parallel(
                         if idx >= views.len() {
                             break;
                         }
-                        let metrics = VolumeAnalyzer::analyze_volume(views[idx], epoch, config);
-                        local.push((idx, metrics));
+                        // The config was validated at entry, so the
+                        // per-volume run cannot be rejected.
+                        if let Ok(metrics) =
+                            VolumeAnalyzer::analyze_volume(views[idx], epoch, config)
+                        {
+                            local.push((idx, metrics));
+                        }
                     }
                     local
                 })
@@ -52,7 +59,10 @@ pub fn analyze_trace_parallel(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("analysis workers do not panic"))
+            .map(|h| match h.join() {
+                Ok(local) => local,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
 
@@ -60,10 +70,11 @@ pub fn analyze_trace_parallel(
     for (idx, metrics) in per_worker.drain(..).flatten() {
         slots[idx] = Some(metrics);
     }
-    slots
-        .into_iter()
-        .map(|m| m.expect("every slot filled"))
-        .collect()
+    debug_assert!(
+        slots.iter().all(Option::is_some),
+        "a cursor slot was skipped"
+    );
+    Ok(slots.into_iter().flatten().collect())
 }
 
 /// The default worker count: the machine's available parallelism.
@@ -101,8 +112,8 @@ mod tests {
     fn parallel_matches_sequential() {
         let trace = sample_trace(8, 200);
         let config = AnalysisConfig::default();
-        let seq = analyze_trace(&trace, &config);
-        let par = analyze_trace_parallel(&trace, &config, 4);
+        let seq = analyze_trace(&trace, &config).expect("valid config");
+        let par = analyze_trace_parallel(&trace, &config, 4).expect("valid config");
         assert_eq!(seq.len(), par.len());
         for (s, p) in seq.iter().zip(&par) {
             assert_eq!(s.id, p.id);
@@ -120,20 +131,31 @@ mod tests {
     #[test]
     fn more_threads_than_volumes() {
         let trace = sample_trace(2, 10);
-        let out = analyze_trace_parallel(&trace, &AnalysisConfig::default(), 16);
+        let out = analyze_trace_parallel(&trace, &AnalysisConfig::default(), 16).unwrap();
         assert_eq!(out.len(), 2);
     }
 
     #[test]
     fn empty_trace() {
-        let out = analyze_trace_parallel(&Trace::new(), &AnalysisConfig::default(), 4);
+        let out = analyze_trace_parallel(&Trace::new(), &AnalysisConfig::default(), 4).unwrap();
         assert!(out.is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "worker thread")]
-    fn zero_threads_rejected() {
-        let _ = analyze_trace_parallel(&Trace::new(), &AnalysisConfig::default(), 0);
+    fn zero_threads_clamped_to_one() {
+        let trace = sample_trace(2, 5);
+        let out = analyze_trace_parallel(&trace, &AnalysisConfig::default(), 0).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let config = AnalysisConfig {
+            randomness_window: 0,
+            ..AnalysisConfig::default()
+        };
+        let err = analyze_trace_parallel(&Trace::new(), &config, 4).unwrap_err();
+        assert!(err.message().contains("randomness_window"));
     }
 
     #[test]

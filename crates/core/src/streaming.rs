@@ -47,7 +47,7 @@ use std::collections::HashMap;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 
-use cbs_analysis::{AnalysisConfig, VolumeAnalyzer, VolumeMetrics};
+use cbs_analysis::{AnalysisConfig, InvalidConfig, VolumeAnalyzer, VolumeMetrics};
 use cbs_trace::{IoRequest, Timestamp, VolumeId};
 
 /// Default number of requests buffered per shard before a batch is
@@ -107,16 +107,13 @@ impl StreamingWorkbench {
 
     /// Uses custom analysis parameters.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the config is invalid.
-    #[must_use]
-    pub fn with_config(mut self, config: AnalysisConfig) -> Self {
-        if let Err(e) = config.validate() {
-            panic!("invalid analysis config: {e}");
-        }
+    /// Returns [`InvalidConfig`] if the config fails validation.
+    pub fn with_config(mut self, config: AnalysisConfig) -> Result<Self, InvalidConfig> {
+        config.validate()?;
         self.config = config;
-        self
+        Ok(self)
     }
 
     /// Sets the number of shard worker threads (min 1). Volumes are
@@ -238,11 +235,14 @@ impl StreamingSession {
         if self.buffers[shard].is_empty() {
             return;
         }
+        // `observe` sets the epoch before buffering anything, so a
+        // non-empty buffer implies the epoch is known.
+        let Some(epoch) = self.epoch else { return };
         let batch = std::mem::take(&mut self.buffers[shard]);
-        let epoch = self.epoch.expect("epoch set before first flush");
-        self.senders[shard]
-            .send((epoch, batch))
-            .expect("shard worker alive while session holds its sender");
+        // A send fails only when the worker is gone, i.e. it panicked;
+        // the panic is re-raised when `finish` joins the worker, so the
+        // lost batch is irrelevant here.
+        let _ = self.senders[shard].send((epoch, batch));
     }
 
     /// Flushes all buffers, waits for the shard workers, and returns
@@ -259,7 +259,10 @@ impl StreamingSession {
         drop(std::mem::take(&mut self.senders)); // close channels
         let mut metrics: Vec<VolumeMetrics> = Vec::new();
         for handle in self.handles.drain(..) {
-            metrics.extend(handle.join().expect("shard worker panicked"));
+            match handle.join() {
+                Ok(shard_metrics) => metrics.extend(shard_metrics),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
         metrics.sort_by_key(|m| m.id);
         metrics
@@ -273,10 +276,19 @@ fn shard_worker(rx: Receiver<Batch>, config: AnalysisConfig) -> Vec<VolumeMetric
     let mut analyzers: HashMap<VolumeId, VolumeAnalyzer> = HashMap::new();
     for (epoch, batch) in rx {
         for req in batch {
-            analyzers
-                .entry(req.volume())
-                .or_insert_with(|| VolumeAnalyzer::new(req.volume(), epoch, config.clone()))
-                .observe(&req);
+            match analyzers.get_mut(&req.volume()) {
+                Some(analyzer) => analyzer.observe(&req),
+                // `with_config` validated the config, so the
+                // constructor cannot be rejected here.
+                None => {
+                    if let Ok(mut analyzer) =
+                        VolumeAnalyzer::new(req.volume(), epoch, config.clone())
+                    {
+                        analyzer.observe(&req);
+                        analyzers.insert(req.volume(), analyzer);
+                    }
+                }
+            }
         }
     }
     analyzers

@@ -15,7 +15,7 @@ use cbs_analysis::findings::{
     update_coverage::UpdateCoverage,
     update_interval::{IntervalGroupProportions, OverallUpdateIntervals, UpdateIntervalBoxplots},
 };
-use cbs_analysis::{AnalysisConfig, VolumeMetrics};
+use cbs_analysis::{AnalysisConfig, InvalidConfig, VolumeMetrics};
 use cbs_trace::Trace;
 
 use crate::parallel::{analyze_trace_parallel, default_threads};
@@ -53,14 +53,12 @@ impl Workbench {
 
     /// Creates a workbench with custom parameters.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the config is invalid.
-    pub fn with_config(trace: Trace, config: AnalysisConfig) -> Self {
-        if let Err(e) = config.validate() {
-            panic!("invalid analysis config: {e}");
-        }
-        Workbench { trace, config }
+    /// Returns [`InvalidConfig`] if the config fails validation.
+    pub fn with_config(trace: Trace, config: AnalysisConfig) -> Result<Self, InvalidConfig> {
+        config.validate()?;
+        Ok(Workbench { trace, config })
     }
 
     /// The trace under analysis.
@@ -79,13 +77,14 @@ impl Workbench {
         self.analyze_with_threads(default_threads())
     }
 
-    /// Characterizes every volume with an explicit worker count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads` is zero.
+    /// Characterizes every volume with an explicit worker count
+    /// (clamped to at least one).
     pub fn analyze_with_threads(self, threads: usize) -> Analysis {
-        let metrics = analyze_trace_parallel(&self.trace, &self.config, threads);
+        let metrics = match analyze_trace_parallel(&self.trace, &self.config, threads) {
+            Ok(metrics) => metrics,
+            // cbs-lint: allow(no-panic-in-lib) -- both constructors validate the config, so rejection is unreachable
+            Err(e) => unreachable!("validated config rejected: {e}"),
+        };
         Analysis {
             trace: self.trace,
             config: self.config,
@@ -298,12 +297,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid analysis config")]
     fn with_config_validates() {
         let config = AnalysisConfig {
             rw_mostly_threshold: 2.0,
             ..AnalysisConfig::default()
         };
-        let _ = Workbench::with_config(Trace::new(), config);
+        let err = Workbench::with_config(Trace::new(), config).unwrap_err();
+        assert!(err.message().contains("rw_mostly_threshold"));
+
+        let ok = Workbench::with_config(Trace::new(), AnalysisConfig::default());
+        assert!(ok.is_ok());
     }
 }

@@ -1,0 +1,45 @@
+//! `cbs-lint` — self-contained static analysis for the cbs-workbench.
+//!
+//! The paper's pipeline is a single streaming pass over ~20 billion
+//! requests; one stray `unwrap()` deep in a shard worker kills hours of
+//! analysis with no diagnostic. This crate enforces the workspace's
+//! panic-freedom and traceability policy *mechanically*, the way
+//! `cargo-deny`/`dylint` would if this build environment were not
+//! offline: a hand-rolled [`lexer`] (so rules never fire inside
+//! strings or comments), a pluggable [`rules::Rule`] engine producing
+//! structured [`diag::Diagnostic`]s, machine-readable `--json` output,
+//! and inline suppression with mandatory justifications
+//! ([`suppress`]).
+//!
+//! Run it over the workspace:
+//!
+//! ```text
+//! cargo run -p cbs-lint -- crates            # human output
+//! cargo run -p cbs-lint -- --json crates     # CI gate input
+//! cargo run -p cbs-lint -- --list-rules
+//! ```
+//!
+//! Suppress a single finding, with a required justification:
+//!
+//! ```text
+//! // cbs-lint: allow(no-panic-in-lib) -- index < len checked above
+//! ```
+//!
+//! Unused suppressions and suppressions without a `--` justification
+//! are themselves diagnostics, so allows cannot rot. See `DESIGN.md`
+//! §"Panic-freedom policy" for the policy this enforces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod suppress;
+
+pub use diag::{Diagnostic, Severity};
+pub use engine::{lint_files, lint_paths, LintRun};
+pub use source::SourceFile;

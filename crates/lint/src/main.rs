@@ -1,0 +1,84 @@
+//! CLI for `cbs-lint`: `cbs-lint [--json] [--list-rules] [paths…]`.
+//!
+//! Exit codes: 0 = clean, 1 = diagnostics reported, 2 = usage or I/O
+//! error. With no paths, lints `crates` under the current directory.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cbs_lint::diag::{render_human, to_json_array, Severity};
+use cbs_lint::engine::lint_paths;
+use cbs_lint::rules::all_rules;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut list_rules = false;
+    let mut roots: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("cbs-lint: unknown flag {flag}");
+                print_usage();
+                return ExitCode::from(2);
+            }
+            path => roots.push(PathBuf::from(path)),
+        }
+    }
+    if list_rules {
+        for rule in all_rules() {
+            println!("{:<24} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if roots.is_empty() {
+        roots.push(PathBuf::from("crates"));
+    }
+
+    let run = match lint_paths(&roots) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("cbs-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", to_json_array(&run.diagnostics));
+    } else {
+        for d in &run.diagnostics {
+            print!("{}", render_human(d, run.snippet(d)));
+        }
+        eprintln!(
+            "cbs-lint: {} file(s) scanned, {} diagnostic(s)",
+            run.files.len(),
+            run.diagnostics.len()
+        );
+    }
+    let failing = run
+        .diagnostics
+        .iter()
+        .any(|d| d.severity == Severity::Error);
+    if failing {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: cbs-lint [--json] [--list-rules] [paths…]\n\
+         \n\
+         Lints .rs files under the given paths (default: crates).\n\
+         --json        machine-readable diagnostics array\n\
+         --list-rules  print the rule set and exit"
+    );
+}

@@ -1,0 +1,184 @@
+//! `finding-traceability`: every findings module cites its paper
+//! finding, and all 15 findings are covered.
+//!
+//! The IISWC'20 study reports 15 numbered findings (`F1`–`F15`). Each
+//! module under `crates/analysis/src/findings/` must say in a doc
+//! comment which finding(s) it reproduces, and the union across modules
+//! must cover all 15 — so a reader can go from any paper claim to the
+//! code that checks it, and a refactor cannot silently drop one.
+
+use std::collections::BTreeSet;
+
+use crate::diag::Diagnostic;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// Number of findings in the paper.
+pub const FINDING_COUNT: u32 = 15;
+
+const FINDINGS_DIR: &str = "crates/analysis/src/findings/";
+
+/// See module docs.
+#[derive(Debug)]
+pub struct FindingTraceability;
+
+impl Rule for FindingTraceability {
+    fn name(&self) -> &'static str {
+        "finding-traceability"
+    }
+
+    fn description(&self) -> &'static str {
+        "findings modules must cite paper finding IDs (F1-F15); all 15 must be covered"
+    }
+
+    fn check_file(&self, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+        if !file.path.contains(FINDINGS_DIR) || file.is_test_path {
+            return;
+        }
+        if cited_ids(file).is_empty() {
+            diags.push(Diagnostic::error(
+                file.path.clone(),
+                1,
+                1,
+                self.name(),
+                format!(
+                    "findings module cites no paper finding ID; add e.g. `//! … (F7)` \
+                     (F1-F{FINDING_COUNT})"
+                ),
+            ));
+        }
+    }
+
+    fn check_workspace(&self, files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+        let findings_files: Vec<&SourceFile> = files
+            .iter()
+            .filter(|f| f.path.contains(FINDINGS_DIR) && !f.is_test_path)
+            .collect();
+        if findings_files.is_empty() {
+            return; // nothing scanned; per-file runs cover fixtures
+        }
+        let mut covered: BTreeSet<u32> = BTreeSet::new();
+        for f in &findings_files {
+            covered.extend(cited_ids(f));
+        }
+        let missing: Vec<String> = (1..=FINDING_COUNT)
+            .filter(|id| !covered.contains(id))
+            .map(|id| format!("F{id}"))
+            .collect();
+        if !missing.is_empty() {
+            let anchor = findings_files
+                .iter()
+                .find(|f| f.path.ends_with("/mod.rs"))
+                .unwrap_or(&findings_files[0]);
+            diags.push(Diagnostic::error(
+                anchor.path.clone(),
+                1,
+                1,
+                self.name(),
+                format!(
+                    "paper findings {} are cited by no findings module",
+                    missing.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+/// Finding IDs (`1..=15`) cited in the file's doc comments as `F<n>`.
+fn cited_ids(file: &SourceFile) -> BTreeSet<u32> {
+    let mut ids = BTreeSet::new();
+    for tok in file.tokens.iter().filter(|t| t.is_doc()) {
+        let chars: Vec<char> = tok.text.chars().collect();
+        for i in 0..chars.len() {
+            if chars[i] != 'F' {
+                continue;
+            }
+            if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+                continue; // part of a longer word
+            }
+            let digits: String = chars[i + 1..]
+                .iter()
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            if digits.is_empty() {
+                continue;
+            }
+            let after = chars.get(i + 1 + digits.len());
+            if after.is_some_and(|c| c.is_alphanumeric() || *c == '_') {
+                continue; // e.g. `F1a`
+            }
+            if let Ok(n) = digits.parse::<u32>() {
+                if (1..=FINDING_COUNT).contains(&n) {
+                    ids.insert(n);
+                }
+            }
+        }
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile::from_text(path, src)
+    }
+
+    #[test]
+    fn module_without_id_fires() {
+        let f = file("crates/analysis/src/findings/foo.rs", "//! No citation.\n");
+        let mut d = Vec::new();
+        FindingTraceability.check_file(&f, &mut d);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn module_with_id_passes() {
+        let f = file(
+            "crates/analysis/src/findings/foo.rs",
+            "//! Reproduces Finding 7 (F7) of the paper.\n",
+        );
+        let mut d = Vec::new();
+        FindingTraceability.check_file(&f, &mut d);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn id_in_code_or_plain_comment_does_not_count() {
+        let f = file(
+            "crates/analysis/src/findings/foo.rs",
+            "// F7 in a plain comment\nconst F7: u32 = 7;\n",
+        );
+        let mut d = Vec::new();
+        FindingTraceability.check_file(&f, &mut d);
+        assert_eq!(d.len(), 1, "only doc comments count");
+    }
+
+    #[test]
+    fn workspace_coverage_reports_missing() {
+        let a = file(
+            "crates/analysis/src/findings/a.rs",
+            "//! F1, F2 (also F3).\n",
+        );
+        let b = file(
+            "crates/analysis/src/findings/mod.rs",
+            "//! F4-F15? cites F4 only.\n",
+        );
+        let mut d = Vec::new();
+        FindingTraceability.check_workspace(&[a, b], &mut d);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("F5"), "{}", d[0].message);
+        assert!(!d[0].message.contains("F3,"), "{}", d[0].message);
+        assert!(d[0].file.ends_with("mod.rs"));
+    }
+
+    #[test]
+    fn out_of_range_and_embedded_ids_ignored() {
+        let f = file(
+            "crates/analysis/src/findings/foo.rs",
+            "//! F16 F0 XF7 F1a are all non-citations.\n",
+        );
+        assert!(cited_ids(&f).is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! `forbid-unsafe-header`: every workspace crate root must carry
+//! `#![forbid(unsafe_code)]`.
+//!
+//! `#![deny(unsafe_code)]` is accepted as a fallback, but only when a
+//! justifying comment sits on the attribute's line or the line above
+//! (some compat shims need deny-with-local-allow rather than forbid).
+
+use crate::diag::Diagnostic;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct ForbidUnsafeHeader;
+
+impl Rule for ForbidUnsafeHeader {
+    fn name(&self) -> &'static str {
+        "forbid-unsafe-header"
+    }
+
+    fn description(&self) -> &'static str {
+        "workspace crate roots must declare #![forbid(unsafe_code)]"
+    }
+
+    fn check_file(&self, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+        let is_crate_root = file.path.contains("crates/")
+            && (file.path.ends_with("/src/lib.rs") || file.path.ends_with("/src/main.rs"));
+        if !is_crate_root {
+            return;
+        }
+        let toks: Vec<_> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+        for w in toks.windows(8) {
+            let texts: Vec<&str> = w.iter().map(|t| t.text.as_str()).collect();
+            if texts[0] == "#"
+                && texts[1] == "!"
+                && texts[2] == "["
+                && (texts[3] == "forbid" || texts[3] == "deny")
+                && texts[4] == "("
+                && texts[5] == "unsafe_code"
+                && texts[6] == ")"
+                && texts[7] == "]"
+            {
+                if texts[3] == "forbid" {
+                    return; // satisfied
+                }
+                // deny: require a justifying comment on this line or
+                // the line above.
+                let attr_line = w[0].line;
+                let justified = file
+                    .tokens
+                    .iter()
+                    .any(|t| t.is_comment() && (t.line == attr_line || t.line + 1 == attr_line));
+                if justified {
+                    return;
+                }
+                diags.push(Diagnostic::error(
+                    file.path.clone(),
+                    attr_line,
+                    w[0].col,
+                    self.name(),
+                    "#![deny(unsafe_code)] needs a comment justifying why \
+                     #![forbid(unsafe_code)] is not usable",
+                ));
+                return;
+            }
+        }
+        diags.push(Diagnostic::error(
+            file.path.clone(),
+            1,
+            1,
+            self.name(),
+            "crate root is missing #![forbid(unsafe_code)]",
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::from_text(path, src);
+        let mut d = Vec::new();
+        ForbidUnsafeHeader.check_file(&f, &mut d);
+        d
+    }
+
+    #[test]
+    fn forbid_satisfies() {
+        assert!(run(
+            "crates/core/src/lib.rs",
+            "//! Docs.\n#![forbid(unsafe_code)]\npub fn f() {}",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn missing_header_fires() {
+        let d = run("crates/core/src/lib.rs", "pub fn f() {}");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "forbid-unsafe-header");
+    }
+
+    #[test]
+    fn deny_needs_justification() {
+        assert_eq!(
+            run("crates/core/src/lib.rs", "#![deny(unsafe_code)]\n").len(),
+            1
+        );
+        assert!(run(
+            "crates/core/src/lib.rs",
+            "// compat shim needs local allow(unsafe_code)\n#![deny(unsafe_code)]\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn non_root_files_are_ignored() {
+        assert!(run("crates/core/src/streaming.rs", "pub fn f() {}").is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! The pluggable rule set.
+//!
+//! A [`Rule`] pattern-matches short token sequences over lexed
+//! [`SourceFile`]s and reports [`Diagnostic`]s. Per-file checks go in
+//! [`Rule::check_file`]; cross-file invariants (e.g. "all 15 paper
+//! findings are covered somewhere") go in [`Rule::check_workspace`].
+//!
+//! | rule | scope | forbids |
+//! |------|-------|---------|
+//! | `no-unwrap-in-lib` | library code, non-test | `.unwrap()` / `.expect(…)` |
+//! | `no-panic-in-lib` | library code, non-test | `panic!` / `unimplemented!` / `todo!` / `unreachable!` |
+//! | `forbid-unsafe-header` | workspace crate roots | missing `#![forbid(unsafe_code)]` |
+//! | `pub-item-docs` | `cbs-trace`/`cbs-core`/`cbs-stats` src | undocumented public items |
+//! | `bounded-channel` | `crates/core` + codec paths | unbounded `mpsc::channel()` |
+//! | `finding-traceability` | `crates/analysis/src/findings` | modules citing no `F1`–`F15` ID; uncovered IDs |
+//! | `no-float-eq` | library code, non-test | `==`/`!=` against float literals |
+//!
+//! Suppression (`// cbs-lint: allow(rule) -- why`) is handled by the
+//! engine, not by individual rules.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+mod bounded_channel;
+mod finding_trace;
+mod forbid_unsafe;
+mod no_float_eq;
+mod no_panic;
+mod no_unwrap;
+mod pub_docs;
+
+pub use bounded_channel::BoundedChannel;
+pub use finding_trace::FindingTraceability;
+pub use forbid_unsafe::ForbidUnsafeHeader;
+pub use no_float_eq::NoFloatEq;
+pub use no_panic::NoPanicInLib;
+pub use no_unwrap::NoUnwrapInLib;
+pub use pub_docs::PubItemDocs;
+
+/// A static-analysis rule.
+pub trait Rule {
+    /// Kebab-case rule name, used in output and suppressions.
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `--list-rules`.
+    fn description(&self) -> &'static str;
+
+    /// Per-file check.
+    fn check_file(&self, _file: &SourceFile, _diags: &mut Vec<Diagnostic>) {}
+
+    /// Cross-file check, run once over the whole scanned set.
+    fn check_workspace(&self, _files: &[SourceFile], _diags: &mut Vec<Diagnostic>) {}
+}
+
+/// The shipped rule set, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoUnwrapInLib),
+        Box::new(NoPanicInLib),
+        Box::new(ForbidUnsafeHeader),
+        Box::new(PubItemDocs),
+        Box::new(BoundedChannel),
+        Box::new(FindingTraceability),
+        Box::new(NoFloatEq),
+    ]
+}

@@ -1,0 +1,92 @@
+//! `no-float-eq`: no direct `==`/`!=` against float literals.
+//!
+//! Exact float equality in metric code is almost always a latent bug —
+//! accumulated rounding turns `ratio == 1.0` false on real data. The
+//! rule flags comparisons where either operand is a float literal
+//! (`x == 0.0`, `1.5 != y`, `y != -2.5`); compare with an epsilon, or
+//! suppress with a justification where an exact sentinel is intended.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct NoFloatEq;
+
+impl Rule for NoFloatEq {
+    fn name(&self) -> &'static str {
+        "no-float-eq"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid ==/!= against float literals in library code; use an epsilon"
+    }
+
+    fn check_file(&self, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+        if !file.is_library_code() {
+            return;
+        }
+        let toks: Vec<_> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+        for (i, tok) in toks.iter().enumerate() {
+            if tok.text != "==" && tok.text != "!=" {
+                continue;
+            }
+            if file.in_test_code(tok.line) {
+                continue;
+            }
+            let lhs_float = i > 0 && toks[i - 1].kind == TokenKind::Num && toks[i - 1].is_float;
+            // RHS may carry a unary minus: `x == -1.5`.
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].text == "-" {
+                j += 1;
+            }
+            let rhs_float = j < toks.len() && toks[j].kind == TokenKind::Num && toks[j].is_float;
+            if lhs_float || rhs_float {
+                diags.push(Diagnostic::error(
+                    file.path.clone(),
+                    tok.line,
+                    tok.col,
+                    self.name(),
+                    format!(
+                        "direct `{}` against a float literal; compare with an epsilon \
+                         (or justify an exact sentinel with a suppression)",
+                        tok.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::from_text("crates/stats/src/x.rs", src);
+        let mut d = Vec::new();
+        NoFloatEq.check_file(&f, &mut d);
+        d
+    }
+
+    #[test]
+    fn fires_on_literal_comparisons() {
+        assert_eq!(run("fn f(x: f64) -> bool { x == 0.0 }").len(), 1);
+        assert_eq!(run("fn f(x: f64) -> bool { 1.5 != x }").len(), 1);
+        assert_eq!(run("fn f(x: f64) -> bool { x == -2.5e3 }").len(), 1);
+        assert_eq!(run("fn f(x: f64) -> bool { x != 1f64 }").len(), 1);
+    }
+
+    #[test]
+    fn integer_comparisons_are_fine() {
+        assert!(run("fn f(x: u64) -> bool { x == 0 }").is_empty());
+        assert!(run("fn f(x: u64) -> bool { x != 0x1e5 }").is_empty());
+    }
+
+    #[test]
+    fn ordering_comparisons_are_fine() {
+        assert!(run("fn f(x: f64) -> bool { x <= 0.5 || x >= 1.5 }").is_empty());
+    }
+}

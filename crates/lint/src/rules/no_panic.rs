@@ -1,0 +1,93 @@
+//! `no-panic-in-lib`: forbid panicking macros in library code.
+//!
+//! `panic!`, `unimplemented!`, and `todo!` are never acceptable on a
+//! library path of a long-running analysis pipeline; reachable failures
+//! must be typed errors. `unreachable!` is also flagged so that every
+//! genuinely-unreachable arm carries an explicit
+//! `// cbs-lint: allow(no-panic-in-lib) -- <invariant>` justification.
+//! `assert!`/`debug_assert!` are allowed (contract checks).
+
+use crate::diag::Diagnostic;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+const BANNED: &[&str] = &["panic", "unimplemented", "todo", "unreachable"];
+
+/// See module docs.
+#[derive(Debug)]
+pub struct NoPanicInLib;
+
+impl Rule for NoPanicInLib {
+    fn name(&self) -> &'static str {
+        "no-panic-in-lib"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid panic!/unimplemented!/todo!/unreachable! in non-test library code"
+    }
+
+    fn check_file(&self, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+        if !file.is_library_code() {
+            return;
+        }
+        let toks: Vec<_> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+        for w in toks.windows(2) {
+            let (name, bang) = (&w[0], &w[1]);
+            if bang.text == "!"
+                && BANNED.contains(&name.text.as_str())
+                && !file.in_test_code(name.line)
+            {
+                diags.push(Diagnostic::error(
+                    file.path.clone(),
+                    name.line,
+                    name.col,
+                    self.name(),
+                    format!(
+                        "`{}!` in library code; return a typed error (or, if truly \
+                         unreachable, justify with a suppression)",
+                        name.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::from_text(path, src);
+        let mut d = Vec::new();
+        NoPanicInLib.check_file(&f, &mut d);
+        d
+    }
+
+    #[test]
+    fn fires_on_each_banned_macro() {
+        let d = run(
+            "crates/core/src/x.rs",
+            "fn f() { panic!(\"x\"); todo!(); unimplemented!(); unreachable!(); }",
+        );
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn asserts_and_negation_are_fine() {
+        assert!(run(
+            "crates/core/src/x.rs",
+            "fn f(a: bool) { assert!(a); debug_assert!(a); let b = !a; }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn panic_in_comment_or_doc_is_fine() {
+        assert!(run(
+            "crates/core/src/x.rs",
+            "/// # Panics\n/// Panics via panic! when misused.\n// panic! here too\nfn f() {}",
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! `no-unwrap-in-lib`: forbid `.unwrap()` / `.expect(…)` in library code.
+//!
+//! One stray `unwrap()` deep in a shard worker kills hours of streaming
+//! analysis with no diagnostic; library crates must propagate errors so
+//! callers choose the failure policy. Test, bench, example, and binary
+//! code is exempt.
+
+use crate::diag::Diagnostic;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct NoUnwrapInLib;
+
+impl Rule for NoUnwrapInLib {
+    fn name(&self) -> &'static str {
+        "no-unwrap-in-lib"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid .unwrap()/.expect() in non-test library code; propagate errors instead"
+    }
+
+    fn check_file(&self, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+        if !file.is_library_code() {
+            return;
+        }
+        let toks: Vec<_> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+        for w in toks.windows(3) {
+            let (dot, name, paren) = (&w[0], &w[1], &w[2]);
+            if dot.text == "."
+                && paren.text == "("
+                && (name.text == "unwrap" || name.text == "expect")
+                && !file.in_test_code(name.line)
+            {
+                diags.push(Diagnostic::error(
+                    file.path.clone(),
+                    name.line,
+                    name.col,
+                    self.name(),
+                    format!(
+                        "`.{}(…)` in library code; propagate with `?` or handle the \
+                         `None`/`Err` case",
+                        name.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::from_text(path, src);
+        let mut d = Vec::new();
+        NoUnwrapInLib.check_file(&f, &mut d);
+        d
+    }
+
+    #[test]
+    fn fires_on_unwrap_and_expect_in_lib() {
+        let d = run(
+            "crates/core/src/x.rs",
+            "fn f() { a.unwrap(); b.expect(\"m\"); }",
+        );
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].rule, "no-unwrap-in-lib");
+    }
+
+    #[test]
+    fn silent_in_tests_bins_and_strings() {
+        assert!(run("crates/core/tests/t.rs", "fn f() { a.unwrap(); }").is_empty());
+        assert!(run("crates/core/src/bin/x.rs", "fn f() { a.unwrap(); }").is_empty());
+        assert!(run(
+            "crates/core/src/x.rs",
+            r#"fn f() { let s = "never .unwrap() here"; }"#
+        )
+        .is_empty());
+        assert!(run(
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n fn f() { a.unwrap(); }\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        assert!(run(
+            "crates/core/src/x.rs",
+            "fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 1); c.unwrap_or_default(); }",
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! `pub-item-docs`: public items of the foundation crates must be
+//! documented.
+//!
+//! `cbs-trace`, `cbs-core`, and `cbs-stats` are the API surface every
+//! downstream consumer builds on; an undocumented public `fn`,
+//! `struct`, `enum`, or `trait` there is treated as a defect, not a
+//! style nit. `pub(crate)`/`pub(super)` items are not public API and
+//! are exempt.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// Crates whose public surface must be fully documented.
+const DOCUMENTED_CRATES: &[&str] = &["trace", "core", "stats"];
+
+/// Modifier keywords that may sit between `pub` and the item keyword.
+const MODIFIERS: &[&str] = &["const", "unsafe", "async", "extern"];
+
+/// Item keywords the rule covers.
+const ITEM_KINDS: &[&str] = &["fn", "struct", "enum", "trait"];
+
+/// See module docs.
+#[derive(Debug)]
+pub struct PubItemDocs;
+
+impl Rule for PubItemDocs {
+    fn name(&self) -> &'static str {
+        "pub-item-docs"
+    }
+
+    fn description(&self) -> &'static str {
+        "public fn/struct/enum/trait in cbs-trace/cbs-core/cbs-stats must have doc comments"
+    }
+
+    fn check_file(&self, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+        if !file.is_library_code() || !DOCUMENTED_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if toks[i].kind != TokenKind::Ident || toks[i].text != "pub" {
+                continue;
+            }
+            if file.in_test_code(toks[i].line) {
+                continue;
+            }
+            // Forward scan (skipping comments): restricted visibility
+            // (`pub(crate)` etc.) is not public API.
+            let mut j = i + 1;
+            let mut kind: Option<(&str, &str)> = None; // (item kw, name)
+            let mut restricted = false;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_comment() {
+                    j += 1;
+                    continue;
+                }
+                if t.text == "(" && kind.is_none() {
+                    restricted = true;
+                    break;
+                }
+                if MODIFIERS.contains(&t.text.as_str()) || t.kind == TokenKind::Str {
+                    j += 1; // `pub const fn`, `pub extern "C" fn`, ...
+                    continue;
+                }
+                if ITEM_KINDS.contains(&t.text.as_str()) {
+                    let name = toks[j + 1..]
+                        .iter()
+                        .find(|n| !n.is_comment())
+                        .map_or("", |n| n.text.as_str());
+                    kind = Some((t.text.as_str(), name));
+                }
+                break;
+            }
+            let Some((item_kind, item_name)) = kind else {
+                continue;
+            };
+            if restricted || has_doc(file, i) {
+                continue;
+            }
+            diags.push(Diagnostic::error(
+                file.path.clone(),
+                toks[i].line,
+                toks[i].col,
+                self.name(),
+                format!("public `{item_kind} {item_name}` has no doc comment (`///`)"),
+            ));
+        }
+    }
+}
+
+/// Walks backwards from the `pub` token at `idx`, skipping attributes
+/// (`#[…]`, including `#[doc = "…"]` which counts as documentation),
+/// looking for an outer doc comment.
+fn has_doc(file: &SourceFile, idx: usize) -> bool {
+    let toks = &file.tokens;
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = &toks[i];
+        if t.kind == TokenKind::DocOuter {
+            return true;
+        }
+        if t.is_comment() {
+            continue; // plain comments between docs and item are fine
+        }
+        if t.text == "]" {
+            // Skip the attribute `#[…]`; `#[doc…]` counts as docs.
+            let mut depth = 1usize;
+            let mut saw_doc = false;
+            while i > 0 && depth > 0 {
+                i -= 1;
+                match toks[i].text.as_str() {
+                    "]" => depth += 1,
+                    "[" => depth -= 1,
+                    "doc" => saw_doc = true,
+                    _ => {}
+                }
+            }
+            if saw_doc {
+                return true;
+            }
+            // Step back over the introducing `#`.
+            if i > 0 && toks[i - 1].text == "#" {
+                i -= 1;
+            }
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::from_text(path, src);
+        let mut d = Vec::new();
+        PubItemDocs.check_file(&f, &mut d);
+        d
+    }
+
+    #[test]
+    fn undocumented_pub_fn_fires() {
+        let d = run("crates/core/src/x.rs", "pub fn f() {}");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("`fn f`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn documented_items_pass() {
+        assert!(run(
+            "crates/core/src/x.rs",
+            "/// Does f.\npub fn f() {}\n/// S.\n#[derive(Debug)]\npub struct S;\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn attribute_between_doc_and_item_is_skipped() {
+        assert!(run(
+            "crates/core/src/x.rs",
+            "/// Docs.\n#[derive(Debug, Clone)]\n#[must_use]\npub struct S;\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn doc_attr_counts_as_docs() {
+        assert!(run(
+            "crates/core/src/x.rs",
+            "#[doc = \"generated docs\"]\npub fn f() {}\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn restricted_visibility_is_exempt() {
+        assert!(run(
+            "crates/core/src/x.rs",
+            "pub(crate) fn f() {}\npub(super) struct S;\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_exempt() {
+        assert!(run("crates/synth/src/x.rs", "pub fn f() {}").is_empty());
+    }
+
+    #[test]
+    fn pub_use_and_mod_are_exempt() {
+        assert!(run(
+            "crates/core/src/x.rs",
+            "pub use foo::Bar;\npub mod baz;\npub const X: u32 = 1;\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn pub_const_fn_needs_docs() {
+        let d = run("crates/core/src/x.rs", "pub const fn f() -> u32 { 1 }");
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -1,0 +1,293 @@
+//! Source-file model: lexed files plus the path/`cfg(test)` context
+//! rules use to scope themselves.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Token};
+
+/// Error walking or reading source files.
+#[derive(Debug)]
+pub struct WalkError {
+    /// The path that failed.
+    pub path: PathBuf,
+    /// The underlying I/O error.
+    pub source: io::Error,
+}
+
+impl core::fmt::Display for WalkError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "cannot read {}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for WalkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// One lexed source file with everything a [`crate::rules::Rule`] needs.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path as given/walked (repo-relative when the root is relative);
+    /// always uses `/` separators so rule scoping is portable.
+    pub path: String,
+    /// Workspace crate directory name (`core` for `crates/core/...`),
+    /// empty when the file is outside a `crates/<name>/` layout.
+    pub crate_name: String,
+    /// Source lines, for diagnostics snippets.
+    pub lines: Vec<String>,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Whole file is test/bench/example collateral (path-based).
+    pub is_test_path: bool,
+    /// Whole file is a binary target (`src/bin/` or `src/main.rs`).
+    pub is_bin_path: bool,
+    /// Line ranges (inclusive) covered by `#[cfg(test)]` / `#[test]`
+    /// items.
+    test_spans: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Builds a source file from text, classifying it by `path` alone
+    /// (the path does not need to exist on disk — fixture tests lint
+    /// snippets under pretend paths).
+    pub fn from_text(path: &str, text: &str) -> Self {
+        let norm = path.replace('\\', "/");
+        let tokens = lex(text);
+        let test_spans = find_test_spans(&tokens);
+        let is_test_path = ["/tests/", "/benches/", "/examples/", "/fuzz/"]
+            .iter()
+            .any(|seg| norm.contains(seg));
+        let is_bin_path = norm.contains("/src/bin/") || norm.ends_with("/src/main.rs");
+        SourceFile {
+            crate_name: crate_of(&norm),
+            path: norm,
+            lines: text.lines().map(str::to_owned).collect(),
+            tokens,
+            is_test_path,
+            is_bin_path,
+            test_spans,
+        }
+    }
+
+    /// Reads and lexes a file from disk.
+    pub fn read(path: &Path) -> Result<Self, WalkError> {
+        let text = fs::read_to_string(path).map_err(|source| WalkError {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        Ok(SourceFile::from_text(&path.to_string_lossy(), &text))
+    }
+
+    /// Is `line` inside test code — either a test-collateral file or a
+    /// `#[cfg(test)]`/`#[test]` item?
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.is_test_path
+            || self
+                .test_spans
+                .iter()
+                .any(|&(lo, hi)| line >= lo && line <= hi)
+    }
+
+    /// Is this file library code: a non-bin, non-test `src/` file?
+    pub fn is_library_code(&self) -> bool {
+        !self.is_test_path && !self.is_bin_path && self.path.contains("/src/")
+    }
+
+    /// The source line (1-based), if present.
+    pub fn line(&self, line: u32) -> Option<&str> {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map(String::as_str)
+    }
+}
+
+/// Extracts the crate directory name from a `…/crates/<name>/…` path.
+fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/').peekable();
+    while let Some(p) = parts.next() {
+        if p == "crates" || p == "compat" {
+            if let Some(name) = parts.peek() {
+                return (*name).to_owned();
+            }
+        }
+    }
+    String::new()
+}
+
+/// Finds line spans of items annotated `#[cfg(test)]` (including forms
+/// like `cfg(any(test, …))`) or `#[test]`: from the attribute, the span
+/// runs to the matching close brace of the item's body, or to the `;`
+/// of a braceless item.
+fn find_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let toks: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text != "#" || i + 1 >= toks.len() || toks[i + 1].text != "[" {
+            i += 1;
+            continue;
+        }
+        // Find the matching `]`, collecting the attribute's tokens.
+        let start = i;
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut attr: Vec<&str> = Vec::new();
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                t => attr.push(t),
+            }
+            j += 1;
+        }
+        if j >= toks.len() {
+            break;
+        }
+        let is_test_attr = attr.first() == Some(&"test")
+            || (attr.first() == Some(&"cfg") && attr.contains(&"test"));
+        if !is_test_attr {
+            i = j + 1;
+            continue;
+        }
+        // Item body: first `{` (then brace-match) or `;` before any `{`.
+        let mut k = j + 1;
+        let mut end_line = toks[j].line;
+        let mut braces = 0usize;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                ";" if braces == 0 => {
+                    end_line = toks[k].line;
+                    break;
+                }
+                "{" => braces += 1,
+                "}" => {
+                    braces = braces.saturating_sub(1);
+                    if braces == 0 {
+                        end_line = toks[k].line;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        spans.push((toks[start].line, end_line));
+        i = k + 1;
+    }
+    spans
+}
+
+/// Recursively collects `.rs` files under `roots`, sorted for
+/// deterministic output. Skips `target/` build dirs and `fixtures/`
+/// dirs (lint-rule test fixtures contain intentional violations).
+pub fn walk_rust_files(roots: &[PathBuf]) -> Result<Vec<PathBuf>, WalkError> {
+    let mut files = Vec::new();
+    for root in roots {
+        if root.is_file() {
+            files.push(root.clone());
+        } else {
+            walk_dir(root, &mut files)?;
+        }
+    }
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+fn walk_dir(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), WalkError> {
+    let entries = fs::read_dir(dir).map_err(|source| WalkError {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|source| WalkError {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            walk_dir(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_classification() {
+        let lib = SourceFile::from_text("crates/core/src/streaming.rs", "fn f() {}");
+        assert!(lib.is_library_code());
+        assert_eq!(lib.crate_name, "core");
+
+        let test = SourceFile::from_text("crates/core/tests/proptests.rs", "fn f() {}");
+        assert!(test.is_test_path);
+        assert!(!test.is_library_code());
+
+        let bin = SourceFile::from_text("crates/report/src/bin/repro.rs", "fn main() {}");
+        assert!(bin.is_bin_path);
+        assert!(!bin.is_library_code());
+    }
+
+    #[test]
+    fn cfg_test_module_span() {
+        let src = "\
+fn lib_code() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        x.unwrap();
+    }
+}
+";
+        let f = SourceFile::from_text("crates/core/src/x.rs", src);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(3));
+        assert!(f.in_test_code(7));
+        assert!(f.in_test_code(9));
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn real() {}\n";
+        let f = SourceFile::from_text("crates/core/src/x.rs", src);
+        assert!(f.in_test_code(2));
+        assert!(!f.in_test_code(3));
+    }
+
+    #[test]
+    fn cfg_any_test_counts() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nfn helper() { a.unwrap(); }\nfn real() {}\n";
+        let f = SourceFile::from_text("crates/core/src/x.rs", src);
+        assert!(f.in_test_code(2));
+        assert!(!f.in_test_code(3));
+    }
+
+    #[test]
+    fn non_test_attrs_do_not_span() {
+        let src = "#[derive(Debug, Clone)]\nstruct S { x: u32 }\n";
+        let f = SourceFile::from_text("crates/core/src/x.rs", src);
+        assert!(!f.in_test_code(1));
+        assert!(!f.in_test_code(2));
+    }
+}

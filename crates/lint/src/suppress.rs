@@ -1,0 +1,213 @@
+//! Inline suppression: `// cbs-lint: allow(<rule>[, <rule>…]) -- <why>`.
+//!
+//! A trailing suppression applies to its own line; a standalone
+//! suppression comment applies to the next line that carries code.
+//! Every suppression must justify itself after `--` (enforced as the
+//! `suppression-justification` pseudo-rule) and must actually suppress
+//! something (enforced as `unused-suppression`), so allows cannot rot.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// The marker that introduces a suppression inside a comment.
+pub const MARKER: &str = "cbs-lint:";
+
+/// One parsed suppression comment.
+#[derive(Debug)]
+pub struct Suppression {
+    /// Rules this comment allows.
+    pub rules: Vec<String>,
+    /// Line of the comment itself.
+    pub comment_line: u32,
+    /// Column of the comment itself.
+    pub comment_col: u32,
+    /// Line the suppression applies to.
+    pub applies_to: u32,
+    /// Justification text after `--` (empty when missing).
+    pub justification: String,
+    /// Set while matching diagnostics; unused suppressions are reported.
+    pub used: bool,
+}
+
+/// Extracts all suppressions from a file's comments. Malformed
+/// `cbs-lint:` comments are reported as `malformed-suppression`.
+pub fn collect(file: &SourceFile, diags: &mut Vec<Diagnostic>) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (idx, tok) in file.tokens.iter().enumerate() {
+        // Only plain comments carry suppressions: doc comments that
+        // *describe* the syntax (like this module's) must not count.
+        if tok.kind != TokenKind::Comment || !tok.text.contains(MARKER) {
+            continue;
+        }
+        match parse(&tok.text) {
+            Some((rules, justification)) => {
+                let trailing = file.tokens[..idx]
+                    .iter()
+                    .rev()
+                    .take_while(|t| t.line == tok.line)
+                    .any(|t| !t.is_comment());
+                let applies_to = if trailing {
+                    tok.line
+                } else {
+                    // Standalone: the next line that carries a
+                    // non-comment token.
+                    file.tokens[idx + 1..]
+                        .iter()
+                        .find(|t| !t.is_comment())
+                        .map_or(tok.line + 1, |t| t.line)
+                };
+                out.push(Suppression {
+                    rules,
+                    comment_line: tok.line,
+                    comment_col: tok.col,
+                    applies_to,
+                    justification,
+                    used: false,
+                });
+            }
+            None => {
+                diags.push(Diagnostic::error(
+                    file.path.clone(),
+                    tok.line,
+                    tok.col,
+                    "malformed-suppression",
+                    format!(
+                        "cannot parse suppression; expected \
+                         `{MARKER} allow(<rule>[, <rule>]) -- <justification>`"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Parses the body of a suppression comment; returns the allowed rules
+/// and the justification (possibly empty).
+fn parse(comment: &str) -> Option<(Vec<String>, String)> {
+    let after = comment.split(MARKER).nth(1)?.trim_start();
+    let body = after.strip_prefix("allow")?.trim_start();
+    let body = body.strip_prefix('(')?;
+    let close = body.find(')')?;
+    let rules: Vec<String> = body[..close]
+        .split(',')
+        .map(|r| r.trim().to_owned())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return None;
+    }
+    let rest = body[close + 1..].trim();
+    let justification = rest
+        .strip_prefix("--")
+        .map(|j| j.trim().to_owned())
+        .unwrap_or_default();
+    Some((rules, justification))
+}
+
+/// Filters `diags`, dropping ones covered by a suppression (marking it
+/// used), then appends `unused-suppression` / missing-justification
+/// findings.
+pub fn apply(
+    file: &SourceFile,
+    mut suppressions: Vec<Suppression>,
+    diags: Vec<Diagnostic>,
+) -> Vec<Diagnostic> {
+    let mut kept = Vec::with_capacity(diags.len());
+    for d in diags {
+        let mut suppressed = false;
+        for s in &mut suppressions {
+            if s.applies_to == d.line && s.rules.iter().any(|r| r == d.rule) {
+                s.used = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            kept.push(d);
+        }
+    }
+    for s in &suppressions {
+        if !s.used {
+            kept.push(Diagnostic::error(
+                file.path.clone(),
+                s.comment_line,
+                s.comment_col,
+                "unused-suppression",
+                format!(
+                    "suppression for {} matches no diagnostic on line {}; remove it",
+                    s.rules.join(", "),
+                    s.applies_to
+                ),
+            ));
+        } else if s.justification.is_empty() {
+            kept.push(Diagnostic::error(
+                file.path.clone(),
+                s.comment_line,
+                s.comment_col,
+                "suppression-justification",
+                "suppression has no justification; append `-- <why this is sound>`",
+            ));
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rules_and_justification() {
+        let (rules, j) =
+            parse("// cbs-lint: allow(no-unwrap-in-lib, no-panic-in-lib) -- invariant: set above")
+                .expect("parses");
+        assert_eq!(rules, vec!["no-unwrap-in-lib", "no-panic-in-lib"]);
+        assert_eq!(j, "invariant: set above");
+    }
+
+    #[test]
+    fn missing_allow_is_malformed() {
+        assert!(parse("// cbs-lint: disable(no-unwrap-in-lib)").is_none());
+        assert!(parse("// cbs-lint: allow()").is_none());
+    }
+
+    #[test]
+    fn trailing_vs_standalone_target_lines() {
+        let src = "\
+let a = 1; // cbs-lint: allow(rule-a) -- why
+// cbs-lint: allow(rule-b) -- why
+let b = 2;
+";
+        let f = SourceFile::from_text("crates/core/src/x.rs", src);
+        let mut diags = Vec::new();
+        let sups = collect(&f, &mut diags);
+        assert!(diags.is_empty());
+        assert_eq!(sups.len(), 2);
+        assert_eq!(sups[0].applies_to, 1);
+        assert_eq!(sups[1].applies_to, 3);
+    }
+
+    #[test]
+    fn unused_and_unjustified_are_reported() {
+        let src = "\
+let a = 1; // cbs-lint: allow(rule-a)
+";
+        let f = SourceFile::from_text("crates/core/src/x.rs", src);
+        let mut pre = Vec::new();
+        let sups = collect(&f, &mut pre);
+        // One diagnostic on line 1 for rule-a: suppressed, but the
+        // suppression lacks a justification.
+        let diags = vec![Diagnostic::error(f.path.clone(), 1, 9, "rule-a", "m")];
+        let out = apply(&f, sups, diags);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "suppression-justification");
+
+        // No diagnostic at all: the suppression is unused.
+        let mut pre2 = Vec::new();
+        let sups2 = collect(&f, &mut pre2);
+        let out2 = apply(&f, sups2, Vec::new());
+        assert_eq!(out2.len(), 1);
+        assert_eq!(out2[0].rule, "unused-suppression");
+    }
+}

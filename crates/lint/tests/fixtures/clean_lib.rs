@@ -1,0 +1,34 @@
+//! Tricky-but-clean fixture: every construct below is a decoy the
+//! lexer must see through. Linting this file yields zero diagnostics.
+
+/// Raw strings with `#` guards swallow quotes and would-be violations.
+pub fn raw_strings() -> (&'static str, &'static [u8]) {
+    let s = r#"one " quote, .unwrap() and panic!("x") inside"#;
+    let b = br##"an embedded "# does not end the literal"##;
+    (s, b)
+}
+
+/// Raw identifiers are idents, not the start of a raw string.
+pub fn raw_ident() -> u32 {
+    let r#type = 7;
+    r#type
+}
+
+/// Char literals (with escapes) lex apart from lifetimes.
+pub fn chars_vs_lifetimes<'r>(x: &'r [char]) -> Option<&'r char> {
+    let quote = '\'';
+    let newline = '\n';
+    x.iter().find(|&&c| c == quote || c == newline)
+}
+
+/// Epsilon compare, float ordering, and integer equality are all fine.
+pub fn float_math(x: f64) -> bool {
+    (x - 1.0).abs() < 1e-9 && x >= 0.5 && (x as u64) == 1
+}
+
+/// `unwrap_or*` is not `unwrap`; `sync_channel` is not `channel`.
+pub fn adjacent_names(v: Option<u32>) -> u32 {
+    let (tx, _rx) = std::sync::mpsc::sync_channel::<u32>(4);
+    drop(tx);
+    v.unwrap_or_default().max(v.unwrap_or(3))
+}

@@ -1,0 +1,32 @@
+//! Deliberately dirty fixture: real violations mixed with lexer decoys
+//! that must NOT fire. `rule_fixtures.rs` pins the exact diagnostic
+//! set, so keep the layout stable.
+
+fn violations(input: Option<u32>) -> u32 {
+    let s = r##"decoy: .unwrap() and panic!("quoted") stay inside the raw string"##;
+    /* block comments nest: /* .unwrap() */ panic!("still one comment") */
+    let n = input.unwrap();
+    let m = input.expect("fixture");
+    if n as f64 == 0.5 {
+        panic!("boom");
+    }
+    let _ = s;
+    n + m
+}
+
+fn lifetimes_are_not_chars<'a>(x: &'a str) -> (&'a str, char) {
+    (x, '\'')
+}
+
+fn unbounded() {
+    let (_tx, _rx) = std::sync::mpsc::channel::<u32>();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v = Some(1).unwrap();
+        assert!(v == 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! Suppression-behavior fixture: a justified allow, an unjustified
+//! allow, an unused allow, a doc-comment decoy, and a malformed marker.
+
+fn good(input: Option<u32>) -> u32 {
+    // cbs-lint: allow(no-unwrap-in-lib) -- fixture: caller guarantees Some
+    input.unwrap()
+}
+
+fn unjustified(input: Option<u32>) -> u32 {
+    input.unwrap() // cbs-lint: allow(no-unwrap-in-lib)
+}
+
+fn unused() -> u32 {
+    // cbs-lint: allow(no-panic-in-lib) -- fixture: nothing below panics
+    42
+}
+
+/// Doc comments that *mention* `cbs-lint: allow(no-float-eq)` are
+/// descriptions, not suppressions.
+fn doc_mention(x: f64) -> bool {
+    x == 0.25
+}
+
+fn malformed() {
+    // cbs-lint: allow()
+}

@@ -1,0 +1,190 @@
+//! Fixture-driven integration tests: whole files with known violations
+//! (and known decoys) run through the full engine — lexer, rules, and
+//! suppression handling together, the way `cbs-lint` runs them.
+//!
+//! The fixture sources live under `tests/fixtures/` (a directory the
+//! walker deliberately skips, so the workspace self-check never trips
+//! over their intentional violations) and are linted here under
+//! pretend library paths.
+
+use cbs_lint::{lint_files, Diagnostic, LintRun, SourceFile};
+
+/// Lints one fixture under a pretend path.
+fn lint_fixture(path: &str, text: &str) -> LintRun {
+    lint_files(vec![SourceFile::from_text(path, text)])
+}
+
+/// Sorted rule names of a run's diagnostics.
+fn rules_of(run: &LintRun) -> Vec<&str> {
+    let mut rules: Vec<&str> = run.diagnostics.iter().map(|d| d.rule).collect();
+    rules.sort_unstable();
+    rules
+}
+
+/// The diagnostic for `rule`, asserting there is exactly one.
+fn the<'a>(run: &'a LintRun, rule: &str) -> &'a Diagnostic {
+    let hits: Vec<&Diagnostic> = run.diagnostics.iter().filter(|d| d.rule == rule).collect();
+    assert_eq!(
+        hits.len(),
+        1,
+        "expected exactly one {rule}: {:?}",
+        run.diagnostics
+    );
+    hits[0]
+}
+
+#[test]
+fn dirty_fixture_reports_exactly_the_planted_violations() {
+    let run = lint_fixture(
+        "crates/core/src/dirty.rs",
+        include_str!("fixtures/dirty_lib.rs"),
+    );
+    assert_eq!(
+        rules_of(&run),
+        vec![
+            "bounded-channel",
+            "no-float-eq",
+            "no-panic-in-lib",
+            "no-unwrap-in-lib",
+            "no-unwrap-in-lib",
+        ],
+        "{:?}",
+        run.diagnostics
+    );
+
+    // Each diagnostic lands on the line that was planted, never on a
+    // decoy (raw string, nested block comment, test module).
+    let unwrap_lines: Vec<&str> = run
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "no-unwrap-in-lib")
+        .map(|d| run.snippet(d).expect("snippet"))
+        .collect();
+    assert!(
+        unwrap_lines[0].contains("input.unwrap()"),
+        "{unwrap_lines:?}"
+    );
+    assert!(unwrap_lines[1].contains("input.expect"), "{unwrap_lines:?}");
+    assert!(run
+        .snippet(the(&run, "no-panic-in-lib"))
+        .expect("snippet")
+        .contains("panic!(\"boom\")"));
+    assert!(run
+        .snippet(the(&run, "no-float-eq"))
+        .expect("snippet")
+        .contains("== 0.5"));
+    assert!(run
+        .snippet(the(&run, "bounded-channel"))
+        .expect("snippet")
+        .contains("mpsc::channel"));
+    for d in &run.diagnostics {
+        let line = run.snippet(d).expect("snippet");
+        assert!(!line.contains("decoy"), "fired inside a raw string: {d:?}");
+        assert!(
+            !line.contains("one comment"),
+            "fired inside a block comment: {d:?}"
+        );
+    }
+}
+
+#[test]
+fn dirty_fixture_is_exempt_under_test_and_bin_paths() {
+    let text = include_str!("fixtures/dirty_lib.rs");
+    for path in ["crates/core/tests/dirty.rs", "crates/core/src/bin/dirty.rs"] {
+        let run = lint_fixture(path, text);
+        assert!(run.diagnostics.is_empty(), "{path}: {:?}", run.diagnostics);
+    }
+}
+
+#[test]
+fn suppression_fixture_enforces_justification_and_liveness() {
+    let run = lint_fixture(
+        "crates/synth/src/suppressed.rs",
+        include_str!("fixtures/suppressed_lib.rs"),
+    );
+    assert_eq!(
+        rules_of(&run),
+        vec![
+            "malformed-suppression",
+            "no-float-eq",
+            "suppression-justification",
+            "unused-suppression",
+        ],
+        "{:?}",
+        run.diagnostics
+    );
+
+    // The justified allow suppressed its unwrap; the unjustified one
+    // suppressed too (no no-unwrap diagnostic survives) but is itself
+    // reported.
+    assert!(rules_of(&run).iter().all(|r| *r != "no-unwrap-in-lib"));
+    let unjustified = the(&run, "suppression-justification");
+    assert!(
+        run.snippet(unjustified)
+            .expect("snippet")
+            .contains("fn unjustified")
+            || run
+                .snippet(unjustified)
+                .expect("snippet")
+                .contains("input.unwrap()"),
+        "justification diagnostic points at the suppression comment: {unjustified:?}"
+    );
+    let unused = the(&run, "unused-suppression");
+    assert!(unused.message.contains("no-panic-in-lib"), "{unused:?}");
+    // The doc-comment mention of an allow is not a suppression, so the
+    // float comparison under it still fires.
+    assert!(run
+        .snippet(the(&run, "no-float-eq"))
+        .expect("snippet")
+        .contains("== 0.25"));
+}
+
+#[test]
+fn clean_fixture_is_silent_under_the_strictest_path() {
+    // `crates/core/src/` puts the file in scope of every path-scoped
+    // rule at once (pub-item-docs, bounded-channel, the lib-code set).
+    let run = lint_fixture(
+        "crates/core/src/clean.rs",
+        include_str!("fixtures/clean_lib.rs"),
+    );
+    assert!(run.diagnostics.is_empty(), "{:?}", run.diagnostics);
+}
+
+#[test]
+fn crate_roots_must_forbid_unsafe() {
+    let run = lint_fixture("crates/demo/src/lib.rs", "//! Docs.\npub fn f() {}\n");
+    assert_eq!(the(&run, "forbid-unsafe-header").line, 1);
+
+    let run = lint_fixture(
+        "crates/demo/src/lib.rs",
+        "//! Docs.\n#![forbid(unsafe_code)]\npub fn f() {}\n",
+    );
+    assert!(run.diagnostics.is_empty(), "{:?}", run.diagnostics);
+}
+
+#[test]
+fn findings_modules_must_cite_and_cover() {
+    // A findings module with no citation fires per-file; partial
+    // coverage across the set fires once at workspace level.
+    let run = lint_files(vec![
+        SourceFile::from_text(
+            "crates/analysis/src/findings/mod.rs",
+            "//! Builders for F1, F2, F3, F4, F5, F6, F7, F8, F9, F10, F11, F12, F13, F14.\n",
+        ),
+        SourceFile::from_text(
+            "crates/analysis/src/findings/orphan.rs",
+            "//! No citation here.\n",
+        ),
+    ]);
+    assert_eq!(
+        rules_of(&run),
+        vec!["finding-traceability", "finding-traceability"]
+    );
+    let coverage = run
+        .diagnostics
+        .iter()
+        .find(|d| d.message.contains("cited by no findings module"))
+        .expect("coverage diagnostic");
+    assert!(coverage.message.contains("F15"), "{coverage:?}");
+    assert!(!coverage.message.contains("F14"), "{coverage:?}");
+}

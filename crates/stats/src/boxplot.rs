@@ -47,28 +47,27 @@ impl BoxplotSummary {
 
     /// Builds a summary from an existing quantile set; `None` when empty.
     pub fn from_quantiles(q: &Quantiles) -> Option<Self> {
-        if q.is_empty() {
-            return None;
-        }
-        let q1 = q.quantile(0.25).expect("non-empty");
-        let median = q.quantile(0.5).expect("non-empty");
-        let q3 = q.quantile(0.75).expect("non-empty");
+        let q1 = q.quantile(0.25)?;
+        let median = q.quantile(0.5)?;
+        let q3 = q.quantile(0.75)?;
         let iqr = q3 - q1;
         let fence_low = q1 - 1.5 * iqr;
         let fence_high = q3 + 1.5 * iqr;
         let sorted = q.as_sorted();
-        // whiskers: most extreme samples inside the fences
+        // Whiskers: the most extreme samples inside the fences. Q1/Q3
+        // always sit inside their own fence, so the fallbacks never
+        // move the whisker past the box.
         let whisker_low = sorted
             .iter()
             .copied()
             .find(|&x| x >= fence_low)
-            .expect("q1 is inside the low fence");
+            .unwrap_or(q1);
         let whisker_high = sorted
             .iter()
             .rev()
             .copied()
             .find(|&x| x <= fence_high)
-            .expect("q3 is inside the high fence");
+            .unwrap_or(q3);
         let outlier_count = sorted
             .iter()
             .filter(|&&x| x < fence_low || x > fence_high)

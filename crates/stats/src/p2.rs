@@ -75,8 +75,7 @@ impl P2Quantile {
             self.heights[self.count] = x;
             self.count += 1;
             if self.count == 5 {
-                self.heights
-                    .sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected"));
+                self.heights.sort_by(f64::total_cmp);
             }
             return;
         }
@@ -151,7 +150,7 @@ impl P2Quantile {
             0 => None,
             n @ 1..=4 => {
                 let mut sorted = self.heights[..n].to_vec();
-                sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected"));
+                sorted.sort_by(f64::total_cmp);
                 let rank = (self.q * (n - 1) as f64).round() as usize;
                 Some(sorted[rank])
             }

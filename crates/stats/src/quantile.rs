@@ -40,7 +40,7 @@ impl Quantiles {
             samples.iter().all(|x| !x.is_nan()),
             "samples must not contain NaN"
         );
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN excluded above"));
+        samples.sort_by(f64::total_cmp);
         Quantiles { sorted: samples }
     }
 

@@ -17,6 +17,7 @@ use cbs_trace::{TimeDelta, Timestamp};
 use rand::Rng;
 
 use crate::dist::{Exponential, Geometric, LogNormal};
+use crate::error::InvalidProfile;
 
 /// Parameters of a volume's arrival process.
 #[derive(Debug, Clone, PartialEq)]
@@ -146,15 +147,24 @@ pub struct ArrivalGen<R> {
 impl<R: Rng> ArrivalGen<R> {
     /// Creates a generator over `[start, end)`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the model fails [`ArrivalModel::validate`] or
-    /// `start >= end`.
-    pub fn new(model: &ArrivalModel, start: Timestamp, end: Timestamp, rng: R) -> Self {
-        if let Err(e) = model.validate() {
-            panic!("invalid arrival model: {e}");
+    /// Returns [`InvalidProfile`] if the model fails
+    /// [`ArrivalModel::validate`] or `start >= end`.
+    pub fn new(
+        model: &ArrivalModel,
+        start: Timestamp,
+        end: Timestamp,
+        rng: R,
+    ) -> Result<Self, InvalidProfile> {
+        model
+            .validate()
+            .map_err(|e| InvalidProfile(format!("arrival model: {e}")))?;
+        if start >= end {
+            return Err(InvalidProfile(format!(
+                "empty live window: {start} >= {end}"
+            )));
         }
-        assert!(start < end, "empty live window");
 
         // The burst stream carries the non-background share of the
         // average rate: avg·(1-bg) = on_fraction · burst_rate_on · burst_size.
@@ -165,14 +175,15 @@ impl<R: Rng> ArrivalGen<R> {
             * (1.0 + model.diurnal_amplitude)
             / (model.on_fraction * model.burst_size_mean);
         let mean_off_secs = model.mean_on_secs * (1.0 - model.on_fraction) / model.on_fraction;
+        let invalid = |what: &str| InvalidProfile(format!("arrival model: {what}"));
         let off_len = if model.on_fraction >= 1.0 || mean_off_secs <= f64::EPSILON {
             None
         } else {
-            Some(Exponential::new(1.0 / mean_off_secs).expect("positive mean"))
+            Some(Exponential::new(1.0 / mean_off_secs).ok_or_else(|| invalid("off-period rate"))?)
         };
         // log-normal gap: median = exp(mu)
         let intra_gap = LogNormal::from_median(model.intra_gap_median_us, model.intra_gap_sigma)
-            .expect("validated median");
+            .ok_or_else(|| invalid("intra-gap median"))?;
 
         let mut gen = ArrivalGen {
             rng,
@@ -182,17 +193,20 @@ impl<R: Rng> ArrivalGen<R> {
             burst_left: 0,
             next_ts: start,
             exhausted: false,
-            on_len: Exponential::new(1.0 / model.mean_on_secs).expect("positive mean"),
+            on_len: Exponential::new(1.0 / model.mean_on_secs)
+                .ok_or_else(|| invalid("on-period rate"))?,
             off_len,
-            burst_gap: Exponential::new(burst_rate_on.max(1e-12)).expect("positive rate"),
-            burst_size: Geometric::from_mean(model.burst_size_mean).expect("validated mean"),
+            burst_gap: Exponential::new(burst_rate_on.max(1e-12))
+                .ok_or_else(|| invalid("burst rate"))?,
+            burst_size: Geometric::from_mean(model.burst_size_mean)
+                .ok_or_else(|| invalid("burst size mean"))?,
             intra_gap,
             diurnal_amplitude: model.diurnal_amplitude,
             diurnal_phase: model.diurnal_phase,
         };
         gen.begin_on_episode();
         gen.advance_to_next_burst();
-        gen
+        Ok(gen)
     }
 
     fn begin_on_episode(&mut self) {
@@ -202,6 +216,7 @@ impl<R: Rng> ArrivalGen<R> {
 
     /// Diurnal thinning acceptance probability at time `t`.
     fn diurnal_accept(&mut self, t: Timestamp) -> bool {
+        // cbs-lint: allow(no-float-eq) -- an amplitude of exactly zero disables modulation; any nonzero value must modulate
         if self.diurnal_amplitude == 0.0 {
             return true;
         }
@@ -305,6 +320,7 @@ mod tests {
             Timestamp::from_hours(hours),
             SmallRng::seed_from_u64(seed),
         )
+        .expect("valid model")
         .collect()
     }
 
@@ -401,29 +417,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid arrival model")]
     fn rejects_invalid_model() {
         let model = ArrivalModel {
             on_fraction: 0.0,
             ..ArrivalModel::steady(1.0)
         };
-        let _ = ArrivalGen::new(
+        let err = ArrivalGen::new(
             &model,
             Timestamp::ZERO,
             Timestamp::from_hours(1),
             SmallRng::seed_from_u64(0),
-        );
+        )
+        .unwrap_err();
+        assert!(err.message().contains("on_fraction"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "empty live window")]
     fn rejects_empty_window() {
-        let _ = ArrivalGen::new(
+        let err = ArrivalGen::new(
             &ArrivalModel::steady(1.0),
             Timestamp::from_hours(1),
             Timestamp::from_hours(1),
             SmallRng::seed_from_u64(0),
-        );
+        )
+        .unwrap_err();
+        assert!(err.message().contains("empty live window"), "{err}");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::arrival::ArrivalModel;
 use crate::dist::log_uniform;
-use crate::generator::CorpusGenerator;
+use crate::generator::{validated, CorpusGenerator};
 use crate::profile::VolumeProfile;
 use crate::size::SizeModel;
 use crate::spatial::SpatialModel;
@@ -139,7 +139,8 @@ impl CorpusBuilder {
                 id += 1;
             }
         }
-        CorpusGenerator::new(profiles)
+        // every class's knobs sit inside the validated ranges
+        validated(CorpusGenerator::new(profiles))
     }
 
     fn volume(&self, class: VolumeClass, id: u32, rng: &mut SmallRng) -> VolumeProfile {

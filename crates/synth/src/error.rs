@@ -1,0 +1,42 @@
+//! The crate's construction error: [`InvalidProfile`].
+
+use std::fmt;
+
+/// A workload model or profile was rejected by validation.
+///
+/// Returned by the fallible constructors ([`crate::generator::VolumeGenerator::new`],
+/// [`crate::generator::CorpusGenerator::new`], [`crate::arrival::ArrivalGen::new`],
+/// [`crate::spatial::AddressGen::new`]); the message names the first
+/// offending field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidProfile(pub(crate) String);
+
+impl InvalidProfile {
+    /// The human-readable rejection reason.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for InvalidProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid workload profile: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidProfile {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_reason() {
+        let e = InvalidProfile("write_fraction out of range".to_owned());
+        assert_eq!(e.message(), "write_fraction out of range");
+        assert_eq!(
+            e.to_string(),
+            "invalid workload profile: write_fraction out of range"
+        );
+    }
+}

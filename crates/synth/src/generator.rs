@@ -7,8 +7,21 @@ use rand::{Rng, SeedableRng};
 
 use crate::arrival::ArrivalGen;
 use crate::dist::Exponential;
+use crate::error::InvalidProfile;
 use crate::profile::VolumeProfile;
 use crate::spatial::AddressGen;
+
+/// Unwraps a model construction that profile validation has already
+/// proven infallible: every sub-model constructor only fails on inputs
+/// [`VolumeProfile::validate`] rejects, and the generator constructors
+/// validate before building.
+pub(crate) fn validated<T>(result: Result<T, InvalidProfile>) -> T {
+    match result {
+        Ok(value) => value,
+        // cbs-lint: allow(no-panic-in-lib) -- the generator constructors validate every profile up front, so sub-model construction cannot fail
+        Err(e) => unreachable!("validated profile rejected: {e}"),
+    }
+}
 
 /// Steady Poisson stream of single-request arrivals — the background
 /// ("heartbeat") component of a volume's traffic.
@@ -74,14 +87,15 @@ pub struct VolumeGenerator {
 impl VolumeGenerator {
     /// Creates a generator.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the profile fails [`VolumeProfile::validate`].
-    pub fn new(profile: VolumeProfile) -> Self {
-        if let Err(e) = profile.validate() {
-            panic!("invalid volume profile for {}: {e}", profile.id);
-        }
-        VolumeGenerator { profile }
+    /// Returns [`InvalidProfile`] if the profile fails
+    /// [`VolumeProfile::validate`].
+    pub fn new(profile: VolumeProfile) -> Result<Self, InvalidProfile> {
+        profile
+            .validate()
+            .map_err(|e| InvalidProfile(format!("volume {}: {e}", profile.id)))?;
+        Ok(VolumeGenerator { profile })
     }
 
     /// The profile being generated.
@@ -106,12 +120,17 @@ impl VolumeGenerator {
         let p = &self.profile;
         let mut rng = SmallRng::seed_from_u64(p.seed);
         let arrival_rng = SmallRng::seed_from_u64(rng.gen());
-        let mut read_addr = AddressGen::new(p.read_spatial.clone());
-        let mut write_addr = AddressGen::new(p.write_spatial.clone());
+        let mut read_addr = validated(AddressGen::new(p.read_spatial.clone()));
+        let mut write_addr = validated(AddressGen::new(p.write_spatial.clone()));
 
         let mut requests: Vec<IoRequest> = Vec::new();
-        let burst_times: Vec<Timestamp> =
-            ArrivalGen::new(&p.arrival, p.live_start, p.live_end, arrival_rng).collect();
+        let burst_times: Vec<Timestamp> = validated(ArrivalGen::new(
+            &p.arrival,
+            p.live_start,
+            p.live_end,
+            arrival_rng,
+        ))
+        .collect();
         let bg_rate = p.arrival.avg_rate_rps * p.arrival.background_fraction;
         let background: Vec<Timestamp> = if bg_rate > 0.0 {
             BackgroundGen::new(
@@ -166,8 +185,8 @@ impl VolumeGenerator {
             let mut offset = job.region_start;
             let end = job.region_start + job.region_len;
             while offset < end && ts < p.live_end {
-                let len = u32::try_from((end - offset).min(u64::from(job.request_size)))
-                    .expect("request_size fits u32");
+                // the min against a u32 keeps the cast lossless
+                let len = (end - offset).min(u64::from(job.request_size)) as u32;
                 out.push(IoRequest::new(p.id, OpKind::Write, offset, len, ts));
                 offset += u64::from(len);
                 ts += TimeDelta::from_micros(job.gap_us);
@@ -204,8 +223,8 @@ impl Iterator for RewriteRun {
         if self.offset >= self.end || self.ts >= self.live_end {
             return None;
         }
-        let len = u32::try_from((self.end - self.offset).min(u64::from(self.request_size)))
-            .expect("request_size fits u32");
+        // the min against a u32 keeps the cast lossless
+        let len = (self.end - self.offset).min(u64::from(self.request_size)) as u32;
         let req = IoRequest::new(self.id, OpKind::Write, self.offset, len, self.ts);
         self.offset += u64::from(len);
         self.ts += TimeDelta::from_micros(self.gap_us);
@@ -247,9 +266,14 @@ impl VolumeIter {
         // the background seed.
         let mut rng = SmallRng::seed_from_u64(p.seed);
         let arrival_rng = SmallRng::seed_from_u64(rng.gen());
-        let read_addr = AddressGen::new(p.read_spatial.clone());
-        let write_addr = AddressGen::new(p.write_spatial.clone());
-        let burst = ArrivalGen::new(&p.arrival, p.live_start, p.live_end, arrival_rng);
+        let read_addr = validated(AddressGen::new(p.read_spatial.clone()));
+        let write_addr = validated(AddressGen::new(p.write_spatial.clone()));
+        let burst = validated(ArrivalGen::new(
+            &p.arrival,
+            p.live_start,
+            p.live_end,
+            arrival_rng,
+        ));
         let bg_rate = p.arrival.avg_rate_rps * p.arrival.background_fraction;
         let background = if bg_rate > 0.0 {
             BackgroundGen::new(
@@ -366,8 +390,10 @@ impl Iterator for VolumeIter {
             // timestamps the arrival requests preceded the appended
             // rewrites in the batch concatenation.
             (Some(a), Some((i, r))) if r < a => self.runs[i].next(),
-            (Some(_), _) => {
-                let ts = self.pop_arrival().expect("peeked arrival exists");
+            (Some(ts), _) => {
+                // consume the peek slot the min came from; `ts` equals
+                // the consumed value by construction
+                let _ = self.pop_arrival();
                 Some(self.emit_arrival(ts))
             }
             (None, Some((i, _))) => self.runs[i].next(),
@@ -385,16 +411,16 @@ pub struct CorpusGenerator {
 impl CorpusGenerator {
     /// Creates a generator over `profiles`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any profile fails validation.
-    pub fn new(profiles: Vec<VolumeProfile>) -> Self {
+    /// Returns [`InvalidProfile`] for the first profile that fails
+    /// validation.
+    pub fn new(profiles: Vec<VolumeProfile>) -> Result<Self, InvalidProfile> {
         for p in &profiles {
-            if let Err(e) = p.validate() {
-                panic!("invalid volume profile for {}: {e}", p.id);
-            }
+            p.validate()
+                .map_err(|e| InvalidProfile(format!("volume {}: {e}", p.id)))?;
         }
-        CorpusGenerator { profiles }
+        Ok(CorpusGenerator { profiles })
     }
 
     /// The profiles in the corpus.
@@ -406,19 +432,16 @@ impl CorpusGenerator {
     pub fn generate(&self) -> Trace {
         let mut all: Vec<IoRequest> = Vec::new();
         for profile in &self.profiles {
-            all.extend(VolumeGenerator::new(profile.clone()).generate());
+            all.extend(validated(VolumeGenerator::new(profile.clone())).generate());
         }
         Trace::from_requests(all)
     }
 
     /// Generates only the volume at `index` (for incremental /
-    /// parallel drivers).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` is out of range.
-    pub fn generate_volume(&self, index: usize) -> Vec<IoRequest> {
-        VolumeGenerator::new(self.profiles[index].clone()).generate()
+    /// parallel drivers); `None` if `index` is out of range.
+    pub fn generate_volume(&self, index: usize) -> Option<Vec<IoRequest>> {
+        let profile = self.profiles.get(index)?;
+        Some(validated(VolumeGenerator::new(profile.clone())).generate())
     }
 
     /// Returns a pull-based, globally time-ordered stream over the whole
@@ -434,7 +457,7 @@ impl CorpusGenerator {
         let volumes: Vec<VolumeIter> = self
             .profiles
             .iter()
-            .map(|p| VolumeGenerator::new(p.clone()).iter())
+            .map(|p| validated(VolumeGenerator::new(p.clone())).iter())
             .collect();
         let pending = volumes.iter().map(|_| None).collect();
         CorpusStream { volumes, pending }
@@ -498,7 +521,9 @@ mod tests {
 
     #[test]
     fn stream_is_sorted_and_windowed() {
-        let reqs = VolumeGenerator::new(profile(3, 1)).generate();
+        let reqs = VolumeGenerator::new(profile(3, 1))
+            .expect("valid profile")
+            .generate();
         assert!(!reqs.is_empty());
         assert!(reqs.windows(2).all(|w| w[0].ts() <= w[1].ts()));
         assert!(reqs.iter().all(|r| r.ts() < Timestamp::from_hours(4)));
@@ -507,7 +532,9 @@ mod tests {
 
     #[test]
     fn write_fraction_is_respected() {
-        let reqs = VolumeGenerator::new(profile(0, 2)).generate();
+        let reqs = VolumeGenerator::new(profile(0, 2))
+            .expect("valid profile")
+            .generate();
         let writes = reqs.iter().filter(|r| r.is_write()).count();
         let frac = writes as f64 / reqs.len() as f64;
         assert!((frac - 0.75).abs() < 0.03, "write fraction {frac}");
@@ -515,7 +542,9 @@ mod tests {
 
     #[test]
     fn reads_and_writes_target_their_regions() {
-        let reqs = VolumeGenerator::new(profile(0, 3)).generate();
+        let reqs = VolumeGenerator::new(profile(0, 3))
+            .expect("valid profile")
+            .generate();
         for r in &reqs {
             if r.is_write() {
                 assert!(r.end_offset() <= 64 * MIB, "{r}");
@@ -530,10 +559,16 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = VolumeGenerator::new(profile(0, 42)).generate();
-        let b = VolumeGenerator::new(profile(0, 42)).generate();
+        let a = VolumeGenerator::new(profile(0, 42))
+            .expect("valid profile")
+            .generate();
+        let b = VolumeGenerator::new(profile(0, 42))
+            .expect("valid profile")
+            .generate();
         assert_eq!(a, b);
-        let c = VolumeGenerator::new(profile(0, 43)).generate();
+        let c = VolumeGenerator::new(profile(0, 43))
+            .expect("valid profile")
+            .generate();
         assert_ne!(a, c);
     }
 
@@ -549,7 +584,7 @@ mod tests {
             request_size: 64 * 1024,
             gap_us: 500,
         });
-        let reqs = VolumeGenerator::new(p).generate();
+        let reqs = VolumeGenerator::new(p).expect("valid profile").generate();
         let job_reqs: Vec<_> = reqs
             .iter()
             .filter(|r| r.offset() >= 900 * MIB && r.offset() < 901 * MIB)
@@ -577,18 +612,20 @@ mod tests {
 
     #[test]
     fn corpus_combines_volumes() {
-        let corpus = CorpusGenerator::new(vec![profile(0, 1), profile(1, 2), profile(7, 3)]);
+        let corpus = CorpusGenerator::new(vec![profile(0, 1), profile(1, 2), profile(7, 3)])
+            .expect("valid profiles");
         assert_eq!(corpus.profiles().len(), 3);
         let trace = corpus.generate();
         assert_eq!(trace.volume_count(), 3);
         let ids: Vec<u32> = trace.volume_ids().map(|v| v.get()).collect();
         assert_eq!(ids, vec![0, 1, 7]);
         // per-volume generation matches the combined trace
-        let v7 = corpus.generate_volume(2);
+        let v7 = corpus.generate_volume(2).expect("in range");
         assert_eq!(
             trace.volume(VolumeId::new(7)).unwrap().requests(),
             v7.as_slice()
         );
+        assert_eq!(corpus.generate_volume(3), None);
     }
 
     #[test]
@@ -610,7 +647,7 @@ mod tests {
                 gap_us: 250,
             });
             for p in [plain, no_bg, rewriting] {
-                let generator = VolumeGenerator::new(p);
+                let generator = VolumeGenerator::new(p).expect("valid profile");
                 let eager = generator.generate();
                 let lazy: Vec<IoRequest> = generator.iter().collect();
                 assert_eq!(eager, lazy, "seed {seed}");
@@ -634,7 +671,7 @@ mod tests {
             // the day, so each run spills into the next day.
             gap_us: 2_000_000,
         });
-        let generator = VolumeGenerator::new(p);
+        let generator = VolumeGenerator::new(p).expect("valid profile");
         let eager = generator.generate();
         let lazy: Vec<IoRequest> = generator.iter().collect();
         assert_eq!(eager, lazy);
@@ -642,7 +679,8 @@ mod tests {
 
     #[test]
     fn corpus_stream_matches_generate() {
-        let corpus = CorpusGenerator::new(vec![profile(0, 1), profile(1, 2), profile(7, 3)]);
+        let corpus = CorpusGenerator::new(vec![profile(0, 1), profile(1, 2), profile(7, 3)])
+            .expect("valid profiles");
         let trace = corpus.generate();
         let streamed: Vec<IoRequest> = corpus.stream().collect();
         assert_eq!(streamed.len(), trace.request_count());
@@ -657,10 +695,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid volume profile")]
     fn rejects_invalid_profile() {
         let mut p = profile(0, 1);
         p.write_fraction = 2.0;
-        let _ = VolumeGenerator::new(p);
+        let err = VolumeGenerator::new(p.clone()).unwrap_err();
+        assert!(err.message().contains("write_fraction"), "{err}");
+        let err = CorpusGenerator::new(vec![profile(1, 1), p]).unwrap_err();
+        assert!(err.message().contains("volume vol-0"), "{err}");
     }
 }

@@ -54,6 +54,7 @@
 pub mod arrival;
 pub mod builder;
 pub mod dist;
+pub mod error;
 pub mod generator;
 pub mod mutate;
 pub mod presets;
@@ -62,6 +63,7 @@ pub mod size;
 pub mod spatial;
 
 pub use builder::CorpusBuilder;
+pub use error::InvalidProfile;
 pub use generator::CorpusGenerator;
 pub use presets::CorpusConfig;
 pub use profile::VolumeProfile;

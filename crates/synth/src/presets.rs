@@ -38,7 +38,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::arrival::ArrivalModel;
 use crate::dist::{log_uniform, LogNormal};
-use crate::generator::CorpusGenerator;
+use crate::generator::{validated, CorpusGenerator};
 use crate::profile::{DailyRewrite, VolumeProfile};
 use crate::size::SizeModel;
 use crate::spatial::SpatialModel;
@@ -100,9 +100,11 @@ impl CorpusConfig {
 /// paper's median, capped to keep any single volume's request count
 /// bounded.
 fn sample_rate(rng: &mut SmallRng, median_rps: f64, sigma: f64, scale: f64) -> f64 {
+    // the preset medians are positive constants, so the distribution
+    // always constructs; the fallback is dead
     let rate = LogNormal::from_median(median_rps, sigma)
-        .expect("positive median")
-        .sample(rng);
+        .map(|dist| dist.sample(rng))
+        .unwrap_or(median_rps);
     (rate * scale).clamp(1e-6, median_rps * scale * 150.0)
 }
 
@@ -183,7 +185,8 @@ pub fn alicloud_like(config: &CorpusConfig) -> CorpusGenerator {
     for i in 0..config.volumes {
         profiles.push(alicloud_volume(config, &mut rng, i as u32));
     }
-    CorpusGenerator::new(profiles)
+    // the samplers draw every parameter from validated ranges
+    validated(CorpusGenerator::new(profiles))
 }
 
 fn alicloud_volume(config: &CorpusConfig, rng: &mut SmallRng, id: u32) -> VolumeProfile {
@@ -360,7 +363,8 @@ pub fn msrc_like(config: &CorpusConfig) -> CorpusGenerator {
     for i in 0..config.volumes {
         profiles.push(msrc_volume(config, &mut rng, i as u32));
     }
-    CorpusGenerator::new(profiles)
+    // the samplers draw every parameter from validated ranges
+    validated(CorpusGenerator::new(profiles))
 }
 
 fn msrc_volume(config: &CorpusConfig, rng: &mut SmallRng, id: u32) -> VolumeProfile {

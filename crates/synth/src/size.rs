@@ -35,10 +35,19 @@ impl SizeModel {
         })
     }
 
+    /// Builds a preset from a compile-time table.
+    fn preset(table: Vec<(u32, f64)>) -> Self {
+        match SizeModel::new(table) {
+            Some(model) => model,
+            // cbs-lint: allow(no-panic-in-lib) -- preset tables are compile-time constants with nonzero sizes and positive weights
+            None => unreachable!("static size table rejected"),
+        }
+    }
+
     /// The small-I/O mixture typical of AliCloud-like *writes*
     /// (75th percentile ≈ 16 KiB).
     pub fn small_writes() -> Self {
-        SizeModel::new(vec![
+        SizeModel::preset(vec![
             (4 * KIB, 0.45),
             (8 * KIB, 0.20),
             (16 * KIB, 0.15),
@@ -47,13 +56,12 @@ impl SizeModel {
             (128 * KIB, 0.03),
             (512 * KIB, 0.01),
         ])
-        .expect("static table is valid")
     }
 
     /// The small-I/O mixture typical of AliCloud-like *reads*
     /// (75th percentile ≈ 32 KiB).
     pub fn small_reads() -> Self {
-        SizeModel::new(vec![
+        SizeModel::preset(vec![
             (4 * KIB, 0.35),
             (8 * KIB, 0.18),
             (16 * KIB, 0.17),
@@ -62,13 +70,12 @@ impl SizeModel {
             (128 * KIB, 0.04),
             (512 * KIB, 0.02),
         ])
-        .expect("static table is valid")
     }
 
     /// A larger sequential-transfer mixture (media/backup style,
     /// 75th percentile ≈ 64 KiB) used by some MSRC-like volumes.
     pub fn bulk() -> Self {
-        SizeModel::new(vec![
+        SizeModel::preset(vec![
             (8 * KIB, 0.15),
             (16 * KIB, 0.20),
             (32 * KIB, 0.20),
@@ -77,7 +84,6 @@ impl SizeModel {
             (256 * KIB, 0.06),
             (1024 * KIB, 0.02),
         ])
-        .expect("static table is valid")
     }
 
     /// The largest size the model can emit.

@@ -25,6 +25,7 @@ use cbs_trace::BlockSize;
 use rand::Rng;
 
 use crate::dist::Zipf;
+use crate::error::InvalidProfile;
 
 /// Parameters of one op-kind's address generator over a region.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,20 +118,23 @@ pub struct AddressGen {
 impl AddressGen {
     /// Creates a generator.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the model fails [`SpatialModel::validate`].
-    pub fn new(model: SpatialModel) -> Self {
-        if let Err(e) = model.validate() {
-            panic!("invalid spatial model: {e}");
-        }
+    /// Returns [`InvalidProfile`] if the model fails
+    /// [`SpatialModel::validate`].
+    pub fn new(model: SpatialModel) -> Result<Self, InvalidProfile> {
+        model
+            .validate()
+            .map_err(|e| InvalidProfile(format!("spatial model: {e}")))?;
         let region_blocks = model.region_blocks();
         let hot_blocks =
             ((region_blocks as f64 * model.hot_fraction).ceil() as u64).clamp(1, region_blocks);
-        let zipf_n = usize::try_from(hot_blocks.min(Zipf::MAX_N as u64)).expect("bounded");
-        let zipf = Zipf::new(zipf_n, model.hot_zipf_s).expect("validated params");
+        // min against MAX_N keeps the cast lossless
+        let zipf_n = hot_blocks.min(Zipf::MAX_N as u64) as usize;
+        let zipf = Zipf::new(zipf_n, model.hot_zipf_s)
+            .ok_or_else(|| InvalidProfile("spatial model: hot-set Zipf".to_owned()))?;
         let cursor = model.region_start;
-        AddressGen {
+        Ok(AddressGen {
             model,
             hot_blocks,
             zipf,
@@ -138,7 +142,7 @@ impl AddressGen {
             // odd multiplier → bijection over Z_{2^64}, keeps hot blocks
             // deterministic but spread out
             hot_stride: 0x9E37_79B9_7F4A_7C15,
-        }
+        })
     }
 
     /// The model in use.
@@ -222,7 +226,7 @@ mod tests {
             hot_zipf_s: 1.0,
             block_size: BlockSize::DEFAULT,
         };
-        let mut gen = AddressGen::new(model.clone());
+        let mut gen = AddressGen::new(model.clone()).expect("valid model");
         let mut r = rng();
         for _ in 0..20_000 {
             let len = 4096 * (1 + (r.gen::<u32>() % 16));
@@ -247,7 +251,7 @@ mod tests {
             hot_zipf_s: 0.0,
             block_size: BlockSize::DEFAULT,
         };
-        let mut gen = AddressGen::new(model);
+        let mut gen = AddressGen::new(model).expect("valid model");
         let mut r = rng();
         let mut prev_end = 0u64;
         for i in 0..100 {
@@ -270,7 +274,7 @@ mod tests {
             hot_zipf_s: 0.0,
             block_size: BlockSize::DEFAULT,
         };
-        let mut gen = AddressGen::new(model.clone());
+        let mut gen = AddressGen::new(model.clone()).expect("valid model");
         let mut r = rng();
         let offs: Vec<u64> = (0..20).map(|_| gen.next_offset(&mut r, 4096)).collect();
         assert!(offs
@@ -291,7 +295,7 @@ mod tests {
             hot_zipf_s: 1.1,
             block_size: BlockSize::DEFAULT,
         };
-        let mut gen = AddressGen::new(model);
+        let mut gen = AddressGen::new(model).expect("valid model");
         let mut r = rng();
         let mut counts = std::collections::HashMap::<u64, u64>::new();
         let n = 50_000;
@@ -314,7 +318,7 @@ mod tests {
     #[test]
     fn uniform_covers_region() {
         let model = SpatialModel::uniform(0, 4 * MIB); // 1024 blocks
-        let mut gen = AddressGen::new(model);
+        let mut gen = AddressGen::new(model).expect("valid model");
         let mut r = rng();
         let mut seen = std::collections::HashSet::new();
         for _ in 0..20_000 {
@@ -335,7 +339,7 @@ mod tests {
             block_size: BlockSize::DEFAULT,
         };
         let run = |seed| {
-            let mut gen = AddressGen::new(model.clone());
+            let mut gen = AddressGen::new(model.clone()).expect("valid model");
             let mut r = SmallRng::seed_from_u64(seed);
             (0..100)
                 .map(|_| gen.next_offset(&mut r, 4096))
@@ -346,9 +350,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid spatial model")]
     fn rejects_tiny_region() {
-        let _ = AddressGen::new(SpatialModel::uniform(0, 100));
+        let err = AddressGen::new(SpatialModel::uniform(0, 100)).unwrap_err();
+        assert!(err.message().contains("region_len"), "{err}");
     }
 
     #[test]

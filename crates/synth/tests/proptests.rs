@@ -79,7 +79,7 @@ proptest! {
     #[test]
     fn generated_streams_are_well_formed(profile in arb_profile()) {
         prop_assert_eq!(profile.validate(), Ok(()));
-        let reqs = VolumeGenerator::new(profile.clone()).generate();
+        let reqs = VolumeGenerator::new(profile.clone()).expect("valid profile").generate();
         prop_assert!(reqs.windows(2).all(|w| w[0].ts() <= w[1].ts()), "sorted");
         for r in &reqs {
             prop_assert_eq!(r.volume(), profile.id);
@@ -98,7 +98,7 @@ proptest! {
     /// The stream honours the write fraction (when enough requests).
     #[test]
     fn write_fraction_is_respected(profile in arb_profile()) {
-        let reqs = VolumeGenerator::new(profile.clone()).generate();
+        let reqs = VolumeGenerator::new(profile.clone()).expect("valid profile").generate();
         if reqs.len() >= 500 {
             let writes = reqs.iter().filter(|r| r.is_write()).count() as f64;
             let frac = writes / reqs.len() as f64;
@@ -114,12 +114,12 @@ proptest! {
     /// differ (when the stream is non-trivial).
     #[test]
     fn generation_is_seed_deterministic(profile in arb_profile()) {
-        let a = VolumeGenerator::new(profile.clone()).generate();
-        let b = VolumeGenerator::new(profile.clone()).generate();
+        let a = VolumeGenerator::new(profile.clone()).expect("valid profile").generate();
+        let b = VolumeGenerator::new(profile.clone()).expect("valid profile").generate();
         prop_assert_eq!(&a, &b);
         let mut other = profile;
         other.seed ^= 0xDEAD_BEEF;
-        let c = VolumeGenerator::new(other).generate();
+        let c = VolumeGenerator::new(other).expect("valid profile").generate();
         if a.len() > 20 {
             prop_assert_ne!(&a, &c);
         }
@@ -140,7 +140,7 @@ proptest! {
             ..base_profile(seed)
         };
         profile.arrival.avg_rate_rps = rate;
-        let reqs = VolumeGenerator::new(profile).generate();
+        let reqs = VolumeGenerator::new(profile).expect("valid profile").generate();
         let measured = reqs.len() as f64 / (12.0 * 3600.0);
         prop_assert!(
             (measured - rate).abs() / rate < 0.35,

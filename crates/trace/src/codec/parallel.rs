@@ -470,7 +470,11 @@ where
             scope.spawn(move || {
                 loop {
                     // Hold the lock only to dequeue; parsing runs unlocked.
-                    let item = work_rx.lock().expect("decoder mutex poisoned").recv();
+                    // A poisoned lock means a sibling worker panicked:
+                    // stop pulling work and let the join surface it.
+                    let Ok(guard) = work_rx.lock() else { break };
+                    let item = guard.recv();
+                    drop(guard);
                     let Ok((seq, chunk)) = item else { break };
                     let out = worker(chunk.as_ref(), seq);
                     if result_tx.send((seq, out)).is_err() {
@@ -502,7 +506,10 @@ where
             }
         }
 
-        let io_failure = feeder.join().expect("decoder feeder does not panic");
+        let io_failure = match feeder.join() {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
         match (failure, io_failure) {
             // A parse error always precedes (in input order) anything
             // the feeder failed on later.

@@ -13,6 +13,14 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> cbs-lint --json crates"
+lint_out="$(cargo run -q --release -p cbs-lint -- --json crates || true)"
+if [ "${lint_out}" != "[]" ]; then
+    echo "cbs-lint reported diagnostics:" >&2
+    cargo run -q --release -p cbs-lint -- crates >&2 || true
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
