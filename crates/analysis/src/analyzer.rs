@@ -1,25 +1,69 @@
 //! The single-pass per-volume analyzer: [`VolumeAnalyzer`] and
 //! [`analyze_trace`].
 
-use std::collections::HashMap;
+use std::ops::Range;
 
-use cbs_cache::ReuseDistances;
+use cbs_cache::ReuseStack;
 use cbs_stats::LogHistogram;
-use cbs_trace::{IoRequest, OpKind, Timestamp, Trace, VolumeId, VolumeView};
+use cbs_trace::hash::FxHashMap;
+use cbs_trace::{IoRequest, OpKind, RequestBatch, Timestamp, Trace, VolumeId, VolumeView};
 
 use crate::config::{AnalysisConfig, InvalidConfig};
 use crate::metrics::VolumeMetrics;
 
 /// Per-block running state shared by the spatial and temporal metrics.
+///
+/// The block's reuse-stack position lives here too, so one probe per
+/// block touch serves both the block-state update and the reuse
+/// distance (they used to be two separate maps). Kept at 48 bytes so a
+/// 16-block [`BlockChunk`] stays compact.
 #[derive(Debug, Clone, Copy)]
 struct BlockState {
     read_bytes: u64,
     write_bytes: u64,
-    write_count: u32,
-    last_op: OpKind,
     last_ts: Timestamp,
-    /// Timestamp of the previous write, if any (update intervals).
-    last_write_ts: Option<Timestamp>,
+    /// Timestamp of the previous write; only meaningful when
+    /// `write_count > 0` (update intervals).
+    last_write_ts: Timestamp,
+    write_count: u32,
+    /// Position of this block's latest access in the reuse stack.
+    reuse_pos: u32,
+    last_op: OpKind,
+}
+
+impl BlockState {
+    const EMPTY: BlockState = BlockState {
+        read_bytes: 0,
+        write_bytes: 0,
+        last_ts: Timestamp::ZERO,
+        last_write_ts: Timestamp::ZERO,
+        write_count: 0,
+        reuse_pos: 0,
+        last_op: OpKind::Read,
+    };
+}
+
+/// Number of consecutive blocks per [`BlockChunk`].
+const CHUNK_BLOCKS: u64 = 16;
+
+/// Block states for 16 consecutive block ids.
+///
+/// Requests touch *runs* of consecutive blocks, so storing states in
+/// aligned 16-block chunks turns ~6 random hash probes per request
+/// (one per block) into ~1 chunk lookup plus direct slot indexing —
+/// the dominant cache-miss saving in the touch loop.
+#[derive(Debug, Clone)]
+struct BlockChunk {
+    /// Bit `i` set iff slot `i` holds a live block state.
+    occupied: u16,
+    states: [BlockState; CHUNK_BLOCKS as usize],
+}
+
+impl BlockChunk {
+    const EMPTY: BlockChunk = BlockChunk {
+        occupied: 0,
+        states: [BlockState::EMPTY; CHUNK_BLOCKS as usize],
+    };
 }
 
 /// Streaming analyzer for one volume.
@@ -66,7 +110,10 @@ pub struct VolumeAnalyzer {
     offset_cursor: usize,
     random_requests: u64,
 
-    blocks: HashMap<u64, BlockState>,
+    /// Chunk id (block id / 16) → index into `chunks`.
+    chunk_index: FxHashMap<u64, u32>,
+    chunks: Vec<BlockChunk>,
+    distinct_blocks: u64,
 
     raw_hist: LogHistogram,
     waw_hist: LogHistogram,
@@ -74,7 +121,7 @@ pub struct VolumeAnalyzer {
     war_hist: LogHistogram,
     update_interval_hist: LogHistogram,
 
-    reuse: ReuseDistances,
+    reuse_stack: ReuseStack,
     /// Finite reuse-distance histograms split by op kind, plus cold
     /// counts — everything needed for per-op LRU miss-ratio curves.
     read_distance_hist: Vec<u64>,
@@ -124,13 +171,15 @@ impl VolumeAnalyzer {
             active_days: Vec::new(),
             offset_cursor: 0,
             random_requests: 0,
-            blocks: HashMap::new(),
+            chunk_index: FxHashMap::default(),
+            chunks: Vec::new(),
+            distinct_blocks: 0,
             raw_hist: hist(),
             waw_hist: hist(),
             rar_hist: hist(),
             war_hist: hist(),
             update_interval_hist: hist(),
-            reuse: ReuseDistances::new(),
+            reuse_stack: ReuseStack::new(),
             read_distance_hist: Vec::new(),
             write_distance_hist: Vec::new(),
             read_cold: 0,
@@ -162,31 +211,105 @@ impl VolumeAnalyzer {
             self.last_ts.map_or(true, |t| req.ts() >= t),
             "requests must arrive in timestamp order"
         );
-        let ts = req.ts();
+        let (op, offset, len, ts) = (req.op(), req.offset(), req.len(), req.ts());
         let rel = ts.saturating_duration_since(self.epoch).as_micros();
+        self.note_count(op, len);
+        self.note_time(ts);
+        self.note_peak(rel);
+        self.note_active(rel, op);
+        self.note_random(offset);
+        self.touch_blocks(op, offset, len, ts);
+    }
 
-        // --- counts, traffic, sizes ---
-        match req.op() {
-            OpKind::Read => {
-                self.reads += 1;
-                self.read_bytes += u64::from(req.len());
-                self.read_size_hist.record(u64::from(req.len()));
+    /// Processes the records of `batch` in `range` — the batched fast
+    /// path, exactly equivalent to calling
+    /// [`observe`](VolumeAnalyzer::observe) on each record in order.
+    ///
+    /// Per-metric work runs as fused loops over the batch's columns
+    /// instead of one dispatch per request, so the per-request
+    /// bookkeeping (volume check, field extraction, branch misses
+    /// across unrelated metrics) is paid once per batch run. All
+    /// records in `range` must target this analyzer's volume in
+    /// non-decreasing timestamp order, like `observe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds for `batch`.
+    pub fn observe_batch(&mut self, batch: &RequestBatch, range: Range<usize>) {
+        let ops = &batch.ops()[range.clone()];
+        let lens = &batch.lens()[range.clone()];
+        let offsets = &batch.offsets()[range.clone()];
+        let timestamps = &batch.timestamps()[range.clone()];
+        #[cfg(debug_assertions)]
+        {
+            for &v in &batch.volumes()[range.clone()] {
+                debug_assert_eq!(v, self.id, "request targets another volume");
             }
-            OpKind::Write => {
-                self.writes += 1;
-                self.write_bytes += u64::from(req.len());
-                self.write_size_hist.record(u64::from(req.len()));
+            let mut prev = self.last_ts;
+            for &ts in timestamps {
+                debug_assert!(
+                    prev.map_or(true, |t| ts >= t),
+                    "requests must arrive in timestamp order"
+                );
+                prev = Some(ts);
             }
         }
 
-        // --- inter-arrival & span ---
+        // Loop fission: every metric's state is touched by exactly one
+        // loop, and each loop visits records in order — so the result
+        // is bit-identical to interleaving them per request.
+        for (&op, &len) in ops.iter().zip(lens) {
+            self.note_count(op, len);
+        }
+        for &ts in timestamps {
+            self.note_time(ts);
+        }
+        for &ts in timestamps {
+            let rel = ts.saturating_duration_since(self.epoch).as_micros();
+            self.note_peak(rel);
+        }
+        for (&ts, &op) in timestamps.iter().zip(ops) {
+            let rel = ts.saturating_duration_since(self.epoch).as_micros();
+            self.note_active(rel, op);
+        }
+        for &offset in offsets {
+            self.note_random(offset);
+        }
+        for i in 0..ops.len() {
+            self.touch_blocks(ops[i], offsets[i], lens[i], timestamps[i]);
+        }
+    }
+
+    /// Counts, traffic and size histograms.
+    #[inline]
+    fn note_count(&mut self, op: OpKind, len: u32) {
+        match op {
+            OpKind::Read => {
+                self.reads += 1;
+                self.read_bytes += u64::from(len);
+                self.read_size_hist.record(u64::from(len));
+            }
+            OpKind::Write => {
+                self.writes += 1;
+                self.write_bytes += u64::from(len);
+                self.write_size_hist.record(u64::from(len));
+            }
+        }
+    }
+
+    /// Inter-arrival histogram and observed span.
+    #[inline]
+    fn note_time(&mut self, ts: Timestamp) {
         if let Some(prev) = self.last_ts {
             self.interarrival_hist.record((ts - prev).as_micros());
         }
         self.first_ts.get_or_insert(ts);
         self.last_ts = Some(ts);
+    }
 
-        // --- peak intensity (streaming max over peak intervals) ---
+    /// Peak intensity (streaming max over peak intervals).
+    #[inline]
+    fn note_peak(&mut self, rel: u64) {
         let bin = rel / self.config.peak_interval.as_micros();
         if bin != self.peak_bin {
             self.peak_max = self.peak_max.max(self.peak_bin_count);
@@ -194,102 +317,147 @@ impl VolumeAnalyzer {
             self.peak_bin_count = 0;
         }
         self.peak_bin_count += 1;
+    }
 
-        // --- activeness (sorted-unique push: requests arrive in order) ---
+    /// Activeness (sorted-unique push: requests arrive in order).
+    #[inline]
+    fn note_active(&mut self, rel: u64, op: OpKind) {
         let interval =
             u32::try_from(rel / self.config.active_interval.as_micros()).unwrap_or(u32::MAX);
         push_unique(&mut self.active_intervals, interval);
-        match req.op() {
+        match op {
             OpKind::Read => push_unique(&mut self.read_active_intervals, interval),
             OpKind::Write => push_unique(&mut self.write_active_intervals, interval),
         }
         let day = u32::try_from(rel / cbs_trace::time::MICROS_PER_DAY).unwrap_or(u32::MAX);
         push_unique(&mut self.active_days, day);
+    }
 
-        // --- randomness (min distance to previous window offsets) ---
+    /// Randomness (min distance to previous window offsets).
+    #[inline]
+    fn note_random(&mut self, offset: u64) {
         let min_distance = self
             .offset_window
             .iter()
-            .map(|&o| req.offset_distance(o))
+            .map(|&o| offset.abs_diff(o))
             .min()
             .unwrap_or(u64::MAX);
         if min_distance > self.config.randomness_threshold {
             self.random_requests += 1;
         }
         if self.offset_window.len() < self.config.randomness_window {
-            self.offset_window.push(req.offset());
+            self.offset_window.push(offset);
         } else {
-            self.offset_window[self.offset_cursor] = req.offset();
+            self.offset_window[self.offset_cursor] = offset;
             self.offset_cursor = (self.offset_cursor + 1) % self.config.randomness_window;
         }
+    }
 
-        // --- block-granular state: adjacency, updates, WSS, reuse ---
+    /// Block-granular state: adjacency, updates, WSS, reuse.
+    #[inline]
+    fn touch_blocks(&mut self, op: OpKind, offset: u64, len: u32, ts: Timestamp) {
         let bs = self.config.block_size;
-        for block in bs.span_of(req) {
+        let end_offset = offset + u64::from(len);
+        // Spans cover consecutive blocks, so the chunk lookup amortizes
+        // over up to 16 touches; `cur` caches the active chunk index.
+        let mut cur_chunk = u64::MAX;
+        let mut cur = 0usize;
+        for block in bs.span(offset, len) {
+            let b = block.get();
             let block_start = bs.offset_of(block);
             let block_end = block_start + u64::from(bs.bytes());
-            let overlap = req.end_offset().min(block_end) - req.offset().max(block_start);
+            let overlap = end_offset.min(block_end) - offset.max(block_start);
 
-            // reuse distance over the unified stream, split per op
-            let distance = self.reuse.access(block);
-            let (hist, cold) = match req.op() {
-                OpKind::Read => (&mut self.read_distance_hist, &mut self.read_cold),
-                OpKind::Write => (&mut self.write_distance_hist, &mut self.write_cold),
-            };
-            match distance {
-                Some(d) => {
-                    let d = d as usize;
-                    if d >= hist.len() {
-                        hist.resize(d + 1, 0);
-                    }
-                    hist[d] += 1;
+            if b / CHUNK_BLOCKS != cur_chunk {
+                cur_chunk = b / CHUNK_BLOCKS;
+                let next = self.chunks.len() as u32;
+                let idx = *self.chunk_index.entry(cur_chunk).or_insert(next);
+                if idx == next {
+                    self.chunks.push(BlockChunk::EMPTY);
                 }
-                None => *cold += 1,
+                cur = idx as usize;
             }
+            let chunk = &mut self.chunks[cur];
+            let slot = (b % CHUNK_BLOCKS) as usize;
+            let state = &mut chunk.states[slot];
+            if chunk.occupied & (1 << slot) != 0 {
+                // Reuse distance over the unified stream, split per op;
+                // the block's stack position rides in its state so the
+                // chunk lookup is the only hash op per touched chunk.
+                let (distance, new_pos) = self.reuse_stack.touch(state.reuse_pos as usize);
+                state.reuse_pos = new_pos as u32;
+                let hist = match op {
+                    OpKind::Read => &mut self.read_distance_hist,
+                    OpKind::Write => &mut self.write_distance_hist,
+                };
+                let d = distance as usize;
+                if d >= hist.len() {
+                    hist.resize(d + 1, 0);
+                }
+                hist[d] += 1;
 
-            match self.blocks.get_mut(&block.get()) {
-                Some(state) => {
-                    let elapsed = (ts - state.last_ts).as_micros();
-                    match (state.last_op, req.op()) {
-                        (OpKind::Write, OpKind::Read) => self.raw_hist.record(elapsed),
-                        (OpKind::Write, OpKind::Write) => self.waw_hist.record(elapsed),
-                        (OpKind::Read, OpKind::Read) => self.rar_hist.record(elapsed),
-                        (OpKind::Read, OpKind::Write) => self.war_hist.record(elapsed),
-                    }
-                    match req.op() {
-                        OpKind::Read => state.read_bytes += overlap,
-                        OpKind::Write => {
-                            if let Some(prev_write) = state.last_write_ts {
-                                self.update_interval_hist
-                                    .record((ts - prev_write).as_micros());
-                            }
-                            self.updated_bytes += overlap;
-                            state.write_bytes += overlap;
-                            state.write_count += 1;
-                            state.last_write_ts = Some(ts);
+                let elapsed = (ts - state.last_ts).as_micros();
+                match (state.last_op, op) {
+                    (OpKind::Write, OpKind::Read) => self.raw_hist.record(elapsed),
+                    (OpKind::Write, OpKind::Write) => self.waw_hist.record(elapsed),
+                    (OpKind::Read, OpKind::Read) => self.rar_hist.record(elapsed),
+                    (OpKind::Read, OpKind::Write) => self.war_hist.record(elapsed),
+                }
+                match op {
+                    OpKind::Read => state.read_bytes += overlap,
+                    OpKind::Write => {
+                        if state.write_count > 0 {
+                            self.update_interval_hist
+                                .record((ts - state.last_write_ts).as_micros());
                         }
+                        self.updated_bytes += overlap;
+                        state.write_bytes += overlap;
+                        state.write_count += 1;
+                        state.last_write_ts = ts;
                     }
-                    state.last_op = req.op();
-                    state.last_ts = ts;
                 }
-                None => {
-                    let (read_bytes, write_bytes, write_count, last_write_ts) = match req.op() {
-                        OpKind::Read => (overlap, 0, 0, None),
-                        OpKind::Write => (0, overlap, 1, Some(ts)),
-                    };
-                    self.blocks.insert(
-                        block.get(),
-                        BlockState {
-                            read_bytes,
-                            write_bytes,
-                            write_count,
-                            last_op: req.op(),
-                            last_ts: ts,
-                            last_write_ts,
-                        },
-                    );
+                state.last_op = op;
+                state.last_ts = ts;
+            } else {
+                chunk.occupied |= 1 << slot;
+                self.distinct_blocks += 1;
+                let reuse_pos = self.reuse_stack.touch_cold() as u32;
+                let (read_bytes, write_bytes, write_count) = match op {
+                    OpKind::Read => {
+                        self.read_cold += 1;
+                        (overlap, 0, 0)
+                    }
+                    OpKind::Write => {
+                        self.write_cold += 1;
+                        (0, overlap, 1)
+                    }
+                };
+                *state = BlockState {
+                    read_bytes,
+                    write_bytes,
+                    last_ts: ts,
+                    last_write_ts: ts,
+                    write_count,
+                    reuse_pos,
+                    last_op: op,
+                };
+            }
+        }
+        // Dead stack positions cost one bit each; compact once most are
+        // dead so memory stays O(distinct blocks). Distances are
+        // invariant under compaction (live order is preserved).
+        if self.reuse_stack.should_compact() {
+            let table = self.reuse_stack.compaction_table();
+            for chunk in &mut self.chunks {
+                let mut occ = chunk.occupied;
+                while occ != 0 {
+                    let slot = occ.trailing_zeros() as usize;
+                    occ &= occ - 1;
+                    let state = &mut chunk.states[slot];
+                    state.reuse_pos = table[state.reuse_pos as usize];
                 }
             }
+            self.reuse_stack.rebuild_compacted();
         }
     }
 
@@ -312,26 +480,32 @@ impl VolumeAnalyzer {
         let mut read_traffic: Vec<u64> = Vec::new();
         let mut write_traffic: Vec<u64> = Vec::new();
         let threshold = self.config.rw_mostly_threshold;
-        for state in self.blocks.values() {
-            if state.read_bytes > 0 {
-                wss_read_blocks += 1;
-                read_traffic.push(state.read_bytes);
-            }
-            if state.write_bytes > 0 {
-                wss_write_blocks += 1;
-                write_traffic.push(state.write_bytes);
-            }
-            if state.write_count >= 2 {
-                wss_update_blocks += 1;
-            }
-            let total = state.read_bytes + state.write_bytes;
-            if total > 0 {
-                let read_share = state.read_bytes as f64 / total as f64;
-                if read_share > threshold {
-                    read_bytes_to_read_mostly += state.read_bytes;
+        for chunk in &self.chunks {
+            let mut occ = chunk.occupied;
+            while occ != 0 {
+                let slot = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                let state = &chunk.states[slot];
+                if state.read_bytes > 0 {
+                    wss_read_blocks += 1;
+                    read_traffic.push(state.read_bytes);
                 }
-                if 1.0 - read_share > threshold {
-                    write_bytes_to_write_mostly += state.write_bytes;
+                if state.write_bytes > 0 {
+                    wss_write_blocks += 1;
+                    write_traffic.push(state.write_bytes);
+                }
+                if state.write_count >= 2 {
+                    wss_update_blocks += 1;
+                }
+                let total = state.read_bytes + state.write_bytes;
+                if total > 0 {
+                    let read_share = state.read_bytes as f64 / total as f64;
+                    if read_share > threshold {
+                        read_bytes_to_read_mostly += state.read_bytes;
+                    }
+                    if 1.0 - read_share > threshold {
+                        write_bytes_to_write_mostly += state.write_bytes;
+                    }
                 }
             }
         }
@@ -357,7 +531,7 @@ impl VolumeAnalyzer {
             write_active_intervals: self.write_active_intervals,
             active_days: self.active_days,
             random_requests: self.random_requests,
-            wss_blocks: self.blocks.len() as u64,
+            wss_blocks: self.distinct_blocks,
             wss_read_blocks,
             wss_write_blocks,
             wss_update_blocks,
@@ -673,5 +847,57 @@ mod tests {
         let metrics =
             analyze_trace(&Trace::new(), &AnalysisConfig::default()).expect("valid config");
         assert!(metrics.is_empty());
+    }
+
+    #[test]
+    fn observe_batch_equals_per_request_observe() {
+        // An irregular single-volume stream exercising every metric:
+        // repeats, multi-block requests, far jumps, dense + sparse time.
+        let reqs: Vec<IoRequest> = (0..2_000u64)
+            .map(|i| {
+                let op = if i % 3 == 0 {
+                    OpKind::Read
+                } else {
+                    OpKind::Write
+                };
+                let offset = (i * i * 7 + i * 13) % 300 * 4096 + (i % 5) * 100;
+                let len = 512 * ((i % 17) as u32 + 1);
+                req_at(op, offset, len, i * 1100 + i * 37 % 1000)
+            })
+            .collect();
+
+        let config = AnalysisConfig::default();
+        let epoch = reqs[0].ts();
+        let mut one_by_one =
+            VolumeAnalyzer::new(VolumeId::new(0), epoch, config.clone()).expect("valid");
+        for r in &reqs {
+            one_by_one.observe(r);
+        }
+
+        // Feed the same stream as batches of varying sizes and ranges.
+        let batch = RequestBatch::from(reqs.as_slice());
+        let mut batched = VolumeAnalyzer::new(VolumeId::new(0), epoch, config).expect("valid");
+        let mut start = 0usize;
+        for chunk in [1usize, 7, 64, 500, 2000] {
+            let end = (start + chunk).min(batch.len());
+            batched.observe_batch(&batch, start..end);
+            start = end;
+            if start == batch.len() {
+                break;
+            }
+        }
+
+        assert_eq!(one_by_one.finish(), batched.finish());
+    }
+
+    /// Like [`req`] but with monotone microsecond timestamps.
+    fn req_at(op: OpKind, offset: u64, len: u32, micros: u64) -> IoRequest {
+        IoRequest::new(
+            VolumeId::new(0),
+            op,
+            offset,
+            len,
+            Timestamp::from_micros(micros),
+        )
     }
 }

@@ -5,8 +5,8 @@ use std::collections::{HashMap, HashSet};
 
 use proptest::prelude::*;
 
-use cbs_analysis::{analyze_trace, AnalysisConfig};
-use cbs_trace::{BlockSize, IoRequest, OpKind, Timestamp, Trace, VolumeId};
+use cbs_analysis::{analyze_trace, AnalysisConfig, VolumeAnalyzer};
+use cbs_trace::{BlockSize, IoRequest, OpKind, RequestBatch, Timestamp, Trace, VolumeId};
 
 fn arb_op() -> impl Strategy<Value = OpKind> {
     prop_oneof![Just(OpKind::Read), Just(OpKind::Write)]
@@ -163,6 +163,45 @@ proptest! {
                 prop_assert!(large <= small + 1e-12);
             }
         }
+    }
+
+    /// The batched SoA kernel is bit-identical to per-request `observe`
+    /// for every metric, at every batch split.
+    #[test]
+    fn observe_batch_equals_observe(
+        reqs in proptest::collection::vec(arb_request(), 1..300),
+        split_seed in 0u64..10_000,
+    ) {
+        // One volume, time-sorted: the analyzer's input contract.
+        let volume = VolumeId::new(0);
+        let mut reqs: Vec<IoRequest> = reqs
+            .iter()
+            .map(|r| IoRequest::new(volume, r.op(), r.offset(), r.len(), r.ts()))
+            .collect();
+        cbs_trace::iter::sort_by_time(&mut reqs);
+        let epoch = reqs[0].ts();
+        let config = AnalysisConfig::default();
+
+        let mut scalar = VolumeAnalyzer::new(volume, epoch, config.clone()).expect("valid config");
+        for req in &reqs {
+            scalar.observe(req);
+        }
+
+        let mut batched = VolumeAnalyzer::new(volume, epoch, config).expect("valid config");
+        let batch = RequestBatch::from(reqs.as_slice());
+        // Split the batch at a few arbitrary points; each sub-range goes
+        // through the fused column loops.
+        let mut cuts = vec![
+            split_seed as usize % (reqs.len() + 1),
+            (split_seed / 100) as usize % (reqs.len() + 1),
+        ];
+        cuts.extend([0, reqs.len()]);
+        cuts.sort_unstable();
+        for pair in cuts.windows(2) {
+            batched.observe_batch(&batch, pair[0]..pair[1]);
+        }
+
+        prop_assert_eq!(scalar.finish(), batched.finish());
     }
 
     /// Analysis is invariant under input order (the trace sorts by

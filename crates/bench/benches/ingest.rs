@@ -16,7 +16,7 @@ use std::hint::black_box;
 
 use cbs_core::{StreamingWorkbench, Workbench};
 use cbs_trace::codec::alicloud::{AliCloudReader, AliCloudWriter};
-use cbs_trace::{ParallelDecoder, Trace};
+use cbs_trace::{CbtReader, CbtWriter, IoRequest, ParallelDecoder, Trace};
 
 /// Bounds every group's runtime for the single-core CI box.
 fn configure<M: criterion::measurement::Measurement>(group: &mut criterion::BenchmarkGroup<'_, M>) {
@@ -68,6 +68,55 @@ fn bench_decode(c: &mut Criterion) {
         if cores == 1 {
             break; // 1 and `cores` are the same configuration
         }
+    }
+    // CBT re-ingest of the same records; throughput stays CSV-bytes so
+    // the MB/s numbers are directly comparable ("csv-equivalent").
+    let cbt = {
+        let mut w = CbtWriter::new(Vec::new());
+        for req in AliCloudReader::new(&csv[..]) {
+            w.write_request(&req.unwrap()).unwrap();
+        }
+        w.finish().unwrap()
+    };
+    group.bench_function("cbt_reader", |b| {
+        b.iter(|| {
+            let mut reader = CbtReader::new(&cbt[..]);
+            let mut n = 0u64;
+            while let Some(batch) = reader.read_batch().unwrap() {
+                n += batch.len() as u64;
+            }
+            assert_eq!(n, records);
+            black_box(n)
+        });
+    });
+    group.finish();
+}
+
+/// Sweeps the [`StreamingWorkbench`] tuning knobs one at a time around
+/// the defaults; `DEFAULT_BATCH_SIZE` and `DEFAULT_CHANNEL_DEPTH` are
+/// picked from this group's results (see their doc comments).
+fn bench_streaming_tuning(c: &mut Criterion) {
+    let requests: Vec<IoRequest> = cbs_bench::alicloud_trace().iter_time_ordered().collect();
+
+    let mut group = c.benchmark_group("streaming_tuning");
+    configure(&mut group);
+    group.throughput(Throughput::Elements(requests.len() as u64));
+
+    for batch_size in [512usize, 2048, 8192, 32768] {
+        group.bench_function(format!("batch_size_{batch_size}"), |b| {
+            b.iter(|| {
+                let wb = StreamingWorkbench::new().with_batch_size(batch_size);
+                black_box(wb.analyze(requests.iter().copied()).len())
+            });
+        });
+    }
+    for depth in [1usize, 2, 4, 8] {
+        group.bench_function(format!("channel_depth_{depth}"), |b| {
+            b.iter(|| {
+                let wb = StreamingWorkbench::new().with_channel_depth(depth);
+                black_box(wb.analyze(requests.iter().copied()).len())
+            });
+        });
     }
     group.finish();
 }
@@ -124,5 +173,5 @@ fn bench_analyze(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decode, bench_analyze);
+criterion_group!(benches, bench_decode, bench_analyze, bench_streaming_tuning);
 criterion_main!(benches);

@@ -2,17 +2,25 @@
 //!
 //! Produces the numbers recorded in `EXPERIMENTS.md` and
 //! `BENCH_ingest.json`: chunked parallel decode throughput (MB/s,
-//! records/s, 1 vs N threads) and end-to-end analyze throughput with
-//! peak RSS, batch vs streaming.
+//! records/s, CSV vs CBT, 1 vs N threads) and end-to-end analyze
+//! throughput with peak RSS — batch, streaming, streaming from
+//! columnar batches, and streaming from a CBT file.
 //!
 //! Peak RSS (`VmHWM` in `/proc/self/status`) is a process-lifetime
 //! high-water mark, so the orchestrator re-execs itself with a phase
 //! argument and each phase runs in a fresh subprocess:
 //!
 //! ```sh
-//! cargo run --release -p cbs-bench --bin ingest_perf          # all phases
+//! cargo run --release -p cbs-bench --bin ingest_perf           # all phases
 //! cargo run --release -p cbs-bench --bin ingest_perf stream 10 # one phase
+//! cargo run --release -p cbs-bench --bin ingest_perf smoke     # CI gate
 //! ```
+//!
+//! `--threads N` pins the worker-thread count used by the decode
+//! phase (default: the core count); when `N == 1` the redundant
+//! `parallel_n_threads` measurement is skipped because it would repeat
+//! `parallel_1_thread`. Every phase records the thread count it
+//! actually used.
 //!
 //! Each phase prints a single-line JSON object; the orchestrator
 //! assembles them into `BENCH_ingest.json`.
@@ -23,7 +31,7 @@ use std::time::Instant;
 use cbs_core::{StreamingWorkbench, Workbench};
 use cbs_synth::presets::{self, CorpusConfig};
 use cbs_trace::codec::alicloud::{AliCloudReader, AliCloudWriter};
-use cbs_trace::{ParallelDecoder, Trace};
+use cbs_trace::{CbtReader, CbtWriter, ParallelDecoder, RequestBatch, Trace};
 
 /// A corpus whose lazy stream comfortably exceeds the largest
 /// `--stream` target so `.take(n)` yields exactly `n` requests.
@@ -76,8 +84,10 @@ fn phase_stream(millions: u64, bounded: bool) {
     } else {
         "stream"
     };
+    let workbench = StreamingWorkbench::new();
+    let shards = workbench.shards();
     let start = Instant::now();
-    let mut session = StreamingWorkbench::new().start();
+    let mut session = workbench.start();
     for req in generator.stream().take(n) {
         session.observe(req);
     }
@@ -87,7 +97,82 @@ fn phase_stream(millions: u64, bounded: bool) {
     assert_eq!(observed, n as u64, "corpus smaller than requested target");
     println!(
         "{{\"phase\":\"{phase}\",\"requests\":{observed},\"volumes\":{volumes},\
-         \"seconds\":{secs:.3},\"requests_per_sec\":{:.0},\"peak_rss_kb\":{}}}",
+         \"n_threads\":{shards},\"seconds\":{secs:.3},\"requests_per_sec\":{:.0},\
+         \"peak_rss_kb\":{}}}",
+        observed as f64 / secs,
+        peak_rss_kb()
+    );
+}
+
+/// Stream-analyze `millions`M requests fed as columnar
+/// [`RequestBatch`]es through [`cbs_core::StreamingSession::observe_request_batch`]
+/// — the entry point CBT re-ingest uses, without the decode cost.
+fn phase_stream_batched(millions: u64) {
+    const FEED_BATCH: usize = 8192;
+    let n = (millions * 1_000_000) as usize;
+    let workbench = StreamingWorkbench::new();
+    let shards = workbench.shards();
+    let start = Instant::now();
+    let mut session = workbench.start();
+    let mut feed = RequestBatch::with_capacity(FEED_BATCH);
+    for req in big_corpus().stream().take(n) {
+        feed.push(&req);
+        if feed.len() == FEED_BATCH {
+            session.observe_request_batch(&feed);
+            feed.clear();
+        }
+    }
+    session.observe_request_batch(&feed);
+    let observed = session.observed();
+    let volumes = session.finish().len();
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(observed, n as u64, "corpus smaller than requested target");
+    println!(
+        "{{\"phase\":\"stream_batched\",\"requests\":{observed},\"volumes\":{volumes},\
+         \"n_threads\":{shards},\"seconds\":{secs:.3},\"requests_per_sec\":{:.0},\
+         \"peak_rss_kb\":{}}}",
+        observed as f64 / secs,
+        peak_rss_kb()
+    );
+}
+
+/// Convert `millions`M requests to a CBT file (untimed), then time the
+/// full re-ingest: CBT decode → columnar batches → streaming analysis.
+fn phase_stream_cbt(millions: u64) {
+    let n = (millions * 1_000_000) as usize;
+    let path = std::env::temp_dir().join(format!("ingest_perf_{}.cbt", std::process::id()));
+    {
+        let file = std::fs::File::create(&path).expect("create temp cbt");
+        let mut writer = CbtWriter::new(std::io::BufWriter::new(file));
+        for req in big_corpus().stream().take(n) {
+            writer.write_request(&req).expect("encode cbt");
+        }
+        writer
+            .finish()
+            .expect("finish cbt")
+            .flush()
+            .expect("flush cbt");
+    }
+    let cbt_bytes = std::fs::metadata(&path).expect("stat temp cbt").len();
+
+    let workbench = StreamingWorkbench::new();
+    let shards = workbench.shards();
+    let start = Instant::now();
+    let mut session = workbench.start();
+    let file = std::fs::File::open(&path).expect("open temp cbt");
+    let mut reader = CbtReader::new(std::io::BufReader::new(file));
+    while let Some(batch) = reader.read_batch().expect("decode cbt") {
+        session.observe_request_batch(&batch);
+    }
+    let observed = session.observed();
+    let volumes = session.finish().len();
+    let secs = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(observed, n as u64, "cbt file shorter than written");
+    println!(
+        "{{\"phase\":\"stream_cbt\",\"requests\":{observed},\"volumes\":{volumes},\
+         \"n_threads\":{shards},\"cbt_bytes\":{cbt_bytes},\"seconds\":{secs:.3},\
+         \"requests_per_sec\":{:.0},\"peak_rss_kb\":{}}}",
         observed as f64 / secs,
         peak_rss_kb()
     );
@@ -104,26 +189,30 @@ fn phase_batch(millions: u64) {
     let volumes = analysis.metrics().len();
     let secs = start.elapsed().as_secs_f64();
     println!(
-        "{{\"phase\":\"batch\",\"requests\":{n},\"volumes\":{volumes},\
+        "{{\"phase\":\"batch\",\"requests\":{n},\"volumes\":{volumes},\"n_threads\":1,\
          \"seconds\":{secs:.3},\"requests_per_sec\":{:.0},\"peak_rss_kb\":{}}}",
         n as f64 / secs,
         peak_rss_kb()
     );
 }
 
-/// Decode throughput over an in-memory CSV corpus: sequential reader
-/// vs `ParallelDecoder` at 1 thread and at the core count.
-fn phase_decode(millions: u64) {
+/// Decode throughput over the same in-memory corpus, CSV vs CBT:
+/// sequential CSV reader, `ParallelDecoder` at 1 and (unless
+/// `threads == 1`) at `threads` workers, and the CBT block reader.
+fn phase_decode(millions: u64, threads: usize) {
     let n = (millions * 1_000_000) as usize;
     let mut csv = Vec::new();
+    let mut cbt_writer = CbtWriter::new(Vec::new());
     {
         let mut w = AliCloudWriter::new(&mut csv);
         for req in big_corpus().stream().take(n) {
             w.write_request(&req).unwrap();
+            cbt_writer.write_request(&req).unwrap();
         }
     }
+    let cbt = cbt_writer.finish().unwrap();
     let bytes = csv.len() as u64;
-    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let cbt_bytes = cbt.len() as u64;
 
     let time = |f: &dyn Fn() -> u64| {
         // Best of 3: decode throughput, not allocator warm-up.
@@ -142,8 +231,8 @@ fn phase_decode(millions: u64) {
             acc + 1
         })
     });
-    let par = |threads: usize| {
-        let decoder = ParallelDecoder::new().with_threads(threads);
+    let par = |workers: usize| {
+        let decoder = ParallelDecoder::new().with_threads(workers);
         let csv = &csv;
         time(&move || {
             let mut total = 0u64;
@@ -154,34 +243,120 @@ fn phase_decode(millions: u64) {
         })
     };
     let par1 = par(1);
-    let parn = par(cores);
+    // `parallel_1_thread` already covers N == 1; re-running it would
+    // only duplicate the measurement under another name.
+    let parn = (threads > 1).then(|| par(threads));
+    let cbt_secs = time(&|| {
+        let mut reader = CbtReader::new(&cbt[..]);
+        let mut total = 0u64;
+        while let Some(batch) = reader.read_batch().unwrap() {
+            total += batch.len() as u64;
+        }
+        total
+    });
 
     let mb = bytes as f64 / (1u64 << 20) as f64;
+    let cbt_mb = cbt_bytes as f64 / (1u64 << 20) as f64;
+    let parn_json = match parn {
+        Some(t) => format!(
+            ",\"parallel_n_threads\":{{\"seconds\":{t:.3},\"mb_per_sec\":{:.1},\
+             \"records_per_sec\":{:.0}}},\"speedup_vs_sequential\":{:.2}",
+            mb / t,
+            n as f64 / t,
+            seq / t
+        ),
+        None => String::new(),
+    };
     println!(
-        "{{\"phase\":\"decode\",\"records\":{n},\"bytes\":{bytes},\"n_threads\":{cores},\
+        "{{\"phase\":\"decode\",\"records\":{n},\"bytes\":{bytes},\"cbt_bytes\":{cbt_bytes},\
+         \"n_threads\":{threads},\
          \"sequential\":{{\"seconds\":{seq:.3},\"mb_per_sec\":{:.1},\"records_per_sec\":{:.0}}},\
-         \"parallel_1_thread\":{{\"seconds\":{par1:.3},\"mb_per_sec\":{:.1},\"records_per_sec\":{:.0}}},\
-         \"parallel_n_threads\":{{\"seconds\":{parn:.3},\"mb_per_sec\":{:.1},\"records_per_sec\":{:.0}}},\
-         \"speedup_vs_sequential\":{:.2},\"peak_rss_kb\":{}}}",
+         \"parallel_1_thread\":{{\"seconds\":{par1:.3},\"mb_per_sec\":{:.1},\"records_per_sec\":{:.0}}}\
+         {parn_json},\
+         \"cbt\":{{\"seconds\":{cbt_secs:.3},\"mb_per_sec\":{:.1},\"csv_equiv_mb_per_sec\":{:.1},\
+         \"records_per_sec\":{:.0},\"speedup_vs_csv_sequential\":{:.2}}},\
+         \"peak_rss_kb\":{}}}",
         mb / seq,
         n as f64 / seq,
         mb / par1,
         n as f64 / par1,
-        mb / parn,
-        n as f64 / parn,
-        seq / parn,
+        cbt_mb / cbt_secs,
+        mb / cbt_secs,
+        n as f64 / cbt_secs,
+        seq / cbt_secs,
         peak_rss_kb()
+    );
+}
+
+/// Fast CI gate over a small fixed corpus: asserts CSV → CBT → decode
+/// round-trips bit-identically, asserts batch / streaming / batched /
+/// CBT-fed analyses agree exactly, and prints the observed ingest rate.
+fn phase_smoke() {
+    const N: usize = 200_000;
+    let config = CorpusConfig::new(24, 2, 777).with_intensity_scale(0.05);
+    let requests: Vec<_> = presets::alicloud_like(&config).stream().take(N).collect();
+    assert_eq!(requests.len(), N, "smoke corpus too small");
+
+    // CSV → CBT → decode round-trip, bit-identical.
+    let mut csv = Vec::new();
+    {
+        let mut w = AliCloudWriter::new(&mut csv);
+        for req in &requests {
+            w.write_request(req).unwrap();
+        }
+    }
+    let decoded_csv = ParallelDecoder::new().decode_alicloud_slice(&csv).unwrap();
+    assert_eq!(decoded_csv, requests, "CSV decode mismatch");
+    let mut writer = CbtWriter::new(Vec::new());
+    writer
+        .write_batch(&RequestBatch::from(requests.as_slice()))
+        .unwrap();
+    let cbt = writer.finish().unwrap();
+    let mut decoded_cbt = Vec::new();
+    let mut reader = CbtReader::new(&cbt[..]);
+    while let Some(batch) = reader.read_batch().unwrap() {
+        decoded_cbt.extend(batch.iter());
+    }
+    assert_eq!(decoded_cbt, requests, "CBT round-trip mismatch");
+
+    // Batch workbench vs streaming (scalar and columnar feeds).
+    let batch = Workbench::new(Trace::from_requests(requests.clone())).analyze();
+    let start = Instant::now();
+    let streaming = StreamingWorkbench::new().analyze(requests.iter().copied());
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(streaming, batch.metrics(), "streaming metrics diverge");
+    let mut session = StreamingWorkbench::new().start();
+    let mut reader = CbtReader::new(&cbt[..]);
+    while let Some(batch) = reader.read_batch().unwrap() {
+        session.observe_request_batch(&batch);
+    }
+    let from_cbt = session.finish();
+    assert_eq!(from_cbt, batch.metrics(), "CBT-fed metrics diverge");
+
+    println!(
+        "smoke ok: {N} requests, cbt {} bytes ({:.2}x vs csv), \
+         round-trip + equivalence verified, {:.0} req/s streaming",
+        cbt.len(),
+        csv.len() as f64 / cbt.len() as f64,
+        N as f64 / secs
     );
 }
 
 /// Run each phase as a fresh subprocess (isolated `VmHWM`) and write
 /// the collected JSON lines to `BENCH_ingest.json`.
-fn orchestrate(stream_millions: &[u64], batch_millions: &[u64], decode_millions: u64) {
+fn orchestrate(
+    stream_millions: &[u64],
+    batch_millions: &[u64],
+    decode_millions: u64,
+    threads: usize,
+) {
     let exe = std::env::current_exe().expect("current_exe");
     let run = |args: &[String]| -> String {
         eprintln!("→ ingest_perf {}", args.join(" "));
         let out = std::process::Command::new(&exe)
             .args(args)
+            .arg("--threads")
+            .arg(threads.to_string())
             .output()
             .expect("spawn phase subprocess");
         assert!(
@@ -204,6 +379,8 @@ fn orchestrate(stream_millions: &[u64], batch_millions: &[u64], decode_millions:
     for &m in stream_millions {
         results.push(run(&["stream".into(), m.to_string()]));
     }
+    results.push(run(&["stream-batched".into(), 10.to_string()]));
+    results.push(run(&["stream-cbt".into(), 10.to_string()]));
     for &m in stream_millions {
         results.push(run(&["stream-bounded".into(), m.to_string()]));
     }
@@ -224,19 +401,39 @@ fn orchestrate(stream_millions: &[u64], batch_millions: &[u64], decode_millions:
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = std::thread::available_parallelism().map_or(1, |c| c.get());
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let value = args.get(i + 1).and_then(|s| s.parse().ok());
+        match value {
+            Some(n) if n >= 1 => {
+                threads = n;
+                args.drain(i..=i + 1);
+            }
+            _ => {
+                eprintln!("--threads expects a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
     let millions = |i: usize, default: u64| -> u64 {
         args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
     };
     match args.first().map(String::as_str) {
         Some("stream") => phase_stream(millions(1, 10), false),
+        Some("stream-batched") => phase_stream_batched(millions(1, 10)),
+        Some("stream-cbt") => phase_stream_cbt(millions(1, 10)),
         Some("stream-bounded") => phase_stream(millions(1, 10), true),
         Some("batch") => phase_batch(millions(1, 10)),
-        Some("decode") => phase_decode(millions(1, 2)),
+        Some("decode") => phase_decode(millions(1, 2), threads),
+        Some("smoke") => phase_smoke(),
         Some(other) => {
-            eprintln!("unknown phase {other:?}; expected stream|stream-bounded|batch|decode");
+            eprintln!(
+                "unknown phase {other:?}; expected \
+                 stream|stream-batched|stream-cbt|stream-bounded|batch|decode|smoke"
+            );
             std::process::exit(2);
         }
-        None => orchestrate(&[2, 10, 20], &[10, 20], 2),
+        None => orchestrate(&[2, 10, 20], &[10, 20], 2, threads),
     }
 }

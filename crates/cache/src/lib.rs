@@ -12,8 +12,8 @@
 //! * [`sim`] — [`CacheSim`], which drives a policy over a block-access
 //!   stream and tallies read/write hit ratios as the paper reports them;
 //! * [`reuse`] — exact reuse-distance computation (Mattson stack
-//!   distances via a Fenwick tree) and SHARDS-style sampled
-//!   approximation;
+//!   distances via an occupancy bitset with a hierarchical popcount
+//!   index) and SHARDS-style sampled approximation;
 //! * [`mrc`] — miss-ratio curves derived from reuse distances, after
 //!   Counter Stacks / SHARDS (both cited by the paper);
 //! * [`opt`] — Belady's offline-optimal MIN as the unbeatable baseline.
@@ -58,7 +58,7 @@ pub use lru::Lru;
 pub use mrc::MissRatioCurve;
 pub use opt::{simulate_opt, OptResult};
 pub use policy::{AccessResult, CachePolicy};
-pub use reuse::{ReuseDistances, ShardsSampler};
+pub use reuse::{ReuseDistances, ReuseStack, ShardsSampler};
 pub use sim::{CacheSim, CacheStats};
 pub use slru::Slru;
 pub use twoq::TwoQ;

@@ -1,5 +1,5 @@
-//! Reuse (stack) distance computation: [`ReuseDistances`] and
-//! [`ShardsSampler`].
+//! Reuse (stack) distance computation: [`ReuseStack`],
+//! [`ReuseDistances`] and [`ShardsSampler`].
 //!
 //! The *reuse distance* of an access is the number of **distinct** blocks
 //! referenced since the previous access to the same block (∞ for a first
@@ -8,73 +8,309 @@
 //! miss-ratio curve ([`crate::MissRatioCurve`]). The paper cites Counter
 //! Stacks (OSDI'14) and SHARDS (FAST'15) for exactly this machinery.
 //!
-//! The exact computation is Mattson's algorithm with a Fenwick tree over
-//! access positions: O(log n) per access. [`ShardsSampler`] implements
-//! fixed-rate SHARDS spatial sampling for approximate curves at a small
-//! fraction of the cost.
+//! The exact computation is Mattson's algorithm. Its classic
+//! implementation keeps a Fenwick tree with one cell per *access
+//! position*; [`ReuseStack`] compresses that to one **bit** per position
+//! (a `Vec<u64>` occupancy bitset) plus a radix-8 hierarchy of per-group
+//! popcount counters. Three observations make touches cheap:
+//!
+//! * every live bit marks the *most recent* access position of some
+//!   distinct block, so the number of live positions **above** `p` — the
+//!   reuse distance — is `live − rank(p)`, turning the classic
+//!   two-prefix-sum query into one rank;
+//! * unlike a Fenwick tree, the counter hierarchy makes clearing a bit a
+//!   handful of direct decrements (no log-depth update walk), and a rank
+//!   is at most seven additions per level plus one masked `count_ones` —
+//!   touching only two cache lines that aren't already hot;
+//! * workloads retouch *runs* of blocks that were last touched together
+//!   (a request rewriting the same span), and clearing position `p`
+//!   leaves `rank(p + 1)` unchanged — so consecutive-position touches
+//!   skip the rank walk entirely and reuse the previous rank.
+//!
+//! [`ReuseDistances`] adds the block → last-position map and the
+//! distance histogram on top; callers that already keep per-block state
+//! (the volume analyzer) fold the position into their own map and drive
+//! [`ReuseStack`] directly, paying one hash lookup per touch instead of
+//! two. [`ShardsSampler`] implements fixed-rate SHARDS spatial sampling
+//! for approximate curves at a small fraction of the cost.
 
-use std::collections::HashMap;
-
+use cbs_trace::hash::FxHashMap;
 use cbs_trace::BlockId;
 
-/// A Fenwick (binary indexed) tree over access positions, supporting
-/// point updates and prefix sums; grows by appending zeros.
-#[derive(Debug, Clone, Default)]
-struct Fenwick {
-    /// 1-based implicit tree.
-    tree: Vec<u64>,
+/// Occupancy bitset + hierarchical popcount index for exact reuse
+/// distances.
+///
+/// A `ReuseStack` assigns monotonically increasing *positions* to
+/// accesses and tracks which positions are *live* (the latest access of
+/// some block). The caller owns the block → position map:
+///
+/// * first touch of a block → [`touch_cold`](Self::touch_cold), store
+///   the returned position;
+/// * repeat touch → [`touch`](Self::touch) with the stored position,
+///   which returns the reuse distance and the new position to store.
+///
+/// Dead positions accumulate one *bit* each; when
+/// [`should_compact`](Self::should_compact) turns true, the caller
+/// relabels every stored position via
+/// [`compacted_pos`](Self::compacted_pos) and then calls
+/// [`rebuild_compacted`](Self::rebuild_compacted), keeping memory at
+/// O(distinct blocks).
+///
+/// # Example
+///
+/// ```
+/// use cbs_cache::ReuseStack;
+///
+/// // stream: a b a  →  a's second access has distance 1
+/// let mut stack = ReuseStack::new();
+/// let a = stack.touch_cold();
+/// let _b = stack.touch_cold();
+/// let (distance, _new_a) = stack.touch(a);
+/// assert_eq!(distance, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReuseStack {
+    /// Bit `p % 64` of word `p / 64` is set iff position `p` is live.
+    words: Vec<u64>,
+    /// Set-bit count per group of 8 words (512 positions).
+    l1: Vec<u32>,
+    /// Set-bit count per group of 64 words (4 Ki positions).
+    l2: Vec<u32>,
+    /// Set-bit count per group of 512 words (32 Ki positions).
+    l3: Vec<u32>,
+    /// Set-bit count per group of 4096 words (256 Ki positions).
+    l4: Vec<u32>,
+    /// Number of live positions (= distinct blocks tracked).
+    live: usize,
+    /// Next position to assign.
+    next_pos: usize,
+    /// Position cleared by the most recent [`touch`](Self::touch)
+    /// (`usize::MAX` = none); keyed against `prev - 1` for the
+    /// consecutive-run fast path.
+    last_cleared: usize,
+    /// The rank that was computed for `last_cleared`.
+    last_rank: u64,
 }
 
-impl Fenwick {
-    fn len(&self) -> usize {
-        self.tree.len()
+impl Default for ReuseStack {
+    fn default() -> Self {
+        ReuseStack {
+            words: Vec::new(),
+            l1: Vec::new(),
+            l2: Vec::new(),
+            l3: Vec::new(),
+            l4: Vec::new(),
+            live: 0,
+            next_pos: 0,
+            last_cleared: usize::MAX,
+            last_rank: 0,
+        }
+    }
+}
+
+impl ReuseStack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// Appends one new position with initial value `delta`.
+    /// Number of live positions — equals the number of distinct blocks
+    /// whose last access is being tracked.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total positions assigned since the last compaction (bounds the
+    /// bitset length).
+    pub fn positions(&self) -> usize {
+        self.next_pos
+    }
+
+    /// Records a first-touch access and returns its position.
+    #[inline]
+    pub fn touch_cold(&mut self) -> usize {
+        self.push_live()
+    }
+
+    /// Records a repeat access whose previous position is `prev`
+    /// (as returned by the last `touch`/`touch_cold` for this block).
+    /// Returns the reuse distance and the new position.
     ///
-    /// Appending is the only way the tree grows: the new cell's covered
-    /// range `(i − lowbit(i), i]` reaches back over existing positions,
-    /// so its initial value is computed from existing prefix sums.
-    fn append(&mut self, delta: i64) {
-        let i = self.tree.len() + 1; // 1-based index of the new cell
-        let lowbit = i & i.wrapping_neg();
-        let range_sum = self.prefix1(i - 1).wrapping_sub(self.prefix1(i - lowbit));
-        self.tree.push(range_sum.wrapping_add(delta as u64));
+    /// Fast path: if the immediately preceding `touch` cleared
+    /// `prev - 1`, then `rank(prev)` equals that touch's rank — the
+    /// clear removed one bit below `prev` and `prev`'s own bit adds it
+    /// back, while appends land strictly above. Spans retouched in
+    /// order (the common rewrite pattern) therefore pay for one rank
+    /// walk per run, not per block.
+    #[inline]
+    pub fn touch(&mut self, prev: usize) -> (u64, usize) {
+        // Live positions strictly above `prev` are exactly the blocks
+        // accessed since this block's previous access.
+        let rank = if prev != 0 && prev - 1 == self.last_cleared {
+            self.last_rank
+        } else {
+            self.rank_inclusive(prev)
+        };
+        let distance = self.live as u64 - rank;
+        self.clear(prev);
+        self.last_cleared = prev;
+        self.last_rank = rank;
+        (distance, self.push_live())
     }
 
-    /// Adds `delta` at 0-based position `pos`, appending zero-valued
-    /// positions first if `pos` is past the end.
-    fn add(&mut self, pos: usize, delta: i64) {
-        while self.tree.len() < pos {
-            self.append(0);
-        }
-        if self.tree.len() == pos {
-            self.append(delta);
-            return;
-        }
-        let mut i = pos + 1; // 1-based
-        while i <= self.tree.len() {
-            let cell = &mut self.tree[i - 1];
-            *cell = cell.wrapping_add(delta as u64);
-            i += i & i.wrapping_neg();
-        }
-    }
-
-    /// Sum of 1-based positions `1..=i`; `i` must be ≤ `len`.
-    fn prefix1(&self, mut i: usize) -> u64 {
-        debug_assert!(i <= self.tree.len());
+    /// Number of live positions `<= pos`. `pos` must have been assigned.
+    ///
+    /// At most seven additions per hierarchy level (the top level is a
+    /// linear scan over 32 Ki-position supergroups), plus whole-word and
+    /// masked popcounts inside `pos`'s own 8-word group.
+    #[inline]
+    fn rank_inclusive(&self, pos: usize) -> u64 {
+        let w = pos / 64;
+        let (g1, g2, g3) = (w >> 3, w >> 6, w >> 9);
         let mut sum = 0u64;
-        while i > 0 {
-            sum = sum.wrapping_add(self.tree[i - 1]);
-            i -= i & i.wrapping_neg();
+        for i in 0..(w >> 12) {
+            sum += u64::from(self.l4[i]);
         }
-        sum
+        for i in ((w >> 12) << 3)..g3 {
+            sum += u64::from(self.l3[i]);
+        }
+        for i in (g3 << 3)..g2 {
+            sum += u64::from(self.l2[i]);
+        }
+        for i in (g2 << 3)..g1 {
+            sum += u64::from(self.l1[i]);
+        }
+        for i in (g1 << 3)..w {
+            sum += u64::from(self.words[i].count_ones());
+        }
+        let mask = u64::MAX >> (63 - pos % 64);
+        sum + u64::from((self.words[w] & mask).count_ones())
     }
 
-    /// Sum of 0-based positions `0..=pos`; positions past the end count
-    /// as zero.
-    fn prefix(&self, pos: usize) -> u64 {
-        self.prefix1((pos + 1).min(self.tree.len()))
+    /// Clears live position `pos`: one bit plus four direct decrements.
+    #[inline]
+    fn clear(&mut self, pos: usize) {
+        let w = pos / 64;
+        self.words[w] &= !(1u64 << (pos % 64));
+        self.l1[w >> 3] -= 1;
+        self.l2[w >> 6] -= 1;
+        self.l3[w >> 9] -= 1;
+        self.l4[w >> 12] -= 1;
+        self.live -= 1;
+    }
+
+    #[inline]
+    fn push_live(&mut self) -> usize {
+        let pos = self.next_pos;
+        self.next_pos += 1;
+        let w = pos / 64;
+        if w == self.words.len() {
+            self.words.push(0);
+            self.grow_counters();
+        }
+        self.words[w] |= 1u64 << (pos % 64);
+        self.l1[w >> 3] += 1;
+        self.l2[w >> 6] += 1;
+        self.l3[w >> 9] += 1;
+        self.l4[w >> 12] += 1;
+        self.live += 1;
+        pos
+    }
+
+    /// Extends the counter levels to cover `words.len()` words.
+    fn grow_counters(&mut self) {
+        let n = self.words.len();
+        if self.l1.len() * 8 < n {
+            self.l1.push(0);
+        }
+        if self.l2.len() * 64 < n {
+            self.l2.push(0);
+        }
+        if self.l3.len() * 512 < n {
+            self.l3.push(0);
+        }
+        if self.l4.len() * 4096 < n {
+            self.l4.push(0);
+        }
+    }
+
+    /// True when at least ⅞ of the assigned positions are dead (and the
+    /// stack is big enough for compaction to matter). The threshold
+    /// trades bitset slack (one *bit* per dead position) for compaction
+    /// frequency: relabeling is O(live), so amortized compaction cost
+    /// per touch stays a small constant.
+    pub fn should_compact(&self) -> bool {
+        self.next_pos >= 1024 && self.next_pos >= 8 * self.live
+    }
+
+    /// The position `pos` will carry after the next
+    /// [`rebuild_compacted`](Self::rebuild_compacted). `pos` must be
+    /// live. Call for every stored position *before* rebuilding.
+    ///
+    /// For bulk relabeling prefer [`compaction_table`]
+    /// (Self::compaction_table), which amortizes the per-position rank
+    /// walk into one linear sweep.
+    pub fn compacted_pos(&self, pos: usize) -> usize {
+        (self.rank_inclusive(pos) - 1) as usize
+    }
+
+    /// Builds the full old-position → new-position relabel table for
+    /// the next [`rebuild_compacted`](Self::rebuild_compacted) in one
+    /// linear sweep: `table[pos]` is the compacted position for every
+    /// live `pos`; dead positions hold `u32::MAX`.
+    pub fn compaction_table(&self) -> Vec<u32> {
+        let mut table = vec![u32::MAX; self.next_pos];
+        let mut new_pos = 0u32;
+        for (w, &bits) in self.words.iter().enumerate() {
+            let mut rest = bits;
+            while rest != 0 {
+                let bit = rest.trailing_zeros() as usize;
+                let pos = w * 64 + bit;
+                if pos >= self.next_pos {
+                    break;
+                }
+                table[pos] = new_pos;
+                new_pos += 1;
+                rest &= rest - 1;
+            }
+        }
+        table
+    }
+
+    /// Renumbers the live positions to `0..live()` (preserving order)
+    /// and drops all dead positions. Stored positions must already have
+    /// been relabeled via [`compacted_pos`](Self::compacted_pos).
+    pub fn rebuild_compacted(&mut self) {
+        let live = self.live;
+        let n_words = live.div_ceil(64);
+        self.words.clear();
+        self.words.resize(n_words, u64::MAX);
+        if live % 64 != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last = u64::MAX >> (64 - live % 64);
+            }
+        }
+        // O(n) rebuild of the counter hierarchy from word popcounts.
+        self.l1.clear();
+        self.l1.resize(n_words.div_ceil(8), 0);
+        self.l2.clear();
+        self.l2.resize(n_words.div_ceil(64), 0);
+        self.l3.clear();
+        self.l3.resize(n_words.div_ceil(512), 0);
+        self.l4.clear();
+        self.l4.resize(n_words.div_ceil(4096), 0);
+        for (w, bits) in self.words.iter().enumerate() {
+            let ones = bits.count_ones();
+            self.l1[w >> 3] += ones;
+            self.l2[w >> 6] += ones;
+            self.l3[w >> 9] += ones;
+            self.l4[w >> 12] += ones;
+        }
+        self.next_pos = live;
+        // Old positions are renumbered, so the run fast path must not
+        // match against a pre-compaction clear.
+        self.last_cleared = usize::MAX;
+        self.last_rank = 0;
     }
 }
 
@@ -97,17 +333,13 @@ impl Fenwick {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ReuseDistances {
-    fenwick: Fenwick,
+    stack: ReuseStack,
     /// block → position of its most recent access.
-    last_pos: HashMap<BlockId, usize>,
+    last_pos: FxHashMap<BlockId, usize>,
     /// histogram\[d\] = number of accesses with finite reuse distance d.
     histogram: Vec<u64>,
     cold_misses: u64,
     accesses: u64,
-    /// Position of the next access. Decoupled from `accesses`: position
-    /// space is rewritten by [`Self::compact`], so it restarts while
-    /// `accesses` keeps counting.
-    next_pos: usize,
 }
 
 impl ReuseDistances {
@@ -119,23 +351,19 @@ impl ReuseDistances {
     /// Processes one access and returns its reuse distance
     /// (`None` = cold / infinite).
     pub fn access(&mut self, block: BlockId) -> Option<u64> {
-        let pos = self.next_pos;
-        self.next_pos += 1;
         self.accesses += 1;
-        let distance = match self.last_pos.insert(block, pos) {
-            Some(prev) => {
-                // distinct blocks touched strictly between prev and pos:
-                // each distinct block contributes a 1 at its last position.
-                let between = self.fenwick.prefix(pos - 1) - self.fenwick.prefix(prev);
-                self.fenwick.add(prev, -1);
-                Some(between)
+        let distance = match self.last_pos.entry(block) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                let (distance, pos) = self.stack.touch(*entry.get());
+                *entry.get_mut() = pos;
+                Some(distance)
             }
-            None => {
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(self.stack.touch_cold());
                 self.cold_misses += 1;
                 None
             }
         };
-        self.fenwick.add(pos, 1);
         if let Some(d) = distance {
             let d = d as usize;
             if d >= self.histogram.len() {
@@ -143,33 +371,17 @@ impl ReuseDistances {
             }
             self.histogram[d] += 1;
         }
-        // The tree holds one cell per position ever assigned, but only
-        // the `last_pos.len()` most-recent-access positions carry a 1.
-        // Compacting when at least half the cells are dead keeps memory
-        // at O(distinct blocks) instead of O(accesses), at O(log n)
-        // amortized extra cost per access.
-        if self.fenwick.len() >= 64 && self.fenwick.len() >= 2 * self.last_pos.len() {
-            self.compact();
+        // Only `last_pos.len()` positions are live; compacting when
+        // most are dead keeps memory at O(distinct blocks) instead of
+        // O(accesses), at amortized O(1) extra cost per access.
+        if self.stack.should_compact() {
+            let table = self.stack.compaction_table();
+            for pos in self.last_pos.values_mut() {
+                *pos = table[*pos] as usize;
+            }
+            self.stack.rebuild_compacted();
         }
         distance
-    }
-
-    /// Rewrites position space to drop dead (superseded) positions:
-    /// live positions keep their relative order, so every future
-    /// between-count — and therefore every distance — is unchanged.
-    fn compact(&mut self) {
-        let mut live: Vec<(usize, BlockId)> = self
-            .last_pos
-            .iter()
-            .map(|(&block, &pos)| (pos, block))
-            .collect();
-        live.sort_unstable();
-        self.fenwick = Fenwick::default();
-        for (new_pos, &(_, block)) in live.iter().enumerate() {
-            self.fenwick.append(1);
-            self.last_pos.insert(block, new_pos);
-        }
-        self.next_pos = live.len();
     }
 
     /// Processes a whole access stream.
@@ -318,18 +530,56 @@ mod tests {
     }
 
     #[test]
-    fn fenwick_prefix_sums() {
-        let mut f = Fenwick::default();
-        f.add(0, 1);
-        f.add(3, 2);
-        f.add(7, 5);
-        assert_eq!(f.prefix(0), 1);
-        assert_eq!(f.prefix(2), 1);
-        assert_eq!(f.prefix(3), 3);
-        assert_eq!(f.prefix(100), 8);
-        f.add(3, -2);
-        assert_eq!(f.prefix(6), 1);
-        assert_eq!(f.len(), 8);
+    fn stack_rank_and_distance() {
+        let mut s = ReuseStack::new();
+        // Positions 0..=70 all live (spanning a word boundary).
+        let positions: Vec<usize> = (0..71).map(|_| s.touch_cold()).collect();
+        assert_eq!(s.live(), 71);
+        assert_eq!(positions, (0..71).collect::<Vec<_>>());
+        // Touching position 0 sees all 70 later blocks.
+        let (d, new_pos) = s.touch(0);
+        assert_eq!(d, 70);
+        assert_eq!(new_pos, 71);
+        assert_eq!(s.live(), 71);
+        // Touching position 64 (word 1) now sees 6 later live positions
+        // (65..=70) plus the relocated block at 71.
+        let (d, _) = s.touch(64);
+        assert_eq!(d, 7);
+    }
+
+    #[test]
+    fn stack_compaction_preserves_order() {
+        let mut s = ReuseStack::new();
+        let mut pos: Vec<usize> = (0..100).map(|_| s.touch_cold()).collect();
+        // Touch the first 50 blocks over and over until most positions
+        // are dead (100 + 50·19 = 1050 assigned, 100 live).
+        for _round in 0..19 {
+            for p in pos.iter_mut().take(50) {
+                let (_, new_pos) = s.touch(*p);
+                *p = new_pos;
+            }
+        }
+        assert!(s.should_compact());
+        let relabeled: Vec<usize> = pos.iter().map(|&p| s.compacted_pos(p)).collect();
+        // The bulk table must agree with per-position relabeling.
+        let table = s.compaction_table();
+        for (&p, &r) in pos.iter().zip(&relabeled) {
+            assert_eq!(table[p] as usize, r);
+        }
+        s.rebuild_compacted();
+        assert_eq!(s.positions(), 100);
+        assert_eq!(s.live(), 100);
+        // Relative order preserved: blocks 50..100 (untouched, oldest)
+        // come first, then blocks 0..50 in re-touch order.
+        let mut sorted = relabeled.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_eq!(relabeled[50..], (0..50).collect::<Vec<_>>()[..]);
+        assert_eq!(relabeled[..50], (50..100).collect::<Vec<_>>()[..]);
+        // Distances still correct after the rebuild: the oldest block
+        // (block 50, now at position 0) sees all 99 others.
+        let (d, _) = s.touch(relabeled[50]);
+        assert_eq!(d, 99);
     }
 
     #[test]
@@ -392,9 +642,9 @@ mod tests {
     #[test]
     fn compaction_bounds_memory_and_preserves_distances() {
         // 40k accesses over 100 distinct blocks, irregular revisit
-        // order; compaction must keep the tree near the distinct-block
-        // count while leaving every distance identical to the naive
-        // LRU-stack model.
+        // order; compaction must keep the position space near the
+        // distinct-block count while leaving every distance identical
+        // to the naive LRU-stack model.
         let stream: Vec<u64> = (0..40_000).map(|i| (i * i * 7 + i * 13) % 100).collect();
         let mut rd = ReuseDistances::new();
         let mut stack: Vec<u64> = Vec::new();
@@ -408,9 +658,9 @@ mod tests {
         }
         assert_eq!(rd.accesses(), 40_000);
         assert!(
-            rd.fenwick.len() < 2 * 100 + 64,
-            "tree grew with accesses: {} cells for 100 blocks",
-            rd.fenwick.len()
+            rd.stack.positions() < 8 * 100 + 1024,
+            "position space grew with accesses: {} positions for 100 blocks",
+            rd.stack.positions()
         );
     }
 

@@ -5,20 +5,26 @@
 //! fanning out per-volume analyzers. This module provides the one-pass
 //! alternative: requests flow from any producer (a
 //! [`cbs_trace::ParallelDecoder`] sink, a lazy synthetic corpus stream,
-//! a custom reader) straight into per-volume [`VolumeAnalyzer`]s that
-//! live on shard worker threads, so peak memory is bounded by the
-//! analyzers' own per-volume state (O(volumes + working-set blocks)),
-//! independent of trace length.
+//! a CBT reader, a custom source) straight into per-volume
+//! [`VolumeAnalyzer`]s that live on shard worker threads, so peak
+//! memory is bounded by the analyzers' own per-volume state
+//! (O(volumes + working-set blocks)), independent of trace length.
 //!
 //! ```text
 //! producer (caller thread)        S shard workers
 //! ┌────────────────────────┐  bounded  ┌──────────────────────────┐
-//! │ observe(req)           │  channels │ HashMap<VolumeId,        │
+//! │ observe(req)           │  channels │ FxHashMap<VolumeId,      │
 //! │  route: volume → shard │ ────────► │         VolumeAnalyzer>  │
-//! │  buffer per shard,     │ (batches) │ observe() each record    │
-//! │  flush at batch_size   │           │ finish() on close        │
+//! │  SoA buffer per shard, │ (Request- │ observe_batch() over     │
+//! │  flush at batch_size   │  Batches) │ per-volume runs          │
 //! └────────────────────────┘           └──────────────────────────┘
 //! ```
+//!
+//! Shard channels carry [`RequestBatch`]es (struct-of-arrays), so a
+//! batch handoff moves five dense columns instead of an array of
+//! request structs, and workers can feed analyzers through the
+//! [`VolumeAnalyzer::observe_batch`] fast path one per-volume run at a
+//! time.
 //!
 //! # Ordering contract
 //!
@@ -36,28 +42,39 @@
 //!
 //! With the same epoch, the per-volume metrics are **identical** to
 //! [`crate::Workbench::analyze`] — the same `VolumeAnalyzer` runs over
-//! the same per-volume sequences; only the driving loop differs. The
+//! the same per-volume sequences; only the driving loop differs
+//! (`observe_batch` is bit-equivalent to per-request `observe`). The
 //! batch path anchors interval/day indices at `trace.start()`, so the
 //! session uses the first observed timestamp as the epoch by default
 //! (correct for any globally time-ordered stream) and offers
 //! [`StreamingWorkbench::with_epoch`] for producers that interleave
 //! volumes without global time order.
 
-use std::collections::HashMap;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 
 use cbs_analysis::{AnalysisConfig, InvalidConfig, VolumeAnalyzer, VolumeMetrics};
-use cbs_trace::{IoRequest, Timestamp, VolumeId};
+use cbs_trace::hash::FxHashMap;
+use cbs_trace::{IoRequest, RequestBatch, Timestamp, VolumeId};
 
 /// Default number of requests buffered per shard before a batch is
 /// sent to the worker.
+///
+/// Chosen from the `streaming_tuning` bench in `cbs-bench`: on the
+/// synthetic AliCloud-like corpus, throughput is flat from 4 Ki to
+/// 32 Ki and degrades below 1 Ki (per-batch handoff overhead) — 8 Ki
+/// keeps the pipeline's buffered footprint small without measurable
+/// cost.
 pub const DEFAULT_BATCH_SIZE: usize = 8192;
 
-/// In-flight batches allowed per shard channel; combined with
+/// Default in-flight batches allowed per shard channel; combined with
 /// `batch_size` this bounds the pipeline's buffered requests at
-/// `shards × (CHANNEL_DEPTH + 1) × batch_size`.
-const CHANNEL_DEPTH: usize = 4;
+/// `shards × (channel_depth + 1) × batch_size`.
+///
+/// Also picked from the `streaming_tuning` bench: depth 2–8 measures
+/// identically (the pipeline is compute-bound, not handoff-bound);
+/// 4 leaves slack for scheduling hiccups without hoarding memory.
+pub const DEFAULT_CHANNEL_DEPTH: usize = 4;
 
 /// Builder for a sharded streaming analysis.
 ///
@@ -84,6 +101,7 @@ pub struct StreamingWorkbench {
     config: AnalysisConfig,
     shards: usize,
     batch_size: usize,
+    channel_depth: usize,
     epoch: Option<Timestamp>,
 }
 
@@ -95,12 +113,14 @@ impl Default for StreamingWorkbench {
 
 impl StreamingWorkbench {
     /// Creates a builder with the paper's default analysis parameters,
-    /// one shard per available core, and the default batch size.
+    /// one shard per available core, and the default batch size and
+    /// channel depth.
     pub fn new() -> Self {
         StreamingWorkbench {
             config: AnalysisConfig::default(),
             shards: crate::parallel::default_threads(),
             batch_size: DEFAULT_BATCH_SIZE,
+            channel_depth: DEFAULT_CHANNEL_DEPTH,
             epoch: None,
         }
     }
@@ -132,6 +152,14 @@ impl StreamingWorkbench {
         self
     }
 
+    /// Sets how many flushed batches may be in flight per shard channel
+    /// (min 1) before the producer blocks on backpressure.
+    #[must_use]
+    pub fn with_channel_depth(mut self, depth: usize) -> Self {
+        self.channel_depth = depth.max(1);
+        self
+    }
+
     /// Anchors interval/day indices at an explicit epoch instead of the
     /// first observed timestamp. Required for batch-equivalent metrics
     /// when the stream is *not* globally time-ordered (e.g. volume-major
@@ -147,18 +175,28 @@ impl StreamingWorkbench {
         self.shards
     }
 
+    /// Configured per-shard flush threshold.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Configured per-shard channel depth.
+    pub fn channel_depth(&self) -> usize {
+        self.channel_depth
+    }
+
     /// Spawns the shard workers and returns the push-style session.
     pub fn start(self) -> StreamingSession {
         let mut senders = Vec::with_capacity(self.shards);
         let mut handles = Vec::with_capacity(self.shards);
         for _ in 0..self.shards {
-            let (tx, rx) = sync_channel::<Batch>(CHANNEL_DEPTH);
+            let (tx, rx) = sync_channel::<Batch>(self.channel_depth);
             let config = self.config.clone();
             senders.push(tx);
             handles.push(std::thread::spawn(move || shard_worker(rx, config)));
         }
         StreamingSession {
-            buffers: senders.iter().map(|_| Vec::new()).collect(),
+            buffers: senders.iter().map(|_| RequestBatch::new()).collect(),
             senders,
             handles,
             batch_size: self.batch_size,
@@ -182,8 +220,8 @@ impl StreamingWorkbench {
 }
 
 /// One routed unit of work: the epoch every lazily-created analyzer in
-/// the batch must anchor to, plus the records.
-type Batch = (Timestamp, Vec<IoRequest>);
+/// the batch must anchor to, plus the records as dense columns.
+type Batch = (Timestamp, RequestBatch);
 
 /// A running sharded analysis accepting pushed requests — see
 /// [`StreamingWorkbench::start`].
@@ -194,7 +232,7 @@ type Batch = (Timestamp, Vec<IoRequest>);
 #[derive(Debug)]
 pub struct StreamingSession {
     senders: Vec<SyncSender<Batch>>,
-    buffers: Vec<Vec<IoRequest>>,
+    buffers: Vec<RequestBatch>,
     handles: Vec<JoinHandle<Vec<VolumeMetrics>>>,
     batch_size: usize,
     epoch: Option<Timestamp>,
@@ -212,17 +250,43 @@ impl StreamingSession {
         }
         let shard = req.volume().as_usize() % self.senders.len();
         self.observed += 1;
-        self.buffers[shard].push(req);
+        self.buffers[shard].push(&req);
         if self.buffers[shard].len() >= self.batch_size {
             self.flush(shard);
         }
     }
 
-    /// Observes every request of a batch (e.g. a decoded chunk from
-    /// [`cbs_trace::ParallelDecoder`]).
+    /// Observes every request of a decoded chunk (e.g. a
+    /// [`cbs_trace::ParallelDecoder`] sink batch).
     pub fn observe_batch(&mut self, batch: Vec<IoRequest>) {
         for req in batch {
             self.observe(req);
+        }
+    }
+
+    /// Observes every record of a columnar batch (e.g. straight from a
+    /// [`cbs_trace::CbtReader`] block), routing by the volume column
+    /// without materializing per-request structs.
+    pub fn observe_request_batch(&mut self, batch: &RequestBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        if self.epoch.is_none() {
+            self.epoch = Some(batch.timestamps()[0]);
+        }
+        let shards = self.senders.len();
+        let volumes = batch.volumes();
+        let ops = batch.ops();
+        let offsets = batch.offsets();
+        let lens = batch.lens();
+        let timestamps = batch.timestamps();
+        for i in 0..batch.len() {
+            let shard = volumes[i].as_usize() % shards;
+            self.observed += 1;
+            self.buffers[shard].push_fields(volumes[i], ops[i], offsets[i], lens[i], timestamps[i]);
+            if self.buffers[shard].len() >= self.batch_size {
+                self.flush(shard);
+            }
         }
     }
 
@@ -269,26 +333,32 @@ impl StreamingSession {
     }
 }
 
-/// Shard worker loop: lazily create one analyzer per volume, feed it
-/// every routed record, and emit the finished metrics when the channel
-/// closes.
+/// Shard worker loop: lazily create one analyzer per volume and feed
+/// it through [`VolumeAnalyzer::observe_batch`], one consecutive
+/// same-volume run at a time (one hash lookup per run); emit the
+/// finished metrics when the channel closes.
 fn shard_worker(rx: Receiver<Batch>, config: AnalysisConfig) -> Vec<VolumeMetrics> {
-    let mut analyzers: HashMap<VolumeId, VolumeAnalyzer> = HashMap::new();
+    let mut analyzers: FxHashMap<VolumeId, VolumeAnalyzer> = FxHashMap::default();
     for (epoch, batch) in rx {
-        for req in batch {
-            match analyzers.get_mut(&req.volume()) {
-                Some(analyzer) => analyzer.observe(&req),
+        let volumes = batch.volumes();
+        let mut start = 0usize;
+        for i in 1..=volumes.len() {
+            if i != volumes.len() && volumes[i] == volumes[start] {
+                continue;
+            }
+            let volume = volumes[start];
+            match analyzers.get_mut(&volume) {
+                Some(analyzer) => analyzer.observe_batch(&batch, start..i),
                 // `with_config` validated the config, so the
                 // constructor cannot be rejected here.
                 None => {
-                    if let Ok(mut analyzer) =
-                        VolumeAnalyzer::new(req.volume(), epoch, config.clone())
-                    {
-                        analyzer.observe(&req);
-                        analyzers.insert(req.volume(), analyzer);
+                    if let Ok(mut analyzer) = VolumeAnalyzer::new(volume, epoch, config.clone()) {
+                        analyzer.observe_batch(&batch, start..i);
+                        analyzers.insert(volume, analyzer);
                     }
                 }
             }
+            start = i;
         }
     }
     analyzers
@@ -334,6 +404,48 @@ mod tests {
                 .analyze(reqs.iter().copied());
             assert_eq!(streaming, batch.metrics(), "shards={shards}");
         }
+    }
+
+    #[test]
+    fn matches_batch_workbench_via_request_batches() {
+        // Feeding whole RequestBatches (the CBT re-ingest path) must
+        // yield the same metrics as per-request feeding and as the
+        // batch workbench.
+        let reqs = time_ordered_requests(7, 200);
+        let batch = Workbench::new(Trace::from_requests(reqs.clone())).analyze();
+        for chunk in [1usize, 97, 1000, 5000] {
+            let mut session = StreamingWorkbench::new()
+                .with_shards(3)
+                .with_batch_size(128)
+                .start();
+            for piece in reqs.chunks(chunk) {
+                session.observe_request_batch(&RequestBatch::from(piece));
+            }
+            let streaming = session.finish();
+            assert_eq!(streaming, batch.metrics(), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn tuning_knobs_are_applied_and_clamped() {
+        let wb = StreamingWorkbench::new()
+            .with_batch_size(0)
+            .with_channel_depth(0);
+        assert_eq!(wb.batch_size(), 1);
+        assert_eq!(wb.channel_depth(), 1);
+        let wb = StreamingWorkbench::new()
+            .with_batch_size(1024)
+            .with_channel_depth(2);
+        assert_eq!(wb.batch_size(), 1024);
+        assert_eq!(wb.channel_depth(), 2);
+        // And the configuration must not change the results.
+        let reqs = time_ordered_requests(4, 64);
+        let baseline = StreamingWorkbench::new().analyze(reqs.iter().copied());
+        let tuned = StreamingWorkbench::new()
+            .with_batch_size(7)
+            .with_channel_depth(1)
+            .analyze(reqs.iter().copied());
+        assert_eq!(baseline, tuned);
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Struct-of-arrays request batches: [`RequestBatch`].
+//!
+//! The streaming pipeline moves requests between threads and feeds them
+//! to analysis kernels in batches. Carrying them as `Vec<IoRequest>`
+//! (array-of-structs) makes every kernel loop stride over 32-byte
+//! records even when it only needs one field; `RequestBatch` stores
+//! each field in its own column so that
+//!
+//! * batched kernels ([`observe_batch`]) scan exactly the columns they
+//!   use at full cache-line density,
+//! * the columnar trace codec ([`crate::codec::cbt`]) encodes and
+//!   decodes straight out of the columns without transposing, and
+//! * channel transfers move five `Vec`s regardless of batch length.
+//!
+//! A batch imposes no ordering or single-volume invariant of its own —
+//! it is a plain container; producers keep whatever ordering contract
+//! their consumer requires (the streaming pipeline preserves per-volume
+//! timestamp order exactly as it did with `Vec<IoRequest>`).
+//!
+//! [`observe_batch`]: ../../cbs_analysis/struct.VolumeAnalyzer.html#method.observe_batch
+
+use crate::{IoRequest, OpKind, Timestamp, VolumeId};
+
+/// A batch of requests in struct-of-arrays layout.
+///
+/// All five columns always have identical length. Records can be
+/// appended from [`IoRequest`]s ([`push`](Self::push)) or read back out
+/// ([`get`](Self::get), [`iter`](Self::iter)); kernels that want raw
+/// columns use the slice accessors.
+///
+/// # Example
+///
+/// ```
+/// use cbs_trace::{IoRequest, OpKind, RequestBatch, Timestamp, VolumeId};
+///
+/// let mut batch = RequestBatch::new();
+/// batch.push(&IoRequest::new(
+///     VolumeId::new(3),
+///     OpKind::Write,
+///     4096,
+///     8192,
+///     Timestamp::from_secs(1),
+/// ));
+/// assert_eq!(batch.len(), 1);
+/// assert_eq!(batch.offsets()[0], 4096);
+/// assert_eq!(batch.get(0).op(), OpKind::Write);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RequestBatch {
+    volumes: Vec<VolumeId>,
+    ops: Vec<OpKind>,
+    offsets: Vec<u64>,
+    lens: Vec<u32>,
+    timestamps: Vec<Timestamp>,
+}
+
+impl RequestBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty batch with room for `capacity` records in every
+    /// column.
+    pub fn with_capacity(capacity: usize) -> Self {
+        RequestBatch {
+            volumes: Vec::with_capacity(capacity),
+            ops: Vec::with_capacity(capacity),
+            offsets: Vec::with_capacity(capacity),
+            lens: Vec::with_capacity(capacity),
+            timestamps: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of records in the batch.
+    pub fn len(&self) -> usize {
+        self.volumes.len()
+    }
+
+    /// Returns `true` if the batch holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.volumes.is_empty()
+    }
+
+    /// Appends one request.
+    #[inline]
+    pub fn push(&mut self, req: &IoRequest) {
+        self.push_fields(req.volume(), req.op(), req.offset(), req.len(), req.ts());
+    }
+
+    /// Appends one record from its fields (no `IoRequest` round-trip).
+    #[inline]
+    pub fn push_fields(
+        &mut self,
+        volume: VolumeId,
+        op: OpKind,
+        offset: u64,
+        len: u32,
+        ts: Timestamp,
+    ) {
+        self.volumes.push(volume);
+        self.ops.push(op);
+        self.offsets.push(offset);
+        self.lens.push(len);
+        self.timestamps.push(ts);
+    }
+
+    /// Reassembles record `index` as an [`IoRequest`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`, like slice indexing.
+    #[inline]
+    pub fn get(&self, index: usize) -> IoRequest {
+        IoRequest::new(
+            self.volumes[index],
+            self.ops[index],
+            self.offsets[index],
+            self.lens[index],
+            self.timestamps[index],
+        )
+    }
+
+    /// The volume-id column.
+    #[inline]
+    pub fn volumes(&self) -> &[VolumeId] {
+        &self.volumes
+    }
+
+    /// The operation-kind column.
+    #[inline]
+    pub fn ops(&self) -> &[OpKind] {
+        &self.ops
+    }
+
+    /// The byte-offset column.
+    #[inline]
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The byte-length column.
+    #[inline]
+    pub fn lens(&self) -> &[u32] {
+        &self.lens
+    }
+
+    /// The timestamp column.
+    #[inline]
+    pub fn timestamps(&self) -> &[Timestamp] {
+        &self.timestamps
+    }
+
+    /// Rewrites the volume column in place. Used when volume ids were
+    /// interned against a local registry (e.g. per-chunk during
+    /// parallel MSRC decoding) and must be remapped to global ids.
+    pub fn remap_volumes<F>(&mut self, mut f: F)
+    where
+        F: FnMut(VolumeId) -> VolumeId,
+    {
+        for v in &mut self.volumes {
+            *v = f(*v);
+        }
+    }
+
+    /// Removes all records, keeping the columns' capacity.
+    pub fn clear(&mut self) {
+        self.volumes.clear();
+        self.ops.clear();
+        self.offsets.clear();
+        self.lens.clear();
+        self.timestamps.clear();
+    }
+
+    /// Iterates the records as [`IoRequest`]s in batch order.
+    pub fn iter(&self) -> impl Iterator<Item = IoRequest> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Copies the batch out as a flat request vector.
+    pub fn to_requests(&self) -> Vec<IoRequest> {
+        self.iter().collect()
+    }
+}
+
+impl From<&[IoRequest]> for RequestBatch {
+    fn from(requests: &[IoRequest]) -> Self {
+        let mut batch = RequestBatch::with_capacity(requests.len());
+        for req in requests {
+            batch.push(req);
+        }
+        batch
+    }
+}
+
+impl From<Vec<IoRequest>> for RequestBatch {
+    fn from(requests: Vec<IoRequest>) -> Self {
+        RequestBatch::from(requests.as_slice())
+    }
+}
+
+impl FromIterator<IoRequest> for RequestBatch {
+    fn from_iter<I: IntoIterator<Item = IoRequest>>(iter: I) -> Self {
+        let mut batch = RequestBatch::new();
+        for req in iter {
+            batch.push(&req);
+        }
+        batch
+    }
+}
+
+impl Extend<IoRequest> for RequestBatch {
+    fn extend<I: IntoIterator<Item = IoRequest>>(&mut self, iter: I) {
+        for req in iter {
+            self.push(&req);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<IoRequest> {
+        (0..n)
+            .map(|i| {
+                IoRequest::new(
+                    VolumeId::new((i % 5) as u32),
+                    if i % 3 == 0 {
+                        OpKind::Read
+                    } else {
+                        OpKind::Write
+                    },
+                    (i as u64) * 4096,
+                    512 * (i as u32 % 9 + 1),
+                    Timestamp::from_micros(i as u64 * 250),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrips_requests() {
+        let reqs = sample(100);
+        let batch = RequestBatch::from(reqs.as_slice());
+        assert_eq!(batch.len(), 100);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.to_requests(), reqs);
+        for (i, req) in reqs.iter().enumerate() {
+            assert_eq!(&batch.get(i), req);
+        }
+    }
+
+    #[test]
+    fn columns_are_consistent() {
+        let reqs = sample(17);
+        let batch: RequestBatch = reqs.iter().copied().collect();
+        assert_eq!(batch.volumes().len(), 17);
+        assert_eq!(batch.ops().len(), 17);
+        assert_eq!(batch.offsets().len(), 17);
+        assert_eq!(batch.lens().len(), 17);
+        assert_eq!(batch.timestamps().len(), 17);
+        assert_eq!(batch.offsets()[3], reqs[3].offset());
+        assert_eq!(batch.lens()[4], reqs[4].len());
+        assert_eq!(batch.timestamps()[5], reqs[5].ts());
+        assert_eq!(batch.volumes()[6], reqs[6].volume());
+        assert_eq!(batch.ops()[7], reqs[7].op());
+    }
+
+    #[test]
+    fn clear_keeps_nothing() {
+        let mut batch = RequestBatch::from(sample(10));
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!(batch.iter().count(), 0);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let reqs = sample(6);
+        let mut batch = RequestBatch::from(&reqs[..3]);
+        batch.extend(reqs[3..].iter().copied());
+        assert_eq!(batch.to_requests(), reqs);
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let reqs = sample(8);
+        let a = RequestBatch::from(reqs.as_slice());
+        let b: RequestBatch = reqs.into_iter().collect();
+        assert_eq!(a, b);
+        assert_ne!(a, RequestBatch::new());
+    }
+}

@@ -15,8 +15,14 @@
 //! [`std::io::BufRead`] source, yield `Result<_, TraceError>` items with
 //! one-based line numbers on failure, skip blank lines, and never
 //! allocate per record on the happy path (MSRC hostname interning aside).
+//!
+//! In addition to the CSV dialects, [`cbt`] implements the **columnar
+//! binary trace format**: a compact delta/varint-encoded representation
+//! that a CSV corpus is converted to once (via `cbs-convert`) and then
+//! re-ingested at a large multiple of CSV decode speed.
 
 pub mod alicloud;
+pub mod cbt;
 pub mod files;
 pub mod msrc;
 pub mod parallel;

@@ -39,7 +39,7 @@ use std::sync::mpsc::sync_channel;
 use std::sync::Mutex;
 
 use crate::error::{ParseRecordError, TraceError};
-use crate::IoRequest;
+use crate::{IoRequest, RequestBatch};
 
 use super::msrc::{MsrcRecord, VolumeRegistry};
 use super::{alicloud, msrc, trim_ascii};
@@ -173,6 +173,53 @@ impl ParallelDecoder {
         Ok(out)
     }
 
+    /// Like [`decode_alicloud`](Self::decode_alicloud) but delivers
+    /// columnar [`RequestBatch`]es: workers parse straight into
+    /// struct-of-arrays columns, so the batches can be handed to the
+    /// batched analysis kernels or a CBT writer without transposing.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParallelDecoder::decode_alicloud`].
+    pub fn decode_alicloud_batches<R, F>(
+        &self,
+        input: R,
+        mut sink: F,
+    ) -> Result<DecodeStats, TraceError>
+    where
+        R: Read + Send,
+        F: FnMut(RequestBatch),
+    {
+        let mut stats = DecodeStats::default();
+        let mut lines_before: u64 = 0;
+        run_pipeline(
+            self.threads,
+            ReaderChunks::new(input, self.chunk_size),
+            |chunk, _seq| parse_alicloud_chunk_soa(chunk),
+            |out: AliBatchOut| {
+                stats.chunks += 1;
+                stats.bytes += out.bytes;
+                stats.records += out.records.len() as u64;
+                if !out.records.is_empty() {
+                    sink(out.records);
+                }
+                let base = lines_before;
+                lines_before += out.lines;
+                match out.error {
+                    None => {
+                        stats.lines += out.lines;
+                        Ok(())
+                    }
+                    Some((rel, e)) => {
+                        stats.lines += rel;
+                        Err(TraceError::parse(base + rel, e))
+                    }
+                }
+            },
+        )?;
+        Ok(stats)
+    }
+
     /// Decodes MSRC CSV from `input`, delivering batches of parsed
     /// records to `sink` in input order. Volume ids are resolved through
     /// `registry` in first-appearance input order, exactly as a
@@ -212,6 +259,61 @@ impl ParallelDecoder {
                 for rec in &mut out.records {
                     rec.remap_volume(global[rec.request().volume().as_usize()]);
                 }
+                if !out.records.is_empty() {
+                    sink(out.records);
+                }
+                let base = lines_before;
+                lines_before += out.lines;
+                match out.error {
+                    None => {
+                        stats.lines += out.lines;
+                        Ok(())
+                    }
+                    Some((rel, e)) => {
+                        stats.lines += rel;
+                        Err(TraceError::parse(base + rel, e))
+                    }
+                }
+            },
+        )?;
+        Ok(stats)
+    }
+
+    /// Like [`decode_msrc`](Self::decode_msrc) but delivers columnar
+    /// [`RequestBatch`]es (request fields only — the MSRC response-time
+    /// column is dropped, exactly as the CBT trace format does).
+    /// Volume ids are resolved through `registry` in first-appearance
+    /// input order, identical to the record-level decoder.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParallelDecoder::decode_msrc`].
+    pub fn decode_msrc_batches<R, F>(
+        &self,
+        input: R,
+        registry: &mut VolumeRegistry,
+        mut sink: F,
+    ) -> Result<DecodeStats, TraceError>
+    where
+        R: Read + Send,
+        F: FnMut(RequestBatch),
+    {
+        let mut stats = DecodeStats::default();
+        let mut lines_before: u64 = 0;
+        run_pipeline(
+            self.threads,
+            ReaderChunks::new(input, self.chunk_size),
+            |chunk, seq| parse_msrc_chunk_soa(chunk, seq == 0),
+            |mut out: MsrcBatchOut| {
+                stats.chunks += 1;
+                stats.bytes += out.bytes;
+                stats.records += out.records.len() as u64;
+                let global: Vec<_> = out
+                    .names
+                    .iter()
+                    .map(|name| registry.resolve_name(name))
+                    .collect();
+                out.records.remap_volumes(|local| global[local.as_usize()]);
                 if !out.records.is_empty() {
                     sink(out.records);
                 }
@@ -282,6 +384,37 @@ fn parse_alicloud_chunk(chunk: &[u8]) -> AliChunkOut {
     out
 }
 
+struct AliBatchOut {
+    records: RequestBatch,
+    lines: u64,
+    bytes: u64,
+    error: Option<(u64, ParseRecordError)>,
+}
+
+fn parse_alicloud_chunk_soa(chunk: &[u8]) -> AliBatchOut {
+    let mut out = AliBatchOut {
+        records: RequestBatch::new(),
+        lines: 0,
+        bytes: chunk.len() as u64,
+        error: None,
+    };
+    for line in lines_of(chunk) {
+        out.lines += 1;
+        let line = trim_ascii(line);
+        if line.is_empty() {
+            continue;
+        }
+        match alicloud::parse_record_bytes(line) {
+            Ok(req) => out.records.push(&req),
+            Err(e) => {
+                out.error = Some((out.lines, e));
+                break;
+            }
+        }
+    }
+    out
+}
+
 struct MsrcChunkOut {
     records: Vec<MsrcRecord>,
     /// Chunk-local registry names in local-id order.
@@ -311,6 +444,47 @@ fn parse_msrc_chunk(chunk: &[u8], is_first_chunk: bool) -> MsrcChunkOut {
         }
         match msrc::parse_record_bytes(line, &mut local) {
             Ok(rec) => out.records.push(rec),
+            Err(e) => {
+                out.error = Some((out.lines, e));
+                break;
+            }
+        }
+    }
+    out.names = local.iter().map(|(_, name)| name.to_owned()).collect();
+    out
+}
+
+struct MsrcBatchOut {
+    /// Columnar records whose volume ids are **chunk-local**; the
+    /// in-order consumer remaps them to global registry ids.
+    records: RequestBatch,
+    /// Chunk-local registry names in local-id order.
+    names: Vec<String>,
+    lines: u64,
+    bytes: u64,
+    error: Option<(u64, ParseRecordError)>,
+}
+
+fn parse_msrc_chunk_soa(chunk: &[u8], is_first_chunk: bool) -> MsrcBatchOut {
+    let mut local = VolumeRegistry::new();
+    let mut out = MsrcBatchOut {
+        records: RequestBatch::new(),
+        names: Vec::new(),
+        lines: 0,
+        bytes: chunk.len() as u64,
+        error: None,
+    };
+    for line in lines_of(chunk) {
+        out.lines += 1;
+        let line = trim_ascii(line);
+        if line.is_empty() {
+            continue;
+        }
+        if is_first_chunk && out.lines == 1 && line.starts_with(b"Timestamp,") {
+            continue; // header
+        }
+        match msrc::parse_record_bytes(line, &mut local) {
+            Ok(rec) => out.records.push(rec.request()),
             Err(e) => {
                 out.error = Some((out.lines, e));
                 break;
@@ -666,6 +840,56 @@ mod tests {
         assert_eq!(par_registry.len(), seq_registry.len());
         for (id, name) in seq_registry.iter() {
             assert_eq!(par_registry.name_of(id), Some(name));
+        }
+    }
+
+    #[test]
+    fn alicloud_batches_match_record_decode() {
+        let csv = sample_csv(10_000);
+        let sequential: Vec<IoRequest> = AliCloudReader::new(&csv[..])
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let decoder = ParallelDecoder::new().with_threads(3).with_chunk_size(4096);
+        let mut columnar = Vec::new();
+        let stats = decoder
+            .decode_alicloud_batches(&csv[..], |batch| columnar.extend(batch.iter()))
+            .unwrap();
+        assert_eq!(columnar, sequential);
+        assert_eq!(stats.records, 10_000);
+    }
+
+    #[test]
+    fn msrc_batches_match_record_decode() {
+        let mut buf = String::new();
+        buf.push_str("Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime\n");
+        let hosts = ["src1", "hm", "proj"];
+        for i in 0..4_000u64 {
+            buf.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                128_166_372_003_061_629u64 + i * 10_000,
+                hosts[(i / 11 % 3) as usize],
+                i % 2,
+                if i % 4 == 0 { "Read" } else { "Write" },
+                i * 4096,
+                4096,
+                1000 + i
+            ));
+        }
+        let decoder = ParallelDecoder::new().with_threads(4).with_chunk_size(4096);
+        let (records, rec_registry) = decoder.decode_msrc_slice(buf.as_bytes()).unwrap();
+        let expected: Vec<IoRequest> = records.iter().map(|r| *r.request()).collect();
+
+        let mut batch_registry = VolumeRegistry::new();
+        let mut columnar = Vec::new();
+        decoder
+            .decode_msrc_batches(buf.as_bytes(), &mut batch_registry, |batch| {
+                columnar.extend(batch.iter())
+            })
+            .unwrap();
+        assert_eq!(columnar, expected);
+        assert_eq!(batch_registry.len(), rec_registry.len());
+        for (id, name) in rec_registry.iter() {
+            assert_eq!(batch_registry.name_of(id), Some(name));
         }
     }
 

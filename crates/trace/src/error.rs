@@ -116,6 +116,84 @@ impl From<io::Error> for TraceError {
     }
 }
 
+/// Error produced while encoding or decoding the columnar binary trace
+/// format ([CBT](crate::codec::cbt)).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CbtError {
+    /// The underlying reader or writer failed.
+    Io(io::Error),
+    /// The stream does not start with the CBT magic bytes.
+    BadMagic {
+        /// The first bytes actually found.
+        found: [u8; 8],
+    },
+    /// The stream is CBT but a newer, unknown version.
+    UnsupportedVersion {
+        /// The version number in the header.
+        found: u16,
+    },
+    /// A block is structurally invalid (truncated, overlong, or its
+    /// columns do not line up with the declared record count).
+    Corrupt {
+        /// Zero-based index of the bad block.
+        block: u64,
+        /// What was wrong with it.
+        detail: &'static str,
+    },
+    /// A block's payload does not match its stored checksum.
+    ChecksumMismatch {
+        /// Zero-based index of the bad block.
+        block: u64,
+        /// Checksum stored in the block header.
+        expected: u32,
+        /// Checksum computed over the payload actually read.
+        found: u32,
+    },
+}
+
+impl fmt::Display for CbtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CbtError::Io(e) => write!(f, "cbt i/o error: {e}"),
+            CbtError::BadMagic { found } => {
+                write!(f, "not a CBT stream (magic bytes {found:02x?})")
+            }
+            CbtError::UnsupportedVersion { found } => {
+                write!(f, "unsupported CBT version {found}")
+            }
+            CbtError::Corrupt { block, detail } => {
+                write!(f, "corrupt CBT block #{block}: {detail}")
+            }
+            CbtError::ChecksumMismatch {
+                block,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "checksum mismatch in CBT block #{block}: stored {expected:#010x}, computed {found:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CbtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CbtError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CbtError {
+    fn from(e: io::Error) -> Self {
+        CbtError::Io(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +220,43 @@ mod tests {
         assert_eq!(e.line(), None);
         assert!(e.to_string().contains("boom"));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn cbt_error_messages() {
+        let cases: Vec<(CbtError, &str)> = vec![
+            (CbtError::from(io::Error::other("disk gone")), "disk gone"),
+            (
+                CbtError::BadMagic {
+                    found: *b"NOTMAGIC",
+                },
+                "not a CBT",
+            ),
+            (
+                CbtError::UnsupportedVersion { found: 9 },
+                "unsupported CBT version 9",
+            ),
+            (
+                CbtError::Corrupt {
+                    block: 3,
+                    detail: "truncated payload",
+                },
+                "block #3",
+            ),
+            (
+                CbtError::ChecksumMismatch {
+                    block: 0,
+                    expected: 1,
+                    found: 2,
+                },
+                "checksum mismatch",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+        assert!(CbtError::from(io::Error::other("x")).source().is_some());
+        assert!(CbtError::UnsupportedVersion { found: 9 }.source().is_none());
     }
 
     #[test]

@@ -57,9 +57,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod block;
 pub mod codec;
 pub mod error;
+pub mod hash;
 pub mod iter;
 pub mod op;
 pub mod request;
@@ -68,9 +70,11 @@ pub mod time;
 pub mod trace;
 pub mod volume;
 
+pub use batch::RequestBatch;
 pub use block::{BlockId, BlockSize, BlockSpan};
+pub use codec::cbt::{CbtReader, CbtWriter};
 pub use codec::parallel::{DecodeStats, ParallelDecoder};
-pub use error::{ParseRecordError, TraceError};
+pub use error::{CbtError, ParseRecordError, TraceError};
 pub use iter::MergeByTime;
 pub use op::OpKind;
 pub use request::IoRequest;

@@ -24,4 +24,7 @@ fi
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> ingest_perf smoke (CBT round-trip + batched/streaming equivalence)"
+./target/release/ingest_perf smoke
+
 echo "OK: all checks passed"
