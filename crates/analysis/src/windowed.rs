@@ -154,8 +154,14 @@ impl WindowedAnalysis {
     /// `fraction` of the average growth — `None` if growth never
     /// plateaus. A plateau signals a bounded (cacheable) working set.
     pub fn plateau_window(&self, fraction: f64) -> Option<usize> {
+        // Guard the zero-window case explicitly (not just via
+        // `total == 0`): the average below divides by the window count,
+        // and an empty analysis has no plateau by definition.
+        if self.windows.len() < 2 {
+            return None;
+        }
         let total: u64 = self.windows.iter().map(|w| w.new_blocks).sum();
-        if total == 0 || self.windows.len() < 2 {
+        if total == 0 {
             return None;
         }
         let avg = total as f64 / self.windows.len() as f64;
@@ -238,6 +244,21 @@ mod tests {
         assert_eq!(a.windows()[1].cumulative_wss_blocks, 1);
         assert_eq!(a.windows()[2].requests(), 0);
         assert_eq!(a.wss_growth(), vec![1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn zero_windows_have_no_plateau() {
+        // An empty trace produces zero windows; `plateau_window` must
+        // return a defined value (`None`) rather than dividing by the
+        // window count.
+        let a = analyze(vec![], 10);
+        assert!(a.windows().is_empty());
+        assert_eq!(a.plateau_window(0.5), None);
+        // A single window can't plateau either (the plateau must start
+        // strictly after window 0).
+        let a = analyze(vec![req(OpKind::Write, 0, 0)], 10);
+        assert_eq!(a.windows().len(), 1);
+        assert_eq!(a.plateau_window(0.5), None);
     }
 
     #[test]

@@ -23,12 +23,17 @@
 //! actually used.
 //!
 //! Each phase prints a single-line JSON object; the orchestrator
-//! assembles them into `BENCH_ingest.json`.
+//! assembles them into `BENCH_ingest.json`. Streaming phases attach a
+//! `cbs-obs` registry and embed its export under `"metrics"` plus
+//! coarse stage timings under `"stages"`; set `INGEST_PERF_NO_OBS=1`
+//! to run the stream phase without a registry and measure the
+//! observability overhead by A/B comparison (see `EXPERIMENTS.md`).
 
 use std::io::Write as _;
 use std::time::Instant;
 
 use cbs_core::{StreamingWorkbench, Workbench};
+use cbs_obs::{Registry, Stopwatch};
 use cbs_synth::presets::{self, CorpusConfig};
 use cbs_trace::codec::alicloud::{AliCloudReader, AliCloudWriter};
 use cbs_trace::{CbtReader, CbtWriter, ParallelDecoder, RequestBatch, Trace};
@@ -71,7 +76,13 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
-/// Stream-analyze `millions`M requests without materializing them.
+/// Requests per stage-timing chunk: coarse enough that the two
+/// `Stopwatch` reads per chunk vanish against ~8k observe calls.
+const STAGE_CHUNK: usize = 8192;
+
+/// Stream-analyze `millions`M requests without materializing them,
+/// splitting wall time into generate vs observe stages per
+/// [`STAGE_CHUNK`] requests and exporting pipeline metrics.
 fn phase_stream(millions: u64, bounded: bool) {
     let n = (millions * 1_000_000) as usize;
     let generator = if bounded {
@@ -84,12 +95,33 @@ fn phase_stream(millions: u64, bounded: bool) {
     } else {
         "stream"
     };
-    let workbench = StreamingWorkbench::new();
+    let registry = Registry::new();
+    // INGEST_PERF_NO_OBS=1 drops the registry so the observability
+    // overhead itself can be measured (`"metrics"` comes out empty).
+    let workbench = if std::env::var_os("INGEST_PERF_NO_OBS").is_some() {
+        StreamingWorkbench::new()
+    } else {
+        StreamingWorkbench::new().with_registry(&registry)
+    };
     let shards = workbench.shards();
     let start = Instant::now();
     let mut session = workbench.start();
-    for req in generator.stream().take(n) {
-        session.observe(req);
+    let mut stream = generator.stream().take(n);
+    let mut buf = Vec::with_capacity(STAGE_CHUNK);
+    let (mut generate_nanos, mut observe_nanos) = (0u64, 0u64);
+    loop {
+        buf.clear();
+        let clock = Stopwatch::start();
+        buf.extend(stream.by_ref().take(STAGE_CHUNK));
+        generate_nanos += clock.elapsed_nanos();
+        if buf.is_empty() {
+            break;
+        }
+        let clock = Stopwatch::start();
+        for &req in &buf {
+            session.observe(req);
+        }
+        observe_nanos += clock.elapsed_nanos();
     }
     let observed = session.observed();
     let volumes = session.finish().len();
@@ -98,8 +130,10 @@ fn phase_stream(millions: u64, bounded: bool) {
     println!(
         "{{\"phase\":\"{phase}\",\"requests\":{observed},\"volumes\":{volumes},\
          \"n_threads\":{shards},\"seconds\":{secs:.3},\"requests_per_sec\":{:.0},\
-         \"peak_rss_kb\":{}}}",
+         \"stages\":{{\"generate_nanos\":{generate_nanos},\"observe_nanos\":{observe_nanos}}},\
+         \"metrics\":{},\"peak_rss_kb\":{}}}",
         observed as f64 / secs,
+        registry.to_json(),
         peak_rss_kb()
     );
 }
@@ -110,19 +144,29 @@ fn phase_stream(millions: u64, bounded: bool) {
 fn phase_stream_batched(millions: u64) {
     const FEED_BATCH: usize = 8192;
     let n = (millions * 1_000_000) as usize;
-    let workbench = StreamingWorkbench::new();
+    let registry = Registry::new();
+    let workbench = StreamingWorkbench::new().with_registry(&registry);
     let shards = workbench.shards();
     let start = Instant::now();
     let mut session = workbench.start();
     let mut feed = RequestBatch::with_capacity(FEED_BATCH);
+    let (mut generate_nanos, mut observe_nanos) = (0u64, 0u64);
+    let mut clock = Stopwatch::start();
     for req in big_corpus().stream().take(n) {
         feed.push(&req);
         if feed.len() == FEED_BATCH {
+            generate_nanos += clock.elapsed_nanos();
+            let routing = Stopwatch::start();
             session.observe_request_batch(&feed);
+            observe_nanos += routing.elapsed_nanos();
             feed.clear();
+            clock = Stopwatch::start();
         }
     }
+    generate_nanos += clock.elapsed_nanos();
+    let routing = Stopwatch::start();
     session.observe_request_batch(&feed);
+    observe_nanos += routing.elapsed_nanos();
     let observed = session.observed();
     let volumes = session.finish().len();
     let secs = start.elapsed().as_secs_f64();
@@ -130,8 +174,10 @@ fn phase_stream_batched(millions: u64) {
     println!(
         "{{\"phase\":\"stream_batched\",\"requests\":{observed},\"volumes\":{volumes},\
          \"n_threads\":{shards},\"seconds\":{secs:.3},\"requests_per_sec\":{:.0},\
-         \"peak_rss_kb\":{}}}",
+         \"stages\":{{\"generate_nanos\":{generate_nanos},\"observe_nanos\":{observe_nanos}}},\
+         \"metrics\":{},\"peak_rss_kb\":{}}}",
         observed as f64 / secs,
+        registry.to_json(),
         peak_rss_kb()
     );
 }
@@ -155,14 +201,23 @@ fn phase_stream_cbt(millions: u64) {
     }
     let cbt_bytes = std::fs::metadata(&path).expect("stat temp cbt").len();
 
-    let workbench = StreamingWorkbench::new();
+    let registry = Registry::new();
+    let workbench = StreamingWorkbench::new().with_registry(&registry);
     let shards = workbench.shards();
     let start = Instant::now();
     let mut session = workbench.start();
     let file = std::fs::File::open(&path).expect("open temp cbt");
-    let mut reader = CbtReader::new(std::io::BufReader::new(file));
-    while let Some(batch) = reader.read_batch().expect("decode cbt") {
+    let mut reader = CbtReader::new(std::io::BufReader::new(file)).with_registry(&registry);
+    // One CBT block per stage-timing chunk: decode vs route.
+    let (mut decode_nanos, mut route_nanos) = (0u64, 0u64);
+    loop {
+        let clock = Stopwatch::start();
+        let batch = reader.read_batch().expect("decode cbt");
+        decode_nanos += clock.elapsed_nanos();
+        let Some(batch) = batch else { break };
+        let clock = Stopwatch::start();
         session.observe_request_batch(&batch);
+        route_nanos += clock.elapsed_nanos();
     }
     let observed = session.observed();
     let volumes = session.finish().len();
@@ -172,8 +227,11 @@ fn phase_stream_cbt(millions: u64) {
     println!(
         "{{\"phase\":\"stream_cbt\",\"requests\":{observed},\"volumes\":{volumes},\
          \"n_threads\":{shards},\"cbt_bytes\":{cbt_bytes},\"seconds\":{secs:.3},\
-         \"requests_per_sec\":{:.0},\"peak_rss_kb\":{}}}",
+         \"requests_per_sec\":{:.0},\
+         \"stages\":{{\"decode_nanos\":{decode_nanos},\"route_nanos\":{route_nanos}}},\
+         \"metrics\":{},\"peak_rss_kb\":{}}}",
         observed as f64 / secs,
+        registry.to_json(),
         peak_rss_kb()
     );
 }
@@ -290,14 +348,18 @@ fn phase_decode(millions: u64, threads: usize) {
 
 /// Fast CI gate over a small fixed corpus: asserts CSV → CBT → decode
 /// round-trips bit-identically, asserts batch / streaming / batched /
-/// CBT-fed analyses agree exactly, and prints the observed ingest rate.
+/// CBT-fed analyses agree exactly, asserts the `cbs-obs` registry
+/// reconciles with the pipeline's own accounting, asserts a corrupt CBT
+/// stream poisons instead of truncating, and prints the ingest rate.
 fn phase_smoke() {
     const N: usize = 200_000;
     let config = CorpusConfig::new(24, 2, 777).with_intensity_scale(0.05);
     let requests: Vec<_> = presets::alicloud_like(&config).stream().take(N).collect();
     assert_eq!(requests.len(), N, "smoke corpus too small");
 
-    // CSV → CBT → decode round-trip, bit-identical.
+    // CSV → CBT → decode round-trip, bit-identical, with the decoder
+    // publishing into a registry that must agree with what it returned.
+    let registry = Registry::new();
     let mut csv = Vec::new();
     {
         let mut w = AliCloudWriter::new(&mut csv);
@@ -305,8 +367,21 @@ fn phase_smoke() {
             w.write_request(req).unwrap();
         }
     }
-    let decoded_csv = ParallelDecoder::new().decode_alicloud_slice(&csv).unwrap();
+    let decoded_csv = ParallelDecoder::new()
+        .with_registry(&registry)
+        .decode_alicloud_slice(&csv)
+        .unwrap();
     assert_eq!(decoded_csv, requests, "CSV decode mismatch");
+    assert_eq!(
+        registry.counter("decode.records").get(),
+        N as u64,
+        "decode.records diverges from decoded request count"
+    );
+    assert_eq!(
+        registry.gauge("decode.malformed_line").get(),
+        0,
+        "clean corpus flagged a malformed line"
+    );
     let mut writer = CbtWriter::new(Vec::new());
     writer
         .write_batch(&RequestBatch::from(requests.as_slice()))
@@ -325,17 +400,58 @@ fn phase_smoke() {
     let streaming = StreamingWorkbench::new().analyze(requests.iter().copied());
     let secs = start.elapsed().as_secs_f64();
     assert_eq!(streaming, batch.metrics(), "streaming metrics diverge");
-    let mut session = StreamingWorkbench::new().start();
-    let mut reader = CbtReader::new(&cbt[..]);
+    let workbench = StreamingWorkbench::new().with_registry(&registry);
+    let shards = workbench.shards();
+    let mut session = workbench.start();
+    let mut reader = CbtReader::new(&cbt[..]).with_registry(&registry);
     while let Some(batch) = reader.read_batch().unwrap() {
         session.observe_request_batch(&batch);
     }
+    assert_eq!(session.observed(), N as u64);
     let from_cbt = session.finish();
     assert_eq!(from_cbt, batch.metrics(), "CBT-fed metrics diverge");
 
+    // Registry reconciliation: every independently counted stage agrees
+    // with ground truth, and the export is deterministic.
+    assert_eq!(registry.counter("cbt.records").get(), N as u64);
+    assert_eq!(registry.counter("stream.observed").get(), N as u64);
+    let shard_total: u64 = (0..shards)
+        .map(|s| registry.counter(&format!("stream.shard{s}.requests")).get())
+        .sum();
+    assert_eq!(shard_total, N as u64, "shard counters diverge from feed");
+    assert_eq!(
+        registry.to_json(),
+        registry.to_json(),
+        "metrics export is non-deterministic"
+    );
+
+    // Poison gate: a corrupt CBT stream must keep returning errors —
+    // never a clean-looking early EOF.
+    let mut damaged = cbt.clone();
+    let last = damaged.len() - 1;
+    damaged[last] ^= 0xff;
+    let mut reader = CbtReader::new(&damaged[..]);
+    let mut clean_records = 0u64;
+    let err = loop {
+        match reader.read_batch() {
+            Ok(Some(batch)) => clean_records += batch.len() as u64,
+            Ok(None) => panic!("corrupt CBT stream ended as a clean EOF"),
+            Err(e) => break e,
+        }
+    };
+    assert!(clean_records < N as u64, "corruption was never detected");
+    drop(err);
+    for _ in 0..3 {
+        assert!(
+            reader.read_batch().is_err(),
+            "poisoned CBT reader produced a non-error read"
+        );
+    }
+
     println!(
         "smoke ok: {N} requests, cbt {} bytes ({:.2}x vs csv), \
-         round-trip + equivalence verified, {:.0} req/s streaming",
+         round-trip + equivalence + metrics reconciliation + poison gate \
+         verified, {:.0} req/s streaming",
         cbt.len(),
         csv.len() as f64 / cbt.len() as f64,
         N as f64 / secs

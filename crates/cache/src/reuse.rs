@@ -340,12 +340,46 @@ pub struct ReuseDistances {
     histogram: Vec<u64>,
     cold_misses: u64,
     accesses: u64,
+    metrics: Option<ReuseMetrics>,
+}
+
+/// Registry handles updated at each compaction (see
+/// [`ReuseDistances::with_registry`]).
+#[derive(Debug, Clone)]
+struct ReuseMetrics {
+    compactions: cbs_obs::Counter,
+    live_entries: cbs_obs::Gauge,
+    dead_entries: cbs_obs::Gauge,
+}
+
+impl ReuseMetrics {
+    fn publish(&self, stack: &ReuseStack) {
+        self.live_entries.set(stack.live() as u64);
+        self.dead_entries
+            .set(stack.positions().saturating_sub(stack.live()) as u64);
+    }
 }
 
 impl ReuseDistances {
     /// Creates an empty computation.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Publishes stack-health metrics into `registry`: a
+    /// `reuse.compactions` counter plus `reuse.live_entries` /
+    /// `reuse.dead_entries` gauges showing how much of the position
+    /// space holds live blocks. Gauges refresh at each compaction (the
+    /// only moment the ratio changes shape), so per-access cost is
+    /// untouched.
+    #[must_use]
+    pub fn with_registry(mut self, registry: &cbs_obs::Registry) -> Self {
+        self.metrics = Some(ReuseMetrics {
+            compactions: registry.counter("reuse.compactions"),
+            live_entries: registry.gauge("reuse.live_entries"),
+            dead_entries: registry.gauge("reuse.dead_entries"),
+        });
+        self
     }
 
     /// Processes one access and returns its reuse distance
@@ -380,6 +414,10 @@ impl ReuseDistances {
                 *pos = table[*pos] as usize;
             }
             self.stack.rebuild_compacted();
+            if let Some(m) = &self.metrics {
+                m.compactions.inc();
+                m.publish(&self.stack);
+            }
         }
         distance
     }
@@ -662,6 +700,29 @@ mod tests {
             "position space grew with accesses: {} positions for 100 blocks",
             rd.stack.positions()
         );
+    }
+
+    #[test]
+    fn registry_tracks_compactions() {
+        // Re-accessing a small block set many times inflates the dead
+        // position space (next_pos grows, live stays at 50), so the
+        // should_compact threshold — next_pos >= 1024 and >= 8 * live —
+        // must fire several times over 40k accesses.
+        let registry = cbs_obs::Registry::new();
+        let mut rd = ReuseDistances::new().with_registry(&registry);
+        rd.run((0..40_000u64).map(|i| b(i % 50)));
+        let compactions = registry.counter("reuse.compactions").get();
+        assert!(compactions >= 1, "no compaction over 40k accesses");
+        // Gauges hold the state published at the most recent
+        // compaction: all 50 blocks were live, and the freshly rebuilt
+        // stack had no dead positions yet.
+        assert_eq!(registry.gauge("reuse.live_entries").get(), 50);
+        assert_eq!(registry.gauge("reuse.dead_entries").get(), 0);
+        // Metrics never perturb the computation itself.
+        let mut plain = ReuseDistances::new();
+        plain.run((0..40_000u64).map(|i| b(i % 50)));
+        assert_eq!(rd.histogram(), plain.histogram());
+        assert_eq!(rd.cold_misses(), plain.cold_misses());
     }
 
     #[test]

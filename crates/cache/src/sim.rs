@@ -86,6 +86,26 @@ impl CacheStats {
         self.write_accesses += other.write_accesses;
         self.write_hits += other.write_hits;
     }
+
+    /// Publishes this tally into `registry` as gauges named
+    /// `<prefix>.read_accesses`, `.read_hits`, `.write_accesses`, and
+    /// `.write_hits` (miss ratios derive from those). Idempotent —
+    /// gauges are *set*, so re-publishing after more simulation
+    /// overwrites rather than double-counts.
+    pub fn publish(&self, registry: &cbs_obs::Registry, prefix: &str) {
+        registry
+            .gauge(&format!("{prefix}.read_accesses"))
+            .set(self.read_accesses);
+        registry
+            .gauge(&format!("{prefix}.read_hits"))
+            .set(self.read_hits);
+        registry
+            .gauge(&format!("{prefix}.write_accesses"))
+            .set(self.write_accesses);
+        registry
+            .gauge(&format!("{prefix}.write_hits"))
+            .set(self.write_hits);
+    }
 }
 
 /// Drives a [`CachePolicy`] over a block-level request stream.
@@ -235,6 +255,22 @@ mod tests {
         let mut sim = CacheSim::new(Lru::new(4), BlockSize::DEFAULT);
         sim.run(&reqs);
         assert_eq!(sim.stats().read_miss_ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn publish_sets_gauges_idempotently() {
+        let registry = cbs_obs::Registry::new();
+        let mut sim = CacheSim::new(Lru::new(64), BlockSize::DEFAULT);
+        sim.access_request(&req(OpKind::Write, 0, 16384, 0));
+        sim.stats().publish(&registry, "cache.lru");
+        assert_eq!(registry.gauge("cache.lru.write_accesses").get(), 4);
+        assert_eq!(registry.gauge("cache.lru.write_hits").get(), 0);
+        // More simulation, re-publish: levels overwrite, not accumulate.
+        sim.access_request(&req(OpKind::Write, 0, 16384, 1));
+        sim.stats().publish(&registry, "cache.lru");
+        assert_eq!(registry.gauge("cache.lru.write_accesses").get(), 8);
+        assert_eq!(registry.gauge("cache.lru.write_hits").get(), 4);
+        assert_eq!(registry.gauge("cache.lru.read_accesses").get(), 0);
     }
 
     #[test]

@@ -50,10 +50,11 @@
 //! [`StreamingWorkbench::with_epoch`] for producers that interleave
 //! volumes without global time order.
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::thread::JoinHandle;
 
 use cbs_analysis::{AnalysisConfig, InvalidConfig, VolumeAnalyzer, VolumeMetrics};
+use cbs_obs::{Counter, Gauge, Registry, Stopwatch};
 use cbs_trace::hash::FxHashMap;
 use cbs_trace::{IoRequest, RequestBatch, Timestamp, VolumeId};
 
@@ -103,6 +104,7 @@ pub struct StreamingWorkbench {
     batch_size: usize,
     channel_depth: usize,
     epoch: Option<Timestamp>,
+    registry: Option<Registry>,
 }
 
 impl Default for StreamingWorkbench {
@@ -122,6 +124,7 @@ impl StreamingWorkbench {
             batch_size: DEFAULT_BATCH_SIZE,
             channel_depth: DEFAULT_CHANNEL_DEPTH,
             epoch: None,
+            registry: None,
         }
     }
 
@@ -170,6 +173,24 @@ impl StreamingWorkbench {
         self
     }
 
+    /// Publishes pipeline metrics into `registry`: per session
+    /// `stream.observed`, `stream.batches`, and
+    /// `stream.backpressure_nanos` (time the producer spent blocked on
+    /// full shard channels), plus per shard `stream.shard<i>.requests`,
+    /// `.batches`, `.analyze_nanos` (worker time spent feeding
+    /// analyzers), `.inflight` (current channel depth), and
+    /// `.inflight_hwm` (its high-water mark).
+    ///
+    /// All recording happens at *batch* granularity (one flushed batch =
+    /// a handful of relaxed atomic adds and, only when the channel is
+    /// actually full, one stopwatch), so attaching a registry has no
+    /// measurable throughput cost — see `EXPERIMENTS.md`.
+    #[must_use]
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.registry = Some(registry.clone());
+        self
+    }
+
     /// Configured shard count.
     pub fn shards(&self) -> usize {
         self.shards
@@ -187,13 +208,20 @@ impl StreamingWorkbench {
 
     /// Spawns the shard workers and returns the push-style session.
     pub fn start(self) -> StreamingSession {
+        let metrics = self
+            .registry
+            .as_ref()
+            .map(|r| SessionMetrics::new(r, self.shards));
         let mut senders = Vec::with_capacity(self.shards);
         let mut handles = Vec::with_capacity(self.shards);
-        for _ in 0..self.shards {
+        for shard in 0..self.shards {
             let (tx, rx) = sync_channel::<Batch>(self.channel_depth);
             let config = self.config.clone();
+            let worker_metrics = metrics.as_ref().map(|m| m.worker(shard));
             senders.push(tx);
-            handles.push(std::thread::spawn(move || shard_worker(rx, config)));
+            handles.push(std::thread::spawn(move || {
+                shard_worker(rx, config, worker_metrics)
+            }));
         }
         StreamingSession {
             buffers: senders.iter().map(|_| RequestBatch::new()).collect(),
@@ -202,6 +230,8 @@ impl StreamingWorkbench {
             batch_size: self.batch_size,
             epoch: self.epoch,
             observed: 0,
+            poisoned: false,
+            metrics,
         }
     }
 
@@ -223,6 +253,60 @@ impl StreamingWorkbench {
 /// the batch must anchor to, plus the records as dense columns.
 type Batch = (Timestamp, RequestBatch);
 
+/// Producer-side handles into the session's registry (see
+/// [`StreamingWorkbench::with_registry`] for the metric names).
+#[derive(Debug)]
+struct SessionMetrics {
+    observed: Counter,
+    batches: Counter,
+    backpressure_nanos: Counter,
+    registry: Registry,
+    inflight: Vec<Gauge>,
+    inflight_hwm: Vec<Gauge>,
+}
+
+impl SessionMetrics {
+    fn new(registry: &Registry, shards: usize) -> Self {
+        SessionMetrics {
+            observed: registry.counter("stream.observed"),
+            batches: registry.counter("stream.batches"),
+            backpressure_nanos: registry.counter("stream.backpressure_nanos"),
+            registry: registry.clone(),
+            inflight: (0..shards)
+                .map(|s| registry.gauge(&format!("stream.shard{s}.inflight")))
+                .collect(),
+            inflight_hwm: (0..shards)
+                .map(|s| registry.gauge(&format!("stream.shard{s}.inflight_hwm")))
+                .collect(),
+        }
+    }
+
+    /// Handles for one shard worker thread.
+    fn worker(&self, shard: usize) -> WorkerMetrics {
+        WorkerMetrics {
+            requests: self
+                .registry
+                .counter(&format!("stream.shard{shard}.requests")),
+            batches: self
+                .registry
+                .counter(&format!("stream.shard{shard}.batches")),
+            analyze_nanos: self
+                .registry
+                .counter(&format!("stream.shard{shard}.analyze_nanos")),
+            inflight: self.inflight[shard].clone(),
+        }
+    }
+}
+
+/// Worker-side handles; cloned into the shard thread.
+#[derive(Debug)]
+struct WorkerMetrics {
+    requests: Counter,
+    batches: Counter,
+    analyze_nanos: Counter,
+    inflight: Gauge,
+}
+
 /// A running sharded analysis accepting pushed requests — see
 /// [`StreamingWorkbench::start`].
 ///
@@ -237,12 +321,25 @@ pub struct StreamingSession {
     batch_size: usize,
     epoch: Option<Timestamp>,
     observed: u64,
+    poisoned: bool,
+    metrics: Option<SessionMetrics>,
 }
 
 impl StreamingSession {
     /// Routes one request to its volume's shard. Blocks (backpressure)
     /// when the shard's channel is full.
+    ///
+    /// # Panics
+    ///
+    /// If a shard worker has died, the flush that discovers it re-raises
+    /// the worker's panic on this thread (see
+    /// [`is_poisoned`](StreamingSession::is_poisoned)); observing on an
+    /// already-poisoned session panics immediately.
     pub fn observe(&mut self, req: IoRequest) {
+        assert!(
+            !self.poisoned,
+            "streaming session is poisoned: a shard worker panicked"
+        );
         if self.epoch.is_none() {
             // First record of a globally time-ordered stream = the
             // batch path's `trace.start()`.
@@ -268,6 +365,10 @@ impl StreamingSession {
     /// [`cbs_trace::CbtReader`] block), routing by the volume column
     /// without materializing per-request structs.
     pub fn observe_request_batch(&mut self, batch: &RequestBatch) {
+        assert!(
+            !self.poisoned,
+            "streaming session is poisoned: a shard worker panicked"
+        );
         if batch.is_empty() {
             return;
         }
@@ -295,6 +396,14 @@ impl StreamingSession {
         self.observed
     }
 
+    /// `true` once a shard worker's death has been detected. A poisoned
+    /// session re-raised the worker's panic already (observable only if
+    /// the caller caught it); every further `observe*`/`finish` call
+    /// panics rather than computing on a partial stream.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
     fn flush(&mut self, shard: usize) {
         if self.buffers[shard].is_empty() {
             return;
@@ -303,10 +412,49 @@ impl StreamingSession {
         // non-empty buffer implies the epoch is known.
         let Some(epoch) = self.epoch else { return };
         let batch = std::mem::take(&mut self.buffers[shard]);
-        // A send fails only when the worker is gone, i.e. it panicked;
-        // the panic is re-raised when `finish` joins the worker, so the
-        // lost batch is irrelevant here.
-        let _ = self.senders[shard].send((epoch, batch));
+        let sent = match &self.metrics {
+            None => self.senders[shard].send((epoch, batch)).is_ok(),
+            Some(m) => {
+                m.observed.add(batch.len() as u64);
+                m.batches.inc();
+                let depth = m.inflight[shard].inc();
+                m.inflight_hwm[shard].record_max(depth);
+                // Only a full channel pays for a stopwatch: try first,
+                // and time just the blocking retry.
+                match self.senders[shard].try_send((epoch, batch)) {
+                    Ok(()) => true,
+                    Err(TrySendError::Disconnected(_)) => false,
+                    Err(TrySendError::Full(batch)) => {
+                        let clock = Stopwatch::start();
+                        let sent = self.senders[shard].send(batch).is_ok();
+                        m.backpressure_nanos.add(clock.elapsed_nanos());
+                        sent
+                    }
+                }
+            }
+        };
+        if !sent {
+            self.poison(shard);
+        }
+    }
+
+    /// A send failed, which can only mean the shard's receiver is gone:
+    /// the worker died (it never drops the receiver before draining the
+    /// channel). Surface its panic on the producer thread *now* — within
+    /// one batch flush of the death — instead of analyzing the rest of
+    /// the stream against dead shards and only failing at `finish`.
+    #[cold]
+    fn poison(&mut self, shard: usize) -> ! {
+        self.poisoned = true;
+        // Closing every channel lets the surviving workers drain and
+        // exit; their results are abandoned (all-or-error).
+        self.senders.clear();
+        let handle = self.handles.swap_remove(shard);
+        match handle.join() {
+            Err(payload) => std::panic::resume_unwind(payload),
+            // cbs-lint: allow(no-panic-in-lib) -- a worker exiting cleanly while its channel is open is impossible by construction
+            Ok(_) => panic!("shard worker {shard} exited before its channel closed"),
+        }
     }
 
     /// Flushes all buffers, waits for the shard workers, and returns
@@ -315,8 +463,15 @@ impl StreamingSession {
     /// # Panics
     ///
     /// Propagates panics from shard workers (e.g. the analyzer's
-    /// debug-build ordering assertions).
+    /// debug-build ordering assertions), and panics on a poisoned
+    /// session — a panic-interrupted stream never yields partial
+    /// metrics.
     pub fn finish(mut self) -> Vec<VolumeMetrics> {
+        assert!(
+            !self.poisoned,
+            "streaming session is poisoned: a shard worker panicked; \
+             its metrics would be partial"
+        );
         for shard in 0..self.senders.len() {
             self.flush(shard);
         }
@@ -337,9 +492,19 @@ impl StreamingSession {
 /// it through [`VolumeAnalyzer::observe_batch`], one consecutive
 /// same-volume run at a time (one hash lookup per run); emit the
 /// finished metrics when the channel closes.
-fn shard_worker(rx: Receiver<Batch>, config: AnalysisConfig) -> Vec<VolumeMetrics> {
+fn shard_worker(
+    rx: Receiver<Batch>,
+    config: AnalysisConfig,
+    metrics: Option<WorkerMetrics>,
+) -> Vec<VolumeMetrics> {
     let mut analyzers: FxHashMap<VolumeId, VolumeAnalyzer> = FxHashMap::default();
     for (epoch, batch) in rx {
+        let clock = metrics.as_ref().map(|m| {
+            m.inflight.dec();
+            m.batches.inc();
+            m.requests.add(batch.len() as u64);
+            Stopwatch::start()
+        });
         let volumes = batch.volumes();
         let mut start = 0usize;
         for i in 1..=volumes.len() {
@@ -359,6 +524,9 @@ fn shard_worker(rx: Receiver<Batch>, config: AnalysisConfig) -> Vec<VolumeMetric
                 }
             }
             start = i;
+        }
+        if let (Some(m), Some(clock)) = (&metrics, clock) {
+            m.analyze_nanos.add(clock.elapsed_nanos());
         }
     }
     analyzers
@@ -480,6 +648,99 @@ mod tests {
         assert_eq!(metrics.iter().map(|m| m.requests()).sum::<u64>(), 30);
         // ascending volume-id order
         assert!(metrics.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    /// A config that panics the worker mid-stream: the analyzer's
+    /// per-volume ordering `debug_assert` trips on an out-of-order
+    /// timestamp, so this scenario only exists in debug builds.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn worker_panic_surfaces_within_one_batch_flush() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let depth = 1usize;
+        let mut session = StreamingWorkbench::new()
+            .with_shards(1)
+            .with_batch_size(1)
+            .with_channel_depth(depth)
+            .start();
+        let req = |secs| {
+            IoRequest::new(
+                VolumeId::new(0),
+                OpKind::Write,
+                0,
+                4096,
+                Timestamp::from_secs(secs),
+            )
+        };
+        session.observe(req(100));
+        // Out of order for the same volume: the worker panics while
+        // processing this batch and drops its receiver.
+        session.observe(req(1));
+        // Every observe flushes (batch_size = 1). At most `depth`
+        // flushes can be buffered after the fatal batch, and one more
+        // may be mid-send when the receiver drops — so the worker's
+        // panic must resurface on the producer within `depth + 2`
+        // flushes, long before `finish`.
+        let poisoned_feed = catch_unwind(AssertUnwindSafe(|| {
+            for i in 0..(depth as u64 + 2) {
+                session.observe(req(200 + i));
+            }
+        }));
+        assert!(
+            poisoned_feed.is_err(),
+            "worker panic must surface within channel_depth + 2 flushes"
+        );
+        assert!(session.is_poisoned());
+        // All-or-error: a poisoned session never returns partial
+        // metrics, and further feeding is rejected.
+        let observe_after = catch_unwind(AssertUnwindSafe(|| session.observe(req(300))));
+        assert!(observe_after.is_err());
+        let finish = catch_unwind(AssertUnwindSafe(|| session.finish()));
+        assert!(finish.is_err(), "finish on a poisoned session must panic");
+    }
+
+    #[test]
+    fn registry_reconciles_with_observed() {
+        use cbs_obs::Registry;
+        let registry = Registry::new();
+        let reqs = time_ordered_requests(5, 200);
+        let mut session = StreamingWorkbench::new()
+            .with_shards(2)
+            .with_batch_size(64)
+            .with_registry(&registry)
+            .start();
+        for req in &reqs {
+            session.observe(*req);
+        }
+        let observed = session.observed();
+        let metrics = session.finish();
+        assert_eq!(observed, 1000);
+        assert_eq!(registry.counter("stream.observed").get(), observed);
+        let per_shard: u64 = (0..2)
+            .map(|s| registry.counter(&format!("stream.shard{s}.requests")).get())
+            .sum();
+        assert_eq!(per_shard, observed, "shard counters reconcile");
+        assert_eq!(
+            registry.counter("stream.batches").get(),
+            (0..2)
+                .map(|s| registry.counter(&format!("stream.shard{s}.batches")).get())
+                .sum::<u64>()
+        );
+        for s in 0..2 {
+            assert_eq!(
+                registry.gauge(&format!("stream.shard{s}.inflight")).get(),
+                0,
+                "all batches drained"
+            );
+            assert!(
+                registry
+                    .gauge(&format!("stream.shard{s}.inflight_hwm"))
+                    .get()
+                    >= 1
+            );
+        }
+        // And the instrumented run still computes the right answer.
+        assert_eq!(metrics.iter().map(|m| m.requests()).sum::<u64>(), observed);
     }
 
     #[test]

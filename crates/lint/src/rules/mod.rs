@@ -14,6 +14,7 @@
 //! | `bounded-channel` | `crates/core` + codec paths | unbounded `mpsc::channel()` |
 //! | `finding-traceability` | `crates/analysis/src/findings` | modules citing no `F1`–`F15` ID; uncovered IDs |
 //! | `no-float-eq` | library code, non-test | `==`/`!=` against float literals |
+//! | `no-adhoc-timing` | library code, non-test, outside `cbs-obs` | `std::time::Instant` |
 //!
 //! Suppression (`// cbs-lint: allow(rule) -- why`) is handled by the
 //! engine, not by individual rules.
@@ -24,6 +25,7 @@ use crate::source::SourceFile;
 mod bounded_channel;
 mod finding_trace;
 mod forbid_unsafe;
+mod no_adhoc_timing;
 mod no_float_eq;
 mod no_panic;
 mod no_unwrap;
@@ -32,6 +34,7 @@ mod pub_docs;
 pub use bounded_channel::BoundedChannel;
 pub use finding_trace::FindingTraceability;
 pub use forbid_unsafe::ForbidUnsafeHeader;
+pub use no_adhoc_timing::NoAdhocTiming;
 pub use no_float_eq::NoFloatEq;
 pub use no_panic::NoPanicInLib;
 pub use no_unwrap::NoUnwrapInLib;
@@ -62,5 +65,6 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(BoundedChannel),
         Box::new(FindingTraceability),
         Box::new(NoFloatEq),
+        Box::new(NoAdhocTiming),
     ]
 }

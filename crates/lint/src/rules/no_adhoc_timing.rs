@@ -1,0 +1,101 @@
+//! `no-adhoc-timing`: forbid ad-hoc `std::time::Instant` in library
+//! code outside `cbs-obs`.
+//!
+//! Pipeline stages must publish their timings through the `cbs-obs`
+//! primitives (`Stopwatch`, `SpanTimer`) so every measurement lands in
+//! a registry export instead of a one-off local variable — `cbs-obs`'s
+//! `timer` module is the single clock-reading site in the workspace.
+//! Binaries and tests may time things however they like; library code
+//! that genuinely needs a raw `Instant` must justify it with
+//! `// cbs-lint: allow(no-adhoc-timing) -- <why>`.
+
+use crate::diag::Diagnostic;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct NoAdhocTiming;
+
+impl Rule for NoAdhocTiming {
+    fn name(&self) -> &'static str {
+        "no-adhoc-timing"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid std::time::Instant in non-test library code outside cbs-obs"
+    }
+
+    fn check_file(&self, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+        if !file.is_library_code() || file.crate_name == "obs" {
+            return;
+        }
+        for tok in file.tokens.iter().filter(|t| !t.is_comment()) {
+            if tok.text == "Instant" && !file.in_test_code(tok.line) {
+                diags.push(Diagnostic::error(
+                    file.path.clone(),
+                    tok.line,
+                    tok.col,
+                    self.name(),
+                    "ad-hoc `Instant` in library code; time through cbs-obs \
+                     (`Stopwatch` / `SpanTimer`) so the measurement reaches a registry"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::from_text(path, src);
+        let mut d = Vec::new();
+        NoAdhocTiming.check_file(&f, &mut d);
+        d
+    }
+
+    #[test]
+    fn fires_on_instant_in_lib() {
+        let d = run(
+            "crates/core/src/x.rs",
+            "use std::time::Instant;\nfn f() { let t = Instant::now(); }",
+        );
+        assert_eq!(d.len(), 2, "use path and call site");
+        assert_eq!(d[0].rule, "no-adhoc-timing");
+    }
+
+    #[test]
+    fn obs_crate_is_the_allowed_clock_site() {
+        assert!(run(
+            "crates/obs/src/timer.rs",
+            "use std::time::Instant;\nfn f() { let _ = Instant::now(); }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn bins_and_tests_may_time_freely() {
+        assert!(run(
+            "crates/bench/src/bin/ingest_perf.rs",
+            "use std::time::Instant;",
+        )
+        .is_empty());
+        assert!(run(
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    use std::time::Instant;\n}",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn comments_and_docs_are_fine() {
+        assert!(run(
+            "crates/core/src/x.rs",
+            "/// Unlike `Instant`, this is registry-backed.\n// Instant\nfn f() {}",
+        )
+        .is_empty());
+    }
+}

@@ -13,7 +13,7 @@ use crate::rules::Rule;
 use crate::source::SourceFile;
 
 /// Crates whose public surface must be fully documented.
-const DOCUMENTED_CRATES: &[&str] = &["trace", "core", "stats"];
+const DOCUMENTED_CRATES: &[&str] = &["trace", "core", "stats", "obs"];
 
 /// Modifier keywords that may sit between `pub` and the item keyword.
 const MODIFIERS: &[&str] = &["const", "unsafe", "async", "extern"];

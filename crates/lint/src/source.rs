@@ -106,16 +106,22 @@ impl SourceFile {
 }
 
 /// Extracts the crate directory name from a `…/crates/<name>/…` path.
+///
+/// Uses the *last* `crates/`/`compat/` segment: unnormalized paths like
+/// `crates/lint/../../crates/obs/src/timer.rs` (how the self-check
+/// resolves the workspace root) name the crate in their final segment,
+/// and taking the first would misattribute every file to `lint`.
 fn crate_of(path: &str) -> String {
+    let mut name = String::new();
     let mut parts = path.split('/').peekable();
     while let Some(p) = parts.next() {
         if p == "crates" || p == "compat" {
-            if let Some(name) = parts.peek() {
-                return (*name).to_owned();
+            if let Some(next) = parts.peek() {
+                name = (*next).to_owned();
             }
         }
     }
-    String::new()
+    name
 }
 
 /// Finds line spans of items annotated `#[cfg(test)]` (including forms

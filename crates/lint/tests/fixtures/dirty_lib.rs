@@ -22,6 +22,13 @@ fn unbounded() {
     let (_tx, _rx) = std::sync::mpsc::channel::<u32>();
 }
 
+/// Decoy: `Instant` in docs and comments never fires.
+fn adhoc_timing() -> u64 {
+    // decoy: Instant in a comment
+    let clock = std::time::Instant::now();
+    clock.elapsed().as_nanos() as u64
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

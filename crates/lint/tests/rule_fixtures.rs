@@ -43,6 +43,7 @@ fn dirty_fixture_reports_exactly_the_planted_violations() {
         rules_of(&run),
         vec![
             "bounded-channel",
+            "no-adhoc-timing",
             "no-float-eq",
             "no-panic-in-lib",
             "no-unwrap-in-lib",
@@ -77,6 +78,10 @@ fn dirty_fixture_reports_exactly_the_planted_violations() {
         .snippet(the(&run, "bounded-channel"))
         .expect("snippet")
         .contains("mpsc::channel"));
+    assert!(run
+        .snippet(the(&run, "no-adhoc-timing"))
+        .expect("snippet")
+        .contains("Instant::now"));
     for d in &run.diagnostics {
         let line = run.snippet(d).expect("snippet");
         assert!(!line.contains("decoy"), "fired inside a raw string: {d:?}");

@@ -1,0 +1,358 @@
+//! The recording primitives: [`Counter`], [`Gauge`], [`Histogram`].
+//!
+//! All three are thin `Arc`s over atomics: cloning a handle observes
+//! and mutates the same underlying metric, which is how one metric is
+//! shared between a registry, a producer thread, and shard workers.
+//! Every mutation is a relaxed atomic operation — values are exact
+//! under concurrency (each event is counted exactly once), only
+//! cross-metric ordering is unspecified, which is fine for telemetry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing event count.
+///
+/// ```
+/// let c = cbs_obs::Counter::new();
+/// c.inc();
+/// c.add(41);
+/// assert_eq!(c.get(), 42);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (wrapping, like the underlying atomic).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable level: current value plus helpers for tracking extremes.
+///
+/// Unlike a [`Counter`], a gauge can go down (`dec`, `set`). The
+/// in-flight-batches depth of a shard channel and its high-water mark
+/// are the motivating uses.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds one and returns the new level (e.g. "one more batch in
+    /// flight").
+    #[inline]
+    pub fn inc(&self) -> u64 {
+        self.value.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Subtracts one. Callers must pair every `dec` with a prior `inc`;
+    /// like the underlying atomic, under-flowing wraps.
+    #[inline]
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Raises the stored value to `v` if `v` is larger — a lock-free
+    /// high-water mark.
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two buckets: bucket 0 holds the value 0, bucket
+/// `b` (1 ≤ b ≤ 64) holds values in `[2^(b-1), 2^b - 1]`.
+const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-bucket histogram of `u64` samples (latencies in nanoseconds,
+/// request sizes in bytes, batch lengths, …).
+///
+/// Buckets are powers of two, so recording is branch-free
+/// (`leading_zeros`) and the memory footprint is constant (65 × 8 B of
+/// buckets). Quantiles are approximate: the reported value is the upper
+/// bound of the bucket containing the quantile, clamped to the observed
+/// maximum — at most one power of two away from the true sample.
+///
+/// ```
+/// let h = cbs_obs::Histogram::new();
+/// for v in [1u64, 2, 3, 100] {
+///     h.record(v);
+/// }
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count, 4);
+/// assert_eq!(snap.sum, 106);
+/// assert_eq!(snap.min, 1);
+/// assert_eq!(snap.max, 100);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+/// Index of the bucket holding `v`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Largest value stored in bucket `b` (inclusive upper bound).
+fn bucket_upper_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let inner = &self.inner;
+        inner.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.min.fetch_min(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or `None` before the first record.
+    pub fn mean(&self) -> Option<f64> {
+        let count = self.count();
+        (count > 0).then(|| self.sum() as f64 / count as f64)
+    }
+
+    /// Approximate quantile (`q` clamped to `[0, 1]`): the upper bound
+    /// of the bucket containing the `q`-th sample, clamped to the
+    /// observed maximum. `None` before the first record.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let snapshot_count = self.count();
+        if snapshot_count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based; q = 1.0 maps to the last.
+        let target = ((q * snapshot_count as f64).ceil() as u64).clamp(1, snapshot_count);
+        let mut seen = 0u64;
+        for (b, bucket) in self.inner.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return Some(bucket_upper_bound(b).min(self.inner.max.load(Ordering::Relaxed)));
+            }
+        }
+        Some(self.inner.max.load(Ordering::Relaxed))
+    }
+
+    /// A consistent-enough copy of the current state (buckets are read
+    /// without a global lock, so a concurrent `record` may be partially
+    /// visible; totals are exact once writers quiesce).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        HistogramSnapshot {
+            count,
+            sum: self.sum(),
+            min: if count == 0 {
+                0
+            } else {
+                self.inner.min.load(Ordering::Relaxed)
+            },
+            max: self.inner.max.load(Ordering::Relaxed),
+            p50: self.quantile(0.50).unwrap_or(0),
+            p90: self.quantile(0.90).unwrap_or(0),
+            p99: self.quantile(0.99).unwrap_or(0),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`] (or a [`crate::SpanTimer`],
+/// whose samples are nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Approximate median (bucket upper bound).
+    pub p50: u64,
+    /// Approximate 90th percentile (bucket upper bound).
+    pub p90: u64,
+    /// Approximate 99th percentile (bucket upper bound).
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 11);
+        let clone = c.clone();
+        clone.inc();
+        assert_eq!(c.get(), 12, "clones share the same cell");
+    }
+
+    #[test]
+    fn gauge_levels_and_high_water() {
+        let g = Gauge::new();
+        assert_eq!(g.inc(), 1);
+        assert_eq!(g.inc(), 2);
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(7);
+        g.record_max(3);
+        assert_eq!(g.get(), 7, "record_max never lowers");
+        g.record_max(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_summary() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        let mean = h.mean().expect("non-empty");
+        assert!((mean - 500.5).abs() < 1e-9, "{mean}");
+        let p50 = h.quantile(0.5).expect("non-empty");
+        // Exact median is 500; the bucket answer may overshoot by at
+        // most one power of two.
+        assert!((500..=1023).contains(&p50), "{p50}");
+        assert_eq!(h.quantile(1.0), Some(1000), "clamped to observed max");
+        let snap = h.snapshot();
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 1000);
+        assert_eq!(snap.count, 1000);
+    }
+
+    #[test]
+    fn histogram_zero_and_extremes() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, u64::MAX);
+        assert_eq!(h.quantile(0.0), Some(0));
+    }
+
+    #[test]
+    fn concurrent_counts_are_exact() {
+        let c = Counter::new();
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = c.clone();
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+        assert_eq!(h.count(), 40_000);
+    }
+}

@@ -14,13 +14,18 @@
 //! `-` as the input path reads stdin. MSRC conversion drops the
 //! response-time column (CBT carries request fields only) and, with
 //! `--volumes`, writes a sidecar mapping `id,hostname_disk` per line so
-//! the interned volume ids stay interpretable.
+//! the interned volume ids stay interpretable. `--metrics` (any mode)
+//! attaches a `cbs-obs` registry to the decoder/reader and dumps its
+//! JSON export to stderr after the summary line — the quickest way to
+//! see decode/CBT stage counters (bytes, records, CRC failures,
+//! malformed-line position) for a real trace file.
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
 use std::time::Instant;
 
+use cbs_obs::Registry;
 use cbs_trace::codec::msrc::VolumeRegistry;
 use cbs_trace::codec::parallel::ParallelDecoder;
 use cbs_trace::{CbtReader, CbtWriter};
@@ -30,7 +35,8 @@ const USAGE: &str = "usage: cbs-convert alicloud <input.csv> <output.cbt>
        cbs-convert info     <trace.cbt>
 
 Converts CSV traces to the columnar binary trace format (CBT).
-`-` as the input path reads from stdin.";
+`-` as the input path reads from stdin.
+`--metrics` (any mode) dumps pipeline stage counters as JSON to stderr.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,20 +50,35 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
+    let mut args: Vec<String> = args.to_vec();
+    let metrics = if let Some(i) = args.iter().position(|a| a == "--metrics") {
+        args.remove(i);
+        Some(Registry::new())
+    } else {
+        None
+    };
     let mode = args.first().map(String::as_str);
-    match mode {
-        Some("alicloud") if args.len() == 3 => convert_alicloud(&args[1], &args[2]),
-        Some("msrc") if args.len() == 3 => convert_msrc(&args[1], &args[2], None),
-        Some("msrc") if args.len() == 5 && args[3] == "--volumes" => {
-            convert_msrc(&args[1], &args[2], Some(&args[4]))
+    let result = match mode {
+        Some("alicloud") if args.len() == 3 => {
+            convert_alicloud(&args[1], &args[2], metrics.as_ref())
         }
-        Some("info") if args.len() == 2 => info(&args[1]),
+        Some("msrc") if args.len() == 3 => convert_msrc(&args[1], &args[2], None, metrics.as_ref()),
+        Some("msrc") if args.len() == 5 && args[3] == "--volumes" => {
+            convert_msrc(&args[1], &args[2], Some(&args[4]), metrics.as_ref())
+        }
+        Some("info") if args.len() == 2 => info(&args[1], metrics.as_ref()),
         Some("-h" | "--help") => {
             println!("{USAGE}");
-            Ok(())
+            return Ok(());
         }
-        _ => Err(format!("bad arguments\n{USAGE}")),
+        _ => return Err(format!("bad arguments\n{USAGE}")),
+    };
+    // Dump even on failure: the counters show how far the pipeline got
+    // (e.g. `decode.malformed_line` pinpoints a bad record).
+    if let Some(registry) = &metrics {
+        eprintln!("{}", registry.to_json());
     }
+    result
 }
 
 fn open_input(path: &str) -> Result<Box<dyn Read + Send>, String> {
@@ -73,13 +94,20 @@ fn create_output(path: &str) -> Result<BufWriter<File>, String> {
     Ok(BufWriter::new(file))
 }
 
-fn convert_alicloud(input: &str, output: &str) -> Result<(), String> {
+fn with_metrics(decoder: ParallelDecoder, metrics: Option<&Registry>) -> ParallelDecoder {
+    match metrics {
+        Some(registry) => decoder.with_registry(registry),
+        None => decoder,
+    }
+}
+
+fn convert_alicloud(input: &str, output: &str, metrics: Option<&Registry>) -> Result<(), String> {
     let reader = open_input(input)?;
     let out = create_output(output)?;
     let start = Instant::now();
     let mut writer = CbtWriter::new(out);
     let mut write_error: Option<String> = None;
-    let stats = ParallelDecoder::new()
+    let stats = with_metrics(ParallelDecoder::new(), metrics)
         .decode_alicloud_batches(reader, |batch| {
             if write_error.is_none() {
                 if let Err(e) = writer.write_batch(&batch) {
@@ -96,14 +124,19 @@ fn convert_alicloud(input: &str, output: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn convert_msrc(input: &str, output: &str, volumes: Option<&str>) -> Result<(), String> {
+fn convert_msrc(
+    input: &str,
+    output: &str,
+    volumes: Option<&str>,
+    metrics: Option<&Registry>,
+) -> Result<(), String> {
     let reader = open_input(input)?;
     let out = create_output(output)?;
     let start = Instant::now();
     let mut writer = CbtWriter::new(out);
     let mut registry = VolumeRegistry::new();
     let mut write_error: Option<String> = None;
-    let stats = ParallelDecoder::new()
+    let stats = with_metrics(ParallelDecoder::new(), metrics)
         .decode_msrc_batches(reader, &mut registry, |batch| {
             if write_error.is_none() {
                 if let Err(e) = writer.write_batch(&batch) {
@@ -156,9 +189,12 @@ fn report(format: &str, records: u64, in_bytes: u64, out_bytes: u64, start: Inst
     );
 }
 
-fn info(path: &str) -> Result<(), String> {
+fn info(path: &str, metrics: Option<&Registry>) -> Result<(), String> {
     let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     let mut reader = CbtReader::new(BufReader::new(file));
+    if let Some(registry) = metrics {
+        reader = reader.with_registry(registry);
+    }
     let mut blocks = 0u64;
     let mut records = 0u64;
     let mut volumes = std::collections::BTreeSet::new();

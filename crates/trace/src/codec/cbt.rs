@@ -73,6 +73,8 @@
 
 use std::io::{Read, Write};
 
+use cbs_obs::{Counter, Registry, SpanTimer, Stopwatch};
+
 use crate::batch::RequestBatch;
 use crate::error::CbtError;
 use crate::{IoRequest, OpKind, Timestamp, VolumeId};
@@ -322,7 +324,11 @@ fn encode_payload(batch: &RequestBatch, out: &mut Vec<u8>) {
 ///   with the CSV readers.
 ///
 /// The header is validated lazily on the first read. After any error
-/// the reader is fused: further reads yield `Ok(None)` / `None`.
+/// the reader is poisoned: [`read_batch`](CbtReader::read_batch)
+/// returns [`CbtError::Poisoned`] forever after, so a corrupt mid-file
+/// block can never be observed as a shorter-but-clean trace — `Ok(None)`
+/// is reserved for a genuinely clean end of stream. (The record
+/// iterator yields the original error once, then fuses to `None`.)
 #[derive(Debug)]
 pub struct CbtReader<R: Read> {
     inner: R,
@@ -333,6 +339,18 @@ pub struct CbtReader<R: Read> {
     current: RequestBatch,
     pos: usize,
     failed: bool,
+    metrics: Option<CbtMetrics>,
+}
+
+/// Reader-side registry handles (see [`CbtReader::with_registry`]).
+#[derive(Debug)]
+struct CbtMetrics {
+    blocks: Counter,
+    records: Counter,
+    bytes: Counter,
+    crc_failures: Counter,
+    corrupt_blocks: Counter,
+    block_decode: SpanTimer,
 }
 
 impl<R: Read> CbtReader<R> {
@@ -346,7 +364,27 @@ impl<R: Read> CbtReader<R> {
             current: RequestBatch::new(),
             pos: 0,
             failed: false,
+            metrics: None,
         }
+    }
+
+    /// Publishes reader metrics into `registry`: `cbt.blocks`,
+    /// `cbt.records`, and `cbt.bytes` counters for throughput
+    /// accounting, `cbt.crc_failures` / `cbt.corrupt_blocks` for damage,
+    /// and a `cbt.block_decode` span timing each block's read + decode
+    /// (stalls show up as a long tail). Recording is per block, so the
+    /// overhead is unmeasurable next to decoding ~64 Ki records.
+    #[must_use]
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.metrics = Some(CbtMetrics {
+            blocks: registry.counter("cbt.blocks"),
+            records: registry.counter("cbt.records"),
+            bytes: registry.counter("cbt.bytes"),
+            crc_failures: registry.counter("cbt.crc_failures"),
+            corrupt_blocks: registry.counter("cbt.corrupt_blocks"),
+            block_decode: registry.span("cbt.block_decode"),
+        });
+        self
     }
 
     /// Decodes the next block, or `Ok(None)` at a clean end of stream.
@@ -354,13 +392,38 @@ impl<R: Read> CbtReader<R> {
     /// Must not be interleaved with the record [`Iterator`]: records the
     /// iterator has buffered from a previous block are not returned
     /// here.
+    ///
+    /// # Errors
+    ///
+    /// Any decode failure poisons the reader; every subsequent call
+    /// returns [`CbtError::Poisoned`] so the failure cannot be
+    /// swallowed into a clean-looking early EOF.
     pub fn read_batch(&mut self) -> Result<Option<RequestBatch>, CbtError> {
         if self.failed {
-            return Ok(None);
+            return Err(CbtError::Poisoned);
         }
+        let clock = self.metrics.as_ref().map(|_| Stopwatch::start());
         match self.try_read_batch() {
-            Ok(batch) => Ok(batch),
+            Ok(Some(batch)) => {
+                if let (Some(m), Some(clock)) = (&self.metrics, clock) {
+                    m.block_decode.record_nanos(clock.elapsed_nanos());
+                    m.blocks.inc();
+                    m.records.add(batch.len() as u64);
+                    m.bytes.add((BLOCK_HEADER_LEN + self.payload.len()) as u64);
+                }
+                Ok(Some(batch))
+            }
+            // Clean EOF and failures record nothing: an empty read or an
+            // aborted decode would pollute the span distribution.
+            Ok(None) => Ok(None),
             Err(e) => {
+                if let Some(m) = &self.metrics {
+                    match &e {
+                        CbtError::ChecksumMismatch { .. } => m.crc_failures.inc(),
+                        CbtError::Corrupt { .. } => m.corrupt_blocks.inc(),
+                        _ => {}
+                    }
+                }
                 self.failed = true;
                 Err(e)
             }
@@ -545,6 +608,9 @@ impl<R: Read> Iterator for CbtReader<R> {
                     self.pos = 0;
                 }
                 Ok(None) => return None,
+                // The original error was already yielded once; the
+                // iterator contract wants fused `None` afterwards.
+                Err(CbtError::Poisoned) => return None,
                 Err(e) => return Some(Err(e)),
             }
         }
@@ -694,14 +760,100 @@ mod tests {
     }
 
     #[test]
-    fn errors_fuse_the_reader() {
+    fn errors_poison_the_reader() {
         let mut bytes = encode(&sample(100), 64);
         let len = bytes.len();
         bytes.truncate(len - 1);
         let mut r = CbtReader::new(&bytes[..]);
         assert!(r.read_batch().expect("first block ok").is_some());
+        assert!(matches!(
+            r.read_batch().expect_err("truncated"),
+            CbtError::Corrupt { .. }
+        ));
+        // Reads after the failure keep erroring — never `Ok(None)`,
+        // which would let a retrying caller mistake the truncated
+        // stream for a clean, shorter one.
+        for _ in 0..3 {
+            assert!(matches!(
+                r.read_batch().expect_err("poisoned"),
+                CbtError::Poisoned
+            ));
+        }
+    }
+
+    #[test]
+    fn corrupt_mid_file_is_never_a_clean_shorter_trace() {
+        // A mid-file checksum failure must make it impossible to drain
+        // the reader into something that looks like a complete trace:
+        // however often the caller retries `read_batch`, the total
+        // (records seen, final state) is (first block only, error).
+        let reqs = sample(300);
+        let mut bytes = encode(&reqs, 100);
+        let block0_payload =
+            u32::from_le_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]) as usize;
+        let second_payload = HEADER_LEN + 2 * BLOCK_HEADER_LEN + block0_payload;
+        bytes[second_payload + 5] ^= 0x01; // damage block 1 of 3
+        let mut r = CbtReader::new(&bytes[..]);
+        let mut records = 0usize;
+        let mut errors = 0usize;
+        for _ in 0..10 {
+            match r.read_batch() {
+                Ok(Some(batch)) => records += batch.len(),
+                Ok(None) => panic!("poisoned reader signalled clean EOF"),
+                Err(_) => errors += 1,
+            }
+        }
+        assert_eq!(records, 100, "only the intact first block is yielded");
+        assert!(errors >= 9);
+        // The record iterator view: yields the error exactly once, then
+        // fuses — and never silently ends before the error.
+        let mut r = CbtReader::new(&bytes[..]);
+        let mut ok = 0usize;
+        let mut saw_error = false;
+        for item in r.by_ref() {
+            match item {
+                Ok(_) => ok += 1,
+                Err(e) => {
+                    assert!(matches!(e, CbtError::ChecksumMismatch { .. }), "{e}");
+                    saw_error = true;
+                }
+            }
+        }
+        assert!(saw_error, "iterator must surface the corruption");
+        assert_eq!(ok, 100);
+        assert!(r.next().is_none(), "fused after the error");
+    }
+
+    #[test]
+    fn registry_counts_blocks_and_damage() {
+        use cbs_obs::Registry;
+        let reqs = sample(250);
+        let bytes = encode(&reqs, 100);
+        let registry = Registry::new();
+        let mut r = CbtReader::new(&bytes[..]).with_registry(&registry);
+        while r.read_batch().expect("clean stream").is_some() {}
+        assert_eq!(registry.counter("cbt.blocks").get(), 3);
+        assert_eq!(registry.counter("cbt.records").get(), 250);
+        assert_eq!(
+            registry.counter("cbt.bytes").get(),
+            (bytes.len() - HEADER_LEN) as u64
+        );
+        assert_eq!(registry.counter("cbt.crc_failures").get(), 0);
+        assert_eq!(r.read_batch().expect("still clean at EOF"), None);
+
+        // Damage block 1: the CRC failure is counted once (poisoned
+        // re-reads do not inflate it).
+        let block0_payload =
+            u32::from_le_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]) as usize;
+        let mut damaged = bytes.clone();
+        damaged[HEADER_LEN + 2 * BLOCK_HEADER_LEN + block0_payload + 5] ^= 0x10;
+        let registry = Registry::new();
+        let mut r = CbtReader::new(&damaged[..]).with_registry(&registry);
+        assert!(r.read_batch().expect("block 0 intact").is_some());
         assert!(r.read_batch().is_err());
-        assert!(r.read_batch().expect("fused").is_none());
+        assert!(r.read_batch().is_err());
+        assert_eq!(registry.counter("cbt.crc_failures").get(), 1);
+        assert_eq!(registry.counter("cbt.blocks").get(), 1);
     }
 
     #[test]

@@ -38,6 +38,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::Mutex;
 
+use cbs_obs::{Counter, Gauge, Registry};
+
 use crate::error::{ParseRecordError, TraceError};
 use crate::{IoRequest, RequestBatch};
 
@@ -80,6 +82,43 @@ pub struct DecodeStats {
 pub struct ParallelDecoder {
     threads: usize,
     chunk_size: usize,
+    metrics: Option<DecodeMetrics>,
+}
+
+/// Registry handles updated per consumed chunk (see
+/// [`ParallelDecoder::with_registry`]).
+#[derive(Debug, Clone)]
+struct DecodeMetrics {
+    records: Counter,
+    lines: Counter,
+    bytes: Counter,
+    chunks: Counter,
+    malformed_line: Gauge,
+}
+
+impl DecodeMetrics {
+    fn new(registry: &Registry) -> Self {
+        DecodeMetrics {
+            records: registry.counter("decode.records"),
+            lines: registry.counter("decode.lines"),
+            bytes: registry.counter("decode.bytes"),
+            chunks: registry.counter("decode.chunks"),
+            malformed_line: registry.gauge("decode.malformed_line"),
+        }
+    }
+
+    /// One in-order chunk reached the sink.
+    fn on_chunk(&self, bytes: u64, records: u64, lines: u64) {
+        self.chunks.inc();
+        self.bytes.add(bytes);
+        self.records.add(records);
+        self.lines.add(lines);
+    }
+
+    /// Decoding stopped at a malformed row (one-based line number).
+    fn on_malformed(&self, line: u64) {
+        self.malformed_line.set(line);
+    }
 }
 
 impl Default for ParallelDecoder {
@@ -95,7 +134,21 @@ impl ParallelDecoder {
         ParallelDecoder {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             chunk_size: DEFAULT_CHUNK_SIZE,
+            metrics: None,
         }
+    }
+
+    /// Publishes decode metrics into `registry`: live `decode.records`,
+    /// `decode.lines`, `decode.bytes`, and `decode.chunks` counters
+    /// (mirroring the final [`DecodeStats`], but readable from another
+    /// thread mid-run), plus a `decode.malformed_line` gauge holding the
+    /// one-based line number that stopped a decode (`0` = none).
+    /// Updates happen once per in-order chunk (~1 MiB of input), so the
+    /// cost is unmeasurable.
+    #[must_use]
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.metrics = Some(DecodeMetrics::new(registry));
+        self
     }
 
     /// Sets the number of parser worker threads (min 1).
@@ -140,19 +193,24 @@ impl ParallelDecoder {
             |out: AliChunkOut| {
                 stats.chunks += 1;
                 stats.bytes += out.bytes;
-                stats.records += out.records.len() as u64;
+                let records = out.records.len() as u64;
+                stats.records += records;
                 if !out.records.is_empty() {
                     sink(out.records);
                 }
                 let base = lines_before;
                 lines_before += out.lines;
+                let consumed_lines = out.error.as_ref().map_or(out.lines, |(rel, _)| *rel);
+                stats.lines += consumed_lines;
+                if let Some(m) = &self.metrics {
+                    m.on_chunk(out.bytes, records, consumed_lines);
+                }
                 match out.error {
-                    None => {
-                        stats.lines += out.lines;
-                        Ok(())
-                    }
+                    None => Ok(()),
                     Some((rel, e)) => {
-                        stats.lines += rel;
+                        if let Some(m) = &self.metrics {
+                            m.on_malformed(base + rel);
+                        }
                         Err(TraceError::parse(base + rel, e))
                     }
                 }
@@ -199,19 +257,24 @@ impl ParallelDecoder {
             |out: AliBatchOut| {
                 stats.chunks += 1;
                 stats.bytes += out.bytes;
-                stats.records += out.records.len() as u64;
+                let records = out.records.len() as u64;
+                stats.records += records;
                 if !out.records.is_empty() {
                     sink(out.records);
                 }
                 let base = lines_before;
                 lines_before += out.lines;
+                let consumed_lines = out.error.as_ref().map_or(out.lines, |(rel, _)| *rel);
+                stats.lines += consumed_lines;
+                if let Some(m) = &self.metrics {
+                    m.on_chunk(out.bytes, records, consumed_lines);
+                }
                 match out.error {
-                    None => {
-                        stats.lines += out.lines;
-                        Ok(())
-                    }
+                    None => Ok(()),
                     Some((rel, e)) => {
-                        stats.lines += rel;
+                        if let Some(m) = &self.metrics {
+                            m.on_malformed(base + rel);
+                        }
                         Err(TraceError::parse(base + rel, e))
                     }
                 }
@@ -248,7 +311,8 @@ impl ParallelDecoder {
             |mut out: MsrcChunkOut| {
                 stats.chunks += 1;
                 stats.bytes += out.bytes;
-                stats.records += out.records.len() as u64;
+                let records = out.records.len() as u64;
+                stats.records += records;
                 // Chunk-local id k maps to the global id of the k-th
                 // first-seen name in this chunk.
                 let global: Vec<_> = out
@@ -264,13 +328,17 @@ impl ParallelDecoder {
                 }
                 let base = lines_before;
                 lines_before += out.lines;
+                let consumed_lines = out.error.as_ref().map_or(out.lines, |(rel, _)| *rel);
+                stats.lines += consumed_lines;
+                if let Some(m) = &self.metrics {
+                    m.on_chunk(out.bytes, records, consumed_lines);
+                }
                 match out.error {
-                    None => {
-                        stats.lines += out.lines;
-                        Ok(())
-                    }
+                    None => Ok(()),
                     Some((rel, e)) => {
-                        stats.lines += rel;
+                        if let Some(m) = &self.metrics {
+                            m.on_malformed(base + rel);
+                        }
                         Err(TraceError::parse(base + rel, e))
                     }
                 }
@@ -307,7 +375,8 @@ impl ParallelDecoder {
             |mut out: MsrcBatchOut| {
                 stats.chunks += 1;
                 stats.bytes += out.bytes;
-                stats.records += out.records.len() as u64;
+                let records = out.records.len() as u64;
+                stats.records += records;
                 let global: Vec<_> = out
                     .names
                     .iter()
@@ -319,13 +388,17 @@ impl ParallelDecoder {
                 }
                 let base = lines_before;
                 lines_before += out.lines;
+                let consumed_lines = out.error.as_ref().map_or(out.lines, |(rel, _)| *rel);
+                stats.lines += consumed_lines;
+                if let Some(m) = &self.metrics {
+                    m.on_chunk(out.bytes, records, consumed_lines);
+                }
                 match out.error {
-                    None => {
-                        stats.lines += out.lines;
-                        Ok(())
-                    }
+                    None => Ok(()),
                     Some((rel, e)) => {
-                        stats.lines += rel;
+                        if let Some(m) = &self.metrics {
+                            m.on_malformed(base + rel);
+                        }
                         Err(TraceError::parse(base + rel, e))
                     }
                 }
@@ -923,6 +996,40 @@ mod tests {
         // At most the final partial block (plus carry) is lost.
         assert!(delivered >= total - 250, "{delivered} of {total}");
         assert!(delivered > 0);
+    }
+
+    #[test]
+    fn registry_mirrors_decode_stats() {
+        let csv = sample_csv(5_000);
+        let registry = cbs_obs::Registry::new();
+        let decoder = ParallelDecoder::new()
+            .with_threads(4)
+            .with_chunk_size(4096)
+            .with_registry(&registry);
+        let stats = decoder.decode_alicloud(&csv[..], |_| {}).unwrap();
+        assert_eq!(registry.counter("decode.records").get(), stats.records);
+        assert_eq!(registry.counter("decode.lines").get(), stats.lines);
+        assert_eq!(registry.counter("decode.bytes").get(), stats.bytes);
+        assert_eq!(registry.counter("decode.chunks").get(), stats.chunks);
+        assert_eq!(registry.gauge("decode.malformed_line").get(), 0);
+    }
+
+    #[test]
+    fn registry_records_malformed_line() {
+        let mut csv = sample_csv(1_000);
+        let text = String::from_utf8(csv.clone()).unwrap();
+        let byte_of_line_500: usize = text.lines().take(499).map(|l| l.len() + 1).sum();
+        csv.splice(byte_of_line_500..byte_of_line_500, *b"bogus,");
+        let registry = cbs_obs::Registry::new();
+        let decoder = ParallelDecoder::new()
+            .with_threads(4)
+            .with_chunk_size(4096)
+            .with_registry(&registry);
+        let err = decoder.decode_alicloud(&csv[..], |_| {}).unwrap_err();
+        assert_eq!(err.line(), Some(500));
+        assert_eq!(registry.gauge("decode.malformed_line").get(), 500);
+        // Only clean lines before the failure are counted.
+        assert_eq!(registry.counter("decode.records").get(), 499);
     }
 
     #[test]

@@ -150,6 +150,10 @@ pub enum CbtError {
         /// Checksum computed over the payload actually read.
         found: u32,
     },
+    /// The reader already failed: every read after the first error
+    /// returns this, so a corrupt or truncated stream can never be
+    /// mistaken for a shorter-but-clean one by a caller that retries.
+    Poisoned,
 }
 
 impl fmt::Display for CbtError {
@@ -174,6 +178,9 @@ impl fmt::Display for CbtError {
                     f,
                     "checksum mismatch in CBT block #{block}: stored {expected:#010x}, computed {found:#010x}"
                 )
+            }
+            CbtError::Poisoned => {
+                write!(f, "CBT reader is poisoned by an earlier decode error")
             }
         }
     }
@@ -251,6 +258,7 @@ mod tests {
                 },
                 "checksum mismatch",
             ),
+            (CbtError::Poisoned, "poisoned"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

@@ -24,7 +24,25 @@ fi
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> ingest_perf smoke (CBT round-trip + batched/streaming equivalence)"
+echo "==> ingest_perf smoke (round-trip + equivalence + obs reconciliation + poison gate)"
 ./target/release/ingest_perf smoke
+
+echo "==> cbs-convert --metrics smoke (registry export reaches stderr)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+printf '0,R,0,4096,1000\n1,W,4096,8192,2000\n' > "${tmpdir}/smoke.csv"
+./target/release/cbs-convert alicloud "${tmpdir}/smoke.csv" "${tmpdir}/smoke.cbt" --metrics \
+    2> "${tmpdir}/convert.err"
+grep -q '"decode.records":{"type":"counter","value":2}' "${tmpdir}/convert.err" || {
+    echo "cbs-convert --metrics did not export decode counters:" >&2
+    cat "${tmpdir}/convert.err" >&2
+    exit 1
+}
+./target/release/cbs-convert info "${tmpdir}/smoke.cbt" --metrics 2> "${tmpdir}/info.err" > /dev/null
+grep -q '"cbt.records":{"type":"counter","value":2}' "${tmpdir}/info.err" || {
+    echo "cbs-convert info --metrics did not export cbt counters:" >&2
+    cat "${tmpdir}/info.err" >&2
+    exit 1
+}
 
 echo "OK: all checks passed"
