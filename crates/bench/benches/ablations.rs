@@ -10,9 +10,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cbs_analysis::{analyze_trace, AnalysisConfig};
-use cbs_cache::CacheSim;
+use cbs_cache::{policy_by_name, CacheSim, POLICY_NAMES};
 use cbs_stats::{LogHistogram, Quantiles, Reservoir};
-use cbs_trace::BlockSize;
+use cbs_trace::{BlockAccessColumn, BlockSize, RequestBatch};
 
 /// Bounds every group's runtime for the single-core CI box: small
 /// sample counts and short measurement windows — these benches exist to
@@ -81,42 +81,36 @@ fn bench_policies_at_fig18_points(c: &mut Criterion) {
         .to_vec();
     let capacity = busiest.cache_blocks_for_fraction(0.10).max(8);
 
+    // Expand the request stream to its block/op column ONCE — every
+    // policy variant then measures pure policy cost over the shared
+    // column instead of re-walking `span_of` per policy (the sweep
+    // engine's shared-expansion path).
+    let batch = RequestBatch::from(requests.as_slice());
+    let mut column = BlockAccessColumn::with_capacity(batch.len());
+    batch.expand_blocks_into(config.block_size, &mut column);
+
     let mut group = c.benchmark_group("ablation_fig18_policies");
     configure(&mut group);
     group.throughput(criterion::Throughput::Elements(requests.len() as u64));
-    macro_rules! bench_policy {
-        ($name:literal, $ctor:expr) => {
-            group.bench_function($name, |b| {
-                b.iter(|| {
-                    let mut sim = CacheSim::new($ctor, config.block_size);
-                    sim.run(&requests);
-                    black_box(sim.stats())
-                });
+    for &name in POLICY_NAMES {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let policy = policy_by_name(name, capacity).expect("known policy");
+                let mut sim = CacheSim::new(policy, config.block_size);
+                sim.run_column(&column);
+                black_box(sim.stats())
             });
-        };
+        });
     }
-    bench_policy!("lru", cbs_cache::Lru::new(capacity));
-    bench_policy!("fifo", cbs_cache::Fifo::new(capacity));
-    bench_policy!("clock", cbs_cache::Clock::new(capacity));
-    bench_policy!("lfu", cbs_cache::Lfu::new(capacity));
-    bench_policy!("arc", cbs_cache::Arc::new(capacity));
-    bench_policy!("slru", cbs_cache::Slru::new(capacity));
-    bench_policy!("2q", cbs_cache::TwoQ::new(capacity));
     group.bench_function("belady_opt", |b| {
-        let accesses: Vec<cbs_trace::BlockId> = requests
-            .iter()
-            .flat_map(|r| config.block_size.span_of(r))
-            .collect();
-        b.iter(|| black_box(cbs_cache::simulate_opt(&accesses, capacity)));
+        b.iter(|| black_box(cbs_cache::simulate_opt(column.blocks(), capacity)));
     });
     group.bench_function("mrc_from_reuse_distances", |b| {
         // the analyzer's alternative: one pass yields *every* capacity
         b.iter(|| {
             let mut rd = cbs_cache::ReuseDistances::new();
-            for req in &requests {
-                for blk in config.block_size.span_of(req) {
-                    rd.access(blk);
-                }
+            for (blk, _) in column.iter() {
+                rd.access(blk);
             }
             black_box(rd.to_mrc().miss_ratio_at(capacity))
         });

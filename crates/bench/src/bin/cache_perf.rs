@@ -1,0 +1,489 @@
+//! Cache-sweep performance measurement harness.
+//!
+//! Produces the numbers recorded in `EXPERIMENTS.md` and
+//! `BENCH_cache.json`: the naive per-(policy, capacity) `CacheSim`
+//! loop (one CBT decode + block expansion + simulation per pair)
+//! A/B'd against the single-pass sweep engine, exact and
+//! SHARDS-sampled, over the same policy × capacity grid and the same
+//! trace — plus the measured SHARDS approximation error per sampling
+//! rate.
+//!
+//! Like `ingest_perf`, the orchestrator re-execs itself so each phase
+//! runs in a fresh subprocess (isolated `VmHWM` peak RSS):
+//!
+//! ```sh
+//! cargo run --release -p cbs-bench --bin cache_perf             # all phases
+//! cargo run --release -p cbs-bench --bin cache_perf naive 10    # one phase
+//! cargo run --release -p cbs-bench --bin cache_perf smoke       # CI gate
+//! ```
+//!
+//! Each phase prints a single-line JSON object; the orchestrator
+//! assembles them into `BENCH_cache.json`, asserts the naive and
+//! exact-sweep `"grid"` stats are byte-identical, and records the
+//! wall-clock speedups. `--threads N` sets the sweep's lane worker
+//! count to `N - 1` (one core stays with the decode/expand producer);
+//! the default matches the machine.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use cbs_cache::{policy_by_name, CacheSim, CacheStats, SweepGrid, POLICY_NAMES};
+use cbs_obs::Registry;
+use cbs_synth::presets::{self, CorpusConfig};
+use cbs_trace::{BlockAccessColumn, BlockSize, CbtReader, CbtWriter, IoRequest};
+
+/// The benchmark grid: every policy at five capacities (16 MiB to
+/// 4 GiB of 4 KiB blocks) — a Fig. 18-style ablation surface.
+const CAPACITIES: [usize; 5] = [4_096, 16_384, 65_536, 262_144, 1_048_576];
+
+/// The same corpus family the ingest benchmarks use.
+fn big_corpus() -> cbs_synth::CorpusGenerator {
+    let config = CorpusConfig::new(128, 4, 4242).with_intensity_scale(0.05);
+    presets::alicloud_like(&config)
+}
+
+fn peak_rss_kb() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Writes `millions`M corpus requests to a temp CBT file (untimed
+/// setup shared by the naive and sweep phases) and returns its path.
+fn write_corpus_cbt(millions: u64) -> std::path::PathBuf {
+    let n = (millions * 1_000_000) as usize;
+    let path = std::env::temp_dir().join(format!("cache_perf_{}.cbt", std::process::id()));
+    let file = std::fs::File::create(&path).expect("create temp cbt");
+    let mut writer = CbtWriter::new(std::io::BufWriter::new(file));
+    let mut written = 0usize;
+    for req in big_corpus().stream().take(n) {
+        writer.write_request(&req).expect("encode cbt");
+        written += 1;
+    }
+    writer
+        .finish()
+        .expect("finish cbt")
+        .flush()
+        .expect("flush cbt");
+    assert_eq!(written, n, "corpus smaller than requested target");
+    path
+}
+
+/// The identity + stats of every grid pair as a deterministic JSON
+/// array. The orchestrator byte-compares this between the naive and
+/// exact-sweep phases: equal strings mean bit-identical integer hit
+/// counts (the miss ratios derive from them).
+fn grid_json(entries: &[(String, usize, CacheStats)]) -> String {
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|(policy, capacity, stats)| {
+            format!(
+                "{{\"policy\":\"{policy}\",\"capacity\":{capacity},\
+                 \"read_accesses\":{},\"read_hits\":{},\
+                 \"write_accesses\":{},\"write_hits\":{}}}",
+                stats.read_accesses(),
+                stats.read_hits(),
+                stats.write_accesses(),
+                stats.write_hits()
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+/// The naive baseline: one full CBT decode + block expansion +
+/// `CacheSim` run per (policy, capacity) pair — what ablation scripts
+/// did before the sweep engine.
+fn phase_naive(millions: u64) {
+    let path = write_corpus_cbt(millions);
+    let n = millions * 1_000_000;
+    let block_size = BlockSize::DEFAULT;
+
+    let start = Instant::now();
+    let mut entries = Vec::new();
+    let mut pair_seconds = Vec::new();
+    for &name in POLICY_NAMES {
+        for &capacity in &CAPACITIES {
+            let pair_start = Instant::now();
+            let policy = policy_by_name(name, capacity).expect("known policy");
+            let mut sim = CacheSim::new(policy, block_size);
+            let mut scratch = BlockAccessColumn::new();
+            let file = std::fs::File::open(&path).expect("open temp cbt");
+            let mut reader = CbtReader::new(std::io::BufReader::new(file));
+            let mut decoded = 0u64;
+            while let Some(batch) = reader.read_batch().expect("decode cbt") {
+                decoded += batch.len() as u64;
+                sim.run_batch(&batch, &mut scratch);
+            }
+            assert_eq!(decoded, n, "cbt file shorter than written");
+            let secs = pair_start.elapsed().as_secs_f64();
+            pair_seconds.push(format!(
+                "{{\"policy\":\"{name}\",\"capacity\":{capacity},\"seconds\":{secs:.3}}}"
+            ));
+            entries.push((name.to_owned(), capacity, sim.stats()));
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&path);
+    println!(
+        "{{\"phase\":\"naive\",\"requests\":{n},\"pairs\":{},\"n_threads\":1,\
+         \"seconds\":{secs:.3},\"grid\":{},\"pair_seconds\":[{}],\"peak_rss_kb\":{}}}",
+        entries.len(),
+        grid_json(&entries),
+        pair_seconds.join(","),
+        peak_rss_kb()
+    );
+}
+
+/// Builds the benchmark grid: exact when `sampled` is false (every
+/// pair an exact lane), otherwise the headline configuration — LRU
+/// capacities on the collapsed exact stack lane, every other policy as
+/// a SHARDS-sampled lane, plus the sampled MRC.
+fn bench_grid(workers: usize, sampled: bool, registry: &Registry) -> SweepGrid {
+    let mut grid = SweepGrid::new()
+        .with_workers(workers)
+        .with_registry(registry);
+    for &name in POLICY_NAMES {
+        for &capacity in &CAPACITIES {
+            grid = if sampled && name != "lru" {
+                grid.sampled_policy(name, capacity).expect("known policy")
+            } else {
+                grid.policy(name, capacity).expect("known policy")
+            };
+        }
+    }
+    if sampled {
+        grid = grid.with_sampled_mrc();
+    }
+    grid
+}
+
+/// Drives a sweep from the CBT file and prints its JSON line.
+fn phase_sweep(millions: u64, workers: usize, sampled: bool) {
+    let path = write_corpus_cbt(millions);
+    let n = millions * 1_000_000;
+    let registry = Registry::new();
+    let grid = bench_grid(workers, sampled, &registry);
+
+    let start = Instant::now();
+    let mut sweep = grid.start();
+    let file = std::fs::File::open(&path).expect("open temp cbt");
+    let mut reader = CbtReader::new(std::io::BufReader::new(file));
+    while let Some(batch) = reader.read_batch().expect("decode cbt") {
+        sweep.observe_batch(&batch);
+    }
+    let report = sweep.finish();
+    let secs = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(report.requests(), n, "cbt file shorter than written");
+
+    let phase = if sampled {
+        "sweep_sampled"
+    } else {
+        "sweep_exact"
+    };
+    let entries: Vec<(String, usize, CacheStats)> = report
+        .lanes()
+        .iter()
+        .filter(|l| !l.sampled)
+        .map(|l| (l.policy.clone(), l.capacity, l.stats))
+        .collect();
+    let lane_nanos: Vec<String> = report
+        .lanes()
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\"policy\":\"{}\",\"capacity\":{},\"sampled\":{},\"nanos\":{},\
+                 \"accesses\":{}}}",
+                l.policy, l.capacity, l.sampled, l.nanos, l.accesses
+            )
+        })
+        .collect();
+    println!(
+        "{{\"phase\":\"{phase}\",\"requests\":{n},\"pairs\":{},\"n_threads\":{},\
+         \"seconds\":{secs:.3},\"accesses\":{},\"sampled_accesses\":{},\
+         \"sampled_fraction\":{:.6},\"expand_nanos\":{},\"sample_rate\":{},\
+         \"grid\":{},\"lanes\":[{}],\"metrics\":{},\"peak_rss_kb\":{}}}",
+        report.lanes().len(),
+        workers + 1,
+        report.accesses(),
+        report.sampled_accesses(),
+        report.sampled_fraction(),
+        report.expand_nanos(),
+        report.sample_rate(),
+        grid_json(&entries),
+        lane_nanos.join(","),
+        registry.to_json(),
+        peak_rss_kb()
+    );
+}
+
+/// Measures the SHARDS miss-ratio-curve approximation error per
+/// sampling rate against the exact stack-lane curve, over an
+/// AliCloud-like corpus. The sweep engine runs both curves; the error
+/// is the max absolute miss-ratio gap over the evaluation capacities.
+fn phase_shards(millions: u64) {
+    let n = (millions * 1_000_000) as usize;
+    let requests: Vec<IoRequest> = big_corpus().stream().take(n).collect();
+    assert_eq!(requests.len(), n, "corpus smaller than requested target");
+    // Bend-and-tail region (512 – 1 Mi blocks): the sampler's rescaled
+    // distances have a resolution of ~1/rate and the SHARDS-adj
+    // correction lands at distance 0, so the head of the curve is a
+    // quantisation artifact; ε is stated where the benchmark grid
+    // (4 Ki – 1 Mi) actually operates. Mirrors tests/shards_error.rs.
+    let eval: Vec<usize> = (9..=20).map(|i| 1usize << i).collect();
+
+    let mut rows = Vec::new();
+    for rate in [0.1, 0.01, 0.001] {
+        let start = Instant::now();
+        let report = SweepGrid::new()
+            .with_workers(0)
+            .with_sample_rate(rate)
+            .expect("valid rate")
+            .lru_capacity(1)
+            .expect("non-zero")
+            .with_sampled_mrc()
+            .sweep(requests.iter().copied());
+        let secs = start.elapsed().as_secs_f64();
+        let exact = report.lru_mrc().expect("stack lane ran");
+        let sampled = report.sampled_mrc().expect("sampled mrc requested");
+        let max_err = eval
+            .iter()
+            .map(|&c| (exact.miss_ratio_at(c) - sampled.miss_ratio_at(c)).abs())
+            .fold(0.0f64, f64::max);
+        rows.push(format!(
+            "{{\"rate\":{rate},\"sampled_fraction\":{:.6},\"max_abs_error\":{max_err:.6},\
+             \"seconds\":{secs:.3}}}",
+            report.sampled_fraction()
+        ));
+    }
+    println!(
+        "{{\"phase\":\"shards\",\"requests\":{n},\"n_threads\":1,\"rates\":[{}],\
+         \"peak_rss_kb\":{}}}",
+        rows.join(","),
+        peak_rss_kb()
+    );
+}
+
+/// Fast CI gate over a small in-process corpus: asserts every exact
+/// sweep lane is bit-identical to a fresh per-pair `CacheSim`, asserts
+/// the sweep's single pass beats the naive re-decode loop on wall
+/// clock, and sanity-checks the sampled path.
+fn phase_smoke() {
+    const N: usize = 300_000;
+    let config = CorpusConfig::new(16, 2, 777).with_intensity_scale(0.05);
+    let requests: Vec<IoRequest> = presets::alicloud_like(&config).stream().take(N).collect();
+    assert_eq!(requests.len(), N, "smoke corpus too small");
+    let capacities = [512usize, 4_096];
+    let block_size = BlockSize::DEFAULT;
+
+    // Naive loop: re-expand the request stream once per pair.
+    let naive_start = Instant::now();
+    let mut naive = Vec::new();
+    for &name in POLICY_NAMES {
+        for &capacity in &capacities {
+            let policy = policy_by_name(name, capacity).expect("known policy");
+            let mut sim = CacheSim::new(policy, block_size);
+            sim.run(&requests);
+            naive.push((name.to_owned(), capacity, sim.stats()));
+        }
+    }
+    let naive_secs = naive_start.elapsed().as_secs_f64();
+
+    // Sweep: one traversal, one expansion, every lane.
+    let registry = Registry::new();
+    let sweep_start = Instant::now();
+    let report = SweepGrid::new()
+        .with_registry(&registry)
+        .grid(POLICY_NAMES, &capacities)
+        .expect("known policies")
+        .sweep(requests.iter().copied());
+    let sweep_secs = sweep_start.elapsed().as_secs_f64();
+
+    // Bit-identical reconciliation across every pair.
+    assert_eq!(report.lanes().len(), naive.len(), "lane count mismatch");
+    for (name, capacity, stats) in &naive {
+        let got = report
+            .stats(name, *capacity)
+            .expect("sweep lane for naive pair");
+        assert_eq!(
+            &got, stats,
+            "sweep diverges from CacheSim at {name}@{capacity}"
+        );
+    }
+    let sweep_entries: Vec<(String, usize, CacheStats)> = report
+        .lanes()
+        .iter()
+        .map(|l| (l.policy.clone(), l.capacity, l.stats))
+        .collect();
+    assert_eq!(
+        grid_json(&sweep_entries),
+        grid_json(&naive),
+        "grid JSON diverges between sweep and naive"
+    );
+    // The registry's accounting must reconcile with the report.
+    assert_eq!(registry.counter("sweep.accesses").get(), report.accesses());
+    // Physical lanes: the stack lane collapses every LRU pair into one.
+    assert_eq!(
+        registry.gauge("sweep.lanes").get(),
+        (report.lanes().len() - capacities.len() + 1) as u64
+    );
+
+    // The sweep does strictly less work than the naive loop (one
+    // expansion instead of one per pair), so it must not be slower.
+    assert!(
+        sweep_secs <= naive_secs,
+        "sweep ({sweep_secs:.3}s) slower than naive loop ({naive_secs:.3}s)"
+    );
+
+    // Sampled mode: bounded error against the exact curve.
+    let sampled = SweepGrid::new()
+        .with_sample_rate(0.05)
+        .expect("valid rate")
+        .lru_capacity(capacities[1])
+        .expect("non-zero")
+        .sampled_policy("fifo", capacities[1])
+        .expect("known policy")
+        .with_sampled_mrc()
+        .sweep(requests.iter().copied());
+    let frac = sampled.sampled_fraction();
+    assert!(
+        frac > 0.01 && frac < 0.25,
+        "sampled fraction {frac} far from the 0.05 rate"
+    );
+    let exact_mrc = sampled.lru_mrc().expect("stack lane ran");
+    let approx_mrc = sampled.sampled_mrc().expect("sampled mrc requested");
+    let err =
+        (exact_mrc.miss_ratio_at(capacities[1]) - approx_mrc.miss_ratio_at(capacities[1])).abs();
+    assert!(err < 0.05, "sampled MRC error {err} exceeds 0.05");
+
+    println!(
+        "smoke ok: {N} requests, {} pairs bit-identical to CacheSim, \
+         sweep {sweep_secs:.3}s vs naive {naive_secs:.3}s ({:.2}x), \
+         sampled MRC error {err:.4} at rate 0.05",
+        naive.len(),
+        naive_secs / sweep_secs
+    );
+}
+
+/// Extracts the `"grid":[...]` slice of a phase's JSON line.
+fn grid_slice(line: &str) -> &str {
+    let start = line.find("\"grid\":[").expect("phase line has a grid");
+    let rest = &line[start..];
+    let end = rest.find(']').expect("grid array closes");
+    &rest[..=end]
+}
+
+/// Extracts the `"seconds":X` value of a phase's JSON line.
+fn seconds_of(line: &str) -> f64 {
+    let start = line.find("\"seconds\":").expect("phase line has seconds") + "\"seconds\":".len();
+    line[start..]
+        .split(&[',', '}'][..])
+        .next()
+        .and_then(|s| s.parse().ok())
+        .expect("seconds parses")
+}
+
+/// Run each phase as a fresh subprocess, verify the naive and
+/// exact-sweep grids agree bit-for-bit, and write `BENCH_cache.json`
+/// with the speedup summary.
+fn orchestrate(millions: u64, shards_millions: u64, threads: usize) {
+    let exe = std::env::current_exe().expect("current_exe");
+    let run = |args: &[String]| -> String {
+        eprintln!("→ cache_perf {}", args.join(" "));
+        let out = std::process::Command::new(&exe)
+            .args(args)
+            .arg("--threads")
+            .arg(threads.to_string())
+            .output()
+            .expect("spawn phase subprocess");
+        assert!(
+            out.status.success(),
+            "phase {:?} failed:\n{}",
+            args,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).expect("phase stdout utf-8");
+        let line = stdout
+            .lines()
+            .last()
+            .expect("phase printed no JSON")
+            .to_owned();
+        eprintln!("  {line}");
+        line
+    };
+
+    let naive = run(&["naive".into(), millions.to_string()]);
+    let exact = run(&["sweep-exact".into(), millions.to_string()]);
+    let sampled = run(&["sweep-sampled".into(), millions.to_string()]);
+    let shards = run(&["shards".into(), shards_millions.to_string()]);
+
+    assert_eq!(
+        grid_slice(&naive),
+        grid_slice(&exact),
+        "exact sweep grid diverges from the naive loop"
+    );
+    let naive_secs = seconds_of(&naive);
+    let exact_speedup = naive_secs / seconds_of(&exact);
+    let sampled_speedup = naive_secs / seconds_of(&sampled);
+    let summary = format!(
+        "{{\"phase\":\"summary\",\"grids_bit_identical\":true,\
+         \"exact_sweep_speedup\":{exact_speedup:.2},\
+         \"sampled_sweep_speedup\":{sampled_speedup:.2}}}"
+    );
+    eprintln!("  {summary}");
+
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let results = [naive, exact, sampled, shards, summary];
+    let mut f = std::fs::File::create("BENCH_cache.json").expect("create BENCH_cache.json");
+    writeln!(
+        f,
+        "{{\n  \"bench\": \"cache\",\n  \"cores\": {cores},\n  \"results\": [\n    {}\n  ]\n}}",
+        results.join(",\n    ")
+    )
+    .expect("write BENCH_cache.json");
+    eprintln!("wrote BENCH_cache.json");
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = std::thread::available_parallelism().map_or(1, |c| c.get());
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let value = args.get(i + 1).and_then(|s| s.parse().ok());
+        match value {
+            Some(n) if n >= 1 => {
+                threads = n;
+                args.drain(i..=i + 1);
+            }
+            _ => {
+                eprintln!("--threads expects a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
+    // One core stays with the CBT-decode/expand producer; the rest run
+    // sweep lanes. On a single-core host the sweep runs inline.
+    let workers = threads.saturating_sub(1);
+    let millions = |i: usize, default: u64| -> u64 {
+        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    };
+    match args.first().map(String::as_str) {
+        Some("naive") => phase_naive(millions(1, 10)),
+        Some("sweep-exact") => phase_sweep(millions(1, 10), workers, false),
+        Some("sweep-sampled") => phase_sweep(millions(1, 10), workers, true),
+        Some("shards") => phase_shards(millions(1, 2)),
+        Some("smoke" | "--smoke") => phase_smoke(),
+        Some(other) => {
+            eprintln!(
+                "unknown phase {other:?}; expected \
+                 naive|sweep-exact|sweep-sampled|shards|smoke"
+            );
+            std::process::exit(2);
+        }
+        None => orchestrate(10, 2, threads),
+    }
+}

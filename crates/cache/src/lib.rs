@@ -16,7 +16,11 @@
 //!   index) and SHARDS-style sampled approximation;
 //! * [`mrc`] — miss-ratio curves derived from reuse distances, after
 //!   Counter Stacks / SHARDS (both cited by the paper);
-//! * [`opt`] — Belady's offline-optimal MIN as the unbeatable baseline.
+//! * [`opt`] — Belady's offline-optimal MIN as the unbeatable baseline;
+//! * [`sweep`] — the single-pass policy × capacity sweep engine: one
+//!   trace traversal drives a whole grid of lanes (collapsed exact-LRU
+//!   stack lane, boxed policy lanes, SHARDS-sampled lanes) over a
+//!   shared block column.
 //!
 //! # Example
 //!
@@ -48,6 +52,7 @@ pub mod policy;
 pub mod reuse;
 pub mod sim;
 pub mod slru;
+pub mod sweep;
 pub mod twoq;
 
 pub use arc::Arc;
@@ -57,8 +62,9 @@ pub use lfu::Lfu;
 pub use lru::Lru;
 pub use mrc::MissRatioCurve;
 pub use opt::{simulate_opt, OptResult};
-pub use policy::{AccessResult, CachePolicy};
+pub use policy::{policy_by_name, AccessResult, CachePolicy, POLICY_NAMES};
 pub use reuse::{ReuseDistances, ReuseStack, ShardsSampler};
 pub use sim::{CacheSim, CacheStats};
 pub use slru::Slru;
+pub use sweep::{CacheSweep, LaneReport, SweepError, SweepGrid, SweepReport};
 pub use twoq::TwoQ;

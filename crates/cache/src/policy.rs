@@ -72,6 +72,73 @@ pub trait CachePolicy {
     fn name(&self) -> &'static str;
 }
 
+impl<P: CachePolicy + ?Sized> CachePolicy for Box<P> {
+    fn capacity(&self) -> usize {
+        (**self).capacity()
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+
+    fn contains(&self, block: BlockId) -> bool {
+        (**self).contains(block)
+    }
+
+    fn access(&mut self, block: BlockId) -> AccessResult {
+        (**self).access(block)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Every policy name [`policy_by_name`] accepts, in the order the
+/// paper's Fig. 18 ablations report them.
+pub const POLICY_NAMES: &[&str] = &["lru", "fifo", "clock", "lfu", "arc", "slru", "2q"];
+
+/// Constructs a policy from its short name (`"lru"`, `"fifo"`,
+/// `"clock"`, `"lfu"`, `"arc"`, `"slru"`, `"2q"`), so sweep grids and
+/// CLI flags can be configured by string. Returns `None` for unknown
+/// names.
+///
+/// The returned box is `Send`, so it can be moved onto sweep worker
+/// threads; it coerces to plain `Box<dyn CachePolicy>` where `Send` is
+/// not needed.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero, like the policy constructors.
+///
+/// # Example
+///
+/// ```
+/// use cbs_cache::{policy_by_name, CachePolicy};
+/// use cbs_trace::BlockId;
+///
+/// let mut policy = policy_by_name("arc", 64).expect("known policy");
+/// assert_eq!(policy.name(), "arc");
+/// assert!(!policy.access(BlockId::new(1)).hit);
+/// assert!(policy_by_name("belady", 64).is_none());
+/// ```
+pub fn policy_by_name(name: &str, capacity: usize) -> Option<Box<dyn CachePolicy + Send>> {
+    Some(match name {
+        "lru" => Box::new(crate::Lru::new(capacity)),
+        "fifo" => Box::new(crate::Fifo::new(capacity)),
+        "clock" => Box::new(crate::Clock::new(capacity)),
+        "lfu" => Box::new(crate::Lfu::new(capacity)),
+        "arc" => Box::new(crate::Arc::new(capacity)),
+        "slru" => Box::new(crate::Slru::new(capacity)),
+        "2q" => Box::new(crate::TwoQ::new(capacity)),
+        _ => return None,
+    })
+}
+
 #[cfg(test)]
 pub(crate) mod conformance {
     //! Shared conformance checks run against every policy.
@@ -136,5 +203,44 @@ mod tests {
         let e = AccessResult::miss_evicting(BlockId::new(3));
         assert!(!e.hit);
         assert_eq!(e.evicted, Some(BlockId::new(3)));
+    }
+
+    #[test]
+    fn factory_covers_every_name() {
+        for &name in POLICY_NAMES {
+            let policy = policy_by_name(name, 16).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(policy.name(), name);
+            assert_eq!(policy.capacity(), 16);
+        }
+        assert!(policy_by_name("belady", 16).is_none());
+        assert!(policy_by_name("LRU", 16).is_none(), "names are lowercase");
+    }
+
+    #[test]
+    fn boxed_policy_is_object_safe_and_delegates() {
+        // `Box<dyn CachePolicy>` must satisfy `CachePolicy` itself so
+        // generic consumers (`CacheSim<Box<dyn CachePolicy>>`, sweep
+        // lanes) can hold factory-built policies.
+        let boxed: Box<dyn CachePolicy + Send> = policy_by_name("lru", 2).expect("lru exists");
+        let mut boxed: Box<dyn CachePolicy> = boxed;
+        assert!(boxed.is_empty());
+        assert!(!boxed.access(BlockId::new(1)).hit);
+        assert!(!boxed.access(BlockId::new(2)).hit);
+        assert!(boxed.access(BlockId::new(1)).hit);
+        let out = boxed.access(BlockId::new(3));
+        assert_eq!(out.evicted, Some(BlockId::new(2)));
+        assert!(boxed.contains(BlockId::new(3)));
+        assert_eq!(boxed.len(), 2);
+        assert_eq!(boxed.capacity(), 2);
+        assert_eq!(boxed.name(), "lru");
+        // And the blanket impl passes the shared conformance checks.
+        conformance::check_policy(policy_by_name("2q", 32).expect("2q exists"), 32);
+        conformance::check_eviction_discipline(policy_by_name("clock", 8).expect("clock"), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn factory_rejects_zero_capacity() {
+        let _ = policy_by_name("lru", 0);
     }
 }

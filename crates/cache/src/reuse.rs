@@ -494,11 +494,7 @@ impl ShardsSampler {
             rate > 0.0 && rate <= 1.0,
             "sampling rate must be in (0, 1], got {rate}"
         );
-        let threshold = if rate >= 1.0 {
-            u64::MAX
-        } else {
-            (rate * u64::MAX as f64) as u64
-        };
+        let threshold = Self::threshold_for(rate);
         ShardsSampler {
             inner: ReuseDistances::new(),
             threshold,
@@ -512,19 +508,22 @@ impl ShardsSampler {
         self.rate
     }
 
-    #[inline]
-    fn hash(block: BlockId) -> u64 {
-        // splitmix64 — well-mixed for sequential block ids.
-        let mut z = block.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+    /// The spatial-filter threshold for `rate` over the full 64-bit
+    /// hash space: a block is sampled iff `shards_hash(block)` is at or
+    /// below it. Shared with the sweep engine so its precomputed sample
+    /// filter selects exactly the blocks this sampler would.
+    pub(crate) fn threshold_for(rate: f64) -> u64 {
+        if rate >= 1.0 {
+            u64::MAX
+        } else {
+            (rate * u64::MAX as f64) as u64
+        }
     }
 
     /// Offers one access; sampled-out blocks are counted but not traced.
     pub fn access(&mut self, block: BlockId) {
         self.total_accesses += 1;
-        if Self::hash(block) <= self.threshold {
+        if shards_hash(block) <= self.threshold {
             self.inner.access(block);
         }
     }
@@ -542,9 +541,36 @@ impl ShardsSampler {
     /// Builds the re-scaled miss-ratio curve: sampled distances are
     /// multiplied by `1/rate` to estimate true stack depths.
     pub fn to_mrc(&self) -> crate::MissRatioCurve {
+        self.build_mrc(0)
+    }
+
+    /// Like [`ShardsSampler::to_mrc`], with the SHARDS-adj correction
+    /// from the FAST'15 paper applied.
+    ///
+    /// With a heavy-tailed popularity distribution the spatial filter
+    /// rarely samples exactly `rate × total` accesses — missing (or
+    /// over-sampling) a few hot blocks shifts the whole estimated
+    /// curve up (or down), because hot blocks contribute mostly
+    /// small-distance hits. The difference `expected − actual` is
+    /// credited to the distance-0 bucket, which removes the systematic
+    /// bias in the bend and tail of the curve. The trade-off is the
+    /// head: the correction mass lands below the sampler's `~1/rate`
+    /// distance resolution, so estimates at capacities within a few
+    /// resolution units of zero get *worse* — prefer [`ShardsSampler::
+    /// to_mrc`] when tiny caches (or tiny working sets) matter, and
+    /// this curve for large-trace sweeps (the sweep engine's sampled
+    /// MRC lane uses it).
+    pub fn to_mrc_adjusted(&self) -> crate::MissRatioCurve {
+        let expected = (self.total_accesses as f64 * self.rate).round() as i64;
+        self.build_mrc(expected - self.inner.accesses() as i64)
+    }
+
+    /// Shared rescale + histogram build; `adjustment` accesses are
+    /// credited to (or debited from, saturating) the distance-0 bucket.
+    fn build_mrc(&self, adjustment: i64) -> crate::MissRatioCurve {
         let scale = 1.0 / self.rate;
         let sampled = self.inner.histogram();
-        let mut scaled: Vec<u64> = Vec::new();
+        let mut scaled: Vec<u64> = vec![0];
         for (d, &count) in sampled.iter().enumerate() {
             if count == 0 {
                 continue;
@@ -555,8 +581,25 @@ impl ShardsSampler {
             }
             scaled[scaled_d] += count;
         }
+        if adjustment >= 0 {
+            scaled[0] += adjustment as u64;
+        } else {
+            scaled[0] = scaled[0].saturating_sub(adjustment.unsigned_abs());
+        }
         crate::MissRatioCurve::from_histogram(scaled, self.inner.cold_misses())
     }
+}
+
+/// splitmix64 over a block id — well-mixed for sequential ids. The
+/// single hash function behind every SHARDS-style spatial filter in the
+/// crate ([`ShardsSampler`] and the sweep engine's sampled lanes), so
+/// all of them agree on which blocks a given rate selects.
+#[inline]
+pub(crate) fn shards_hash(block: BlockId) -> u64 {
+    let mut z = block.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]

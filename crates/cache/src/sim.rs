@@ -1,7 +1,7 @@
 //! Cache simulation over request streams: [`CacheSim`] and
 //! [`CacheStats`].
 
-use cbs_trace::{BlockSize, IoRequest, OpKind};
+use cbs_trace::{BlockAccessColumn, BlockSize, IoRequest, OpKind, RequestBatch};
 
 use crate::policy::CachePolicy;
 
@@ -22,6 +22,27 @@ impl CacheStats {
     /// Creates zeroed stats.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Builds stats from pre-tallied access and hit counts.
+    ///
+    /// Used by consumers that derive hit counts analytically instead of
+    /// recording access-by-access — the sweep engine's collapsed LRU
+    /// lane turns one reuse-distance histogram into the exact
+    /// `CacheStats` of every capacity this way (stack property: an
+    /// access hits capacity `c` iff its reuse distance is `< c`).
+    pub fn from_counts(
+        read_accesses: u64,
+        read_hits: u64,
+        write_accesses: u64,
+        write_hits: u64,
+    ) -> Self {
+        CacheStats {
+            read_accesses,
+            read_hits,
+            write_accesses,
+            write_hits,
+        }
     }
 
     /// Records one block access.
@@ -166,6 +187,31 @@ impl<P: CachePolicy> CacheSim<P> {
         }
     }
 
+    /// Simulates every access of an already-expanded block column.
+    ///
+    /// Together with [`RequestBatch::expand_blocks_into`] this is the
+    /// shared-expansion fast path: expand a batch once, then replay the
+    /// column into any number of simulations — bit-identical to
+    /// [`run`](Self::run) over the originating requests, without paying
+    /// the `span_of` walk per policy.
+    pub fn run_column(&mut self, column: &BlockAccessColumn) {
+        for (block, op) in column.iter() {
+            let out = self.policy.access(block);
+            self.stats.record(op, out.hit);
+        }
+    }
+
+    /// Simulates a columnar batch, expanding it into `scratch` first
+    /// (replacing the scratch contents).
+    ///
+    /// Callers that simulate several policies over the same batch
+    /// should expand once themselves and call
+    /// [`run_column`](Self::run_column) per policy instead.
+    pub fn run_batch(&mut self, batch: &RequestBatch, scratch: &mut BlockAccessColumn) {
+        batch.expand_blocks_into(self.block_size, scratch);
+        self.run_column(scratch);
+    }
+
     /// The tallies so far.
     pub fn stats(&self) -> CacheStats {
         self.stats
@@ -271,6 +317,45 @@ mod tests {
         assert_eq!(registry.gauge("cache.lru.write_accesses").get(), 8);
         assert_eq!(registry.gauge("cache.lru.write_hits").get(), 4);
         assert_eq!(registry.gauge("cache.lru.read_accesses").get(), 0);
+    }
+
+    #[test]
+    fn from_counts_roundtrips_record() {
+        let mut recorded = CacheStats::new();
+        recorded.record(OpKind::Read, true);
+        recorded.record(OpKind::Read, false);
+        recorded.record(OpKind::Write, false);
+        assert_eq!(recorded, CacheStats::from_counts(2, 1, 1, 0));
+    }
+
+    #[test]
+    fn run_batch_matches_run() {
+        let reqs: Vec<IoRequest> = (0..300)
+            .map(|i| {
+                req(
+                    if i % 3 == 0 {
+                        OpKind::Read
+                    } else {
+                        OpKind::Write
+                    },
+                    (i % 23) * 4096 + 100 * (i % 7),
+                    (i % 5) as u32 * 4096 + 1,
+                    i,
+                )
+            })
+            .collect();
+        let mut by_request = CacheSim::new(Lru::new(16), BlockSize::DEFAULT);
+        by_request.run(&reqs);
+        let batch = cbs_trace::RequestBatch::from(reqs.as_slice());
+        let mut scratch = BlockAccessColumn::new();
+        let mut by_batch = CacheSim::new(Lru::new(16), BlockSize::DEFAULT);
+        by_batch.run_batch(&batch, &mut scratch);
+        assert_eq!(by_batch.stats(), by_request.stats());
+        // Shared expansion: replaying the same scratch column into a
+        // fresh sim reproduces the stats again.
+        let mut by_column = CacheSim::new(Lru::new(16), BlockSize::DEFAULT);
+        by_column.run_column(&scratch);
+        assert_eq!(by_column.stats(), by_request.stats());
     }
 
     #[test]

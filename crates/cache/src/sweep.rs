@@ -1,0 +1,1379 @@
+//! Single-pass policy × capacity sweeps: [`SweepGrid`], [`CacheSweep`]
+//! and [`SweepReport`].
+//!
+//! [`crate::CacheSim`] answers one `(policy, capacity)` pair per trace
+//! traversal, so a Fig. 18-style grid of 6 policies × 5 capacities
+//! costs 30 decode passes and 30 redundant request → block expansions.
+//! The sweep engine drives the whole grid from **one** traversal:
+//!
+//! ```text
+//! producer (caller thread)               lanes
+//! ┌──────────────────────────┐      ┌─────────────────────────────┐
+//! │ RequestBatch             │      │ lru stack lane              │
+//! │  └ expand_blocks_into    │      │  one ReuseStack pass        │
+//! │    (shared SoA column,   │ ───► │  → exact stats at EVERY     │
+//! │     expanded ONCE)       │ Arc< │    lru capacity (Mattson)   │
+//! │  └ SHARDS sample filter  │ Sweep├─────────────────────────────┤
+//! │    (hashed ONCE)         │ Col> │ boxed policy lanes          │
+//! └──────────────────────────┘      │  fifo/clock/lfu/arc/slru/2q │
+//!       │ bounded channels          │  exact or SHARDS-sampled    │
+//!       ▼ (when workers > 0)        ├─────────────────────────────┤
+//!   worker threads, each            │ sampled MRC lane            │
+//!   processing a lane subset        │  (approximate LRU curve)    │
+//!                                   └─────────────────────────────┘
+//! ```
+//!
+//! Three mechanisms carry the speedup (measured in `BENCH_cache.json`):
+//!
+//! * the trace is generated/decoded **once**, not once per pair;
+//! * each batch is expanded to a block/op column **once** and shared by
+//!   every lane (no per-lane [`cbs_trace::BlockSize::span_of`] walk);
+//! * all exact-LRU lanes collapse into a **single**
+//!   [`crate::ReuseStack`] pass — by the Mattson stack property, an
+//!   access hits an LRU cache of capacity `c` iff its reuse distance is
+//!   `< c`, so one op-split distance histogram answers every capacity
+//!   with stats bit-identical to a per-capacity [`crate::CacheSim`].
+//!
+//! Non-stack policies still pay one policy-state update per access per
+//! lane; the SHARDS-sampled mode ([`SweepGrid::sampled_policy`]) cuts
+//! that to ~`rate` of the accesses by simulating a miniature cache of
+//! `capacity × rate` blocks over the spatially-sampled substream
+//! (Waldspurger et al., FAST'15 / ATC'17), trading bounded error for
+//! ~1/rate cost.
+//!
+//! When worker threads are configured ([`SweepGrid::with_workers`]),
+//! lanes are fanned out round-robin over bounded channels; with zero
+//! workers the same lane code runs inline on the caller thread — the
+//! sequential fallback is the same code path.
+//!
+//! Like [`crate::CacheSim`], the engine ignores the volume column: all
+//! accesses share one unified cache. Per-volume sweeps feed per-volume
+//! streams (see `Analysis::sweep_volume` in `cbs-core`).
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use cbs_obs::{Registry, Stopwatch};
+use cbs_trace::hash::FxHashMap;
+use cbs_trace::{BlockAccessColumn, BlockId, BlockSize, IoRequest, OpKind, RequestBatch};
+
+use crate::policy::{policy_by_name, CachePolicy, POLICY_NAMES};
+use crate::reuse::{shards_hash, ReuseStack, ShardsSampler};
+use crate::sim::CacheStats;
+use crate::MissRatioCurve;
+
+/// Default requests buffered by [`CacheSweep::observe_request`] before
+/// a batch is expanded and dispatched — matches the streaming
+/// pipeline's batch size.
+pub const DEFAULT_SWEEP_BATCH: usize = 8192;
+
+/// Default in-flight columns allowed per worker channel.
+const CHANNEL_DEPTH: usize = 4;
+
+/// Default SHARDS sampling rate for sampled lanes: ~1/100 cost.
+pub const DEFAULT_SAMPLE_RATE: f64 = 0.01;
+
+/// A sweep-grid configuration error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// The policy name is not one of [`POLICY_NAMES`].
+    UnknownPolicy(String),
+    /// Lane capacities must be non-zero.
+    ZeroCapacity,
+    /// The sampling rate must be in `(0, 1]`.
+    InvalidRate(f64),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::UnknownPolicy(name) => {
+                write!(
+                    f,
+                    "unknown policy {name:?}; expected one of {POLICY_NAMES:?}"
+                )
+            }
+            SweepError::ZeroCapacity => write!(f, "cache capacity must be non-zero"),
+            SweepError::InvalidRate(rate) => {
+                write!(f, "sampling rate must be in (0, 1], got {rate}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// One boxed-policy lane requested of the builder.
+#[derive(Debug, Clone)]
+struct BoxedSpec {
+    name: String,
+    capacity: usize,
+    sampled: bool,
+}
+
+/// Builder for a policy × capacity sweep — see the [module
+/// docs](self) for the architecture.
+///
+/// # Example
+///
+/// ```
+/// use cbs_cache::sweep::SweepGrid;
+/// use cbs_trace::{IoRequest, OpKind, Timestamp, VolumeId};
+///
+/// // Two rounds over 64 blocks: everything but the cold misses hits
+/// // any capacity ≥ 64.
+/// let reqs: Vec<IoRequest> = (0..2000u64)
+///     .map(|i| IoRequest::new(
+///         VolumeId::new(0),
+///         if i % 3 == 0 { OpKind::Read } else { OpKind::Write },
+///         (i % 64) * 4096,
+///         4096,
+///         Timestamp::from_micros(i),
+///     ))
+///     .collect();
+/// let mut sweep = SweepGrid::new()
+///     .lru_capacity(8).unwrap()
+///     .lru_capacity(64).unwrap()
+///     .policy("fifo", 64).unwrap()
+///     .start();
+/// sweep.run(reqs.iter().copied());
+/// let report = sweep.finish();
+/// assert_eq!(report.lanes().len(), 3);
+/// let full = report.stats("lru", 64).expect("exact lane present");
+/// assert_eq!(full.total_accesses(), 2000);
+/// assert_eq!(full.read_hits() + full.write_hits(), 2000 - 64);
+/// assert!(report.lru_mrc().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    block_size: BlockSize,
+    lru_capacities: Vec<usize>,
+    boxed: Vec<BoxedSpec>,
+    sampled_mrc: bool,
+    rate: f64,
+    workers: usize,
+    batch_size: usize,
+    registry: Option<Registry>,
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepGrid {
+    /// Creates an empty grid: 4 KiB blocks, the default sampling rate,
+    /// one worker thread per spare core (zero on a single-core host —
+    /// the sequential fallback), and the default batch size.
+    pub fn new() -> Self {
+        SweepGrid {
+            block_size: BlockSize::DEFAULT,
+            lru_capacities: Vec::new(),
+            boxed: Vec::new(),
+            sampled_mrc: false,
+            rate: DEFAULT_SAMPLE_RATE,
+            workers: std::thread::available_parallelism().map_or(0, |n| n.get().saturating_sub(1)),
+            batch_size: DEFAULT_SWEEP_BATCH,
+            registry: None,
+        }
+    }
+
+    /// Sets the block unit requests are decomposed into.
+    #[must_use]
+    pub fn with_block_size(mut self, block_size: BlockSize) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Adds an exact LRU lane at `capacity` blocks. All LRU capacities
+    /// collapse into one stack pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::ZeroCapacity`] if `capacity` is zero.
+    pub fn lru_capacity(mut self, capacity: usize) -> Result<Self, SweepError> {
+        if capacity == 0 {
+            return Err(SweepError::ZeroCapacity);
+        }
+        self.lru_capacities.push(capacity);
+        Ok(self)
+    }
+
+    /// Adds an exact lane simulating `name` (any of [`POLICY_NAMES`])
+    /// at `capacity` blocks. `"lru"` routes to the collapsed stack lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::UnknownPolicy`] or
+    /// [`SweepError::ZeroCapacity`].
+    pub fn policy(mut self, name: &str, capacity: usize) -> Result<Self, SweepError> {
+        if capacity == 0 {
+            return Err(SweepError::ZeroCapacity);
+        }
+        if name == "lru" {
+            return self.lru_capacity(capacity);
+        }
+        if !POLICY_NAMES.contains(&name) {
+            return Err(SweepError::UnknownPolicy(name.to_owned()));
+        }
+        self.boxed.push(BoxedSpec {
+            name: name.to_owned(),
+            capacity,
+            sampled: false,
+        });
+        Ok(self)
+    }
+
+    /// Adds a SHARDS-sampled lane for `name` at `capacity` blocks: a
+    /// miniature cache of `capacity × rate` blocks simulated over the
+    /// spatially-sampled substream. Its miss *ratios* estimate the
+    /// exact lane's within a small error at ~`rate` of the cost; its
+    /// raw access counts cover only the sampled substream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::UnknownPolicy`] or
+    /// [`SweepError::ZeroCapacity`].
+    pub fn sampled_policy(mut self, name: &str, capacity: usize) -> Result<Self, SweepError> {
+        if capacity == 0 {
+            return Err(SweepError::ZeroCapacity);
+        }
+        if !POLICY_NAMES.contains(&name) {
+            return Err(SweepError::UnknownPolicy(name.to_owned()));
+        }
+        self.boxed.push(BoxedSpec {
+            name: name.to_owned(),
+            capacity,
+            sampled: true,
+        });
+        Ok(self)
+    }
+
+    /// Adds every `(name, capacity)` pair of the cross product as an
+    /// exact lane — the whole Fig. 18-style grid in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-lane error (unknown name, zero capacity).
+    pub fn grid(mut self, names: &[&str], capacities: &[usize]) -> Result<Self, SweepError> {
+        for &name in names {
+            for &capacity in capacities {
+                self = self.policy(name, capacity)?;
+            }
+        }
+        Ok(self)
+    }
+
+    /// Adds a SHARDS-sampled LRU miss-ratio-curve lane
+    /// ([`SweepReport::sampled_mrc`]), the approximate counterpart of
+    /// the exact stack lane's curve.
+    #[must_use]
+    pub fn with_sampled_mrc(mut self) -> Self {
+        self.sampled_mrc = true;
+        self
+    }
+
+    /// Sets the SHARDS sampling rate used by every sampled lane
+    /// (default [`DEFAULT_SAMPLE_RATE`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::InvalidRate`] unless `0 < rate <= 1`.
+    pub fn with_sample_rate(mut self, rate: f64) -> Result<Self, SweepError> {
+        if !(rate > 0.0 && rate <= 1.0) {
+            return Err(SweepError::InvalidRate(rate));
+        }
+        self.rate = rate;
+        Ok(self)
+    }
+
+    /// Sets the number of lane worker threads. Zero runs every lane
+    /// inline on the caller thread (the sequential fallback — same lane
+    /// code, no channels).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets how many requests [`CacheSweep::observe_request`] buffers
+    /// before expanding and dispatching a batch (min 1).
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Publishes engine metrics into `registry`: `sweep.batches`,
+    /// `sweep.accesses`, `sweep.sampled_accesses`,
+    /// `sweep.expand_nanos` (shared-expansion time),
+    /// `sweep.backpressure_nanos` counters during the run, plus
+    /// `sweep.lanes`, `sweep.sampled_ppm` (sampled fraction in parts
+    /// per million) and per-lane `sweep.lane.<label>.accesses` /
+    /// `.nanos` gauges at [`CacheSweep::finish`].
+    #[must_use]
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.registry = Some(registry.clone());
+        self
+    }
+
+    /// The configured sampling rate.
+    pub fn sample_rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Number of physical lanes the grid will run: one collapsed stack
+    /// lane for all LRU capacities, one per boxed policy pair, plus the
+    /// sampled-MRC lane if requested.
+    pub fn lane_count(&self) -> usize {
+        usize::from(!self.lru_capacities.is_empty())
+            + self.boxed.len()
+            + usize::from(self.sampled_mrc)
+    }
+
+    /// Spawns the workers (if any) and returns the running sweep.
+    pub fn start(self) -> CacheSweep {
+        // The sampled-MRC lane re-filters internally (it also needs the
+        // unsampled access count for the SHARDS-adj correction), but it
+        // still flips `need_sampled` on so the engine-level
+        // `sampled_accesses` counter — and the `sweep.sampled_ppm`
+        // gauge — reflect the spatial filter whenever any lane uses it.
+        let need_sampled = self.sampled_mrc || self.boxed.iter().any(|spec| spec.sampled);
+        let mut lanes: Vec<TimedLane> = Vec::with_capacity(self.lane_count());
+        let mut index = 0usize;
+        if !self.lru_capacities.is_empty() {
+            lanes.push(TimedLane::new(
+                index,
+                "lru.stack".to_owned(),
+                Box::new(StackLane::new(self.lru_capacities.clone())),
+            ));
+            index += 1;
+        }
+        for spec in &self.boxed {
+            let capacity = if spec.sampled {
+                mini_capacity(spec.capacity, self.rate)
+            } else {
+                spec.capacity
+            };
+            let Some(policy) = policy_by_name(&spec.name, capacity) else {
+                // cbs-lint: allow(no-panic-in-lib) -- names are validated against POLICY_NAMES at insertion
+                unreachable!("validated policy name {:?} rejected", spec.name)
+            };
+            let label = if spec.sampled {
+                format!("{}@{}.sampled", spec.name, spec.capacity)
+            } else {
+                format!("{}@{}", spec.name, spec.capacity)
+            };
+            lanes.push(TimedLane::new(
+                index,
+                label,
+                Box::new(BoxedLane {
+                    policy,
+                    name: spec.name.clone(),
+                    capacity: spec.capacity,
+                    sampled: spec.sampled,
+                    stats: CacheStats::new(),
+                }),
+            ));
+            index += 1;
+        }
+        if self.sampled_mrc {
+            lanes.push(TimedLane::new(
+                index,
+                "lru.mrc.sampled".to_owned(),
+                Box::new(SampledMrcLane {
+                    sampler: ShardsSampler::new(self.rate),
+                }),
+            ));
+        }
+
+        // Never spawn more workers than lanes; with zero workers every
+        // lane runs inline on the caller thread (same code path).
+        let workers = self.workers.min(lanes.len());
+        let mut local = Vec::new();
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        if workers == 0 {
+            local = lanes;
+        } else {
+            let mut per_worker: Vec<Vec<TimedLane>> = (0..workers).map(|_| Vec::new()).collect();
+            for (i, lane) in lanes.into_iter().enumerate() {
+                per_worker[i % workers].push(lane);
+            }
+            for worker_lanes in per_worker {
+                let (tx, rx) = sync_channel::<Job>(CHANNEL_DEPTH);
+                senders.push(tx);
+                handles.push(std::thread::spawn(move || lane_worker(rx, worker_lanes)));
+            }
+        }
+
+        let metrics = self.registry.as_ref().map(SweepMetrics::new);
+        CacheSweep {
+            block_size: self.block_size,
+            rate: self.rate,
+            threshold: ShardsSampler::threshold_for(self.rate),
+            need_sampled,
+            buffer: RequestBatch::with_capacity(self.batch_size),
+            batch_size: self.batch_size,
+            senders,
+            handles,
+            local,
+            requests: 0,
+            accesses: 0,
+            sampled_accesses: 0,
+            expand_nanos: 0,
+            poisoned: false,
+            metrics,
+            registry: self.registry,
+        }
+    }
+
+    /// Convenience: runs a whole request stream through the grid and
+    /// returns the report.
+    pub fn sweep<I: IntoIterator<Item = IoRequest>>(self, stream: I) -> SweepReport {
+        let mut sweep = self.start();
+        sweep.run(stream);
+        sweep.finish()
+    }
+}
+
+/// The miniature-simulation capacity for a sampled lane: the requested
+/// capacity scaled by the sampling rate, at least one block.
+fn mini_capacity(capacity: usize, rate: f64) -> usize {
+    (((capacity as f64) * rate).round() as usize).max(1)
+}
+
+/// One shared unit of work: the batch's block/op column (expanded
+/// once) plus the indices passing the SHARDS spatial filter (hashed
+/// once, used by every sampled lane).
+#[derive(Debug)]
+struct SweepColumn {
+    column: BlockAccessColumn,
+    sampled: Vec<u32>,
+}
+
+type Job = Arc<SweepColumn>;
+
+/// A lane consumes shared columns and yields its results at the end.
+trait Lane: Send {
+    /// Processes one shared column, returning the accesses consumed.
+    fn process(&mut self, job: &SweepColumn) -> u64;
+    /// Finalizes the lane into reports and optional curves.
+    fn finish(self: Box<Self>) -> LaneOutput;
+}
+
+/// What a finished lane hands back to the engine.
+#[derive(Debug, Default)]
+struct LaneOutput {
+    reports: Vec<LaneReport>,
+    lru_mrc: Option<MissRatioCurve>,
+    sampled_mrc: Option<MissRatioCurve>,
+}
+
+/// A lane plus the engine-side bookkeeping (label, per-lane wall time
+/// and access count — timed through `cbs-obs`'s [`Stopwatch`]).
+struct TimedLane {
+    index: usize,
+    label: String,
+    nanos: u64,
+    accesses: u64,
+    lane: Box<dyn Lane>,
+}
+
+impl std::fmt::Debug for TimedLane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimedLane")
+            .field("index", &self.index)
+            .field("label", &self.label)
+            .field("nanos", &self.nanos)
+            .field("accesses", &self.accesses)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TimedLane {
+    fn new(index: usize, label: String, lane: Box<dyn Lane>) -> Self {
+        TimedLane {
+            index,
+            label,
+            nanos: 0,
+            accesses: 0,
+            lane,
+        }
+    }
+
+    fn process(&mut self, job: &SweepColumn) {
+        let clock = Stopwatch::start();
+        self.accesses += self.lane.process(job);
+        self.nanos += clock.elapsed_nanos();
+    }
+
+    fn finish(self) -> FinishedLane {
+        let mut output = self.lane.finish();
+        for report in &mut output.reports {
+            report.nanos = self.nanos;
+            report.accesses = self.accesses;
+        }
+        FinishedLane {
+            index: self.index,
+            label: self.label,
+            nanos: self.nanos,
+            accesses: self.accesses,
+            output,
+        }
+    }
+}
+
+/// A lane's final results, tagged for deterministic reassembly.
+#[derive(Debug)]
+struct FinishedLane {
+    index: usize,
+    label: String,
+    nanos: u64,
+    accesses: u64,
+    output: LaneOutput,
+}
+
+/// Worker loop: drain the channel, then finalize the lanes. Returning
+/// on channel close mirrors the streaming shard workers.
+fn lane_worker(rx: Receiver<Job>, mut lanes: Vec<TimedLane>) -> Vec<FinishedLane> {
+    for job in rx {
+        for lane in &mut lanes {
+            lane.process(&job);
+        }
+    }
+    lanes.into_iter().map(TimedLane::finish).collect()
+}
+
+/// The collapsed exact-LRU lane: one Mattson stack pass with op-split
+/// histograms answers every LRU capacity bit-identically to a fresh
+/// [`crate::CacheSim`]`<`[`crate::Lru`]`>` per capacity.
+#[derive(Debug)]
+struct StackLane {
+    capacities: Vec<usize>,
+    stack: ReuseStack,
+    last_pos: FxHashMap<BlockId, usize>,
+    /// Finite-distance histogram per op kind (`[read, write]`).
+    hist: [Vec<u64>; 2],
+    cold: [u64; 2],
+    accesses: [u64; 2],
+}
+
+fn op_index(op: OpKind) -> usize {
+    match op {
+        OpKind::Read => 0,
+        OpKind::Write => 1,
+    }
+}
+
+impl StackLane {
+    fn new(capacities: Vec<usize>) -> Self {
+        StackLane {
+            capacities,
+            stack: ReuseStack::new(),
+            last_pos: FxHashMap::default(),
+            hist: [Vec::new(), Vec::new()],
+            cold: [0, 0],
+            accesses: [0, 0],
+        }
+    }
+}
+
+impl Lane for StackLane {
+    fn process(&mut self, job: &SweepColumn) -> u64 {
+        for (block, op) in job.column.iter() {
+            let op = op_index(op);
+            self.accesses[op] += 1;
+            match self.last_pos.entry(block) {
+                std::collections::hash_map::Entry::Occupied(mut entry) => {
+                    let (distance, pos) = self.stack.touch(*entry.get());
+                    *entry.get_mut() = pos;
+                    let d = distance as usize;
+                    if d >= self.hist[op].len() {
+                        self.hist[op].resize(d + 1, 0);
+                    }
+                    self.hist[op][d] += 1;
+                }
+                std::collections::hash_map::Entry::Vacant(entry) => {
+                    entry.insert(self.stack.touch_cold());
+                    self.cold[op] += 1;
+                }
+            }
+            // Same compaction policy as `ReuseDistances`: memory stays
+            // O(distinct blocks) at amortized O(1) per access.
+            if self.stack.should_compact() {
+                let table = self.stack.compaction_table();
+                for pos in self.last_pos.values_mut() {
+                    *pos = table[*pos] as usize;
+                }
+                self.stack.rebuild_compacted();
+            }
+        }
+        job.column.len() as u64
+    }
+
+    fn finish(self: Box<Self>) -> LaneOutput {
+        // hits at capacity c = #{finite distances < c}, per op kind.
+        let prefix = |hist: &[u64]| -> Vec<u64> {
+            let mut acc = 0u64;
+            let mut out = Vec::with_capacity(hist.len() + 1);
+            out.push(0);
+            for &count in hist {
+                acc += count;
+                out.push(acc);
+            }
+            out
+        };
+        let (reads, writes) = (prefix(&self.hist[0]), prefix(&self.hist[1]));
+        let reports = self
+            .capacities
+            .iter()
+            .map(|&c| LaneReport {
+                policy: "lru".to_owned(),
+                capacity: c,
+                sampled: false,
+                stats: CacheStats::from_counts(
+                    self.accesses[0],
+                    reads[c.min(reads.len() - 1)],
+                    self.accesses[1],
+                    writes[c.min(writes.len() - 1)],
+                ),
+                nanos: 0,
+                accesses: 0,
+            })
+            .collect();
+        let mut combined = self.hist[0].clone();
+        if combined.len() < self.hist[1].len() {
+            combined.resize(self.hist[1].len(), 0);
+        }
+        for (d, &count) in self.hist[1].iter().enumerate() {
+            combined[d] += count;
+        }
+        LaneOutput {
+            reports,
+            lru_mrc: Some(MissRatioCurve::from_histogram(
+                combined,
+                self.cold[0] + self.cold[1],
+            )),
+            sampled_mrc: None,
+        }
+    }
+}
+
+/// A boxed-policy lane over the shared column — exact (every access)
+/// or SHARDS-sampled (filtered accesses against a miniature cache).
+struct BoxedLane {
+    policy: Box<dyn CachePolicy + Send>,
+    name: String,
+    capacity: usize,
+    sampled: bool,
+    stats: CacheStats,
+}
+
+impl Lane for BoxedLane {
+    fn process(&mut self, job: &SweepColumn) -> u64 {
+        if self.sampled {
+            let blocks = job.column.blocks();
+            let ops = job.column.ops();
+            for &i in &job.sampled {
+                let i = i as usize;
+                let out = self.policy.access(blocks[i]);
+                self.stats.record(ops[i], out.hit);
+            }
+            job.sampled.len() as u64
+        } else {
+            for (block, op) in job.column.iter() {
+                let out = self.policy.access(block);
+                self.stats.record(op, out.hit);
+            }
+            job.column.len() as u64
+        }
+    }
+
+    fn finish(self: Box<Self>) -> LaneOutput {
+        LaneOutput {
+            reports: vec![LaneReport {
+                policy: self.name,
+                capacity: self.capacity,
+                sampled: self.sampled,
+                stats: self.stats,
+                nanos: 0,
+                accesses: 0,
+            }],
+            lru_mrc: None,
+            sampled_mrc: None,
+        }
+    }
+}
+
+/// The approximate-MRC lane: a [`ShardsSampler`] over the full column
+/// (it applies the same spatial filter internally).
+#[derive(Debug)]
+struct SampledMrcLane {
+    sampler: ShardsSampler,
+}
+
+impl Lane for SampledMrcLane {
+    fn process(&mut self, job: &SweepColumn) -> u64 {
+        for &block in job.column.blocks() {
+            self.sampler.access(block);
+        }
+        job.column.len() as u64
+    }
+
+    fn finish(self: Box<Self>) -> LaneOutput {
+        LaneOutput {
+            reports: Vec::new(),
+            lru_mrc: None,
+            sampled_mrc: Some(self.sampler.to_mrc_adjusted()),
+        }
+    }
+}
+
+/// Engine-side registry handles (see [`SweepGrid::with_registry`]).
+#[derive(Debug)]
+struct SweepMetrics {
+    batches: cbs_obs::Counter,
+    accesses: cbs_obs::Counter,
+    sampled_accesses: cbs_obs::Counter,
+    expand_nanos: cbs_obs::Counter,
+    backpressure_nanos: cbs_obs::Counter,
+}
+
+impl SweepMetrics {
+    fn new(registry: &Registry) -> Self {
+        SweepMetrics {
+            batches: registry.counter("sweep.batches"),
+            accesses: registry.counter("sweep.accesses"),
+            sampled_accesses: registry.counter("sweep.sampled_accesses"),
+            expand_nanos: registry.counter("sweep.expand_nanos"),
+            backpressure_nanos: registry.counter("sweep.backpressure_nanos"),
+        }
+    }
+}
+
+/// A running sweep accepting pushed requests or columnar batches — see
+/// [`SweepGrid::start`].
+///
+/// Dropping a sweep without calling [`finish`](CacheSweep::finish)
+/// abandons the lane results but does not leak threads (channels
+/// close, workers drain and exit).
+#[derive(Debug)]
+pub struct CacheSweep {
+    block_size: BlockSize,
+    rate: f64,
+    threshold: u64,
+    need_sampled: bool,
+    buffer: RequestBatch,
+    batch_size: usize,
+    senders: Vec<SyncSender<Job>>,
+    handles: Vec<JoinHandle<Vec<FinishedLane>>>,
+    local: Vec<TimedLane>,
+    requests: u64,
+    accesses: u64,
+    sampled_accesses: u64,
+    expand_nanos: u64,
+    poisoned: bool,
+    metrics: Option<SweepMetrics>,
+    registry: Option<Registry>,
+}
+
+impl CacheSweep {
+    /// Feeds one request, buffering until a batch fills.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep is poisoned (a lane worker died — the
+    /// dispatch that discovered it re-raised the worker's panic).
+    pub fn observe_request(&mut self, req: &IoRequest) {
+        assert!(
+            !self.poisoned,
+            "cache sweep is poisoned: a lane worker panicked"
+        );
+        self.buffer.push(req);
+        if self.buffer.len() >= self.batch_size {
+            self.flush_buffer();
+        }
+    }
+
+    /// Feeds every record of a columnar batch (e.g. straight from a
+    /// [`cbs_trace::CbtReader`] block or a
+    /// [`cbs_trace::ParallelDecoder`] sink), flushing any buffered
+    /// requests first so access order is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep is poisoned.
+    pub fn observe_batch(&mut self, batch: &RequestBatch) {
+        assert!(
+            !self.poisoned,
+            "cache sweep is poisoned: a lane worker panicked"
+        );
+        self.flush_buffer();
+        self.dispatch(batch);
+    }
+
+    /// Feeds a whole request stream (e.g. a lazy
+    /// `cbs_synth` corpus stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep is poisoned.
+    pub fn run<I: IntoIterator<Item = IoRequest>>(&mut self, stream: I) {
+        for req in stream {
+            self.observe_request(&req);
+        }
+    }
+
+    /// Requests fed so far.
+    pub fn requests(&self) -> u64 {
+        self.requests + self.buffer.len() as u64
+    }
+
+    /// `true` once a lane worker's death has been detected; every
+    /// further feed or finish call panics rather than reporting a
+    /// partial sweep.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn flush_buffer(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.buffer);
+        self.dispatch(&batch);
+        // Reuse the allocation for the next fill.
+        self.buffer = batch;
+        self.buffer.clear();
+    }
+
+    /// Expands `batch` once, hashes the sample filter once, and hands
+    /// the shared column to every lane.
+    fn dispatch(&mut self, batch: &RequestBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        self.requests += batch.len() as u64;
+        let clock = Stopwatch::start();
+        let mut column = BlockAccessColumn::with_capacity(batch.len());
+        batch.expand_blocks_into(self.block_size, &mut column);
+        let sampled: Vec<u32> = if self.need_sampled {
+            column
+                .blocks()
+                .iter()
+                .enumerate()
+                .filter(|&(_, &block)| shards_hash(block) <= self.threshold)
+                .map(|(i, _)| i as u32)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let expand_nanos = clock.elapsed_nanos();
+        self.expand_nanos += expand_nanos;
+        self.accesses += column.len() as u64;
+        self.sampled_accesses += sampled.len() as u64;
+        if let Some(m) = &self.metrics {
+            m.batches.inc();
+            m.accesses.add(column.len() as u64);
+            m.sampled_accesses.add(sampled.len() as u64);
+            m.expand_nanos.add(expand_nanos);
+        }
+        let job: Job = Arc::new(SweepColumn { column, sampled });
+        for worker in 0..self.senders.len() {
+            // try-send first so only a genuinely full channel pays for
+            // a stopwatch (the streaming pipeline's backpressure idiom).
+            let sent = match self.senders[worker].try_send(job.clone()) {
+                Ok(()) => true,
+                Err(TrySendError::Disconnected(_)) => false,
+                Err(TrySendError::Full(job)) => {
+                    let clock = Stopwatch::start();
+                    let sent = self.senders[worker].send(job).is_ok();
+                    if let Some(m) = &self.metrics {
+                        m.backpressure_nanos.add(clock.elapsed_nanos());
+                    }
+                    sent
+                }
+            };
+            if !sent {
+                self.poison(worker);
+            }
+        }
+        for lane in &mut self.local {
+            lane.process(&job);
+        }
+    }
+
+    /// A send failed, which can only mean the worker died (it never
+    /// drops its receiver before draining the channel). Surface its
+    /// panic on the caller thread now instead of sweeping the rest of
+    /// the stream against dead lanes.
+    #[cold]
+    fn poison(&mut self, worker: usize) -> ! {
+        self.poisoned = true;
+        // Closing every channel lets the surviving workers drain and
+        // exit; their results are abandoned (all-or-error).
+        self.senders.clear();
+        let handle = self.handles.swap_remove(worker);
+        match handle.join() {
+            Err(payload) => std::panic::resume_unwind(payload),
+            // cbs-lint: allow(no-panic-in-lib) -- a worker exiting cleanly while its channel is open is impossible by construction
+            Ok(_) => panic!("sweep worker {worker} exited before its channel closed"),
+        }
+    }
+
+    /// Flushes the request buffer, joins the workers, and assembles
+    /// the report. Publishes the finish-time lane gauges if a registry
+    /// was attached.
+    ///
+    /// # Panics
+    ///
+    /// Propagates lane-worker panics, and panics on a poisoned sweep —
+    /// a panic-interrupted stream never yields a partial report.
+    pub fn finish(mut self) -> SweepReport {
+        assert!(
+            !self.poisoned,
+            "cache sweep is poisoned: a lane worker panicked; its stats would be partial"
+        );
+        self.flush_buffer();
+        drop(std::mem::take(&mut self.senders)); // close channels
+        let mut finished: Vec<FinishedLane> = Vec::new();
+        for handle in std::mem::take(&mut self.handles) {
+            match handle.join() {
+                Ok(lanes) => finished.extend(lanes),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        finished.extend(
+            std::mem::take(&mut self.local)
+                .into_iter()
+                .map(TimedLane::finish),
+        );
+        finished.sort_by_key(|lane| lane.index);
+
+        if let Some(registry) = &self.registry {
+            registry.gauge("sweep.lanes").set(finished.len() as u64);
+            let ppm = self
+                .sampled_accesses
+                .saturating_mul(1_000_000)
+                .checked_div(self.accesses)
+                .unwrap_or(0);
+            registry.gauge("sweep.sampled_ppm").set(ppm);
+            for lane in &finished {
+                registry
+                    .gauge(&format!("sweep.lane.{}.accesses", lane.label))
+                    .set(lane.accesses);
+                registry
+                    .gauge(&format!("sweep.lane.{}.nanos", lane.label))
+                    .set(lane.nanos);
+            }
+        }
+
+        let mut lanes = Vec::new();
+        let mut lru_mrc = None;
+        let mut sampled_mrc = None;
+        for lane in finished {
+            lanes.extend(lane.output.reports);
+            lru_mrc = lane.output.lru_mrc.or(lru_mrc);
+            sampled_mrc = lane.output.sampled_mrc.or(sampled_mrc);
+        }
+        SweepReport {
+            lanes,
+            lru_mrc,
+            sampled_mrc,
+            requests: self.requests,
+            accesses: self.accesses,
+            sampled_accesses: self.sampled_accesses,
+            expand_nanos: self.expand_nanos,
+            rate: self.rate,
+        }
+    }
+}
+
+/// One `(policy, capacity)` result of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneReport {
+    /// The policy's short name (`"lru"`, `"fifo"`, ...).
+    pub policy: String,
+    /// The requested capacity in blocks. Sampled lanes simulate a
+    /// miniature cache of `capacity × rate` blocks but report the
+    /// requested capacity here.
+    pub capacity: usize,
+    /// `true` for SHARDS-sampled lanes: `stats` covers the sampled
+    /// substream and its miss ratios are estimates of the exact lane's.
+    pub sampled: bool,
+    /// The hit/miss tallies — for exact lanes, bit-identical to a
+    /// fresh [`crate::CacheSim`] over the same stream.
+    pub stats: CacheStats,
+    /// Wall time this lane's physical lane spent processing columns
+    /// (the collapsed LRU stack lane shares one time across its
+    /// capacities).
+    pub nanos: u64,
+    /// Block accesses the physical lane consumed.
+    pub accesses: u64,
+}
+
+/// Everything a finished sweep produced — see [`CacheSweep::finish`].
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    lanes: Vec<LaneReport>,
+    lru_mrc: Option<MissRatioCurve>,
+    sampled_mrc: Option<MissRatioCurve>,
+    requests: u64,
+    accesses: u64,
+    sampled_accesses: u64,
+    expand_nanos: u64,
+    rate: f64,
+}
+
+impl SweepReport {
+    /// Every lane's result, in grid insertion order (LRU capacities
+    /// first, then boxed lanes).
+    pub fn lanes(&self) -> &[LaneReport] {
+        &self.lanes
+    }
+
+    /// The stats of the exact lane for `(policy, capacity)`, if the
+    /// grid contained it.
+    pub fn stats(&self, policy: &str, capacity: usize) -> Option<CacheStats> {
+        self.lanes
+            .iter()
+            .find(|l| !l.sampled && l.policy == policy && l.capacity == capacity)
+            .map(|l| l.stats)
+    }
+
+    /// The exact LRU miss-ratio curve from the collapsed stack lane
+    /// (present iff the grid had at least one LRU capacity) — answers
+    /// *every* capacity, not just the grid points.
+    pub fn lru_mrc(&self) -> Option<&MissRatioCurve> {
+        self.lru_mrc.as_ref()
+    }
+
+    /// The SHARDS-sampled LRU miss-ratio curve (present iff
+    /// [`SweepGrid::with_sampled_mrc`] was requested).
+    pub fn sampled_mrc(&self) -> Option<&MissRatioCurve> {
+        self.sampled_mrc.as_ref()
+    }
+
+    /// Requests fed through the sweep.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Block accesses after expansion.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Accesses passing the SHARDS spatial filter (0 when no sampled
+    /// lane was configured).
+    pub fn sampled_accesses(&self) -> u64 {
+        self.sampled_accesses
+    }
+
+    /// Observed sampled fraction: `sampled_accesses / accesses`.
+    pub fn sampled_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.sampled_accesses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Nanoseconds spent in the shared expansion + sample-filter pass.
+    pub fn expand_nanos(&self) -> u64 {
+        self.expand_nanos
+    }
+
+    /// The sampling rate the sweep ran with.
+    pub fn sample_rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CacheSim;
+    use cbs_trace::{Timestamp, VolumeId};
+
+    fn stream(n: u64, blocks: u64) -> Vec<IoRequest> {
+        (0..n)
+            .map(|i| {
+                IoRequest::new(
+                    VolumeId::new(0),
+                    if i % 3 == 0 {
+                        OpKind::Read
+                    } else {
+                        OpKind::Write
+                    },
+                    ((i * 7 + i * i * 3) % blocks) * 4096,
+                    (i % 3) as u32 * 4096 + 2048,
+                    Timestamp::from_micros(i),
+                )
+            })
+            .collect()
+    }
+
+    fn reference(reqs: &[IoRequest], name: &str, capacity: usize) -> CacheStats {
+        let Some(policy) = policy_by_name(name, capacity) else {
+            panic!("unknown policy {name}")
+        };
+        let mut sim = CacheSim::new(policy, BlockSize::DEFAULT);
+        sim.run(reqs);
+        sim.stats()
+    }
+
+    #[test]
+    fn exact_lanes_match_cache_sim_bit_for_bit() {
+        let reqs = stream(5000, 300);
+        let names = ["lru", "fifo", "clock", "lfu", "arc", "slru", "2q"];
+        let capacities = [1usize, 7, 64, 150, 100_000];
+        let report = SweepGrid::new()
+            .with_workers(0)
+            .grid(&names, &capacities)
+            .expect("valid grid")
+            .sweep(reqs.iter().copied());
+        assert_eq!(report.lanes().len(), names.len() * capacities.len());
+        for &name in &names {
+            for &c in &capacities {
+                let got = report.stats(name, c).expect("lane present");
+                assert_eq!(got, reference(&reqs, name, c), "{name}@{c}");
+            }
+        }
+    }
+
+    /// Everything but the wall-clock timing fields, for comparing
+    /// reports across runs.
+    fn untimed(report: &SweepReport) -> Vec<(String, usize, bool, CacheStats, u64)> {
+        report
+            .lanes()
+            .iter()
+            .map(|l| (l.policy.clone(), l.capacity, l.sampled, l.stats, l.accesses))
+            .collect()
+    }
+
+    #[test]
+    fn worker_fanout_matches_sequential() {
+        let reqs = stream(3000, 200);
+        let grid = |workers| {
+            SweepGrid::new()
+                .with_workers(workers)
+                .with_batch_size(512)
+                .grid(&["lru", "fifo", "arc"], &[16, 64])
+                .expect("valid grid")
+                .sweep(reqs.iter().copied())
+        };
+        let sequential = grid(0);
+        let fanned = grid(3);
+        assert_eq!(untimed(&sequential), untimed(&fanned));
+        assert_eq!(sequential.accesses(), fanned.accesses());
+    }
+
+    #[test]
+    fn batch_and_stream_feeds_agree() {
+        let reqs = stream(2000, 150);
+        let streamed = SweepGrid::new()
+            .with_workers(0)
+            .policy("slru", 32)
+            .expect("valid")
+            .sweep(reqs.iter().copied());
+        let mut batched = SweepGrid::new()
+            .with_workers(0)
+            .policy("slru", 32)
+            .expect("valid")
+            .start();
+        for chunk in reqs.chunks(700) {
+            batched.observe_batch(&RequestBatch::from(chunk));
+        }
+        let batched = batched.finish();
+        assert_eq!(untimed(&streamed), untimed(&batched));
+        assert_eq!(streamed.requests(), 2000);
+    }
+
+    #[test]
+    fn lru_mrc_agrees_with_stack_lane_reports() {
+        let reqs = stream(4000, 250);
+        let capacities = [1usize, 10, 100, 1000];
+        let mut grid = SweepGrid::new().with_workers(0);
+        for &c in &capacities {
+            grid = grid.lru_capacity(c).expect("non-zero");
+        }
+        let report = grid.sweep(reqs.iter().copied());
+        let mrc = report.lru_mrc().expect("stack lane ran");
+        for &c in &capacities {
+            let stats = report.stats("lru", c).expect("lane present");
+            let expected = stats.overall_miss_ratio().expect("accesses > 0");
+            assert!(
+                (mrc.miss_ratio_at(c) - expected).abs() < 1e-12,
+                "capacity {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_lane_estimates_miss_ratio() {
+        // A working set far larger than the capacity: miss ratio near
+        // 1, which sampling must reproduce closely even at rate 0.1.
+        let reqs = stream(30_000, 20_000);
+        let report = SweepGrid::new()
+            .with_workers(0)
+            .with_sample_rate(0.1)
+            .expect("valid rate")
+            .policy("fifo", 128)
+            .expect("valid")
+            .sampled_policy("fifo", 128)
+            .expect("valid")
+            .with_sampled_mrc()
+            .sweep(reqs.iter().copied());
+        let exact = report.stats("fifo", 128).expect("exact lane");
+        let sampled = report
+            .lanes()
+            .iter()
+            .find(|l| l.sampled)
+            .expect("sampled lane");
+        let frac = report.sampled_fraction();
+        assert!(frac > 0.05 && frac < 0.2, "sampled fraction {frac}");
+        assert!(sampled.accesses < report.accesses() / 5);
+        let (e, s) = (
+            exact.overall_miss_ratio().expect("accesses"),
+            sampled.stats.overall_miss_ratio().expect("accesses"),
+        );
+        assert!((e - s).abs() < 0.05, "exact {e} vs sampled {s}");
+        assert!(report.sampled_mrc().is_some());
+    }
+
+    #[test]
+    fn empty_sweep_reports_zeroes() {
+        let report = SweepGrid::new()
+            .with_workers(0)
+            .lru_capacity(8)
+            .expect("non-zero")
+            .policy("fifo", 8)
+            .expect("valid")
+            .sweep(std::iter::empty());
+        assert_eq!(report.requests(), 0);
+        assert_eq!(report.accesses(), 0);
+        assert_eq!(report.stats("fifo", 8), Some(CacheStats::new()));
+        assert_eq!(report.stats("lru", 8), Some(CacheStats::new()));
+        // Empty-trace convention: the curve reports all-misses.
+        assert_eq!(report.lru_mrc().expect("lane ran").miss_ratio_at(8), 1.0);
+        assert_eq!(report.sampled_fraction(), 0.0);
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert_eq!(
+            SweepGrid::new().lru_capacity(0).unwrap_err(),
+            SweepError::ZeroCapacity
+        );
+        assert_eq!(
+            SweepGrid::new().policy("belady", 8).unwrap_err(),
+            SweepError::UnknownPolicy("belady".to_owned())
+        );
+        assert_eq!(
+            SweepGrid::new().sampled_policy("nope", 8).unwrap_err(),
+            SweepError::UnknownPolicy("nope".to_owned())
+        );
+        assert_eq!(
+            SweepGrid::new().with_sample_rate(0.0).unwrap_err(),
+            SweepError::InvalidRate(0.0)
+        );
+        assert_eq!(
+            SweepGrid::new().with_sample_rate(1.5).unwrap_err(),
+            SweepError::InvalidRate(1.5)
+        );
+        let err = SweepError::UnknownPolicy("belady".to_owned());
+        assert!(err.to_string().contains("belady"));
+        assert_eq!(
+            SweepGrid::new()
+                .grid(&["lru", "fifo"], &[4, 8, 16])
+                .expect("valid")
+                .lane_count(),
+            1 + 3, // collapsed stack lane + three fifo lanes
+        );
+    }
+
+    #[test]
+    fn registry_reconciles_with_report() {
+        let registry = cbs_obs::Registry::new();
+        let reqs = stream(3000, 100);
+        let report = SweepGrid::new()
+            .with_workers(0)
+            .with_registry(&registry)
+            .lru_capacity(32)
+            .expect("non-zero")
+            .policy("2q", 32)
+            .expect("valid")
+            .sampled_policy("clock", 32)
+            .expect("valid")
+            .sweep(reqs.iter().copied());
+        assert_eq!(registry.counter("sweep.accesses").get(), report.accesses());
+        assert_eq!(
+            registry.counter("sweep.sampled_accesses").get(),
+            report.sampled_accesses()
+        );
+        assert!(registry.counter("sweep.batches").get() >= 1);
+        assert!(registry.counter("sweep.expand_nanos").get() > 0);
+        assert_eq!(registry.gauge("sweep.lanes").get(), 3);
+        assert_eq!(
+            registry.gauge("sweep.lane.lru.stack.accesses").get(),
+            report.accesses()
+        );
+        assert_eq!(
+            registry.gauge("sweep.lane.2q@32.accesses").get(),
+            report.accesses()
+        );
+        assert_eq!(
+            registry.gauge("sweep.lane.clock@32.sampled.accesses").get(),
+            report.sampled_accesses()
+        );
+        let ppm = registry.gauge("sweep.sampled_ppm").get();
+        let expected_ppm = report.sampled_accesses() * 1_000_000 / report.accesses();
+        assert_eq!(ppm, expected_ppm);
+    }
+
+    #[test]
+    fn mini_capacity_scales_and_floors() {
+        assert_eq!(mini_capacity(1000, 0.01), 10);
+        assert_eq!(mini_capacity(10, 0.01), 1);
+        assert_eq!(mini_capacity(7, 1.0), 7);
+    }
+
+    #[test]
+    fn stack_lane_compaction_keeps_stats_exact() {
+        // Few distinct blocks, many accesses: forces several
+        // compactions inside the stack lane mid-sweep.
+        let reqs: Vec<IoRequest> = (0..50_000u64)
+            .map(|i| {
+                IoRequest::new(
+                    VolumeId::new(0),
+                    if i % 2 == 0 {
+                        OpKind::Read
+                    } else {
+                        OpKind::Write
+                    },
+                    ((i * i * 7 + i * 13) % 60) * 4096,
+                    4096,
+                    Timestamp::from_micros(i),
+                )
+            })
+            .collect();
+        let report = SweepGrid::new()
+            .with_workers(0)
+            .lru_capacity(10)
+            .expect("non-zero")
+            .lru_capacity(45)
+            .expect("non-zero")
+            .sweep(reqs.iter().copied());
+        for &c in &[10usize, 45] {
+            assert_eq!(
+                report.stats("lru", c).expect("lane"),
+                reference(&reqs, "lru", c),
+                "capacity {c}"
+            );
+        }
+    }
+}

@@ -3,13 +3,38 @@
 use proptest::prelude::*;
 
 use cbs_cache::{
-    Arc, CachePolicy, Clock, Fifo, Lfu, Lru, MissRatioCurve, ReuseDistances, ShardsSampler, Slru,
-    TwoQ,
+    policy_by_name, Arc, CachePolicy, CacheSim, Clock, Fifo, Lfu, Lru, MissRatioCurve,
+    ReuseDistances, ShardsSampler, Slru, SweepGrid, TwoQ, POLICY_NAMES,
 };
-use cbs_trace::BlockId;
+use cbs_trace::{BlockId, BlockSize, IoRequest, OpKind, Timestamp, VolumeId};
 
 fn arb_stream() -> impl Strategy<Value = Vec<u64>> {
     proptest::collection::vec(0u64..48, 1..400)
+}
+
+/// Arbitrary request traces for the sweep engine: offsets spanning a
+/// small block range (with unaligned straddlers), mixed lengths
+/// (including zero-length no-ops), mixed read/write ops, and
+/// occasionally empty traces.
+fn arb_requests() -> impl Strategy<Value = Vec<IoRequest>> {
+    proptest::strategy::FnStrategy(|rng: &mut proptest::test_runner::TestRng| {
+        let len = rng.below(300) as usize;
+        (0..len)
+            .map(|i| {
+                IoRequest::new(
+                    VolumeId::new(0),
+                    if rng.below(2) == 0 {
+                        OpKind::Read
+                    } else {
+                        OpKind::Write
+                    },
+                    rng.below(40 * 4096),
+                    rng.below(3 * 4096) as u32,
+                    Timestamp::from_micros(i as u64),
+                )
+            })
+            .collect()
+    })
 }
 
 /// Replays `stream` through `cache`, asserting the universal policy
@@ -135,5 +160,66 @@ proptest! {
         prop_assert!(opt.hits >= lru_hits, "OPT {} < LRU {lru_hits}", opt.hits);
         prop_assert!(opt.hits >= arc_hits, "OPT {} < ARC {arc_hits}", opt.hits);
         prop_assert!(opt.hits >= twoq_hits, "OPT {} < 2Q {twoq_hits}", opt.hits);
+    }
+
+    /// Sweep lane stats are bit-identical to a fresh per-(policy,
+    /// capacity) `CacheSim` over the same trace — every policy, several
+    /// capacities, arbitrary request shapes (unaligned, zero-length,
+    /// empty traces), with and without worker threads.
+    #[test]
+    fn sweep_lanes_match_fresh_sims(
+        reqs in arb_requests(),
+        caps in proptest::collection::vec(1usize..80, 1..4),
+        workers in 0usize..3,
+    ) {
+        let capacities: Vec<usize> = caps;
+        let names: Vec<&str> = POLICY_NAMES.to_vec();
+        let report = SweepGrid::new()
+            .with_workers(workers)
+            .with_batch_size(64)
+            .grid(&names, &capacities)
+            .expect("known names, non-zero capacities")
+            .sweep(reqs.iter().copied());
+        prop_assert_eq!(report.requests(), reqs.len() as u64);
+        for &name in &names {
+            for &cap in &capacities {
+                let policy = policy_by_name(name, cap).expect("known policy");
+                let mut sim = CacheSim::new(policy, BlockSize::DEFAULT);
+                sim.run(&reqs);
+                let got = report.stats(name, cap).expect("lane present");
+                prop_assert_eq!(got, sim.stats(), "{}@{}", name, cap);
+            }
+        }
+    }
+
+    /// The sweep's collapsed-stack miss-ratio curve equals a fresh
+    /// `CacheSim<Lru>` at EVERY capacity — grid points, off-grid
+    /// points, and capacities past the histogram tail (where the curve
+    /// flattens at the cold-miss ratio).
+    #[test]
+    fn sweep_mrc_matches_lru_sim_at_every_capacity(reqs in arb_requests()) {
+        let report = SweepGrid::new()
+            .with_workers(0)
+            .lru_capacity(1)
+            .expect("non-zero")
+            .sweep(reqs.iter().copied());
+        let mrc = report.lru_mrc().expect("stack lane ran");
+        // 40 blocks of working set: capacity 100 is far past the tail.
+        for cap in 1usize..100 {
+            let mut sim = CacheSim::new(Lru::new(cap), BlockSize::DEFAULT);
+            sim.run(&reqs);
+            match sim.stats().overall_miss_ratio() {
+                Some(expected) => {
+                    prop_assert!(
+                        (mrc.miss_ratio_at(cap) - expected).abs() < 1e-12,
+                        "capacity {}: mrc {} vs sim {}", cap, mrc.miss_ratio_at(cap), expected
+                    );
+                }
+                // Zero block accesses (empty trace or all zero-length
+                // requests): the curve's convention is all-misses while
+                // the sim reports no ratio.
+                None => prop_assert_eq!(mrc.miss_ratio_at(cap), 1.0),
+            }
+        }
     }
 }

@@ -36,6 +36,9 @@ pub mod parallel;
 pub mod streaming;
 pub mod workbench;
 
+pub use cbs_cache::{
+    policy_by_name, CacheSweep, LaneReport, SweepError, SweepGrid, SweepReport, POLICY_NAMES,
+};
 pub use streaming::{StreamingSession, StreamingWorkbench};
 pub use workbench::{Analysis, Workbench};
 
@@ -47,6 +50,8 @@ pub mod prelude {
     pub use cbs_trace::{
         BlockId, BlockSize, IoRequest, OpKind, TimeDelta, Timestamp, Trace, VolumeId,
     };
+
+    pub use cbs_cache::{SweepGrid, SweepReport};
 
     pub use crate::streaming::{StreamingSession, StreamingWorkbench};
     pub use crate::workbench::{Analysis, Workbench};

@@ -16,7 +16,8 @@ use cbs_analysis::findings::{
     update_interval::{IntervalGroupProportions, OverallUpdateIntervals, UpdateIntervalBoxplots},
 };
 use cbs_analysis::{AnalysisConfig, InvalidConfig, VolumeMetrics};
-use cbs_trace::Trace;
+use cbs_cache::{SweepGrid, SweepReport};
+use cbs_trace::{Trace, VolumeId};
 
 use crate::parallel::{analyze_trace_parallel, default_threads};
 
@@ -229,6 +230,21 @@ impl Analysis {
     pub fn assessments(&self) -> Vec<cbs_analysis::recommend::VolumeAssessment> {
         cbs_analysis::recommend::assess_all(&self.metrics, &self.config)
     }
+
+    /// Runs a single-pass policy × capacity sweep over one volume's
+    /// request stream (the Fig. 18 grid, generalized to arbitrary
+    /// policies and capacities — see [`cbs_cache::sweep`]). The grid's
+    /// block size is overridden by this analysis's configured block
+    /// size so sweep results line up with
+    /// [`lru_miss_ratios`](Analysis::lru_miss_ratios). Returns `None`
+    /// for an unknown volume.
+    pub fn sweep_volume(&self, volume: VolumeId, grid: SweepGrid) -> Option<SweepReport> {
+        let view = self.trace.volume(volume)?;
+        let report = grid
+            .with_block_size(self.config.block_size)
+            .sweep(view.requests().iter().copied());
+        Some(report)
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +310,30 @@ mod tests {
         assert_eq!(analysis.config().randomness_window, 32);
         assert_eq!(analysis.trace().volume_count(), 4);
         assert_eq!(analysis.assessments().len(), 4);
+    }
+
+    #[test]
+    fn sweep_volume_runs_grid_over_one_volume() {
+        let analysis = workbench().analyze();
+        let grid = SweepGrid::new()
+            .with_workers(0)
+            .grid(&["lru", "fifo"], &[4, 32])
+            .expect("valid grid");
+        let report = analysis
+            .sweep_volume(VolumeId::new(1), grid)
+            .expect("volume 1 exists");
+        // Each volume has 100 single-block requests over 20 blocks.
+        assert_eq!(report.requests(), 100);
+        assert_eq!(report.accesses(), 100);
+        assert_eq!(report.lanes().len(), 4);
+        // 20 distinct blocks per volume: capacity 32 holds the whole
+        // working set, so everything past the cold misses hits.
+        let warm = report.stats("lru", 32).expect("lane present");
+        assert_eq!(warm.total_accesses(), 100);
+        assert_eq!(warm.read_hits() + warm.write_hits(), 80);
+        // Unknown volumes report None rather than an empty sweep.
+        let grid = SweepGrid::new().with_workers(0);
+        assert!(analysis.sweep_volume(VolumeId::new(99), grid).is_none());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! | `no-unwrap-in-lib` | library code, non-test | `.unwrap()` / `.expect(…)` |
 //! | `no-panic-in-lib` | library code, non-test | `panic!` / `unimplemented!` / `todo!` / `unreachable!` |
 //! | `forbid-unsafe-header` | workspace crate roots | missing `#![forbid(unsafe_code)]` |
-//! | `pub-item-docs` | `cbs-trace`/`cbs-core`/`cbs-stats` src | undocumented public items |
+//! | `pub-item-docs` | `cbs-trace`/`core`/`stats`/`obs`/`cache` src | undocumented public items |
 //! | `bounded-channel` | `crates/core` + codec paths | unbounded `mpsc::channel()` |
 //! | `finding-traceability` | `crates/analysis/src/findings` | modules citing no `F1`–`F15` ID; uncovered IDs |
 //! | `no-float-eq` | library code, non-test | `==`/`!=` against float literals |

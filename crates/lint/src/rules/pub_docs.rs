@@ -1,11 +1,11 @@
 //! `pub-item-docs`: public items of the foundation crates must be
 //! documented.
 //!
-//! `cbs-trace`, `cbs-core`, and `cbs-stats` are the API surface every
-//! downstream consumer builds on; an undocumented public `fn`,
-//! `struct`, `enum`, or `trait` there is treated as a defect, not a
-//! style nit. `pub(crate)`/`pub(super)` items are not public API and
-//! are exempt.
+//! `cbs-trace`, `cbs-core`, `cbs-stats`, `cbs-obs`, and `cbs-cache`
+//! are the API surface every downstream consumer builds on; an
+//! undocumented public `fn`, `struct`, `enum`, or `trait` there is
+//! treated as a defect, not a style nit. `pub(crate)`/`pub(super)`
+//! items are not public API and are exempt.
 
 use crate::diag::Diagnostic;
 use crate::lexer::TokenKind;
@@ -13,7 +13,7 @@ use crate::rules::Rule;
 use crate::source::SourceFile;
 
 /// Crates whose public surface must be fully documented.
-const DOCUMENTED_CRATES: &[&str] = &["trace", "core", "stats", "obs"];
+const DOCUMENTED_CRATES: &[&str] = &["trace", "core", "stats", "obs", "cache"];
 
 /// Modifier keywords that may sit between `pub` and the item keyword.
 const MODIFIERS: &[&str] = &["const", "unsafe", "async", "extern"];
@@ -31,7 +31,7 @@ impl Rule for PubItemDocs {
     }
 
     fn description(&self) -> &'static str {
-        "public fn/struct/enum/trait in cbs-trace/cbs-core/cbs-stats must have doc comments"
+        "public fn/struct/enum/trait in cbs-trace/core/stats/obs/cache must have doc comments"
     }
 
     fn check_file(&self, file: &SourceFile, diags: &mut Vec<Diagnostic>) {

@@ -9,7 +9,7 @@ use cbs_analysis::findings::adjacency::PairKind;
 use cbs_analysis::findings::aggregation::AggregationBoxplots;
 use cbs_analysis::findings::cache::LruMissRatios;
 use cbs_analysis::findings::update_interval::IntervalGroup;
-use cbs_core::{Analysis, Workbench};
+use cbs_core::{Analysis, SweepGrid, Workbench, POLICY_NAMES};
 use cbs_synth::presets::{self, CorpusConfig};
 use cbs_trace::TimeDelta;
 
@@ -667,6 +667,45 @@ pub fn fig18_lru(ctx: &ReproContext) -> String {
     section("Fig. 18 — LRU miss ratios (Finding 15)", t.render())
 }
 
+/// Fig. 18 extension — every replacement policy at the Finding 15
+/// operating points (1 % and 10 % of the working set) on each corpus's
+/// busiest volume, driven by the single-pass sweep engine: one trace
+/// traversal answers the whole policy × capacity grid.
+pub fn fig18_sweep(ctx: &ReproContext) -> String {
+    let mut t = TextTable::new(vec!["corpus", "policy", "miss @1% WSS", "miss @10% WSS"]);
+    for (analysis, p) in ctx.corpora() {
+        let Some(busiest) = analysis.metrics().iter().max_by_key(|m| m.requests()) else {
+            continue;
+        };
+        let small = busiest.cache_blocks_for_fraction(0.01).max(8);
+        let large = busiest.cache_blocks_for_fraction(0.10).max(8);
+        // Built-in names and non-zero capacities cannot be rejected.
+        let Ok(grid) = SweepGrid::new().grid(POLICY_NAMES, &[small, large]) else {
+            continue;
+        };
+        let Some(report) = analysis.sweep_volume(busiest.id, grid) else {
+            continue;
+        };
+        for &name in POLICY_NAMES {
+            let miss_at = |capacity: usize| {
+                report
+                    .stats(name, capacity)
+                    .and_then(|s| s.overall_miss_ratio())
+            };
+            t.row(vec![
+                p.name.to_string(),
+                name.to_owned(),
+                fmt::percent_opt(miss_at(small)),
+                fmt::percent_opt(miss_at(large)),
+            ]);
+        }
+    }
+    section(
+        "Fig. 18 ext. — policy sweep at the Finding 15 points (single pass)",
+        t.render(),
+    )
+}
+
 /// Machine-checked verdicts for all 15 findings (Section IV).
 pub fn findings_verdicts(ctx: &ReproContext) -> String {
     let mut verdicts = cbs_analysis::findings::verdicts::evaluate_pair(
@@ -723,6 +762,7 @@ pub fn registry() -> Vec<(&'static str, Experiment)> {
         ("fig15", fig15_rar_war),
         ("fig16", fig16_update_intervals),
         ("fig18", fig18_lru),
+        ("fig18-sweep", fig18_sweep),
         ("verdicts", findings_verdicts),
     ]
 }

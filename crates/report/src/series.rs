@@ -10,7 +10,7 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 use cbs_analysis::findings::adjacency::PairKind;
-use cbs_core::Analysis;
+use cbs_core::{Analysis, SweepGrid, POLICY_NAMES};
 use cbs_stats::{BoxplotSummary, Cdf, LogHistogram};
 
 use crate::experiments::ReproContext;
@@ -260,6 +260,36 @@ pub fn export_corpus(analysis: &Analysis, dir: &Path, prefix: &str) -> io::Resul
             ("write_large".to_owned(), boxed(&lru.write_large)),
         ],
     )?;
+
+    // Fig. 18 extension: the full policy grid at the Finding 15 points
+    // on the busiest volume, from one sweep traversal.
+    if let Some(busiest) = analysis.metrics().iter().max_by_key(|m| m.requests()) {
+        let small = busiest.cache_blocks_for_fraction(0.01).max(8);
+        let large = busiest.cache_blocks_for_fraction(0.10).max(8);
+        // Built-in names and non-zero capacities cannot be rejected.
+        let report = SweepGrid::new()
+            .grid(POLICY_NAMES, &[small, large])
+            .ok()
+            .and_then(|grid| analysis.sweep_volume(busiest.id, grid));
+        if let Some(report) = report {
+            let rows: Vec<String> = report
+                .lanes()
+                .iter()
+                .map(|lane| {
+                    let miss = lane
+                        .stats
+                        .overall_miss_ratio()
+                        .map_or_else(|| "NA".to_owned(), |m| format!("{m:.6}"));
+                    format!("{}\t{}\t{miss}", lane.policy, lane.capacity)
+                })
+                .collect();
+            write_file(
+                &path("fig18_policy_sweep"),
+                "policy\tcapacity_blocks\tmiss_ratio",
+                &rows,
+            )?;
+        }
+    }
 
     Ok(written)
 }

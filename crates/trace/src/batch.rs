@@ -19,7 +19,7 @@
 //!
 //! [`observe_batch`]: ../../cbs_analysis/struct.VolumeAnalyzer.html#method.observe_batch
 
-use crate::{IoRequest, OpKind, Timestamp, VolumeId};
+use crate::{BlockId, BlockSize, IoRequest, OpKind, Timestamp, VolumeId};
 
 /// A batch of requests in struct-of-arrays layout.
 ///
@@ -177,9 +177,124 @@ impl RequestBatch {
         (0..self.len()).map(move |i| self.get(i))
     }
 
+    /// Expands every record into its block-granular accesses, replacing
+    /// the contents of `out` — the shared expansion kernel.
+    ///
+    /// The result is exactly the concatenation of
+    /// [`BlockSize::span_of`] over the records in batch order, paired
+    /// with each record's op (zero-length records touch no blocks), but
+    /// computed straight off the offset/len/op columns. Consumers that
+    /// evaluate many cache configurations over one batch (the sweep
+    /// engine, policy benches) expand once and share the column instead
+    /// of re-walking `span_of` per configuration.
+    pub fn expand_blocks_into(&self, block_size: BlockSize, out: &mut BlockAccessColumn) {
+        out.clear();
+        let shift = block_size.shift();
+        for i in 0..self.len() {
+            let len = self.lens[i];
+            if len == 0 {
+                continue;
+            }
+            let op = self.ops[i];
+            let offset = self.offsets[i];
+            let first = offset >> shift;
+            let last = (offset + u64::from(len) - 1) >> shift;
+            for b in first..=last {
+                out.blocks.push(BlockId::new(b));
+                out.ops.push(op);
+            }
+        }
+    }
+
     /// Copies the batch out as a flat request vector.
     pub fn to_requests(&self) -> Vec<IoRequest> {
         self.iter().collect()
+    }
+}
+
+/// Block-granular accesses in struct-of-arrays layout: the shared
+/// expansion of a [`RequestBatch`].
+///
+/// Each entry is one `(block, op)` access, in the order
+/// [`BlockSize::span_of`] would have produced while walking the batch.
+/// Cache simulations that evaluate several policies or capacities over
+/// the same batch pay the request → block decomposition once and replay
+/// this column per configuration.
+///
+/// # Example
+///
+/// ```
+/// use cbs_trace::{BlockAccessColumn, BlockSize, IoRequest, OpKind, RequestBatch,
+///                 Timestamp, VolumeId};
+///
+/// let mut batch = RequestBatch::new();
+/// batch.push(&IoRequest::new(
+///     VolumeId::new(0), OpKind::Write, 4096, 8192, Timestamp::ZERO,
+/// ));
+/// let mut col = BlockAccessColumn::new();
+/// batch.expand_blocks_into(BlockSize::DEFAULT, &mut col);
+/// assert_eq!(col.len(), 2); // blocks 1 and 2
+/// assert_eq!(col.blocks()[0].get(), 1);
+/// assert_eq!(col.ops()[1], OpKind::Write);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockAccessColumn {
+    blocks: Vec<BlockId>,
+    ops: Vec<OpKind>,
+}
+
+impl BlockAccessColumn {
+    /// Creates an empty column.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty column with room for `capacity` accesses.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BlockAccessColumn {
+            blocks: Vec::with_capacity(capacity),
+            ops: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of block accesses.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` if the column holds no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Appends one block access.
+    #[inline]
+    pub fn push(&mut self, block: BlockId, op: OpKind) {
+        self.blocks.push(block);
+        self.ops.push(op);
+    }
+
+    /// The block-id column.
+    #[inline]
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// The operation-kind column.
+    #[inline]
+    pub fn ops(&self) -> &[OpKind] {
+        &self.ops
+    }
+
+    /// Removes all accesses, keeping the columns' capacity.
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+        self.ops.clear();
+    }
+
+    /// Iterates the accesses as `(block, op)` pairs in column order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, OpKind)> + '_ {
+        self.blocks.iter().copied().zip(self.ops.iter().copied())
     }
 }
 
@@ -281,6 +396,60 @@ mod tests {
         let mut batch = RequestBatch::from(&reqs[..3]);
         batch.extend(reqs[3..].iter().copied());
         assert_eq!(batch.to_requests(), reqs);
+    }
+
+    #[test]
+    fn expansion_matches_span_of() {
+        let bs = BlockSize::DEFAULT;
+        let mut reqs = sample(200);
+        // Unaligned straddlers and a zero-length record.
+        reqs.push(IoRequest::new(
+            VolumeId::new(9),
+            OpKind::Read,
+            4000,
+            300,
+            Timestamp::ZERO,
+        ));
+        reqs.push(IoRequest::new(
+            VolumeId::new(9),
+            OpKind::Write,
+            8192,
+            0,
+            Timestamp::ZERO,
+        ));
+        let batch = RequestBatch::from(reqs.as_slice());
+        let mut col = BlockAccessColumn::new();
+        batch.expand_blocks_into(bs, &mut col);
+        let expected: Vec<(BlockId, OpKind)> = reqs
+            .iter()
+            .flat_map(|r| bs.span_of(r).map(move |b| (b, r.op())))
+            .collect();
+        assert_eq!(col.len(), expected.len());
+        assert_eq!(col.iter().collect::<Vec<_>>(), expected);
+        assert_eq!(col.blocks().len(), col.ops().len());
+    }
+
+    #[test]
+    fn expansion_replaces_previous_contents() {
+        let bs = BlockSize::DEFAULT;
+        let mut col = BlockAccessColumn::with_capacity(8);
+        col.push(BlockId::new(77), OpKind::Read);
+        RequestBatch::from(sample(5)).expand_blocks_into(bs, &mut col);
+        assert!(col.blocks().iter().all(|b| b.get() != 77));
+        RequestBatch::new().expand_blocks_into(bs, &mut col);
+        assert!(col.is_empty());
+        assert_eq!(col.iter().count(), 0);
+    }
+
+    #[test]
+    fn expansion_respects_block_size() {
+        let bs = BlockSize::new(16384).expect("power of two");
+        let reqs = sample(50);
+        let batch = RequestBatch::from(reqs.as_slice());
+        let mut col = BlockAccessColumn::new();
+        batch.expand_blocks_into(bs, &mut col);
+        let expected: u64 = reqs.iter().map(|r| bs.count(r.offset(), r.len())).sum();
+        assert_eq!(col.len() as u64, expected);
     }
 
     #[test]

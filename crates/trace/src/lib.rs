@@ -70,7 +70,7 @@ pub mod time;
 pub mod trace;
 pub mod volume;
 
-pub use batch::RequestBatch;
+pub use batch::{BlockAccessColumn, RequestBatch};
 pub use block::{BlockId, BlockSize, BlockSpan};
 pub use codec::cbt::{CbtReader, CbtWriter};
 pub use codec::parallel::{DecodeStats, ParallelDecoder};

@@ -27,6 +27,9 @@ cargo fmt --check
 echo "==> ingest_perf smoke (round-trip + equivalence + obs reconciliation + poison gate)"
 ./target/release/ingest_perf smoke
 
+echo "==> cache_perf smoke (sweep == naive CacheSim bit-for-bit, sweep not slower, sampled MRC bounded)"
+./target/release/cache_perf --smoke
+
 echo "==> cbs-convert --metrics smoke (registry export reaches stderr)"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
