@@ -1,6 +1,7 @@
 //! The single-pass per-volume analyzer: [`VolumeAnalyzer`] and
 //! [`analyze_trace`].
 
+use std::mem;
 use std::ops::Range;
 
 use cbs_cache::ReuseStack;
@@ -10,6 +11,7 @@ use cbs_trace::{IoRequest, OpKind, RequestBatch, Timestamp, Trace, VolumeId, Vol
 
 use crate::config::{AnalysisConfig, InvalidConfig};
 use crate::metrics::VolumeMetrics;
+use crate::simd;
 
 /// Per-block running state shared by the spatial and temporal metrics.
 ///
@@ -99,11 +101,21 @@ pub struct VolumeAnalyzer {
     peak_bin: u64,
     peak_bin_count: u64,
     peak_max: u64,
+    /// Exclusive end of the current peak bin in relative micros, so the
+    /// per-record division is only paid at bin transitions (`rel` is
+    /// non-decreasing). Starts at 0 to force the first recompute.
+    peak_bin_end: u64,
 
     active_intervals: Vec<u32>,
     read_active_intervals: Vec<u32>,
     write_active_intervals: Vec<u32>,
     active_days: Vec<u32>,
+    /// Cached activeness interval/day indices with their exclusive bin
+    /// ends in relative micros (same transition trick as `peak_bin_end`).
+    cur_interval: u32,
+    active_bin_end: u64,
+    cur_day: u32,
+    day_bin_end: u64,
 
     /// Ring buffer of the previous `randomness_window` request offsets.
     offset_window: Vec<u64>,
@@ -128,6 +140,15 @@ pub struct VolumeAnalyzer {
     write_distance_hist: Vec<u64>,
     read_cold: u64,
     write_cold: u64,
+
+    /// Scratch buffers reused across batched calls (write-mask words,
+    /// inter-arrival deltas, and the per-span block bookkeeping feeding
+    /// [`ReuseStack::touch_batch`]).
+    scratch_mask: Vec<u64>,
+    scratch_deltas: Vec<u64>,
+    span_prevs: Vec<usize>,
+    span_slots: Vec<(u32, u8, u32)>,
+    span_dists: Vec<u64>,
 }
 
 impl VolumeAnalyzer {
@@ -165,10 +186,15 @@ impl VolumeAnalyzer {
             peak_bin: 0,
             peak_bin_count: 0,
             peak_max: 0,
+            peak_bin_end: 0,
             active_intervals: Vec::new(),
             read_active_intervals: Vec::new(),
             write_active_intervals: Vec::new(),
             active_days: Vec::new(),
+            cur_interval: 0,
+            active_bin_end: 0,
+            cur_day: 0,
+            day_bin_end: 0,
             offset_cursor: 0,
             random_requests: 0,
             chunk_index: FxHashMap::default(),
@@ -184,6 +210,11 @@ impl VolumeAnalyzer {
             write_distance_hist: Vec::new(),
             read_cold: 0,
             write_cold: 0,
+            scratch_mask: Vec::new(),
+            scratch_deltas: Vec::new(),
+            span_prevs: Vec::new(),
+            span_slots: Vec::new(),
+            span_dists: Vec::new(),
         })
     }
 
@@ -256,14 +287,10 @@ impl VolumeAnalyzer {
         }
 
         // Loop fission: every metric's state is touched by exactly one
-        // loop, and each loop visits records in order — so the result
+        // loop/kernel, and each visits records in order — so the result
         // is bit-identical to interleaving them per request.
-        for (&op, &len) in ops.iter().zip(lens) {
-            self.note_count(op, len);
-        }
-        for &ts in timestamps {
-            self.note_time(ts);
-        }
+        self.note_counts_batch(ops, lens);
+        self.note_times_batch(timestamps);
         for &ts in timestamps {
             let rel = ts.saturating_duration_since(self.epoch).as_micros();
             self.note_peak(rel);
@@ -297,6 +324,29 @@ impl VolumeAnalyzer {
         }
     }
 
+    /// Batched [`note_count`](Self::note_count): one SIMD pass for the
+    /// counters and byte sums, then a mask-driven loop for the two size
+    /// histograms (histogram adds commute, so recording all records in
+    /// order against precomputed masks is bit-identical).
+    fn note_counts_batch(&mut self, ops: &[OpKind], lens: &[u32]) {
+        let sums = simd::op_len_sums(ops, lens);
+        self.reads += sums.reads;
+        self.writes += sums.writes;
+        self.read_bytes += sums.read_bytes;
+        self.write_bytes += sums.write_bytes;
+        let mut mask = mem::take(&mut self.scratch_mask);
+        simd::write_mask(ops, &mut mask);
+        for (i, &len) in lens.iter().enumerate() {
+            let hist = if mask[i / 64] >> (i % 64) & 1 == 1 {
+                &mut self.write_size_hist
+            } else {
+                &mut self.read_size_hist
+            };
+            hist.record(u64::from(len));
+        }
+        self.scratch_mask = mask;
+    }
+
     /// Inter-arrival histogram and observed span.
     #[inline]
     fn note_time(&mut self, ts: Timestamp) {
@@ -307,42 +357,100 @@ impl VolumeAnalyzer {
         self.last_ts = Some(ts);
     }
 
+    /// Batched [`note_time`](Self::note_time): the gaps come from one
+    /// SIMD first-difference pass over the microsecond column. The
+    /// leading gap is seeded with the previous record's timestamp (or
+    /// skipped when this is the first record ever, like the scalar
+    /// path); timestamps are non-decreasing so the wrapping subtraction
+    /// equals the checked one.
+    fn note_times_batch(&mut self, timestamps: &[Timestamp]) {
+        let Some(&last) = timestamps.last() else {
+            return;
+        };
+        let micros = simd::timestamps_as_micros(timestamps);
+        let mut deltas = mem::take(&mut self.scratch_deltas);
+        let prev = self.last_ts.unwrap_or(timestamps[0]).as_micros();
+        simd::deltas_u64(micros, prev, &mut deltas);
+        let skip_first = usize::from(self.last_ts.is_none());
+        for &gap in &deltas[skip_first..] {
+            self.interarrival_hist.record(gap);
+        }
+        self.first_ts.get_or_insert(timestamps[0]);
+        self.last_ts = Some(last);
+        self.scratch_deltas = deltas;
+    }
+
     /// Peak intensity (streaming max over peak intervals).
+    ///
+    /// `rel` is non-decreasing, so the bin index only changes when `rel`
+    /// crosses the cached bin end — the division is paid per transition,
+    /// not per record (`peak_bin_end` starts at 0, forcing the first
+    /// record to compute its bin like the plain divide did).
     #[inline]
     fn note_peak(&mut self, rel: u64) {
-        let bin = rel / self.config.peak_interval.as_micros();
-        if bin != self.peak_bin {
-            self.peak_max = self.peak_max.max(self.peak_bin_count);
-            self.peak_bin = bin;
-            self.peak_bin_count = 0;
+        if rel >= self.peak_bin_end {
+            let period = self.config.peak_interval.as_micros();
+            let bin = rel / period;
+            // Saturation is exact: the end only saturates for the last
+            // representable bin, which no later `rel` can leave.
+            self.peak_bin_end = bin.saturating_add(1).saturating_mul(period);
+            if bin != self.peak_bin {
+                self.peak_max = self.peak_max.max(self.peak_bin_count);
+                self.peak_bin = bin;
+                self.peak_bin_count = 0;
+            }
         }
         self.peak_bin_count += 1;
     }
 
     /// Activeness (sorted-unique push: requests arrive in order).
+    ///
+    /// Same bin-end transition trick as [`note_peak`](Self::note_peak),
+    /// applied to both the interval and the day index.
     #[inline]
     fn note_active(&mut self, rel: u64, op: OpKind) {
-        let interval =
-            u32::try_from(rel / self.config.active_interval.as_micros()).unwrap_or(u32::MAX);
+        if rel >= self.active_bin_end {
+            let q = rel / self.config.active_interval.as_micros();
+            self.cur_interval = u32::try_from(q).unwrap_or(u32::MAX);
+            self.active_bin_end = q
+                .saturating_add(1)
+                .saturating_mul(self.config.active_interval.as_micros());
+        }
+        let interval = self.cur_interval;
         push_unique(&mut self.active_intervals, interval);
         match op {
             OpKind::Read => push_unique(&mut self.read_active_intervals, interval),
             OpKind::Write => push_unique(&mut self.write_active_intervals, interval),
         }
-        let day = u32::try_from(rel / cbs_trace::time::MICROS_PER_DAY).unwrap_or(u32::MAX);
-        push_unique(&mut self.active_days, day);
+        if rel >= self.day_bin_end {
+            let q = rel / cbs_trace::time::MICROS_PER_DAY;
+            self.cur_day = u32::try_from(q).unwrap_or(u32::MAX);
+            self.day_bin_end = q
+                .saturating_add(1)
+                .saturating_mul(cbs_trace::time::MICROS_PER_DAY);
+        }
+        push_unique(&mut self.active_days, self.cur_day);
     }
 
-    /// Randomness (min distance to previous window offsets).
+    /// Randomness: a request is random iff no window offset lies within
+    /// `randomness_threshold` of it.
+    ///
+    /// `min(abs_diff) > threshold` is evaluated as range *non*-membership
+    /// in `[offset - t, offset + t]` (saturating — saturation is exact at
+    /// both edges), which the SIMD kernel scans without computing any
+    /// distance. The empty-window case keeps the scalar comparison so
+    /// the `threshold == u64::MAX` edge stays bit-identical.
     #[inline]
     fn note_random(&mut self, offset: u64) {
-        let min_distance = self
-            .offset_window
-            .iter()
-            .map(|&o| offset.abs_diff(o))
-            .min()
-            .unwrap_or(u64::MAX);
-        if min_distance > self.config.randomness_threshold {
+        let threshold = self.config.randomness_threshold;
+        let is_random = if self.offset_window.is_empty() {
+            u64::MAX > threshold
+        } else {
+            let lo = offset.saturating_sub(threshold);
+            let hi = offset.saturating_add(threshold);
+            !simd::any_within(&self.offset_window, lo, hi)
+        };
+        if is_random {
             self.random_requests += 1;
         }
         if self.offset_window.len() < self.config.randomness_window {
@@ -354,10 +462,24 @@ impl VolumeAnalyzer {
     }
 
     /// Block-granular state: adjacency, updates, WSS, reuse.
+    ///
+    /// The request's span is processed in two passes. Pass 1 resolves
+    /// every touched block's chunk slot and previous stack position
+    /// (claiming slots for cold blocks); the span's blocks are distinct
+    /// consecutive ids, so no entry depends on an earlier entry's
+    /// update and [`ReuseStack::touch_batch`] can then resolve all warm
+    /// ranks in one amortized sweep. Pass 2 applies the per-block
+    /// metric updates in span order — metric state is disjoint from the
+    /// stack, so the result is bit-identical to the sequential
+    /// interleaving.
     #[inline]
     fn touch_blocks(&mut self, op: OpKind, offset: u64, len: u32, ts: Timestamp) {
         let bs = self.config.block_size;
         let end_offset = offset + u64::from(len);
+        let mut prevs = mem::take(&mut self.span_prevs);
+        let mut slots = mem::take(&mut self.span_slots);
+        prevs.clear();
+        slots.clear();
         // Spans cover consecutive blocks, so the chunk lookup amortizes
         // over up to 16 touches; `cur` caches the active chunk index.
         let mut cur_chunk = u64::MAX;
@@ -379,70 +501,47 @@ impl VolumeAnalyzer {
             }
             let chunk = &mut self.chunks[cur];
             let slot = (b % CHUNK_BLOCKS) as usize;
-            let state = &mut chunk.states[slot];
             if chunk.occupied & (1 << slot) != 0 {
-                // Reuse distance over the unified stream, split per op;
-                // the block's stack position rides in its state so the
-                // chunk lookup is the only hash op per touched chunk.
-                let (distance, new_pos) = self.reuse_stack.touch(state.reuse_pos as usize);
-                state.reuse_pos = new_pos as u32;
-                let hist = match op {
-                    OpKind::Read => &mut self.read_distance_hist,
-                    OpKind::Write => &mut self.write_distance_hist,
-                };
-                let d = distance as usize;
-                if d >= hist.len() {
-                    hist.resize(d + 1, 0);
-                }
-                hist[d] += 1;
-
-                let elapsed = (ts - state.last_ts).as_micros();
-                match (state.last_op, op) {
-                    (OpKind::Write, OpKind::Read) => self.raw_hist.record(elapsed),
-                    (OpKind::Write, OpKind::Write) => self.waw_hist.record(elapsed),
-                    (OpKind::Read, OpKind::Read) => self.rar_hist.record(elapsed),
-                    (OpKind::Read, OpKind::Write) => self.war_hist.record(elapsed),
-                }
-                match op {
-                    OpKind::Read => state.read_bytes += overlap,
-                    OpKind::Write => {
-                        if state.write_count > 0 {
-                            self.update_interval_hist
-                                .record((ts - state.last_write_ts).as_micros());
-                        }
-                        self.updated_bytes += overlap;
-                        state.write_bytes += overlap;
-                        state.write_count += 1;
-                        state.last_write_ts = ts;
-                    }
-                }
-                state.last_op = op;
-                state.last_ts = ts;
+                prevs.push(chunk.states[slot].reuse_pos as usize);
             } else {
                 chunk.occupied |= 1 << slot;
                 self.distinct_blocks += 1;
-                let reuse_pos = self.reuse_stack.touch_cold() as u32;
-                let (read_bytes, write_bytes, write_count) = match op {
-                    OpKind::Read => {
-                        self.read_cold += 1;
-                        (overlap, 0, 0)
-                    }
-                    OpKind::Write => {
-                        self.write_cold += 1;
-                        (0, overlap, 1)
-                    }
-                };
-                *state = BlockState {
-                    read_bytes,
-                    write_bytes,
-                    last_ts: ts,
-                    last_write_ts: ts,
-                    write_count,
-                    reuse_pos,
-                    last_op: op,
-                };
+                match op {
+                    OpKind::Read => self.read_cold += 1,
+                    OpKind::Write => self.write_cold += 1,
+                }
+                prevs.push(ReuseStack::COLD);
             }
+            slots.push((cur as u32, slot as u8, overlap as u32));
         }
+
+        if prevs.len() == 1 {
+            // Single-block request: the sequential touch keeps its O(1)
+            // consecutive-run fast path.
+            let prev = prevs[0];
+            let (warm, new_pos) = if prev != ReuseStack::COLD {
+                let (distance, pos) = self.reuse_stack.touch(prev);
+                (Some(distance), pos as u32)
+            } else {
+                (None, self.reuse_stack.touch_cold() as u32)
+            };
+            self.apply_block_touch(op, ts, slots[0], warm, new_pos);
+        } else if !prevs.is_empty() {
+            let mut dists = mem::take(&mut self.span_dists);
+            let first_new = self.reuse_stack.touch_batch(&prevs, &mut dists);
+            for (i, &target) in slots.iter().enumerate() {
+                let warm = if prevs[i] != ReuseStack::COLD {
+                    Some(dists[i])
+                } else {
+                    None
+                };
+                self.apply_block_touch(op, ts, target, warm, (first_new + i) as u32);
+            }
+            self.span_dists = dists;
+        }
+        self.span_prevs = prevs;
+        self.span_slots = slots;
+
         // Dead stack positions cost one bit each; compact once most are
         // dead so memory stays O(distinct blocks). Distances are
         // invariant under compaction (live order is preserved).
@@ -458,6 +557,78 @@ impl VolumeAnalyzer {
                 }
             }
             self.reuse_stack.rebuild_compacted();
+        }
+    }
+
+    /// Applies one block touch's metric updates: reuse-distance and
+    /// adjacency histograms, per-block byte/update accounting and the
+    /// state refresh. `target` is the pass-1 record (chunk index, slot,
+    /// overlap bytes); `warm` carries the reuse distance for a
+    /// re-touched block, `None` for a first touch (whose cold counters
+    /// were already bumped while claiming the slot).
+    #[inline]
+    fn apply_block_touch(
+        &mut self,
+        op: OpKind,
+        ts: Timestamp,
+        target: (u32, u8, u32),
+        warm: Option<u64>,
+        new_pos: u32,
+    ) {
+        let (ci, slot, overlap) = target;
+        let overlap = u64::from(overlap);
+        let state = &mut self.chunks[ci as usize].states[slot as usize];
+        if let Some(distance) = warm {
+            // Reuse distance over the unified stream, split per op; the
+            // block's stack position rides in its state so the chunk
+            // lookup is the only hash op per touched chunk.
+            state.reuse_pos = new_pos;
+            let hist = match op {
+                OpKind::Read => &mut self.read_distance_hist,
+                OpKind::Write => &mut self.write_distance_hist,
+            };
+            let d = distance as usize;
+            if d >= hist.len() {
+                hist.resize(d + 1, 0);
+            }
+            hist[d] += 1;
+
+            let elapsed = (ts - state.last_ts).as_micros();
+            match (state.last_op, op) {
+                (OpKind::Write, OpKind::Read) => self.raw_hist.record(elapsed),
+                (OpKind::Write, OpKind::Write) => self.waw_hist.record(elapsed),
+                (OpKind::Read, OpKind::Read) => self.rar_hist.record(elapsed),
+                (OpKind::Read, OpKind::Write) => self.war_hist.record(elapsed),
+            }
+            match op {
+                OpKind::Read => state.read_bytes += overlap,
+                OpKind::Write => {
+                    if state.write_count > 0 {
+                        self.update_interval_hist
+                            .record((ts - state.last_write_ts).as_micros());
+                    }
+                    self.updated_bytes += overlap;
+                    state.write_bytes += overlap;
+                    state.write_count += 1;
+                    state.last_write_ts = ts;
+                }
+            }
+            state.last_op = op;
+            state.last_ts = ts;
+        } else {
+            let (read_bytes, write_bytes, write_count) = match op {
+                OpKind::Read => (overlap, 0, 0),
+                OpKind::Write => (0, overlap, 1),
+            };
+            *state = BlockState {
+                read_bytes,
+                write_bytes,
+                last_ts: ts,
+                last_write_ts: ts,
+                write_count,
+                reuse_pos: new_pos,
+                last_op: op,
+            };
         }
     }
 

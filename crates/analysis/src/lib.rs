@@ -37,7 +37,10 @@
 //! assert_eq!(v.wss_update_blocks, 1); // block 0 written twice
 //! ```
 
-#![forbid(unsafe_code)]
+// deny (not forbid): the simd module needs a local allow(unsafe_code)
+// for its core::arch intrinsics and column slice casts, each carrying a
+// SAFETY comment and a scalar reference twin.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -46,6 +49,7 @@ pub mod config;
 pub mod findings;
 pub mod metrics;
 pub mod recommend;
+pub mod simd;
 pub mod windowed;
 
 pub use analyzer::{analyze_trace, VolumeAnalyzer};

@@ -1,0 +1,467 @@
+//! Runtime-dispatched SIMD column kernels for the batched analyzer.
+//!
+//! Each kernel has two implementations: a portable scalar loop (the
+//! reference semantics, also used on non-x86-64 targets) and an AVX2
+//! variant selected at runtime via [`std::arch::is_x86_feature_detected!`]
+//! (the detection result is cached by `std`, so dispatch is a predictable
+//! load-and-branch). The AVX2 variants are *bit-identical* to the scalar
+//! ones — all sums use wrapping arithmetic in both paths, so the pair can
+//! be property-tested for equality on arbitrary inputs (see
+//! `crates/analysis/tests/proptests.rs`).
+//!
+//! The kernels operate on the column representations of
+//! [`cbs_trace::RequestBatch`]: op codes as bytes (guaranteed by
+//! `OpKind`'s `repr(u8)`), timestamps as microsecond `u64`s (guaranteed
+//! by `Timestamp`'s `repr(transparent)`).
+
+use cbs_trace::{OpKind, Timestamp};
+
+/// Aggregate op-mix and traffic statistics for one column run, as
+/// returned by [`op_len_sums`].
+///
+/// All sums use wrapping arithmetic, matching release-mode `+=` on the
+/// equivalent scalar accumulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpLenSums {
+    /// Number of read records.
+    pub reads: u64,
+    /// Number of write records.
+    pub writes: u64,
+    /// Sum of read record lengths, in bytes.
+    pub read_bytes: u64,
+    /// Sum of write record lengths, in bytes.
+    pub write_bytes: u64,
+}
+
+/// Returns `true` when the AVX2 kernels are usable on this machine.
+#[inline]
+fn avx2_enabled() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Views a column of op codes as raw bytes (`Read = 0`, `Write = 1`).
+#[inline]
+pub fn ops_as_bytes(ops: &[OpKind]) -> &[u8] {
+    // SAFETY: `OpKind` is `#[repr(u8)]` with `Read = 0` and `Write = 1`,
+    // so a slice of `OpKind` has exactly the size, alignment and bit
+    // patterns of a slice of `u8` of the same length.
+    #[allow(unsafe_code)]
+    unsafe {
+        std::slice::from_raw_parts(ops.as_ptr().cast::<u8>(), ops.len())
+    }
+}
+
+/// Views a column of timestamps as their microsecond counts.
+#[inline]
+pub fn timestamps_as_micros(timestamps: &[Timestamp]) -> &[u64] {
+    // SAFETY: `Timestamp` is `#[repr(transparent)]` over its `u64`
+    // microsecond count, so a slice of `Timestamp` has exactly the
+    // layout of a slice of `u64` of the same length.
+    #[allow(unsafe_code)]
+    unsafe {
+        std::slice::from_raw_parts(timestamps.as_ptr().cast::<u64>(), timestamps.len())
+    }
+}
+
+/// Counts reads/writes and sums read/write bytes over one column run.
+///
+/// # Panics
+///
+/// Panics if `ops` and `lens` differ in length.
+#[inline]
+pub fn op_len_sums(ops: &[OpKind], lens: &[u32]) -> OpLenSums {
+    assert_eq!(ops.len(), lens.len(), "op and length columns must match");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_enabled() {
+        // SAFETY: AVX2 support was verified at runtime on the line above.
+        #[allow(unsafe_code)]
+        return unsafe { avx2::op_len_sums(ops_as_bytes(ops), lens) };
+    }
+    op_len_sums_scalar(ops, lens)
+}
+
+/// Scalar reference implementation of [`op_len_sums`].
+///
+/// # Panics
+///
+/// Panics if `ops` and `lens` differ in length.
+pub fn op_len_sums_scalar(ops: &[OpKind], lens: &[u32]) -> OpLenSums {
+    assert_eq!(ops.len(), lens.len(), "op and length columns must match");
+    let mut writes = 0u64;
+    let mut write_bytes = 0u64;
+    let mut total_bytes = 0u64;
+    for (&op, &len) in ops.iter().zip(lens) {
+        let len = u64::from(len);
+        total_bytes = total_bytes.wrapping_add(len);
+        if op.is_write() {
+            writes = writes.wrapping_add(1);
+            write_bytes = write_bytes.wrapping_add(len);
+        }
+    }
+    OpLenSums {
+        reads: (ops.len() as u64).wrapping_sub(writes),
+        writes,
+        read_bytes: total_bytes.wrapping_sub(write_bytes),
+        write_bytes,
+    }
+}
+
+/// Packs the write bits of one op column into LSB-first 64-bit words.
+///
+/// Bit `i % 64` of `out[i / 64]` is set iff record `i` is a write. The
+/// final partial word, if any, has its unused high bits clear. `out` is
+/// cleared and resized to exactly `ceil(ops.len() / 64)` words.
+#[inline]
+pub fn write_mask(ops: &[OpKind], out: &mut Vec<u64>) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_enabled() {
+        // SAFETY: AVX2 support was verified at runtime on the line above.
+        #[allow(unsafe_code)]
+        unsafe {
+            avx2::write_mask(ops_as_bytes(ops), out);
+        }
+        return;
+    }
+    write_mask_scalar(ops, out);
+}
+
+/// Scalar reference implementation of [`write_mask`].
+pub fn write_mask_scalar(ops: &[OpKind], out: &mut Vec<u64>) {
+    out.clear();
+    out.resize(ops.len().div_ceil(64), 0);
+    for (i, &op) in ops.iter().enumerate() {
+        if op.is_write() {
+            out[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+}
+
+/// Wrapping first differences: `out[0] = values[0] - prev`,
+/// `out[i] = values[i] - values[i - 1]` for `i > 0`.
+///
+/// `out` is cleared and resized to `values.len()`. For non-decreasing
+/// inputs (timestamp columns) the wrapping subtraction never wraps and
+/// the results are the plain inter-arrival gaps.
+#[inline]
+pub fn deltas_u64(values: &[u64], prev: u64, out: &mut Vec<u64>) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_enabled() {
+        // SAFETY: AVX2 support was verified at runtime on the line above.
+        #[allow(unsafe_code)]
+        unsafe {
+            avx2::deltas_u64(values, prev, out);
+        }
+        return;
+    }
+    deltas_u64_scalar(values, prev, out);
+}
+
+/// Scalar reference implementation of [`deltas_u64`].
+pub fn deltas_u64_scalar(values: &[u64], prev: u64, out: &mut Vec<u64>) {
+    out.clear();
+    out.reserve(values.len());
+    let mut last = prev;
+    for &v in values {
+        out.push(v.wrapping_sub(last));
+        last = v;
+    }
+}
+
+/// Returns `true` iff any element of `haystack` lies in `[lo, hi]`
+/// (inclusive, unsigned).
+///
+/// An empty haystack or an empty range (`lo > hi`) yields `false`.
+#[inline]
+pub fn any_within(haystack: &[u64], lo: u64, hi: u64) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_enabled() {
+        // SAFETY: AVX2 support was verified at runtime on the line above.
+        #[allow(unsafe_code)]
+        return unsafe { avx2::any_within(haystack, lo, hi) };
+    }
+    any_within_scalar(haystack, lo, hi)
+}
+
+/// Scalar reference implementation of [`any_within`].
+pub fn any_within_scalar(haystack: &[u64], lo: u64, hi: u64) -> bool {
+    haystack.iter().any(|&v| lo <= v && v <= hi)
+}
+
+/// AVX2 implementations. Every function is `unsafe` because it compiles
+/// with `#[target_feature(enable = "avx2")]`: the caller must have
+/// verified AVX2 support at runtime (done by the dispatchers above).
+//
+// allow (not forbid) at module granularity: the whole point of this
+// module is `core::arch` intrinsics, each call site carries a SAFETY
+// comment and the scalar twins define the reference semantics.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[deny(unsafe_op_in_unsafe_fn)]
+mod avx2 {
+    use std::arch::x86_64::{
+        __m128i, __m256i, _mm256_add_epi64, _mm256_and_si256, _mm256_castsi256_si128,
+        _mm256_cmpeq_epi64, _mm256_cmpeq_epi8, _mm256_cmpgt_epi64, _mm256_cvtepu32_epi64,
+        _mm256_cvtepu8_epi64, _mm256_extracti128_si256, _mm256_loadu_si256, _mm256_movemask_epi8,
+        _mm256_or_si256, _mm256_set1_epi64x, _mm256_set1_epi8, _mm256_setzero_si256,
+        _mm256_storeu_si256, _mm256_sub_epi64, _mm256_xor_si256, _mm_add_epi64, _mm_cvtsi128_si64,
+        _mm_cvtsi32_si128, _mm_loadu_si128, _mm_unpackhi_epi64,
+    };
+
+    use super::OpLenSums;
+
+    /// Sums the four `u64` lanes of `v` with wrapping adds.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum_epi64(v: __m256i) -> u64 {
+        // Register-only lane extraction: safe under the avx2 target
+        // feature, no memory access involved.
+        let lo = _mm256_castsi256_si128(v);
+        let hi = _mm256_extracti128_si256::<1>(v);
+        let s = _mm_add_epi64(lo, hi);
+        let s = _mm_add_epi64(s, _mm_unpackhi_epi64(s, s));
+        _mm_cvtsi128_si64(s) as u64
+    }
+
+    /// AVX2 twin of [`super::op_len_sums_scalar`]; `ops` are raw op
+    /// bytes (`0` read / `1` write), same length as `lens`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn op_len_sums(ops: &[u8], lens: &[u32]) -> OpLenSums {
+        debug_assert_eq!(ops.len(), lens.len());
+        let n = ops.len();
+        let mut i = 0usize;
+        // SAFETY: every load below reads 4 op bytes / 4 lengths at
+        // offset `i` with `i + 4 <= n`, in bounds of both slices.
+        unsafe {
+            let ones = _mm256_set1_epi64x(1);
+            let mut write_acc = _mm256_setzero_si256();
+            let mut write_byte_acc = _mm256_setzero_si256();
+            let mut total_byte_acc = _mm256_setzero_si256();
+            while i + 4 <= n {
+                let op4 = _mm_cvtsi32_si128(i32::from_le_bytes([
+                    *ops.get_unchecked(i),
+                    *ops.get_unchecked(i + 1),
+                    *ops.get_unchecked(i + 2),
+                    *ops.get_unchecked(i + 3),
+                ]));
+                let op_w = _mm256_cvtepu8_epi64(op4);
+                let len_w =
+                    _mm256_cvtepu32_epi64(_mm_loadu_si128(lens.as_ptr().add(i).cast::<__m128i>()));
+                // op bytes are 0/1, so the lane itself is the write count
+                // and an all-ones compare mask selects write lengths.
+                write_acc = _mm256_add_epi64(write_acc, op_w);
+                let is_write = _mm256_cmpeq_epi64(op_w, ones);
+                write_byte_acc =
+                    _mm256_add_epi64(write_byte_acc, _mm256_and_si256(len_w, is_write));
+                total_byte_acc = _mm256_add_epi64(total_byte_acc, len_w);
+                i += 4;
+            }
+            let mut writes = hsum_epi64(write_acc);
+            let mut write_bytes = hsum_epi64(write_byte_acc);
+            let mut total_bytes = hsum_epi64(total_byte_acc);
+            while i < n {
+                let len = u64::from(*lens.get_unchecked(i));
+                total_bytes = total_bytes.wrapping_add(len);
+                if *ops.get_unchecked(i) == 1 {
+                    writes = writes.wrapping_add(1);
+                    write_bytes = write_bytes.wrapping_add(len);
+                }
+                i += 1;
+            }
+            OpLenSums {
+                reads: (n as u64).wrapping_sub(writes),
+                writes,
+                read_bytes: total_bytes.wrapping_sub(write_bytes),
+                write_bytes,
+            }
+        }
+    }
+
+    /// AVX2 twin of [`super::write_mask_scalar`]; `ops` are raw op bytes.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn write_mask(ops: &[u8], out: &mut Vec<u64>) {
+        let n = ops.len();
+        out.clear();
+        out.resize(n.div_ceil(64), 0);
+        let mut i = 0usize;
+        // SAFETY: each 32-byte load reads `ops[i..i + 32]` with
+        // `i + 32 <= n`; each store writes word `i / 64`, in bounds
+        // because `i < n` and `out` holds `ceil(n / 64)` words.
+        unsafe {
+            let ones = _mm256_set1_epi8(1);
+            while i + 32 <= n {
+                let bytes = _mm256_loadu_si256(ops.as_ptr().add(i).cast::<__m256i>());
+                let mask = _mm256_movemask_epi8(_mm256_cmpeq_epi8(bytes, ones)) as u32;
+                *out.get_unchecked_mut(i / 64) |= u64::from(mask) << (i % 64);
+                i += 32;
+            }
+        }
+        for (j, &b) in ops.iter().enumerate().skip(i) {
+            if b == 1 {
+                out[j / 64] |= 1u64 << (j % 64);
+            }
+        }
+    }
+
+    /// AVX2 twin of [`super::deltas_u64_scalar`].
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn deltas_u64(values: &[u64], prev: u64, out: &mut Vec<u64>) {
+        let n = values.len();
+        out.clear();
+        out.resize(n, 0);
+        if n == 0 {
+            return;
+        }
+        out[0] = values[0].wrapping_sub(prev);
+        let mut i = 1usize;
+        // SAFETY: loads read `values[i - 1..i + 3]` and `values[i..i + 4]`
+        // and the store writes `out[i..i + 4]`, all in bounds while
+        // `i + 4 <= n`; `out` was resized to `n` above.
+        unsafe {
+            while i + 4 <= n {
+                let cur = _mm256_loadu_si256(values.as_ptr().add(i).cast::<__m256i>());
+                let before = _mm256_loadu_si256(values.as_ptr().add(i - 1).cast::<__m256i>());
+                _mm256_storeu_si256(
+                    out.as_mut_ptr().add(i).cast::<__m256i>(),
+                    _mm256_sub_epi64(cur, before),
+                );
+                i += 4;
+            }
+        }
+        while i < n {
+            out[i] = values[i].wrapping_sub(values[i - 1]);
+            i += 1;
+        }
+    }
+
+    /// AVX2 twin of [`super::any_within_scalar`].
+    ///
+    /// AVX2 has no unsigned 64-bit compare, so lanes are biased by the
+    /// sign bit (an order-preserving map from unsigned to signed) and
+    /// compared with `cmpgt_epi64`; a lane is in `[lo, hi]` iff neither
+    /// `lo > v` nor `v > hi`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn any_within(haystack: &[u64], lo: u64, hi: u64) -> bool {
+        let n = haystack.len();
+        let mut i = 0usize;
+        // SAFETY: each 32-byte load reads `haystack[i..i + 4]` with
+        // `i + 4 <= n`, in bounds.
+        unsafe {
+            let bias = _mm256_set1_epi64x(i64::MIN);
+            let lo_b = _mm256_xor_si256(_mm256_set1_epi64x(lo as i64), bias);
+            let hi_b = _mm256_xor_si256(_mm256_set1_epi64x(hi as i64), bias);
+            while i + 4 <= n {
+                let v = _mm256_loadu_si256(haystack.as_ptr().add(i).cast::<__m256i>());
+                let v_b = _mm256_xor_si256(v, bias);
+                let below = _mm256_cmpgt_epi64(lo_b, v_b);
+                let above = _mm256_cmpgt_epi64(v_b, hi_b);
+                if _mm256_movemask_epi8(_mm256_or_si256(below, above)) != -1 {
+                    return true;
+                }
+                i += 4;
+            }
+        }
+        haystack[i..].iter().any(|&v| lo <= v && v <= hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops_of(bits: &[u8]) -> Vec<OpKind> {
+        bits.iter()
+            .map(|&b| if b == 1 { OpKind::Write } else { OpKind::Read })
+            .collect()
+    }
+
+    #[test]
+    fn column_casts_preserve_values() {
+        let ops = ops_of(&[0, 1, 1, 0, 1]);
+        assert_eq!(ops_as_bytes(&ops), &[0, 1, 1, 0, 1]);
+        let ts: Vec<Timestamp> = [5u64, 0, u64::MAX]
+            .iter()
+            .map(|&m| Timestamp::from_micros(m))
+            .collect();
+        assert_eq!(timestamps_as_micros(&ts), &[5, 0, u64::MAX]);
+        assert!(ops_as_bytes(&[]).is_empty());
+        assert!(timestamps_as_micros(&[]).is_empty());
+    }
+
+    #[test]
+    fn op_len_sums_matches_scalar_on_odd_lengths() {
+        // Lengths straddling every tail case of the 4-wide kernel.
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 31, 32, 33, 100] {
+            let ops = ops_of(&(0..n).map(|i| (i % 3 == 0) as u8).collect::<Vec<_>>());
+            let lens: Vec<u32> = (0..n)
+                .map(|i| (i as u32).wrapping_mul(0x9e37) | 1)
+                .collect();
+            let fast = op_len_sums(&ops, &lens);
+            let slow = op_len_sums_scalar(&ops, &lens);
+            assert_eq!(fast, slow, "n={n}");
+            assert_eq!(fast.reads + fast.writes, n as u64);
+        }
+    }
+
+    #[test]
+    fn write_mask_matches_scalar_and_packs_lsb_first() {
+        for n in [0usize, 1, 63, 64, 65, 96, 128, 200] {
+            let ops = ops_of(&(0..n).map(|i| (i % 5 == 0) as u8).collect::<Vec<_>>());
+            let mut fast = Vec::new();
+            let mut slow = Vec::new();
+            write_mask(&ops, &mut fast);
+            write_mask_scalar(&ops, &mut slow);
+            assert_eq!(fast, slow, "n={n}");
+            assert_eq!(fast.len(), n.div_ceil(64));
+            if n > 0 {
+                assert_eq!(fast[0] & 1, 1, "record 0 is a write");
+            }
+        }
+    }
+
+    #[test]
+    fn deltas_match_scalar_including_wraparound() {
+        let values: Vec<u64> = vec![10, 10, 25, u64::MAX, 3, 1 << 50, 7, 7, 7, 9];
+        for n in 0..=values.len() {
+            let mut fast = Vec::new();
+            let mut slow = Vec::new();
+            deltas_u64(&values[..n], 4, &mut fast);
+            deltas_u64_scalar(&values[..n], 4, &mut slow);
+            assert_eq!(fast, slow, "n={n}");
+        }
+        let mut d = Vec::new();
+        deltas_u64(&[100, 160], 40, &mut d);
+        assert_eq!(d, vec![60, 60]);
+    }
+
+    #[test]
+    fn any_within_matches_scalar_on_boundaries() {
+        let hay: Vec<u64> = vec![0, 5, 17, 1 << 40, u64::MAX - 1, 9, 9, 9];
+        let probes = [
+            (0u64, 0u64),
+            (1, 4),
+            (5, 5),
+            (18, 1 << 39),
+            (u64::MAX, u64::MAX),
+            (0, u64::MAX),
+            (6, 3), // empty range
+        ];
+        for n in 0..=hay.len() {
+            for &(lo, hi) in &probes {
+                assert_eq!(
+                    any_within(&hay[..n], lo, hi),
+                    any_within_scalar(&hay[..n], lo, hi),
+                    "n={n} lo={lo} hi={hi}"
+                );
+            }
+        }
+        assert!(!any_within(&[], 0, u64::MAX));
+        assert!(any_within(&[7], 7, 7));
+    }
+}

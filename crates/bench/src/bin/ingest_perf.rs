@@ -22,6 +22,14 @@
 //! `parallel_1_thread`. Every phase records the thread count it
 //! actually used.
 //!
+//! `--shards 1,2,4,8` sets the shard counts the orchestrator sweeps
+//! through `stream-shards` phases (one subprocess per count), producing
+//! the scaling curve in `EXPERIMENTS.md` together with the per-shard
+//! load split and imbalance the skew-aware router achieved. The
+//! `stream-cbt-mmap` phase measures the zero-copy re-ingest path:
+//! `Mmap` + `CbtSliceReader` lending borrowed batches straight to
+//! `observe_request_batch_ref`, no per-batch row materialization.
+//!
 //! Each phase prints a single-line JSON object; the orchestrator
 //! assembles them into `BENCH_ingest.json`. Streaming phases attach a
 //! `cbs-obs` registry and embed its export under `"metrics"` plus
@@ -36,7 +44,7 @@ use cbs_core::{StreamingWorkbench, Workbench};
 use cbs_obs::{Registry, Stopwatch};
 use cbs_synth::presets::{self, CorpusConfig};
 use cbs_trace::codec::alicloud::{AliCloudReader, AliCloudWriter};
-use cbs_trace::{CbtReader, CbtWriter, ParallelDecoder, RequestBatch, Trace};
+use cbs_trace::{CbtReader, CbtSliceReader, CbtWriter, Mmap, ParallelDecoder, RequestBatch, Trace};
 
 /// A corpus whose lazy stream comfortably exceeds the largest
 /// `--stream` target so `.take(n)` yields exactly `n` requests.
@@ -236,6 +244,115 @@ fn phase_stream_cbt(millions: u64) {
     );
 }
 
+/// Convert `millions`M requests to a CBT file (untimed), then time the
+/// zero-copy re-ingest: mmap the file, decode each block in place with
+/// [`CbtSliceReader`], and lend the borrowed columns straight to the
+/// router via `observe_request_batch_ref` — no read syscalls in the
+/// loop and no per-batch row materialization.
+fn phase_stream_cbt_mmap(millions: u64) {
+    let n = (millions * 1_000_000) as usize;
+    let path = std::env::temp_dir().join(format!("ingest_perf_mmap_{}.cbt", std::process::id()));
+    {
+        let file = std::fs::File::create(&path).expect("create temp cbt");
+        let mut writer = CbtWriter::new(std::io::BufWriter::new(file));
+        for req in big_corpus().stream().take(n) {
+            writer.write_request(&req).expect("encode cbt");
+        }
+        writer
+            .finish()
+            .expect("finish cbt")
+            .flush()
+            .expect("flush cbt");
+    }
+    let cbt_bytes = std::fs::metadata(&path).expect("stat temp cbt").len();
+
+    let registry = Registry::new();
+    let workbench = StreamingWorkbench::new().with_registry(&registry);
+    let shards = workbench.shards();
+    let start = Instant::now();
+    let mut session = workbench.start();
+    let map = Mmap::open(&path).expect("map temp cbt");
+    let mut reader = CbtSliceReader::new(&map).with_registry(&registry);
+    let (mut decode_nanos, mut route_nanos) = (0u64, 0u64);
+    loop {
+        let clock = Stopwatch::start();
+        let batch = reader.read_batch_ref().expect("decode cbt");
+        decode_nanos += clock.elapsed_nanos();
+        let Some(batch) = batch else { break };
+        let clock = Stopwatch::start();
+        session.observe_request_batch_ref(batch);
+        route_nanos += clock.elapsed_nanos();
+    }
+    let observed = session.observed();
+    let volumes = session.finish().len();
+    let secs = start.elapsed().as_secs_f64();
+    drop(map);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(observed, n as u64, "cbt file shorter than written");
+    println!(
+        "{{\"phase\":\"stream_cbt_mmap\",\"requests\":{observed},\"volumes\":{volumes},\
+         \"n_threads\":{shards},\"cbt_bytes\":{cbt_bytes},\"seconds\":{secs:.3},\
+         \"requests_per_sec\":{:.0},\
+         \"stages\":{{\"decode_nanos\":{decode_nanos},\"route_nanos\":{route_nanos}}},\
+         \"metrics\":{},\"peak_rss_kb\":{}}}",
+        observed as f64 / secs,
+        registry.to_json(),
+        peak_rss_kb()
+    );
+}
+
+/// Stream-analyze `millions`M requests through exactly `shards` worker
+/// shards, fed as columnar batches, and report the per-shard load split
+/// the skew-aware router produced. One subprocess per shard count gives
+/// the scaling curve in `EXPERIMENTS.md`.
+fn phase_stream_shards(millions: u64, shards: usize) {
+    const FEED_BATCH: usize = 8192;
+    let n = (millions * 1_000_000) as usize;
+    let registry = Registry::new();
+    let workbench = StreamingWorkbench::new()
+        .with_shards(shards)
+        .with_registry(&registry);
+    let shards = workbench.shards();
+    let start = Instant::now();
+    let mut session = workbench.start();
+    let mut feed = RequestBatch::with_capacity(FEED_BATCH);
+    for req in big_corpus().stream().take(n) {
+        feed.push(&req);
+        if feed.len() == FEED_BATCH {
+            session.observe_request_batch(&feed);
+            feed.clear();
+        }
+    }
+    session.observe_request_batch(&feed);
+    let observed = session.observed();
+    let volumes = session.finish().len();
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(observed, n as u64, "corpus smaller than requested target");
+    let loads: Vec<u64> = (0..shards)
+        .map(|s| registry.counter(&format!("stream.shard{s}.requests")).get())
+        .collect();
+    assert_eq!(loads.iter().sum::<u64>(), observed, "shard loads diverge");
+    // Imbalance: hottest shard relative to a perfectly even split
+    // (1.0 = perfect; `shards` = everything on one worker).
+    let imbalance =
+        loads.iter().copied().max().unwrap_or(0) as f64 / (observed as f64 / shards as f64);
+    let loads_json = loads
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    println!(
+        "{{\"phase\":\"stream_shards\",\"requests\":{observed},\"volumes\":{volumes},\
+         \"shards\":{shards},\"seconds\":{secs:.3},\"requests_per_sec\":{:.0},\
+         \"shard_requests\":[{loads_json}],\"imbalance\":{imbalance:.3},\
+         \"backpressure_nanos\":{},\"wall_nanos\":{},\"peak_rss_kb\":{}}}",
+        observed as f64 / secs,
+        registry.counter("stream.backpressure_nanos").get(),
+        (secs * 1e9) as u64,
+        peak_rss_kb()
+    );
+}
+
 /// Materialize the same `millions`M requests into a `Trace`, then
 /// batch-analyze — the memory baseline the streaming path avoids.
 fn phase_batch(millions: u64) {
@@ -312,6 +429,29 @@ fn phase_decode(millions: u64, threads: usize) {
         }
         total
     });
+    // Zero-copy decode: borrowed batches over the in-memory buffer,
+    // then the same thing over an mmapped file (the page-cache path).
+    let cbt_slice_secs = time(&|| {
+        let mut reader = CbtSliceReader::new(&cbt[..]);
+        let mut total = 0u64;
+        while let Some(batch) = reader.read_batch_ref().unwrap() {
+            total += batch.len() as u64;
+        }
+        total
+    });
+    let path = std::env::temp_dir().join(format!("ingest_perf_decode_{}.cbt", std::process::id()));
+    std::fs::write(&path, &cbt).expect("write temp cbt");
+    let map = Mmap::open(&path).expect("map temp cbt");
+    let cbt_mmap_secs = time(&|| {
+        let mut reader = CbtSliceReader::new(&map);
+        let mut total = 0u64;
+        while let Some(batch) = reader.read_batch_ref().unwrap() {
+            total += batch.len() as u64;
+        }
+        total
+    });
+    drop(map);
+    let _ = std::fs::remove_file(&path);
 
     let mb = bytes as f64 / (1u64 << 20) as f64;
     let cbt_mb = cbt_bytes as f64 / (1u64 << 20) as f64;
@@ -333,6 +473,10 @@ fn phase_decode(millions: u64, threads: usize) {
          {parn_json},\
          \"cbt\":{{\"seconds\":{cbt_secs:.3},\"mb_per_sec\":{:.1},\"csv_equiv_mb_per_sec\":{:.1},\
          \"records_per_sec\":{:.0},\"speedup_vs_csv_sequential\":{:.2}}},\
+         \"cbt_slice\":{{\"seconds\":{cbt_slice_secs:.3},\"mb_per_sec\":{:.1},\
+         \"records_per_sec\":{:.0},\"speedup_vs_cbt_buffered\":{:.2}}},\
+         \"cbt_mmap\":{{\"seconds\":{cbt_mmap_secs:.3},\"mb_per_sec\":{:.1},\
+         \"records_per_sec\":{:.0},\"speedup_vs_cbt_buffered\":{:.2}}},\
          \"peak_rss_kb\":{}}}",
         mb / seq,
         n as f64 / seq,
@@ -342,6 +486,12 @@ fn phase_decode(millions: u64, threads: usize) {
         mb / cbt_secs,
         n as f64 / cbt_secs,
         seq / cbt_secs,
+        cbt_mb / cbt_slice_secs,
+        n as f64 / cbt_slice_secs,
+        cbt_secs / cbt_slice_secs,
+        cbt_mb / cbt_mmap_secs,
+        n as f64 / cbt_mmap_secs,
+        cbt_secs / cbt_mmap_secs,
         peak_rss_kb()
     );
 }
@@ -411,6 +561,28 @@ fn phase_smoke() {
     let from_cbt = session.finish();
     assert_eq!(from_cbt, batch.metrics(), "CBT-fed metrics diverge");
 
+    // Zero-copy path: mmap the same stream from a real file and lend
+    // borrowed batches straight to a fresh session. Also times the
+    // wall clock so the backpressure budget below has a denominator.
+    let path = std::env::temp_dir().join(format!("ingest_perf_smoke_{}.cbt", std::process::id()));
+    std::fs::write(&path, &cbt).expect("write temp cbt");
+    let map = Mmap::open(&path).expect("map temp cbt");
+    let bp_registry = Registry::new();
+    let mut session = StreamingWorkbench::new()
+        .with_registry(&bp_registry)
+        .start();
+    let clock = Stopwatch::start();
+    let mut reader = CbtSliceReader::new(&map);
+    while let Some(b) = reader.read_batch_ref().unwrap() {
+        session.observe_request_batch_ref(b);
+    }
+    assert_eq!(session.observed(), N as u64);
+    let from_mmap = session.finish();
+    let mmap_wall_nanos = clock.elapsed_nanos();
+    assert_eq!(from_mmap, batch.metrics(), "mmap-fed metrics diverge");
+    drop(map);
+    let _ = std::fs::remove_file(&path);
+
     // Registry reconciliation: every independently counted stage agrees
     // with ground truth, and the export is deterministic.
     assert_eq!(registry.counter("cbt.records").get(), N as u64);
@@ -447,14 +619,61 @@ fn phase_smoke() {
             "poisoned CBT reader produced a non-error read"
         );
     }
+    // The zero-copy reader must reject the same corruption and stay
+    // poisoned too — borrowed batches are not allowed to be sloppier.
+    let mut sliced = CbtSliceReader::new(&damaged[..]);
+    let mut slice_clean = 0u64;
+    loop {
+        match sliced.read_batch_ref() {
+            Ok(Some(b)) => slice_clean += b.len() as u64,
+            Ok(None) => panic!("corrupt CBT stream ended as a clean EOF (slice reader)"),
+            Err(_) => break,
+        }
+    }
+    assert!(slice_clean < N as u64, "slice reader missed the corruption");
+    for _ in 0..3 {
+        assert!(
+            sliced.read_batch_ref().is_err(),
+            "poisoned slice reader produced a non-error read"
+        );
+    }
+
+    // CI budgets, env-overridable so slow machines can loosen them:
+    // a streaming throughput floor and a cap on the fraction of the
+    // mmap-fed wall clock spent blocked on full shard channels.
+    let env_f64 = |name: &str, default: f64| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let rps = N as f64 / secs;
+    let min_rps = env_f64("INGEST_SMOKE_MIN_RPS", 100_000.0);
+    assert!(
+        rps >= min_rps,
+        "streaming ingest too slow: {rps:.0} req/s < floor {min_rps:.0} \
+         (override with INGEST_SMOKE_MIN_RPS)"
+    );
+    let bp_nanos = bp_registry.counter("stream.backpressure_nanos").get();
+    let bp_ratio = bp_nanos as f64 / mmap_wall_nanos as f64;
+    let max_bp = env_f64("INGEST_SMOKE_MAX_BACKPRESSURE", 0.9);
+    assert!(
+        bp_ratio <= max_bp,
+        "backpressure ate {:.0}% of the mmap-fed wall clock (budget {:.0}%; \
+         override with INGEST_SMOKE_MAX_BACKPRESSURE)",
+        bp_ratio * 100.0,
+        max_bp * 100.0
+    );
 
     println!(
         "smoke ok: {N} requests, cbt {} bytes ({:.2}x vs csv), \
-         round-trip + equivalence + metrics reconciliation + poison gate \
-         verified, {:.0} req/s streaming",
+         round-trip + equivalence (buffered, CBT-fed, mmap-fed) + metrics \
+         reconciliation + poison gates verified, {rps:.0} req/s streaming \
+         (floor {min_rps:.0}), backpressure {:.1}% of wall (budget {:.0}%)",
         cbt.len(),
         csv.len() as f64 / cbt.len() as f64,
-        N as f64 / secs
+        bp_ratio * 100.0,
+        max_bp * 100.0
     );
 }
 
@@ -465,6 +684,7 @@ fn orchestrate(
     batch_millions: &[u64],
     decode_millions: u64,
     threads: usize,
+    shard_list: &[usize],
 ) {
     let exe = std::env::current_exe().expect("current_exe");
     let run = |args: &[String]| -> String {
@@ -497,6 +717,15 @@ fn orchestrate(
     }
     results.push(run(&["stream-batched".into(), 10.to_string()]));
     results.push(run(&["stream-cbt".into(), 10.to_string()]));
+    results.push(run(&["stream-cbt-mmap".into(), 10.to_string()]));
+    for &s in shard_list {
+        results.push(run(&[
+            "stream-shards".into(),
+            10.to_string(),
+            "--shards".into(),
+            s.to_string(),
+        ]));
+    }
     for &m in stream_millions {
         results.push(run(&["stream-bounded".into(), m.to_string()]));
     }
@@ -532,6 +761,24 @@ fn main() {
             }
         }
     }
+    let mut shard_list: Vec<usize> = vec![1, 2, 4, 8];
+    if let Some(i) = args.iter().position(|a| a == "--shards") {
+        let parsed: Option<Vec<usize>> = args.get(i + 1).and_then(|list| {
+            list.split(',')
+                .map(|p| p.trim().parse::<usize>().ok().filter(|&n| n >= 1))
+                .collect()
+        });
+        match parsed {
+            Some(list) if !list.is_empty() => {
+                shard_list = list;
+                args.drain(i..=i + 1);
+            }
+            _ => {
+                eprintln!("--shards expects a comma-separated list of positive integers");
+                std::process::exit(2);
+            }
+        }
+    }
     let millions = |i: usize, default: u64| -> u64 {
         args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
     };
@@ -539,17 +786,19 @@ fn main() {
         Some("stream") => phase_stream(millions(1, 10), false),
         Some("stream-batched") => phase_stream_batched(millions(1, 10)),
         Some("stream-cbt") => phase_stream_cbt(millions(1, 10)),
+        Some("stream-cbt-mmap") => phase_stream_cbt_mmap(millions(1, 10)),
+        Some("stream-shards") => phase_stream_shards(millions(1, 10), shard_list[0]),
         Some("stream-bounded") => phase_stream(millions(1, 10), true),
         Some("batch") => phase_batch(millions(1, 10)),
         Some("decode") => phase_decode(millions(1, 2), threads),
         Some("smoke") => phase_smoke(),
         Some(other) => {
             eprintln!(
-                "unknown phase {other:?}; expected \
-                 stream|stream-batched|stream-cbt|stream-bounded|batch|decode|smoke"
+                "unknown phase {other:?}; expected stream|stream-batched|stream-cbt|\
+                 stream-cbt-mmap|stream-shards|stream-bounded|batch|decode|smoke"
             );
             std::process::exit(2);
         }
-        None => orchestrate(&[2, 10, 20], &[10, 20], 2, threads),
+        None => orchestrate(&[2, 10, 20], &[10, 20], 2, threads, &shard_list),
     }
 }

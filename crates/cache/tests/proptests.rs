@@ -37,6 +37,18 @@ fn arb_requests() -> impl Strategy<Value = Vec<IoRequest>> {
     })
 }
 
+/// Arbitrary span-shaped access batches for `touch_batch`: each batch
+/// covers `span` consecutive blocks starting at `start` (distinct
+/// within the batch, arbitrarily warm or cold across batches).
+fn arb_spans() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::strategy::FnStrategy(|rng: &mut proptest::test_runner::TestRng| {
+        let len = 1 + rng.below(80) as usize;
+        (0..len)
+            .map(|_| (rng.below(120), 1 + rng.below(9)))
+            .collect()
+    })
+}
+
 /// Replays `stream` through `cache`, asserting the universal policy
 /// invariants at every step, and returns the number of hits.
 fn replay<P: CachePolicy>(mut cache: P, stream: &[u64]) -> u64 {
@@ -146,6 +158,56 @@ proptest! {
         let finite: u64 = rd.histogram().iter().sum();
         prop_assert_eq!(finite + rd.cold_misses(), rd.accesses());
         prop_assert_eq!(rd.accesses(), stream.len() as u64);
+    }
+
+    /// `ReuseStack::touch_batch` is bit-identical to the equivalent
+    /// sequence of `touch`/`touch_cold` calls on arbitrary span-shaped
+    /// batches (distinct blocks within a batch, arbitrary warm/cold mix
+    /// across batches), including across compactions.
+    #[test]
+    fn reuse_touch_batch_equals_sequential(batches in arb_spans()) {
+        let mut seq = cbs_cache::ReuseStack::new();
+        let mut bat = cbs_cache::ReuseStack::new();
+        let mut seq_pos = std::collections::HashMap::new();
+        let mut bat_pos = std::collections::HashMap::new();
+        let mut dists = Vec::new();
+        for &(start, span) in &batches {
+            let blocks: Vec<u64> = (start..start + span).collect();
+            let mut want: Vec<u64> = Vec::new();
+            for &blk in &blocks {
+                match seq_pos.get(&blk).copied() {
+                    Some(prev) => {
+                        let (d, np) = seq.touch(prev);
+                        want.push(d);
+                        seq_pos.insert(blk, np);
+                    }
+                    None => {
+                        want.push(u64::MAX);
+                        seq_pos.insert(blk, seq.touch_cold());
+                    }
+                }
+            }
+            let prevs: Vec<usize> = blocks
+                .iter()
+                .map(|blk| bat_pos.get(blk).copied().unwrap_or(cbs_cache::ReuseStack::COLD))
+                .collect();
+            let first = bat.touch_batch(&prevs, &mut dists);
+            for (i, &blk) in blocks.iter().enumerate() {
+                bat_pos.insert(blk, first + i);
+            }
+            prop_assert_eq!(&dists, &want);
+            prop_assert_eq!(bat.live(), seq.live());
+            prop_assert_eq!(bat.positions(), seq.positions());
+            prop_assert_eq!(bat.should_compact(), seq.should_compact());
+            if bat.should_compact() {
+                let st = seq.compaction_table();
+                for p in seq_pos.values_mut() { *p = st[*p] as usize; }
+                seq.rebuild_compacted();
+                let bt = bat.compaction_table();
+                for p in bat_pos.values_mut() { *p = bt[*p] as usize; }
+                bat.rebuild_compacted();
+            }
+        }
     }
 
     /// Belady's OPT never loses to any online demand policy.

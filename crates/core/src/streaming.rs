@@ -140,7 +140,10 @@ impl StreamingWorkbench {
     }
 
     /// Sets the number of shard worker threads (min 1). Volumes are
-    /// routed to shards by `volume id mod shards`.
+    /// assigned to shards on first touch, each new volume joining the
+    /// shard with the least routed traffic so far (skew-aware: one hot
+    /// volume no longer drags every volume sharing its residue class
+    /// onto the same worker, as the old `id mod shards` routing did).
     #[must_use]
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
@@ -174,9 +177,11 @@ impl StreamingWorkbench {
     }
 
     /// Publishes pipeline metrics into `registry`: per session
-    /// `stream.observed`, `stream.batches`, and
+    /// `stream.observed`, `stream.batches`,
     /// `stream.backpressure_nanos` (time the producer spent blocked on
-    /// full shard channels), plus per shard `stream.shard<i>.requests`,
+    /// full shard channels), and the `stream.shards` gauge (the
+    /// configured shard count, so exported metric sets are
+    /// self-describing), plus per shard `stream.shard<i>.requests`,
     /// `.batches`, `.analyze_nanos` (worker time spent feeding
     /// analyzers), `.inflight` (current channel depth), and
     /// `.inflight_hwm` (its high-water mark).
@@ -225,12 +230,15 @@ impl StreamingWorkbench {
         }
         StreamingSession {
             buffers: senders.iter().map(|_| RequestBatch::new()).collect(),
+            shard_loads: vec![0; senders.len()],
             senders,
             handles,
             batch_size: self.batch_size,
             epoch: self.epoch,
             observed: 0,
             poisoned: false,
+            route: FxHashMap::default(),
+            last_route: None,
             metrics,
         }
     }
@@ -267,6 +275,7 @@ struct SessionMetrics {
 
 impl SessionMetrics {
     fn new(registry: &Registry, shards: usize) -> Self {
+        registry.gauge("stream.shards").set(shards as u64);
         SessionMetrics {
             observed: registry.counter("stream.observed"),
             batches: registry.counter("stream.batches"),
@@ -322,6 +331,15 @@ pub struct StreamingSession {
     epoch: Option<Timestamp>,
     observed: u64,
     poisoned: bool,
+    /// Sticky volume → shard assignment built on first touch (see
+    /// [`route_volume`](Self::route_volume)).
+    route: FxHashMap<VolumeId, u32>,
+    /// Requests routed to each shard so far — the load signal driving
+    /// first-touch assignment.
+    shard_loads: Vec<u64>,
+    /// One-entry route cache: consecutive requests overwhelmingly share
+    /// a volume, so most routes skip the hash lookup entirely.
+    last_route: Option<(VolumeId, u32)>,
     metrics: Option<SessionMetrics>,
 }
 
@@ -345,7 +363,7 @@ impl StreamingSession {
             // batch path's `trace.start()`.
             self.epoch = Some(req.ts());
         }
-        let shard = req.volume().as_usize() % self.senders.len();
+        let shard = self.route_volume(req.volume());
         self.observed += 1;
         self.buffers[shard].push(&req);
         if self.buffers[shard].len() >= self.batch_size {
@@ -365,6 +383,14 @@ impl StreamingSession {
     /// [`cbs_trace::CbtReader`] block), routing by the volume column
     /// without materializing per-request structs.
     pub fn observe_request_batch(&mut self, batch: &RequestBatch) {
+        self.observe_request_batch_ref(batch.as_ref());
+    }
+
+    /// Observes every record of a *borrowed* columnar batch (e.g. a
+    /// [`cbs_trace::CbtSliceReader`] lending slices decoded in place) —
+    /// the zero-copy ingest path: records flow from the mapped file
+    /// into the per-shard buffers without an intermediate owned batch.
+    pub fn observe_request_batch_ref(&mut self, batch: cbs_trace::RequestBatchRef<'_>) {
         assert!(
             !self.poisoned,
             "streaming session is poisoned: a shard worker panicked"
@@ -375,14 +401,13 @@ impl StreamingSession {
         if self.epoch.is_none() {
             self.epoch = Some(batch.timestamps()[0]);
         }
-        let shards = self.senders.len();
         let volumes = batch.volumes();
         let ops = batch.ops();
         let offsets = batch.offsets();
         let lens = batch.lens();
         let timestamps = batch.timestamps();
         for i in 0..batch.len() {
-            let shard = volumes[i].as_usize() % shards;
+            let shard = self.route_volume(volumes[i]);
             self.observed += 1;
             self.buffers[shard].push_fields(volumes[i], ops[i], offsets[i], lens[i], timestamps[i]);
             if self.buffers[shard].len() >= self.batch_size {
@@ -394,6 +419,42 @@ impl StreamingSession {
     /// Number of requests observed so far.
     pub fn observed(&self) -> u64 {
         self.observed
+    }
+
+    /// Returns the shard owning `volume`, assigning one on first touch.
+    ///
+    /// Assignment is **skew-aware**: a newly seen volume joins the
+    /// shard with the least traffic routed so far (ties to the lowest
+    /// shard id), so a hot volume fills its shard's load counter and
+    /// pushes later arrivals elsewhere — unlike static `id mod shards`
+    /// routing, which pinned every volume of a residue class to the
+    /// hot volume's worker. The assignment is sticky for the whole
+    /// session, so each volume's full stream still reaches exactly one
+    /// worker in send order: the per-volume in-order guarantee — and
+    /// with it bit-identical metrics — is unchanged.
+    #[inline]
+    fn route_volume(&mut self, volume: VolumeId) -> usize {
+        if let Some((v, s)) = self.last_route {
+            if v == volume {
+                self.shard_loads[s as usize] += 1;
+                return s as usize;
+            }
+        }
+        let shard = match self.route.entry(volume) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let lightest = self
+                    .shard_loads
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &load)| load)
+                    .map_or(0, |(s, _)| s);
+                *e.insert(lightest as u32)
+            }
+        };
+        self.last_route = Some((volume, shard));
+        self.shard_loads[shard as usize] += 1;
+        shard as usize
     }
 
     /// `true` once a shard worker's death has been detected. A poisoned
@@ -741,6 +802,61 @@ mod tests {
         }
         // And the instrumented run still computes the right answer.
         assert_eq!(metrics.iter().map(|m| m.requests()).sum::<u64>(), observed);
+    }
+
+    #[test]
+    fn skewed_volumes_spread_across_shards() {
+        // One hot volume (90% of traffic) plus seven cold ones, all
+        // sharing residue class 0 mod 4 — the old modulus routing put
+        // every one of them on shard 0. First-touch least-loaded
+        // assignment must give each cold volume its own lightly-loaded
+        // shard instead.
+        use cbs_obs::Registry;
+        let registry = Registry::new();
+        let mut reqs = Vec::new();
+        for i in 0..9_000u64 {
+            reqs.push(IoRequest::new(
+                VolumeId::new(0), // hot volume
+                OpKind::Write,
+                (i % 64) * 4096,
+                4096,
+                Timestamp::from_micros(i * 10),
+            ));
+        }
+        for (j, v) in (1..8u32).map(|v| v * 4).enumerate() {
+            for i in 0..140u64 {
+                reqs.push(IoRequest::new(
+                    VolumeId::new(v),
+                    OpKind::Read,
+                    (i % 16) * 4096,
+                    4096,
+                    Timestamp::from_micros(90_000 + (j as u64) * 2_000 + i * 10),
+                ));
+            }
+        }
+        let mut session = StreamingWorkbench::new()
+            .with_shards(4)
+            .with_batch_size(32)
+            .with_registry(&registry)
+            .start();
+        for req in &reqs {
+            session.observe(*req);
+        }
+        let metrics = session.finish();
+        assert_eq!(metrics.len(), 8);
+        assert_eq!(registry.gauge("stream.shards").get(), 4);
+        // The hot volume saturates its shard; the seven cold volumes
+        // must land on the other three shards, so every shard sees
+        // traffic (modulus routing would leave shards 1-3 at zero).
+        for s in 0..4u32 {
+            let routed = registry.counter(&format!("stream.shard{s}.requests")).get();
+            assert!(routed > 0, "shard {s} received no requests");
+        }
+        let shard0 = registry.counter("stream.shard0.requests").get();
+        assert!(
+            shard0 < reqs.len() as u64,
+            "shard 0 must not own the whole stream"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! |------|-------|---------|
 //! | `no-unwrap-in-lib` | library code, non-test | `.unwrap()` / `.expect(…)` |
 //! | `no-panic-in-lib` | library code, non-test | `panic!` / `unimplemented!` / `todo!` / `unreachable!` |
-//! | `forbid-unsafe-header` | workspace crate roots | missing `#![forbid(unsafe_code)]` |
+//! | `forbid-unsafe-header` | crate roots + library code | missing `#![forbid(unsafe_code)]`; unsafe sites and `allow(unsafe_code)` without a justifying `SAFETY` comment; stale `SAFETY` comments |
 //! | `pub-item-docs` | `cbs-trace`/`core`/`stats`/`obs`/`cache` src | undocumented public items |
 //! | `bounded-channel` | `crates/core` + codec paths | unbounded `mpsc::channel()` |
 //! | `finding-traceability` | `crates/analysis/src/findings` | modules citing no `F1`–`F15` ID; uncovered IDs |

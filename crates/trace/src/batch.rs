@@ -210,6 +210,187 @@ impl RequestBatch {
     pub fn to_requests(&self) -> Vec<IoRequest> {
         self.iter().collect()
     }
+
+    /// Borrows the batch as a [`RequestBatchRef`] column view.
+    #[inline]
+    pub fn as_ref(&self) -> RequestBatchRef<'_> {
+        RequestBatchRef {
+            volumes: &self.volumes,
+            ops: &self.ops,
+            offsets: &self.offsets,
+            lens: &self.lens,
+            timestamps: &self.timestamps,
+        }
+    }
+
+    /// Mutable access to all five columns at once, for decoders that
+    /// fill a batch column-by-column. Callers must leave every column
+    /// at the same length.
+    #[inline]
+    pub(crate) fn columns_mut(&mut self) -> ColumnsMut<'_> {
+        (
+            &mut self.volumes,
+            &mut self.ops,
+            &mut self.offsets,
+            &mut self.lens,
+            &mut self.timestamps,
+        )
+    }
+}
+
+/// All five column vectors of a [`RequestBatch`], borrowed mutably
+/// (volumes, ops, offsets, lens, timestamps).
+pub(crate) type ColumnsMut<'a> = (
+    &'a mut Vec<VolumeId>,
+    &'a mut Vec<OpKind>,
+    &'a mut Vec<u64>,
+    &'a mut Vec<u32>,
+    &'a mut Vec<Timestamp>,
+);
+
+/// A borrowed struct-of-arrays view of a batch of requests.
+///
+/// The zero-copy counterpart of [`RequestBatch`]: five column slices
+/// with identical lengths, borrowed from whoever owns the backing
+/// storage — an owned batch ([`RequestBatch::as_ref`]) or a decoder's
+/// reused column buffers ([`CbtSliceReader::read_batch_ref`]). Handing
+/// out a `RequestBatchRef` moves records between pipeline stages
+/// without cloning five `Vec`s per block.
+///
+/// [`CbtSliceReader::read_batch_ref`]:
+///     crate::codec::cbt::CbtSliceReader::read_batch_ref
+///
+/// # Example
+///
+/// ```
+/// use cbs_trace::{IoRequest, OpKind, RequestBatch, Timestamp, VolumeId};
+///
+/// let mut batch = RequestBatch::new();
+/// batch.push(&IoRequest::new(
+///     VolumeId::new(3),
+///     OpKind::Write,
+///     4096,
+///     8192,
+///     Timestamp::from_secs(1),
+/// ));
+/// let view = batch.as_ref();
+/// assert_eq!(view.len(), 1);
+/// assert_eq!(view.offsets()[0], 4096);
+/// assert_eq!(view.get(0), batch.get(0));
+/// assert_eq!(view.to_batch(), batch);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestBatchRef<'a> {
+    volumes: &'a [VolumeId],
+    ops: &'a [OpKind],
+    offsets: &'a [u64],
+    lens: &'a [u32],
+    timestamps: &'a [Timestamp],
+}
+
+impl<'a> RequestBatchRef<'a> {
+    /// Assembles a view from five equal-length column slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns differ in length.
+    pub fn from_columns(
+        volumes: &'a [VolumeId],
+        ops: &'a [OpKind],
+        offsets: &'a [u64],
+        lens: &'a [u32],
+        timestamps: &'a [Timestamp],
+    ) -> Self {
+        assert!(
+            ops.len() == volumes.len()
+                && offsets.len() == volumes.len()
+                && lens.len() == volumes.len()
+                && timestamps.len() == volumes.len(),
+            "request batch columns must have identical lengths"
+        );
+        RequestBatchRef {
+            volumes,
+            ops,
+            offsets,
+            lens,
+            timestamps,
+        }
+    }
+
+    /// Number of records in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.volumes.len()
+    }
+
+    /// Returns `true` if the view holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.volumes.is_empty()
+    }
+
+    /// Reassembles record `index` as an [`IoRequest`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`, like slice indexing.
+    #[inline]
+    pub fn get(&self, index: usize) -> IoRequest {
+        IoRequest::new(
+            self.volumes[index],
+            self.ops[index],
+            self.offsets[index],
+            self.lens[index],
+            self.timestamps[index],
+        )
+    }
+
+    /// The volume-id column.
+    #[inline]
+    pub fn volumes(&self) -> &'a [VolumeId] {
+        self.volumes
+    }
+
+    /// The operation-kind column.
+    #[inline]
+    pub fn ops(&self) -> &'a [OpKind] {
+        self.ops
+    }
+
+    /// The byte-offset column.
+    #[inline]
+    pub fn offsets(&self) -> &'a [u64] {
+        self.offsets
+    }
+
+    /// The byte-length column.
+    #[inline]
+    pub fn lens(&self) -> &'a [u32] {
+        self.lens
+    }
+
+    /// The timestamp column.
+    #[inline]
+    pub fn timestamps(&self) -> &'a [Timestamp] {
+        self.timestamps
+    }
+
+    /// Iterates the records as [`IoRequest`]s in batch order.
+    pub fn iter(&self) -> impl Iterator<Item = IoRequest> + 'a {
+        let this = *self;
+        (0..this.len()).map(move |i| this.get(i))
+    }
+
+    /// Copies the view into an owned [`RequestBatch`].
+    pub fn to_batch(&self) -> RequestBatch {
+        RequestBatch {
+            volumes: self.volumes.to_vec(),
+            ops: self.ops.to_vec(),
+            offsets: self.offsets.to_vec(),
+            lens: self.lens.to_vec(),
+            timestamps: self.timestamps.to_vec(),
+        }
+    }
 }
 
 /// Block-granular accesses in struct-of-arrays layout: the shared

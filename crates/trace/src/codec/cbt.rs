@@ -75,7 +75,7 @@ use std::io::{Read, Write};
 
 use cbs_obs::{Counter, Registry, SpanTimer, Stopwatch};
 
-use crate::batch::RequestBatch;
+use crate::batch::{RequestBatch, RequestBatchRef};
 use crate::error::CbtError;
 use crate::{IoRequest, OpKind, Timestamp, VolumeId};
 
@@ -179,10 +179,140 @@ fn put_delta(buf: &mut Vec<u8>, prev: u64, value: u64) {
     put_varint(buf, zigzag(value.wrapping_sub(prev) as i64));
 }
 
-/// Inverse of [`put_delta`].
+/// All continuation bits of 8 packed varint bytes, for the SWAR fast
+/// path below.
+const VARINT_CONT_BITS: u64 = 0x8080_8080_8080_8080;
+
+/// Decodes `count` LEB128 varints starting at `*pos*`, feeding each
+/// decoded value through `push` (which returns `false` to reject a
+/// value, e.g. one that overflows the column's element type).
+///
+/// Hot path: friendly traces encode most values in one byte, so eight
+/// continuation bits are tested with a single unaligned `u64` load
+/// (SWAR); only a mixed group falls back to the byte-at-a-time decoder
+/// for its first varint before re-probing.
 #[inline]
-fn get_delta(buf: &[u8], pos: &mut usize, prev: u64) -> Option<u64> {
-    Some(prev.wrapping_add(unzigzag(get_varint(buf, pos)?) as u64))
+fn decode_varints(
+    buf: &[u8],
+    pos: &mut usize,
+    count: usize,
+    mut push: impl FnMut(u64) -> bool,
+) -> Result<(), ColumnError> {
+    let mut remaining = count;
+    while remaining >= 8 {
+        if let Some(chunk) = buf.get(*pos..*pos + 8) {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(chunk);
+            let word = u64::from_le_bytes(bytes);
+            if word & VARINT_CONT_BITS == 0 {
+                for i in 0..8 {
+                    if !push((word >> (8 * i)) & 0x7f) {
+                        return Err(ColumnError::Range);
+                    }
+                }
+                *pos += 8;
+                remaining -= 8;
+                continue;
+            }
+        }
+        let v = get_varint(buf, pos).ok_or(ColumnError::Truncated)?;
+        if !push(v) {
+            return Err(ColumnError::Range);
+        }
+        remaining -= 1;
+    }
+    while remaining > 0 {
+        let v = get_varint(buf, pos).ok_or(ColumnError::Truncated)?;
+        if !push(v) {
+            return Err(ColumnError::Range);
+        }
+        remaining -= 1;
+    }
+    Ok(())
+}
+
+/// Why a column failed to decode; mapped to [`CbtError::Corrupt`] with
+/// a column-specific detail by the callers.
+enum ColumnError {
+    Truncated,
+    Range,
+}
+
+/// Decodes one block payload into `batch`'s columns, single pass per
+/// column, shared by the buffered and the zero-copy readers. `block` is
+/// only used to label corruption errors.
+fn decode_columns(
+    buf: &[u8],
+    count: usize,
+    block: u64,
+    batch: &mut RequestBatch,
+) -> Result<(), CbtError> {
+    batch.clear();
+    let (volumes, ops, offsets, lens, timestamps) = batch.columns_mut();
+    let mut pos = 0usize;
+
+    timestamps.reserve(count);
+    let mut prev_ts = 0u64;
+    decode_varints(buf, &mut pos, count, |v| {
+        prev_ts = prev_ts.wrapping_add(unzigzag(v) as u64);
+        timestamps.push(Timestamp::from_micros(prev_ts));
+        true
+    })
+    .map_err(|_| corrupt_at(block, "truncated timestamp column"))?;
+
+    volumes.reserve(count);
+    decode_varints(buf, &mut pos, count, |v| match u32::try_from(v) {
+        Ok(vol) => {
+            volumes.push(VolumeId::new(vol));
+            true
+        }
+        Err(_) => false,
+    })
+    .map_err(|e| match e {
+        ColumnError::Truncated => corrupt_at(block, "truncated volume column"),
+        ColumnError::Range => corrupt_at(block, "volume id out of range"),
+    })?;
+
+    let op_bytes = count.div_ceil(8);
+    let bits = buf
+        .get(pos..pos + op_bytes)
+        .ok_or_else(|| corrupt_at(block, "truncated op column"))?;
+    pos += op_bytes;
+    ops.reserve(count);
+    for i in 0..count {
+        ops.push(if bits[i / 8] >> (i % 8) & 1 == 1 {
+            OpKind::Write
+        } else {
+            OpKind::Read
+        });
+    }
+
+    offsets.reserve(count);
+    let mut prev_off = 0u64;
+    decode_varints(buf, &mut pos, count, |v| {
+        prev_off = prev_off.wrapping_add(unzigzag(v) as u64);
+        offsets.push(prev_off);
+        true
+    })
+    .map_err(|_| corrupt_at(block, "truncated offset column"))?;
+
+    lens.reserve(count);
+    decode_varints(buf, &mut pos, count, |v| match u32::try_from(v) {
+        Ok(len) => {
+            lens.push(len);
+            true
+        }
+        Err(_) => false,
+    })
+    .map_err(|e| match e {
+        ColumnError::Truncated => corrupt_at(block, "truncated length column"),
+        ColumnError::Range => corrupt_at(block, "request length out of range"),
+    })?;
+
+    if pos != buf.len() {
+        return Err(corrupt_at(block, "trailing bytes in block"));
+    }
+    Ok(())
 }
 
 // --- writer ---------------------------------------------------------------
@@ -353,6 +483,19 @@ struct CbtMetrics {
     block_decode: SpanTimer,
 }
 
+impl CbtMetrics {
+    fn new(registry: &Registry) -> Self {
+        CbtMetrics {
+            blocks: registry.counter("cbt.blocks"),
+            records: registry.counter("cbt.records"),
+            bytes: registry.counter("cbt.bytes"),
+            crc_failures: registry.counter("cbt.crc_failures"),
+            corrupt_blocks: registry.counter("cbt.corrupt_blocks"),
+            block_decode: registry.span("cbt.block_decode"),
+        }
+    }
+}
+
 impl<R: Read> CbtReader<R> {
     /// Creates a reader over any byte source.
     pub fn new(inner: R) -> Self {
@@ -376,14 +519,7 @@ impl<R: Read> CbtReader<R> {
     /// overhead is unmeasurable next to decoding ~64 Ki records.
     #[must_use]
     pub fn with_registry(mut self, registry: &Registry) -> Self {
-        self.metrics = Some(CbtMetrics {
-            blocks: registry.counter("cbt.blocks"),
-            records: registry.counter("cbt.records"),
-            bytes: registry.counter("cbt.bytes"),
-            crc_failures: registry.counter("cbt.crc_failures"),
-            corrupt_blocks: registry.counter("cbt.corrupt_blocks"),
-            block_decode: registry.span("cbt.block_decode"),
-        });
+        self.metrics = Some(CbtMetrics::new(registry));
         self
     }
 
@@ -470,60 +606,8 @@ impl<R: Read> CbtReader<R> {
     }
 
     fn decode_payload(&mut self, count: usize) -> Result<RequestBatch, CbtError> {
-        let buf = &self.payload;
-        let mut pos = 0usize;
-        let mut timestamps = Vec::with_capacity(count);
-        let mut prev_ts = 0u64;
-        for _ in 0..count {
-            let ts = get_delta(buf, &mut pos, prev_ts)
-                .ok_or_else(|| corrupt_at(self.block_index, "truncated timestamp column"))?;
-            timestamps.push(ts);
-            prev_ts = ts;
-        }
-        let mut volumes = Vec::with_capacity(count);
-        for _ in 0..count {
-            let raw = get_varint(buf, &mut pos)
-                .ok_or_else(|| corrupt_at(self.block_index, "truncated volume column"))?;
-            let vol = u32::try_from(raw)
-                .map_err(|_| corrupt_at(self.block_index, "volume id out of range"))?;
-            volumes.push(vol);
-        }
-        let op_bytes = count.div_ceil(8);
-        let ops = buf
-            .get(pos..pos + op_bytes)
-            .ok_or_else(|| corrupt_at(self.block_index, "truncated op column"))?
-            .to_vec();
-        pos += op_bytes;
-        let mut offsets = Vec::with_capacity(count);
-        let mut prev_off = 0u64;
-        for _ in 0..count {
-            let off = get_delta(buf, &mut pos, prev_off)
-                .ok_or_else(|| corrupt_at(self.block_index, "truncated offset column"))?;
-            offsets.push(off);
-            prev_off = off;
-        }
         let mut batch = RequestBatch::with_capacity(count);
-        for i in 0..count {
-            let raw = get_varint(buf, &mut pos)
-                .ok_or_else(|| corrupt_at(self.block_index, "truncated length column"))?;
-            let len = u32::try_from(raw)
-                .map_err(|_| corrupt_at(self.block_index, "request length out of range"))?;
-            let is_write = ops[i / 8] >> (i % 8) & 1 == 1;
-            batch.push_fields(
-                VolumeId::new(volumes[i]),
-                if is_write {
-                    OpKind::Write
-                } else {
-                    OpKind::Read
-                },
-                offsets[i],
-                len,
-                Timestamp::from_micros(timestamps[i]),
-            );
-        }
-        if pos != buf.len() {
-            return Err(corrupt_at(self.block_index, "trailing bytes in block"));
-        }
+        decode_columns(&self.payload, count, self.block_index, &mut batch)?;
         Ok(batch)
     }
 
@@ -614,6 +698,191 @@ impl<R: Read> Iterator for CbtReader<R> {
                 Err(e) => return Some(Err(e)),
             }
         }
+    }
+}
+
+// --- zero-copy reader -----------------------------------------------------
+
+/// Zero-copy decoder for an in-memory CBT stream (typically an
+/// [`Mmap`](crate::Mmap) of the trace file).
+///
+/// Unlike [`CbtReader`], which copies every block payload out of its
+/// `Read` source and hands back an owned [`RequestBatch`], this reader
+/// walks the stream as one `&[u8]`: block payloads are decoded straight
+/// out of the source slice (no payload copy, no per-block allocation),
+/// and [`read_batch_ref`](Self::read_batch_ref) lends the decoded
+/// columns as a [`RequestBatchRef`] backed by buffers the reader reuses
+/// across blocks.
+///
+/// Error semantics are identical to [`CbtReader`]: every block checksum
+/// is verified before decoding, any failure poisons the reader
+/// ([`CbtError::Poisoned`] forever after), and a corrupt mid-file block
+/// can never be observed as a shorter-but-clean trace.
+///
+/// # Example
+///
+/// ```
+/// use cbs_trace::{CbtSliceReader, CbtWriter, IoRequest, OpKind, Timestamp, VolumeId};
+///
+/// # fn main() -> Result<(), cbs_trace::CbtError> {
+/// let mut writer = CbtWriter::new(Vec::new());
+/// writer.write_request(&IoRequest::new(
+///     VolumeId::new(1),
+///     OpKind::Read,
+///     0,
+///     4096,
+///     Timestamp::ZERO,
+/// ))?;
+/// let encoded = writer.finish()?;
+///
+/// let mut reader = CbtSliceReader::new(&encoded);
+/// let batch = reader.read_batch_ref()?.expect("one block");
+/// assert_eq!(batch.len(), 1);
+/// assert_eq!(batch.lens()[0], 4096);
+/// assert!(reader.read_batch_ref()?.is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CbtSliceReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    header_read: bool,
+    block_index: u64,
+    /// Reused column buffers the returned views borrow from.
+    current: RequestBatch,
+    failed: bool,
+    metrics: Option<CbtMetrics>,
+}
+
+impl<'a> CbtSliceReader<'a> {
+    /// Creates a reader over a complete in-memory CBT stream.
+    pub fn new(data: &'a [u8]) -> Self {
+        CbtSliceReader {
+            data,
+            pos: 0,
+            header_read: false,
+            block_index: 0,
+            current: RequestBatch::new(),
+            failed: false,
+            metrics: None,
+        }
+    }
+
+    /// Publishes the same `cbt.*` reader metrics as
+    /// [`CbtReader::with_registry`].
+    #[must_use]
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.metrics = Some(CbtMetrics::new(registry));
+        self
+    }
+
+    /// Decodes the next block and lends it as a [`RequestBatchRef`], or
+    /// `Ok(None)` at a clean end of stream.
+    ///
+    /// The view borrows the reader's internal column buffers, so it
+    /// must be consumed before the next call.
+    ///
+    /// # Errors
+    ///
+    /// Any decode failure poisons the reader; every subsequent call
+    /// returns [`CbtError::Poisoned`], exactly like
+    /// [`CbtReader::read_batch`].
+    pub fn read_batch_ref(&mut self) -> Result<Option<RequestBatchRef<'_>>, CbtError> {
+        if self.failed {
+            return Err(CbtError::Poisoned);
+        }
+        let clock = self.metrics.as_ref().map(|_| Stopwatch::start());
+        match self.try_read_block() {
+            Ok(Some(block_bytes)) => {
+                if let (Some(m), Some(clock)) = (&self.metrics, clock) {
+                    m.block_decode.record_nanos(clock.elapsed_nanos());
+                    m.blocks.inc();
+                    m.records.add(self.current.len() as u64);
+                    m.bytes.add(block_bytes as u64);
+                }
+                Ok(Some(self.current.as_ref()))
+            }
+            Ok(None) => Ok(None),
+            Err(e) => {
+                if let Some(m) = &self.metrics {
+                    match &e {
+                        CbtError::ChecksumMismatch { .. } => m.crc_failures.inc(),
+                        CbtError::Corrupt { .. } => m.corrupt_blocks.inc(),
+                        _ => {}
+                    }
+                }
+                self.failed = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Decodes the next block into `self.current`, returning the number
+    /// of stream bytes it occupied (header + payload), or `None` at a
+    /// clean end of stream.
+    fn try_read_block(&mut self) -> Result<Option<usize>, CbtError> {
+        self.ensure_header()?;
+        let remaining = self.data.len() - self.pos;
+        if remaining == 0 {
+            return Ok(None);
+        }
+        if remaining < BLOCK_HEADER_LEN {
+            return Err(self.corrupt("truncated block header"));
+        }
+        let header = &self.data[self.pos..self.pos + BLOCK_HEADER_LEN];
+        let payload_len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let count = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        let checksum = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+        if payload_len > MAX_BLOCK_PAYLOAD {
+            return Err(self.corrupt("block payload length too large"));
+        }
+        if u64::from(count) * 4 > u64::from(payload_len) {
+            return Err(self.corrupt("record count exceeds payload size"));
+        }
+        let start = self.pos + BLOCK_HEADER_LEN;
+        let payload = self
+            .data
+            .get(start..start + payload_len as usize)
+            .ok_or_else(|| self.corrupt("truncated block payload"))?;
+        let found = crc32(payload);
+        if found != checksum {
+            return Err(CbtError::ChecksumMismatch {
+                block: self.block_index,
+                expected: checksum,
+                found,
+            });
+        }
+        decode_columns(payload, count as usize, self.block_index, &mut self.current)?;
+        self.pos = start + payload_len as usize;
+        self.block_index += 1;
+        Ok(Some(BLOCK_HEADER_LEN + payload_len as usize))
+    }
+
+    fn ensure_header(&mut self) -> Result<(), CbtError> {
+        if self.header_read {
+            return Ok(());
+        }
+        if self.data.len() < HEADER_LEN {
+            // Same shape as the buffered reader's short-file error.
+            return Err(CbtError::BadMagic { found: [0u8; 8] });
+        }
+        let mut magic = [0u8; 8];
+        magic.copy_from_slice(&self.data[..8]);
+        if magic != MAGIC {
+            return Err(CbtError::BadMagic { found: magic });
+        }
+        let version = u16::from_le_bytes([self.data[8], self.data[9]]);
+        if version != VERSION {
+            return Err(CbtError::UnsupportedVersion { found: version });
+        }
+        self.pos = HEADER_LEN;
+        self.header_read = true;
+        Ok(())
+    }
+
+    fn corrupt(&self, detail: &'static str) -> CbtError {
+        corrupt_at(self.block_index, detail)
     }
 }
 
@@ -886,6 +1155,128 @@ mod tests {
             .collect::<Result<_, _>>()
             .expect("decode");
         assert_eq!(decoded, reqs);
+    }
+
+    /// Drains a slice reader, returning (records decoded, first error).
+    fn drain_slice(data: &[u8]) -> (Vec<IoRequest>, Option<CbtError>) {
+        let mut r = CbtSliceReader::new(data);
+        let mut all = Vec::new();
+        loop {
+            match r.read_batch_ref() {
+                Ok(Some(batch)) => all.extend(batch.iter()),
+                Ok(None) => return (all, None),
+                Err(e) => return (all, Some(e)),
+            }
+        }
+    }
+
+    #[test]
+    fn slice_reader_matches_buffered_on_clean_streams() {
+        let reqs = sample(1000);
+        for cap in [1, 7, 100, 1000, 4096] {
+            let bytes = encode(&reqs, cap);
+            let (got, err) = drain_slice(&bytes);
+            assert!(err.is_none(), "block capacity {cap}: {err:?}");
+            assert_eq!(got, reqs, "block capacity {cap}");
+        }
+        // Header-only stream.
+        let bytes = CbtWriter::new(Vec::new()).finish().expect("finish");
+        let (got, err) = drain_slice(&bytes);
+        assert!(got.is_empty() && err.is_none());
+    }
+
+    #[test]
+    fn slice_reader_lends_reused_buffers() {
+        let reqs = sample(250);
+        let bytes = encode(&reqs, 100);
+        let mut r = CbtSliceReader::new(&bytes);
+        let first = r.read_batch_ref().expect("read").expect("block");
+        assert_eq!(first.len(), 100);
+        assert_eq!(first.get(0), reqs[0]);
+        // Next read reuses the same buffers; the previous view's
+        // borrow has ended.
+        let second = r.read_batch_ref().expect("read").expect("block");
+        assert_eq!(second.get(0), reqs[100]);
+    }
+
+    #[test]
+    fn slice_reader_rejects_header_damage() {
+        let mut bytes = encode(&sample(10), 64);
+        bytes[0] = b'X';
+        let (_, err) = drain_slice(&bytes);
+        assert!(matches!(err, Some(CbtError::BadMagic { .. })), "{err:?}");
+
+        let mut bytes = encode(&sample(10), 64);
+        bytes[8] = 0xff;
+        let (_, err) = drain_slice(&bytes);
+        assert!(
+            matches!(err, Some(CbtError::UnsupportedVersion { found }) if found == 0x00ff),
+            "{err:?}"
+        );
+
+        let (_, err) = drain_slice(&[]);
+        assert!(matches!(err, Some(CbtError::BadMagic { .. })), "{err:?}");
+    }
+
+    #[test]
+    fn slice_reader_poisons_on_mid_file_corruption() {
+        let reqs = sample(300);
+        let mut bytes = encode(&reqs, 100);
+        let block0_payload =
+            u32::from_le_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]) as usize;
+        bytes[HEADER_LEN + 2 * BLOCK_HEADER_LEN + block0_payload + 5] ^= 0x01;
+        let mut r = CbtSliceReader::new(&bytes);
+        assert_eq!(
+            r.read_batch_ref()
+                .expect("block 0 intact")
+                .expect("some")
+                .len(),
+            100
+        );
+        assert!(matches!(
+            r.read_batch_ref().expect_err("damaged"),
+            CbtError::ChecksumMismatch { block: 1, .. }
+        ));
+        for _ in 0..3 {
+            assert!(matches!(
+                r.read_batch_ref().expect_err("poisoned"),
+                CbtError::Poisoned
+            ));
+        }
+    }
+
+    #[test]
+    fn slice_reader_detects_truncation() {
+        let bytes = encode(&sample(100), 64);
+        for cut in [
+            HEADER_LEN - 1,
+            HEADER_LEN + 3,
+            HEADER_LEN + BLOCK_HEADER_LEN + 10,
+            bytes.len() - 1,
+        ] {
+            let (_, err) = drain_slice(&bytes[..cut]);
+            assert!(err.is_some(), "cut at {cut} went undetected");
+        }
+    }
+
+    #[test]
+    fn slice_reader_registry_matches_buffered() {
+        use cbs_obs::Registry;
+        let reqs = sample(250);
+        let bytes = encode(&reqs, 100);
+        let buffered = Registry::new();
+        let mut r = CbtReader::new(&bytes[..]).with_registry(&buffered);
+        while r.read_batch().expect("clean").is_some() {}
+        let sliced = Registry::new();
+        let mut r = CbtSliceReader::new(&bytes).with_registry(&sliced);
+        while r.read_batch_ref().expect("clean").is_some() {}
+        for name in ["cbt.blocks", "cbt.records", "cbt.bytes", "cbt.crc_failures"] {
+            assert_eq!(
+                sliced.counter(name).get(),
+                buffered.counter(name).get(),
+                "{name}"
+            );
+        }
     }
 
     #[test]

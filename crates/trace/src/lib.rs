@@ -53,7 +53,9 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// deny (not forbid): the mmap module needs a local allow(unsafe_code)
+// for the two mmap(2)/munmap(2) calls backing the zero-copy reader.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -63,6 +65,7 @@ pub mod codec;
 pub mod error;
 pub mod hash;
 pub mod iter;
+pub mod mmap;
 pub mod op;
 pub mod request;
 pub mod slice;
@@ -70,12 +73,13 @@ pub mod time;
 pub mod trace;
 pub mod volume;
 
-pub use batch::{BlockAccessColumn, RequestBatch};
+pub use batch::{BlockAccessColumn, RequestBatch, RequestBatchRef};
 pub use block::{BlockId, BlockSize, BlockSpan};
-pub use codec::cbt::{CbtReader, CbtWriter};
+pub use codec::cbt::{CbtReader, CbtSliceReader, CbtWriter};
 pub use codec::parallel::{DecodeStats, ParallelDecoder};
 pub use error::{CbtError, ParseRecordError, TraceError};
 pub use iter::MergeByTime;
+pub use mmap::Mmap;
 pub use op::OpKind;
 pub use request::IoRequest;
 pub use time::{TimeDelta, Timestamp};

@@ -19,11 +19,14 @@ use core::fmt;
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+// One byte with Read = 0, Write = 1: column kernels rely on this to
+// view `&[OpKind]` as bytes.
+#[repr(u8)]
 pub enum OpKind {
     /// A read request.
-    Read,
+    Read = 0,
     /// A write request.
-    Write,
+    Write = 1,
 }
 
 impl OpKind {

@@ -39,6 +39,9 @@ pub const MICROS_PER_DAY: u64 = 24 * MICROS_PER_HOUR;
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+// Layout-compatible with its microsecond count, so column kernels can
+// view `&[Timestamp]` as `&[u64]`.
+#[repr(transparent)]
 pub struct Timestamp(u64);
 
 impl Timestamp {

@@ -243,6 +243,89 @@ proptest! {
         }
     }
 
+    /// The zero-copy slice reader (the mmap path) is bit-identical to
+    /// the buffered reader on the same stream: same records, same
+    /// per-block boundaries, and the same error at the same point for
+    /// truncated or corrupted input, with both poisoning afterwards.
+    #[test]
+    fn cbt_slice_reader_matches_buffered(
+        reqs in proptest::collection::vec(arb_request(), 0..200),
+        block_capacity in 1usize..64,
+        damage_seed in 0usize..10_000,
+        flip in 0u8..=255,
+    ) {
+        let mut bytes = encode_cbt(&reqs, block_capacity);
+        // flip == 0 leaves the stream clean; otherwise damage one byte
+        // (any byte: header, block header, payload) or truncate.
+        if flip != 0 && !bytes.is_empty() {
+            let pos = damage_seed % bytes.len();
+            if damage_seed % 3 == 0 {
+                bytes.truncate(pos);
+            } else {
+                bytes[pos] ^= flip;
+            }
+        }
+
+        let mut buffered = CbtReader::new(&bytes[..]);
+        let mut sliced = cbs_trace::CbtSliceReader::new(&bytes);
+        loop {
+            let b = buffered.read_batch();
+            let s = sliced.read_batch_ref();
+            match (b, s) {
+                (Ok(Some(bb)), Ok(Some(sb))) => {
+                    prop_assert_eq!(bb.as_ref(), sb);
+                }
+                (Ok(None), Ok(None)) => break,
+                (Err(be), Err(se)) => {
+                    prop_assert_eq!(format!("{be:?}"), format!("{se:?}"));
+                    // Both must now be poisoned.
+                    prop_assert!(matches!(
+                        buffered.read_batch(),
+                        Err(cbs_trace::CbtError::Poisoned)
+                    ));
+                    prop_assert!(matches!(
+                        sliced.read_batch_ref(),
+                        Err(cbs_trace::CbtError::Poisoned)
+                    ));
+                    break;
+                }
+                (b, s) => prop_assert!(
+                    false,
+                    "readers diverged: buffered={:?} sliced={:?}",
+                    b.map(|o| o.map(|x| x.len())),
+                    s.map(|o| o.map(|x| x.len()))
+                ),
+            }
+        }
+    }
+
+    /// `Mmap::open` + slice reader decodes a real on-disk CBT file to
+    /// exactly the records that were written.
+    #[test]
+    fn cbt_mmap_roundtrip(
+        reqs in proptest::collection::vec(arb_request(), 0..120),
+        block_capacity in 1usize..48,
+    ) {
+        let bytes = encode_cbt(&reqs, block_capacity);
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "cbs-trace-proptest-{}-{}.cbt",
+            std::process::id(),
+            reqs.len()
+        ));
+        std::fs::write(&path, &bytes).expect("write temp file");
+        let map = cbs_trace::Mmap::open(&path).expect("map");
+        let mut reader = cbs_trace::CbtSliceReader::new(&map);
+        let mut decoded = Vec::new();
+        while let Some(batch) = reader.read_batch_ref().expect("clean stream") {
+            decoded.extend(batch.iter());
+        }
+        drop(reader);
+        drop(map);
+        std::fs::remove_file(&path).expect("cleanup");
+        prop_assert_eq!(decoded, reqs);
+    }
+
     /// Flipping any byte of a CBT stream is either detected (magic,
     /// version, block header, or checksum failure) or harmless — flips in
     /// the header's unvalidated flags/reserved bytes — never silently

@@ -24,8 +24,13 @@ fi
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> ingest_perf smoke (round-trip + equivalence + obs reconciliation + poison gate)"
-./target/release/ingest_perf smoke
+echo "==> ingest_perf smoke (round-trip + equivalence incl. mmap zero-copy + obs reconciliation + poison gates + perf budgets)"
+# Perf budgets enforced inside the smoke: a streaming throughput floor
+# (req/s) and a cap on backpressure_nanos/wall_nanos for the mmap-fed
+# session. Override per machine without editing the binary.
+INGEST_SMOKE_MIN_RPS="${INGEST_SMOKE_MIN_RPS:-100000}" \
+INGEST_SMOKE_MAX_BACKPRESSURE="${INGEST_SMOKE_MAX_BACKPRESSURE:-0.9}" \
+    ./target/release/ingest_perf smoke
 
 echo "==> cache_perf smoke (sweep == naive CacheSim bit-for-bit, sweep not slower, sampled MRC bounded)"
 ./target/release/cache_perf --smoke
