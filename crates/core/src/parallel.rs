@@ -41,6 +41,10 @@ pub fn analyze_trace_parallel(
                 scope.spawn(|| {
                     let mut local = Vec::new();
                     loop {
+                        // ORDERING: the ticket counter only partitions
+                        // indices — fetch_add is exact under Relaxed,
+                        // and the volume data it indexes was published
+                        // before the threads spawned.
                         let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if idx >= views.len() {
                             break;

@@ -58,14 +58,18 @@ impl Diagnostic {
         }
     }
 
-    /// Renders as one JSON object (stable field order).
+    /// Renders as one JSON object (stable field order). The `id`
+    /// field is the rule's stable identifier (`CBS-L01`, …) so CI
+    /// annotations can deep-link the rule catalog (DESIGN.md §15)
+    /// even if a rule is ever renamed.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"severity\":{},\"message\":{}}}",
+            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"id\":{},\"severity\":{},\"message\":{}}}",
             json_str(&self.file),
             self.line,
             self.col,
             json_str(self.rule),
+            json_str(crate::rules::rule_id(self.rule)),
             json_str(&self.severity.to_string()),
             json_str(&self.message),
         )
@@ -138,6 +142,22 @@ mod tests {
         let j = d.to_json();
         assert!(j.contains("\\\"hi\\\""), "{j}");
         assert!(j.contains("\\n"), "{j}");
+    }
+
+    #[test]
+    fn json_carries_stable_rule_id() {
+        let d = Diagnostic::error("a.rs", 1, 2, "no-unwrap-in-lib", "m");
+        assert!(
+            d.to_json().contains("\"id\":\"CBS-L01\""),
+            "{}",
+            d.to_json()
+        );
+        let d = Diagnostic::error("a.rs", 1, 2, "unused-suppression", "m");
+        assert!(
+            d.to_json().contains("\"id\":\"CBS-S02\""),
+            "{}",
+            d.to_json()
+        );
     }
 
     #[test]

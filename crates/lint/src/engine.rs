@@ -1,9 +1,11 @@
-//! The lint driver: walk → lex → rules → suppressions → sorted
-//! diagnostics.
+//! The lint driver: walk → lex → parse → rules (file, workspace,
+//! index) → suppressions → sorted diagnostics.
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use crate::diag::Diagnostic;
+use crate::index::WorkspaceIndex;
 use crate::rules::all_rules;
 use crate::source::{walk_rust_files, SourceFile, WalkError};
 use crate::suppress;
@@ -30,24 +32,43 @@ impl LintRun {
 
 /// Lints already-loaded files (the path of each file decides rule
 /// scoping). This is the seam fixture tests drive directly.
+///
+/// All rule layers run first — per-file, workspace, and index — and
+/// suppressions are applied afterwards to every diagnostic grouped by
+/// file, so a `// cbs-lint: allow(…)` can cover cross-file findings
+/// (e.g. `simd-twin-parity`) exactly like per-file ones.
 pub fn lint_files(files: Vec<SourceFile>) -> LintRun {
     let rules = all_rules();
-    let mut diagnostics = Vec::new();
+    let mut diagnostics = Vec::new(); // suppression-machinery findings
+    let mut raw = Vec::new();
     for file in &files {
-        let mut pre = Vec::new();
-        let sups = suppress::collect(file, &mut pre);
-        let mut diags = Vec::new();
         for rule in &rules {
-            rule.check_file(file, &mut diags);
+            rule.check_file(file, &mut raw);
         }
-        diagnostics.extend(suppress::apply(file, sups, diags));
-        diagnostics.extend(pre);
     }
-    let mut ws = Vec::new();
     for rule in &rules {
-        rule.check_workspace(&files, &mut ws);
+        rule.check_workspace(&files, &mut raw);
     }
-    diagnostics.extend(ws);
+    let index = WorkspaceIndex::build(&files);
+    for rule in &rules {
+        rule.check_index(&index, &mut raw);
+    }
+
+    let mut by_file: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+    for d in raw {
+        by_file.entry(d.file.clone()).or_default().push(d);
+    }
+    for file in &files {
+        let sups = suppress::collect(file, &mut diagnostics);
+        let diags = by_file.remove(file.path.as_str()).unwrap_or_default();
+        diagnostics.extend(suppress::apply(file, sups, diags));
+    }
+    // Diagnostics pointing at paths outside the scanned set (e.g. a
+    // workspace rule reporting against a synthetic location) cannot
+    // be suppressed and pass through.
+    for (_, rest) in by_file {
+        diagnostics.extend(rest);
+    }
     diagnostics.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
     });

@@ -1,0 +1,234 @@
+//! Per-crate cross-file symbol index built from parsed item trees.
+//!
+//! The index aggregates every scanned [`SourceFile`]'s items by
+//! workspace crate so cross-file rules can answer symbol questions —
+//! "does crate X define a function named `op_len_sums_scalar`?",
+//! "is there a test that mentions both the kernel and its scalar
+//! twin?", "which impl blocks cover type `Counter`?" — without
+//! re-walking token streams.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokenKind;
+use crate::parser::{Item, ItemKind};
+use crate::source::SourceFile;
+
+/// One function definition site.
+#[derive(Debug, Clone)]
+pub struct FnSite<'a> {
+    /// The file declaring it.
+    pub file: &'a SourceFile,
+    /// The parsed `fn` item.
+    pub item: &'a Item,
+    /// Self type of the enclosing `impl`, when the fn is a method.
+    pub self_type: Option<&'a str>,
+    /// Names of enclosing modules, outermost first (e.g. `["avx2"]`).
+    pub modules: Vec<&'a str>,
+    /// Whether the definition sits in test code.
+    pub in_test: bool,
+}
+
+/// One type (struct/enum) definition site.
+#[derive(Debug, Clone, Copy)]
+pub struct TypeSite<'a> {
+    /// The file declaring it.
+    pub file: &'a SourceFile,
+    /// The parsed item.
+    pub item: &'a Item,
+}
+
+/// One `impl` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ImplSite<'a> {
+    /// The file holding it.
+    pub file: &'a SourceFile,
+    /// The parsed `impl` item (children are its associated items).
+    pub item: &'a Item,
+}
+
+/// The set of identifiers appearing in one file's *test* code.
+#[derive(Debug)]
+pub struct TestIdents {
+    /// File path.
+    pub path: String,
+    /// Every identifier token inside test spans (or anywhere in a
+    /// test-collateral file). Macro bodies lex as ordinary tokens, so
+    /// names referenced inside `proptest!` blocks are included.
+    pub idents: BTreeSet<String>,
+}
+
+/// Symbols of one workspace crate, aggregated across its files.
+#[derive(Debug, Default)]
+pub struct CrateIndex<'a> {
+    /// Function name → definition sites (lib and test code both;
+    /// check [`FnSite::in_test`] to filter).
+    pub fns: BTreeMap<String, Vec<FnSite<'a>>>,
+    /// Type name → definition sites.
+    pub types: BTreeMap<String, Vec<TypeSite<'a>>>,
+    /// All `impl` blocks.
+    pub impls: Vec<ImplSite<'a>>,
+    /// Per-file identifier sets drawn from test code only.
+    pub test_idents: Vec<TestIdents>,
+}
+
+impl<'a> CrateIndex<'a> {
+    /// Non-test definition sites of `name`.
+    pub fn lib_fns(&self, name: &str) -> Vec<&FnSite<'a>> {
+        self.fns
+            .get(name)
+            .map(|sites| sites.iter().filter(|s| !s.in_test).collect())
+            .unwrap_or_default()
+    }
+
+    /// Does any single file's test code mention *all* of `names`?
+    /// This is the co-occurrence question parity rules ask: a test
+    /// that exercises both a kernel and its scalar twin must name
+    /// both in one place.
+    pub fn any_test_mentions_all(&self, names: &[&str]) -> bool {
+        self.test_idents
+            .iter()
+            .any(|t| names.iter().all(|n| t.idents.contains(*n)))
+    }
+
+    /// Methods (fn children of impl blocks) of `type_name` with the
+    /// given method name, outside test code.
+    pub fn methods_named(&self, type_name: &str, method: &str) -> Vec<&Item> {
+        let mut out = Vec::new();
+        for imp in &self.impls {
+            if imp.item.name != type_name {
+                continue;
+            }
+            for child in &imp.item.children {
+                if child.kind == ItemKind::Fn
+                    && child.name == method
+                    && !imp.file.in_test_code(child.line)
+                {
+                    out.push(child);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The cross-file symbol index: one [`CrateIndex`] per workspace
+/// crate (keyed by crate directory name; files outside a
+/// `crates/<name>/` layout land under the empty key).
+#[derive(Debug, Default)]
+pub struct WorkspaceIndex<'a> {
+    /// Crate name → its symbols.
+    pub crates: BTreeMap<String, CrateIndex<'a>>,
+}
+
+impl<'a> WorkspaceIndex<'a> {
+    /// Builds the index over every scanned file.
+    pub fn build(files: &'a [SourceFile]) -> Self {
+        let mut ws = WorkspaceIndex::default();
+        for file in files {
+            let cx = ws.crates.entry(file.crate_name.clone()).or_default();
+            let mut mods: Vec<&'a str> = Vec::new();
+            index_items(file, &file.items, None, &mut mods, cx);
+
+            let mut idents = BTreeSet::new();
+            for t in &file.tokens {
+                if t.kind == TokenKind::Ident && file.in_test_code(t.line) {
+                    idents.insert(t.text.clone());
+                }
+            }
+            if !idents.is_empty() {
+                cx.test_idents.push(TestIdents {
+                    path: file.path.clone(),
+                    idents,
+                });
+            }
+        }
+        ws
+    }
+
+    /// The index for `crate_name`, if any of its files were scanned.
+    pub fn of(&self, crate_name: &str) -> Option<&CrateIndex<'a>> {
+        self.crates.get(crate_name)
+    }
+}
+
+fn index_items<'a>(
+    file: &'a SourceFile,
+    items: &'a [Item],
+    self_type: Option<&'a str>,
+    mods: &mut Vec<&'a str>,
+    cx: &mut CrateIndex<'a>,
+) {
+    for item in items {
+        match item.kind {
+            ItemKind::Fn => {
+                cx.fns.entry(item.name.clone()).or_default().push(FnSite {
+                    file,
+                    item,
+                    self_type,
+                    modules: mods.clone(),
+                    in_test: file.in_test_code(item.line),
+                });
+            }
+            ItemKind::Struct | ItemKind::Enum => {
+                cx.types
+                    .entry(item.name.clone())
+                    .or_default()
+                    .push(TypeSite { file, item });
+            }
+            ItemKind::Impl => {
+                cx.impls.push(ImplSite { file, item });
+                index_items(file, &item.children, Some(&item.name), mods, cx);
+            }
+            ItemKind::Mod => {
+                mods.push(&item.name);
+                index_items(file, &item.children, self_type, mods, cx);
+                mods.pop();
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_fns_types_impls_across_files() {
+        let lib = SourceFile::from_text(
+            "crates/demo/src/lib.rs",
+            "pub struct Counter;\nimpl Counter {\n    pub fn merge(&mut self) {}\n}\npub fn kernel_scalar() {}\nmod avx2 {\n    pub fn kernel() {}\n}\n",
+        );
+        let test = SourceFile::from_text(
+            "crates/demo/tests/parity.rs",
+            "#[test]\nfn parity() { kernel(); kernel_scalar(); }\n",
+        );
+        let files = vec![lib, test];
+        let ws = WorkspaceIndex::build(&files);
+        let cx = ws.of("demo").expect("crate indexed");
+
+        assert!(cx.types.contains_key("Counter"));
+        assert_eq!(cx.methods_named("Counter", "merge").len(), 1);
+        assert!(cx.methods_named("Counter", "missing").is_empty());
+
+        let kernel = &cx.fns["kernel"][0];
+        assert_eq!(kernel.modules, vec!["avx2"]);
+        assert!(!kernel.in_test);
+        assert_eq!(cx.lib_fns("kernel_scalar").len(), 1);
+
+        assert!(cx.any_test_mentions_all(&["kernel", "kernel_scalar"]));
+        assert!(!cx.any_test_mentions_all(&["kernel", "absent_twin"]));
+    }
+
+    #[test]
+    fn cfg_test_module_idents_count_as_test_mentions() {
+        let lib = SourceFile::from_text(
+            "crates/demo/src/lib.rs",
+            "pub fn twin_a() {}\npub fn twin_b() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { twin_a(); twin_b(); }\n}\n",
+        );
+        let files = vec![lib];
+        let ws = WorkspaceIndex::build(&files);
+        let cx = ws.of("demo").expect("indexed");
+        assert!(cx.any_test_mentions_all(&["twin_a", "twin_b"]));
+    }
+}

@@ -51,6 +51,12 @@ pub const COMPOUND_OPERATORS: &[&str] =
     &["==", "!=", "<=", ">=", "::", "->", "=>", "..", "&&", "||"];
 
 /// One lexed token with its 1-based source position.
+///
+/// Diagnostics always point at the *start* position; the end position
+/// exists so multi-line tokens (raw strings, block comments) can be
+/// reasoned about precisely — e.g. "is there code earlier on this
+/// line" must see a raw string that *ends* here even though it
+/// *started* three lines up.
 #[derive(Debug, Clone)]
 pub struct Token {
     /// Token class.
@@ -61,6 +67,13 @@ pub struct Token {
     pub line: u32,
     /// 1-based column (in characters) of the token's first character.
     pub col: u32,
+    /// 1-based line of the token's last character (equals [`line`]
+    /// except for multi-line tokens).
+    ///
+    /// [`line`]: Token::line
+    pub end_line: u32,
+    /// 1-based column (in characters) of the token's last character.
+    pub end_col: u32,
     /// For [`TokenKind::Num`]: whether the literal is a float.
     pub is_float: bool,
 }
@@ -86,6 +99,10 @@ struct Cursor {
     pos: usize,
     line: u32,
     col: u32,
+    /// Position of the most recently bumped character — the end
+    /// position of whatever token just finished lexing.
+    last_line: u32,
+    last_col: u32,
 }
 
 impl Cursor {
@@ -95,6 +112,8 @@ impl Cursor {
             pos: 0,
             line: 1,
             col: 1,
+            last_line: 1,
+            last_col: 1,
         }
     }
 
@@ -105,6 +124,8 @@ impl Cursor {
     fn bump(&mut self) -> Option<char> {
         let c = self.chars.get(self.pos).copied()?;
         self.pos += 1;
+        self.last_line = self.line;
+        self.last_col = self.col;
         if c == '\n' {
             self.line += 1;
             self.col = 1;
@@ -158,6 +179,8 @@ pub fn lex(src: &str) -> Vec<Token> {
             text: tok.1,
             line,
             col,
+            end_line: cur.last_line,
+            end_col: cur.last_col,
             is_float: tok.2,
         });
     }
@@ -608,5 +631,35 @@ mod tests {
         let toks = lex("a\n  b");
         assert_eq!((toks[0].line, toks[0].col), (1, 1));
         assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn multi_line_tokens_carry_start_and_end_positions() {
+        // Raw string spanning three lines, then code on the closing
+        // line: the string starts at its `r`, ends at the closing `#`,
+        // and the code after it sits on the final line.
+        let src = "let s = r#\"one\ntwo\nthree\"#; x.unwrap();";
+        let toks = lex(src);
+        let s = toks.iter().find(|t| t.kind == TokenKind::Str).expect("str");
+        assert_eq!((s.line, s.col), (1, 9));
+        assert_eq!((s.end_line, s.end_col), (3, 7), "{:?}", s.text);
+        let x = toks.iter().find(|t| t.text == "x").expect("x");
+        assert_eq!((x.line, x.col), (3, 10));
+        let unwrap = toks.iter().find(|t| t.text == "unwrap").expect("unwrap");
+        assert_eq!((unwrap.line, unwrap.col), (3, 12));
+
+        // Nested block comment spanning lines: same contract.
+        let toks = lex("/* a\n /* b */\n*/ y");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[0].end_line, toks[0].end_col), (3, 2));
+        assert_eq!((toks[1].line, toks[1].col), (3, 4));
+    }
+
+    #[test]
+    fn single_line_tokens_end_where_they_start() {
+        let toks = lex("alpha == 1.5");
+        assert_eq!((toks[0].end_line, toks[0].end_col), (1, 5));
+        assert_eq!((toks[1].end_line, toks[1].end_col), (1, 8));
+        assert_eq!((toks[2].end_line, toks[2].end_col), (1, 12));
     }
 }

@@ -33,13 +33,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bench_schema;
 pub mod diag;
 pub mod engine;
+pub mod index;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod source;
 pub mod suppress;
 
 pub use diag::{Diagnostic, Severity};
 pub use engine::{lint_files, lint_paths, LintRun};
+pub use index::WorkspaceIndex;
 pub use source::SourceFile;

@@ -4,8 +4,9 @@
 //! An unbounded `std::sync::mpsc::channel()` between a fast producer
 //! and a slow shard worker buffers the whole trace (the exact failure
 //! the one-pass architecture exists to avoid); `sync_channel(depth)`
-//! provides backpressure. Scoped to `crates/core/src` and the parallel
-//! decode paths under `crates/trace/src/codec`.
+//! provides backpressure. Scoped to `crates/core/src`, the cache-sweep
+//! worker fan-out under `crates/cache/src`, and the parallel decode
+//! paths under `crates/trace/src/codec`.
 
 use crate::diag::Diagnostic;
 use crate::rules::Rule;
@@ -25,8 +26,9 @@ impl Rule for BoundedChannel {
     }
 
     fn check_file(&self, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
-        let in_scope =
-            file.path.contains("crates/core/src") || file.path.contains("crates/trace/src/codec");
+        let in_scope = file.path.contains("crates/core/src")
+            || file.path.contains("crates/cache/src")
+            || file.path.contains("crates/trace/src/codec");
         if !in_scope || !file.is_library_code() {
             return;
         }
@@ -76,6 +78,15 @@ mod tests {
             "fn f() { let (tx, rx) = std::sync::mpsc::sync_channel::<u32>(4); }",
         )
         .is_empty());
+    }
+
+    #[test]
+    fn fires_in_cache_sweep_paths() {
+        let d = run(
+            "crates/cache/src/sweep.rs",
+            "fn f() { let (tx, rx) = std::sync::mpsc::channel::<u32>(); }",
+        );
+        assert!(!d.is_empty());
     }
 
     #[test]

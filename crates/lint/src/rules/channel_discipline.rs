@@ -1,0 +1,247 @@
+//! `channel-discipline`: semantic upgrade of `bounded-channel` — every
+//! `send`/`try_send` result must reach an error path.
+//!
+//! PR 4 made streaming fail-fast: a worker that dies must poison the
+//! session, not silently drop batches. That only works if no send
+//! result is discarded. This rule traces the construct→send→error-path
+//! chain at token level:
+//!
+//! - a `.send(…)` / `.try_send(…)` whose `Result` is dropped (`;`
+//!   right after the call), discarded (`.ok();`), shrugged off
+//!   (`let _ = …`), or panicked through (`.unwrap()` / `.expect(…)`)
+//!   is a violation — propagate with `?`, branch on
+//!   `.is_err()`/`.is_ok()`, or `match`/`if let` on it;
+//! - a library file that *constructs* a bounded channel
+//!   (`sync_channel`) but contains no send site at all gets a
+//!   file-level diagnostic: the sender leaves the file unobserved, so
+//!   its error path cannot be audited here (justify with a
+//!   suppression naming where the sends live, or move them).
+//!
+//! Test code is exempt; `bounded-channel` (CBS-L05) still polices
+//! *which* constructor is allowed.
+
+use crate::diag::Diagnostic;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct ChannelDiscipline;
+
+impl Rule for ChannelDiscipline {
+    fn name(&self) -> &'static str {
+        "channel-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "send/try_send results must be handled; constructed channels need visible send sites"
+    }
+
+    fn check_file(&self, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+        if !file.is_library_code() {
+            return;
+        }
+        let toks: Vec<_> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+        let mut construct_site: Option<(u32, u32)> = None;
+        let mut send_sites = 0usize;
+
+        for (i, t) in toks.iter().enumerate() {
+            if t.text == "sync_channel" && !file.in_test_code(t.line) && construct_site.is_none() {
+                // A type ascription (`Receiver<T>` in a signature)
+                // mentions no constructor; require a call `(`.
+                if toks.get(i + 1).map(|n| n.text.as_str()) == Some("(") {
+                    construct_site = Some((t.line, t.col));
+                }
+            }
+            if (t.text == "send" || t.text == "try_send")
+                && i > 0
+                && toks[i - 1].text == "."
+                && toks.get(i + 1).map(|n| n.text.as_str()) == Some("(")
+                && !file.in_test_code(t.line)
+            {
+                send_sites += 1;
+                // `let _ =` first: its trailing `;` would otherwise
+                // read as a plain drop and mislabel the message.
+                if let Some(problem) = let_underscore_before(&toks, i.saturating_sub(1))
+                    .or_else(|| misuse_after_call(&toks, i + 1))
+                {
+                    diags.push(Diagnostic::error(
+                        file.path.clone(),
+                        t.line,
+                        t.col,
+                        self.name(),
+                        format!(
+                            "{}(…) result is {problem}; propagate the error or \
+                             branch on it (the receiver may be gone — that is \
+                             the poison path)",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+        }
+
+        if let Some((line, col)) = construct_site {
+            if send_sites == 0 {
+                diags.push(Diagnostic::error(
+                    file.path.clone(),
+                    line,
+                    col,
+                    self.name(),
+                    "bounded channel is constructed here but no send site exists \
+                     in this file; its error path cannot be audited",
+                ));
+            }
+        }
+    }
+}
+
+/// Looks past the call's argument list: returns a description of the
+/// misuse, or `None` when the result is handled.
+fn misuse_after_call(toks: &[&crate::lexer::Token], open: usize) -> Option<&'static str> {
+    // Match the argument parens.
+    let mut depth = 0usize;
+    let mut k = open;
+    loop {
+        match toks.get(k)?.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    let after: Vec<&str> = toks[k + 1..]
+        .iter()
+        .take(4)
+        .map(|t| t.text.as_str())
+        .collect();
+    match after.as_slice() {
+        [";", ..] => Some("dropped on the floor"),
+        [".", "ok", "(", ")"] => Some("discarded via .ok()"),
+        [".", "unwrap", "(", ")"] => Some("panicked through with .unwrap()"),
+        [".", "expect", "(", ..] => Some("panicked through with .expect()"),
+        _ => None,
+    }
+}
+
+/// Was the statement holding index `i` opened with `let _ =`?
+fn let_underscore_before(toks: &[&crate::lexer::Token], i: usize) -> Option<&'static str> {
+    // Walk back to the statement boundary.
+    let mut j = i;
+    while j > 0 {
+        let t = toks[j - 1].text.as_str();
+        if matches!(t, ";" | "{" | "}") {
+            break;
+        }
+        j -= 1;
+    }
+    let stmt: Vec<&str> = toks[j..=i.min(toks.len() - 1)]
+        .iter()
+        .take(3)
+        .map(|t| t.text.as_str())
+        .collect();
+    if stmt.starts_with(&["let", "_", "="]) {
+        Some("shrugged off with `let _ =`")
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::from_text("crates/core/src/x.rs", src);
+        let mut d = Vec::new();
+        ChannelDiscipline.check_file(&f, &mut d);
+        d
+    }
+
+    #[test]
+    fn dropped_send_fires() {
+        let d = run("fn f(tx: &Sender<u32>) {\n    tx.send(1);\n}\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("dropped"));
+    }
+
+    #[test]
+    fn discarded_and_panicking_sends_fire() {
+        assert!(run("fn f(tx: &S) { tx.send(1).ok(); }\n")[0]
+            .message
+            .contains(".ok()"));
+        assert!(run("fn f(tx: &S) { tx.try_send(1).unwrap(); }\n")[0]
+            .message
+            .contains("unwrap"));
+        assert!(run("fn f(tx: &S) { tx.send(1).expect(\"boom\"); }\n")[0]
+            .message
+            .contains("expect"));
+        assert!(run("fn f(tx: &S) { let _ = tx.send(1); }\n")[0]
+            .message
+            .contains("let _ ="));
+    }
+
+    #[test]
+    fn handled_sends_pass() {
+        assert!(
+            run("fn f(tx: &S) -> Result<(), E> {\n    tx.send(1)?;\n    Ok(())\n}\n").is_empty()
+        );
+        assert!(run("fn f(tx: &S) -> bool {\n    tx.send(1).is_err()\n}\n").is_empty());
+        assert!(run(
+            "fn f(tx: &S) {\n    match tx.try_send(1) {\n        Ok(()) => {}\n        Err(e) => poison(e),\n    }\n}\n"
+        )
+        .is_empty());
+        assert!(
+            run("fn f(tx: &S) {\n    if tx.send(1).is_ok() {\n        advance();\n    }\n}\n")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn unrelated_send_free_code_passes() {
+        assert!(run("fn f() { resend(); sender(); }\n").is_empty());
+    }
+
+    #[test]
+    fn constructed_channel_without_send_site_fires() {
+        let d = run("fn f() -> (SyncSender<u32>, Receiver<u32>) {\n    mpsc::sync_channel(8)\n}\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("no send site"));
+    }
+
+    #[test]
+    fn constructed_channel_with_handled_send_passes() {
+        let src = "\
+fn f() -> Result<(), E> {
+    let (tx, rx) = mpsc::sync_channel(8);
+    tx.send(1)?;
+    drop(rx);
+    Ok(())
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_and_test_files_are_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t(tx: &S) {
+        tx.send(1).unwrap();
+    }
+}
+";
+        assert!(run(src).is_empty());
+        let f = SourceFile::from_text("crates/core/tests/x.rs", "fn f(tx: &S) { tx.send(1); }\n");
+        let mut d = Vec::new();
+        ChannelDiscipline.check_file(&f, &mut d);
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! `mergeable-audit`: types tagged `MERGEABLE` must expose `merge`
+//! plus an associativity test.
+//!
+//! ROADMAP item 1 (agent/controller fan-out) rests on one algebraic
+//! fact: partial analysis states merge lawfully, so
+//! `analyze(a ++ b) == merge(analyze(a), analyze(b))`. This rule
+//! enforces the contract from day one. Tagging is by doc comment —
+//! write `MERGEABLE` in a struct's or enum's docs (upper-case, so
+//! prose mentions don't trigger) and the index-level audit requires:
+//!
+//! - a `merge` method in some non-test `impl` of the type, in the
+//!   same crate;
+//! - a test (in one file) that mentions the type, `merge`, and an
+//!   identifier containing `assoc` — the shape of an associativity
+//!   proptest like `counter_merge_is_associative`.
+//!
+//! Untagged types are unconstrained; the tag is the opt-in.
+
+use crate::diag::Diagnostic;
+use crate::index::WorkspaceIndex;
+use crate::rules::Rule;
+
+/// The doc-comment tag marking a type as mergeable.
+pub const TAG: &str = "MERGEABLE";
+
+/// See module docs.
+#[derive(Debug)]
+pub struct MergeableAudit;
+
+impl Rule for MergeableAudit {
+    fn name(&self) -> &'static str {
+        "mergeable-audit"
+    }
+
+    fn description(&self) -> &'static str {
+        "MERGEABLE-tagged types need a merge method and an associativity test"
+    }
+
+    fn check_index(&self, index: &WorkspaceIndex<'_>, diags: &mut Vec<Diagnostic>) {
+        for cx in index.crates.values() {
+            for (name, sites) in &cx.types {
+                for site in sites {
+                    if !site.item.doc.contains(TAG)
+                        || !site.file.is_library_code()
+                        || site.file.in_test_code(site.item.line)
+                    {
+                        continue;
+                    }
+                    if cx.methods_named(name, "merge").is_empty() {
+                        diags.push(Diagnostic::error(
+                            site.file.path.clone(),
+                            site.item.line,
+                            1,
+                            self.name(),
+                            format!(
+                                "type `{name}` is tagged {TAG} but no `impl {name}` \
+                                 in this crate defines `merge`"
+                            ),
+                        ));
+                        continue;
+                    }
+                    let has_assoc_test = cx.test_idents.iter().any(|t| {
+                        t.idents.contains(name)
+                            && t.idents.contains("merge")
+                            && t.idents.iter().any(|i| i.to_lowercase().contains("assoc"))
+                    });
+                    if !has_assoc_test {
+                        diags.push(Diagnostic::error(
+                            site.file.path.clone(),
+                            site.item.line,
+                            1,
+                            self.name(),
+                            format!(
+                                "type `{name}` is tagged {TAG} but no test exercises \
+                                 `{name}`/`merge` associativity (name the test \
+                                 `*_assoc*` and drive merge(merge(a,b),c) == \
+                                 merge(a,merge(b,c)))"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(files: Vec<SourceFile>) -> Vec<Diagnostic> {
+        let mut d = Vec::new();
+        let index = WorkspaceIndex::build(&files);
+        MergeableAudit.check_index(&index, &mut d);
+        d
+    }
+
+    const TAGGED: &str = "\
+/// A running total. MERGEABLE: merging adds the totals.
+pub struct Counter {
+    total: u64,
+}
+impl Counter {
+    pub fn merge(&mut self, other: &Counter) {
+        self.total += other.total;
+    }
+}
+";
+
+    #[test]
+    fn tagged_type_with_merge_and_assoc_test_passes() {
+        let lib = SourceFile::from_text("crates/obs/src/metrics.rs", TAGGED);
+        let t = SourceFile::from_text(
+            "crates/obs/tests/merge_props.rs",
+            "#[test]\nfn counter_merge_is_associative() {\n    let mut a = Counter::default();\n    a.merge(&b);\n}\n",
+        );
+        assert!(run(vec![lib, t]).is_empty());
+    }
+
+    #[test]
+    fn tagged_type_without_merge_fires() {
+        let lib = SourceFile::from_text(
+            "crates/obs/src/metrics.rs",
+            "/// MERGEABLE.\npub struct Gauge { v: u64 }\n",
+        );
+        let d = run(vec![lib]);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("defines `merge`"));
+    }
+
+    #[test]
+    fn tagged_type_without_assoc_test_fires() {
+        let lib = SourceFile::from_text("crates/obs/src/metrics.rs", TAGGED);
+        let t = SourceFile::from_text(
+            "crates/obs/tests/merge_props.rs",
+            "#[test]\nfn merge_works() { let mut a = Counter::default(); a.merge(&b); }\n",
+        );
+        let d = run(vec![lib, t]);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("associativity"), "{d:?}");
+    }
+
+    #[test]
+    fn untagged_types_are_unconstrained() {
+        let lib = SourceFile::from_text(
+            "crates/obs/src/metrics.rs",
+            "/// Keeps a mergeable-looking total, but is not tagged.\npub struct Plain { v: u64 }\n",
+        );
+        assert!(run(vec![lib]).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_assoc_module_counts() {
+        let src = format!(
+            "{TAGGED}#[cfg(test)]\nmod tests {{\n    #[test]\n    fn assoc_law() {{ Counter::default().merge(&o); }}\n}}\n"
+        );
+        let lib = SourceFile::from_text("crates/obs/src/metrics.rs", &src);
+        assert!(run(vec![lib]).is_empty());
+    }
+}

@@ -1,0 +1,349 @@
+//! `obs-metric-registry`: every metric-name literal is registered and
+//! documented exactly once.
+//!
+//! cbs-obs metric names are stringly-typed: `registry.counter(
+//! "stream.batches")` compiles no matter what the string says, and
+//! EXPERIMENTS.md documents names by hand. The two drift. This rule
+//! pins both sides to one canonical table, `METRIC_NAMES` in
+//! `crates/obs/src/names.rs` (`&[(&str, &str)]` of name → doc):
+//!
+//! - every name passed to `.counter(…)`, `.gauge(…)`, `.histogram(…)`
+//!   or `.span(…)` as a string literal (directly or via `format!`)
+//!   must match a registry entry exactly — `format!` interpolations
+//!   normalize to `*`, so `format!("stream.shard{i}.requests")`
+//!   matches the entry `stream.shard*.requests`;
+//! - a registry entry no scanned code emits is stale and flagged;
+//! - duplicate registry names are flagged.
+//!
+//! Names built from `&str` variables don't match the pattern and are
+//! invisible to this rule — keep emission sites literal. When the
+//! scanned set contains no `METRIC_NAMES` table (scoped runs, fixture
+//! sets without one), the rule is silent.
+
+use std::collections::BTreeSet;
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// Registry-emitting methods whose first argument is a metric name.
+const EMITTERS: &[&str] = &["counter", "gauge", "histogram", "span"];
+
+/// See module docs.
+#[derive(Debug)]
+pub struct ObsMetricRegistry;
+
+struct Entry {
+    name: String,
+    file: String,
+    line: u32,
+    col: u32,
+}
+
+struct UseSite {
+    name: String,
+    file: String,
+    line: u32,
+    col: u32,
+}
+
+impl Rule for ObsMetricRegistry {
+    fn name(&self) -> &'static str {
+        "obs-metric-registry"
+    }
+
+    fn description(&self) -> &'static str {
+        "metric-name literals must match the METRIC_NAMES registry exactly once"
+    }
+
+    fn check_workspace(&self, files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+        let mut entries: Vec<Entry> = Vec::new();
+        for file in files {
+            collect_registry(file, &mut entries);
+        }
+        if entries.is_empty() {
+            return; // no registry in scope: nothing to pin against
+        }
+        for (i, e) in entries.iter().enumerate() {
+            if entries[..i].iter().any(|p| p.name == e.name) {
+                diags.push(Diagnostic::error(
+                    e.file.clone(),
+                    e.line,
+                    e.col,
+                    self.name(),
+                    format!("metric `{}` is registered more than once", e.name),
+                ));
+            }
+        }
+
+        let mut sites: Vec<UseSite> = Vec::new();
+        for file in files {
+            collect_use_sites(file, &mut sites);
+        }
+        let mut used: BTreeSet<&str> = BTreeSet::new();
+        for s in &sites {
+            if let Some(e) = entries.iter().find(|e| e.name == s.name) {
+                used.insert(e.name.as_str());
+            } else {
+                diags.push(Diagnostic::error(
+                    s.file.clone(),
+                    s.line,
+                    s.col,
+                    self.name(),
+                    format!(
+                        "metric `{}` is not in METRIC_NAMES; register and document \
+                         it in crates/obs/src/names.rs",
+                        s.name
+                    ),
+                ));
+            }
+        }
+        for e in &entries {
+            if !used.contains(e.name.as_str()) {
+                diags.push(Diagnostic::error(
+                    e.file.clone(),
+                    e.line,
+                    e.col,
+                    self.name(),
+                    format!(
+                        "registered metric `{}` is emitted by no scanned code; \
+                         remove the stale entry",
+                        e.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Parses `METRIC_NAMES: &[(&str, &str)] = &[("name", "doc"), …]`
+/// entries out of a file's token stream.
+fn collect_registry(file: &SourceFile, entries: &mut Vec<Entry>) {
+    if !file.is_library_code() {
+        return;
+    }
+    let toks: Vec<_> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+    let Some(start) = toks.iter().position(|t| t.text == "METRIC_NAMES") else {
+        return;
+    };
+    // Find the initializer's opening `[` (after `=`), then walk tuples
+    // until its matching `]`.
+    let Some(eq) = toks[start..].iter().position(|t| t.text == "=") else {
+        return;
+    };
+    let Some(open) = toks[start + eq..].iter().position(|t| t.text == "[") else {
+        return;
+    };
+    let mut depth = 0usize;
+    let mut i = start + eq + open;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "(" if depth == 1 => {
+                // Tuple: first Str is the metric name.
+                if let Some(t) = toks.get(i + 1) {
+                    if t.kind == TokenKind::Str {
+                        entries.push(Entry {
+                            name: unquote(&t.text),
+                            file: file.path.clone(),
+                            line: t.line,
+                            col: t.col,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Collects `.counter("…")`-shaped emission sites (literal or
+/// `format!`-built names) from non-test library code.
+fn collect_use_sites(file: &SourceFile, sites: &mut Vec<UseSite>) {
+    if !file.is_library_code() {
+        return;
+    }
+    let toks: Vec<_> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+    for (i, t) in toks.iter().enumerate() {
+        if !EMITTERS.contains(&t.text.as_str())
+            || i == 0
+            || toks[i - 1].text != "."
+            || toks.get(i + 1).map(|n| n.text.as_str()) != Some("(")
+            || file.in_test_code(t.line)
+        {
+            continue;
+        }
+        // First argument: `"lit"`, `format!("lit…", …)`, or
+        // `&format!(…)`.
+        let mut j = i + 2;
+        if toks.get(j).map(|n| n.text.as_str()) == Some("&") {
+            j += 1;
+        }
+        let name = match toks.get(j) {
+            Some(s) if s.kind == TokenKind::Str => Some((normalize(&unquote(&s.text)), *s)),
+            Some(f) if f.text == "format" => match toks.get(j + 3) {
+                // format ! ( "lit"
+                Some(s) if s.kind == TokenKind::Str => Some((normalize(&unquote(&s.text)), *s)),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some((name, at)) = name {
+            sites.push(UseSite {
+                name,
+                file: file.path.clone(),
+                line: at.line,
+                col: at.col,
+            });
+        }
+    }
+}
+
+/// Strips the surrounding quotes off a string-literal token.
+fn unquote(text: &str) -> String {
+    text.trim_start_matches('"')
+        .trim_end_matches('"')
+        .to_owned()
+}
+
+/// Replaces every `{…}` interpolation with `*` (and unescapes `{{`).
+fn normalize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut chars = name.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' if chars.peek() == Some(&'{') => {
+                chars.next();
+                out.push('{');
+            }
+            '{' => {
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                }
+                out.push('*');
+            }
+            '}' if chars.peek() == Some(&'}') => {
+                chars.next();
+                out.push('}');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: Vec<SourceFile>) -> Vec<Diagnostic> {
+        let mut d = Vec::new();
+        ObsMetricRegistry.check_workspace(&files, &mut d);
+        d
+    }
+
+    const REGISTRY: &str = "\
+/// Canonical metric names.
+pub const METRIC_NAMES: &[(&str, &str)] = &[
+    (\"decode.batches\", \"batches decoded\"),
+    (\"stream.shard*.requests\", \"per-shard request count\"),
+];
+";
+
+    #[test]
+    fn registered_literal_and_format_sites_pass() {
+        let names = SourceFile::from_text("crates/obs/src/names.rs", REGISTRY);
+        let user = SourceFile::from_text(
+            "crates/core/src/streaming.rs",
+            "fn f(r: &Registry, i: usize) {\n    r.counter(\"decode.batches\");\n    r.counter(&format!(\"stream.shard{i}.requests\"));\n}\n",
+        );
+        assert!(run(vec![names, user]).is_empty());
+    }
+
+    #[test]
+    fn unregistered_name_fires() {
+        let names = SourceFile::from_text("crates/obs/src/names.rs", REGISTRY);
+        let user = SourceFile::from_text(
+            "crates/core/src/streaming.rs",
+            "fn f(r: &Registry) {\n    r.counter(\"decode.batches\");\n    r.gauge(\"stream.shard0.requests\");\n    r.counter(\"surprise.metric\");\n}\n",
+        );
+        let d = run(vec![names, user]);
+        // `stream.shard0.requests` is a literal, not a format!, so it
+        // does not normalize to the wildcard entry — by design: emit
+        // wildcard families through format!. That in turn leaves the
+        // wildcard entry unemitted here, so it reports stale.
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(d.iter().any(|x| x.message.contains("surprise.metric")));
+        assert!(d
+            .iter()
+            .any(|x| x.message.contains("stream.shard0.requests")));
+        assert!(d
+            .iter()
+            .any(|x| x.message.contains("emitted by no scanned code")));
+    }
+
+    #[test]
+    fn stale_and_duplicate_entries_fire() {
+        let names = SourceFile::from_text(
+            "crates/obs/src/names.rs",
+            "pub const METRIC_NAMES: &[(&str, &str)] = &[\n    (\"a.b\", \"doc\"),\n    (\"a.b\", \"doc again\"),\n    (\"never.emitted\", \"doc\"),\n];\n",
+        );
+        let user = SourceFile::from_text(
+            "crates/core/src/x.rs",
+            "fn f(r: &Registry) { r.counter(\"a.b\"); }\n",
+        );
+        let d = run(vec![names, user]);
+        assert!(
+            d.iter().any(|x| x.message.contains("more than once")),
+            "{d:?}"
+        );
+        assert!(
+            d.iter().any(|x| x.message.contains("never.emitted")),
+            "{d:?}"
+        );
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn silent_without_registry_in_scope() {
+        let user = SourceFile::from_text(
+            "crates/core/src/x.rs",
+            "fn f(r: &Registry) { r.counter(\"anything.goes\"); }\n",
+        );
+        assert!(run(vec![user]).is_empty());
+    }
+
+    #[test]
+    fn test_code_sites_are_exempt() {
+        let names = SourceFile::from_text(
+            "crates/obs/src/names.rs",
+            "pub const METRIC_NAMES: &[(&str, &str)] = &[(\"decode.batches\", \"doc\")];\n",
+        );
+        let user = SourceFile::from_text(
+            "crates/core/src/x.rs",
+            "fn f(r: &Registry) { r.counter(\"decode.batches\"); }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t(r: &Registry) { r.counter(\"ad.hoc.test.metric\"); }\n}\n",
+        );
+        assert!(run(vec![names, user]).is_empty());
+    }
+
+    #[test]
+    fn normalize_handles_interpolations_and_escapes() {
+        assert_eq!(
+            normalize("stream.shard{i}.requests"),
+            "stream.shard*.requests"
+        );
+        assert_eq!(normalize("plain.name"), "plain.name");
+        assert_eq!(normalize("odd.{{literal}}.braces"), "odd.{literal}.braces");
+        assert_eq!(normalize("a.{x:>8}.b"), "a.*.b");
+    }
+}

@@ -1,0 +1,151 @@
+//! `simd-twin-parity`: every `#[target_feature]` kernel must have a
+//! scalar twin, and one test must exercise both.
+//!
+//! The AVX2 kernels in `crates/analysis` are trustworthy only because
+//! each has a scalar twin proven bit-identical by proptest. That
+//! convention — `avx2::op_len_sums` ↔ `op_len_sums_scalar`, both named
+//! by one parity test — was enforced by review. This rule makes it
+//! mechanical, via the symbol index:
+//!
+//! - every **public** `#[target_feature(...)]` function must have a
+//!   twin named `<base>_scalar` in the same crate (`<base>` is the
+//!   kernel's name with any `_avx2` suffix stripped);
+//! - some single file's test code must mention both the kernel and
+//!   the twin (macro bodies lex as ordinary tokens, so `proptest!`
+//!   blocks count).
+//!
+//! Private helpers inside a SIMD module (e.g. `hsum_epi64`) are
+//! implementation detail of a kernel that is itself checked, and are
+//! exempt.
+
+use crate::diag::Diagnostic;
+use crate::index::WorkspaceIndex;
+use crate::rules::Rule;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct SimdTwinParity;
+
+impl Rule for SimdTwinParity {
+    fn name(&self) -> &'static str {
+        "simd-twin-parity"
+    }
+
+    fn description(&self) -> &'static str {
+        "target_feature kernels need a <base>_scalar twin plus a shared parity test"
+    }
+
+    fn check_index(&self, index: &WorkspaceIndex<'_>, diags: &mut Vec<Diagnostic>) {
+        for cx in index.crates.values() {
+            for (name, sites) in &cx.fns {
+                for site in sites {
+                    if site.in_test
+                        || !site.item.vis_pub
+                        || !site.item.has_attr("target_feature")
+                        || !site.file.is_library_code()
+                    {
+                        continue;
+                    }
+                    let base = name.strip_suffix("_avx2").unwrap_or(name);
+                    let twin = format!("{base}_scalar");
+                    if cx.lib_fns(&twin).is_empty() {
+                        diags.push(Diagnostic::error(
+                            site.file.path.clone(),
+                            site.item.line,
+                            1,
+                            self.name(),
+                            format!(
+                                "kernel `{name}` has no scalar twin `{twin}` in this \
+                                 crate; SIMD paths must be checkable against scalar \
+                                 ground truth"
+                            ),
+                        ));
+                    } else if !cx.any_test_mentions_all(&[name, &twin]) {
+                        diags.push(Diagnostic::error(
+                            site.file.path.clone(),
+                            site.item.line,
+                            1,
+                            self.name(),
+                            format!(
+                                "no single test mentions both `{name}` and `{twin}`; \
+                                 add a parity test driving the pair on shared inputs"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(files: Vec<SourceFile>) -> Vec<Diagnostic> {
+        let mut d = Vec::new();
+        let index = WorkspaceIndex::build(&files);
+        SimdTwinParity.check_index(&index, &mut d);
+        d
+    }
+
+    const KERNEL: &str = "\
+pub mod avx2 {
+    #[target_feature(enable = \"avx2\")]
+    pub unsafe fn op_sums(p: *const u8) -> u64 { 0 }
+}
+pub fn op_sums_scalar(p: &[u8]) -> u64 { 0 }
+";
+
+    #[test]
+    fn kernel_with_twin_and_parity_test_passes() {
+        let lib = SourceFile::from_text("crates/analysis/src/simd.rs", KERNEL);
+        let t = SourceFile::from_text(
+            "crates/analysis/tests/parity.rs",
+            "#[test]\nfn parity() { assert_eq!(unsafe { avx2::op_sums(p) }, op_sums_scalar(s)); }\n",
+        );
+        assert!(run(vec![lib, t]).is_empty());
+    }
+
+    #[test]
+    fn missing_twin_fires() {
+        let lib = SourceFile::from_text(
+            "crates/analysis/src/simd.rs",
+            "#[target_feature(enable = \"avx2\")]\npub unsafe fn lonely(p: *const u8) -> u64 { 0 }\n",
+        );
+        let d = run(vec![lib]);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("lonely_scalar"));
+    }
+
+    #[test]
+    fn missing_parity_test_fires() {
+        let lib = SourceFile::from_text("crates/analysis/src/simd.rs", KERNEL);
+        let t = SourceFile::from_text(
+            "crates/analysis/tests/partial.rs",
+            "#[test]\nfn only_simd() { unsafe { avx2::op_sums(p) }; }\n",
+        );
+        let d = run(vec![lib, t]);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("no single test mentions both"));
+    }
+
+    #[test]
+    fn avx2_suffix_maps_to_base_scalar_twin() {
+        let lib = SourceFile::from_text(
+            "crates/analysis/src/simd.rs",
+            "#[target_feature(enable = \"avx2\")]\npub unsafe fn deltas_avx2(p: *const u8) {}\npub fn deltas_scalar(p: &[u8]) {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn parity() { deltas_avx2(); deltas_scalar(); }\n}\n",
+        );
+        assert!(run(vec![lib]).is_empty());
+    }
+
+    #[test]
+    fn private_helpers_are_exempt() {
+        let lib = SourceFile::from_text(
+            "crates/analysis/src/simd.rs",
+            "mod avx2 {\n    #[target_feature(enable = \"avx2\")]\n    unsafe fn hsum(x: u64) -> u64 { x }\n}\n",
+        );
+        assert!(run(vec![lib]).is_empty());
+    }
+}

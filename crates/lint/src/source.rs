@@ -6,6 +6,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::lexer::{lex, Token};
+use crate::parser::{self, Item};
 
 /// Error walking or reading source files.
 #[derive(Debug)]
@@ -41,6 +42,9 @@ pub struct SourceFile {
     pub lines: Vec<String>,
     /// The token stream.
     pub tokens: Vec<Token>,
+    /// Parsed item tree (best effort, never fails — see
+    /// [`crate::parser`]).
+    pub items: Vec<Item>,
     /// Whole file is test/bench/example collateral (path-based).
     pub is_test_path: bool,
     /// Whole file is a binary target (`src/bin/` or `src/main.rs`).
@@ -57,6 +61,7 @@ impl SourceFile {
     pub fn from_text(path: &str, text: &str) -> Self {
         let norm = path.replace('\\', "/");
         let tokens = lex(text);
+        let items = parser::parse_items(&tokens);
         let test_spans = find_test_spans(&tokens);
         let is_test_path = ["/tests/", "/benches/", "/examples/", "/fuzz/"]
             .iter()
@@ -67,6 +72,7 @@ impl SourceFile {
             path: norm,
             lines: text.lines().map(str::to_owned).collect(),
             tokens,
+            items,
             is_test_path,
             is_bin_path,
             test_spans,
@@ -102,6 +108,11 @@ impl SourceFile {
         self.lines
             .get(line.saturating_sub(1) as usize)
             .map(String::as_str)
+    }
+
+    /// The chain of parsed items enclosing `line`, outermost first.
+    pub fn enclosing_items(&self, line: u32) -> Vec<&Item> {
+        parser::enclosing_chain(&self.items, line)
     }
 }
 

@@ -42,10 +42,14 @@ pub fn collect(file: &SourceFile, diags: &mut Vec<Diagnostic>) -> Vec<Suppressio
         }
         match parse(&tok.text) {
             Some((rules, justification)) => {
+                // Trailing means code precedes the comment on its own
+                // line. Compare against `end_line`: a multi-line token
+                // (raw string, block comment) *ends* on the suppression's
+                // line even though it *starts* earlier.
                 let trailing = file.tokens[..idx]
                     .iter()
                     .rev()
-                    .take_while(|t| t.line == tok.line)
+                    .take_while(|t| t.end_line == tok.line)
                     .any(|t| !t.is_comment());
                 let applies_to = if trailing {
                     tok.line
@@ -186,6 +190,117 @@ let b = 2;
         assert_eq!(sups.len(), 2);
         assert_eq!(sups[0].applies_to, 1);
         assert_eq!(sups[1].applies_to, 3);
+    }
+
+    #[test]
+    fn trailing_after_multi_line_token_applies_to_own_line() {
+        // The raw string starts on line 1 and ends on line 3; the
+        // suppression is a *trailing* comment on line 3 (code precedes
+        // it on that line), not a standalone one for line 4.
+        let src = "let s = r#\"one\ntwo\nthree\"#; // cbs-lint: allow(rule-a) -- why\nlet t = 4;\n";
+        let f = SourceFile::from_text("crates/core/src/x.rs", src);
+        let mut diags = Vec::new();
+        let sups = collect(&f, &mut diags);
+        assert!(diags.is_empty());
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0].comment_line, 3);
+        assert_eq!(sups[0].applies_to, 3, "trailing, not standalone");
+    }
+
+    #[test]
+    fn suppression_on_last_line_of_file() {
+        // Trailing on the very last line (no trailing newline): works.
+        let src = "let a = 1; // cbs-lint: allow(rule-a) -- why";
+        let f = SourceFile::from_text("crates/core/src/x.rs", src);
+        let mut diags = Vec::new();
+        let sups = collect(&f, &mut diags);
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0].applies_to, 1);
+        let out = apply(
+            &f,
+            sups,
+            vec![Diagnostic::error(f.path.clone(), 1, 5, "rule-a", "m")],
+        );
+        assert!(out.is_empty());
+
+        // Standalone on the last line with no code after it: nothing to
+        // apply to, so it must surface as unused rather than silently
+        // vanish or panic.
+        let src = "let a = 1;\n// cbs-lint: allow(rule-a) -- why";
+        let f = SourceFile::from_text("crates/core/src/x.rs", src);
+        let mut diags = Vec::new();
+        let sups = collect(&f, &mut diags);
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0].applies_to, 3, "points past EOF");
+        let out = apply(&f, sups, Vec::new());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "unused-suppression");
+    }
+
+    #[test]
+    fn stacked_suppressions_cover_one_line() {
+        // Two standalone suppression comments stacked above one line:
+        // both apply to it, and each is tracked for use independently.
+        let src = "\
+// cbs-lint: allow(rule-a) -- first
+// cbs-lint: allow(rule-b) -- second
+let x = 1;
+";
+        let f = SourceFile::from_text("crates/core/src/x.rs", src);
+        let mut diags = Vec::new();
+        let sups = collect(&f, &mut diags);
+        assert!(diags.is_empty());
+        assert_eq!(sups.len(), 2);
+        assert_eq!(sups[0].applies_to, 3);
+        assert_eq!(sups[1].applies_to, 3);
+        // Both rules fire on line 3: both suppressions used, no output.
+        let hits = vec![
+            Diagnostic::error(f.path.clone(), 3, 1, "rule-a", "m"),
+            Diagnostic::error(f.path.clone(), 3, 1, "rule-b", "m"),
+        ];
+        let mut pre = Vec::new();
+        let out = apply(&f, collect(&f, &mut pre), hits);
+        assert!(out.is_empty());
+        // Only rule-a fires: rule-b's suppression is unused.
+        let hits = vec![Diagnostic::error(f.path.clone(), 3, 1, "rule-a", "m")];
+        let out = apply(&f, sups, hits);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "unused-suppression");
+        assert!(out[0].message.contains("rule-b"));
+
+        // Block-comment suppressions sharing a line with the code they
+        // cover: both are standalone (no code *before* them) and the
+        // "next code" is the same line.
+        let src = "/* cbs-lint: allow(rule-a) -- a */ /* cbs-lint: allow(rule-b) -- b */ f();\n";
+        let f = SourceFile::from_text("crates/core/src/x.rs", src);
+        let mut pre = Vec::new();
+        let sups = collect(&f, &mut pre);
+        assert_eq!(sups.len(), 2);
+        assert!(sups.iter().all(|s| s.applies_to == 1));
+    }
+
+    #[test]
+    fn unused_suppression_fires_inside_cfg_test_modules() {
+        // Most rules exempt test code, which makes suppressions there
+        // especially prone to rot; unused-suppression must still fire.
+        let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let a = 1; // cbs-lint: allow(rule-a) -- stale
+        assert_eq!(a, 1);
+    }
+}
+";
+        let f = SourceFile::from_text("crates/core/src/x.rs", src);
+        assert!(f.in_test_code(5), "fixture line must be in test code");
+        let mut pre = Vec::new();
+        let sups = collect(&f, &mut pre);
+        assert_eq!(sups.len(), 1);
+        let out = apply(&f, sups, Vec::new());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "unused-suppression");
     }
 
     #[test]

@@ -1,0 +1,22 @@
+//! Fixture: `channel-discipline` — one dropped send result (must
+//! fire), one discarded send waved through by a justified suppression,
+//! and a constructed channel whose sends are visibly handled.
+
+use std::sync::mpsc::{Receiver, SyncSender};
+
+fn dropped(tx: &SyncSender<u32>) {
+    tx.send(1);
+}
+
+fn waved(tx: &SyncSender<u32>) {
+    // cbs-lint: allow(channel-discipline) -- fixture: the receiver outlives every sender by construction
+    tx.send(2).ok();
+}
+
+fn fed() -> Option<u32> {
+    let (tx, rx) = std::sync::mpsc::sync_channel(1);
+    if tx.send(3).is_err() {
+        return None;
+    }
+    rx.recv().ok()
+}

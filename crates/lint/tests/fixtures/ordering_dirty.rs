@@ -1,0 +1,13 @@
+//! Fixture: `atomic-ordering-audit` — one bare `Ordering::*` site
+//! (must fire) and one waved through by a justified suppression.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bare(cell: &AtomicU64) -> u64 {
+    cell.load(Ordering::Relaxed)
+}
+
+fn waved(cell: &AtomicU64) {
+    // cbs-lint: allow(atomic-ordering-audit) -- fixture: justification lives in the caller's protocol doc
+    cell.store(0, Ordering::SeqCst);
+}

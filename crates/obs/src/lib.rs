@@ -49,9 +49,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod metrics;
+pub mod names;
 pub mod registry;
 pub mod timer;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use names::METRIC_NAMES;
 pub use registry::{MetricKind, MetricSample, MetricValue, Registry};
 pub use timer::{RunningSpan, SpanTimer, Stopwatch};

@@ -12,17 +12,28 @@ use std::sync::Arc;
 
 /// A monotonically increasing event count.
 ///
+/// MERGEABLE: counters form a commutative monoid under [`merge`]
+/// (totals add; a fresh counter is the identity), so per-worker
+/// counters can be combined into one fleet-wide total in any grouping
+/// order — the algebra ROADMAP item 1's fan-out rests on.
+///
 /// ```
 /// let c = cbs_obs::Counter::new();
 /// c.inc();
 /// c.add(41);
 /// assert_eq!(c.get(), 42);
 /// ```
+///
+/// [`merge`]: Counter::merge
 #[derive(Debug, Clone, Default)]
 pub struct Counter {
     value: Arc<AtomicU64>,
 }
 
+// ORDERING: a counter is one independent monotonic cell. Relaxed is
+// exact for the value itself (every fetch_add lands), and no other
+// memory is published through it, so no Acquire/Release pairing exists
+// to preserve.
 impl Counter {
     /// Creates a counter at zero.
     pub fn new() -> Self {
@@ -45,6 +56,16 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
     }
+
+    /// Folds `other`'s total into this counter (wrapping, like `add`).
+    ///
+    /// Merging is associative and commutative, and a fresh counter is
+    /// the identity: `merge(merge(a, b), c)` equals
+    /// `merge(a, merge(b, c))` for any grouping of partial counts.
+    /// `other` is read, not drained — merge each partial exactly once.
+    pub fn merge(&self, other: &Counter) {
+        self.add(other.get());
+    }
 }
 
 /// A settable level: current value plus helpers for tracking extremes.
@@ -57,6 +78,9 @@ pub struct Gauge {
     value: Arc<AtomicU64>,
 }
 
+// ORDERING: like Counter, a gauge is a single telemetry cell that
+// synchronizes nothing else — set/inc/dec/fetch_max are all Relaxed.
+// Readers may observe a slightly stale level, never a torn one.
 impl Gauge {
     /// Creates a gauge at zero.
     pub fn new() -> Self {
@@ -124,11 +148,18 @@ impl Default for HistogramInner {
 /// A fixed-bucket histogram of `u64` samples (latencies in nanoseconds,
 /// request sizes in bytes, batch lengths, …).
 ///
+/// MERGEABLE: histograms with the same (fixed) bucket layout form a
+/// commutative monoid under [`merge`] — buckets, counts and sums add,
+/// extremes take min/max — so per-shard histograms combine into one
+/// distribution in any grouping order.
+///
 /// Buckets are powers of two, so recording is branch-free
 /// (`leading_zeros`) and the memory footprint is constant (65 × 8 B of
 /// buckets). Quantiles are approximate: the reported value is the upper
 /// bound of the bucket containing the quantile, clamped to the observed
 /// maximum — at most one power of two away from the true sample.
+/// Because bucket boundaries never move, merging loses no precision
+/// beyond what recording already lost.
 ///
 /// ```
 /// let h = cbs_obs::Histogram::new();
@@ -141,6 +172,8 @@ impl Default for HistogramInner {
 /// assert_eq!(snap.min, 1);
 /// assert_eq!(snap.max, 100);
 /// ```
+///
+/// [`merge`]: Histogram::merge
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
     inner: Arc<HistogramInner>,
@@ -163,6 +196,11 @@ fn bucket_upper_bound(b: usize) -> u64 {
     }
 }
 
+// ORDERING: every bucket/count/sum/min/max cell is updated with an
+// independent Relaxed RMW — each sample is recorded exactly once, and
+// cross-cell consistency is explicitly not promised (see `snapshot`
+// docs). Nothing is published through the histogram, so Relaxed loads
+// are likewise sufficient on the read side.
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
@@ -215,6 +253,29 @@ impl Histogram {
             }
         }
         Some(self.inner.max.load(Ordering::Relaxed))
+    }
+
+    /// Folds `other`'s samples into this histogram: buckets, count and
+    /// sum add (wrapping), min/max take the extremes.
+    ///
+    /// Merging is associative and commutative with the empty histogram
+    /// as identity, so per-shard histograms reduce in any grouping
+    /// order. `other` is read, not drained — merge each partial exactly
+    /// once. Like `snapshot`, merging concurrent with writers may fold
+    /// in a partially recorded sample.
+    pub fn merge(&self, other: &Histogram) {
+        let (a, b) = (&self.inner, &other.inner);
+        for (mine, theirs) in a.buckets.iter().zip(&b.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        a.count
+            .fetch_add(b.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        a.sum
+            .fetch_add(b.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        a.min
+            .fetch_min(b.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        a.max
+            .fetch_max(b.max.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// A consistent-enough copy of the current state (buckets are read

@@ -1,0 +1,118 @@
+//! Property tests for the MERGEABLE metric algebra.
+//!
+//! ROADMAP item 1 (agent/controller fan-out) assumes partial metrics
+//! merge lawfully: combining per-worker state must give the same
+//! answer no matter how the reductions are grouped or ordered. These
+//! tests pin the monoid laws — associativity, commutativity, identity —
+//! for [`Counter`] and [`Histogram`], and are the associativity
+//! evidence `cbs-lint`'s `mergeable-audit` rule (CBS-L13) requires.
+
+use proptest::prelude::*;
+
+use cbs_obs::{Counter, Histogram};
+
+/// A counter holding the given total.
+fn counter(total: u64) -> Counter {
+    let c = Counter::new();
+    c.add(total);
+    c
+}
+
+/// A histogram holding the given samples.
+fn histogram(samples: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// Full observable state of a histogram, for equality checks: the
+/// snapshot covers count/sum/min/max and the bucketed quantiles.
+fn observe(h: &Histogram) -> (u64, u64, u64, u64, u64, u64, u64) {
+    let s = h.snapshot();
+    (s.count, s.sum, s.min, s.max, s.p50, s.p90, s.p99)
+}
+
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..=u64::MAX, 0..40)
+}
+
+proptest! {
+    /// `merge` on counters is associative:
+    /// `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)`.
+    #[test]
+    fn counter_merge_is_associative(
+        a in (0u64..=u64::MAX),
+        b in (0u64..=u64::MAX),
+        c in (0u64..=u64::MAX),
+    ) {
+        let left = counter(a);
+        left.merge(&counter(b));
+        left.merge(&counter(c));
+
+        let right_tail = counter(b);
+        right_tail.merge(&counter(c));
+        let right = counter(a);
+        right.merge(&right_tail);
+
+        prop_assert_eq!(left.get(), right.get());
+    }
+
+    /// Counter merge commutes and a fresh counter is the identity.
+    #[test]
+    fn counter_merge_commutes_with_identity(a in (0u64..=u64::MAX), b in (0u64..=u64::MAX)) {
+        let ab = counter(a);
+        ab.merge(&counter(b));
+        let ba = counter(b);
+        ba.merge(&counter(a));
+        prop_assert_eq!(ab.get(), ba.get());
+
+        let with_identity = counter(a);
+        with_identity.merge(&Counter::new());
+        prop_assert_eq!(with_identity.get(), a);
+    }
+
+    /// `merge` on histograms is associative across every observable:
+    /// buckets (via quantiles), count, sum, min, max.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in arb_samples(),
+        b in arb_samples(),
+        c in arb_samples(),
+    ) {
+        let left = histogram(&a);
+        left.merge(&histogram(&b));
+        left.merge(&histogram(&c));
+
+        let right_tail = histogram(&b);
+        right_tail.merge(&histogram(&c));
+        let right = histogram(&a);
+        right.merge(&right_tail);
+
+        prop_assert_eq!(observe(&left), observe(&right));
+    }
+
+    /// Histogram merge equals recording the concatenated samples
+    /// directly (the homomorphism that makes fan-out exact), commutes,
+    /// and has the empty histogram as identity.
+    #[test]
+    fn histogram_merge_matches_direct_recording(
+        a in arb_samples(),
+        b in arb_samples(),
+    ) {
+        let merged = histogram(&a);
+        merged.merge(&histogram(&b));
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(observe(&merged), observe(&histogram(&both)));
+
+        let flipped = histogram(&b);
+        flipped.merge(&histogram(&a));
+        prop_assert_eq!(observe(&merged), observe(&flipped));
+
+        let with_identity = histogram(&a);
+        with_identity.merge(&Histogram::new());
+        prop_assert_eq!(observe(&with_identity), observe(&histogram(&a)));
+    }
+}

@@ -692,6 +692,10 @@ where
                 let mut chunks = chunks;
                 let mut seq = 0u64;
                 loop {
+                    // ORDERING: abort is an advisory stop flag; Relaxed
+                    // suffices because the error itself travels through
+                    // `failure`/join, not through this load, and a late
+                    // observation only feeds a few extra chunks.
                     if abort.load(Ordering::Relaxed) {
                         return None;
                     }
@@ -745,6 +749,9 @@ where
             while let Some(out) = pending.remove(&next_seq) {
                 next_seq += 1;
                 if let Err(e) = consume(out) {
+                    // ORDERING: Relaxed store pairs with the feeder's
+                    // advisory Relaxed load above; shutdown correctness
+                    // rests on channel close + join, not this flag.
                     abort.store(true, Ordering::Relaxed);
                     pending.clear();
                     failure = Some(e);

@@ -94,7 +94,10 @@ impl AsRef<[u8]> for Mmap {
 // allow (not forbid) for this module only: mapping a file and handing
 // out `&[u8]` is irreducibly unsafe, so the unsafe surface lives here
 // behind a safe `Map` wrapper, with a SAFETY comment per call site.
-#[cfg(unix)]
+// Miri has no mmap(2): under interpretation the buffered fallback
+// below runs instead, keeping the Miri lane (`CHECK_SANITIZERS=1` in
+// scripts/check.sh) able to drive the slice-reader end to end.
+#[cfg(all(unix, not(miri)))]
 #[allow(unsafe_code)]
 mod imp {
     use std::ffi::c_void;
@@ -192,12 +195,14 @@ mod imp {
     }
 }
 
-#[cfg(not(unix))]
+#[cfg(any(not(unix), miri))]
 mod imp {
     use std::fs::File;
     use std::io::{self, Read};
 
     /// Portable fallback: the file is read into an owned buffer.
+    /// Also the implementation under Miri, which interprets no
+    /// foreign code.
     #[derive(Debug)]
     pub(super) struct Map {
         bytes: Vec<u8>,

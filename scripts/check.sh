@@ -1,6 +1,17 @@
 #!/usr/bin/env bash
 # Full local gate: build, tests, lints, formatting.
 # Usage: scripts/check.sh
+#
+# Opt-in dynamic-verification lanes (CHECK_SANITIZERS=1):
+#   - Miri over the mmap/CBT slice-reader and SIMD scalar-parity tests
+#     (undefined-behavior interpreter; mmap falls back to its buffered
+#     read under cfg(miri));
+#   - ThreadSanitizer over the streaming/sweep channel tests (data-race
+#     detection across the producer/worker fan-out).
+# Each lane probes its toolchain first and SKIPs with a note when the
+# component is unavailable (Miri and rust-src are rustup downloads, so
+# offline machines and minimal CI images run everything else and report
+# the lanes as skipped rather than failing).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,12 +25,33 @@ echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
 echo "==> cbs-lint --json crates"
-lint_out="$(cargo run -q --release -p cbs-lint -- --json crates || true)"
-if [ "${lint_out}" != "[]" ]; then
+# Hard gate, exit-code aware: 1 = violations (print the human render),
+# 2 = the linter itself failed (distinct failure, never masked as
+# "violations found").
+lint_status=0
+lint_out="$(cargo run -q --release -p cbs-lint -- --json crates)" || lint_status=$?
+case "${lint_status}" in
+0) ;;
+1)
     echo "cbs-lint reported diagnostics:" >&2
     cargo run -q --release -p cbs-lint -- crates >&2 || true
     exit 1
+    ;;
+*)
+    echo "cbs-lint internal error (exit ${lint_status}): ${lint_out}" >&2
+    exit "${lint_status}"
+    ;;
+esac
+if [ "${lint_out}" != "[]" ]; then
+    echo "cbs-lint exited 0 but emitted diagnostics: ${lint_out}" >&2
+    exit 1
 fi
+
+echo "==> cbs-lint --check-bench BENCH_*.json"
+# Pinned-schema validation of the committed benchmark artifacts: drift
+# (renamed fields, stringly-typed numbers, unknown columns) fails the
+# gate before EXPERIMENTS.md can cite a malformed number.
+cargo run -q --release -p cbs-lint -- --check-bench BENCH_*.json
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -52,5 +84,42 @@ grep -q '"cbt.records":{"type":"counter","value":2}' "${tmpdir}/info.err" || {
     cat "${tmpdir}/info.err" >&2
     exit 1
 }
+
+if [ "${CHECK_SANITIZERS:-0}" = "1" ]; then
+    echo "==> sanitizer lanes (CHECK_SANITIZERS=1)"
+
+    if cargo +nightly miri --version > /dev/null 2>&1; then
+        echo "==> miri: mmap + CBT slice-reader + SIMD scalar parity"
+        # The unsafe surface Miri can interpret: the CBT slice reader's
+        # in-place decode over (under Miri: buffered) mappings, and the
+        # AVX2/scalar twin pairs, which run their scalar sides.
+        cargo +nightly miri test -p cbs-trace mmap
+        cargo +nightly miri test -p cbs-trace cbt::slice
+        cargo +nightly miri test -p cbs-analysis parity
+    else
+        echo "SKIP miri lane: cargo +nightly miri unavailable" \
+             "(rustup component add --toolchain nightly miri)"
+    fi
+
+    if rustup component list --toolchain nightly 2> /dev/null \
+            | grep -q 'rust-src.*(installed)'; then
+        echo "==> tsan: streaming/sweep channel tests"
+        # -Zbuild-std rebuilds std with the sanitizer so the mpsc
+        # internals are instrumented too, not just our crates.
+        RUSTFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test -Zbuild-std \
+            --target x86_64-unknown-linux-gnu \
+            -p cbs-core --test channel_stress
+        RUSTFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test -Zbuild-std \
+            --target x86_64-unknown-linux-gnu \
+            -p cbs-cache sweep
+    else
+        echo "SKIP tsan lane: nightly rust-src not installed" \
+             "(rustup component add --toolchain nightly rust-src)"
+    fi
+else
+    echo "NOTE: sanitizer lanes off (opt in with CHECK_SANITIZERS=1)"
+fi
 
 echo "OK: all checks passed"
