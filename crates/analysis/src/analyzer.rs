@@ -10,7 +10,7 @@ use cbs_trace::hash::FxHashMap;
 use cbs_trace::{IoRequest, OpKind, RequestBatch, Timestamp, Trace, VolumeId, VolumeView};
 
 use crate::config::{AnalysisConfig, InvalidConfig};
-use crate::metrics::VolumeMetrics;
+use crate::metrics::{merge_sorted_unique, VolumeMetrics};
 use crate::simd;
 
 /// Per-block running state shared by the spatial and temporal metrics.
@@ -75,10 +75,21 @@ impl BlockChunk {
 /// [`analyze_volume`](VolumeAnalyzer::analyze_volume)), then call
 /// [`finish`](VolumeAnalyzer::finish).
 ///
+/// MERGEABLE: analyzers over the same volume/epoch/config form a
+/// commutative monoid under [`merge`](VolumeAnalyzer::merge) with
+/// **partition-scoped** semantics — counters, histograms and per-block
+/// state fold exactly; state the per-partition streams never observed
+/// together (cross-partition reuse distances, boundary inter-arrivals,
+/// a peak straddling the cut, the randomness window) stays local to
+/// each partition. A fresh analyzer is the identity. Merge is the
+/// terminal fold: call it after all observes, then
+/// [`finish`](VolumeAnalyzer::finish).
+///
 /// # Panics
 ///
 /// `observe` panics in debug builds if requests arrive out of timestamp
-/// order or target a different volume.
+/// order, target a different volume, or follow a
+/// [`merge`](VolumeAnalyzer::merge).
 #[derive(Debug)]
 pub struct VolumeAnalyzer {
     config: AnalysisConfig,
@@ -149,6 +160,11 @@ pub struct VolumeAnalyzer {
     span_prevs: Vec<usize>,
     span_slots: Vec<(u32, u8, u32)>,
     span_dists: Vec<u64>,
+
+    /// Set once another partition has been folded in: reuse-stack
+    /// positions of merged-in blocks are partition-local, so further
+    /// observes would compute garbage distances. `merge` is terminal.
+    merged: bool,
 }
 
 impl VolumeAnalyzer {
@@ -215,6 +231,7 @@ impl VolumeAnalyzer {
             span_prevs: Vec::new(),
             span_slots: Vec::new(),
             span_dists: Vec::new(),
+            merged: false,
         })
     }
 
@@ -237,6 +254,7 @@ impl VolumeAnalyzer {
 
     /// Processes one request.
     pub fn observe(&mut self, req: &IoRequest) {
+        debug_assert!(!self.merged, "observe after merge is unsupported");
         debug_assert_eq!(req.volume(), self.id, "request targets another volume");
         debug_assert!(
             self.last_ts.map_or(true, |t| req.ts() >= t),
@@ -271,6 +289,7 @@ impl VolumeAnalyzer {
         let lens = &batch.lens()[range.clone()];
         let offsets = &batch.offsets()[range.clone()];
         let timestamps = &batch.timestamps()[range.clone()];
+        debug_assert!(!self.merged, "observe after merge is unsupported");
         #[cfg(debug_assertions)]
         {
             for &v in &batch.volumes()[range.clone()] {
@@ -632,6 +651,114 @@ impl VolumeAnalyzer {
         }
     }
 
+    /// Folds another partition's analyzer state into `self` — the
+    /// terminal reduce of the corpus-parallel fan-out (see the type
+    /// docs for which laws are exact vs partition-scoped). Call
+    /// [`finish`](VolumeAnalyzer::finish) afterwards; observing more
+    /// requests after a merge is unsupported (merged-in blocks carry
+    /// partition-local reuse positions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the analyzers disagree on volume, epoch, or config.
+    pub fn merge(&mut self, other: VolumeAnalyzer) {
+        assert_eq!(self.id, other.id, "merge requires the same volume");
+        assert_eq!(self.epoch, other.epoch, "merge requires the same epoch");
+        assert_eq!(self.config, other.config, "merge requires the same config");
+        self.merged = true;
+
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.read_bytes += other.read_bytes;
+        self.write_bytes += other.write_bytes;
+        self.updated_bytes += other.updated_bytes;
+        self.first_ts = match (self.first_ts, other.first_ts) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.last_ts = match (self.last_ts, other.last_ts) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+
+        self.read_size_hist.merge(&other.read_size_hist);
+        self.write_size_hist.merge(&other.write_size_hist);
+        self.interarrival_hist.merge(&other.interarrival_hist);
+        self.raw_hist.merge(&other.raw_hist);
+        self.waw_hist.merge(&other.waw_hist);
+        self.rar_hist.merge(&other.rar_hist);
+        self.war_hist.merge(&other.war_hist);
+        self.update_interval_hist.merge(&other.update_interval_hist);
+
+        // Peaks are partition-scoped: finalize both running bins and
+        // keep the max (a peak straddling the cut is undercounted).
+        self.peak_max = self
+            .peak_max
+            .max(self.peak_bin_count)
+            .max(other.peak_max.max(other.peak_bin_count));
+        self.peak_bin = 0;
+        self.peak_bin_count = 0;
+        self.peak_bin_end = 0;
+
+        merge_sorted_unique(&mut self.active_intervals, &other.active_intervals);
+        merge_sorted_unique(
+            &mut self.read_active_intervals,
+            &other.read_active_intervals,
+        );
+        merge_sorted_unique(
+            &mut self.write_active_intervals,
+            &other.write_active_intervals,
+        );
+        merge_sorted_unique(&mut self.active_days, &other.active_days);
+
+        // Randomness windows are partition-local; the verdicts add.
+        self.random_requests += other.random_requests;
+
+        // Reuse distances were computed against each partition's own
+        // stack; the distance histograms and cold counts add.
+        if self.read_distance_hist.len() < other.read_distance_hist.len() {
+            self.read_distance_hist
+                .resize(other.read_distance_hist.len(), 0);
+        }
+        for (i, &v) in other.read_distance_hist.iter().enumerate() {
+            self.read_distance_hist[i] += v;
+        }
+        if self.write_distance_hist.len() < other.write_distance_hist.len() {
+            self.write_distance_hist
+                .resize(other.write_distance_hist.len(), 0);
+        }
+        for (i, &v) in other.write_distance_hist.iter().enumerate() {
+            self.write_distance_hist[i] += v;
+        }
+        self.read_cold += other.read_cold;
+        self.write_cold += other.write_cold;
+
+        // Per-block state folds order-free: bytes and write counts
+        // add, last-access bookkeeping takes the later access.
+        for (chunk_id, other_idx) in other.chunk_index {
+            let other_chunk = &other.chunks[other_idx as usize];
+            let next = self.chunks.len() as u32;
+            let idx = *self.chunk_index.entry(chunk_id).or_insert(next);
+            if idx == next {
+                self.chunks.push(BlockChunk::EMPTY);
+            }
+            let chunk = &mut self.chunks[idx as usize];
+            let mut occ = other_chunk.occupied;
+            while occ != 0 {
+                let slot = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                let theirs = &other_chunk.states[slot];
+                if chunk.occupied & (1 << slot) == 0 {
+                    chunk.occupied |= 1 << slot;
+                    chunk.states[slot] = *theirs;
+                    self.distinct_blocks += 1;
+                } else {
+                    merge_block_state(&mut chunk.states[slot], theirs);
+                }
+            }
+        }
+    }
+
     /// Completes the analysis.
     ///
     /// An analyzer that observed no requests yields all-zero metrics
@@ -724,6 +851,37 @@ impl VolumeAnalyzer {
                 self.write_cold,
             ),
         }
+    }
+}
+
+/// Folds one block's per-partition state into another (see
+/// [`VolumeAnalyzer::merge`]): traffic and write counts add, the
+/// last-access fields take the later access with a deterministic
+/// tie-break (writes outrank reads on equal timestamps) so the fold is
+/// order-free. The reuse position stays partition-local — merge is
+/// terminal, nothing reads it again.
+fn merge_block_state(mine: &mut BlockState, theirs: &BlockState) {
+    mine.read_bytes += theirs.read_bytes;
+    mine.write_bytes += theirs.write_bytes;
+    if theirs.write_count > 0 {
+        mine.last_write_ts = if mine.write_count > 0 {
+            mine.last_write_ts.max(theirs.last_write_ts)
+        } else {
+            theirs.last_write_ts
+        };
+    }
+    mine.write_count += theirs.write_count;
+    if (theirs.last_ts, op_rank(theirs.last_op)) > (mine.last_ts, op_rank(mine.last_op)) {
+        mine.last_op = theirs.last_op;
+    }
+    mine.last_ts = mine.last_ts.max(theirs.last_ts);
+}
+
+/// Total order on op kinds for the last-access tie-break.
+fn op_rank(op: OpKind) -> u8 {
+    match op {
+        OpKind::Read => 0,
+        OpKind::Write => 1,
     }
 }
 

@@ -55,3 +55,4 @@ pub mod windowed;
 pub use analyzer::{analyze_trace, VolumeAnalyzer};
 pub use config::{AnalysisConfig, InvalidConfig};
 pub use metrics::VolumeMetrics;
+pub use windowed::{WindowStats, WindowedAnalysis};

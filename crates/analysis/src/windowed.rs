@@ -43,6 +43,17 @@ impl WindowStats {
 }
 
 /// Per-window statistics for one volume.
+///
+/// MERGEABLE: analyses with the same window length and epoch form a
+/// commutative monoid under [`merge`](WindowedAnalysis::merge):
+/// windows are time-aligned, so counters add element-wise and the
+/// shorter side's missing windows contribute zeros carrying its final
+/// cumulative WSS (an empty analysis is the identity). For partitions
+/// covering **disjoint block ranges** of one volume the merge is an
+/// exact homomorphism — every per-window counter, WSS and new-block
+/// count of the merged analysis equals the sequential whole-volume
+/// analysis. Time-split partitions instead double-count blocks alive
+/// on both sides of the cut.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WindowedAnalysis {
     window: TimeDelta,
@@ -128,6 +139,46 @@ impl WindowedAnalysis {
                 stats.new_blocks += 1;
             }
             in_window.insert(block.get());
+        }
+    }
+
+    /// Folds another partition's windowed analysis into `self` (see
+    /// the type docs for the alignment and exactness rules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window lengths differ.
+    pub fn merge(&mut self, other: &WindowedAnalysis) {
+        assert_eq!(
+            self.window, other.window,
+            "merge requires equal window lengths"
+        );
+        // A side's windows end at its last active one; past that its
+        // working set stops growing, so missing windows behave as
+        // zero-count windows carrying the side's final cumulative WSS.
+        let self_tail = self.windows.last().map_or(0, |w| w.cumulative_wss_blocks);
+        let other_tail = other.windows.last().map_or(0, |w| w.cumulative_wss_blocks);
+        if self.windows.len() < other.windows.len() {
+            self.windows.resize(
+                other.windows.len(),
+                WindowStats {
+                    cumulative_wss_blocks: self_tail,
+                    ..WindowStats::default()
+                },
+            );
+        }
+        for (i, mine) in self.windows.iter_mut().enumerate() {
+            let theirs = other.windows.get(i).copied().unwrap_or(WindowStats {
+                cumulative_wss_blocks: other_tail,
+                ..WindowStats::default()
+            });
+            mine.reads += theirs.reads;
+            mine.writes += theirs.writes;
+            mine.read_bytes += theirs.read_bytes;
+            mine.write_bytes += theirs.write_bytes;
+            mine.window_wss_blocks += theirs.window_wss_blocks;
+            mine.cumulative_wss_blocks += theirs.cumulative_wss_blocks;
+            mine.new_blocks += theirs.new_blocks;
         }
     }
 

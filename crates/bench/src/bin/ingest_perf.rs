@@ -30,6 +30,11 @@
 //! `Mmap` + `CbtSliceReader` lending borrowed batches straight to
 //! `observe_request_batch_ref`, no per-batch row materialization.
 //!
+//! `--workers 1,2,4,8` sets the worker counts the `analyze-partitioned`
+//! phase sweeps the corpus-partitioned driver through (one subprocess,
+//! one curve row per count, every run asserted bit-identical to the
+//! sequential baseline before its timing is reported).
+//!
 //! Each phase prints a single-line JSON object; the orchestrator
 //! assembles them into `BENCH_ingest.json`. Streaming phases attach a
 //! `cbs-obs` registry and embed its export under `"metrics"` plus
@@ -40,7 +45,7 @@
 use std::io::Write as _;
 use std::time::Instant;
 
-use cbs_core::{StreamingWorkbench, Workbench};
+use cbs_core::{PartitionedWorkbench, StreamingWorkbench, Workbench};
 use cbs_obs::{Registry, Stopwatch};
 use cbs_synth::presets::{self, CorpusConfig};
 use cbs_trace::codec::alicloud::{AliCloudReader, AliCloudWriter};
@@ -353,6 +358,82 @@ fn phase_stream_shards(millions: u64, shards: usize) {
     );
 }
 
+/// Materialize `millions`M requests into a `Trace`, then sweep the
+/// corpus-partitioned driver across a worker-count curve: sequential
+/// baseline first, then [`cbs_core::PartitionedWorkbench`] at each
+/// worker count, asserting every run's per-volume records are
+/// bit-identical to the baseline before timing is reported. Also
+/// reports the partition/merge overhead: the workers=1 partitioned run
+/// against the plain sequential pass (same parallelism, so the delta
+/// is the driver's channel + merge-fold cost).
+fn phase_analyze_partitioned(millions: u64, workers_list: &[usize]) {
+    let n = (millions * 1_000_000) as usize;
+    let requests: Vec<_> = big_corpus().stream().take(n).collect();
+    let trace = Trace::from_requests(requests);
+    let volumes = trace.volume_count();
+
+    // Sequential baseline: one thread, no partition driver. Clone the
+    // corpus *outside* the timed region — analyze() consumes its input
+    // and a multi-hundred-MiB memcpy would otherwise dominate warm-up.
+    let input = trace.clone();
+    let start = Instant::now();
+    let baseline = Workbench::new(input).analyze_with_threads(1);
+    let seq_secs = start.elapsed().as_secs_f64();
+
+    let mut curve = Vec::new();
+    let secs_for = |workers: usize| -> f64 {
+        let input = trace.clone();
+        let start = Instant::now();
+        let run = PartitionedWorkbench::new()
+            .with_workers(workers)
+            .analyze(input);
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(
+            run.metrics(),
+            baseline.metrics(),
+            "partitioned run diverged at {workers} workers"
+        );
+        secs
+    };
+    for &workers in workers_list {
+        let secs = secs_for(workers);
+        curve.push(format!(
+            "{{\"workers\":{workers},\"seconds\":{secs:.3},\"requests_per_sec\":{:.0}}}",
+            n as f64 / secs
+        ));
+    }
+    let find = |w: usize| workers_list.iter().position(|&x| x == w).map(|i| &curve[i]);
+    let secs_of = |entry: &String| -> f64 {
+        // Parse back the seconds we formatted two lines up; cheaper
+        // than carrying a parallel vec through the JSON assembly.
+        entry
+            .split("\"seconds\":")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|s| s.parse().ok())
+            .expect("curve entry carries seconds")
+    };
+    let speedup = match (find(1), find(4)) {
+        (Some(w1), Some(w4)) => format!(",\"speedup_4_vs_1\":{:.2}", secs_of(w1) / secs_of(w4)),
+        _ => String::new(),
+    };
+    let overhead = find(1)
+        .map(|w1| {
+            format!(
+                ",\"merge_overhead_frac\":{:.3}",
+                (secs_of(w1) - seq_secs) / seq_secs
+            )
+        })
+        .unwrap_or_default();
+    println!(
+        "{{\"phase\":\"analyze_partitioned\",\"requests\":{n},\"volumes\":{volumes},\
+         \"sequential_seconds\":{seq_secs:.3},\"workers_curve\":[{}]{speedup}{overhead},\
+         \"verdicts_identical\":true,\"peak_rss_kb\":{}}}",
+        curve.join(","),
+        peak_rss_kb()
+    );
+}
+
 /// Materialize the same `millions`M requests into a `Trace`, then
 /// batch-analyze — the memory baseline the streaming path avoids.
 fn phase_batch(millions: u64) {
@@ -550,6 +631,18 @@ fn phase_smoke() {
     let streaming = StreamingWorkbench::new().analyze(requests.iter().copied());
     let secs = start.elapsed().as_secs_f64();
     assert_eq!(streaming, batch.metrics(), "streaming metrics diverge");
+    // Corpus-partitioned driver: inline fallback and any worker count
+    // must reproduce the batch metrics bit-for-bit.
+    for workers in [0usize, 2, 8] {
+        let partitioned = PartitionedWorkbench::new()
+            .with_workers(workers)
+            .analyze(Trace::from_requests(requests.clone()));
+        assert_eq!(
+            partitioned.metrics(),
+            batch.metrics(),
+            "partitioned metrics diverge at {workers} workers"
+        );
+    }
     let workbench = StreamingWorkbench::new().with_registry(&registry);
     let shards = workbench.shards();
     let mut session = workbench.start();
@@ -685,6 +778,7 @@ fn orchestrate(
     decode_millions: u64,
     threads: usize,
     shard_list: &[usize],
+    workers_list: &[usize],
 ) {
     let exe = std::env::current_exe().expect("current_exe");
     let run = |args: &[String]| -> String {
@@ -732,6 +826,16 @@ fn orchestrate(
     for &m in batch_millions {
         results.push(run(&["batch".into(), m.to_string()]));
     }
+    results.push(run(&[
+        "analyze-partitioned".into(),
+        10.to_string(),
+        "--workers".into(),
+        workers_list
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+    ]));
     results.push(run(&["decode".into(), decode_millions.to_string()]));
 
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
@@ -779,6 +883,24 @@ fn main() {
             }
         }
     }
+    let mut workers_list: Vec<usize> = vec![1, 2, 4, 8];
+    if let Some(i) = args.iter().position(|a| a == "--workers") {
+        let parsed: Option<Vec<usize>> = args.get(i + 1).and_then(|list| {
+            list.split(',')
+                .map(|p| p.trim().parse::<usize>().ok().filter(|&n| n >= 1))
+                .collect()
+        });
+        match parsed {
+            Some(list) if !list.is_empty() => {
+                workers_list = list;
+                args.drain(i..=i + 1);
+            }
+            _ => {
+                eprintln!("--workers expects a comma-separated list of positive integers");
+                std::process::exit(2);
+            }
+        }
+    }
     let millions = |i: usize, default: u64| -> u64 {
         args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
     };
@@ -790,15 +912,24 @@ fn main() {
         Some("stream-shards") => phase_stream_shards(millions(1, 10), shard_list[0]),
         Some("stream-bounded") => phase_stream(millions(1, 10), true),
         Some("batch") => phase_batch(millions(1, 10)),
+        Some("analyze-partitioned") => phase_analyze_partitioned(millions(1, 10), &workers_list),
         Some("decode") => phase_decode(millions(1, 2), threads),
         Some("smoke") => phase_smoke(),
         Some(other) => {
             eprintln!(
                 "unknown phase {other:?}; expected stream|stream-batched|stream-cbt|\
-                 stream-cbt-mmap|stream-shards|stream-bounded|batch|decode|smoke"
+                 stream-cbt-mmap|stream-shards|stream-bounded|batch|analyze-partitioned|\
+                 decode|smoke"
             );
             std::process::exit(2);
         }
-        None => orchestrate(&[2, 10, 20], &[10, 20], 2, threads, &shard_list),
+        None => orchestrate(
+            &[2, 10, 20],
+            &[10, 20],
+            2,
+            threads,
+            &shard_list,
+            &workers_list,
+        ),
     }
 }

@@ -7,9 +7,16 @@ use crate::policy::CachePolicy;
 
 /// Hit/miss tallies of a simulation, split by operation kind.
 ///
+/// MERGEABLE: tallies form a commutative monoid under [`merge`] (all
+/// four counts add; zeroed stats are the identity), so per-partition
+/// simulations of disjoint request streams combine into corpus-wide
+/// tallies in any grouping order.
+///
 /// The paper's Fig. 18 reports *miss ratios* for reads and writes
 /// separately while simulating one unified cache — this struct carries
 /// exactly those numbers.
+///
+/// [`merge`]: CacheStats::merge
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     read_accesses: u64,

@@ -1,0 +1,290 @@
+//! `cbs-ctl` — the controller half of the process fan-out.
+//!
+//! Synthesizes a deterministic corpus, partitions it **by volume**
+//! across a set of `cbs-agent` processes (round-robin), streams each
+//! agent its share over the length-prefixed wire protocol
+//! ([`cbs_core::wire`]), folds the partial records back together, and
+//! prints the deterministic verdict report. Because every volume is
+//! analyzed whole under the shared corpus epoch, the merged report is
+//! byte-identical to the single-process `--local` run:
+//!
+//! ```text
+//! cbs-ctl --local                > local.txt
+//! cbs-agent --listen 127.0.0.1:4801 &
+//! cbs-agent --listen 127.0.0.1:4802 &
+//! cbs-ctl --agents 127.0.0.1:4801,127.0.0.1:4802 > dist.txt
+//! diff local.txt dist.txt   # empty
+//! ```
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use cbs_analysis::{AnalysisConfig, VolumeMetrics};
+use cbs_core::wire::{
+    self, WireError, JOB_FLAG_SWEEP, TAG_FIN, TAG_JOB, TAG_METRICS, TAG_SWEEP, TAG_VOLUME,
+    WIRE_VERSION,
+};
+use cbs_core::{Analysis, SweepReport, Workbench};
+use cbs_synth::presets::{alicloud_like, CorpusConfig};
+use cbs_trace::{Timestamp, Trace};
+
+#[path = "fanout/mod.rs"]
+mod fanout;
+
+struct Options {
+    agents: Vec<String>,
+    local: bool,
+    volumes: usize,
+    days: u64,
+    seed: u64,
+    sweep: bool,
+}
+
+const USAGE: &str = "usage: cbs-ctl (--local | --agents HOST:PORT[,HOST:PORT...]) \
+[--volumes N] [--days D] [--seed S] [--sweep]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        agents: Vec::new(),
+        local: false,
+        volumes: 6,
+        days: 2,
+        seed: 7,
+        sweep: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--agents" => {
+                opts.agents = value(&mut args, "--agents")?
+                    .split(',')
+                    .map(str::to_owned)
+                    .collect();
+            }
+            "--local" => opts.local = true,
+            "--volumes" => {
+                opts.volumes = value(&mut args, "--volumes")?
+                    .parse()
+                    .map_err(|e| format!("--volumes: {e}"))?;
+            }
+            "--days" => {
+                opts.days = value(&mut args, "--days")?
+                    .parse()
+                    .map_err(|e| format!("--days: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = value(&mut args, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--sweep" => opts.sweep = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if opts.local != opts.agents.is_empty() {
+        return Err(format!("pick exactly one of --local / --agents\n{USAGE}"));
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("cbs-ctl: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let corpus = alicloud_like(
+        &CorpusConfig::new(opts.volumes, opts.days, opts.seed).with_intensity_scale(0.002),
+    )
+    .generate();
+    eprintln!(
+        "cbs-ctl: corpus of {} volume(s), {} request(s)",
+        corpus.volume_count(),
+        corpus.requests().len()
+    );
+
+    let result = if opts.local {
+        Ok(run_local(corpus, opts.sweep))
+    } else {
+        run_distributed(corpus, &opts.agents, opts.sweep)
+    };
+    let (analysis, sweep) = match result {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("cbs-ctl: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    if let Err(e) = fanout::print_report(&mut out, &analysis, sweep.as_ref()) {
+        eprintln!("cbs-ctl: cannot write report: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = out.flush() {
+        eprintln!("cbs-ctl: cannot write report: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Single-process reference: the same per-volume algebra the agents
+/// run, folded in one address space.
+fn run_local(corpus: Trace, sweep: bool) -> (Analysis, Option<SweepReport>) {
+    let report = sweep.then(|| {
+        // Per-volume caches merged — the same corpus-verdict
+        // definition the agents use, so the fold is grouping-invariant.
+        let mut total: Option<SweepReport> = None;
+        for view in corpus.volumes() {
+            let report = fanout::sweep_grid().sweep(view.requests().iter().copied());
+            match &mut total {
+                Some(t) => t.merge(&report),
+                None => total = Some(report),
+            }
+        }
+        total.unwrap_or_else(|| fanout::sweep_grid().sweep(std::iter::empty()))
+    });
+    (Workbench::new(corpus).analyze(), report)
+}
+
+/// One agent's haul: its per-volume partial records plus the merged
+/// sweep report when the job requested one.
+type AgentHaul = (Vec<VolumeMetrics>, Option<SweepReport>);
+
+/// Fans the corpus out: round-robin volumes over the agents, one
+/// connection-driving thread per agent, partial records folded back
+/// into one [`Analysis`].
+fn run_distributed(
+    corpus: Trace,
+    agents: &[String],
+    sweep: bool,
+) -> Result<(Analysis, Option<SweepReport>), String> {
+    let epoch = corpus.start().unwrap_or(Timestamp::ZERO);
+
+    // Encode each agent's share up front: VOLUME payloads, round-robin
+    // by volume index (volumes are disjoint, so the merged analysis is
+    // exactly the sequential one).
+    let mut shares: Vec<Vec<Vec<u8>>> = vec![Vec::new(); agents.len()];
+    for (i, view) in corpus.volumes().enumerate() {
+        let mut e = wire::Enc::new();
+        wire::enc_volume_stream(&mut e, view.id(), view.requests());
+        shares[i % agents.len()].push(e.into_bytes());
+    }
+
+    let results: Vec<Result<AgentHaul, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = agents
+            .iter()
+            .zip(shares.iter())
+            .map(|(addr, share)| {
+                scope.spawn(move || {
+                    drive_agent(addr, share, epoch, sweep).map_err(|e| format!("agent {addr}: {e}"))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    let mut metrics = Vec::new();
+    let mut merged_sweep: Option<SweepReport> = None;
+    for result in results {
+        let (partial, partial_sweep) = result?;
+        metrics.extend(partial);
+        match (&mut merged_sweep, partial_sweep) {
+            (Some(total), Some(p)) => total.merge(&p),
+            (slot @ None, Some(p)) => *slot = Some(p),
+            _ => {}
+        }
+    }
+    let expected = corpus.volume_count();
+    if metrics.len() != expected {
+        return Err(format!(
+            "agents returned {} volume record(s), expected {expected}",
+            metrics.len()
+        ));
+    }
+    let analysis = Analysis::from_parts(corpus, AnalysisConfig::default(), metrics)
+        .map_err(|e| format!("invalid config: {e}"))?;
+    Ok((analysis, merged_sweep))
+}
+
+/// Connects to one agent (with retries while it binds), streams its
+/// share, and collects the partial records.
+fn drive_agent(
+    addr: &str,
+    share: &[Vec<u8>],
+    epoch: Timestamp,
+    sweep: bool,
+) -> Result<AgentHaul, WireError> {
+    let stream = connect_with_retry(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    let mut job = wire::Enc::new();
+    job.u8(WIRE_VERSION);
+    job.u64(epoch.as_micros());
+    job.u8(if sweep { JOB_FLAG_SWEEP } else { 0 });
+    wire::write_frame(&mut writer, TAG_JOB, &job.into_bytes())?;
+    for payload in share {
+        wire::write_frame(&mut writer, TAG_VOLUME, payload)?;
+    }
+    wire::write_frame(&mut writer, TAG_FIN, &[])?;
+    writer.flush()?;
+
+    let mut metrics = Vec::new();
+    let mut report = None;
+    loop {
+        let frame = wire::read_frame(&mut reader)?;
+        match frame.tag {
+            TAG_METRICS => {
+                let mut d = wire::Dec::new(&frame.payload);
+                metrics.push(wire::dec_volume_metrics(&mut d)?);
+                d.finish()?;
+            }
+            TAG_SWEEP => {
+                let mut d = wire::Dec::new(&frame.payload);
+                report = Some(wire::dec_sweep_report(&mut d)?);
+                d.finish()?;
+            }
+            TAG_FIN => break,
+            other => return Err(WireError::BadTag(other)),
+        }
+    }
+    if metrics.len() != share.len() {
+        return Err(WireError::Invalid("agent dropped a volume record"));
+    }
+    Ok((metrics, report))
+}
+
+/// Dials the agent, retrying briefly so the smoke harness does not
+/// need to sequence binds and connects.
+fn connect_with_retry(addr: &str) -> Result<TcpStream, WireError> {
+    let mut last_err = None;
+    for _ in 0..40 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last_err = Some(e);
+                std::thread::sleep(Duration::from_millis(250));
+            }
+        }
+    }
+    Err(WireError::Io(last_err.unwrap_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::TimedOut, "connect retries exhausted")
+    })))
+}

@@ -33,12 +33,15 @@
 #![warn(missing_debug_implementations)]
 
 pub mod parallel;
+pub mod partitioned;
 pub mod streaming;
+pub mod wire;
 pub mod workbench;
 
 pub use cbs_cache::{
     policy_by_name, CacheSweep, LaneReport, SweepError, SweepGrid, SweepReport, POLICY_NAMES,
 };
+pub use partitioned::PartitionedWorkbench;
 pub use streaming::{StreamingSession, StreamingWorkbench};
 pub use workbench::{Analysis, Workbench};
 
@@ -53,6 +56,7 @@ pub mod prelude {
 
     pub use cbs_cache::{SweepGrid, SweepReport};
 
+    pub use crate::partitioned::PartitionedWorkbench;
     pub use crate::streaming::{StreamingSession, StreamingWorkbench};
     pub use crate::workbench::{Analysis, Workbench};
 }

@@ -96,7 +96,19 @@ impl Workbench {
 
 /// A completed analysis: the per-volume metrics plus accessors building
 /// every table/figure data set of the paper.
-#[derive(Debug)]
+///
+/// MERGEABLE: analyses with equal configs form a commutative monoid
+/// under [`merge`](Analysis::merge) — traces union via
+/// [`Trace::merge`], per-volume records of disjoint volumes
+/// concatenate, and same-volume records fold via
+/// [`VolumeMetrics::merge`] (partition-scoped; see that type's docs);
+/// an empty analysis is the identity. For by-volume corpus partitions
+/// every volume is analyzed whole, so the merged analysis — and every
+/// finding verdict derived from it — is bit-identical to the
+/// sequential whole-corpus run. This is the reduction the
+/// [`crate::PartitionedWorkbench`] driver and the `cbs-ctl` process
+/// fan-out fold with.
+#[derive(Debug, Clone)]
 pub struct Analysis {
     trace: Trace,
     config: AnalysisConfig,
@@ -104,6 +116,45 @@ pub struct Analysis {
 }
 
 impl Analysis {
+    /// Assembles an analysis from already-computed parts — the
+    /// constructor the partitioned driver and the agent/controller
+    /// fan-out use once partial metrics have been merged. `metrics`
+    /// is re-sorted into ascending volume-id order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidConfig`] if `config` fails validation.
+    pub fn from_parts(
+        trace: Trace,
+        config: AnalysisConfig,
+        mut metrics: Vec<VolumeMetrics>,
+    ) -> Result<Self, InvalidConfig> {
+        config.validate()?;
+        metrics.sort_by_key(|m| m.id);
+        Ok(Analysis {
+            trace,
+            config,
+            metrics,
+        })
+    }
+
+    /// Folds another partition's analysis into `self` (see the type
+    /// docs for the merge laws).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configs differ — partials merged across
+    /// configurations would silently mix incompatible histograms.
+    pub fn merge(&mut self, other: Analysis) {
+        assert_eq!(
+            self.config, other.config,
+            "merge requires identical analysis configs"
+        );
+        let mine = std::mem::replace(&mut self.trace, Trace::new());
+        self.trace = mine.merge(other.trace);
+        merge_metrics_by_id(&mut self.metrics, other.metrics);
+    }
+
     /// The per-volume metric records, ascending by volume id.
     pub fn metrics(&self) -> &[VolumeMetrics] {
         &self.metrics
@@ -244,6 +295,19 @@ impl Analysis {
             .with_block_size(self.config.block_size)
             .sweep(view.requests().iter().copied());
         Some(report)
+    }
+}
+
+/// Folds a list of per-volume records into a sorted-by-id list:
+/// unseen volumes insert, already-present volumes merge via
+/// [`VolumeMetrics::merge`]. The single merge path shared by the
+/// inline fallback, the threaded partitioner, and [`Analysis::merge`].
+pub(crate) fn merge_metrics_by_id(mine: &mut Vec<VolumeMetrics>, theirs: Vec<VolumeMetrics>) {
+    for m in theirs {
+        match mine.binary_search_by_key(&m.id, |x| x.id) {
+            Ok(i) => mine[i].merge(&m),
+            Err(i) => mine.insert(i, m),
+        }
     }
 }
 

@@ -109,6 +109,7 @@ const RESULT_FIELDS: &[(&str, Ty)] = &[
     ("grids_bit_identical", Ty::Bool),
     ("imbalance", Ty::Float),
     ("lanes", Ty::Arr),
+    ("merge_overhead_frac", Ty::Float),
     ("metrics", Ty::Obj),
     ("n_threads", Ty::Int),
     ("pair_seconds", Ty::Arr),
@@ -126,11 +127,15 @@ const RESULT_FIELDS: &[(&str, Ty)] = &[
     ("sampled_sweep_speedup", Ty::Float),
     ("seconds", Ty::Float),
     ("sequential", Ty::Obj),
+    ("sequential_seconds", Ty::Float),
+    ("speedup_4_vs_1", Ty::Float),
     ("shard_requests", Ty::Arr),
     ("shards", Ty::Int),
     ("stages", Ty::Obj),
+    ("verdicts_identical", Ty::Bool),
     ("volumes", Ty::Int),
     ("wall_nanos", Ty::Int),
+    ("workers_curve", Ty::Arr),
 ];
 
 /// Validates one `BENCH_*.json` document.
@@ -420,7 +425,12 @@ mod tests {
   "results": [
     {"phase": "sequential", "seconds": 1.5, "requests": 1000, "requests_per_sec": 666},
     {"phase": "stream_shards", "shards": 4, "imbalance": 0.01, "shard_requests": [1, 2],
-     "metrics": {"x": 1}, "stages": {}}
+     "metrics": {"x": 1}, "stages": {}},
+    {"phase": "analyze_partitioned", "requests": 1000, "volumes": 8,
+     "sequential_seconds": 1.2,
+     "workers_curve": [{"workers": 1, "seconds": 1.3, "requests_per_sec": 769}],
+     "speedup_4_vs_1": 1.0, "merge_overhead_frac": 0.083,
+     "verdicts_identical": true, "peak_rss_kb": 1024}
   ]
 }"#;
         let v = validate(text).expect("parses");

@@ -12,9 +12,15 @@
 //!   same crate;
 //! - a test (in one file) that mentions the type, `merge`, and an
 //!   identifier containing `assoc` — the shape of an associativity
-//!   proptest like `counter_merge_is_associative`.
+//!   proptest like `counter_merge_is_associative`. Cross-crate law
+//!   tests living in the repository-root `tests/` directory (indexed
+//!   under the unnamed workspace crate) count for every crate.
 //!
-//! Untagged types are unconstrained; the tag is the opt-in.
+//! The audit also runs in reverse: a library type that defines a
+//! `merge` method without carrying the tag is flagged — every merge
+//! in the workspace must declare (and prove) its laws, so the
+//! controller fold can trust any `merge` it composes. Types with
+//! neither the tag nor a `merge` method are unconstrained.
 
 use crate::diag::Diagnostic;
 use crate::index::WorkspaceIndex;
@@ -37,47 +43,76 @@ impl Rule for MergeableAudit {
     }
 
     fn check_index(&self, index: &WorkspaceIndex<'_>, diags: &mut Vec<Diagnostic>) {
+        // Repository-root `tests/` files index under the unnamed crate
+        // (empty key); their identifiers form a workspace-wide pool of
+        // associativity evidence, because cross-crate merge laws (e.g.
+        // `Analysis::merge` ≡ the sequential whole) can only be pinned
+        // from outside any single crate.
+        let shared: &[crate::index::TestIdents] = index
+            .crates
+            .get("")
+            .map(|cx| cx.test_idents.as_slice())
+            .unwrap_or(&[]);
         for cx in index.crates.values() {
             for (name, sites) in &cx.types {
-                for site in sites {
-                    if !site.item.doc.contains(TAG)
-                        || !site.file.is_library_code()
-                        || site.file.in_test_code(site.item.line)
-                    {
-                        continue;
-                    }
-                    if cx.methods_named(name, "merge").is_empty() {
+                let lib_sites: Vec<_> = sites
+                    .iter()
+                    .filter(|s| s.file.is_library_code() && !s.file.in_test_code(s.item.line))
+                    .collect();
+                let Some(first) = lib_sites.first() else {
+                    continue;
+                };
+                let tagged = lib_sites.iter().any(|s| s.item.doc.contains(TAG));
+                let has_merge = !cx.methods_named(name, "merge").is_empty();
+                if !tagged {
+                    if has_merge {
                         diags.push(Diagnostic::error(
-                            site.file.path.clone(),
-                            site.item.line,
+                            first.file.path.clone(),
+                            first.item.line,
                             1,
                             self.name(),
                             format!(
-                                "type `{name}` is tagged {TAG} but no `impl {name}` \
-                                 in this crate defines `merge`"
-                            ),
-                        ));
-                        continue;
-                    }
-                    let has_assoc_test = cx.test_idents.iter().any(|t| {
-                        t.idents.contains(name)
-                            && t.idents.contains("merge")
-                            && t.idents.iter().any(|i| i.to_lowercase().contains("assoc"))
-                    });
-                    if !has_assoc_test {
-                        diags.push(Diagnostic::error(
-                            site.file.path.clone(),
-                            site.item.line,
-                            1,
-                            self.name(),
-                            format!(
-                                "type `{name}` is tagged {TAG} but no test exercises \
-                                 `{name}`/`merge` associativity (name the test \
-                                 `*_assoc*` and drive merge(merge(a,b),c) == \
-                                 merge(a,merge(b,c)))"
+                                "type `{name}` defines `merge` but its doc lacks the \
+                                 {TAG} tag — declare the merge laws (tag the type and \
+                                 add an associativity test) or rename the method"
                             ),
                         ));
                     }
+                    continue;
+                }
+                if !has_merge {
+                    diags.push(Diagnostic::error(
+                        first.file.path.clone(),
+                        first.item.line,
+                        1,
+                        self.name(),
+                        format!(
+                            "type `{name}` is tagged {TAG} but no `impl {name}` \
+                             in this crate defines `merge`"
+                        ),
+                    ));
+                    continue;
+                }
+                let mentions_law = |t: &crate::index::TestIdents| {
+                    t.idents.contains(name)
+                        && t.idents.contains("merge")
+                        && t.idents.iter().any(|i| i.to_lowercase().contains("assoc"))
+                };
+                let has_assoc_test =
+                    cx.test_idents.iter().any(mentions_law) || shared.iter().any(mentions_law);
+                if !has_assoc_test {
+                    diags.push(Diagnostic::error(
+                        first.file.path.clone(),
+                        first.item.line,
+                        1,
+                        self.name(),
+                        format!(
+                            "type `{name}` is tagged {TAG} but no test exercises \
+                             `{name}`/`merge` associativity (name the test \
+                             `*_assoc*` and drive merge(merge(a,b),c) == \
+                             merge(a,merge(b,c)))"
+                        ),
+                    ));
                 }
             }
         }
@@ -148,6 +183,30 @@ impl Counter {
             "/// Keeps a mergeable-looking total, but is not tagged.\npub struct Plain { v: u64 }\n",
         );
         assert!(run(vec![lib]).is_empty());
+    }
+
+    #[test]
+    fn untagged_type_with_merge_method_fires_reverse_check() {
+        let lib = SourceFile::from_text(
+            "crates/obs/src/metrics.rs",
+            "/// A total without declared laws.\npub struct Sneaky { v: u64 }\nimpl Sneaky {\n    pub fn merge(&mut self, other: &Sneaky) { self.v += other.v; }\n}\n",
+        );
+        let d = run(vec![lib]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("lacks the MERGEABLE tag"), "{d:?}");
+    }
+
+    #[test]
+    fn root_tests_directory_supplies_assoc_evidence_workspace_wide() {
+        // The associativity proptest lives at the repository root
+        // (`tests/`), outside any `crates/<name>/` layout — it must
+        // still satisfy the audit for the type's home crate.
+        let lib = SourceFile::from_text("crates/obs/src/metrics.rs", TAGGED);
+        let t = SourceFile::from_text(
+            "tests/merge_laws.rs",
+            "#[test]\nfn counter_merge_is_associative() {\n    let mut a = Counter::default();\n    a.merge(&b);\n}\n",
+        );
+        assert!(run(vec![lib, t]).is_empty());
     }
 
     #[test]

@@ -63,9 +63,9 @@ impl SourceFile {
         let tokens = lex(text);
         let items = parser::parse_items(&tokens);
         let test_spans = find_test_spans(&tokens);
-        let is_test_path = ["/tests/", "/benches/", "/examples/", "/fuzz/"]
+        let is_test_path = ["tests/", "benches/", "examples/", "fuzz/"]
             .iter()
-            .any(|seg| norm.contains(seg));
+            .any(|seg| norm.starts_with(seg) || norm.contains(&format!("/{seg}")));
         let is_bin_path = norm.contains("/src/bin/") || norm.ends_with("/src/main.rs");
         SourceFile {
             crate_name: crate_of(&norm),

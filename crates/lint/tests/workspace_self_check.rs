@@ -2,9 +2,11 @@
 //! clean, every inline suppression must be justified, and the 15 paper
 //! findings (F1-F15) must all be traceable to a findings module.
 //!
-//! These tests walk the real `crates/` tree (resolved relative to this
-//! crate's manifest), so they gate the same source set CI lints via
-//! `scripts/check.sh`.
+//! These tests walk the real `crates/` tree plus the repository-root
+//! `tests/` directory (resolved relative to this crate's manifest), so
+//! they gate the same source set CI lints via `scripts/check.sh` —
+//! root-level integration tests carry the cross-crate associativity
+//! evidence `mergeable-audit` consults.
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
@@ -14,13 +16,25 @@ use cbs_lint::engine::lint_paths;
 use cbs_lint::suppress;
 
 /// The workspace `crates/` directory, from this crate's manifest dir.
+/// Canonicalized so crate attribution never sees the `../..` hop.
 fn crates_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../crates")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../crates")
+        .canonicalize()
+        .expect("crates dir exists")
+}
+
+/// The repository-root `tests/` directory.
+fn tests_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests")
+        .canonicalize()
+        .expect("tests dir exists")
 }
 
 #[test]
 fn workspace_is_lint_clean() {
-    let run = lint_paths(&[crates_dir()]).expect("workspace sources readable");
+    let run = lint_paths(&[crates_dir(), tests_dir()]).expect("workspace sources readable");
     assert!(
         run.files.len() > 100,
         "walk looks wrong: only {} files scanned",
@@ -43,6 +57,7 @@ fn cli_self_check_exits_zero_with_empty_json() {
     let out = Command::new(env!("CARGO_BIN_EXE_cbs-lint"))
         .arg("--json")
         .arg(crates_dir())
+        .arg(tests_dir())
         .output()
         .expect("spawn cbs-lint");
     let stdout = String::from_utf8_lossy(&out.stdout);

@@ -73,6 +73,20 @@ impl Counter {
 /// Unlike a [`Counter`], a gauge can go down (`dec`, `set`). The
 /// in-flight-batches depth of a shard channel and its high-water mark
 /// are the motivating uses.
+///
+/// MERGEABLE: gauges form a commutative monoid under [`merge`], which
+/// takes the **maximum** of the two levels (a zero gauge is the
+/// identity). Last-write-wins would be wrong across partitions — when
+/// per-worker registries are folded, the merge order is arbitrary, so
+/// the only lawful combination for a level is an order-independent
+/// one. Max is exact for high-water marks (`stream.shard*.inflight_hwm`
+/// and friends: the corpus-wide HWM is the max of per-partition HWMs)
+/// and is the documented convention for every gauge in
+/// [`METRIC_NAMES`](crate::METRIC_NAMES); instantaneous levels
+/// (`stream.shards`, `sweep.lanes`) report the largest partition,
+/// which for homogeneous workers equals every partition.
+///
+/// [`merge`]: Gauge::merge
 #[derive(Debug, Clone, Default)]
 pub struct Gauge {
     value: Arc<AtomicU64>,
@@ -117,6 +131,17 @@ impl Gauge {
     /// Current level.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
+    }
+
+    /// Folds `other` into this gauge by taking the maximum level.
+    ///
+    /// Max — not last-write-wins — is the lawful cross-partition
+    /// combination: it is associative and commutative with the zero
+    /// gauge as identity, and for high-water-mark gauges it is exact
+    /// (the fleet-wide HWM is the max of per-partition HWMs). `other`
+    /// is read, not drained — merge each partial exactly once.
+    pub fn merge(&self, other: &Gauge) {
+        self.record_max(other.get());
     }
 }
 

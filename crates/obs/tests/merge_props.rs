@@ -4,12 +4,13 @@
 //! merge lawfully: combining per-worker state must give the same
 //! answer no matter how the reductions are grouped or ordered. These
 //! tests pin the monoid laws — associativity, commutativity, identity —
-//! for [`Counter`] and [`Histogram`], and are the associativity
-//! evidence `cbs-lint`'s `mergeable-audit` rule (CBS-L13) requires.
+//! for [`Counter`], [`Histogram`], [`Gauge`], [`SpanTimer`], and
+//! [`Registry`], and are the associativity evidence `cbs-lint`'s
+//! `mergeable-audit` rule (CBS-L13) requires.
 
 use proptest::prelude::*;
 
-use cbs_obs::{Counter, Histogram};
+use cbs_obs::{Counter, Gauge, Histogram, Registry, SpanTimer};
 
 /// A counter holding the given total.
 fn counter(total: u64) -> Counter {
@@ -114,5 +115,135 @@ proptest! {
         let with_identity = histogram(&a);
         with_identity.merge(&Histogram::new());
         prop_assert_eq!(observe(&with_identity), observe(&histogram(&a)));
+    }
+
+    /// `Gauge::merge` is max-merge: associative, commutative, with the
+    /// zero gauge as identity — never last-write-wins.
+    #[test]
+    fn gauge_merge_is_associative_max(
+        a in (0u64..=u64::MAX),
+        b in (0u64..=u64::MAX),
+        c in (0u64..=u64::MAX),
+    ) {
+        let gauge = |v: u64| {
+            let g = Gauge::new();
+            g.set(v);
+            g
+        };
+
+        let left = gauge(a);
+        left.merge(&gauge(b));
+        left.merge(&gauge(c));
+
+        let right_tail = gauge(b);
+        right_tail.merge(&gauge(c));
+        let right = gauge(a);
+        right.merge(&right_tail);
+        prop_assert_eq!(left.get(), right.get());
+        prop_assert_eq!(left.get(), a.max(b).max(c), "max, not last-write-wins");
+
+        let flipped = gauge(b);
+        flipped.merge(&gauge(a));
+        let ab = gauge(a);
+        ab.merge(&gauge(b));
+        prop_assert_eq!(ab.get(), flipped.get());
+
+        let with_identity = gauge(a);
+        with_identity.merge(&Gauge::new());
+        prop_assert_eq!(with_identity.get(), a);
+    }
+
+    /// `SpanTimer::merge` is associative and equals recording the
+    /// concatenated durations, like the histogram backing it.
+    #[test]
+    fn span_timer_merge_is_associative(
+        a in arb_samples(),
+        b in arb_samples(),
+        c in arb_samples(),
+    ) {
+        let timer = |samples: &[u64]| {
+            let t = SpanTimer::new();
+            for &s in samples {
+                t.record_nanos(s);
+            }
+            t
+        };
+
+        let left = timer(&a);
+        left.merge(&timer(&b));
+        left.merge(&timer(&c));
+
+        let right_tail = timer(&b);
+        right_tail.merge(&timer(&c));
+        let right = timer(&a);
+        right.merge(&right_tail);
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+
+        let merged = timer(&a);
+        merged.merge(&timer(&b));
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(merged.snapshot(), timer(&both).snapshot());
+
+        let with_identity = timer(&a);
+        with_identity.merge(&SpanTimer::new());
+        prop_assert_eq!(with_identity.snapshot(), timer(&a).snapshot());
+    }
+
+    /// `Registry::merge` is associative name-wise: every kind folds
+    /// with its own law (counters add, gauges max, histograms add),
+    /// the empty registry is the identity, and the JSON export —
+    /// deterministic by construction — is byte-identical across
+    /// groupings.
+    #[test]
+    fn registry_merge_is_associative(
+        counts in proptest::collection::vec(0u64..1_000_000, 3..4),
+        levels in proptest::collection::vec(0u64..1_000_000, 3..4),
+        samples_a in arb_samples(),
+        samples_b in arb_samples(),
+    ) {
+        let registry = |count: u64, level: u64, samples: &[u64]| {
+            let r = Registry::new();
+            r.counter("part.events").add(count);
+            r.gauge("part.hwm").set(level);
+            let h = r.histogram("part.sizes");
+            for &s in samples {
+                h.record(s);
+            }
+            r
+        };
+
+        let empty: [u64; 0] = [];
+        // Clones share the same store, so build fresh partials for
+        // each grouping instead of merging shared handles twice.
+        let left = {
+            let l = registry(counts[0], levels[0], &samples_a);
+            l.merge(&registry(counts[1], levels[1], &samples_b));
+            l.merge(&registry(counts[2], levels[2], &empty));
+            l
+        };
+        let right = {
+            let tail = registry(counts[1], levels[1], &samples_b);
+            tail.merge(&registry(counts[2], levels[2], &empty));
+            let r = registry(counts[0], levels[0], &samples_a);
+            r.merge(&tail);
+            r
+        };
+        prop_assert_eq!(left.to_json(), right.to_json());
+        prop_assert_eq!(left.counter("part.events").get(), counts.iter().sum::<u64>());
+        prop_assert_eq!(left.gauge("part.hwm").get(), *levels.iter().max().expect("non-empty"));
+
+        let with_identity = registry(counts[0], levels[0], &samples_a);
+        with_identity.merge(&Registry::new());
+        prop_assert_eq!(
+            with_identity.to_json(),
+            registry(counts[0], levels[0], &samples_a).to_json()
+        );
+
+        // Self-merge through a clone is a no-op, not a double-count.
+        let solo = registry(counts[0], levels[0], &samples_a);
+        let alias = solo.clone();
+        solo.merge(&alias);
+        prop_assert_eq!(solo.counter("part.events").get(), counts[0]);
     }
 }

@@ -2,6 +2,13 @@
 
 /// A log-linear histogram over `u64` values with bounded relative error.
 ///
+/// MERGEABLE: histograms of the same precision form a commutative
+/// monoid under [`merge`] (bucket counts and totals add; a fresh
+/// histogram is the identity), so per-partition histograms combine
+/// into the exact corpus-wide distribution in any grouping order.
+///
+/// [`merge`]: LogHistogram::merge
+///
 /// The value space is divided into buckets that are exact below
 /// `2^precision_bits` and grow geometrically above it, with
 /// `2^precision_bits` linear sub-buckets per power of two. Any recorded

@@ -2,6 +2,14 @@
 
 /// A sequence of fixed-width time bins accumulating `u64` counts.
 ///
+/// MERGEABLE: bin sets of the same width form a commutative monoid
+/// under [`merge`] (bins add element-wise, the shorter side is
+/// zero-extended; a fresh bin set is the identity), so per-partition
+/// series combine into the exact corpus-wide series in any grouping
+/// order.
+///
+/// [`merge`]: TimeBins::merge
+///
 /// This is the primitive behind the paper's intensity and activeness
 /// metrics: *peak intensity* is the maximum count over one-minute bins
 /// (Finding 1); *activeness* asks which ten-minute bins are non-zero

@@ -3,10 +3,16 @@
 /// Streaming summary of a sequence of `f64` observations: count, sum,
 /// min, max, mean, and variance.
 ///
+/// MERGEABLE: summaries form a commutative monoid under
+/// [`merge`](Summary::merge) (Chan et al.'s parallel moment
+/// combination; an empty summary is the identity), exact up to
+/// floating-point rounding, so per-partition summaries combine into
+/// the corpus-wide moments in any grouping order.
+///
 /// The mean and variance use Welford's online algorithm, so the summary
 /// is numerically stable over hundreds of millions of observations and
-/// two summaries can be [merged](Summary::merge) associatively (parallel
-/// per-volume analysis reduces per-thread summaries with `merge`).
+/// two summaries can be merged associatively (parallel per-volume
+/// analysis reduces per-thread summaries with `merge`).
 ///
 /// # Example
 ///

@@ -9,6 +9,13 @@ use crate::{IoRequest, TimeDelta, Timestamp, VolumeId};
 /// An in-memory trace: requests grouped by volume, each volume's
 /// requests sorted by timestamp.
 ///
+/// MERGEABLE: traces form a commutative monoid under [`merge`]
+/// (request multisets union and re-canonicalize into volume-major
+/// time order; the empty trace is the identity), so per-partition
+/// sub-traces reassemble into the corpus in any grouping order.
+///
+/// [`merge`]: Trace::merge
+///
 /// Every analysis in the workbench is defined per volume first and
 /// aggregated per corpus second (exactly the paper's methodology), so the
 /// canonical layout is *volume-major*: one contiguous, time-sorted run of
@@ -162,6 +169,12 @@ impl Trace {
     }
 
     /// Merges another trace into this one.
+    ///
+    /// The result is `from_requests` of the concatenated request
+    /// multisets: canonical volume-major time order, independent of
+    /// which side a request came from (the stable sort breaks
+    /// `(volume, timestamp)` ties by concatenation order, so partition
+    /// schemes that keep each volume whole merge bit-identically).
     pub fn merge(self, other: Trace) -> Trace {
         let mut requests = self.requests;
         requests.extend(other.requests);

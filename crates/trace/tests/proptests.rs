@@ -409,3 +409,40 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// `Trace::merge` is associative and commutative on the canonical
+    /// request layout, with the empty trace as identity — the algebra
+    /// `cbs-lint`'s `mergeable-audit` (CBS-L13) demands of the tag.
+    #[test]
+    fn trace_merge_is_associative(
+        a in proptest::collection::vec(arb_request(), 0..120),
+        b in proptest::collection::vec(arb_request(), 0..120),
+        c in proptest::collection::vec(arb_request(), 0..120),
+    ) {
+        let t = Trace::from_requests;
+
+        let left = t(a.clone()).merge(t(b.clone())).merge(t(c.clone()));
+        let right = t(a.clone()).merge(t(b.clone()).merge(t(c.clone())));
+        prop_assert_eq!(left.requests(), right.requests());
+
+        // Commutativity needs distinct (volume, ts) keys: the stable
+        // sort breaks exact ties by input order. Deduplicate by key to
+        // test the law on the lawful domain.
+        let mut seen = std::collections::HashSet::new();
+        let uniq = |reqs: &[IoRequest], seen: &mut std::collections::HashSet<(u32, u64)>| {
+            reqs.iter()
+                .filter(|r| seen.insert((r.volume().get(), r.ts().as_micros())))
+                .copied()
+                .collect::<Vec<_>>()
+        };
+        let ua = uniq(&a, &mut seen);
+        let ub = uniq(&b, &mut seen);
+        let ab = t(ua.clone()).merge(t(ub.clone()));
+        let ba = t(ub).merge(t(ua));
+        prop_assert_eq!(ab.requests(), ba.requests());
+
+        let with_identity = t(a.clone()).merge(Trace::new());
+        prop_assert_eq!(with_identity.requests(), t(a.clone()).requests());
+    }
+}

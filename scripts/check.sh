@@ -24,17 +24,18 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> cbs-lint --json crates"
+echo "==> cbs-lint --json crates tests"
 # Hard gate, exit-code aware: 1 = violations (print the human render),
 # 2 = the linter itself failed (distinct failure, never masked as
-# "violations found").
+# "violations found"). Root-level `tests/` rides along so
+# `mergeable-audit` sees the cross-crate associativity proptests.
 lint_status=0
-lint_out="$(cargo run -q --release -p cbs-lint -- --json crates)" || lint_status=$?
+lint_out="$(cargo run -q --release -p cbs-lint -- --json crates tests)" || lint_status=$?
 case "${lint_status}" in
 0) ;;
 1)
     echo "cbs-lint reported diagnostics:" >&2
-    cargo run -q --release -p cbs-lint -- crates >&2 || true
+    cargo run -q --release -p cbs-lint -- crates tests >&2 || true
     exit 1
     ;;
 *)
@@ -84,6 +85,50 @@ grep -q '"cbt.records":{"type":"counter","value":2}' "${tmpdir}/info.err" || {
     cat "${tmpdir}/info.err" >&2
     exit 1
 }
+
+echo "==> agent-smoke (cbs-ctl + 2 cbs-agents on loopback == --local, byte-for-byte)"
+# Process fan-out parity (DESIGN.md §16): the controller's merged
+# verdict report over two loopback agents must equal the
+# single-process run exactly. Agents bind port 0 and announce the
+# real address on stdout, so parallel CI runs never collide.
+agent_pids=""
+cleanup_agents() {
+    for pid in ${agent_pids}; do kill "${pid}" 2> /dev/null || true; done
+}
+trap 'cleanup_agents; rm -rf "${tmpdir}"' EXIT
+./target/release/cbs-agent --listen 127.0.0.1:0 > "${tmpdir}/agent1.log" 2>&1 &
+agent_pids="${agent_pids} $!"
+./target/release/cbs-agent --listen 127.0.0.1:0 > "${tmpdir}/agent2.log" 2>&1 &
+agent_pids="${agent_pids} $!"
+agent_addr() {
+    # Wait (bounded) for the readiness line, then print the address.
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^cbs-agent listening on //p' "$1" 2> /dev/null | head -n 1)"
+        if [ -n "${addr}" ]; then
+            printf '%s' "${addr}"
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "agent-smoke: agent never announced readiness ($1)" >&2
+    return 1
+}
+addr1="$(agent_addr "${tmpdir}/agent1.log")"
+addr2="$(agent_addr "${tmpdir}/agent2.log")"
+./target/release/cbs-ctl --local --volumes 6 --days 2 --seed 7 --sweep \
+    > "${tmpdir}/local.txt"
+./target/release/cbs-ctl --agents "${addr1},${addr2}" --volumes 6 --days 2 --seed 7 --sweep \
+    > "${tmpdir}/distributed.txt"
+wait ${agent_pids} || {
+    echo "agent-smoke: an agent exited non-zero" >&2
+    cat "${tmpdir}/agent1.log" "${tmpdir}/agent2.log" >&2
+    exit 1
+}
+agent_pids=""
+if ! diff -u "${tmpdir}/local.txt" "${tmpdir}/distributed.txt"; then
+    echo "agent-smoke: distributed verdict report differs from single-process" >&2
+    exit 1
+fi
 
 if [ "${CHECK_SANITIZERS:-0}" = "1" ]; then
     echo "==> sanitizer lanes (CHECK_SANITIZERS=1)"
