@@ -56,6 +56,10 @@ pub mod prelude {
 
     pub use cbs_cache::{SweepGrid, SweepReport};
 
+    pub use cbs_replay::{
+        MemBackend, NullBackend, Remap, ReplayReport, Replayer, StorageBackend, Timing,
+    };
+
     pub use crate::partitioned::PartitionedWorkbench;
     pub use crate::streaming::{StreamingSession, StreamingWorkbench};
     pub use crate::workbench::{Analysis, Workbench};

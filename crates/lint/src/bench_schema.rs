@@ -97,6 +97,9 @@ const TOP_FIELDS: &[(&str, Ty)] = &[("bench", Ty::Str), ("cores", Ty::Int), ("re
 /// violation — extend this table when a harness grows a column.
 const RESULT_FIELDS: &[(&str, Ty)] = &[
     ("accesses", Ty::Int),
+    ("achieved_offered_ratio", Ty::Float),
+    ("achieved_rps", Ty::Float),
+    ("backend", Ty::Str),
     ("backpressure_nanos", Ty::Int),
     ("bytes", Ty::Int),
     ("cbt", Ty::Obj),
@@ -108,17 +111,23 @@ const RESULT_FIELDS: &[(&str, Ty)] = &[
     ("grid", Ty::Arr),
     ("grids_bit_identical", Ty::Bool),
     ("imbalance", Ty::Float),
+    ("issue_lag", Ty::Obj),
     ("lanes", Ty::Arr),
     ("merge_overhead_frac", Ty::Float),
     ("metrics", Ty::Obj),
     ("n_threads", Ty::Int),
+    ("offered_nanos", Ty::Int),
+    ("offered_rps", Ty::Float),
     ("pair_seconds", Ty::Arr),
     ("pairs", Ty::Int),
     ("parallel_1_thread", Ty::Obj),
     ("peak_rss_kb", Ty::Int),
     ("phase", Ty::Str),
+    ("rate_multiplier", Ty::Float),
     ("rates", Ty::Arr),
+    ("reanalysis_identical", Ty::Bool),
     ("records", Ty::Int),
+    ("remap", Ty::Str),
     ("requests", Ty::Int),
     ("requests_per_sec", Ty::Int),
     ("sample_rate", Ty::Float),
@@ -431,6 +440,28 @@ mod tests {
      "workers_curve": [{"workers": 1, "seconds": 1.3, "requests_per_sec": 769}],
      "speedup_4_vs_1": 1.0, "merge_overhead_frac": 0.083,
      "verdicts_identical": true, "peak_rss_kb": 1024}
+  ]
+}"#;
+        let v = validate(text).expect("parses");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn valid_replay_doc_passes() {
+        let text = r#"{
+  "bench": "replay",
+  "cores": 8,
+  "results": [
+    {"phase": "replay", "backend": "null", "remap": "identity",
+     "rate_multiplier": 1000.0, "requests": 1000000, "bytes": 4096000000,
+     "volumes": 64, "wall_nanos": 3700000000, "offered_nanos": 3600000000,
+     "offered_rps": 277777.8, "achieved_rps": 270270.3,
+     "achieved_offered_ratio": 0.973,
+     "issue_lag": {"p50": 800, "p99": 4100}, "seconds": 3.7,
+     "reanalysis_identical": true, "peak_rss_kb": 120000},
+    {"phase": "smoke", "backend": "null", "remap": "fanout:4",
+     "rate_multiplier": 1000.0, "requests": 20000,
+     "achieved_offered_ratio": 0.99, "reanalysis_identical": true}
   ]
 }"#;
         let v = validate(text).expect("parses");

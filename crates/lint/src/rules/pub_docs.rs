@@ -1,10 +1,10 @@
 //! `pub-item-docs`: public items of the foundation crates must be
 //! documented.
 //!
-//! `cbs-trace`, `cbs-core`, `cbs-stats`, `cbs-obs`, and `cbs-cache`
-//! are the API surface every downstream consumer builds on; an
-//! undocumented public `fn`, `struct`, `enum`, or `trait` there is
-//! treated as a defect, not a style nit. `pub(crate)`/`pub(super)`
+//! `cbs-trace`, `cbs-core`, `cbs-stats`, `cbs-obs`, `cbs-cache`, and
+//! `cbs-replay` are the API surface every downstream consumer builds
+//! on; an undocumented public `fn`, `struct`, `enum`, or `trait` there
+//! is treated as a defect, not a style nit. `pub(crate)`/`pub(super)`
 //! items are not public API and are exempt.
 
 use crate::diag::Diagnostic;
@@ -13,7 +13,7 @@ use crate::rules::Rule;
 use crate::source::SourceFile;
 
 /// Crates whose public surface must be fully documented.
-const DOCUMENTED_CRATES: &[&str] = &["trace", "core", "stats", "obs", "cache"];
+const DOCUMENTED_CRATES: &[&str] = &["trace", "core", "stats", "obs", "cache", "replay"];
 
 /// Modifier keywords that may sit between `pub` and the item keyword.
 const MODIFIERS: &[&str] = &["const", "unsafe", "async", "extern"];

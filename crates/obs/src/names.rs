@@ -75,6 +75,22 @@ pub const METRIC_NAMES: &[(&str, &str)] = &[
         "1-based line number of the first malformed record (0 = none)",
     ),
     ("decode.records", "records decoded from text traces"),
+    (
+        "replay.backend_nanos",
+        "per-request backend service time, nanoseconds",
+    ),
+    ("replay.bytes", "payload bytes issued by the replayer"),
+    (
+        "replay.issue_lag_nanos",
+        "per-request issue lag (actual minus target issue time)",
+    ),
+    ("replay.reads", "read requests issued by the replayer"),
+    ("replay.requests", "requests issued by the replayer"),
+    (
+        "replay.sleep_nanos",
+        "nanoseconds the replay scheduler slept ahead of deadlines",
+    ),
+    ("replay.writes", "write requests issued by the replayer"),
     ("reuse.compactions", "reuse-distance tree compactions run"),
     (
         "reuse.dead_entries",

@@ -1,0 +1,63 @@
+//! Replay error type: [`ReplayError`].
+
+use core::fmt;
+
+use cbs_trace::CbtError;
+
+use crate::schedule::{MAX_MULTIPLIER, MIN_MULTIPLIER};
+
+/// Everything that can go wrong while configuring or driving a replay.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The requested rate multiplier is outside the supported
+    /// ×[`MIN_MULTIPLIER`]…×[`MAX_MULTIPLIER`] range (or not finite).
+    InvalidMultiplier(f64),
+    /// The remap parameter was zero — fan-out and merge factors must
+    /// map every source volume to a real target.
+    InvalidRemapFactor,
+    /// A [`StorageBackend`](crate::StorageBackend) call failed.
+    Backend {
+        /// The failing backend's [`name`](crate::StorageBackend::name).
+        backend: &'static str,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The trace source itself failed mid-stream (e.g. a corrupt CBT
+    /// block); the replay stops at the failure point.
+    Source(CbtError),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::InvalidMultiplier(m) => write!(
+                f,
+                "rate multiplier {m} outside supported range \
+                 x{MIN_MULTIPLIER}..=x{MAX_MULTIPLIER}"
+            ),
+            ReplayError::InvalidRemapFactor => {
+                write!(f, "remap factor must be at least 1")
+            }
+            ReplayError::Backend { backend, source } => {
+                write!(f, "{backend} backend failed: {source}")
+            }
+            ReplayError::Source(e) => write!(f, "trace source failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::Backend { source, .. } => Some(source),
+            ReplayError::Source(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CbtError> for ReplayError {
+    fn from(e: CbtError) -> Self {
+        ReplayError::Source(e)
+    }
+}

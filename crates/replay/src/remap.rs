@@ -1,0 +1,200 @@
+//! Volume remapping: [`Remap`] policies and the stateful
+//! [`VolumeRemapper`] that applies them request-by-request.
+//!
+//! Remapping rewrites *where* load lands without touching *what* the
+//! load is: every source request maps to exactly one output request
+//! with the same op, offset, length, and timestamp — only the volume id
+//! changes. That invariant is what makes replay results comparable to
+//! the source analysis (total request and byte counts are preserved by
+//! construction; the `remap_laws` proptests pin it down).
+//!
+//! The three policies are the warp-replay feature set:
+//!
+//! * **1→1** ([`Remap::Identity`]) — replay onto the recorded volumes;
+//! * **1→N** ([`Remap::fan_out`]) — spread each source volume's
+//!   requests round-robin across `n` target volumes, emulating a
+//!   migration that splits one hot device across `n` devices;
+//! * **N→1** ([`Remap::merge_into`]) — fold every `n` consecutive
+//!   source volume ids onto one target, emulating consolidation onto
+//!   fewer, larger devices.
+
+use std::collections::HashMap;
+
+use cbs_trace::{IoRequest, VolumeId};
+
+use crate::error::ReplayError;
+
+/// A volume remapping policy. See the [module docs](self) for the
+/// semantics of each variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Remap {
+    /// 1→1: requests keep their recorded volume.
+    Identity,
+    /// 1→N: source volume `v` spreads round-robin over target volumes
+    /// `v*n .. v*n+n`. Constructed by [`Remap::fan_out`].
+    FanOut(u32),
+    /// N→1: source volume `v` lands on target volume `v / n`.
+    /// Constructed by [`Remap::merge_into`].
+    Merge(u32),
+}
+
+impl Remap {
+    /// Validated 1→N fan-out (`n >= 1`; `n == 1` degenerates to a
+    /// renumbering-free identity).
+    pub fn fan_out(n: u32) -> Result<Remap, ReplayError> {
+        if n == 0 {
+            return Err(ReplayError::InvalidRemapFactor);
+        }
+        Ok(Remap::FanOut(n))
+    }
+
+    /// Validated N→1 merge (`n >= 1`).
+    pub fn merge_into(n: u32) -> Result<Remap, ReplayError> {
+        if n == 0 {
+            return Err(ReplayError::InvalidRemapFactor);
+        }
+        Ok(Remap::Merge(n))
+    }
+
+    /// Parses a CLI-style spec: `identity`, `fanout:N`, or `merge:N`.
+    pub fn parse(spec: &str) -> Result<Remap, ReplayError> {
+        if spec == "identity" {
+            return Ok(Remap::Identity);
+        }
+        let parse_n = |s: &str| {
+            s.parse::<u32>()
+                .map_err(|_| ReplayError::InvalidRemapFactor)
+        };
+        if let Some(n) = spec.strip_prefix("fanout:") {
+            return Remap::fan_out(parse_n(n)?);
+        }
+        if let Some(n) = spec.strip_prefix("merge:") {
+            return Remap::merge_into(parse_n(n)?);
+        }
+        Err(ReplayError::InvalidRemapFactor)
+    }
+
+    /// Stable label for reports (`identity`, `fanout:4`, `merge:4`).
+    pub fn label(&self) -> String {
+        match self {
+            Remap::Identity => "identity".to_string(),
+            Remap::FanOut(n) => format!("fanout:{n}"),
+            Remap::Merge(n) => format!("merge:{n}"),
+        }
+    }
+}
+
+/// Applies a [`Remap`] policy to a request stream.
+///
+/// Fan-out keeps one round-robin cursor per *source* volume so each
+/// source volume's traffic spreads evenly over its targets regardless
+/// of how volumes interleave in the stream.
+#[derive(Debug)]
+pub struct VolumeRemapper {
+    mode: Remap,
+    cursors: HashMap<u32, u32>,
+}
+
+impl VolumeRemapper {
+    /// Creates a remapper for `mode`.
+    pub fn new(mode: Remap) -> Self {
+        VolumeRemapper {
+            mode,
+            cursors: HashMap::new(),
+        }
+    }
+
+    /// The policy this remapper applies.
+    pub fn mode(&self) -> Remap {
+        self.mode
+    }
+
+    /// Maps one source request to its (single) output request.
+    ///
+    /// Target ids are computed in `u64` and truncated to `u32`; with
+    /// the corpus sizes the workbench supports (`max_volume * n`
+    /// below 2^32) no truncation occurs.
+    pub fn map(&mut self, req: IoRequest) -> IoRequest {
+        match self.mode {
+            Remap::Identity => req,
+            Remap::FanOut(n) => {
+                let src = req.volume().get();
+                let cursor = self.cursors.entry(src).or_insert(0);
+                let lane = *cursor;
+                *cursor = (*cursor + 1) % n;
+                let target = (src as u64 * n as u64 + lane as u64) as u32;
+                req.with_volume(VolumeId::new(target))
+            }
+            Remap::Merge(n) => req.with_volume(VolumeId::new(req.volume().get() / n)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_trace::{OpKind, Timestamp};
+
+    fn req(vol: u32) -> IoRequest {
+        IoRequest::new(
+            VolumeId::new(vol),
+            OpKind::Read,
+            4096,
+            512,
+            Timestamp::from_micros(10),
+        )
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let mut m = VolumeRemapper::new(Remap::Identity);
+        assert_eq!(m.map(req(42)), req(42));
+    }
+
+    #[test]
+    fn fan_out_round_robins_per_source_volume() {
+        let mut m = VolumeRemapper::new(Remap::fan_out(3).unwrap());
+        // Volume 2 targets 6, 7, 8, 6, ... even with volume 5 interleaved.
+        assert_eq!(m.map(req(2)).volume().get(), 6);
+        assert_eq!(m.map(req(5)).volume().get(), 15);
+        assert_eq!(m.map(req(2)).volume().get(), 7);
+        assert_eq!(m.map(req(5)).volume().get(), 16);
+        assert_eq!(m.map(req(2)).volume().get(), 8);
+        assert_eq!(m.map(req(2)).volume().get(), 6);
+    }
+
+    #[test]
+    fn fan_out_preserves_everything_but_volume() {
+        let mut m = VolumeRemapper::new(Remap::fan_out(4).unwrap());
+        let out = m.map(req(9));
+        assert_eq!(out.op(), OpKind::Read);
+        assert_eq!(out.offset(), 4096);
+        assert_eq!(out.len(), 512);
+        assert_eq!(out.ts(), Timestamp::from_micros(10));
+    }
+
+    #[test]
+    fn merge_folds_consecutive_ids() {
+        let mut m = VolumeRemapper::new(Remap::merge_into(4).unwrap());
+        assert_eq!(m.map(req(0)).volume().get(), 0);
+        assert_eq!(m.map(req(3)).volume().get(), 0);
+        assert_eq!(m.map(req(4)).volume().get(), 1);
+        assert_eq!(m.map(req(11)).volume().get(), 2);
+    }
+
+    #[test]
+    fn zero_factors_are_rejected() {
+        assert!(Remap::fan_out(0).is_err());
+        assert!(Remap::merge_into(0).is_err());
+        assert!(Remap::parse("fanout:0").is_err());
+    }
+
+    #[test]
+    fn parse_and_label_round_trip() {
+        for spec in ["identity", "fanout:4", "merge:16"] {
+            assert_eq!(Remap::parse(spec).unwrap().label(), spec);
+        }
+        assert!(Remap::parse("bogus").is_err());
+        assert!(Remap::parse("fanout:x").is_err());
+    }
+}

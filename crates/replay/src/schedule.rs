@@ -1,0 +1,544 @@
+//! The open-loop replay scheduler: [`Timing`], [`Replayer`], and
+//! [`ReplayReport`].
+//!
+//! # Open loop
+//!
+//! The scheduler computes each request's *target issue time* from its
+//! recorded timestamp (scaled by the rate multiplier) and issues at
+//! that wall-clock instant **whether or not earlier requests have
+//! completed** — the arrival process is the trace's, not the
+//! backend's. This is what makes the replay a load *generator* rather
+//! than a closed feedback loop: a slow backend shows up as growing
+//! issue lag (`replay.issue_lag_nanos`) and a depressed
+//! achieved-vs-offered ratio, exactly the signals TraceTracker-style
+//! replay uses to compare hardware generations.
+//!
+//! # Clock arithmetic
+//!
+//! Target times are derived from `request.ts - first.ts` (saturating:
+//! an out-of-order source timestamp clamps to the trace start, and
+//! targets are made monotonic so a disordered source can never stall
+//! the replay), scaled through
+//! [`TimeDelta::saturating_mul_f64`](cbs_trace::TimeDelta::saturating_mul_f64) — the
+//! overflow-checked rate-multiplier primitive — and quantized to the
+//! microsecond resolution of the trace clock.
+
+use cbs_obs::{Counter, Histogram, HistogramSnapshot, Registry, Stopwatch};
+use cbs_trace::{IoRequest, Timestamp};
+
+use crate::backend::StorageBackend;
+use crate::error::ReplayError;
+use crate::remap::{Remap, VolumeRemapper};
+
+/// Slowest supported replay speed (×0.1 = ten-fold slow motion).
+pub const MIN_MULTIPLIER: f64 = 0.1;
+
+/// Fastest supported replay speed (×1000 compresses a day to ~86 s).
+pub const MAX_MULTIPLIER: f64 = 1000.0;
+
+/// How close to a deadline the scheduler stops sleeping and spins.
+/// `thread::sleep` routinely overshoots by tens of microseconds; the
+/// last stretch is burned in a spin loop so issue lag stays bounded by
+/// scheduler jitter, not timer slack.
+const SPIN_WINDOW_NANOS: u64 = 100_000;
+
+/// Replay pacing: recorded timestamps, optionally scaled.
+///
+/// Constructed through [`Timing::recorded`] or [`Timing::multiplier`]
+/// so an out-of-range rate can never reach the scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    rate: f64,
+}
+
+impl Timing {
+    /// Replay at recorded timestamps (×1).
+    pub fn recorded() -> Timing {
+        Timing { rate: 1.0 }
+    }
+
+    /// Replay at `rate` × recorded speed. `rate` must be finite and in
+    /// ×[`MIN_MULTIPLIER`]…×[`MAX_MULTIPLIER`].
+    pub fn multiplier(rate: f64) -> Result<Timing, ReplayError> {
+        if !rate.is_finite() || !(MIN_MULTIPLIER..=MAX_MULTIPLIER).contains(&rate) {
+            return Err(ReplayError::InvalidMultiplier(rate));
+        }
+        Ok(Timing { rate })
+    }
+
+    /// The speed-up factor (1.0 for recorded pacing).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing::recorded()
+    }
+}
+
+/// What a finished replay measured. All times are nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayReport {
+    /// Requests issued to the backend.
+    pub requests: u64,
+    /// Payload bytes issued (sum of request lengths).
+    pub bytes: u64,
+    /// Read requests issued.
+    pub reads: u64,
+    /// Write requests issued.
+    pub writes: u64,
+    /// Wall-clock duration of the whole replay (including the final
+    /// backend flush).
+    pub wall_nanos: u64,
+    /// The offered load's duration: the scaled target issue time of
+    /// the last request — what a perfectly fast replay would take.
+    pub offered_nanos: u64,
+    /// Nanoseconds the scheduler spent sleeping ahead of deadlines
+    /// (idle headroom; ~0 when saturated).
+    pub slept_nanos: u64,
+    /// Distribution of per-request issue lag (actual minus target
+    /// issue time).
+    pub issue_lag: HistogramSnapshot,
+    /// Distribution of per-request backend service time.
+    pub backend: HistogramSnapshot,
+}
+
+impl ReplayReport {
+    /// Requests per second the trace *offered* at the configured rate.
+    pub fn offered_rps(&self) -> f64 {
+        if self.offered_nanos == 0 {
+            return self.requests as f64 * 1e9;
+        }
+        self.requests as f64 / (self.offered_nanos as f64 / 1e9)
+    }
+
+    /// Requests per second actually sustained.
+    pub fn achieved_rps(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return self.requests as f64 * 1e9;
+        }
+        self.requests as f64 / (self.wall_nanos as f64 / 1e9)
+    }
+
+    /// Achieved / offered throughput, in (0, 1]. 1.0 means the replay
+    /// kept up with the offered schedule exactly; the acceptance gate
+    /// requires ≥ 0.95 on the null backend at ×1000.
+    pub fn achieved_offered_ratio(&self) -> f64 {
+        if self.offered_nanos == 0 || self.wall_nanos == 0 {
+            return 1.0;
+        }
+        (self.offered_nanos as f64 / self.wall_nanos as f64).min(1.0)
+    }
+}
+
+/// The open-loop replayer: pair a [`StorageBackend`] with a [`Timing`]
+/// and a [`Remap`], then [`run`](Replayer::run) a request stream
+/// through it.
+///
+/// # Example
+///
+/// ```
+/// use cbs_replay::{NullBackend, Remap, Replayer, Timing};
+/// use cbs_trace::{IoRequest, OpKind, Timestamp, VolumeId};
+///
+/// # fn main() -> Result<(), cbs_replay::ReplayError> {
+/// let reqs = (0..100).map(|i| {
+///     IoRequest::new(
+///         VolumeId::new(i % 4),
+///         if i % 3 == 0 { OpKind::Write } else { OpKind::Read },
+///         (i as u64) * 4096,
+///         4096,
+///         Timestamp::from_micros(i as u64 * 50),
+///     )
+/// });
+/// let mut replayer = Replayer::new(NullBackend::new())
+///     .with_timing(Timing::multiplier(1000.0)?)
+///     .with_remap(Remap::fan_out(2)?);
+/// let report = replayer.run(reqs)?;
+/// assert_eq!(report.requests, 100);
+/// assert!(report.achieved_offered_ratio() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Replayer<B: StorageBackend> {
+    backend: B,
+    timing: Timing,
+    remapper: VolumeRemapper,
+    registry: Registry,
+    requests: Counter,
+    bytes: Counter,
+    reads: Counter,
+    writes: Counter,
+    slept: Counter,
+    issue_lag: Histogram,
+    backend_nanos: Histogram,
+}
+
+impl<B: StorageBackend> Replayer<B> {
+    /// Creates a replayer with recorded (×1) pacing, identity
+    /// remapping, and a private metric registry.
+    pub fn new(backend: B) -> Self {
+        Self::with_registry_impl(backend, Registry::new())
+    }
+
+    /// Creates a replayer whose metrics land in (a clone of) `registry`
+    /// so replay counters export alongside the caller's.
+    pub fn with_registry(backend: B, registry: &Registry) -> Self {
+        Self::with_registry_impl(backend, registry.clone())
+    }
+
+    fn with_registry_impl(backend: B, registry: Registry) -> Self {
+        let requests = registry.counter("replay.requests");
+        let bytes = registry.counter("replay.bytes");
+        let reads = registry.counter("replay.reads");
+        let writes = registry.counter("replay.writes");
+        let slept = registry.counter("replay.sleep_nanos");
+        let issue_lag = registry.histogram("replay.issue_lag_nanos");
+        let backend_nanos = registry.histogram("replay.backend_nanos");
+        Replayer {
+            backend,
+            timing: Timing::recorded(),
+            remapper: VolumeRemapper::new(Remap::Identity),
+            registry,
+            requests,
+            bytes,
+            reads,
+            writes,
+            slept,
+            issue_lag,
+            backend_nanos,
+        }
+    }
+
+    /// Sets the pacing (builder style).
+    pub fn with_timing(mut self, timing: Timing) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Sets the volume remapping policy (builder style).
+    pub fn with_remap(mut self, remap: Remap) -> Self {
+        self.remapper = VolumeRemapper::new(remap);
+        self
+    }
+
+    /// The metric registry this replayer records into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Borrows the backend (e.g. to inspect a
+    /// [`MemBackend`](crate::MemBackend)'s resident pages).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Consumes the replayer, returning the backend.
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// Replays an infallible, time-ordered request stream
+    /// (`Trace::iter_time_ordered`, `CorpusGenerator::stream()`, a
+    /// `Vec`). Out-of-order timestamps are tolerated: their targets
+    /// clamp to the latest deadline already issued.
+    pub fn run<I>(&mut self, source: I) -> Result<ReplayReport, ReplayError>
+    where
+        I: IntoIterator<Item = IoRequest>,
+    {
+        self.run_observed(source, |_| {})
+    }
+
+    /// Replays a fallible stream (e.g. [`CbtRequests`]) — the replay
+    /// stops at, and returns, the first source error.
+    ///
+    /// [`CbtRequests`]: crate::CbtRequests
+    pub fn run_results<I, E>(&mut self, source: I) -> Result<ReplayReport, ReplayError>
+    where
+        I: IntoIterator<Item = Result<IoRequest, E>>,
+        E: Into<ReplayError>,
+    {
+        let mut failed: Option<ReplayError> = None;
+        let report = self.run_observed(
+            source.into_iter().map_while(|r| match r {
+                Ok(req) => Some(req),
+                Err(e) => {
+                    failed = Some(e.into());
+                    None
+                }
+            }),
+            |_| {},
+        )?;
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    /// [`run`](Replayer::run), additionally handing every *issued*
+    /// (post-remap) request to `observe` — the hook the re-analysis
+    /// equivalence tests use to feed the replayed stream back through
+    /// the analysis workbench.
+    pub fn run_observed<I, F>(
+        &mut self,
+        source: I,
+        mut observe: F,
+    ) -> Result<ReplayReport, ReplayError>
+    where
+        I: IntoIterator<Item = IoRequest>,
+        F: FnMut(IoRequest),
+    {
+        let inv_rate = 1.0 / self.timing.rate();
+        let clock = Stopwatch::start();
+        let mut t0: Option<Timestamp> = None;
+        let mut last_target_nanos = 0u64;
+        let slept_at_start = self.slept.get();
+
+        for req in source {
+            let start = *t0.get_or_insert_with(|| req.ts());
+            // Scaled offset from trace start, on the new checked
+            // arithmetic: saturating clamp beats wrapping for a
+            // pathological source, and the monotonic max keeps a
+            // disordered stream from re-targeting the past.
+            let delta = req.ts().saturating_duration_since(start);
+            let scaled = delta.saturating_mul_f64(inv_rate);
+            let target_nanos = scaled
+                .as_micros()
+                .saturating_mul(1000)
+                .max(last_target_nanos);
+            last_target_nanos = target_nanos;
+
+            self.wait_until(&clock, target_nanos);
+            let lag = clock.elapsed_nanos().saturating_sub(target_nanos);
+            self.issue_lag.record(lag);
+
+            let out = self.remapper.map(req);
+            observe(out);
+            let service = Stopwatch::start();
+            let io = if out.is_write() {
+                self.backend.write(out.volume(), out.offset(), out.len())
+            } else {
+                self.backend.read(out.volume(), out.offset(), out.len())
+            };
+            self.backend_nanos.record(service.elapsed_nanos());
+            if let Err(source) = io {
+                return Err(ReplayError::Backend {
+                    backend: self.backend.name(),
+                    source,
+                });
+            }
+
+            self.requests.inc();
+            self.bytes.add(out.len() as u64);
+            if out.is_write() {
+                self.writes.inc();
+            } else {
+                self.reads.inc();
+            }
+        }
+
+        if let Err(source) = self.backend.flush() {
+            return Err(ReplayError::Backend {
+                backend: self.backend.name(),
+                source,
+            });
+        }
+
+        Ok(ReplayReport {
+            requests: self.requests.get(),
+            bytes: self.bytes.get(),
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            wall_nanos: clock.elapsed_nanos(),
+            offered_nanos: last_target_nanos,
+            slept_nanos: self.slept.get() - slept_at_start,
+            issue_lag: self.issue_lag.snapshot(),
+            backend: self.backend_nanos.snapshot(),
+        })
+    }
+
+    /// Sleeps (coarsely) then spins (precisely) until `clock` reaches
+    /// `target_nanos`. Returns immediately when already past due —
+    /// the saturated fast path when the backend can't keep up or the
+    /// multiplier outruns the engine.
+    fn wait_until(&self, clock: &Stopwatch, target_nanos: u64) {
+        loop {
+            let now = clock.elapsed_nanos();
+            if now >= target_nanos {
+                return;
+            }
+            let remaining = target_nanos - now;
+            if remaining > SPIN_WINDOW_NANOS {
+                let nap = Stopwatch::start();
+                std::thread::sleep(std::time::Duration::from_nanos(
+                    remaining - SPIN_WINDOW_NANOS,
+                ));
+                self.slept.add(nap.elapsed_nanos());
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{MemBackend, NullBackend};
+    use cbs_trace::{OpKind, VolumeId};
+
+    fn make(n: u64, gap_us: u64) -> Vec<IoRequest> {
+        (0..n)
+            .map(|i| {
+                IoRequest::new(
+                    VolumeId::new((i % 8) as u32),
+                    if i % 4 == 0 {
+                        OpKind::Write
+                    } else {
+                        OpKind::Read
+                    },
+                    i * 4096,
+                    4096,
+                    Timestamp::from_micros(i * gap_us),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multiplier_bounds_enforced() {
+        assert!(Timing::multiplier(0.1).is_ok());
+        assert!(Timing::multiplier(1000.0).is_ok());
+        assert!(Timing::multiplier(0.09).is_err());
+        assert!(Timing::multiplier(1000.1).is_err());
+        assert!(Timing::multiplier(f64::NAN).is_err());
+        assert!(Timing::multiplier(f64::INFINITY).is_err());
+        assert!(Timing::multiplier(-1.0).is_err());
+    }
+
+    #[test]
+    fn replay_counts_everything() {
+        let reqs = make(200, 10);
+        let mut r =
+            Replayer::new(NullBackend::new()).with_timing(Timing::multiplier(1000.0).unwrap());
+        let report = r.run(reqs).unwrap();
+        assert_eq!(report.requests, 200);
+        assert_eq!(report.bytes, 200 * 4096);
+        assert_eq!(report.reads, 150);
+        assert_eq!(report.writes, 50);
+        assert_eq!(report.issue_lag.count, 200);
+        assert_eq!(report.backend.count, 200);
+        assert!(report.achieved_offered_ratio() > 0.0);
+        assert!(report.achieved_offered_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn recorded_pacing_takes_at_least_the_trace_span() {
+        // 20 requests, 1 ms apart -> 19 ms of offered schedule.
+        let reqs = make(20, 1000);
+        let mut r = Replayer::new(NullBackend::new());
+        let report = r.run(reqs).unwrap();
+        assert_eq!(report.offered_nanos, 19 * 1_000_000);
+        assert!(
+            report.wall_nanos >= report.offered_nanos,
+            "open loop cannot finish before the last deadline: {} < {}",
+            report.wall_nanos,
+            report.offered_nanos
+        );
+        // Pacing a sparse schedule means actually sleeping.
+        assert!(report.slept_nanos > 0);
+    }
+
+    #[test]
+    fn slow_motion_stretches_the_schedule() {
+        // 10 requests 100 us apart at x0.5 -> 1.8 ms offered.
+        let reqs = make(10, 100);
+        let mut r = Replayer::new(NullBackend::new()).with_timing(Timing::multiplier(0.5).unwrap());
+        let report = r.run(reqs).unwrap();
+        assert_eq!(report.offered_nanos, 9 * 200 * 1000);
+        assert!(report.wall_nanos >= report.offered_nanos);
+    }
+
+    #[test]
+    fn out_of_order_timestamps_do_not_stall() {
+        let mut reqs = make(50, 10);
+        reqs.swap(10, 40); // violently disorder the stream
+        let mut r =
+            Replayer::new(NullBackend::new()).with_timing(Timing::multiplier(1000.0).unwrap());
+        let report = r.run(reqs).unwrap();
+        assert_eq!(report.requests, 50);
+    }
+
+    #[test]
+    fn empty_source_reports_zeroes() {
+        let mut r = Replayer::new(NullBackend::new());
+        let report = r.run(Vec::new()).unwrap();
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.offered_nanos, 0);
+        assert!((report.achieved_offered_ratio() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn mem_backend_sees_remapped_writes() {
+        let reqs = make(64, 1);
+        let mut r = Replayer::new(MemBackend::new())
+            .with_timing(Timing::multiplier(1000.0).unwrap())
+            .with_remap(Remap::merge_into(8).unwrap());
+        let report = r.run(reqs).unwrap();
+        assert_eq!(report.writes, 16);
+        assert!(r.backend().page_count() > 0);
+        // merge:8 folds volumes 0..8 onto volume 0 only.
+        let backend = r.into_backend();
+        assert!(backend.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn observer_sees_post_remap_stream_in_order() {
+        let reqs = make(30, 5);
+        let mut seen = Vec::new();
+        let mut r = Replayer::new(NullBackend::new())
+            .with_timing(Timing::multiplier(1000.0).unwrap())
+            .with_remap(Remap::fan_out(2).unwrap());
+        r.run_observed(reqs.clone(), |req| seen.push(req)).unwrap();
+        assert_eq!(seen.len(), 30);
+        for (src, out) in reqs.iter().zip(&seen) {
+            assert_eq!(src.ts(), out.ts());
+            assert_eq!(src.len(), out.len());
+            assert_eq!(src.op(), out.op());
+            assert_eq!(out.volume().get() / 2, src.volume().get());
+        }
+    }
+
+    #[test]
+    fn registry_exports_replay_metrics() {
+        let registry = Registry::new();
+        let mut r = Replayer::with_registry(NullBackend::new(), &registry)
+            .with_timing(Timing::multiplier(1000.0).unwrap());
+        r.run(make(10, 1)).unwrap();
+        let json = registry.to_json();
+        assert!(json.contains("\"replay.requests\""));
+        assert!(json.contains("\"replay.issue_lag_nanos\""));
+        assert!(json.contains("\"replay.backend_nanos\""));
+    }
+
+    #[test]
+    fn run_results_stops_at_source_error() {
+        use cbs_trace::CbtError;
+        let items: Vec<Result<IoRequest, CbtError>> = vec![
+            Ok(make(1, 1)[0]),
+            Err(CbtError::Corrupt {
+                block: 0,
+                detail: "synthetic test corruption",
+            }),
+            Ok(make(1, 1)[0]),
+        ];
+        let mut r = Replayer::new(NullBackend::new());
+        let err = r.run_results(items).unwrap_err();
+        assert!(matches!(err, ReplayError::Source(_)), "{err}");
+        // The request before the error was still issued.
+        assert_eq!(r.registry().snapshot().len(), 7);
+    }
+}

@@ -36,7 +36,9 @@ struct BackgroundGen {
 impl BackgroundGen {
     fn new(rate_rps: f64, start: Timestamp, end: Timestamp, mut rng: SmallRng) -> Option<Self> {
         let gap = Exponential::new(rate_rps)?;
-        let first = start + TimeDelta::from_secs_f64(gap.sample(&mut rng).min(1e9));
+        // saturating: a pathological rate can push the first arrival past
+        // the clock's end; MAX means "never", which `next` handles.
+        let first = start.saturating_add(TimeDelta::from_secs_f64(gap.sample(&mut rng).min(1e9)));
         Some(BackgroundGen {
             rng,
             gap,
@@ -189,7 +191,9 @@ impl VolumeGenerator {
                 let len = (end - offset).min(u64::from(job.request_size)) as u32;
                 out.push(IoRequest::new(p.id, OpKind::Write, offset, len, ts));
                 offset += u64::from(len);
-                ts += TimeDelta::from_micros(job.gap_us);
+                // saturating: `ts < live_end` terminates the loop, so a
+                // clamped MAX ends the run instead of wrapping/panicking
+                ts = ts.saturating_add(TimeDelta::from_micros(job.gap_us));
             }
         }
         out
@@ -227,7 +231,8 @@ impl Iterator for RewriteRun {
         let len = (self.end - self.offset).min(u64::from(self.request_size)) as u32;
         let req = IoRequest::new(self.id, OpKind::Write, self.offset, len, self.ts);
         self.offset += u64::from(len);
-        self.ts += TimeDelta::from_micros(self.gap_us);
+        // saturating, for the same reason as the batch path above
+        self.ts = self.ts.saturating_add(TimeDelta::from_micros(self.gap_us));
         Some(req)
     }
 }

@@ -4,8 +4,11 @@
 //! arbitrary per-trace epoch (the AliCloud release already uses
 //! microseconds; MSRC uses Windows 100 ns ticks, which the MSRC codec
 //! divides down). Microseconds in a `u64` cover ~584,000 years, far beyond
-//! any trace duration, so arithmetic never overflows in practice; the
-//! checked variants are provided for defensive code.
+//! any trace duration — but replay-time arithmetic (timestamps scaled by
+//! a ×0.1…×1000 rate multiplier, deltas summed across remapped volumes)
+//! *can* reach the edge, so the `+` operators are overflow-checked in
+//! every build profile and the `checked_*`/`saturating_*` variants exist
+//! for paths where overflow is an expected input rather than a bug.
 
 use core::fmt;
 use core::ops::{Add, AddAssign, Sub};
@@ -153,6 +156,14 @@ impl Timestamp {
             None => None,
         }
     }
+
+    /// Adds a delta, clamping to [`Timestamp::MAX`] on overflow — the
+    /// shape replay schedulers use, where a saturated deadline means
+    /// "never", not a wrapped-around early issue.
+    #[inline]
+    pub const fn saturating_add(self, delta: TimeDelta) -> Timestamp {
+        Timestamp(self.0.saturating_add(delta.0))
+    }
 }
 
 impl fmt::Display for Timestamp {
@@ -164,16 +175,32 @@ impl fmt::Display for Timestamp {
 impl Add<TimeDelta> for Timestamp {
     type Output = Timestamp;
 
+    /// Adds a delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow in **all** build profiles. The bare `+` this
+    /// replaced wrapped silently in release builds, so a saturated
+    /// source timestamp plus a scaled delta could land *before* the
+    /// epoch and reorder a replay schedule; use
+    /// [`Timestamp::checked_add`] / [`Timestamp::saturating_add`] when
+    /// overflow is an expected input, not a bug.
     #[inline]
     fn add(self, rhs: TimeDelta) -> Timestamp {
-        Timestamp(self.0 + rhs.0)
+        match self.0.checked_add(rhs.0) {
+            Some(t) => Timestamp(t),
+            // cbs-lint: allow(no-panic-in-lib) -- overflow here is arithmetic corruption (584k years of trace time); wrapping silently was the bug this guard fixes
+            None => panic!("Timestamp + TimeDelta overflowed: {} + {}", self.0, rhs.0),
+        }
     }
 }
 
 impl AddAssign<TimeDelta> for Timestamp {
+    /// In-place [`Add`]; panics on overflow in all build profiles (see
+    /// [`Add`](Timestamp::add)).
     #[inline]
     fn add_assign(&mut self, rhs: TimeDelta) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
@@ -278,8 +305,13 @@ impl TimeDelta {
             "seconds must be finite and non-negative, got {secs}"
         );
         let micros = secs * MICROS_PER_SEC as f64;
+        // Strict `<`: `u64::MAX as f64` rounds *up* to 2^64, so a `<=`
+        // bound admits microsecond values in (u64::MAX, 2^64] whose
+        // `as u64` cast silently saturates. Every f64 strictly below
+        // 2^64 fits in a u64, and at that magnitude f64s are integral,
+        // so `round()` cannot push a passing value over the edge.
         assert!(
-            micros <= u64::MAX as f64,
+            micros < u64::MAX as f64,
             "seconds value {secs} overflows TimeDelta"
         );
         TimeDelta(micros.round() as u64)
@@ -339,6 +371,59 @@ impl TimeDelta {
         TimeDelta(self.0.saturating_add(rhs.0))
     }
 
+    /// Checked addition, `None` on overflow.
+    #[inline]
+    pub const fn checked_add(self, rhs: TimeDelta) -> Option<TimeDelta> {
+        match self.0.checked_add(rhs.0) {
+            Some(d) => Some(TimeDelta(d)),
+            None => None,
+        }
+    }
+
+    /// Checked integer scaling, `None` on overflow.
+    #[inline]
+    pub const fn checked_mul(self, factor: u64) -> Option<TimeDelta> {
+        match self.0.checked_mul(factor) {
+            Some(d) => Some(TimeDelta(d)),
+            None => None,
+        }
+    }
+
+    /// Scales the delta by a non-negative factor, rounding to the
+    /// nearest microsecond — the rate-multiplier primitive: replaying
+    /// at ×`r` stretches every inter-arrival gap by `1/r`.
+    ///
+    /// Returns `None` if `factor` is negative, NaN, or the product
+    /// overflows the microsecond range (same strict 2^64 bound as
+    /// [`TimeDelta::from_secs_f64`]). Infinity is rejected as an
+    /// overflow rather than a panic, so callers can treat "multiplier
+    /// too extreme" uniformly.
+    #[inline]
+    pub fn mul_f64(self, factor: f64) -> Option<TimeDelta> {
+        if factor.is_nan() || factor < 0.0 {
+            return None;
+        }
+        let scaled = self.0 as f64 * factor;
+        // Strict `<` for the same reason as `from_secs_f64`: 2^64
+        // itself must be rejected, not saturated into.
+        if scaled < u64::MAX as f64 {
+            Some(TimeDelta(scaled.round() as u64))
+        } else {
+            None
+        }
+    }
+
+    /// Like [`TimeDelta::mul_f64`] but clamps overflow (and rejects of
+    /// NaN/negative factors) to [`TimeDelta::MAX`] / [`TimeDelta::ZERO`]
+    /// instead of returning `None`.
+    #[inline]
+    pub fn saturating_mul_f64(self, factor: f64) -> TimeDelta {
+        if factor.is_nan() || factor < 0.0 {
+            return TimeDelta::ZERO;
+        }
+        self.mul_f64(factor).unwrap_or(TimeDelta::MAX)
+    }
+
     /// Checked integer division of two deltas (a dimensionless ratio).
     #[inline]
     pub fn ratio(self, rhs: TimeDelta) -> Option<f64> {
@@ -373,16 +458,30 @@ impl fmt::Display for TimeDelta {
 impl Add for TimeDelta {
     type Output = TimeDelta;
 
+    /// Adds two deltas.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow in **all** build profiles (the bare `+` this
+    /// replaced wrapped silently in release builds). Use
+    /// [`TimeDelta::checked_add`] / [`TimeDelta::saturating_add`] when
+    /// overflow is an expected input.
     #[inline]
     fn add(self, rhs: TimeDelta) -> TimeDelta {
-        TimeDelta(self.0 + rhs.0)
+        match self.0.checked_add(rhs.0) {
+            Some(d) => TimeDelta(d),
+            // cbs-lint: allow(no-panic-in-lib) -- overflow here is arithmetic corruption (584k years of trace time); wrapping silently was the bug this guard fixes
+            None => panic!("TimeDelta + TimeDelta overflowed: {} + {}", self.0, rhs.0),
+        }
     }
 }
 
 impl AddAssign for TimeDelta {
+    /// In-place [`Add`]; panics on overflow in all build profiles (see
+    /// [`Add`](TimeDelta::add)).
     #[inline]
     fn add_assign(&mut self, rhs: TimeDelta) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
@@ -491,6 +590,110 @@ mod tests {
     #[should_panic(expected = "finite and non-negative")]
     fn from_secs_f64_rejects_negative() {
         let _ = TimeDelta::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows TimeDelta")]
+    fn from_secs_f64_rejects_saturating_boundary() {
+        // Regression: `u64::MAX as f64` rounds up to 2^64 exactly, and
+        // this seconds value multiplies back to 2^64 exactly, so the
+        // old `micros <= u64::MAX as f64` bound admitted it and the
+        // `as u64` cast silently saturated. The strict `<` bound must
+        // reject it.
+        let secs = u64::MAX as f64 / MICROS_PER_SEC as f64;
+        let _ = TimeDelta::from_secs_f64(secs);
+    }
+
+    #[test]
+    fn from_secs_f64_accepts_values_below_the_boundary() {
+        // The largest delta the guard admits converts without
+        // saturation: the result must round-trip to its own input.
+        let below = f64::from_bits((u64::MAX as f64).to_bits() - 1); // 2^64 - 2048
+        let d = TimeDelta::from_secs_f64(below / 2.0 / MICROS_PER_SEC as f64);
+        assert!(d.as_micros() < u64::MAX / 2 + 2048);
+        assert!(d.as_micros() > u64::MAX / 2 - 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "Timestamp + TimeDelta overflowed")]
+    fn timestamp_add_panics_on_overflow_in_release_too() {
+        // Built and run with `--release` by the tier-1 gate: the old
+        // bare `+` wrapped here instead of panicking.
+        let t = Timestamp::MAX + TimeDelta::from_micros(1);
+        let _ = std::hint::black_box(t);
+    }
+
+    #[test]
+    #[should_panic(expected = "TimeDelta + TimeDelta overflowed")]
+    fn delta_add_panics_on_overflow_in_release_too() {
+        let d = TimeDelta::MAX + TimeDelta::from_micros(1);
+        let _ = std::hint::black_box(d);
+    }
+
+    #[test]
+    fn saturating_and_checked_add() {
+        assert_eq!(
+            Timestamp::MAX.saturating_add(TimeDelta::from_secs(1)),
+            Timestamp::MAX
+        );
+        assert_eq!(Timestamp::MAX.checked_add(TimeDelta::from_micros(1)), None);
+        assert_eq!(
+            Timestamp::from_secs(1).saturating_add(TimeDelta::from_secs(2)),
+            Timestamp::from_secs(3)
+        );
+        assert_eq!(TimeDelta::MAX.checked_add(TimeDelta::from_micros(1)), None);
+        assert_eq!(
+            TimeDelta::from_secs(1).checked_add(TimeDelta::from_secs(2)),
+            Some(TimeDelta::from_secs(3))
+        );
+    }
+
+    #[test]
+    fn checked_mul_scales_and_guards() {
+        assert_eq!(
+            TimeDelta::from_millis(3).checked_mul(4),
+            Some(TimeDelta::from_millis(12))
+        );
+        assert_eq!(TimeDelta::MAX.checked_mul(2), None);
+        assert_eq!(TimeDelta::ZERO.checked_mul(u64::MAX), Some(TimeDelta::ZERO));
+    }
+
+    #[test]
+    fn mul_f64_rounds_and_guards() {
+        // ×10 slowdown of a 1 µs gap (replaying at ×0.1).
+        assert_eq!(
+            TimeDelta::from_micros(1).mul_f64(10.0),
+            Some(TimeDelta::from_micros(10))
+        );
+        // ×1000 speedup compresses 1 s to 1 ms.
+        assert_eq!(
+            TimeDelta::from_secs(1).mul_f64(1e-3),
+            Some(TimeDelta::from_millis(1))
+        );
+        // Rounds to nearest microsecond.
+        assert_eq!(
+            TimeDelta::from_micros(3).mul_f64(0.5),
+            Some(TimeDelta::from_micros(2))
+        );
+        assert_eq!(
+            TimeDelta::from_micros(5).mul_f64(0.0),
+            Some(TimeDelta::ZERO)
+        );
+        // NaN, negative, and overflowing factors are rejected.
+        assert_eq!(TimeDelta::from_secs(1).mul_f64(f64::NAN), None);
+        assert_eq!(TimeDelta::from_secs(1).mul_f64(-1.0), None);
+        assert_eq!(TimeDelta::MAX.mul_f64(2.0), None);
+        assert_eq!(TimeDelta::from_secs(1).mul_f64(f64::INFINITY), None);
+        // The saturating twin clamps instead.
+        assert_eq!(TimeDelta::MAX.saturating_mul_f64(2.0), TimeDelta::MAX);
+        assert_eq!(
+            TimeDelta::from_secs(1).saturating_mul_f64(f64::NAN),
+            TimeDelta::ZERO
+        );
+        assert_eq!(
+            TimeDelta::from_secs(2).saturating_mul_f64(0.5),
+            TimeDelta::from_secs(1)
+        );
     }
 
     #[test]

@@ -68,6 +68,12 @@ INGEST_SMOKE_MAX_BACKPRESSURE="${INGEST_SMOKE_MAX_BACKPRESSURE:-0.9}" \
 echo "==> cache_perf smoke (sweep == naive CacheSim bit-for-bit, sweep not slower, sampled MRC bounded)"
 ./target/release/cache_perf --smoke
 
+echo "==> replay_perf smoke (compressed null replay keeps pace + re-analysis identical + remap conservation)"
+# Open-loop fidelity floor on the achieved/offered ratio; override per
+# machine without editing the binary.
+REPLAY_SMOKE_MIN_RATIO="${REPLAY_SMOKE_MIN_RATIO:-0.90}" \
+    ./target/release/replay_perf smoke
+
 echo "==> cbs-convert --metrics smoke (registry export reaches stderr)"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
@@ -119,11 +125,15 @@ addr2="$(agent_addr "${tmpdir}/agent2.log")"
     > "${tmpdir}/local.txt"
 ./target/release/cbs-ctl --agents "${addr1},${addr2}" --volumes 6 --days 2 --seed 7 --sweep \
     > "${tmpdir}/distributed.txt"
-wait ${agent_pids} || {
-    echo "agent-smoke: an agent exited non-zero" >&2
-    cat "${tmpdir}/agent1.log" "${tmpdir}/agent2.log" >&2
-    exit 1
-}
+# Wait on every agent individually: `wait p1 p2` reports only the
+# LAST pid's status, so a crashed first agent would slip through.
+for pid in ${agent_pids}; do
+    wait "${pid}" || {
+        echo "agent-smoke: agent pid ${pid} exited non-zero" >&2
+        cat "${tmpdir}/agent1.log" "${tmpdir}/agent2.log" >&2
+        exit 1
+    }
+done
 agent_pids=""
 if ! diff -u "${tmpdir}/local.txt" "${tmpdir}/distributed.txt"; then
     echo "agent-smoke: distributed verdict report differs from single-process" >&2
