@@ -57,7 +57,8 @@ pub mod prelude {
     pub use cbs_cache::{SweepGrid, SweepReport};
 
     pub use cbs_replay::{
-        MemBackend, NullBackend, Remap, ReplayReport, Replayer, StorageBackend, Timing,
+        DirectFileBackend, FileBackend, LaneSet, MemBackend, MultiLaneReport, NullBackend, Remap,
+        ReplayLaneReport, ReplayReport, Replayer, StorageBackend, Timing,
     };
 
     pub use crate::partitioned::PartitionedWorkbench;

@@ -94,57 +94,61 @@ const TOP_FIELDS: &[(&str, Ty)] = &[("bench", Ty::Str), ("cores", Ty::Int), ("re
 
 /// Known result-row fields across every bench. A row carries a subset
 /// (keyed by `phase`, which is required); an unknown field is a
-/// violation — extend this table when a harness grows a column.
-const RESULT_FIELDS: &[(&str, Ty)] = &[
-    ("accesses", Ty::Int),
-    ("achieved_offered_ratio", Ty::Float),
-    ("achieved_rps", Ty::Float),
-    ("backend", Ty::Str),
-    ("backpressure_nanos", Ty::Int),
-    ("bytes", Ty::Int),
-    ("cbt", Ty::Obj),
-    ("cbt_bytes", Ty::Int),
-    ("cbt_mmap", Ty::Obj),
-    ("cbt_slice", Ty::Obj),
-    ("exact_sweep_speedup", Ty::Float),
-    ("expand_nanos", Ty::Int),
-    ("grid", Ty::Arr),
-    ("grids_bit_identical", Ty::Bool),
-    ("imbalance", Ty::Float),
-    ("issue_lag", Ty::Obj),
-    ("lanes", Ty::Arr),
-    ("merge_overhead_frac", Ty::Float),
-    ("metrics", Ty::Obj),
-    ("n_threads", Ty::Int),
-    ("offered_nanos", Ty::Int),
-    ("offered_rps", Ty::Float),
-    ("pair_seconds", Ty::Arr),
-    ("pairs", Ty::Int),
-    ("parallel_1_thread", Ty::Obj),
-    ("peak_rss_kb", Ty::Int),
-    ("phase", Ty::Str),
-    ("rate_multiplier", Ty::Float),
-    ("rates", Ty::Arr),
-    ("reanalysis_identical", Ty::Bool),
-    ("records", Ty::Int),
-    ("remap", Ty::Str),
-    ("requests", Ty::Int),
-    ("requests_per_sec", Ty::Int),
-    ("sample_rate", Ty::Float),
-    ("sampled_accesses", Ty::Int),
-    ("sampled_fraction", Ty::Float),
-    ("sampled_sweep_speedup", Ty::Float),
-    ("seconds", Ty::Float),
-    ("sequential", Ty::Obj),
-    ("sequential_seconds", Ty::Float),
-    ("speedup_4_vs_1", Ty::Float),
-    ("shard_requests", Ty::Arr),
-    ("shards", Ty::Int),
-    ("stages", Ty::Obj),
-    ("verdicts_identical", Ty::Bool),
-    ("volumes", Ty::Int),
-    ("wall_nanos", Ty::Int),
-    ("workers_curve", Ty::Arr),
+/// violation — extend this table when a harness grows a column. A
+/// field lists every type it may legally carry: most admit exactly
+/// one, but e.g. `lanes` is an array in `cache_perf` sweep rows and a
+/// lane count (integer) in `replay_perf` lane-curve rows.
+const RESULT_FIELDS: &[(&str, &[Ty])] = &[
+    ("accesses", &[Ty::Int]),
+    ("achieved_offered_ratio", &[Ty::Float]),
+    ("achieved_rps", &[Ty::Float]),
+    ("backend", &[Ty::Str]),
+    ("backpressure_nanos", &[Ty::Int]),
+    ("bytes", &[Ty::Int]),
+    ("cbt", &[Ty::Obj]),
+    ("cbt_bytes", &[Ty::Int]),
+    ("cbt_mmap", &[Ty::Obj]),
+    ("cbt_slice", &[Ty::Obj]),
+    ("exact_sweep_speedup", &[Ty::Float]),
+    ("expand_nanos", &[Ty::Int]),
+    ("grid", &[Ty::Arr]),
+    ("grids_bit_identical", &[Ty::Bool]),
+    ("imbalance", &[Ty::Float]),
+    ("issue_lag", &[Ty::Obj]),
+    ("lanes", &[Ty::Arr, Ty::Int]),
+    ("merge_overhead_frac", &[Ty::Float]),
+    ("metrics", &[Ty::Obj]),
+    ("n_threads", &[Ty::Int]),
+    ("offered_nanos", &[Ty::Int]),
+    ("offered_rps", &[Ty::Float]),
+    ("pair_seconds", &[Ty::Arr]),
+    ("pairs", &[Ty::Int]),
+    ("parallel_1_thread", &[Ty::Obj]),
+    ("peak_rss_kb", &[Ty::Int]),
+    ("per_lane_lag", &[Ty::Arr]),
+    ("phase", &[Ty::Str]),
+    ("rate_multiplier", &[Ty::Float]),
+    ("rates", &[Ty::Arr]),
+    ("reanalysis_identical", &[Ty::Bool]),
+    ("records", &[Ty::Int]),
+    ("remap", &[Ty::Str]),
+    ("requests", &[Ty::Int]),
+    ("requests_per_sec", &[Ty::Int]),
+    ("sample_rate", &[Ty::Float]),
+    ("sampled_accesses", &[Ty::Int]),
+    ("sampled_fraction", &[Ty::Float]),
+    ("sampled_sweep_speedup", &[Ty::Float]),
+    ("seconds", &[Ty::Float]),
+    ("sequential", &[Ty::Obj]),
+    ("sequential_seconds", &[Ty::Float]),
+    ("speedup_4_vs_1", &[Ty::Float]),
+    ("shard_requests", &[Ty::Arr]),
+    ("shards", &[Ty::Int]),
+    ("stages", &[Ty::Obj]),
+    ("verdicts_identical", &[Ty::Bool]),
+    ("volumes", &[Ty::Int]),
+    ("wall_nanos", &[Ty::Int]),
+    ("workers_curve", &[Ty::Arr]),
 ];
 
 /// Validates one `BENCH_*.json` document.
@@ -199,10 +203,16 @@ pub fn validate(text: &str) -> Result<Vec<String>, String> {
                     "results[{i}] has unknown field `{k}` — extend RESULT_FIELDS \
                      in crates/lint/src/bench_schema.rs if this column is intentional"
                 )),
-                Some(&(_, ty)) if !ty.admits(v) => out.push(format!(
-                    "results[{i}].{k} must be {ty:?}, got {}",
-                    v.type_name()
-                )),
+                Some(&(_, tys)) if !tys.iter().any(|ty| ty.admits(v)) => {
+                    let expected = match tys {
+                        [single] => format!("{single:?}"),
+                        _ => format!("one of {tys:?}"),
+                    };
+                    out.push(format!(
+                        "results[{i}].{k} must be {expected}, got {}",
+                        v.type_name()
+                    ));
+                }
                 Some(_) => {}
             }
         }
@@ -466,6 +476,32 @@ mod tests {
 }"#;
         let v = validate(text).expect("parses");
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn lane_curve_rows_pass_and_multi_type_fields_admit_each_shape() {
+        // `lanes` is an array in cache_perf sweep rows but a lane
+        // count in replay_perf lane-curve rows; both must validate.
+        let text = r#"{
+  "bench": "replay",
+  "cores": 1,
+  "results": [
+    {"phase": "lanes", "backend": "direct", "remap": "identity",
+     "rate_multiplier": 1000.0, "lanes": 4, "requests": 1000000,
+     "backpressure_nanos": 120, "issue_lag": {"p50": 300, "p99": 900},
+     "per_lane_lag": [{"lane": 0, "requests": 250000, "p99": 800}],
+     "achieved_offered_ratio": 0.99, "reanalysis_identical": true},
+    {"phase": "sweep", "lanes": [1, 2, 4]}
+  ]
+}"#;
+        let v = validate(text).expect("parses");
+        assert!(v.is_empty(), "{v:?}");
+        // A shape outside the admitted set names every legal type.
+        let text = r#"{"bench": "x", "cores": 1,
+  "results": [{"phase": "p", "lanes": "four"}]}"#;
+        let v = validate(text).expect("parses");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("must be one of [Arr, Int]"), "{v:?}");
     }
 
     #[test]

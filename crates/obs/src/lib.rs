@@ -8,8 +8,10 @@
 //!
 //! * [`Counter`] — monotonically increasing `u64` (relaxed atomic add);
 //! * [`Gauge`] — settable `u64` level with a high-water-mark helper;
-//! * [`Histogram`] — fixed power-of-two buckets with count/sum/min/max
-//!   and approximate quantiles, safe to hammer from many threads;
+//! * [`Histogram`] — fixed log-linear buckets (8 sub-buckets per
+//!   power-of-two octave) with count/sum/min/max and approximate
+//!   quantiles (≤12.5% relative error), safe to hammer from many
+//!   threads;
 //! * [`SpanTimer`] / [`Stopwatch`] — wall-clock timing that records
 //!   into a histogram of nanoseconds, so *all* timing flows through one
 //!   audited place (the `no-adhoc-timing` lint forbids raw

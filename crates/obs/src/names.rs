@@ -81,9 +81,30 @@ pub const METRIC_NAMES: &[(&str, &str)] = &[
     ),
     ("replay.bytes", "payload bytes issued by the replayer"),
     (
+        "replay.feed_backpressure_nanos",
+        "feeder nanoseconds blocked on full lane channels",
+    ),
+    (
         "replay.issue_lag_nanos",
         "per-request issue lag (actual minus target issue time)",
     ),
+    (
+        "replay.lane*.backend_nanos",
+        "per-lane backend service time, nanoseconds",
+    ),
+    ("replay.lane*.bytes", "per-lane payload bytes issued"),
+    (
+        "replay.lane*.issue_lag_nanos",
+        "per-lane issue lag (actual minus target issue time)",
+    ),
+    ("replay.lane*.reads", "per-lane read requests issued"),
+    ("replay.lane*.requests", "per-lane requests issued"),
+    (
+        "replay.lane*.sleep_nanos",
+        "per-lane nanoseconds slept ahead of deadlines",
+    ),
+    ("replay.lane*.writes", "per-lane write requests issued"),
+    ("replay.lanes", "number of replay issue lanes in this run"),
     ("replay.reads", "read requests issued by the replayer"),
     ("replay.requests", "requests issued by the replayer"),
     (

@@ -20,7 +20,19 @@
 //!   comparable to the source analysis.
 //! * **[`StorageBackend`]** (target) — [`NullBackend`] measures the
 //!   engine itself, [`MemBackend`] is a deterministic in-memory page
-//!   store, [`FileBackend`] exercises the real VFS path.
+//!   store, [`FileBackend`] exercises the real VFS path against
+//!   preallocated per-volume files, and [`DirectFileBackend`] opens
+//!   them `O_DIRECT` (aligned scratch, recorded fallback reason when
+//!   the filesystem refuses) so service times come from the device,
+//!   not the page cache.
+//!
+//! When one scheduler thread can't pace the stream, [`LaneSet`]
+//! shards the issue side: a feeder thread decodes/remaps in stream
+//! order and fans batches out to N per-volume scheduler lanes
+//! (sticky least-loaded routing, bounded channels, panic-poison
+//! parity), and the per-lane metrics fold through lawful `merge()`
+//! into a [`MultiLaneReport`] whose merged view is identical to the
+//! single-lane run at any lane count.
 //!
 //! Everything observable lands in `cbs-obs` metrics under registered
 //! `replay.*` names, and [`ReplayReport`] summarizes the run
@@ -67,12 +79,19 @@
 
 pub mod backend;
 pub mod error;
+pub mod lanes;
 pub mod remap;
 pub mod schedule;
 pub mod source;
 
-pub use backend::{FileBackend, MemBackend, NullBackend, StorageBackend, PAGE_BYTES};
+pub use backend::{
+    AlignedBuf, DirectFileBackend, FileBackend, MemBackend, NullBackend, StorageBackend,
+    DIRECT_ALIGN, PAGE_BYTES,
+};
 pub use error::ReplayError;
+pub use lanes::{
+    LaneSet, MultiLaneReport, ReplayLaneReport, DEFAULT_LANE_CHANNEL_DEPTH, LANE_BATCH_REQUESTS,
+};
 pub use remap::{Remap, VolumeRemapper};
 pub use schedule::{ReplayReport, Replayer, Timing, MAX_MULTIPLIER, MIN_MULTIPLIER};
 pub use source::CbtSliceRequests;

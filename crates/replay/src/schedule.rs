@@ -40,7 +40,7 @@ pub const MAX_MULTIPLIER: f64 = 1000.0;
 /// `thread::sleep` routinely overshoots by tens of microseconds; the
 /// last stretch is burned in a spin loop so issue lag stays bounded by
 /// scheduler jitter, not timer slack.
-const SPIN_WINDOW_NANOS: u64 = 100_000;
+pub(crate) const SPIN_WINDOW_NANOS: u64 = 100_000;
 
 /// Replay pacing: recorded timestamps, optionally scaled.
 ///

@@ -1,0 +1,212 @@
+//! Property tests for the multi-lane issue engine's merged-report
+//! laws.
+//!
+//! The lane fold must be invisible in everything except timing: at any
+//! lane count, the merged [`MultiLaneReport`] carries exactly the
+//! request/byte/read/write totals (and lag/service sample counts) of
+//! the single-lane run over the same source and remap mode, the
+//! per-lane partials sum to the merged totals, per-volume backend
+//! state is conserved across the lane backends, and a panicking
+//! backend poisons the multi-lane run exactly as it does the
+//! single-lane one.
+
+use proptest::prelude::*;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use cbs_replay::{LaneSet, MemBackend, NullBackend, Remap, Replayer, StorageBackend, Timing};
+use cbs_trace::{IoRequest, OpKind, Timestamp, VolumeId};
+
+prop_compose! {
+    /// An arbitrary small request.
+    fn arb_request()(
+        vol in 0u32..64,
+        op in prop_oneof![Just(OpKind::Read), Just(OpKind::Write)],
+        offset in 0u64..(1 << 40),
+        len in 0u32..=(1 << 20),
+        ts in 0u64..1_000_000,
+    ) -> IoRequest {
+        IoRequest::new(
+            VolumeId::new(vol),
+            op,
+            offset,
+            len,
+            Timestamp::from_micros(ts),
+        )
+    }
+}
+
+prop_compose! {
+    /// A time-ordered stream, the way real sources arrive.
+    fn arb_stream()(
+        mut v in proptest::collection::vec(arb_request(), 0..300),
+    ) -> Vec<IoRequest> {
+        v.sort_by_key(|r| r.ts());
+        v
+    }
+}
+
+prop_compose! {
+    /// Any of the three remap policies with a small factor.
+    fn arb_mode()(kind in 0u32..3, n in 1u32..12) -> Remap {
+        match kind {
+            0 => Remap::Identity,
+            1 => Remap::FanOut(n),
+            _ => Remap::Merge(n),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole law: the merged multi-lane report is
+    /// request/byte/read/write-identical to the single-lane run at any
+    /// lane count, under any remap mode — and the offered schedule
+    /// (computed centrally by the feeder) matches too.
+    #[test]
+    fn merged_report_matches_single_lane(
+        stream in arb_stream(),
+        mode in arb_mode(),
+        lanes in 1usize..9,
+    ) {
+        let single = Replayer::new(NullBackend::new())
+            .with_timing(Timing::multiplier(1000.0).expect("valid rate"))
+            .with_remap(mode)
+            .run(stream.iter().copied())
+            .expect("single-lane replay");
+        let mut set = LaneSet::new(lanes, |_| NullBackend::new())
+            .with_timing(Timing::multiplier(1000.0).expect("valid rate"))
+            .with_remap(mode);
+        let multi = set.run(stream.iter().copied()).expect("multi-lane replay");
+
+        prop_assert_eq!(multi.merged.requests, single.requests);
+        prop_assert_eq!(multi.merged.bytes, single.bytes);
+        prop_assert_eq!(multi.merged.reads, single.reads);
+        prop_assert_eq!(multi.merged.writes, single.writes);
+        prop_assert_eq!(multi.merged.offered_nanos, single.offered_nanos);
+        prop_assert_eq!(multi.merged.issue_lag.count, single.issue_lag.count);
+        prop_assert_eq!(multi.merged.backend.count, single.backend.count);
+    }
+
+    /// The fold is conservative: per-lane partials sum to the merged
+    /// totals (Counter merge adds, Histogram merge adds buckets), and
+    /// every lane's lag histogram holds exactly the requests it
+    /// issued.
+    #[test]
+    fn per_lane_partials_sum_to_merged(
+        stream in arb_stream(),
+        lanes in 1usize..9,
+    ) {
+        let mut set = LaneSet::new(lanes, |_| NullBackend::new())
+            .with_timing(Timing::multiplier(1000.0).expect("valid rate"));
+        let multi = set.run(stream.iter().copied()).expect("replay");
+        prop_assert_eq!(multi.per_lane.len(), lanes);
+        let sums = multi.per_lane.iter().fold((0u64, 0u64, 0u64, 0u64), |acc, l| {
+            (
+                acc.0 + l.requests,
+                acc.1 + l.bytes,
+                acc.2 + l.reads,
+                acc.3 + l.writes,
+            )
+        });
+        prop_assert_eq!(sums.0, multi.merged.requests);
+        prop_assert_eq!(sums.1, multi.merged.bytes);
+        prop_assert_eq!(sums.2, multi.merged.reads);
+        prop_assert_eq!(sums.3, multi.merged.writes);
+        for lane in &multi.per_lane {
+            prop_assert_eq!(lane.issue_lag.count, lane.requests);
+            prop_assert_eq!(lane.backend.count, lane.requests);
+        }
+    }
+
+    /// Backend-state conservation: sticky per-volume routing means the
+    /// union of the lane MemBackends holds exactly the pages the
+    /// single-lane MemBackend holds — same page count, same resident
+    /// bytes, no page written twice across lanes.
+    #[test]
+    fn mem_backend_state_is_lane_count_invariant(
+        stream in arb_stream(),
+        mode in arb_mode(),
+        lanes in prop_oneof![Just(2usize), Just(4), Just(7)],
+    ) {
+        let mut single = Replayer::new(MemBackend::new())
+            .with_timing(Timing::multiplier(1000.0).expect("valid rate"))
+            .with_remap(mode);
+        single.run(stream.iter().copied()).expect("single-lane replay");
+        let single_backend = single.into_backend();
+
+        let mut set = LaneSet::new(lanes, |_| MemBackend::new())
+            .with_timing(Timing::multiplier(1000.0).expect("valid rate"))
+            .with_remap(mode);
+        set.run(stream.iter().copied()).expect("multi-lane replay");
+        let lane_pages: usize = set.backends().iter().map(MemBackend::page_count).sum();
+        let lane_bytes: u64 = set.backends().iter().map(MemBackend::resident_bytes).sum();
+        prop_assert_eq!(lane_pages, single_backend.page_count());
+        prop_assert_eq!(lane_bytes, single_backend.resident_bytes());
+    }
+}
+
+/// A backend that panics after a set number of operations — the
+/// poison-parity probe.
+#[derive(Debug)]
+struct PanickingBackend {
+    remaining: u32,
+}
+
+impl StorageBackend for PanickingBackend {
+    fn name(&self) -> &'static str {
+        "panicking"
+    }
+    fn read(&mut self, v: VolumeId, o: u64, l: u32) -> std::io::Result<()> {
+        self.write(v, o, l)
+    }
+    fn write(&mut self, _v: VolumeId, _o: u64, _l: u32) -> std::io::Result<()> {
+        assert!(self.remaining > 0, "synthetic backend panic");
+        self.remaining -= 1;
+        Ok(())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Panic-poison parity: a backend that panics mid-replay unwinds
+    /// the caller in both engines — the multi-lane run re-raises the
+    /// lane worker's panic instead of swallowing it into a partial
+    /// report.
+    #[test]
+    fn panicking_backend_poisons_both_engines(
+        lanes in 1usize..6,
+        fuse in 0u32..40,
+    ) {
+        let stream: Vec<IoRequest> = (0..200u64)
+            .map(|i| {
+                IoRequest::new(
+                    VolumeId::new((i % 8) as u32),
+                    OpKind::Write,
+                    i * 4096,
+                    4096,
+                    Timestamp::from_micros(i),
+                )
+            })
+            .collect();
+
+        let single = catch_unwind(AssertUnwindSafe(|| {
+            Replayer::new(PanickingBackend { remaining: fuse })
+                .with_timing(Timing::multiplier(1000.0).expect("valid rate"))
+                .run(stream.iter().copied())
+        }));
+        prop_assert!(single.is_err(), "single-lane engine must unwind");
+
+        let multi = catch_unwind(AssertUnwindSafe(|| {
+            LaneSet::new(lanes, |_| PanickingBackend { remaining: fuse })
+                .with_timing(Timing::multiplier(1000.0).expect("valid rate"))
+                .run(stream.iter().copied())
+        }));
+        prop_assert!(multi.is_err(), "multi-lane engine must unwind (poison parity)");
+    }
+}

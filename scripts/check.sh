@@ -68,10 +68,13 @@ INGEST_SMOKE_MAX_BACKPRESSURE="${INGEST_SMOKE_MAX_BACKPRESSURE:-0.9}" \
 echo "==> cache_perf smoke (sweep == naive CacheSim bit-for-bit, sweep not slower, sampled MRC bounded)"
 ./target/release/cache_perf --smoke
 
-echo "==> replay_perf smoke (compressed null replay keeps pace + re-analysis identical + remap conservation)"
-# Open-loop fidelity floor on the achieved/offered ratio; override per
-# machine without editing the binary.
+echo "==> replay_perf smoke (compressed null replay keeps pace + re-analysis identical + remap conservation + multi-lane parity)"
+# Open-loop fidelity floor on the achieved/offered ratio, applied to
+# both the single-lane engine and the REPLAY_SMOKE_LANES-lane engine
+# (whose merged report must equal the single-lane one exactly);
+# override per machine without editing the binary.
 REPLAY_SMOKE_MIN_RATIO="${REPLAY_SMOKE_MIN_RATIO:-0.90}" \
+REPLAY_SMOKE_LANES="${REPLAY_SMOKE_LANES:-2}" \
     ./target/release/replay_perf smoke
 
 echo "==> cbs-convert --metrics smoke (registry export reaches stderr)"

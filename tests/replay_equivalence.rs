@@ -125,6 +125,143 @@ fn replay_through_cbt_round_trip_matches_direct() {
     assert_eq!(direct.metrics(), re.metrics());
 }
 
+/// The lane counts every multi-lane law must hold at: an even split,
+/// a larger even split, and a prime that never divides the volume
+/// count evenly.
+const LANE_COUNTS: [usize; 3] = [2, 4, 7];
+
+#[test]
+fn recorded_x1_lane_replay_matches_direct_analysis() {
+    // The ×1 identity law survives sharding: the feeder observes the
+    // post-remap stream in source order before fanning out, so the
+    // re-analysis is lane-count-invariant.
+    let trace = short_trace();
+    let direct = Workbench::new(trace.clone()).analyze();
+
+    for lanes in LANE_COUNTS {
+        let mut replayed = Vec::new();
+        let mut set = LaneSet::new(lanes, |_| NullBackend::new()); // recorded pacing default
+        let multi = set
+            .run_observed(trace.iter_time_ordered(), |req| replayed.push(req))
+            .expect("null lane replay cannot fail");
+
+        assert_eq!(multi.merged.requests, trace.request_count() as u64);
+        assert!(
+            multi.merged.wall_nanos >= multi.merged.offered_nanos,
+            "recorded pacing must take at least the trace span at {lanes} lanes"
+        );
+
+        let re = analyze_requests(replayed);
+        assert_eq!(
+            direct.metrics(),
+            re.metrics(),
+            "×1 lane-replayed stream must re-analyze metric-identical at {lanes} lanes"
+        );
+    }
+}
+
+#[test]
+fn x1000_lane_replay_of_synthetic_corpus_matches_direct() {
+    // The ×1000 identity law at every lane count, over the same
+    // corpus as the single-lane test above.
+    let config = CorpusConfig::new(6, 0, 17)
+        .with_extra_hours(1)
+        .with_intensity_scale(0.02);
+    let generator = cbs_synth::presets::alicloud_like(&config);
+    let direct = Workbench::new(generator.generate()).analyze();
+
+    for lanes in LANE_COUNTS {
+        let mut replayed = Vec::new();
+        let mut set = LaneSet::new(lanes, |_| NullBackend::new())
+            .with_timing(Timing::multiplier(1000.0).expect("valid rate"));
+        let multi = set
+            .run_observed(generator.stream(), |req| replayed.push(req))
+            .expect("null lane replay cannot fail");
+
+        assert_eq!(multi.merged.requests, direct.trace().request_count() as u64);
+        let re = analyze_requests(replayed);
+        assert_eq!(
+            direct.metrics(),
+            re.metrics(),
+            "×1000 lane-replayed corpus must re-analyze metric-identical at {lanes} lanes"
+        );
+    }
+}
+
+#[test]
+fn lane_fan_out_then_merge_round_trips_metrics() {
+    // fanout:3 ∘ merge:3 ≡ identity must survive sharding both
+    // stages — remap happens centrally in the feeder, so routing can
+    // never split one post-remap volume across lanes.
+    let trace = short_trace();
+    let direct = Workbench::new(trace.clone()).analyze();
+
+    for lanes in LANE_COUNTS {
+        let mut fanned = Vec::new();
+        let mut set = LaneSet::new(lanes, |_| NullBackend::new())
+            .with_timing(Timing::multiplier(1000.0).expect("valid rate"))
+            .with_remap(Remap::fan_out(3).expect("nonzero factor"));
+        set.run_observed(trace.iter_time_ordered(), |req| fanned.push(req))
+            .expect("fan-out lane replay");
+
+        let mut merged = Vec::new();
+        let mut set = LaneSet::new(lanes, |_| NullBackend::new())
+            .with_timing(Timing::multiplier(1000.0).expect("valid rate"))
+            .with_remap(Remap::merge_into(3).expect("nonzero factor"));
+        set.run_observed(fanned, |req| merged.push(req))
+            .expect("merge lane replay");
+
+        let re = analyze_requests(merged);
+        assert_eq!(
+            direct.metrics(),
+            re.metrics(),
+            "fanout:3 ∘ merge:3 must be the identity on metrics at {lanes} lanes"
+        );
+    }
+}
+
+#[test]
+fn lane_mem_backend_state_is_deterministic() {
+    // Mem-backend determinism: sticky per-volume routing makes the
+    // union of the lane page stores equal the single-lane store, and
+    // repeating the run reproduces it exactly.
+    let trace = short_trace();
+
+    let mut single = Replayer::new(MemBackend::new())
+        .with_timing(Timing::multiplier(1000.0).expect("valid rate"));
+    single
+        .run(trace.iter_time_ordered())
+        .expect("single-lane mem replay");
+    let single_pages = single.backend().page_count();
+    let single_bytes = single.backend().resident_bytes();
+    assert!(single_pages > 0, "writes must materialize pages");
+
+    for lanes in LANE_COUNTS {
+        let mut seen = None;
+        for _run in 0..2 {
+            let mut set = LaneSet::new(lanes, |_| MemBackend::new())
+                .with_timing(Timing::multiplier(1000.0).expect("valid rate"));
+            set.run(trace.iter_time_ordered())
+                .expect("multi-lane mem replay");
+            let pages: usize = set.backends().iter().map(MemBackend::page_count).sum();
+            let bytes: u64 = set.backends().iter().map(MemBackend::resident_bytes).sum();
+            assert_eq!(
+                (pages, bytes),
+                (single_pages, single_bytes),
+                "lane mem state must conserve the single-lane store at {lanes} lanes"
+            );
+            if let Some(prev) = seen {
+                assert_eq!(
+                    prev,
+                    (pages, bytes),
+                    "repeat runs must be deterministic at {lanes} lanes"
+                );
+            }
+            seen = Some((pages, bytes));
+        }
+    }
+}
+
 #[test]
 fn fan_out_then_merge_round_trips_metrics() {
     // fanout:n relocates volume v's requests onto v*n..v*n+n and
